@@ -1,0 +1,43 @@
+// Ablation: token batching in the Routing Unit.
+//
+// Section 5.1: tokens "are batched together in groups of 20, the simulation
+// uses an estimate of 19.5 useconds for each token added to a batch"
+// (390 us / 20). Sweeping the batch size rescales the per-token Routing
+// Unit cost (390/k us) and shows how much the process-oriented execution
+// depends on cheap token injection.
+#include "bench_common.hpp"
+#include "workloads/simple.hpp"
+
+using namespace pods;
+
+int main() {
+  bench::header("Ablation — Routing Unit token batching",
+                "paper section 5.1: groups of 20 -> 19.5 us per token");
+  const int n = bench::smallMode() ? 16 : 32;
+  const int pes = 16;
+  CompileResult cr = compile(workloads::simpleSource(n, 1));
+  Compiled& c = bench::compileOrDie(cr, "SIMPLE");
+
+  TextTable table({"batch", "us/token", "time (ms)", "vs batch 20"});
+  double base = 0.0;
+  std::vector<std::tuple<int, double, double>> rows;
+  for (int batch : {1, 2, 5, 10, 20, 50}) {
+    sim::MachineConfig mc;
+    mc.numPEs = pes;
+    mc.timing.tokenBatch = batch;
+    PodsRun run = bench::runOrDie(c, mc, "SIMPLE");
+    if (batch == 20) base = run.stats.total.ms();
+    rows.emplace_back(batch, mc.timing.tokenRoute().us(),
+                      run.stats.total.ms());
+  }
+  for (auto& [batch, perTok, ms] : rows) {
+    table.row()
+        .cell(std::int64_t{batch})
+        .cell(perTok, 2)
+        .cell(ms, 2)
+        .cell(ms / base, 2);
+  }
+  table.print();
+  std::printf("\n(%dx%d SIMPLE, %d PEs)\n\n", n, n, pes);
+  return 0;
+}

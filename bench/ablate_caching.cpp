@@ -1,0 +1,50 @@
+// Ablation: remote-page software caching.
+//
+// Section 4: "due to locality of reference, this reduces the need for
+// future remote requests to elements on the same page", and single
+// assignment means cached pages never need coherence traffic. Compare
+// caching on/off on SIMPLE and the stencil kernel.
+#include "bench_common.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/simple.hpp"
+
+using namespace pods;
+
+namespace {
+
+void runCase(const std::string& name, const std::string& src, int pes) {
+  CompileResult cr = compile(src);
+  Compiled& c = pods::bench::compileOrDie(cr, name);
+  TextTable table({"caching", "time (ms)", "pages", "remote reads",
+                   "cache hits"});
+  double onMs = 0.0;
+  for (bool cache : {true, false}) {
+    sim::MachineConfig mc;
+    mc.numPEs = pes;
+    mc.cachePages = cache;
+    PodsRun run = pods::bench::runOrDie(c, mc, name);
+    if (cache) onMs = run.stats.total.ms();
+    table.row()
+        .cell(cache ? "on" : "off")
+        .cell(run.stats.total.ms(), 2)
+        .cell(run.stats.counters.get("array.pagesSent"))
+        .cell(run.stats.counters.get("array.reads.remote"))
+        .cell(run.stats.counters.get("array.reads.cacheHit"));
+    if (!cache) {
+      std::printf("-- %s (%d PEs): caching saves %.1f%% --\n", name.c_str(),
+                  pes, 100.0 * (1.0 - onMs / run.stats.total.ms()));
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — remote-page software cache", "paper section 4");
+  const int n = bench::smallMode() ? 16 : 32;
+  runCase("SIMPLE " + std::to_string(n), workloads::simpleSource(n, 1), 16);
+  runCase("stencil 32, 4 steps", workloads::stencilSource(32, 4), 16);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: page size.
+//
+// Section 4.1: "the best page size has been determined to be 32 elements...
+// (Previous studies have shown that this is not a critical parameter
+// [Bic89])". Sweep the page size on SIMPLE and report total time, page
+// traffic and cache hits. Results must be identical regardless of page size
+// (Church-Rosser); only timing may move, and only mildly.
+#include "bench_common.hpp"
+#include "workloads/simple.hpp"
+
+using namespace pods;
+
+int main() {
+  bench::header("Ablation — array page size",
+                "paper section 4.1: 32 elements, 'not a critical parameter'");
+  const int n = bench::smallMode() ? 16 : 32;
+  const int pes = 16;
+  CompileResult cr = compile(workloads::simpleSource(n, 1));
+  Compiled& c = bench::compileOrDie(cr, "SIMPLE");
+  BaselineRun seq = runSequentialBaseline(c);
+
+  TextTable table({"page elems", "time (ms)", "vs 32", "pages sent",
+                   "cache hits", "remote reads"});
+  double base32 = 0.0;
+  std::vector<std::pair<int, PodsRun>> runs;
+  for (int page : {4, 8, 16, 32, 64, 128}) {
+    sim::MachineConfig mc;
+    mc.numPEs = pes;
+    mc.timing.pageElems = page;
+    PodsRun run = bench::runOrDie(c, mc, "SIMPLE");
+    std::string why;
+    if (!sameOutputs(run.out, seq.out, &why)) {
+      std::fprintf(stderr, "page=%d wrong result: %s\n", page, why.c_str());
+      return 1;
+    }
+    if (page == 32) base32 = run.stats.total.ms();
+    runs.emplace_back(page, std::move(run));
+  }
+  for (auto& [page, run] : runs) {
+    table.row()
+        .cell(std::int64_t{page})
+        .cell(run.stats.total.ms(), 2)
+        .cell(run.stats.total.ms() / base32, 2)
+        .cell(run.stats.counters.get("array.pagesSent"))
+        .cell(run.stats.counters.get("array.reads.cacheHit"))
+        .cell(run.stats.counters.get("array.reads.remote"));
+  }
+  table.print();
+  std::printf("\n(%dx%d SIMPLE, %d PEs; identical outputs at every size)\n\n",
+              n, n, pes);
+  return 0;
+}

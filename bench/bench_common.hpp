@@ -1,0 +1,57 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures.
+//
+// Environment: set PODS_BENCH_SMALL=1 to trim problem sizes (quick CI runs).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/pods.hpp"
+#include "support/table.hpp"
+
+namespace pods::bench {
+
+inline bool smallMode() {
+  const char* v = std::getenv("PODS_BENCH_SMALL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// The paper's PE counts (x axis of Figures 8-10).
+inline std::vector<int> peCounts() { return {1, 2, 4, 8, 16, 32}; }
+
+/// The paper's SIMPLE problem sizes; trimmed in small mode.
+inline std::vector<int> problemSizes() {
+  if (smallMode()) return {16, 32};
+  return {16, 32, 64};
+}
+
+inline Compiled& compileOrDie(CompileResult& cr, const std::string& what) {
+  if (!cr.ok) {
+    std::fprintf(stderr, "compile of %s failed:\n%s", what.c_str(),
+                 cr.diagnostics.c_str());
+    std::exit(1);
+  }
+  return *cr.compiled;
+}
+
+inline PodsRun runOrDie(const Compiled& c, const sim::MachineConfig& mc,
+                        const std::string& what) {
+  PodsRun run = runPods(c, mc);
+  if (!run.stats.ok) {
+    std::fprintf(stderr, "run of %s (PEs=%d) failed: %s\n", what.c_str(),
+                 mc.numPEs, run.stats.error.c_str());
+    std::exit(1);
+  }
+  return run;
+}
+
+inline void header(const char* title, const char* paperRef) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n(%s)\n", title, paperRef);
+  std::printf("=============================================================\n");
+}
+
+}  // namespace pods::bench

@@ -1,0 +1,21 @@
+# One binary per table/figure of the paper's evaluation, plus ablations and
+# a google-benchmark micro suite. Binaries land in build/bench/.
+function(pods_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE pods)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+pods_bench(table_instruction_times)
+pods_bench(fig8_unit_balance)
+pods_bench(fig9_eu_utilization)
+pods_bench(fig10_speedup)
+pods_bench(tab_efficiency)
+pods_bench(ablate_page_size)
+pods_bench(ablate_caching)
+pods_bench(ablate_rf_placement)
+pods_bench(ablate_batching)
+pods_bench(livermore_speedup)
+pods_bench(micro_engine)
+target_link_libraries(micro_engine PRIVATE benchmark::benchmark)

@@ -1,0 +1,92 @@
+// Figure 10: Speed-up of SIMPLE.
+//
+// Reproduces the paper's headline result: speed-up (single-PE time divided
+// by multi-PE time) of the SIMPLE benchmark for 16x16, 32x32, and 64x64
+// meshes on 1..32 PEs, with the Pingali & Rogers-style static-compilation
+// baseline plotted for the 64x64 case ("P&R").
+//
+// Paper values for comparison: 16x16 tops out at 8.1; 32x32 at 12.4
+// ("more than an order of magnitude"); 64x64 reaches 18.9 on 32 PEs and
+// PODS outperforms the pure compilation approach at that size.
+#include "bench_common.hpp"
+#include "workloads/simple.hpp"
+
+using namespace pods;
+
+int main() {
+  bench::header("Figure 10 — Speed-up of SIMPLE",
+                "paper section 5.3.3; speedup = T(1 PE) / T(N PEs)");
+  const int steps = 1;
+
+  struct Series {
+    int size;
+    std::vector<double> podsTime;    // ms per PE count
+    std::vector<double> staticTime;  // ms per PE count
+  };
+  std::vector<Series> series;
+
+  for (int n : bench::problemSizes()) {
+    CompileResult cr = compile(workloads::simpleSource(n, steps));
+    Compiled& c = bench::compileOrDie(cr, "SIMPLE " + std::to_string(n));
+    Series s;
+    s.size = n;
+    BaselineRun seq = runSequentialBaseline(c);
+    for (int pes : bench::peCounts()) {
+      sim::MachineConfig mc;
+      mc.numPEs = pes;
+      PodsRun run = bench::runOrDie(c, mc, "SIMPLE " + std::to_string(n));
+      std::string why;
+      if (!sameOutputs(run.out, seq.out, &why)) {
+        std::fprintf(stderr, "WRONG RESULT at %dx%d PEs=%d: %s\n", n, n, pes,
+                     why.c_str());
+        return 1;
+      }
+      s.podsTime.push_back(run.stats.total.ms());
+      BaselineRun st = runStaticBaseline(c, pes);
+      s.staticTime.push_back(st.stats.total.ms());
+    }
+    series.push_back(std::move(s));
+  }
+
+  // Speed-up table (the paper's figure as rows per PE count).
+  std::vector<std::string> cols = {"PEs", "linear"};
+  for (const Series& s : series) {
+    cols.push_back(std::to_string(s.size) + "x" + std::to_string(s.size));
+  }
+  cols.push_back("P&R " + std::to_string(series.back().size) + "x" +
+                 std::to_string(series.back().size));
+  TextTable table(cols);
+  const auto pes = bench::peCounts();
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    table.row().cell(std::int64_t{pes[i]}).cell(double(pes[i]), 1);
+    for (const Series& s : series) {
+      table.cell(s.podsTime[0] / s.podsTime[i], 2);
+    }
+    const Series& big = series.back();
+    table.cell(big.staticTime[0] / big.staticTime[i], 2);
+  }
+  table.print();
+
+  std::printf("\nAbsolute times (ms, %d time step%s):\n", steps,
+              steps == 1 ? "" : "s");
+  std::vector<std::string> cols2 = {"PEs"};
+  for (const Series& s : series) {
+    cols2.push_back("PODS " + std::to_string(s.size));
+    cols2.push_back("P&R " + std::to_string(s.size));
+  }
+  TextTable t2(cols2);
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    t2.row().cell(std::int64_t{pes[i]});
+    for (const Series& s : series) {
+      t2.cell(s.podsTime[i], 2);
+      t2.cell(s.staticTime[i], 2);
+    }
+  }
+  t2.print();
+
+  std::printf(
+      "\nPaper reference points: 16x16 tops out ~8.1; 32x32 ~12.4; 64x64 "
+      "reaches 18.9 on 32 PEs,\nwith PODS above the P&R compilation "
+      "approach at 64x64.\n\n");
+  return 0;
+}

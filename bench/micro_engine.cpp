@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) of the engine itself: compiler
+// pipeline throughput, simulator event rate, and the hot layout/ordering
+// primitives. These measure the *host-side* cost of the reproduction, not
+// simulated time.
+#include <benchmark/benchmark.h>
+
+#include "core/pods.hpp"
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "runtime/array_layout.hpp"
+#include "translate/translator.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/simple.hpp"
+
+namespace {
+
+const std::string& simpleSrc() {
+  static const std::string src = pods::workloads::simpleSource(16, 1);
+  return src;
+}
+
+void BM_Lexer(benchmark::State& state) {
+  for (auto _ : state) {
+    pods::DiagSink d;
+    auto toks = pods::fe::lex(simpleSrc(), d);
+    benchmark::DoNotOptimize(toks);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(simpleSrc().size()));
+}
+BENCHMARK(BM_Lexer);
+
+void BM_Parser(benchmark::State& state) {
+  for (auto _ : state) {
+    pods::DiagSink d;
+    auto mod = pods::fe::parse(simpleSrc(), d);
+    benchmark::DoNotOptimize(mod);
+  }
+}
+BENCHMARK(BM_Parser);
+
+void BM_FullCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cr = pods::compile(simpleSrc());
+    benchmark::DoNotOptimize(cr);
+  }
+}
+BENCHMARK(BM_FullCompile);
+
+void BM_SimulateFill2d(benchmark::State& state) {
+  auto cr = pods::compile(pods::workloads::fill2dSource(32, 32));
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    pods::sim::MachineConfig mc;
+    mc.numPEs = static_cast<int>(state.range(0));
+    pods::PodsRun run = pods::runPods(*cr.compiled, mc);
+    events += run.stats.counters.get("events");
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateFill2d)->Arg(1)->Arg(8);
+
+void BM_SequentialEval(benchmark::State& state) {
+  auto cr = pods::compile(pods::workloads::matmulSource(16));
+  for (auto _ : state) {
+    auto run = pods::runSequentialBaseline(*cr.compiled);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_SequentialEval);
+
+void BM_LayoutOwnership(benchmark::State& state) {
+  pods::ArrayLayout l({2, 64, 64}, 32, 32);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l.ownerOfOffset(i % 4096));
+    benchmark::DoNotOptimize(l.ownedRows(static_cast<int>(i % 32)));
+    ++i;
+  }
+}
+BENCHMARK(BM_LayoutOwnership);
+
+void BM_OrderItems(benchmark::State& state) {
+  // A realistic block: SIMPLE's hydrodynamics body.
+  auto cr = pods::compile(simpleSrc());
+  const pods::ir::Block* body = nullptr;
+  for (const auto& fn : cr.compiled->graph.fns) {
+    if (fn.name != "hydrodynamics") continue;
+    pods::ir::forEachItem(fn.body, [&](const pods::ir::Item& it) {
+      if (it.kind == pods::ir::ItemKind::Loop && !body) {
+        const pods::ir::Block& loop = *it.loop;
+        for (const pods::ir::Item& inner : loop.body) {
+          if (inner.kind == pods::ir::ItemKind::Loop) body = inner.loop.get();
+        }
+      }
+    });
+  }
+  for (auto _ : state) {
+    auto order = pods::translate::orderItems(body->body);
+    benchmark::DoNotOptimize(order);
+  }
+}
+BENCHMARK(BM_OrderItems);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Reproduce every table and figure of the paper's evaluation (plus the
+# ablations and the Livermore extension), capturing outputs next to the
+# sources. Usage:
+#
+#   ./scripts/reproduce.sh            # full problem sizes (~30 s)
+#   PODS_BENCH_SMALL=1 ./scripts/reproduce.sh   # trimmed quick pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+echo "== benches (tables & figures) =="
+for b in build/bench/*; do
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "Wrote test_output.txt and bench_output.txt."
+echo "Compare against EXPERIMENTS.md for the paper-vs-measured discussion."

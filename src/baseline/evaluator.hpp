@@ -1,0 +1,80 @@
+// Baseline execution models (paper sections 5.3.4 and 6, Figure 10).
+//
+// A direct interpreter over the dataflow-graph IR with a pluggable machine
+// cost model. Two configurations matter:
+//
+//  1. Sequential ("the most efficient sequential version written in a
+//     conventional language", section 5.3.4): one PE, plain compiled-code
+//     costs — address arithmetic without presence checks, no tokens, no
+//     matching, no process management. This is the denominator of the
+//     paper's efficiency comparison and the oracle for result checking.
+//
+//  2. Static / Pingali-Rogers style (section 6): the same distribution plan
+//     as PODS (block-distributed loops over PEs, SPMD execution of scalar
+//     code), but completely control-driven: one thread of control per PE,
+//     remote reads fetch pages and *stall* the reading PE (no context
+//     switch can hide latency), no dynamic process creation overheads.
+//     Producer-side availability is tracked per element so consumers wait
+//     for data to have been produced — a generous point-to-point model of
+//     compiled message passing (no global barriers).
+//
+// Because the interpreter uses the same value semantics (runtime/ops.hpp)
+// as the PODS machine, results are bit-identical across all three models —
+// the Church-Rosser determinacy the tests assert.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "partition/plan.hpp"
+#include "runtime/array_layout.hpp"
+#include "runtime/value.hpp"
+#include "sim/timing.hpp"
+#include "support/stats.hpp"
+
+namespace pods::baseline {
+
+/// One I-structure array in the baseline heap, with per-element produce
+/// times for the static machine's availability model.
+struct BArray {
+  ArrayShape shape{};
+  bool distributed = false;
+  ArrayLayout layout;
+  std::vector<Value> elems;
+  std::vector<SimTime> producedAt;
+
+  BArray(ArrayShape s, bool dist, int numPEs, int pageElems)
+      : shape(s),
+        distributed(dist),
+        layout(s, numPEs, pageElems),
+        elems(static_cast<std::size_t>(s.numElems())),
+        producedAt(static_cast<std::size_t>(s.numElems())) {}
+};
+
+struct BaselineResult {
+  bool ok = false;
+  std::string error;
+  std::vector<Value> results;
+  SimTime total{};                // max over PE clocks
+  std::vector<SimTime> peTime;    // final clock per PE
+  Counters counters;
+  std::vector<BArray> arrays;     // heap snapshot (ArrayId == index)
+
+  /// Contents of a result array by its Value handle.
+  const BArray* array(const Value& v) const {
+    if (!v.isArray() || v.asArray() >= arrays.size()) return nullptr;
+    return &arrays[v.asArray()];
+  }
+};
+
+/// Runs the static (control-driven, statically distributed) model.
+BaselineResult runStatic(const ir::Program& prog, const partition::Plan& plan,
+                         int numPEs, const sim::Timing& timing = {});
+
+/// Runs the plain sequential model (one PE, conventional-code costs).
+BaselineResult runSequential(const ir::Program& prog,
+                             const sim::Timing& timing = {});
+
+}  // namespace pods::baseline

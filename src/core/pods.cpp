@@ -1,0 +1,163 @@
+#include "core/pods.hpp"
+
+#include "frontend/inliner.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "ir/graphgen.hpp"
+#include "ir/verify.hpp"
+#include "translate/translator.hpp"
+
+namespace pods {
+
+CompileResult compile(std::string_view source, CompileOptions options) {
+  CompileResult out;
+  DiagSink diags;
+  auto compiled = std::make_unique<Compiled>();
+
+  compiled->module = fe::parse(source, diags);
+  if (!diags.hasErrors()) fe::expandInlines(compiled->module, diags);
+  if (!diags.hasErrors()) fe::analyze(compiled->module, diags);
+  if (diags.hasErrors()) {
+    out.diagnostics = diags.str();
+    return out;
+  }
+  compiled->graph = ir::buildGraph(compiled->module, diags);
+  if (diags.hasErrors()) {
+    out.diagnostics = diags.str();
+    return out;
+  }
+  std::string verr;
+  if (!ir::verify(compiled->graph, verr)) {
+    out.diagnostics = diags.str() + verr + "\n";
+    return out;
+  }
+  partition::PlanOptions popts;
+  popts.distribute = options.distribute;
+  popts.forceBlockRange = options.forceBlockRange;
+  compiled->plan = partition::makePlan(compiled->graph, popts);
+  compiled->program = translate::translate(compiled->graph, compiled->plan);
+
+  out.ok = true;
+  out.diagnostics = diags.str();  // warnings, if any
+  out.compiled = std::move(compiled);
+  return out;
+}
+
+namespace {
+
+/// Expands results into comparable outputs using an element accessor.
+template <typename ArrayLookup>
+ProgramOutputs makeOutputs(const std::vector<Value>& results,
+                           ArrayLookup&& lookup) {
+  ProgramOutputs out;
+  out.results = results;
+  out.arrays.resize(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].isArray()) continue;
+    out.arrays[i] = lookup(results[i].asArray());
+  }
+  return out;
+}
+
+}  // namespace
+
+bool sameOutputs(const ProgramOutputs& a, const ProgramOutputs& b,
+                 std::string* why) {
+  auto fail = [&](std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  };
+  if (a.results.size() != b.results.size())
+    return fail("different result counts");
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const bool aArr = a.results[i].isArray();
+    const bool bArr = b.results[i].isArray();
+    if (aArr != bArr) return fail("result " + std::to_string(i) + " kind");
+    if (!aArr) {
+      if (!a.results[i].identical(b.results[i])) {
+        return fail("result " + std::to_string(i) + ": " + a.results[i].str() +
+                    " vs " + b.results[i].str());
+      }
+      continue;
+    }
+    const auto& av = a.arrays[i];
+    const auto& bv = b.arrays[i];
+    if (!av || !bv) return fail("result array " + std::to_string(i) + " missing");
+    if (av->shape.rank != bv->shape.rank || av->shape.dim0 != bv->shape.dim0 ||
+        av->shape.dim1 != bv->shape.dim1) {
+      return fail("result array " + std::to_string(i) + " shape");
+    }
+    for (std::size_t e = 0; e < av->elems.size(); ++e) {
+      if (!av->elems[e].identical(bv->elems[e])) {
+        return fail("result array " + std::to_string(i) + " element " +
+                    std::to_string(e) + ": " + av->elems[e].str() + " vs " +
+                    bv->elems[e].str());
+      }
+    }
+  }
+  return true;
+}
+
+PodsRun runPods(const Compiled& c, const sim::MachineConfig& config) {
+  PodsRun run;
+  sim::Machine machine(c.program, config);
+  run.stats = machine.run();
+  run.out = makeOutputs(
+      run.stats.results,
+      [&](ArrayId id) -> std::optional<ProgramOutputs::OutArray> {
+        const sim::ArrayInfo* info = machine.arrays().find(id);
+        if (!info) return std::nullopt;
+        ProgramOutputs::OutArray a;
+        a.shape = info->shape;
+        a.elems = info->elems;
+        return a;
+      });
+  return run;
+}
+
+namespace {
+
+BaselineRun wrapBaseline(baseline::BaselineResult res) {
+  BaselineRun run;
+  run.out = makeOutputs(
+      res.results,
+      [&](ArrayId id) -> std::optional<ProgramOutputs::OutArray> {
+        if (id >= res.arrays.size()) return std::nullopt;
+        ProgramOutputs::OutArray a;
+        a.shape = res.arrays[id].shape;
+        a.elems = res.arrays[id].elems;
+        return a;
+      });
+  run.stats = std::move(res);
+  return run;
+}
+
+}  // namespace
+
+BaselineRun runStaticBaseline(const Compiled& c, int numPEs,
+                              const sim::Timing& timing) {
+  return wrapBaseline(baseline::runStatic(c.graph, c.plan, numPEs, timing));
+}
+
+BaselineRun runSequentialBaseline(const Compiled& c, const sim::Timing& timing) {
+  return wrapBaseline(baseline::runSequential(c.graph, timing));
+}
+
+NativeRun runNative(const Compiled& c, const native::NativeConfig& config) {
+  NativeRun run;
+  native::NativeMachine machine(c.program, config);
+  run.stats = machine.run();
+  run.out = makeOutputs(
+      run.stats.results,
+      [&](ArrayId id) -> std::optional<ProgramOutputs::OutArray> {
+        std::optional<native::NativeArray> a = machine.gather(id);
+        if (!a) return std::nullopt;
+        ProgramOutputs::OutArray out;
+        out.shape = a->shape;
+        out.elems = std::move(a->elems);
+        return out;
+      });
+  return run;
+}
+
+}  // namespace pods

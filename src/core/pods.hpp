@@ -1,0 +1,110 @@
+// PODS — public API.
+//
+// The one-stop facade over the whole pipeline:
+//
+//   IdLite source --compile()--> Compiled {AST, dataflow graph, plan, SPs}
+//       --runPods()-------------> simulated PODS machine (N PEs)
+//       --runStaticBaseline()---> Pingali/Rogers-style static execution
+//       --runSequentialBaseline-> conventional sequential cost model
+//
+// A program compiled once with distribution enabled runs on any PE count;
+// Range-Filter bounds are computed at run time from array headers.
+//
+// Quickstart:
+//
+//   auto cr = pods::compile(source);
+//   if (!cr.ok) { std::cerr << cr.diagnostics; return 1; }
+//   pods::sim::MachineConfig mc;
+//   mc.numPEs = 8;
+//   pods::PodsRun run = pods::runPods(*cr.compiled, mc);
+//   std::cout << "time " << run.stats.total.ms() << " ms\n";
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baseline/evaluator.hpp"
+#include "frontend/ast.hpp"
+#include "ir/graph.hpp"
+#include "native/native_machine.hpp"
+#include "partition/plan.hpp"
+#include "runtime/isa.hpp"
+#include "sim/machine.hpp"
+
+namespace pods {
+
+struct CompileOptions {
+  /// Run the Partitioner (distributing allocate, LD, Range Filters). With
+  /// false the program is compiled all-local (useful for testing and as the
+  /// 1-PE configuration of the efficiency comparison).
+  bool distribute = true;
+  /// Ablation: replace ownership-based Range Filters with plain block
+  /// partitioning of iteration ranges (see partition::PlanOptions).
+  bool forceBlockRange = false;
+};
+
+/// Everything the pipeline produced. Movable; the plan's loop keys point at
+/// heap-allocated loop blocks, which remain stable under moves.
+struct Compiled {
+  fe::Module module;        // analyzed AST (after inline expansion)
+  ir::Program graph;        // hierarchical dataflow graph
+  partition::Plan plan;     // Partitioner decisions
+  SpProgram program;        // translated Subcompact Processes
+};
+
+struct CompileResult {
+  bool ok = false;
+  std::string diagnostics;  // human-readable errors/warnings
+  std::unique_ptr<Compiled> compiled;
+};
+
+CompileResult compile(std::string_view source, CompileOptions options = {});
+
+/// Program outputs normalized for comparison across execution models:
+/// scalar results verbatim, array results expanded to their contents.
+struct ProgramOutputs {
+  struct OutArray {
+    ArrayShape shape{};
+    std::vector<Value> elems;
+  };
+  std::vector<Value> results;
+  std::vector<std::optional<OutArray>> arrays;  // parallel to results
+};
+
+/// Compares two runs' outputs exactly (Church-Rosser determinacy check).
+/// Returns true when identical; otherwise fills `why`.
+bool sameOutputs(const ProgramOutputs& a, const ProgramOutputs& b,
+                 std::string* why = nullptr);
+
+struct PodsRun {
+  sim::RunStats stats;
+  ProgramOutputs out;
+};
+
+PodsRun runPods(const Compiled& c, const sim::MachineConfig& config);
+
+struct BaselineRun {
+  baseline::BaselineResult stats;
+  ProgramOutputs out;
+};
+
+BaselineRun runStaticBaseline(const Compiled& c, int numPEs,
+                              const sim::Timing& timing = {});
+BaselineRun runSequentialBaseline(const Compiled& c,
+                                  const sim::Timing& timing = {});
+
+/// Execution on the native threaded runtime (real host threads standing in
+/// for PEs; wall-clock time instead of simulated time). Results are
+/// bit-identical to every other engine — single assignment makes thread
+/// interleaving invisible.
+struct NativeRun {
+  native::NativeResult stats;
+  ProgramOutputs out;
+};
+
+NativeRun runNative(const Compiled& c, const native::NativeConfig& config);
+
+}  // namespace pods

@@ -1,0 +1,173 @@
+// Abstract syntax tree for IdLite.
+//
+// The tree is produced by the parser, optionally rewritten by the inliner
+// (expansion of `inline def` calls), then annotated in place by sema (types,
+// resolved variable ids, callee/builtin bindings).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace pods::fe {
+
+enum class Ty : std::uint8_t { Invalid, Int, Real, Array1, Array2, Void };
+
+inline bool isNumeric(Ty t) { return t == Ty::Int || t == Ty::Real; }
+inline bool isArrayTy(Ty t) { return t == Ty::Array1 || t == Ty::Array2; }
+const char* tyName(Ty t);
+
+enum class UnOp : std::uint8_t { Neg, Not };
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,
+};
+
+/// Built-in functions (lowered directly to EU instructions, not SP spawns).
+enum class Builtin : std::uint8_t {
+  None, Sqrt, Abs, Exp, Log, Sin, Cos, Floor, Min, Max, Pow, ToReal, ToInt,
+  ArrayAlloc,   // array(n)
+  MatrixAlloc,  // matrix(n, m)
+  Len,          // len(a): length of a 1-D array
+  Rows,         // rows(m): first dimension of a matrix
+  Cols,         // cols(m): second dimension of a matrix
+};
+
+struct Expr;
+struct Stmt;
+struct FnDecl;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One circulating loop variable: `carry (name = init)`.
+struct CarryDef {
+  std::string name;
+  ExprPtr init;
+  SrcLoc loc;
+  int varId = -1;  // resolved by sema
+};
+
+/// A for- or while-loop, usable as a statement or (with yield) an expression.
+struct LoopInfo {
+  bool isFor = true;
+  bool ascending = true;       // for-loops: `to` vs `downto`
+  std::string indexName;       // for-loops only
+  int indexVarId = -1;
+  ExprPtr init, limit;         // for-loop bounds (inclusive)
+  ExprPtr cond;                // while-loops: tested before each iteration
+  std::vector<CarryDef> carries;
+  std::vector<StmtPtr> body;
+  ExprPtr yieldExpr;           // optional; required when used as an expression
+  SrcLoc loc;
+};
+
+enum class ExKind : std::uint8_t {
+  IntLit, RealLit, Var, Unary, Binary, Call, Index, IfExpr, Loop,
+};
+
+struct Expr {
+  ExKind kind;
+  SrcLoc loc;
+  Ty type = Ty::Invalid;  // set by sema
+
+  // IntLit / RealLit
+  std::int64_t ival = 0;
+  double fval = 0.0;
+
+  // Var / Call / Index: the referenced name
+  std::string name;
+  int varId = -1;                  // Var/Index base variable (sema)
+  const FnDecl* callee = nullptr;  // Call: user function (sema)
+  Builtin builtin = Builtin::None; // Call: builtin (sema)
+
+  // Unary/Binary operator payloads
+  UnOp uop = UnOp::Neg;
+  BinOp bop = BinOp::Add;
+
+  // Children. Meaning depends on kind:
+  //  Unary:  [operand]
+  //  Binary: [lhs, rhs]
+  //  Call:   arguments
+  //  Index:  subscripts (1 or 2)
+  //  IfExpr: [cond, thenVal, elseVal]
+  std::vector<ExprPtr> args;
+
+  // Loop expression payload
+  std::unique_ptr<LoopInfo> loop;
+};
+
+enum class StKind : std::uint8_t {
+  Let,         // let name = value;
+  Next,        // next name = value;   (carried variable update)
+  ArrayWrite,  // name[subs...] = value;
+  Return,      // return values...;
+  If,          // if cond { thenBody } else { elseBody }
+  LoopStmt,    // a loop in statement position (value holds ExKind::Loop)
+  ExprStmt,    // bare expression (a void call)
+};
+
+struct Stmt {
+  StKind kind;
+  SrcLoc loc;
+
+  std::string name;  // Let/Next/ArrayWrite target
+  int varId = -1;    // resolved by sema
+
+  ExprPtr value;                // Let/Next/ArrayWrite value, LoopStmt loop, ExprStmt
+  std::vector<ExprPtr> values;  // Return (tuple allowed in main only)
+  std::vector<ExprPtr> subs;    // ArrayWrite subscripts
+
+  ExprPtr cond;                 // If
+  std::vector<StmtPtr> thenBody, elseBody;
+};
+
+struct Param {
+  std::string name;
+  Ty type = Ty::Invalid;
+  SrcLoc loc;
+  int varId = -1;
+};
+
+/// Per-function variable metadata filled in by sema. varIds index into this.
+struct VarInfo {
+  enum class Kind : std::uint8_t { Param, Let, LoopIndex, Carry };
+  std::string name;
+  Kind kind = Kind::Let;
+  Ty type = Ty::Invalid;
+  SrcLoc loc;
+};
+
+struct FnDecl {
+  std::string name;
+  bool isInline = false;
+  std::vector<Param> params;
+  Ty retType = Ty::Void;
+  int retTupleSize = 0;  // >1 only for main returning a tuple
+  std::vector<StmtPtr> body;
+  SrcLoc loc;
+  std::vector<VarInfo> vars;  // filled by sema
+};
+
+struct Module {
+  std::vector<std::unique_ptr<FnDecl>> fns;
+
+  FnDecl* find(const std::string& name) {
+    for (auto& f : fns)
+      if (f->name == name) return f.get();
+    return nullptr;
+  }
+  const FnDecl* find(const std::string& name) const {
+    return const_cast<Module*>(this)->find(name);
+  }
+};
+
+/// Deep copies, used by the inliner.
+ExprPtr cloneExpr(const Expr& e);
+StmtPtr cloneStmt(const Stmt& s);
+std::unique_ptr<LoopInfo> cloneLoop(const LoopInfo& l);
+
+}  // namespace pods::fe

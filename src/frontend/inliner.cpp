@@ -1,0 +1,286 @@
+#include "frontend/inliner.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace pods::fe {
+
+namespace {
+
+constexpr int kMaxInlineDepth = 32;
+
+/// Renames every locally-bound identifier in a cloned inline body with a
+/// unique prefix so the spliced statements cannot collide with or capture
+/// names at the call site. Call names are function names and live in a
+/// separate namespace, so they are left alone.
+class Renamer {
+ public:
+  explicit Renamer(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  std::string fresh(const std::string& name) {
+    std::string renamed = prefix_ + name;
+    map_[name] = renamed;
+    return renamed;
+  }
+
+  void renameStmts(std::vector<StmtPtr>& body) {
+    for (auto& s : body) renameStmt(*s);
+  }
+
+  void renameStmt(Stmt& s) {
+    switch (s.kind) {
+      case StKind::Let:
+        renameExpr(*s.value);
+        s.name = fresh(s.name);  // bind after the initializer is renamed
+        break;
+      case StKind::Next:
+        renameExpr(*s.value);
+        s.name = use(s.name);
+        break;
+      case StKind::ArrayWrite:
+        for (auto& e : s.subs) renameExpr(*e);
+        renameExpr(*s.value);
+        s.name = use(s.name);
+        break;
+      case StKind::Return:
+        for (auto& e : s.values) renameExpr(*e);
+        break;
+      case StKind::If:
+        renameExpr(*s.cond);
+        renameStmts(s.thenBody);
+        renameStmts(s.elseBody);
+        break;
+      case StKind::LoopStmt:
+      case StKind::ExprStmt:
+        renameExpr(*s.value);
+        break;
+    }
+  }
+
+  void renameExpr(Expr& e) {
+    switch (e.kind) {
+      case ExKind::Var:
+      case ExKind::Index:
+        e.name = use(e.name);
+        break;
+      case ExKind::Call:
+        break;  // function name, separate namespace
+      default:
+        break;
+    }
+    for (auto& a : e.args) renameExpr(*a);
+    if (e.loop) renameLoop(*e.loop);
+  }
+
+  void renameLoop(LoopInfo& li) {
+    if (li.init) renameExpr(*li.init);
+    if (li.limit) renameExpr(*li.limit);
+    for (auto& c : li.carries) renameExpr(*c.init);
+    if (li.isFor) li.indexName = fresh(li.indexName);
+    for (auto& c : li.carries) c.name = fresh(c.name);
+    if (li.cond) renameExpr(*li.cond);
+    renameStmts(li.body);
+    if (li.yieldExpr) renameExpr(*li.yieldExpr);
+  }
+
+ private:
+  std::string use(const std::string& name) const {
+    auto it = map_.find(name);
+    return it == map_.end() ? name : it->second;
+  }
+
+  std::string prefix_;
+  std::unordered_map<std::string, std::string> map_;
+};
+
+class Expander {
+ public:
+  Expander(Module& module, DiagSink& diags) : module_(module), diags_(diags) {}
+
+  bool run() {
+    // Validate inline function shapes first.
+    for (auto& fn : module_.fns) {
+      if (!fn->isInline) continue;
+      for (std::size_t i = 0; i + 1 < fn->body.size(); ++i) {
+        if (fn->body[i]->kind == StKind::Return) {
+          diags_.error(fn->body[i]->loc,
+                       "inline function '" + fn->name +
+                           "': return must be the final statement");
+        }
+      }
+    }
+    for (auto& fn : module_.fns) {
+      if (fn->isInline) continue;  // bodies of inline fns expand at call sites
+      expandStmts(fn->body, 0);
+    }
+    return !diags_.hasErrors();
+  }
+
+ private:
+  const FnDecl* inlineTarget(const Expr& e) const {
+    if (e.kind != ExKind::Call || e.builtin != Builtin::None) return nullptr;
+    const FnDecl* f = module_.find(e.name);
+    return (f && f->isInline) ? f : nullptr;
+  }
+
+  void expandStmts(std::vector<StmtPtr>& body, int depth) {
+    std::vector<StmtPtr> out;
+    out.reserve(body.size());
+    for (auto& sp : body) {
+      Stmt& s = *sp;
+      std::vector<StmtPtr> hoists;
+      switch (s.kind) {
+        case StKind::Let:
+        case StKind::Next:
+          expandExpr(s.value, hoists, depth);
+          break;
+        case StKind::ArrayWrite:
+          for (auto& e : s.subs) expandExpr(e, hoists, depth);
+          expandExpr(s.value, hoists, depth);
+          break;
+        case StKind::Return:
+          for (auto& e : s.values) expandExpr(e, hoists, depth);
+          break;
+        case StKind::If:
+          expandExpr(s.cond, hoists, depth);
+          expandStmts(s.thenBody, depth);
+          expandStmts(s.elseBody, depth);
+          break;
+        case StKind::LoopStmt:
+          expandLoop(*s.value->loop, hoists, depth);
+          break;
+        case StKind::ExprStmt: {
+          // A bare call to a void inline function splices its body directly.
+          if (const FnDecl* f = inlineTarget(*s.value)) {
+            if (f->retType == Ty::Void) {
+              spliceCall(*s.value, *f, hoists, depth, nullptr);
+              for (auto& h : hoists) out.push_back(std::move(h));
+              continue;  // statement fully replaced
+            }
+          }
+          expandExpr(s.value, hoists, depth);
+          break;
+        }
+      }
+      for (auto& h : hoists) out.push_back(std::move(h));
+      out.push_back(std::move(sp));
+    }
+    body = std::move(out);
+  }
+
+  void expandLoop(LoopInfo& li, std::vector<StmtPtr>& hoists, int depth) {
+    // Bounds and carry initializers evaluate once, before the loop: hoist.
+    if (li.init) expandExpr(li.init, hoists, depth);
+    if (li.limit) expandExpr(li.limit, hoists, depth);
+    for (auto& c : li.carries) expandExpr(c.init, hoists, depth);
+    // Conditions and yields re-evaluate in loop context: no hoisting target.
+    if (li.cond) rejectInlineCalls(*li.cond, "while-loop condition");
+    if (li.yieldExpr) rejectInlineCalls(*li.yieldExpr, "loop yield expression");
+    expandStmts(li.body, depth);
+  }
+
+  void rejectInlineCalls(const Expr& e, const char* where) {
+    if (inlineTarget(e)) {
+      diags_.error(e.loc, std::string("call to inline function '") + e.name +
+                              "' is not allowed in a " + where);
+    }
+    for (const auto& a : e.args) rejectInlineCalls(*a, where);
+    if (e.loop) {
+      if (e.loop->cond) rejectInlineCalls(*e.loop->cond, where);
+      if (e.loop->yieldExpr) rejectInlineCalls(*e.loop->yieldExpr, where);
+    }
+  }
+
+  /// Post-order expansion of inline calls inside an expression tree.
+  void expandExpr(ExprPtr& e, std::vector<StmtPtr>& hoists, int depth) {
+    for (auto& a : e->args) expandExpr(a, hoists, depth);
+    if (e->loop) expandLoop(*e->loop, hoists, depth);
+    if (const FnDecl* f = inlineTarget(*e)) {
+      if (f->retType == Ty::Void) {
+        diags_.error(e->loc, "void inline function '" + f->name +
+                                 "' used as a value");
+        return;
+      }
+      ExprPtr result;
+      spliceCall(*e, *f, hoists, depth, &result);
+      if (result) e = std::move(result);
+    }
+  }
+
+  /// Splices one inline call: argument lets + renamed body into `hoists`.
+  /// For non-void functions, *result receives the replacement expression.
+  void spliceCall(Expr& call, const FnDecl& fn, std::vector<StmtPtr>& hoists,
+                  int depth, ExprPtr* result) {
+    if (depth >= kMaxInlineDepth) {
+      diags_.error(call.loc, "inline expansion too deep (recursive inline "
+                             "function '" + fn.name + "'?)");
+      return;
+    }
+    if (call.args.size() != fn.params.size()) {
+      diags_.error(call.loc, "'" + fn.name + "' takes " +
+                                 std::to_string(fn.params.size()) +
+                                 " argument(s)");
+      return;
+    }
+    Renamer rn("$inl" + std::to_string(counter_++) + "_");
+    // Bind arguments.
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      auto let = std::make_unique<Stmt>();
+      let->kind = StKind::Let;
+      let->loc = call.loc;
+      let->name = rn.fresh(fn.params[i].name);
+      let->value = std::move(call.args[i]);
+      hoists.push_back(std::move(let));
+    }
+    // Clone + rename the body; peel the trailing return.
+    std::vector<StmtPtr> body;
+    for (const auto& s : fn.body) body.push_back(cloneStmt(*s));
+    ExprPtr retVal;
+    if (!body.empty() && body.back()->kind == StKind::Return) {
+      Stmt& ret = *body.back();
+      if (ret.values.size() == 1) retVal = std::move(ret.values[0]);
+      body.pop_back();
+    }
+    for (auto& s : body) rn.renameStmt(*s);
+    if (retVal) rn.renameExpr(*retVal);
+    // Recursively expand nested inline calls inside the spliced body.
+    expandStmts(body, depth + 1);
+    for (auto& s : body) hoists.push_back(std::move(s));
+    if (result) {
+      if (!retVal) {
+        diags_.error(call.loc, "inline function '" + fn.name +
+                                   "' has no return value");
+        return;
+      }
+      std::vector<StmtPtr> retHoists;
+      ExprPtr rv = std::move(retVal);
+      expandExpr(rv, retHoists, depth + 1);
+      for (auto& h : retHoists) hoists.push_back(std::move(h));
+      auto let = std::make_unique<Stmt>();
+      let->kind = StKind::Let;
+      let->loc = call.loc;
+      let->name = "$ret" + std::to_string(counter_++);
+      let->value = std::move(rv);
+      auto var = std::make_unique<Expr>();
+      var->kind = ExKind::Var;
+      var->loc = call.loc;
+      var->name = let->name;
+      hoists.push_back(std::move(let));
+      *result = std::move(var);
+    }
+  }
+
+  Module& module_;
+  DiagSink& diags_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+bool expandInlines(Module& module, DiagSink& diags) {
+  return Expander(module, diags).run();
+}
+
+}  // namespace pods::fe

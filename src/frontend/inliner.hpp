@@ -1,0 +1,26 @@
+// Expansion of `inline def` calls.
+//
+// The MIT Id compiler inlined small function bodies into their callers'
+// code blocks; IdLite exposes that as an explicit `inline def`. Inlining runs
+// *before* sema, purely syntactically: each call to an inline function is
+// replaced by a fresh-renamed copy of its body hoisted in front of the
+// enclosing statement, with arguments bound by `let` and the trailing
+// `return` value bound to a fresh name that substitutes for the call.
+//
+// Restrictions (diagnosed):
+//  - an inline function body is a statement list whose only `return` is the
+//    final statement (or absent, for void);
+//  - inline calls may not appear in while-loop conditions or in loop `yield`
+//    expressions (those re-evaluate in loop context and cannot be hoisted);
+//  - inline expansion depth is capped to reject recursive inline functions.
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "support/diag.hpp"
+
+namespace pods::fe {
+
+/// Expands all calls to inline functions in place. Returns false on error.
+bool expandInlines(Module& module, DiagSink& diags);
+
+}  // namespace pods::fe

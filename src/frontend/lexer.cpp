@@ -1,0 +1,249 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace pods::fe {
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::IntLit: return "integer literal";
+    case Tok::RealLit: return "real literal";
+    case Tok::Ident: return "identifier";
+    case Tok::KwDef: return "'def'";
+    case Tok::KwInline: return "'inline'";
+    case Tok::KwLet: return "'let'";
+    case Tok::KwNext: return "'next'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwTo: return "'to'";
+    case Tok::KwDownto: return "'downto'";
+    case Tok::KwCarry: return "'carry'";
+    case Tok::KwYield: return "'yield'";
+    case Tok::KwLoop: return "'loop'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwThen: return "'then'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwReal: return "'real'";
+    case Tok::KwArray: return "'array'";
+    case Tok::KwMatrix: return "'matrix'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Arrow: return "'->'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Bang: return "'!'";
+    case Tok::Eof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kw = {
+      {"def", Tok::KwDef},       {"inline", Tok::KwInline},
+      {"let", Tok::KwLet},       {"next", Tok::KwNext},
+      {"return", Tok::KwReturn}, {"for", Tok::KwFor},
+      {"to", Tok::KwTo},         {"downto", Tok::KwDownto},
+      {"carry", Tok::KwCarry},   {"yield", Tok::KwYield},
+      {"loop", Tok::KwLoop},     {"while", Tok::KwWhile},
+      {"if", Tok::KwIf},         {"then", Tok::KwThen},
+      {"else", Tok::KwElse},     {"int", Tok::KwInt},
+      {"real", Tok::KwReal},     {"array", Tok::KwArray},
+      {"matrix", Tok::KwMatrix},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, DiagSink& diags) : src_(src), diags_(diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      Token t = next();
+      bool eof = t.kind == Tok::Eof;
+      out.push_back(std::move(t));
+      if (eof) break;
+    }
+    return out;
+  }
+
+ private:
+  char peek(int ahead = 0) const {
+    std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < src_.size() ? src_[i] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool atEnd() const { return pos_ >= src_.size(); }
+  SrcLoc here() const { return {line_, col_}; }
+
+  void skipTrivia() {
+    for (;;) {
+      if (atEnd()) return;
+      char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        SrcLoc start = here();
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (atEnd()) {
+          diags_.error(start, "unterminated block comment");
+          return;
+        }
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(Tok kind, SrcLoc loc) {
+    Token t;
+    t.kind = kind;
+    t.loc = loc;
+    return t;
+  }
+
+  Token next() {
+    skipTrivia();
+    SrcLoc loc = here();
+    if (atEnd()) return make(Tok::Eof, loc);
+    char c = advance();
+
+    if (std::isdigit(static_cast<unsigned char>(c))) return number(c, loc);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      std::string text(1, c);
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+             peek() == '$') {
+        text += advance();
+      }
+      auto it = keywords().find(text);
+      if (it != keywords().end()) return make(it->second, loc);
+      Token t = make(Tok::Ident, loc);
+      t.text = std::move(text);
+      return t;
+    }
+
+    switch (c) {
+      case '(': return make(Tok::LParen, loc);
+      case ')': return make(Tok::RParen, loc);
+      case '{': return make(Tok::LBrace, loc);
+      case '}': return make(Tok::RBrace, loc);
+      case '[': return make(Tok::LBracket, loc);
+      case ']': return make(Tok::RBracket, loc);
+      case ',': return make(Tok::Comma, loc);
+      case ';': return make(Tok::Semi, loc);
+      case ':': return make(Tok::Colon, loc);
+      case '+': return make(Tok::Plus, loc);
+      case '*': return make(Tok::Star, loc);
+      case '/': return make(Tok::Slash, loc);
+      case '%': return make(Tok::Percent, loc);
+      case '-':
+        if (peek() == '>') { advance(); return make(Tok::Arrow, loc); }
+        return make(Tok::Minus, loc);
+      case '<':
+        if (peek() == '=') { advance(); return make(Tok::Le, loc); }
+        return make(Tok::Lt, loc);
+      case '>':
+        if (peek() == '=') { advance(); return make(Tok::Ge, loc); }
+        return make(Tok::Gt, loc);
+      case '=':
+        if (peek() == '=') { advance(); return make(Tok::EqEq, loc); }
+        return make(Tok::Assign, loc);
+      case '!':
+        if (peek() == '=') { advance(); return make(Tok::NotEq, loc); }
+        return make(Tok::Bang, loc);
+      case '&':
+        if (peek() == '&') { advance(); return make(Tok::AndAnd, loc); }
+        break;
+      case '|':
+        if (peek() == '|') { advance(); return make(Tok::OrOr, loc); }
+        break;
+      default:
+        break;
+    }
+    diags_.error(loc, std::string("unexpected character '") + c + "'");
+    return next();
+  }
+
+  Token number(char first, SrcLoc loc) {
+    std::string text(1, first);
+    bool isReal = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      isReal = true;
+      text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char sign = peek(1);
+      int digitAt = (sign == '+' || sign == '-') ? 2 : 1;
+      if (std::isdigit(static_cast<unsigned char>(peek(digitAt)))) {
+        isReal = true;
+        text += advance();  // e
+        if (sign == '+' || sign == '-') text += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+      }
+    }
+    Token t = make(isReal ? Tok::RealLit : Tok::IntLit, loc);
+    if (isReal) {
+      t.fval = std::strtod(text.c_str(), nullptr);
+    } else {
+      t.ival = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  DiagSink& diags_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src, DiagSink& diags) {
+  return Lexer(src, diags).run();
+}
+
+}  // namespace pods::fe

@@ -1,0 +1,536 @@
+#include "frontend/parser.hpp"
+
+#include <stdexcept>
+
+#include "frontend/lexer.hpp"
+#include "support/check.hpp"
+
+namespace pods::fe {
+
+const char* tyName(Ty t) {
+  switch (t) {
+    case Ty::Invalid: return "<invalid>";
+    case Ty::Int: return "int";
+    case Ty::Real: return "real";
+    case Ty::Array1: return "array";
+    case Ty::Array2: return "matrix";
+    case Ty::Void: return "void";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// AST deep copies (used by the inliner).
+// ---------------------------------------------------------------------------
+
+ExprPtr cloneExpr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->loc = e.loc;
+  out->type = e.type;
+  out->ival = e.ival;
+  out->fval = e.fval;
+  out->name = e.name;
+  out->varId = e.varId;
+  out->callee = e.callee;
+  out->builtin = e.builtin;
+  out->uop = e.uop;
+  out->bop = e.bop;
+  out->args.reserve(e.args.size());
+  for (const auto& a : e.args) out->args.push_back(cloneExpr(*a));
+  if (e.loop) out->loop = cloneLoop(*e.loop);
+  return out;
+}
+
+std::unique_ptr<LoopInfo> cloneLoop(const LoopInfo& l) {
+  auto out = std::make_unique<LoopInfo>();
+  out->isFor = l.isFor;
+  out->ascending = l.ascending;
+  out->indexName = l.indexName;
+  out->indexVarId = l.indexVarId;
+  if (l.init) out->init = cloneExpr(*l.init);
+  if (l.limit) out->limit = cloneExpr(*l.limit);
+  if (l.cond) out->cond = cloneExpr(*l.cond);
+  for (const auto& c : l.carries) {
+    CarryDef d;
+    d.name = c.name;
+    d.loc = c.loc;
+    d.varId = c.varId;
+    d.init = cloneExpr(*c.init);
+    out->carries.push_back(std::move(d));
+  }
+  for (const auto& s : l.body) out->body.push_back(cloneStmt(*s));
+  if (l.yieldExpr) out->yieldExpr = cloneExpr(*l.yieldExpr);
+  out->loc = l.loc;
+  return out;
+}
+
+StmtPtr cloneStmt(const Stmt& s) {
+  auto out = std::make_unique<Stmt>();
+  out->kind = s.kind;
+  out->loc = s.loc;
+  out->name = s.name;
+  out->varId = s.varId;
+  if (s.value) out->value = cloneExpr(*s.value);
+  for (const auto& v : s.values) out->values.push_back(cloneExpr(*v));
+  for (const auto& v : s.subs) out->subs.push_back(cloneExpr(*v));
+  if (s.cond) out->cond = cloneExpr(*s.cond);
+  for (const auto& t : s.thenBody) out->thenBody.push_back(cloneStmt(*t));
+  for (const auto& t : s.elseBody) out->elseBody.push_back(cloneStmt(*t));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Internal exception for parse bail-out; never escapes parse().
+struct ParseError : std::runtime_error {
+  ParseError() : std::runtime_error("parse error") {}
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, DiagSink& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
+
+  Module run() {
+    Module m;
+    while (!at(Tok::Eof)) {
+      try {
+        m.fns.push_back(parseDef());
+      } catch (const ParseError&) {
+        // Recover: skip to the next top-level 'def' / 'inline'.
+        while (!at(Tok::Eof) && !at(Tok::KwDef) && !at(Tok::KwInline)) advance();
+      }
+    }
+    return m;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(int ahead = 1) const {
+    std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+  Token advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool accept(Tok k) {
+    if (at(k)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  Token expect(Tok k, const char* what) {
+    if (!at(k)) {
+      diags_.error(cur().loc, std::string("expected ") + tokName(k) + " " + what +
+                                  ", found " + tokName(cur().kind));
+      throw ParseError{};
+    }
+    return advance();
+  }
+
+  Ty parseType() {
+    if (accept(Tok::KwInt)) return Ty::Int;
+    if (accept(Tok::KwReal)) return Ty::Real;
+    if (accept(Tok::KwArray)) return Ty::Array1;
+    if (accept(Tok::KwMatrix)) return Ty::Array2;
+    diags_.error(cur().loc, "expected a type (int, real, array, matrix)");
+    throw ParseError{};
+  }
+
+  std::unique_ptr<FnDecl> parseDef() {
+    auto fn = std::make_unique<FnDecl>();
+    fn->isInline = accept(Tok::KwInline);
+    fn->loc = cur().loc;
+    expect(Tok::KwDef, "to start a function definition");
+    fn->name = expect(Tok::Ident, "for the function name").text;
+    expect(Tok::LParen, "after function name");
+    if (!at(Tok::RParen)) {
+      do {
+        Param p;
+        Token id = expect(Tok::Ident, "for a parameter name");
+        p.name = id.text;
+        p.loc = id.loc;
+        expect(Tok::Colon, "after parameter name");
+        p.type = parseType();
+        fn->params.push_back(std::move(p));
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "to close the parameter list");
+    if (accept(Tok::Arrow)) fn->retType = parseType();
+    fn->body = parseBlock();
+    return fn;
+  }
+
+  std::vector<StmtPtr> parseBlock() {
+    expect(Tok::LBrace, "to open a block");
+    std::vector<StmtPtr> body;
+    while (!at(Tok::RBrace) && !at(Tok::Eof)) body.push_back(parseStmt());
+    expect(Tok::RBrace, "to close the block");
+    return body;
+  }
+
+  StmtPtr parseStmt() {
+    SrcLoc loc = cur().loc;
+    if (at(Tok::KwLet)) return parseLet();
+    if (at(Tok::KwNext)) {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StKind::Next;
+      s->loc = loc;
+      s->name = expect(Tok::Ident, "for the carried variable").text;
+      expect(Tok::Assign, "in 'next' update");
+      s->value = parseExpr();
+      expect(Tok::Semi, "after 'next' update");
+      return s;
+    }
+    if (at(Tok::KwReturn)) {
+      advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StKind::Return;
+      s->loc = loc;
+      if (!at(Tok::Semi)) {
+        do {
+          s->values.push_back(parseExpr());
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::Semi, "after return");
+      return s;
+    }
+    if (at(Tok::KwIf)) return parseIfStmt();
+    if (at(Tok::KwFor) || at(Tok::KwLoop)) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StKind::LoopStmt;
+      s->loc = loc;
+      s->value = parseLoopExpr();
+      accept(Tok::Semi);  // optional after '}'
+      return s;
+    }
+    if (at(Tok::Ident) && peek().kind == Tok::LBracket) {
+      // Array element write: name[subs] = expr;
+      auto s = std::make_unique<Stmt>();
+      s->kind = StKind::ArrayWrite;
+      s->loc = loc;
+      s->name = advance().text;
+      advance();  // [
+      s->subs.push_back(parseExpr());
+      if (accept(Tok::Comma)) s->subs.push_back(parseExpr());
+      expect(Tok::RBracket, "to close the subscript");
+      expect(Tok::Assign, "in array element write");
+      s->value = parseExpr();
+      expect(Tok::Semi, "after array element write");
+      return s;
+    }
+    // Bare expression statement (a void call).
+    auto s = std::make_unique<Stmt>();
+    s->kind = StKind::ExprStmt;
+    s->loc = loc;
+    s->value = parseExpr();
+    expect(Tok::Semi, "after expression statement");
+    return s;
+  }
+
+  StmtPtr parseLet() {
+    SrcLoc loc = cur().loc;
+    advance();  // let
+    auto s = std::make_unique<Stmt>();
+    s->kind = StKind::Let;
+    s->loc = loc;
+    s->name = expect(Tok::Ident, "for the bound name").text;
+    expect(Tok::Assign, "in let binding");
+    s->value = parseExpr();
+    expect(Tok::Semi, "after let binding");
+    return s;
+  }
+
+  StmtPtr parseIfStmt() {
+    SrcLoc loc = cur().loc;
+    advance();  // if
+    auto s = std::make_unique<Stmt>();
+    s->kind = StKind::If;
+    s->loc = loc;
+    s->cond = parseExpr();
+    s->thenBody = parseBlock();
+    if (accept(Tok::KwElse)) {
+      if (at(Tok::KwIf)) {
+        s->elseBody.push_back(parseIfStmt());
+      } else {
+        s->elseBody = parseBlock();
+      }
+    }
+    return s;
+  }
+
+  ExprPtr parseLoopExpr() {
+    SrcLoc loc = cur().loc;
+    auto li = std::make_unique<LoopInfo>();
+    li->loc = loc;
+    if (accept(Tok::KwFor)) {
+      li->isFor = true;
+      li->indexName = expect(Tok::Ident, "for the loop index").text;
+      expect(Tok::Assign, "in for-loop bounds");
+      li->init = parseExpr();
+      if (accept(Tok::KwDownto)) {
+        li->ascending = false;
+      } else {
+        expect(Tok::KwTo, "in for-loop bounds");
+        li->ascending = true;
+      }
+      li->limit = parseExpr();
+      if (at(Tok::KwCarry)) parseCarries(*li);
+      li->body = parseBlock();
+    } else {
+      expect(Tok::KwLoop, "to start a while loop");
+      li->isFor = false;
+      parseCarries(*li);
+      expect(Tok::KwWhile, "after 'loop carry (...)'");
+      li->cond = parseExpr();
+      li->body = parseBlock();
+    }
+    if (accept(Tok::KwYield)) li->yieldExpr = parseExpr();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExKind::Loop;
+    e->loc = loc;
+    e->loop = std::move(li);
+    return e;
+  }
+
+  void parseCarries(LoopInfo& li) {
+    expect(Tok::KwCarry, "to declare circulating variables");
+    expect(Tok::LParen, "after 'carry'");
+    do {
+      CarryDef c;
+      Token id = expect(Tok::Ident, "for a carried variable");
+      c.name = id.text;
+      c.loc = id.loc;
+      expect(Tok::Assign, "in carry initializer");
+      c.init = parseExpr();
+      li.carries.push_back(std::move(c));
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "to close the carry list");
+  }
+
+  // --- expressions -------------------------------------------------------
+
+  ExprPtr parseExpr() {
+    if (at(Tok::KwIf)) {
+      // if-expression: if c then a else b
+      SrcLoc loc = advance().loc;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExKind::IfExpr;
+      e->loc = loc;
+      e->args.push_back(parseExpr());
+      expect(Tok::KwThen, "in if-expression");
+      e->args.push_back(parseExpr());
+      expect(Tok::KwElse, "in if-expression");
+      e->args.push_back(parseExpr());
+      return e;
+    }
+    if (at(Tok::KwFor) || at(Tok::KwLoop)) return parseLoopExpr();
+    return parseOr();
+  }
+
+  ExprPtr mkBin(BinOp op, SrcLoc loc, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExKind::Binary;
+    e->loc = loc;
+    e->bop = op;
+    e->args.push_back(std::move(lhs));
+    e->args.push_back(std::move(rhs));
+    return e;
+  }
+
+  ExprPtr parseOr() {
+    ExprPtr lhs = parseAnd();
+    while (at(Tok::OrOr)) {
+      SrcLoc loc = advance().loc;
+      lhs = mkBin(BinOp::Or, loc, std::move(lhs), parseAnd());
+    }
+    return lhs;
+  }
+  ExprPtr parseAnd() {
+    ExprPtr lhs = parseEquality();
+    while (at(Tok::AndAnd)) {
+      SrcLoc loc = advance().loc;
+      lhs = mkBin(BinOp::And, loc, std::move(lhs), parseEquality());
+    }
+    return lhs;
+  }
+  ExprPtr parseEquality() {
+    ExprPtr lhs = parseRelational();
+    for (;;) {
+      if (at(Tok::EqEq)) {
+        SrcLoc loc = advance().loc;
+        lhs = mkBin(BinOp::Eq, loc, std::move(lhs), parseRelational());
+      } else if (at(Tok::NotEq)) {
+        SrcLoc loc = advance().loc;
+        lhs = mkBin(BinOp::Ne, loc, std::move(lhs), parseRelational());
+      } else {
+        return lhs;
+      }
+    }
+  }
+  ExprPtr parseRelational() {
+    ExprPtr lhs = parseAdditive();
+    for (;;) {
+      BinOp op;
+      if (at(Tok::Lt)) op = BinOp::Lt;
+      else if (at(Tok::Le)) op = BinOp::Le;
+      else if (at(Tok::Gt)) op = BinOp::Gt;
+      else if (at(Tok::Ge)) op = BinOp::Ge;
+      else return lhs;
+      SrcLoc loc = advance().loc;
+      lhs = mkBin(op, loc, std::move(lhs), parseAdditive());
+    }
+  }
+  ExprPtr parseAdditive() {
+    ExprPtr lhs = parseMultiplicative();
+    for (;;) {
+      if (at(Tok::Plus)) {
+        SrcLoc loc = advance().loc;
+        lhs = mkBin(BinOp::Add, loc, std::move(lhs), parseMultiplicative());
+      } else if (at(Tok::Minus)) {
+        SrcLoc loc = advance().loc;
+        lhs = mkBin(BinOp::Sub, loc, std::move(lhs), parseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+  ExprPtr parseMultiplicative() {
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+      BinOp op;
+      if (at(Tok::Star)) op = BinOp::Mul;
+      else if (at(Tok::Slash)) op = BinOp::Div;
+      else if (at(Tok::Percent)) op = BinOp::Mod;
+      else return lhs;
+      SrcLoc loc = advance().loc;
+      lhs = mkBin(op, loc, std::move(lhs), parseUnary());
+    }
+  }
+  ExprPtr parseUnary() {
+    if (at(Tok::Minus) || at(Tok::Bang)) {
+      SrcLoc loc = cur().loc;
+      UnOp op = at(Tok::Minus) ? UnOp::Neg : UnOp::Not;
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExKind::Unary;
+      e->loc = loc;
+      e->uop = op;
+      e->args.push_back(parseUnary());
+      return e;
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    SrcLoc loc = cur().loc;
+    if (at(Tok::KwArray) || at(Tok::KwMatrix)) {
+      // Allocation "calls" spelled with the type keywords.
+      bool isMatrix = at(Tok::KwMatrix);
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExKind::Call;
+      e->loc = loc;
+      e->name = isMatrix ? "matrix" : "array";
+      e->builtin = isMatrix ? Builtin::MatrixAlloc : Builtin::ArrayAlloc;
+      expect(Tok::LParen, "after allocation");
+      e->args.push_back(parseExpr());
+      if (isMatrix) {
+        expect(Tok::Comma, "between matrix dimensions");
+        e->args.push_back(parseExpr());
+      }
+      expect(Tok::RParen, "to close allocation");
+      return e;
+    }
+    if (at(Tok::KwReal) || at(Tok::KwInt)) {
+      // Conversion builtins spelled with the type keywords: real(e), int(e).
+      bool toReal = at(Tok::KwReal);
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExKind::Call;
+      e->loc = loc;
+      e->name = toReal ? "real" : "int";
+      expect(Tok::LParen, "after conversion");
+      e->args.push_back(parseExpr());
+      expect(Tok::RParen, "to close conversion");
+      return e;
+    }
+    if (at(Tok::IntLit)) {
+      Token t = advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExKind::IntLit;
+      e->loc = loc;
+      e->ival = t.ival;
+      return e;
+    }
+    if (at(Tok::RealLit)) {
+      Token t = advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExKind::RealLit;
+      e->loc = loc;
+      e->fval = t.fval;
+      return e;
+    }
+    if (accept(Tok::LParen)) {
+      ExprPtr inner = parseExpr();
+      expect(Tok::RParen, "to close parenthesized expression");
+      return inner;
+    }
+    if (at(Tok::Ident)) {
+      Token id = advance();
+      if (at(Tok::LParen)) {
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExKind::Call;
+        e->loc = loc;
+        e->name = id.text;
+        if (!at(Tok::RParen)) {
+          do {
+            e->args.push_back(parseExpr());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "to close the call");
+        return e;
+      }
+      if (at(Tok::LBracket)) {
+        advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExKind::Index;
+        e->loc = loc;
+        e->name = id.text;
+        e->args.push_back(parseExpr());
+        if (accept(Tok::Comma)) e->args.push_back(parseExpr());
+        expect(Tok::RBracket, "to close the subscript");
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExKind::Var;
+      e->loc = loc;
+      e->name = id.text;
+      return e;
+    }
+    diags_.error(loc, std::string("expected an expression, found ") +
+                          tokName(cur().kind));
+    throw ParseError{};
+  }
+
+  std::vector<Token> toks_;
+  DiagSink& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Module parse(std::string_view src, DiagSink& diags) {
+  std::vector<Token> toks = lex(src, diags);
+  if (diags.hasErrors()) return {};
+  return Parser(std::move(toks), diags).run();
+}
+
+}  // namespace pods::fe

@@ -1,0 +1,40 @@
+// Recursive-descent parser for IdLite.
+//
+// Grammar (EBNF, ';' terminates simple statements):
+//
+//   program    := def*
+//   def        := ["inline"] "def" IDENT "(" [param ("," param)*] ")"
+//                 ["->" type] block
+//   param      := IDENT ":" type
+//   type       := "int" | "real" | "array" | "matrix"
+//   block      := "{" stmt* "}"
+//   stmt       := "let" IDENT "=" expr ";"
+//               | "next" IDENT "=" expr ";"
+//               | IDENT "[" expr ["," expr] "]" "=" expr ";"
+//               | "return" [expr ("," expr)*] ";"
+//               | "if" expr block ["else" (block | ifstmt)]
+//               | loopexpr ";"?            (loop in statement position)
+//               | expr ";"                 (bare call)
+//   loopexpr   := "for" IDENT "=" expr ("to"|"downto") expr [carry] block
+//                 ["yield" expr]
+//               | "loop" carry "while" expr block ["yield" expr]
+//   carry      := "carry" "(" IDENT "=" expr ("," IDENT "=" expr)* ")"
+//   expr       := "if" expr "then" expr "else" expr | orexpr | loopexpr
+//   (usual precedence: || && | == != | < <= > >= | + - | * / % | unary | postfix)
+//   primary    := NUMBER | IDENT | IDENT "(" args ")" | IDENT "[" subs "]"
+//               | "array" "(" expr ")" | "matrix" "(" expr "," expr ")"
+//               | "(" expr ")"
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "support/diag.hpp"
+
+namespace pods::fe {
+
+/// Parses a whole module. On syntax errors, diagnostics are reported and the
+/// returned module may be partial; callers must check diags.hasErrors().
+Module parse(std::string_view src, DiagSink& diags);
+
+}  // namespace pods::fe

@@ -1,0 +1,521 @@
+#include "frontend/sema.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pods::fe {
+
+namespace {
+
+struct BuiltinSig {
+  Builtin id;
+  int arity;
+};
+
+const std::unordered_map<std::string_view, BuiltinSig>& builtins() {
+  static const std::unordered_map<std::string_view, BuiltinSig> b = {
+      {"sqrt", {Builtin::Sqrt, 1}}, {"abs", {Builtin::Abs, 1}},
+      {"exp", {Builtin::Exp, 1}},   {"log", {Builtin::Log, 1}},
+      {"sin", {Builtin::Sin, 1}},   {"cos", {Builtin::Cos, 1}},
+      {"floor", {Builtin::Floor, 1}},
+      {"min", {Builtin::Min, 2}},   {"max", {Builtin::Max, 2}},
+      {"pow", {Builtin::Pow, 2}},
+      {"real", {Builtin::ToReal, 1}}, {"int", {Builtin::ToInt, 1}},
+      {"len", {Builtin::Len, 1}},     {"rows", {Builtin::Rows, 1}},
+      {"cols", {Builtin::Cols, 1}},
+  };
+  return b;
+}
+
+class FnChecker {
+ public:
+  FnChecker(Module& module, FnDecl& fn, DiagSink& diags)
+      : module_(module), fn_(fn), diags_(diags) {}
+
+  void run() {
+    pushScope();
+    for (Param& p : fn_.params) {
+      p.varId = declare(p.name, VarInfo::Kind::Param, p.type, p.loc);
+    }
+    checkBody(fn_.body, /*topLevel=*/true);
+    popScope();
+  }
+
+ private:
+  // --- scopes ------------------------------------------------------------
+
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+
+  int lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return f->second;
+    }
+    return -1;
+  }
+
+  int declare(const std::string& name, VarInfo::Kind kind, Ty type, SrcLoc loc) {
+    if (lookup(name) >= 0) {
+      diags_.error(loc, "'" + name +
+                            "' is already bound; IdLite is single-assignment "
+                            "and does not allow shadowing");
+      // Fall through and rebind so downstream checks can continue.
+    }
+    int id = static_cast<int>(fn_.vars.size());
+    fn_.vars.push_back({name, kind, type, loc});
+    scopes_.back()[name] = id;
+    return id;
+  }
+
+  Ty varType(int id) const { return fn_.vars[static_cast<std::size_t>(id)].type; }
+
+  // --- helpers ------------------------------------------------------------
+
+  void err(SrcLoc loc, std::string msg) { diags_.error(loc, std::move(msg)); }
+
+  /// Unifies two numeric types (int + real -> real). Invalid propagates.
+  Ty unifyNumeric(Ty a, Ty b) {
+    if (a == Ty::Invalid || b == Ty::Invalid) return Ty::Invalid;
+    if (a == Ty::Real || b == Ty::Real) return Ty::Real;
+    return Ty::Int;
+  }
+
+  bool requireNumeric(const Expr& e, const char* what) {
+    if (e.type == Ty::Invalid) return false;  // already reported
+    if (!isNumeric(e.type)) {
+      err(e.loc, std::string(what) + " must be numeric, found " + tyName(e.type));
+      return false;
+    }
+    return true;
+  }
+
+  bool requireInt(const Expr& e, const char* what) {
+    if (e.type == Ty::Invalid) return false;
+    if (e.type != Ty::Int) {
+      err(e.loc, std::string(what) + " must be int, found " + tyName(e.type));
+      return false;
+    }
+    return true;
+  }
+
+  /// Can a value of type `from` be passed where `to` is expected?
+  bool compatible(Ty to, Ty from) {
+    if (to == from) return true;
+    if (to == Ty::Real && from == Ty::Int) return true;
+    return false;
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  void checkBody(std::vector<StmtPtr>& body, bool topLevel) {
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      Stmt& s = *body[i];
+      if (s.kind == StKind::Return) {
+        if (!topLevel || i + 1 != body.size()) {
+          err(s.loc, "return must be the last statement of the function body");
+        }
+      }
+      checkStmt(s);
+    }
+    if (topLevel && fn_.retType != Ty::Void) {
+      if (body.empty() || body.back()->kind != StKind::Return) {
+        err(fn_.loc, "function '" + fn_.name + "' declared '-> " +
+                         tyName(fn_.retType) + "' must end with a return");
+      }
+    }
+  }
+
+  void checkStmt(Stmt& s) {
+    switch (s.kind) {
+      case StKind::Let: {
+        checkExpr(*s.value);
+        Ty t = s.value->type;
+        if (t == Ty::Void) {
+          err(s.loc, "cannot bind a void value");
+          t = Ty::Invalid;
+        }
+        s.varId = declare(s.name, VarInfo::Kind::Let, t, s.loc);
+        break;
+      }
+      case StKind::Next: {
+        checkExpr(*s.value);
+        if (loops_.empty()) {
+          err(s.loc, "'next' outside of a loop");
+          break;
+        }
+        LoopInfo* li = loops_.back();
+        const CarryDef* carry = nullptr;
+        for (const CarryDef& c : li->carries) {
+          if (c.name == s.name) { carry = &c; break; }
+        }
+        if (!carry) {
+          err(s.loc, "'" + s.name +
+                         "' is not a carried variable of the innermost loop");
+          break;
+        }
+        s.varId = carry->varId;
+        Ty ct = varType(s.varId);
+        if (!compatible(ct, s.value->type) && s.value->type != Ty::Invalid) {
+          err(s.loc, "next value of type " + std::string(tyName(s.value->type)) +
+                         " does not match carried variable type " + tyName(ct));
+        }
+        break;
+      }
+      case StKind::ArrayWrite: {
+        s.varId = lookup(s.name);
+        if (s.varId < 0) {
+          err(s.loc, "unknown array '" + s.name + "'");
+        } else {
+          Ty at = varType(s.varId);
+          if (!isArrayTy(at)) {
+            err(s.loc, "'" + s.name + "' is not an array");
+          } else {
+            int want = at == Ty::Array1 ? 1 : 2;
+            if (static_cast<int>(s.subs.size()) != want) {
+              err(s.loc, "'" + s.name + "' needs " + std::to_string(want) +
+                             " subscript(s)");
+            }
+          }
+        }
+        for (auto& sub : s.subs) {
+          checkExpr(*sub);
+          requireInt(*sub, "array subscript");
+        }
+        checkExpr(*s.value);
+        requireNumeric(*s.value, "array element value");
+        break;
+      }
+      case StKind::Return: {
+        for (auto& v : s.values) checkExpr(*v);
+        const bool isMain = fn_.name == "main";
+        if (s.values.size() > 1 && !isMain) {
+          err(s.loc, "only main may return a tuple");
+        }
+        if (isMain) {
+          fn_.retTupleSize = static_cast<int>(s.values.size());
+          for (auto& v : s.values) {
+            if (!isNumeric(v->type) && !isArrayTy(v->type) &&
+                v->type != Ty::Invalid) {
+              err(v->loc, "main may only return numbers and arrays");
+            }
+          }
+        } else if (fn_.retType == Ty::Void) {
+          if (!s.values.empty()) {
+            err(s.loc, "void function '" + fn_.name + "' returns a value");
+          }
+        } else {
+          if (s.values.size() != 1) {
+            err(s.loc, "function '" + fn_.name + "' must return one value");
+          } else if (!compatible(fn_.retType, s.values[0]->type) &&
+                     s.values[0]->type != Ty::Invalid) {
+            err(s.loc, "return type " + std::string(tyName(s.values[0]->type)) +
+                           " does not match declared " + tyName(fn_.retType));
+          }
+        }
+        break;
+      }
+      case StKind::If: {
+        checkExpr(*s.cond);
+        requireNumeric(*s.cond, "if condition");
+        pushScope();
+        checkBody(s.thenBody, /*topLevel=*/false);
+        popScope();
+        pushScope();
+        checkBody(s.elseBody, /*topLevel=*/false);
+        popScope();
+        break;
+      }
+      case StKind::LoopStmt: {
+        checkExpr(*s.value);  // the Loop expression; yield optional here
+        break;
+      }
+      case StKind::ExprStmt: {
+        checkExpr(*s.value);
+        break;
+      }
+    }
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  void checkExpr(Expr& e) {
+    switch (e.kind) {
+      case ExKind::IntLit: e.type = Ty::Int; return;
+      case ExKind::RealLit: e.type = Ty::Real; return;
+      case ExKind::Var: {
+        e.varId = lookup(e.name);
+        if (e.varId < 0) {
+          err(e.loc, "unknown variable '" + e.name + "'");
+          e.type = Ty::Invalid;
+        } else {
+          e.type = varType(e.varId);
+        }
+        return;
+      }
+      case ExKind::Unary: {
+        checkExpr(*e.args[0]);
+        if (e.uop == UnOp::Neg) {
+          requireNumeric(*e.args[0], "operand of unary '-'");
+          e.type = e.args[0]->type;
+        } else {
+          requireInt(*e.args[0], "operand of '!'");
+          e.type = Ty::Int;
+        }
+        return;
+      }
+      case ExKind::Binary: {
+        checkExpr(*e.args[0]);
+        checkExpr(*e.args[1]);
+        const Expr& l = *e.args[0];
+        const Expr& r = *e.args[1];
+        switch (e.bop) {
+          case BinOp::Add: case BinOp::Sub: case BinOp::Mul: case BinOp::Div:
+            if (requireNumeric(l, "arithmetic operand") &&
+                requireNumeric(r, "arithmetic operand")) {
+              e.type = unifyNumeric(l.type, r.type);
+            }
+            return;
+          case BinOp::Mod:
+            if (requireInt(l, "'%' operand") && requireInt(r, "'%' operand")) {
+              e.type = Ty::Int;
+            }
+            return;
+          case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+          case BinOp::Eq: case BinOp::Ne:
+            if (requireNumeric(l, "comparison operand") &&
+                requireNumeric(r, "comparison operand")) {
+              e.type = Ty::Int;
+            }
+            return;
+          case BinOp::And: case BinOp::Or:
+            if (requireInt(l, "logical operand") &&
+                requireInt(r, "logical operand")) {
+              e.type = Ty::Int;
+            }
+            return;
+        }
+        return;
+      }
+      case ExKind::Call: checkCall(e); return;
+      case ExKind::Index: {
+        e.varId = lookup(e.name);
+        if (e.varId < 0) {
+          err(e.loc, "unknown array '" + e.name + "'");
+        } else {
+          Ty at = varType(e.varId);
+          if (!isArrayTy(at)) {
+            err(e.loc, "'" + e.name + "' is not an array");
+          } else {
+            int want = at == Ty::Array1 ? 1 : 2;
+            if (static_cast<int>(e.args.size()) != want) {
+              err(e.loc, "'" + e.name + "' needs " + std::to_string(want) +
+                             " subscript(s)");
+            }
+          }
+        }
+        for (auto& sub : e.args) {
+          checkExpr(*sub);
+          requireInt(*sub, "array subscript");
+        }
+        e.type = Ty::Real;  // all array elements are real
+        return;
+      }
+      case ExKind::IfExpr: {
+        checkExpr(*e.args[0]);
+        requireNumeric(*e.args[0], "if-expression condition");
+        checkExpr(*e.args[1]);
+        checkExpr(*e.args[2]);
+        Ty a = e.args[1]->type, b = e.args[2]->type;
+        if (a == Ty::Invalid || b == Ty::Invalid) {
+          e.type = Ty::Invalid;
+        } else if (isNumeric(a) && isNumeric(b)) {
+          e.type = unifyNumeric(a, b);
+        } else if (a == b && isArrayTy(a)) {
+          e.type = a;
+        } else {
+          err(e.loc, std::string("if-expression arms have incompatible types ") +
+                         tyName(a) + " and " + tyName(b));
+          e.type = Ty::Invalid;
+        }
+        return;
+      }
+      case ExKind::Loop: checkLoop(e); return;
+    }
+  }
+
+  void checkCall(Expr& e) {
+    // Builtins (including array/matrix allocation marked by the parser).
+    if (e.builtin == Builtin::ArrayAlloc || e.builtin == Builtin::MatrixAlloc) {
+      for (auto& a : e.args) {
+        checkExpr(*a);
+        requireInt(*a, "allocation dimension");
+      }
+      e.type = e.builtin == Builtin::ArrayAlloc ? Ty::Array1 : Ty::Array2;
+      return;
+    }
+    auto bit = builtins().find(e.name);
+    if (bit != builtins().end()) {
+      e.builtin = bit->second.id;
+      if (static_cast<int>(e.args.size()) != bit->second.arity) {
+        err(e.loc, "'" + e.name + "' takes " +
+                       std::to_string(bit->second.arity) + " argument(s)");
+      }
+      // Dimension queries take an array; everything else takes numbers.
+      if (e.builtin == Builtin::Len || e.builtin == Builtin::Rows ||
+          e.builtin == Builtin::Cols) {
+        Ty want = e.builtin == Builtin::Len ? Ty::Array1 : Ty::Array2;
+        for (auto& a : e.args) {
+          checkExpr(*a);
+          if (a->type != want && a->type != Ty::Invalid) {
+            err(a->loc, "'" + e.name + "' expects " +
+                            std::string(tyName(want)) + ", found " +
+                            tyName(a->type));
+          }
+        }
+        e.type = Ty::Int;
+        return;
+      }
+      for (auto& a : e.args) {
+        checkExpr(*a);
+        requireNumeric(*a, "builtin argument");
+      }
+      switch (e.builtin) {
+        case Builtin::Abs:
+          e.type = e.args.empty() ? Ty::Invalid : e.args[0]->type;
+          break;
+        case Builtin::Min:
+        case Builtin::Max:
+          e.type = e.args.size() == 2
+                       ? unifyNumeric(e.args[0]->type, e.args[1]->type)
+                       : Ty::Invalid;
+          break;
+        case Builtin::ToInt:
+          e.type = Ty::Int;
+          break;
+        default:
+          e.type = Ty::Real;
+          break;
+      }
+      return;
+    }
+    // User function.
+    FnDecl* callee = module_.find(e.name);
+    if (!callee) {
+      err(e.loc, "unknown function '" + e.name + "'");
+      e.type = Ty::Invalid;
+      return;
+    }
+    if (callee->name == "main") {
+      err(e.loc, "main cannot be called");
+    }
+    e.callee = callee;
+    if (e.args.size() != callee->params.size()) {
+      err(e.loc, "'" + e.name + "' takes " +
+                     std::to_string(callee->params.size()) + " argument(s), " +
+                     std::to_string(e.args.size()) + " given");
+    }
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      checkExpr(*e.args[i]);
+      if (i < callee->params.size()) {
+        Ty want = callee->params[i].type;
+        if (!compatible(want, e.args[i]->type) &&
+            e.args[i]->type != Ty::Invalid) {
+          err(e.args[i]->loc,
+              "argument " + std::to_string(i + 1) + " of '" + e.name +
+                  "' expects " + tyName(want) + ", found " +
+                  tyName(e.args[i]->type));
+        }
+      }
+    }
+    e.type = callee->retType;
+    return;
+  }
+
+  void checkLoop(Expr& e) {
+    LoopInfo& li = *e.loop;
+    if (li.isFor) {
+      checkExpr(*li.init);
+      requireInt(*li.init, "for-loop initial bound");
+      checkExpr(*li.limit);
+      requireInt(*li.limit, "for-loop final bound");
+    } else if (li.carries.empty()) {
+      err(li.loc, "while-loops must carry at least one variable");
+    }
+    // Carry initializers are evaluated in the enclosing scope.
+    for (CarryDef& c : li.carries) checkExpr(*c.init);
+
+    pushScope();
+    if (li.isFor) {
+      li.indexVarId = declare(li.indexName, VarInfo::Kind::LoopIndex, Ty::Int,
+                              li.loc);
+    }
+    for (CarryDef& c : li.carries) {
+      Ty t = c.init->type;
+      if (t == Ty::Void) {
+        err(c.loc, "carried variable cannot be void");
+        t = Ty::Invalid;
+      }
+      c.varId = declare(c.name, VarInfo::Kind::Carry, t, c.loc);
+    }
+    if (!li.isFor) {
+      checkExpr(*li.cond);
+      requireNumeric(*li.cond, "while condition");
+    }
+    loops_.push_back(&li);
+    pushScope();
+    checkBody(li.body, /*topLevel=*/false);
+    popScope();
+    loops_.pop_back();
+    if (li.yieldExpr) {
+      // Yield sees the carried variables (their values after the last
+      // iteration) but not body-local bindings.
+      checkExpr(*li.yieldExpr);
+      e.type = li.yieldExpr->type;
+    } else {
+      e.type = Ty::Void;
+    }
+    popScope();
+  }
+
+  Module& module_;
+  FnDecl& fn_;
+  DiagSink& diags_;
+  std::vector<std::unordered_map<std::string, int>> scopes_;
+  std::vector<LoopInfo*> loops_;
+};
+
+}  // namespace
+
+bool analyze(Module& module, DiagSink& diags, bool requireMain) {
+  // Duplicate function names.
+  for (std::size_t i = 0; i < module.fns.size(); ++i) {
+    for (std::size_t j = i + 1; j < module.fns.size(); ++j) {
+      if (module.fns[i]->name == module.fns[j]->name) {
+        diags.error(module.fns[j]->loc,
+                    "duplicate function '" + module.fns[j]->name + "'");
+      }
+    }
+  }
+  for (auto& fn : module.fns) {
+    if (builtins().count(fn->name) || fn->name == "array" || fn->name == "matrix") {
+      diags.error(fn->loc, "'" + fn->name + "' is a builtin and cannot be redefined");
+    }
+    FnChecker(module, *fn, diags).run();
+  }
+  if (requireMain) {
+    FnDecl* m = module.find("main");
+    if (!m) {
+      diags.error({}, "no 'main' function defined");
+    } else if (!m->params.empty()) {
+      diags.error(m->loc, "'main' must take no parameters");
+    } else if (m->isInline) {
+      diags.error(m->loc, "'main' cannot be inline");
+    }
+  }
+  return !diags.hasErrors();
+}
+
+}  // namespace pods::fe

@@ -1,0 +1,26 @@
+// Semantic analysis for IdLite.
+//
+// Responsibilities:
+//  - name resolution with lexical scoping; variables get dense per-function
+//    varIds recorded in FnDecl::vars;
+//  - the single-assignment discipline for scalars: a name is bound exactly
+//    once and shadowing is rejected (I-structure *elements* are checked at
+//    run time by the array memory instead, as in the paper);
+//  - type checking/inference (int, real, array, matrix) with implicit
+//    int -> real coercion in arithmetic and array writes;
+//  - loop rules: `next` targets a carried variable of the innermost loop;
+//    while-loops carry at least one variable; loop expressions need `yield`;
+//  - function rules: return as final statement, arity/type checks; `main`
+//    may return a tuple (those become the program's results).
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "support/diag.hpp"
+
+namespace pods::fe {
+
+/// Analyzes the whole module in place. Returns false if errors were reported.
+/// When requireMain is set, a `main` function with no parameters must exist.
+bool analyze(Module& module, DiagSink& diags, bool requireMain = true);
+
+}  // namespace pods::fe

@@ -1,0 +1,32 @@
+// Def/use sets over graph items — the arc structure of the dataflow graph.
+// Shared by the verifier, the LCD analysis, the partition planner, and the
+// PODS Translator's topological ordering step.
+#pragma once
+
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace pods::ir {
+
+/// Values a whole item (including any nested region) may read that are not
+/// produced inside it. For Loop items this includes the loop bounds and
+/// carry initializers, which the parent computes and sends through L.
+void itemUses(const Item& item, std::vector<ValId>& out);
+
+/// Values an item makes available to subsequent items in the same list.
+/// For If items these are the values both arms define (merge values); for
+/// Loop items it is the yield value (if any).
+void itemDefs(const Item& item, std::vector<ValId>& out);
+
+/// All values defined anywhere inside a block (index var, carried cur/shadow,
+/// every item def in cond/body/final lists, recursively *excluding* nested
+/// blocks' interiors — a nested Loop contributes only its yield).
+void blockDefs(const Block& b, std::vector<ValId>& out);
+
+/// External uses of a block: every value its subtree reads that no part of
+/// the subtree defines. These are exactly the tokens the parent must send
+/// through the (possibly distributing) L operator.
+std::vector<ValId> blockExternalUses(const Block& b);
+
+}  // namespace pods::ir

@@ -1,0 +1,131 @@
+#include "ir/dot.hpp"
+
+#include <unordered_map>
+
+namespace pods::ir {
+
+namespace {
+
+class DotWriter {
+ public:
+  explicit DotWriter(const Function& fn) : fn_(fn) {}
+
+  std::string run() {
+    out_ += "digraph \"" + fn_.name + "\" {\n";
+    out_ += "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+    for (std::size_t i = 0; i < fn_.params.size(); ++i) {
+      std::string id = defineNode(fn_.params[i], "param " + std::to_string(i));
+      (void)id;
+    }
+    writeBlock(fn_.body);
+    for (ValId r : fn_.retVals) {
+      std::string id = "ret" + std::to_string(r);
+      out_ += "  " + id + " [label=\"return\", shape=ellipse];\n";
+      edge(r, id);
+    }
+    out_ += "}\n";
+    return std::move(out_);
+  }
+
+ private:
+  std::string defineNode(ValId v, const std::string& label) {
+    std::string id = "v" + std::to_string(v);
+    producer_[v] = id;
+    out_ += indent() + id + " [label=\"" + label + "\"];\n";
+    return id;
+  }
+
+  void edge(ValId from, const std::string& toId) {
+    auto it = producer_.find(from);
+    if (it == producer_.end()) return;
+    out_ += indent() + it->second + " -> " + toId + ";\n";
+  }
+
+  std::string indent() const { return std::string(depth_ * 2 + 2, ' '); }
+
+  void writeBlock(const Block& b) {
+    out_ += indent() + "subgraph cluster_" + std::to_string(cluster_++) + " {\n";
+    ++depth_;
+    std::string kind;
+    switch (b.kind) {
+      case BlockKind::FunctionBody: kind = "function"; break;
+      case BlockKind::ForLoop: kind = b.ascending ? "for" : "for (down)"; break;
+      case BlockKind::WhileLoop: kind = "while"; break;
+    }
+    out_ += indent() + "label=\"" + kind + " " + b.name + "\";\n";
+    if (b.indexVal != kNoVal) defineNode(b.indexVal, "index");
+    for (std::size_t i = 0; i < b.carried.size(); ++i) {
+      std::string id = defineNode(b.carried[i].cur, "carry " + std::to_string(i));
+      edge(b.carried[i].init, id);
+    }
+    writeItems(b.condItems);
+    writeItems(b.body);
+    writeItems(b.finalItems);
+    --depth_;
+    out_ += indent() + "}\n";
+  }
+
+  void writeItems(const std::vector<Item>& items) {
+    for (const Item& it : items) {
+      switch (it.kind) {
+        case ItemKind::Node: {
+          const Node& n = it.node;
+          std::string label = nodeOpName(n.op);
+          if (n.op == NodeOp::Const) label += " " + n.imm.str();
+          std::string id;
+          if (n.dst != kNoVal) {
+            id = defineNode(n.dst, label);
+          } else {
+            id = "w" + std::to_string(anon_++);
+            out_ += indent() + id + " [label=\"" + label + "\"];\n";
+          }
+          for (std::uint8_t i = 0; i < n.nin; ++i) edge(n.in[i], id);
+          break;
+        }
+        case ItemKind::If: {
+          std::string id = "sw" + std::to_string(anon_++);
+          out_ += indent() + id + " [label=\"switch\", shape=diamond];\n";
+          edge(it.ifi->cond, id);
+          writeItems(it.ifi->thenItems);
+          writeItems(it.ifi->elseItems);
+          break;
+        }
+        case ItemKind::Call: {
+          std::string label = "call fn#" + std::to_string(it.call->fnIndex);
+          std::string id;
+          if (it.call->dst != kNoVal) {
+            id = defineNode(it.call->dst, label);
+          } else {
+            id = "c" + std::to_string(anon_++);
+            out_ += indent() + id + " [label=\"" + label + "\"];\n";
+          }
+          for (ValId a : it.call->args) edge(a, id);
+          break;
+        }
+        case ItemKind::Loop:
+          writeBlock(*it.loop);
+          break;
+        case ItemKind::Next: {
+          std::string id = "nx" + std::to_string(anon_++);
+          out_ += indent() + id + " [label=\"D (next carry#" +
+                  std::to_string(it.carryIndex) + ")\", shape=ellipse];\n";
+          edge(it.nextVal, id);
+          break;
+        }
+      }
+    }
+  }
+
+  const Function& fn_;
+  std::string out_;
+  std::unordered_map<ValId, std::string> producer_;
+  int cluster_ = 0;
+  int anon_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string toDot(const Function& fn) { return DotWriter(fn).run(); }
+
+}  // namespace pods::ir

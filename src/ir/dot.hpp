@@ -1,0 +1,15 @@
+// Graphviz rendering of the dataflow graph (for documentation and the
+// partitioning demo example; compare with the paper's Figure 2).
+#pragma once
+
+#include <string>
+
+#include "ir/graph.hpp"
+
+namespace pods::ir {
+
+/// Renders one function's block tree as a graphviz digraph with one cluster
+/// per code block (scope), mirroring the paper's Figure 2 presentation.
+std::string toDot(const Function& fn);
+
+}  // namespace pods::ir

@@ -1,0 +1,140 @@
+#include "ir/graph.hpp"
+
+namespace pods::ir {
+
+const char* nodeOpName(NodeOp op) {
+  switch (op) {
+    case NodeOp::Const: return "const";
+    case NodeOp::Mov: return "mov";
+    case NodeOp::Add: return "add";
+    case NodeOp::Sub: return "sub";
+    case NodeOp::Mul: return "mul";
+    case NodeOp::Div: return "div";
+    case NodeOp::Mod: return "mod";
+    case NodeOp::Pow: return "pow";
+    case NodeOp::Min: return "min";
+    case NodeOp::Max: return "max";
+    case NodeOp::Neg: return "neg";
+    case NodeOp::Abs: return "abs";
+    case NodeOp::Sqrt: return "sqrt";
+    case NodeOp::Exp: return "exp";
+    case NodeOp::Log: return "log";
+    case NodeOp::Sin: return "sin";
+    case NodeOp::Cos: return "cos";
+    case NodeOp::Floor: return "floor";
+    case NodeOp::CvtI: return "cvti";
+    case NodeOp::CvtR: return "cvtr";
+    case NodeOp::CmpLT: return "cmplt";
+    case NodeOp::CmpLE: return "cmple";
+    case NodeOp::CmpGT: return "cmpgt";
+    case NodeOp::CmpGE: return "cmpge";
+    case NodeOp::CmpEQ: return "cmpeq";
+    case NodeOp::CmpNE: return "cmpne";
+    case NodeOp::And: return "and";
+    case NodeOp::Or: return "or";
+    case NodeOp::Not: return "not";
+    case NodeOp::Alloc: return "alloc";
+    case NodeOp::ARead: return "aread";
+    case NodeOp::AWrite: return "awrite";
+    case NodeOp::Dim0: return "dim0";
+    case NodeOp::Dim1: return "dim1";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string v(ValId id) {
+  return id == kNoVal ? std::string("-") : "%" + std::to_string(id);
+}
+
+void dumpItems(const std::vector<Item>& items, int indent, std::string& out);
+
+void dumpBlock(const Block& b, int indent, std::string& out) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  out += pad;
+  switch (b.kind) {
+    case BlockKind::FunctionBody: out += "function-body"; break;
+    case BlockKind::ForLoop:
+      out += "for " + v(b.indexVal) + " = " + v(b.initVal) +
+             (b.ascending ? " to " : " downto ") + v(b.limitVal);
+      break;
+    case BlockKind::WhileLoop: out += "while " + v(b.condVal); break;
+  }
+  out += " '" + b.name + "'";
+  for (const Carried& c : b.carried) {
+    out += " carry(" + v(c.cur) + " init=" + v(c.init) + " shadow=" +
+           v(c.shadow) + ")";
+  }
+  out += "\n";
+  if (!b.condItems.empty()) {
+    out += pad + " cond:\n";
+    dumpItems(b.condItems, indent + 1, out);
+  }
+  dumpItems(b.body, indent + 1, out);
+  if (!b.finalItems.empty() || b.yieldVal != kNoVal) {
+    out += pad + " yield " + v(b.yieldVal) + ":\n";
+    dumpItems(b.finalItems, indent + 1, out);
+  }
+}
+
+void dumpItems(const std::vector<Item>& items, int indent, std::string& out) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (const Item& it : items) {
+    switch (it.kind) {
+      case ItemKind::Node: {
+        const Node& n = it.node;
+        out += pad;
+        if (n.dst != kNoVal) out += v(n.dst) + " = ";
+        out += nodeOpName(n.op);
+        if (n.op == NodeOp::Const) out += " " + n.imm.str();
+        for (std::uint8_t i = 0; i < n.nin; ++i) out += " " + v(n.in[i]);
+        out += "\n";
+        break;
+      }
+      case ItemKind::If:
+        out += pad + "if " + v(it.ifi->cond) + "\n";
+        dumpItems(it.ifi->thenItems, indent + 1, out);
+        if (!it.ifi->elseItems.empty()) {
+          out += pad + "else\n";
+          dumpItems(it.ifi->elseItems, indent + 1, out);
+        }
+        break;
+      case ItemKind::Call: {
+        out += pad;
+        if (it.call->dst != kNoVal) out += v(it.call->dst) + " = ";
+        out += "call fn#" + std::to_string(it.call->fnIndex);
+        for (ValId a : it.call->args) out += " " + v(a);
+        out += "\n";
+        break;
+      }
+      case ItemKind::Loop:
+        dumpBlock(*it.loop, indent, out);
+        break;
+      case ItemKind::Next:
+        out += pad + "next carry#" + std::to_string(it.carryIndex) + " <- " +
+               v(it.nextVal) + "\n";
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dumpFunction(const Function& fn) {
+  std::string out = "fn " + fn.name + "(";
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) out += ", ";
+    out += v(fn.params[i]);
+  }
+  out += ")";
+  if (!fn.retVals.empty()) {
+    out += " ->";
+    for (ValId r : fn.retVals) out += " " + v(r);
+  }
+  out += "\n";
+  dumpBlock(fn.body, 1, out);
+  return out;
+}
+
+}  // namespace pods::ir

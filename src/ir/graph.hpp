@@ -1,0 +1,169 @@
+// Hierarchical dataflow-graph IR.
+//
+// This is the compiler's analogue of the paper's Figure-2 dataflow graph:
+// a program is a set of *code blocks* (ir::Block), one per function body and
+// one per loop-nest level, each entered through an L operator at run time.
+// Within a block, computation is a list of dataflow nodes in three-address
+// form; arcs are the def-use relations on ValIds (every ValId is a token).
+// The loop index generation subgraph (switch / increment / D operators of
+// Figure 2) is represented structurally by the Block's index/bounds/carried
+// metadata, which is what the Range-Filter rewrite of Figure 5 manipulates.
+//
+// The PODS Translator orders each block's nodes by their arcs and emits one
+// Subcompact Process per block (paper section 3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "runtime/value.hpp"
+#include "support/diag.hpp"
+
+namespace pods::ir {
+
+/// A dataflow value (token) within one function. Dense per function.
+using ValId = std::uint32_t;
+inline constexpr ValId kNoVal = 0xFFFFFFFFu;
+
+enum class NodeOp : std::uint8_t {
+  Const, Mov,
+  Add, Sub, Mul, Div, Mod, Pow, Min, Max,
+  Neg, Abs, Sqrt, Exp, Log, Sin, Cos, Floor, CvtI, CvtR,
+  CmpLT, CmpLE, CmpGT, CmpGE, CmpEQ, CmpNE, And, Or, Not,
+  Alloc,   // inputs: dims (1 or 2); allocates an I-structure
+  ARead,   // inputs: arr, i0 (, i1)
+  AWrite,  // inputs: arr, i0 (, i1), value; no dst
+  Dim0,    // input: arr; its first dimension (rows / length)
+  Dim1,    // input: arr; its second dimension (columns)
+};
+
+const char* nodeOpName(NodeOp op);
+
+/// One dataflow instruction.
+struct Node {
+  NodeOp op = NodeOp::Const;
+  ValId dst = kNoVal;
+  ValId in[4] = {kNoVal, kNoVal, kNoVal, kNoVal};
+  std::uint8_t nin = 0;
+  Value imm{};  // Const payload
+  SrcLoc loc{};
+};
+
+struct Block;
+struct IfItem;
+struct CallItem;
+
+enum class ItemKind : std::uint8_t { Node, If, Call, Loop, Next };
+
+/// One element of a block's body, in (re-orderable) dataflow order.
+struct Item {
+  ItemKind kind = ItemKind::Node;
+  Node node;                        // ItemKind::Node
+  std::unique_ptr<IfItem> ifi;      // ItemKind::If
+  std::unique_ptr<CallItem> call;   // ItemKind::Call
+  std::unique_ptr<Block> loop;      // ItemKind::Loop
+  // ItemKind::Next: carried[carryIndex].shadow <- nextVal
+  std::uint32_t carryIndex = 0;
+  ValId nextVal = kNoVal;
+};
+
+/// A conditional region: the sequentialized switch operator. Both arms may
+/// define values that are live afterwards (each arm defines them on its path).
+struct IfItem {
+  ValId cond = kNoVal;
+  std::vector<Item> thenItems;
+  std::vector<Item> elseItems;
+  SrcLoc loc{};
+};
+
+/// A call to a (non-inline) user function: spawns the callee's SP.
+struct CallItem {
+  std::uint32_t fnIndex = 0;
+  std::vector<ValId> args;
+  ValId dst = kNoVal;  // kNoVal for void calls
+  SrcLoc loc{};
+};
+
+/// One circulating loop variable. `cur` is the value read by the body this
+/// iteration; `next x = e` writes `shadow`; the back edge moves shadow->cur.
+struct Carried {
+  ValId cur = kNoVal;
+  ValId shadow = kNoVal;
+  ValId init = kNoVal;  // computed in the parent block
+};
+
+enum class BlockKind : std::uint8_t { FunctionBody, ForLoop, WhileLoop };
+
+/// A code block: the unit that becomes one Subcompact Process.
+struct Block {
+  BlockKind kind = BlockKind::FunctionBody;
+  std::string name;  // for diagnostics and disassembly
+  SrcLoc loc{};
+
+  // For-loops: index variable and inclusive bounds (bounds computed in the
+  // parent block and passed in as tokens through the L operator).
+  bool ascending = true;
+  ValId indexVal = kNoVal;
+  ValId initVal = kNoVal;
+  ValId limitVal = kNoVal;
+
+  // While-loops: condition recomputed before every iteration.
+  std::vector<Item> condItems;
+  ValId condVal = kNoVal;
+
+  std::vector<Carried> carried;
+  std::vector<Item> body;
+
+  // Yield: evaluated once after the loop completes (sees carried values).
+  std::vector<Item> finalItems;
+  ValId yieldVal = kNoVal;
+
+  bool isLoop() const { return kind != BlockKind::FunctionBody; }
+};
+
+struct Function {
+  std::string name;
+  std::uint32_t numVals = 0;
+  std::vector<ValId> params;  // one per parameter, in order
+  std::vector<fe::Ty> paramTypes;
+  fe::Ty retType = fe::Ty::Void;
+  std::vector<ValId> retVals;  // 0, 1, or (main only) many
+  Block body;                  // BlockKind::FunctionBody
+};
+
+struct Program {
+  std::vector<Function> fns;
+  std::uint32_t mainIndex = 0;
+
+  const Function& main() const { return fns[mainIndex]; }
+};
+
+/// Walks every item list of a block subtree (body, condItems, finalItems,
+/// if-arms, nested loops), invoking fn(item) in pre-order.
+template <typename F>
+void forEachItem(const Block& b, F&& fn) {
+  auto walkList = [&](const std::vector<Item>& items, auto&& self) -> void {
+    for (const Item& it : items) {
+      fn(it);
+      if (it.kind == ItemKind::If) {
+        self(it.ifi->thenItems, self);
+        self(it.ifi->elseItems, self);
+      } else if (it.kind == ItemKind::Loop) {
+        self(it.loop->condItems, self);
+        self(it.loop->body, self);
+        self(it.loop->finalItems, self);
+      }
+    }
+  };
+  walkList(b.condItems, walkList);
+  walkList(b.body, walkList);
+  walkList(b.finalItems, walkList);
+}
+
+/// Debug pretty-printer of a function's block tree.
+std::string dumpFunction(const Function& fn);
+
+}  // namespace pods::ir

@@ -1,0 +1,373 @@
+#include "ir/graphgen.hpp"
+
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace pods::ir {
+
+namespace {
+
+class FnLowering {
+ public:
+  FnLowering(const fe::Module& module, const fe::FnDecl& fn,
+             const std::unordered_map<const fe::FnDecl*, std::uint32_t>& fnIndex)
+      : module_(module), fn_(fn), fnIndex_(fnIndex) {}
+
+  Function run() {
+    out_.name = fn_.name;
+    out_.retType = fn_.retType;
+    out_.body.kind = BlockKind::FunctionBody;
+    out_.body.name = fn_.name;
+    out_.body.loc = fn_.loc;
+    target_ = &out_.body.body;
+    for (const fe::Param& p : fn_.params) {
+      ValId v = fresh();
+      varMap_[p.varId] = v;
+      out_.params.push_back(v);
+      out_.paramTypes.push_back(p.type);
+    }
+    lowerStmts(fn_.body);
+    out_.numVals = nextVal_;
+    return std::move(out_);
+  }
+
+ private:
+  ValId fresh() { return nextVal_++; }
+
+  std::vector<Item>* target_ = nullptr;
+
+  Item& emit() {
+    target_->emplace_back();
+    return target_->back();
+  }
+
+  ValId emitNode(NodeOp op, std::initializer_list<ValId> ins, SrcLoc loc,
+                 Value imm = {}) {
+    Item& it = emit();
+    it.kind = ItemKind::Node;
+    it.node.op = op;
+    it.node.loc = loc;
+    it.node.imm = imm;
+    PODS_CHECK(ins.size() <= 4);
+    std::uint8_t n = 0;
+    for (ValId v : ins) it.node.in[n++] = v;
+    it.node.nin = n;
+    bool hasDst = op != NodeOp::AWrite;
+    if (hasDst) it.node.dst = fresh();
+    return it.node.dst;
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  void lowerStmts(const std::vector<fe::StmtPtr>& body) {
+    for (const auto& s : body) lowerStmt(*s);
+  }
+
+  void lowerStmt(const fe::Stmt& s) {
+    switch (s.kind) {
+      case fe::StKind::Let: {
+        ValId v = lowerExpr(*s.value);
+        PODS_CHECK(s.varId >= 0);
+        varMap_[s.varId] = v;
+        break;
+      }
+      case fe::StKind::Next: {
+        ValId v = lowerExpr(*s.value);
+        // Find the carry index in the innermost loop block.
+        PODS_CHECK_MSG(curLoop_, "next outside loop survived sema");
+        std::uint32_t idx = carryIndex_.at(s.varId);
+        Item& it = emit();
+        it.kind = ItemKind::Next;
+        it.carryIndex = idx;
+        it.nextVal = v;
+        break;
+      }
+      case fe::StKind::ArrayWrite: {
+        ValId arr = useVar(s.varId);
+        ValId i0 = lowerExpr(*s.subs[0]);
+        ValId i1 = s.subs.size() > 1 ? lowerExpr(*s.subs[1]) : kNoVal;
+        ValId val = lowerExpr(*s.value);
+        if (i1 == kNoVal) {
+          emitNode(NodeOp::AWrite, {arr, i0, val}, s.loc);
+        } else {
+          emitNode(NodeOp::AWrite, {arr, i0, i1, val}, s.loc);
+        }
+        break;
+      }
+      case fe::StKind::Return: {
+        for (const auto& v : s.values) out_.retVals.push_back(lowerExpr(*v));
+        break;
+      }
+      case fe::StKind::If: {
+        ValId cond = lowerExpr(*s.cond);
+        Item& it = emit();
+        it.kind = ItemKind::If;
+        it.ifi = std::make_unique<IfItem>();
+        it.ifi->cond = cond;
+        it.ifi->loc = s.loc;
+        IfItem* ifi = it.ifi.get();
+        withTarget(&ifi->thenItems, [&] { lowerStmts(s.thenBody); });
+        withTarget(&ifi->elseItems, [&] { lowerStmts(s.elseBody); });
+        break;
+      }
+      case fe::StKind::LoopStmt: {
+        lowerLoop(*s.value->loop, /*wantValue=*/false, s.loc);
+        break;
+      }
+      case fe::StKind::ExprStmt: {
+        lowerExpr(*s.value);
+        break;
+      }
+    }
+  }
+
+  template <typename F>
+  void withTarget(std::vector<Item>* t, F&& f) {
+    std::vector<Item>* saved = target_;
+    target_ = t;
+    f();
+    target_ = saved;
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  ValId useVar(int varId) {
+    PODS_CHECK(varId >= 0);
+    auto it = varMap_.find(varId);
+    PODS_CHECK_MSG(it != varMap_.end(), "variable used before lowering");
+    return it->second;
+  }
+
+  static NodeOp binNodeOp(fe::BinOp op) {
+    switch (op) {
+      case fe::BinOp::Add: return NodeOp::Add;
+      case fe::BinOp::Sub: return NodeOp::Sub;
+      case fe::BinOp::Mul: return NodeOp::Mul;
+      case fe::BinOp::Div: return NodeOp::Div;
+      case fe::BinOp::Mod: return NodeOp::Mod;
+      case fe::BinOp::Lt: return NodeOp::CmpLT;
+      case fe::BinOp::Le: return NodeOp::CmpLE;
+      case fe::BinOp::Gt: return NodeOp::CmpGT;
+      case fe::BinOp::Ge: return NodeOp::CmpGE;
+      case fe::BinOp::Eq: return NodeOp::CmpEQ;
+      case fe::BinOp::Ne: return NodeOp::CmpNE;
+      case fe::BinOp::And: return NodeOp::And;
+      case fe::BinOp::Or: return NodeOp::Or;
+    }
+    PODS_UNREACHABLE("bad binop");
+  }
+
+  ValId lowerExpr(const fe::Expr& e) {
+    switch (e.kind) {
+      case fe::ExKind::IntLit:
+        return emitNode(NodeOp::Const, {}, e.loc, Value::intv(e.ival));
+      case fe::ExKind::RealLit:
+        return emitNode(NodeOp::Const, {}, e.loc, Value::realv(e.fval));
+      case fe::ExKind::Var:
+        return useVar(e.varId);
+      case fe::ExKind::Unary: {
+        ValId a = lowerExpr(*e.args[0]);
+        return emitNode(e.uop == fe::UnOp::Neg ? NodeOp::Neg : NodeOp::Not, {a},
+                        e.loc);
+      }
+      case fe::ExKind::Binary: {
+        ValId a = lowerExpr(*e.args[0]);
+        ValId b = lowerExpr(*e.args[1]);
+        return emitNode(binNodeOp(e.bop), {a, b}, e.loc);
+      }
+      case fe::ExKind::Call:
+        return lowerCall(e);
+      case fe::ExKind::Index: {
+        ValId arr = useVar(e.varId);
+        ValId i0 = lowerExpr(*e.args[0]);
+        if (e.args.size() > 1) {
+          ValId i1 = lowerExpr(*e.args[1]);
+          return emitNode(NodeOp::ARead, {arr, i0, i1}, e.loc);
+        }
+        return emitNode(NodeOp::ARead, {arr, i0}, e.loc);
+      }
+      case fe::ExKind::IfExpr: {
+        ValId cond = lowerExpr(*e.args[0]);
+        ValId merged = fresh();
+        Item& it = emit();
+        it.kind = ItemKind::If;
+        it.ifi = std::make_unique<IfItem>();
+        it.ifi->cond = cond;
+        it.ifi->loc = e.loc;
+        IfItem* ifi = it.ifi.get();
+        withTarget(&ifi->thenItems, [&] {
+          ValId v = lowerExpr(*e.args[1]);
+          Item& mv = emit();
+          mv.kind = ItemKind::Node;
+          mv.node.op = NodeOp::Mov;
+          mv.node.in[0] = v;
+          mv.node.nin = 1;
+          mv.node.dst = merged;
+          mv.node.loc = e.loc;
+        });
+        withTarget(&ifi->elseItems, [&] {
+          ValId v = lowerExpr(*e.args[2]);
+          Item& mv = emit();
+          mv.kind = ItemKind::Node;
+          mv.node.op = NodeOp::Mov;
+          mv.node.in[0] = v;
+          mv.node.nin = 1;
+          mv.node.dst = merged;
+          mv.node.loc = e.loc;
+        });
+        return merged;
+      }
+      case fe::ExKind::Loop:
+        return lowerLoop(*e.loop, /*wantValue=*/true, e.loc);
+    }
+    PODS_UNREACHABLE("bad expr kind");
+  }
+
+  ValId lowerCall(const fe::Expr& e) {
+    // Builtins lower to plain nodes.
+    switch (e.builtin) {
+      case fe::Builtin::None:
+        break;
+      case fe::Builtin::ArrayAlloc: {
+        ValId d0 = lowerExpr(*e.args[0]);
+        return emitNode(NodeOp::Alloc, {d0}, e.loc);
+      }
+      case fe::Builtin::MatrixAlloc: {
+        ValId d0 = lowerExpr(*e.args[0]);
+        ValId d1 = lowerExpr(*e.args[1]);
+        return emitNode(NodeOp::Alloc, {d0, d1}, e.loc);
+      }
+      default: {
+        NodeOp op;
+        switch (e.builtin) {
+          case fe::Builtin::Sqrt: op = NodeOp::Sqrt; break;
+          case fe::Builtin::Abs: op = NodeOp::Abs; break;
+          case fe::Builtin::Exp: op = NodeOp::Exp; break;
+          case fe::Builtin::Log: op = NodeOp::Log; break;
+          case fe::Builtin::Sin: op = NodeOp::Sin; break;
+          case fe::Builtin::Cos: op = NodeOp::Cos; break;
+          case fe::Builtin::Floor: op = NodeOp::Floor; break;
+          case fe::Builtin::Min: op = NodeOp::Min; break;
+          case fe::Builtin::Max: op = NodeOp::Max; break;
+          case fe::Builtin::Pow: op = NodeOp::Pow; break;
+          case fe::Builtin::ToReal: op = NodeOp::CvtR; break;
+          case fe::Builtin::ToInt: op = NodeOp::CvtI; break;
+          case fe::Builtin::Len:
+          case fe::Builtin::Rows: op = NodeOp::Dim0; break;
+          case fe::Builtin::Cols: op = NodeOp::Dim1; break;
+          default: PODS_UNREACHABLE("bad builtin");
+        }
+        if (e.args.size() == 2) {
+          ValId a = lowerExpr(*e.args[0]);
+          ValId b = lowerExpr(*e.args[1]);
+          return emitNode(op, {a, b}, e.loc);
+        }
+        ValId a = lowerExpr(*e.args[0]);
+        return emitNode(op, {a}, e.loc);
+      }
+    }
+    // User function call: an L-entered code block of its own. Arguments are
+    // lowered first so the item list stays in dependency order.
+    PODS_CHECK(e.callee != nullptr);
+    std::vector<ValId> args;
+    args.reserve(e.args.size());
+    for (const auto& a : e.args) args.push_back(lowerExpr(*a));
+    Item& it = emit();
+    it.kind = ItemKind::Call;
+    it.call = std::make_unique<CallItem>();
+    it.call->fnIndex = fnIndex_.at(e.callee);
+    it.call->loc = e.loc;
+    it.call->args = std::move(args);
+    if (e.type != fe::Ty::Void) it.call->dst = fresh();
+    return it.call->dst;
+  }
+
+  ValId lowerLoop(const fe::LoopInfo& li, bool wantValue, SrcLoc loc) {
+    // Bounds and carry initializers are computed in the *parent* block.
+    ValId init = kNoVal, limit = kNoVal;
+    if (li.isFor) {
+      init = lowerExpr(*li.init);
+      limit = lowerExpr(*li.limit);
+    }
+    std::vector<ValId> carryInits;
+    carryInits.reserve(li.carries.size());
+    for (const auto& c : li.carries) carryInits.push_back(lowerExpr(*c.init));
+
+    Item& it = emit();
+    it.kind = ItemKind::Loop;
+    it.loop = std::make_unique<Block>();
+    Block* blk = it.loop.get();
+    blk->kind = li.isFor ? BlockKind::ForLoop : BlockKind::WhileLoop;
+    blk->ascending = li.ascending;
+    blk->loc = loc;
+    blk->name = fn_.name + "/" + (li.isFor ? li.indexName : "while") + "#" +
+                std::to_string(loopCounter_++);
+    blk->initVal = init;
+    blk->limitVal = limit;
+    if (li.isFor) {
+      blk->indexVal = fresh();
+      varMap_[li.indexVarId] = blk->indexVal;
+    }
+    for (std::size_t i = 0; i < li.carries.size(); ++i) {
+      Carried c;
+      c.cur = fresh();
+      c.shadow = fresh();
+      c.init = carryInits[i];
+      varMap_[li.carries[i].varId] = c.cur;
+      carryIndex_[li.carries[i].varId] = static_cast<std::uint32_t>(i);
+      blk->carried.push_back(c);
+    }
+    Block* savedLoop = curLoop_;
+    curLoop_ = blk;
+    if (!li.isFor) {
+      withTarget(&blk->condItems, [&] { blk->condVal = lowerExpr(*li.cond); });
+    }
+    withTarget(&blk->body, [&] { lowerStmts(li.body); });
+    curLoop_ = savedLoop;
+    if (li.yieldExpr) {
+      withTarget(&blk->finalItems,
+                 [&] { blk->yieldVal = lowerExpr(*li.yieldExpr); });
+    }
+    if (wantValue) {
+      PODS_CHECK_MSG(blk->yieldVal != kNoVal,
+                     "loop used as value without yield survived sema");
+    }
+    return blk->yieldVal;
+  }
+
+  const fe::Module& module_;
+  const fe::FnDecl& fn_;
+  const std::unordered_map<const fe::FnDecl*, std::uint32_t>& fnIndex_;
+  Function out_;
+  ValId nextVal_ = 0;
+  std::unordered_map<int, ValId> varMap_;
+  std::unordered_map<int, std::uint32_t> carryIndex_;
+  Block* curLoop_ = nullptr;
+  int loopCounter_ = 0;
+};
+
+}  // namespace
+
+Program buildGraph(const fe::Module& module, DiagSink& diags) {
+  Program prog;
+  std::unordered_map<const fe::FnDecl*, std::uint32_t> fnIndex;
+  std::uint32_t next = 0;
+  for (const auto& fn : module.fns) {
+    if (fn->isInline) continue;
+    fnIndex[fn.get()] = next++;
+  }
+  bool haveMain = false;
+  for (const auto& fn : module.fns) {
+    if (fn->isInline) continue;
+    if (fn->name == "main") {
+      prog.mainIndex = static_cast<std::uint32_t>(prog.fns.size());
+      haveMain = true;
+    }
+    prog.fns.push_back(FnLowering(module, *fn, fnIndex).run());
+  }
+  if (!haveMain) diags.error({}, "no 'main' function to lower");
+  return prog;
+}
+
+}  // namespace pods::ir

@@ -1,0 +1,15 @@
+// Lowering of the analyzed IdLite AST into the hierarchical dataflow graph.
+// This plays the role of the Id Nouveau compiler's graph generation stage.
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "ir/graph.hpp"
+#include "support/diag.hpp"
+
+namespace pods::ir {
+
+/// Lowers an analyzed module (sema must have succeeded). Inline functions
+/// have already been expanded away and are skipped.
+Program buildGraph(const fe::Module& module, DiagSink& diags);
+
+}  // namespace pods::ir

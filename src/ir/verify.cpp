@@ -1,0 +1,260 @@
+// Def/use computation and the structural verifier for the dataflow graph.
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "ir/defuse.hpp"
+#include "ir/verify.hpp"
+#include "support/check.hpp"
+
+namespace pods::ir {
+
+namespace {
+
+void listUses(const std::vector<Item>& items, std::vector<ValId>& out);
+void listDefs(const std::vector<Item>& items, std::vector<ValId>& out);
+
+void nodeUses(const Node& n, std::vector<ValId>& out) {
+  for (std::uint8_t i = 0; i < n.nin; ++i)
+    if (n.in[i] != kNoVal) out.push_back(n.in[i]);
+}
+
+}  // namespace
+
+void itemUses(const Item& item, std::vector<ValId>& out) {
+  switch (item.kind) {
+    case ItemKind::Node:
+      nodeUses(item.node, out);
+      break;
+    case ItemKind::If: {
+      out.push_back(item.ifi->cond);
+      // Uses of the arms minus what the arms define internally.
+      std::vector<ValId> uses, defs;
+      listUses(item.ifi->thenItems, uses);
+      listUses(item.ifi->elseItems, uses);
+      listDefs(item.ifi->thenItems, defs);
+      listDefs(item.ifi->elseItems, defs);
+      std::unordered_set<ValId> defSet(defs.begin(), defs.end());
+      for (ValId u : uses)
+        if (!defSet.count(u)) out.push_back(u);
+      break;
+    }
+    case ItemKind::Call:
+      for (ValId a : item.call->args) out.push_back(a);
+      break;
+    case ItemKind::Loop: {
+      const Block& b = *item.loop;
+      if (b.initVal != kNoVal) out.push_back(b.initVal);
+      if (b.limitVal != kNoVal) out.push_back(b.limitVal);
+      for (const Carried& c : b.carried) out.push_back(c.init);
+      for (ValId v : blockExternalUses(b)) out.push_back(v);
+      break;
+    }
+    case ItemKind::Next:
+      out.push_back(item.nextVal);
+      break;
+  }
+}
+
+void itemDefs(const Item& item, std::vector<ValId>& out) {
+  switch (item.kind) {
+    case ItemKind::Node:
+      if (item.node.dst != kNoVal) out.push_back(item.node.dst);
+      break;
+    case ItemKind::If:
+      listDefs(item.ifi->thenItems, out);
+      listDefs(item.ifi->elseItems, out);
+      break;
+    case ItemKind::Call:
+      if (item.call->dst != kNoVal) out.push_back(item.call->dst);
+      break;
+    case ItemKind::Loop:
+      if (item.loop->yieldVal != kNoVal) out.push_back(item.loop->yieldVal);
+      break;
+    case ItemKind::Next:
+      break;  // writes the block-level shadow, not a new value
+  }
+}
+
+namespace {
+
+void listUses(const std::vector<Item>& items, std::vector<ValId>& out) {
+  for (const Item& it : items) itemUses(it, out);
+}
+
+void listDefs(const std::vector<Item>& items, std::vector<ValId>& out) {
+  for (const Item& it : items) itemDefs(it, out);
+}
+
+}  // namespace
+
+void blockDefs(const Block& b, std::vector<ValId>& out) {
+  if (b.indexVal != kNoVal) out.push_back(b.indexVal);
+  for (const Carried& c : b.carried) {
+    out.push_back(c.cur);
+    out.push_back(c.shadow);
+  }
+  listDefs(b.condItems, out);
+  listDefs(b.body, out);
+  listDefs(b.finalItems, out);
+}
+
+std::vector<ValId> blockExternalUses(const Block& b) {
+  std::vector<ValId> uses, defs;
+  listUses(b.condItems, uses);
+  listUses(b.body, uses);
+  listUses(b.finalItems, uses);
+  if (b.condVal != kNoVal) uses.push_back(b.condVal);
+  if (b.yieldVal != kNoVal) uses.push_back(b.yieldVal);
+  blockDefs(b, defs);
+  std::unordered_set<ValId> defSet(defs.begin(), defs.end());
+  std::vector<ValId> out;
+  std::unordered_set<ValId> seen;
+  for (ValId u : uses) {
+    if (!defSet.count(u) && seen.insert(u).second) out.push_back(u);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Verifier
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Verifier {
+ public:
+  Verifier(const Function& fn, std::string& err) : fn_(fn), err_(err) {}
+
+  bool run() {
+    for (ValId p : fn_.params) define(p);
+    if (!checkBlock(fn_.body)) return false;
+    for (ValId r : fn_.retVals) {
+      if (!isDefined(r)) return fail("return value %" + std::to_string(r) +
+                                     " is never defined");
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string msg) {
+    err_ = "ir verify (" + fn_.name + "): " + std::move(msg);
+    return false;
+  }
+
+  void define(ValId v) { defined_.insert(v); }
+  bool isDefined(ValId v) const { return defined_.count(v) != 0; }
+
+  bool checkVal(ValId v, const char* what) {
+    if (v == kNoVal) return fail(std::string("missing ") + what);
+    if (v >= fn_.numVals)
+      return fail(std::string(what) + " %" + std::to_string(v) +
+                  " out of range");
+    if (!isDefined(v))
+      return fail(std::string(what) + " %" + std::to_string(v) +
+                  " used before definition");
+    return true;
+  }
+
+  bool checkBlock(const Block& b) {
+    if (b.kind == BlockKind::ForLoop) {
+      if (!checkVal(b.initVal, "loop init") || !checkVal(b.limitVal, "loop limit"))
+        return false;
+      define(b.indexVal);
+    }
+    for (const Carried& c : b.carried) {
+      if (!checkVal(c.init, "carry init")) return false;
+      define(c.cur);
+      define(c.shadow);
+    }
+    if (b.kind == BlockKind::WhileLoop) {
+      if (!checkItems(b.condItems)) return false;
+      if (!checkVal(b.condVal, "while condition")) return false;
+    }
+    if (!checkItems(b.body)) return false;
+    if (!checkItems(b.finalItems)) return false;
+    if (b.yieldVal != kNoVal && !checkVal(b.yieldVal, "yield value"))
+      return false;
+    return true;
+  }
+
+  bool checkItems(const std::vector<Item>& items) {
+    for (const Item& it : items) {
+      switch (it.kind) {
+        case ItemKind::Node: {
+          const Node& n = it.node;
+          for (std::uint8_t i = 0; i < n.nin; ++i) {
+            if (!checkVal(n.in[i], "operand")) return false;
+          }
+          if (n.op == NodeOp::AWrite) {
+            if (n.dst != kNoVal) return fail("awrite must not define a value");
+          } else {
+            if (n.dst == kNoVal) return fail("node missing destination");
+            define(n.dst);
+          }
+          break;
+        }
+        case ItemKind::If: {
+          if (!checkVal(it.ifi->cond, "if condition")) return false;
+          // Arms check independently; merge values (defined in both arms)
+          // become visible afterwards. Values defined in only one arm are
+          // scoped to that arm by sema; we expose the intersection.
+          std::unordered_set<ValId> before = defined_;
+          if (!checkItems(it.ifi->thenItems)) return false;
+          std::unordered_set<ValId> afterThen = std::move(defined_);
+          defined_ = before;
+          if (!checkItems(it.ifi->elseItems)) return false;
+          std::unordered_set<ValId> afterElse = std::move(defined_);
+          defined_ = std::move(before);
+          for (ValId v : afterThen) {
+            if (afterElse.count(v)) defined_.insert(v);
+          }
+          break;
+        }
+        case ItemKind::Call: {
+          if (it.call->fnIndex >= fnCount_)
+            return fail("call to unknown function index");
+          for (ValId a : it.call->args) {
+            if (!checkVal(a, "call argument")) return false;
+          }
+          if (it.call->dst != kNoVal) define(it.call->dst);
+          break;
+        }
+        case ItemKind::Loop: {
+          if (!checkBlock(*it.loop)) return false;
+          if (it.loop->yieldVal != kNoVal) define(it.loop->yieldVal);
+          break;
+        }
+        case ItemKind::Next: {
+          if (!checkVal(it.nextVal, "next value")) return false;
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  const Function& fn_;
+  std::string& err_;
+  std::unordered_set<ValId> defined_;
+
+ public:
+  std::size_t fnCount_ = 0;
+};
+
+}  // namespace
+
+bool verify(const Program& prog, std::string& err) {
+  for (const Function& fn : prog.fns) {
+    Verifier v(fn, err);
+    v.fnCount_ = prog.fns.size();
+    if (!v.run()) return false;
+  }
+  if (prog.mainIndex >= prog.fns.size()) {
+    err = "ir verify: main index out of range";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pods::ir

@@ -1,0 +1,15 @@
+// Structural verifier for the dataflow graph IR: def-before-use in the
+// current item order, operand presence, range checks, and merge-value rules
+// for conditional arms. Run after graphgen and after any reordering.
+#pragma once
+
+#include <string>
+
+#include "ir/graph.hpp"
+
+namespace pods::ir {
+
+/// Returns true if the program is well-formed; otherwise fills `err`.
+bool verify(const Program& prog, std::string& err);
+
+}  // namespace pods::ir

@@ -1,0 +1,601 @@
+#include "native/native_machine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "runtime/ops.hpp"
+#include "support/check.hpp"
+
+namespace pods::native {
+
+namespace {
+
+struct NToken {
+  bool toCont = false;
+  std::uint16_t spCode = 0;
+  std::uint64_t ctx = 0;
+  std::uint16_t slot = 0;
+  Cont cont{};
+  Value v{};
+  bool add = false;
+};
+
+struct NFrame {
+  std::uint16_t spCode = 0;
+  std::uint64_t ctx = 0;
+  std::uint32_t pc = 0;
+  std::uint16_t blockedSlot = kNoSlot;
+  bool blocked = false;
+  bool dead = false;
+  std::vector<Value> slots;
+};
+
+/// A waiting split-phase read parked on an absent element.
+struct ElemWaiter {
+  Cont cont;
+};
+
+struct NArray {
+  ArrayShape shape{};
+  ArrayLayout layout;
+  std::mutex m;  // guards elems presence + waiters
+  std::vector<Value> elems;
+  std::unordered_map<std::int64_t, std::vector<ElemWaiter>> waiters;
+
+  NArray(ArrayShape s, int pes, int page)
+      : shape(s),
+        layout(s, pes, page),
+        elems(static_cast<std::size_t>(s.numElems())) {}
+};
+
+struct Worker {
+  // Cross-thread: the inbox.
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<NToken> inbox;
+
+  // Owner-thread-only state.
+  std::vector<std::unique_ptr<NFrame>> frames;
+  std::unordered_map<std::uint64_t, std::uint32_t> match;
+  std::deque<std::uint32_t> ready;
+  std::uint64_t ctxCounter = 0;
+  std::thread thread;
+};
+
+}  // namespace
+
+struct NativeMachine::Impl {
+  const SpProgram& prog;
+  NativeConfig cfg;
+
+  std::vector<std::unique_ptr<Worker>> workers;
+
+  // Array store: ids assigned under storeM; NArray objects are stable.
+  std::mutex storeM;
+  std::vector<std::unique_ptr<NArray>> arrays;
+
+  // Results and error reporting.
+  std::mutex resultM;
+  std::vector<Value> results;
+  std::vector<bool> resultSet;
+  std::string error;
+
+  // Liveness: live frames + in-flight cross-thread tokens. Hitting zero
+  // terminates the machine.
+  std::atomic<std::int64_t> pending{0};
+  std::atomic<std::int64_t> inboxTokens{0};
+  std::atomic<int> idleWorkers{0};
+  std::atomic<bool> stop{false};
+
+  // Statistics.
+  std::atomic<std::int64_t> framesCreated{0};
+  std::atomic<std::int64_t> tokensSent{0};
+  std::atomic<std::int64_t> instructions{0};
+
+  Impl(const SpProgram& p, NativeConfig c) : prog(p), cfg(c) {
+    PODS_CHECK_MSG(c.numWorkers >= 1 && c.numWorkers <= 256,
+                   "numWorkers must be in [1, 256]");
+    PODS_CHECK(c.pageElems >= 1 && c.pageElems <= 4096);
+    for (int i = 0; i < c.numWorkers; ++i)
+      workers.push_back(std::make_unique<Worker>());
+    results.resize(static_cast<std::size_t>(prog.numResults));
+    resultSet.assign(static_cast<std::size_t>(prog.numResults), false);
+  }
+
+  void fail(const std::string& msg) {
+    {
+      std::lock_guard<std::mutex> g(resultM);
+      if (error.empty()) error = msg;
+    }
+    stop.store(true);
+    for (auto& w : workers) {
+      std::lock_guard<std::mutex> g(w->m);
+      w->cv.notify_all();
+    }
+  }
+
+  // --- tokens ---------------------------------------------------------------
+
+  void enqueue(int pe, NToken tok) {
+    pending.fetch_add(1);
+    inboxTokens.fetch_add(1);
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    {
+      std::lock_guard<std::mutex> g(w.m);
+      w.inbox.push_back(std::move(tok));
+    }
+    w.cv.notify_one();
+  }
+
+  void send(int fromPe, int toPe, NToken tok) {
+    tokensSent.fetch_add(1, std::memory_order_relaxed);
+    if (toPe == fromPe) {
+      deliver(fromPe, tok);  // owner thread: direct delivery
+    } else {
+      enqueue(toPe, std::move(tok));
+    }
+  }
+
+  /// Owner-thread token delivery (frame creation, slot write, wake-up).
+  void deliver(int pe, const NToken& tok) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    std::uint32_t frameIdx;
+    std::uint16_t slot;
+    if (tok.toCont) {
+      frameIdx = tok.cont.frame;
+      slot = tok.cont.slot;
+      if (frameIdx >= w.frames.size() || w.frames[frameIdx]->dead) return;
+    } else {
+      auto it = w.match.find(tok.ctx);
+      if (it == w.match.end()) {
+        auto f = std::make_unique<NFrame>();
+        f->spCode = tok.spCode;
+        f->ctx = tok.ctx;
+        f->slots.assign(prog.sp(tok.spCode).numSlots, Value{});
+        frameIdx = static_cast<std::uint32_t>(w.frames.size());
+        w.frames.push_back(std::move(f));
+        w.match[tok.ctx] = frameIdx;
+        w.ready.push_back(frameIdx);
+        pending.fetch_add(1);  // a live frame
+        framesCreated.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        frameIdx = it->second;
+      }
+      slot = tok.slot;
+    }
+    NFrame& f = *w.frames[frameIdx];
+    PODS_CHECK(slot < f.slots.size());
+    if (tok.add) {
+      std::int64_t cur = f.slots[slot].empty() ? 0 : f.slots[slot].asInt();
+      f.slots[slot] = Value::intv(cur + tok.v.asInt());
+    } else {
+      f.slots[slot] = tok.v;
+    }
+    if (f.blocked && f.blockedSlot == slot) {
+      f.blocked = false;
+      f.blockedSlot = kNoSlot;
+      w.ready.push_back(frameIdx);
+    }
+  }
+
+  // --- arrays ---------------------------------------------------------------
+
+  ArrayId allocArray(ArrayShape shape) {
+    std::lock_guard<std::mutex> g(storeM);
+    arrays.push_back(
+        std::make_unique<NArray>(shape, cfg.numWorkers, cfg.pageElems));
+    return static_cast<ArrayId>(arrays.size() - 1);
+  }
+
+  NArray* findArray(ArrayId id) {
+    std::lock_guard<std::mutex> g(storeM);
+    return id < arrays.size() ? arrays[id].get() : nullptr;
+  }
+
+  // --- frame execution --------------------------------------------------------
+
+  enum class Step { Continue, Blocked, Ended, Stopped };
+
+  bool ensure(NFrame& f, std::uint16_t slot) {
+    if (slot == kNoSlot || !f.slots[slot].empty()) return true;
+    f.blocked = true;
+    f.blockedSlot = slot;
+    return false;
+  }
+
+  Step step(int pe, NFrame& f) {
+    const SpCode& sp = prog.sp(f.spCode);
+    PODS_CHECK(f.pc < sp.code.size());
+    const Instr& in = sp.code[f.pc];
+
+    switch (in.op) {
+      case Op::LIT: case Op::JMP: case Op::MYPE: case Op::NUMPE:
+      case Op::NEWCTX: case Op::MKCONT: case Op::CLEAR: case Op::END:
+        break;
+      case Op::AWAITN:
+        if (!ensure(f, in.b)) return Step::Blocked;
+        break;
+      case Op::AWR:
+        if (!ensure(f, in.a) || !ensure(f, in.b) || !ensure(f, in.c) ||
+            !ensure(f, in.dst))
+          return Step::Blocked;
+        break;
+      case Op::RFLO: case Op::RFHI:
+        if (!ensure(f, in.a) || !ensure(f, in.b)) return Step::Blocked;
+        break;
+      default:
+        if (!ensure(f, in.a) || !ensure(f, in.b) || !ensure(f, in.c))
+          return Step::Blocked;
+        break;
+    }
+
+    instructions.fetch_add(1, std::memory_order_relaxed);
+    std::uint32_t nextPc = f.pc + 1;
+
+    if (isBinaryOp(in.op)) {
+      f.slots[in.dst] = applyBin(in.op, f.slots[in.a], f.slots[in.b]);
+      f.pc = nextPc;
+      return Step::Continue;
+    }
+    if (isUnaryOp(in.op)) {
+      f.slots[in.dst] = applyUn(in.op, f.slots[in.a]);
+      f.pc = nextPc;
+      return Step::Continue;
+    }
+
+    switch (in.op) {
+      case Op::LIT:
+        f.slots[in.dst] = in.imm;
+        break;
+      case Op::JMP:
+        nextPc = in.aux;
+        break;
+      case Op::BRF:
+        if (!f.slots[in.a].truthy()) nextPc = in.aux;
+        break;
+      case Op::MYPE:
+        f.slots[in.dst] = Value::intv(pe);
+        break;
+      case Op::NUMPE:
+        f.slots[in.dst] = Value::intv(cfg.numWorkers);
+        break;
+      case Op::NEWCTX: {
+        Worker& w = *workers[static_cast<std::size_t>(pe)];
+        f.slots[in.dst] = Value::intv(static_cast<std::int64_t>(
+            (std::uint64_t(static_cast<unsigned>(pe)) << 40) | ++w.ctxCounter));
+        break;
+      }
+      case Op::MKCONT: {
+        Worker& w = *workers[static_cast<std::size_t>(pe)];
+        // The running frame is the one we're stepping; find its index via
+        // the match table (context keys are unique).
+        auto it = w.match.find(f.ctx);
+        PODS_CHECK(it != w.match.end());
+        Cont c;
+        c.pe = static_cast<std::uint16_t>(pe);
+        c.frame = it->second;
+        c.slot = static_cast<std::uint16_t>(in.aux);
+        f.slots[in.dst] = Value::contv(c);
+        break;
+      }
+      case Op::CLEAR:
+        f.slots[in.a] = Value{};
+        break;
+      case Op::ALLOC:
+      case Op::ALLOCD: {
+        ArrayShape shape;
+        shape.rank = in.dim;
+        shape.dim0 = f.slots[in.a].asInt();
+        shape.dim1 = in.dim == 2 ? f.slots[in.b].asInt() : 1;
+        if (shape.dim0 < 0 || shape.dim1 < 0 ||
+            shape.numElems() > (std::int64_t(1) << 26)) {
+          fail("bad allocation dimensions");
+          return Step::Stopped;
+        }
+        f.slots[in.dst] = Value::arrayv(allocArray(shape));
+        break;
+      }
+      case Op::ARD: {
+        NArray* a = findArray(f.slots[in.a].asArray());
+        const std::int64_t i0 = f.slots[in.b].asInt();
+        const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
+        std::int64_t offset;
+        if (!resolveOffset(*a, i0, i1, in.c != kNoSlot ? 2 : 1, offset)) {
+          fail("array read out of bounds in " + sp.name);
+          return Step::Stopped;
+        }
+        f.slots[in.dst] = Value{};
+        Worker& w = *workers[static_cast<std::size_t>(pe)];
+        auto it = w.match.find(f.ctx);
+        PODS_CHECK(it != w.match.end());
+        Cont c{static_cast<std::uint16_t>(pe), it->second, in.dst};
+        Value v;
+        bool present = false;
+        {
+          std::lock_guard<std::mutex> g(a->m);
+          const Value& elem = a->elems[static_cast<std::size_t>(offset)];
+          if (!elem.empty()) {
+            v = elem;
+            present = true;
+          } else {
+            a->waiters[offset].push_back(ElemWaiter{c});
+          }
+        }
+        if (present) f.slots[in.dst] = v;
+        break;
+      }
+      case Op::AWR: {
+        NArray* a = findArray(f.slots[in.a].asArray());
+        const std::int64_t i0 = f.slots[in.b].asInt();
+        const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
+        std::int64_t offset;
+        if (!resolveOffset(*a, i0, i1, in.c != kNoSlot ? 2 : 1, offset)) {
+          fail("array write out of bounds in " + sp.name);
+          return Step::Stopped;
+        }
+        std::vector<ElemWaiter> woken;
+        {
+          std::lock_guard<std::mutex> g(a->m);
+          Value& elem = a->elems[static_cast<std::size_t>(offset)];
+          if (!elem.empty()) {
+            fail("single-assignment violation at element " +
+                 std::to_string(offset));
+            return Step::Stopped;
+          }
+          elem = f.slots[in.dst];
+          auto wit = a->waiters.find(offset);
+          if (wit != a->waiters.end()) {
+            woken = std::move(wit->second);
+            a->waiters.erase(wit);
+          }
+        }
+        for (const ElemWaiter& waiter : woken) {
+          NToken tok;
+          tok.toCont = true;
+          tok.cont = waiter.cont;
+          tok.v = f.slots[in.dst];
+          send(pe, waiter.cont.pe, std::move(tok));
+        }
+        break;
+      }
+      case Op::RFLO:
+      case Op::RFHI: {
+        NArray* a = findArray(f.slots[in.a].asArray());
+        IdxRange r;
+        if (in.dim == 0) {
+          r = a->layout.ownedRows(pe);
+        } else {
+          r = a->layout.ownedColsOfRow(pe, f.slots[in.b].asInt());
+        }
+        f.slots[in.dst] =
+            Value::intv((in.op == Op::RFHI ? r.hi : r.lo) - in.off);
+        break;
+      }
+      case Op::BLKLO:
+      case Op::BLKHI: {
+        IdxRange r = blockPartition(f.slots[in.a].asInt(),
+                                    f.slots[in.b].asInt(), pe, cfg.numWorkers);
+        f.slots[in.dst] = Value::intv(in.op == Op::BLKHI ? r.hi : r.lo);
+        break;
+      }
+      case Op::DIMQ: {
+        NArray* a = findArray(f.slots[in.a].asArray());
+        f.slots[in.dst] =
+            Value::intv(in.dim == 1 ? a->shape.dim1 : a->shape.dim0);
+        break;
+      }
+      case Op::SENDA:
+      case Op::SENDD: {
+        NToken tok;
+        tok.spCode = in.targetSp();
+        tok.slot = in.targetSlot();
+        tok.ctx = static_cast<std::uint64_t>(f.slots[in.b].asInt());
+        tok.v = f.slots[in.a];
+        if (in.op == Op::SENDA) {
+          send(pe, pe, std::move(tok));
+        } else {
+          for (int dest = 0; dest < cfg.numWorkers; ++dest) {
+            send(pe, dest, tok);
+          }
+        }
+        break;
+      }
+      case Op::SENDC:
+      case Op::ADDC: {
+        Cont c = f.slots[in.b].asCont();
+        NToken tok;
+        tok.toCont = true;
+        tok.cont = c;
+        tok.v = f.slots[in.a];
+        tok.add = in.op == Op::ADDC;
+        send(pe, c.pe, std::move(tok));
+        break;
+      }
+      case Op::AWAITN: {
+        std::int64_t count = f.slots[in.a].empty() ? 0 : f.slots[in.a].asInt();
+        if (count < f.slots[in.b].asInt()) {
+          f.blocked = true;
+          f.blockedSlot = in.a;
+          return Step::Blocked;
+        }
+        break;
+      }
+      case Op::RESULT: {
+        std::lock_guard<std::mutex> g(resultM);
+        results[in.aux] = f.slots[in.a];
+        resultSet[in.aux] = true;
+        break;
+      }
+      case Op::END:
+        f.dead = true;
+        f.slots.clear();
+        f.slots.shrink_to_fit();
+        {
+          Worker& w = *workers[static_cast<std::size_t>(pe)];
+          w.match.erase(f.ctx);
+        }
+        return Step::Ended;
+      default:
+        PODS_UNREACHABLE("unhandled opcode");
+    }
+    f.pc = nextPc;
+    return Step::Continue;
+  }
+
+  static bool resolveOffset(const NArray& a, std::int64_t i0, std::int64_t i1,
+                            int rank, std::int64_t& offset) {
+    if (rank == 1) {
+      if (i0 < 0 || i0 >= a.shape.numElems()) return false;
+      offset = i0;
+      return true;
+    }
+    if (!a.shape.inBounds(i0, i1)) return false;
+    offset = a.shape.flatten(i0, i1);
+    return true;
+  }
+
+  // --- worker loop ------------------------------------------------------------
+
+  void drainInbox(int pe) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    std::deque<NToken> batch;
+    {
+      std::lock_guard<std::mutex> g(w.m);
+      batch.swap(w.inbox);
+    }
+    if (batch.empty()) return;
+    inboxTokens.fetch_sub(static_cast<std::int64_t>(batch.size()));
+    for (NToken& tok : batch) {
+      deliver(pe, tok);
+      finishPending();  // token consumed
+    }
+  }
+
+  void finishPending() {
+    if (pending.fetch_sub(1) == 1) {
+      stop.store(true);
+      for (auto& w : workers) {
+        std::lock_guard<std::mutex> g(w->m);
+        w->cv.notify_all();
+      }
+    }
+  }
+
+  void runSlice(int pe, std::uint32_t frameIdx) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    NFrame& f = *w.frames[frameIdx];
+    if (f.dead) return;
+    for (int k = 0; k < cfg.sliceInstructions; ++k) {
+      Step s = step(pe, f);
+      if (s == Step::Continue) continue;
+      if (s == Step::Ended) finishPending();  // frame retired
+      return;  // Blocked / Ended / Stopped
+    }
+    // Slice budget exhausted: requeue and let the inbox drain.
+    w.ready.push_back(frameIdx);
+  }
+
+  void workerMain(int pe) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    while (!stop.load()) {
+      drainInbox(pe);
+      if (!w.ready.empty()) {
+        std::uint32_t idx = w.ready.front();
+        w.ready.pop_front();
+        runSlice(pe, idx);
+        continue;
+      }
+      // Idle: wait for tokens (or termination).
+      std::unique_lock<std::mutex> g(w.m);
+      if (!w.inbox.empty() || stop.load()) continue;
+      idleWorkers.fetch_add(1);
+      // Deadlock check: everyone idle, nothing in flight, frames alive.
+      if (idleWorkers.load() == cfg.numWorkers && inboxTokens.load() == 0 &&
+          pending.load() > 0 && !stop.load()) {
+        g.unlock();
+        // Double-check after a grace period (another worker may be mid-send;
+        // sends increment pending *before* enqueueing, so a stable snapshot
+        // across the sleep is conclusive).
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (idleWorkers.load() == cfg.numWorkers && inboxTokens.load() == 0 &&
+            pending.load() > 0 && !stop.load()) {
+          fail("deadlock: " + std::to_string(pending.load()) +
+               " live SPs blocked forever");
+        }
+        idleWorkers.fetch_sub(1);
+        continue;
+      }
+      w.cv.wait_for(g, std::chrono::milliseconds(10), [&] {
+        return !w.inbox.empty() || stop.load();
+      });
+      idleWorkers.fetch_sub(1);
+    }
+  }
+
+  NativeResult run() {
+    auto t0 = std::chrono::steady_clock::now();
+    // Boot main on worker 0 via a spawn token carrying no payload slot —
+    // create the frame directly instead (main may take no arguments).
+    {
+      Worker& w0 = *workers[0];
+      auto f = std::make_unique<NFrame>();
+      f->spCode = prog.mainSp;
+      f->ctx = 0;
+      f->slots.assign(prog.sp(prog.mainSp).numSlots, Value{});
+      w0.frames.push_back(std::move(f));
+      w0.match[0] = 0;
+      w0.ready.push_back(0);
+      pending.store(1);
+      framesCreated.store(1);
+    }
+    for (int i = 0; i < cfg.numWorkers; ++i) {
+      workers[static_cast<std::size_t>(i)]->thread =
+          std::thread([this, i] { workerMain(i); });
+    }
+    for (auto& w : workers) w->thread.join();
+    auto t1 = std::chrono::steady_clock::now();
+
+    NativeResult out;
+    out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    out.results = results;
+    out.error = error;
+    if (out.error.empty()) {
+      for (std::size_t r = 0; r < resultSet.size(); ++r) {
+        if (!resultSet[r]) {
+          out.error = "program result " + std::to_string(r) + " never set";
+          break;
+        }
+      }
+    }
+    out.ok = out.error.empty();
+    out.counters.add("native.frames", framesCreated.load());
+    out.counters.add("native.tokens", tokensSent.load());
+    out.counters.add("native.instructions", instructions.load());
+    out.counters.add("native.workers", cfg.numWorkers);
+    return out;
+  }
+};
+
+NativeMachine::NativeMachine(const SpProgram& prog, NativeConfig cfg)
+    : impl_(std::make_unique<Impl>(prog, cfg)) {}
+
+NativeMachine::~NativeMachine() = default;
+
+NativeResult NativeMachine::run() { return impl_->run(); }
+
+std::optional<NativeArray> NativeMachine::gather(ArrayId id) const {
+  if (id >= impl_->arrays.size()) return std::nullopt;
+  // Post-run (threads joined), so unguarded reads are safe.
+  NArray& a = *impl_->arrays[id];
+  NativeArray view;
+  view.shape = a.shape;
+  view.elems = a.elems;
+  return view;
+}
+
+}  // namespace pods::native

@@ -1,0 +1,76 @@
+// Native threaded runtime for Subcompact Processes.
+//
+// The simulator (src/sim) reproduces the paper's *evaluation*; this runtime
+// demonstrates the paper's *goal*: executing the same translated SP programs
+// on a real shared-nothing-style multiprocessor — here, host threads, the
+// modern stand-in for the iPSC/2 nodes the authors were targeting.
+//
+// Fidelity to the model:
+//  - one worker thread per "PE"; every frame is owned by exactly one worker
+//    and only its owner ever touches it (tokens cross threads through a
+//    mutex-guarded inbox, so no per-frame locking exists);
+//  - SP semantics are identical to the simulator's: spawn-by-token frame
+//    instantiation keyed on (SP code, context), blocking on empty operand
+//    slots, split-phase I-structure reads with deferred-read wake-up,
+//    counted completion joins, Range Filters computed from array headers
+//    with the worker count as the PE count;
+//  - single assignment is enforced; violations, bounds errors, and
+//    deadlocks (all workers idle with live SPs) are detected and reported.
+//
+// Because the language is single-assignment, results are bit-identical to
+// the simulator and the evaluators regardless of thread interleaving —
+// that is the Church-Rosser property, and the tests assert it under
+// repeated runs and varying worker counts.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/array_layout.hpp"
+#include "runtime/isa.hpp"
+#include "support/stats.hpp"
+
+namespace pods::native {
+
+struct NativeConfig {
+  int numWorkers = 4;      // the "PE count" seen by NUMPE / Range Filters
+  int pageElems = 32;      // array layout granularity (ownership math only)
+  int sliceInstructions = 1024;  // max instructions before draining the inbox
+};
+
+struct NativeResult {
+  bool ok = false;
+  std::string error;
+  std::vector<Value> results;
+  double wallSeconds = 0.0;
+  Counters counters;
+};
+
+/// One materialized array, readable after run() completes.
+struct NativeArray {
+  ArrayShape shape{};
+  std::vector<Value> elems;
+};
+
+class NativeMachine {
+ public:
+  NativeMachine(const SpProgram& prog, NativeConfig cfg);
+  ~NativeMachine();
+
+  NativeMachine(const NativeMachine&) = delete;
+  NativeMachine& operator=(const NativeMachine&) = delete;
+
+  /// Executes the program to completion on real threads. Call once.
+  NativeResult run();
+
+  /// Post-run array snapshot (for result extraction); nullopt if unknown.
+  std::optional<NativeArray> gather(ArrayId id) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pods::native

@@ -1,0 +1,305 @@
+#include "partition/plan.hpp"
+
+#include <functional>
+
+#include "support/check.hpp"
+
+namespace pods::partition {
+
+using ir::Block;
+using ir::BlockKind;
+using ir::Item;
+using ir::ItemKind;
+using ir::kNoVal;
+using ir::Node;
+using ir::NodeOp;
+using ir::ValId;
+
+namespace {
+
+class Planner {
+ public:
+  Planner(const ir::Program& prog, const PlanOptions& options)
+      : prog_(prog), options_(options) {
+    summaries_ = summarizeFunctions(prog);
+  }
+
+  Plan run() {
+    Plan plan;
+    plan.options = options_;
+    plan.distributeArrays = options_.distribute;
+    if (!plan.distributeArrays) return plan;  // everything local
+
+    // Which functions may execute inside a replicated loop body. Seeded by
+    // planning from main; iterate because marking a function "distributed
+    // context" changes its own plan, which changes the contexts of its
+    // callees.
+    inDistributedContext_.assign(prog_.fns.size(), false);
+
+    // Process in BFS order over the call graph from main. A function is
+    // planned once; if later discovered to be called from a replicated
+    // context, it is re-planned as all-local and its callees re-examined.
+    plan_ = &plan;
+    planFunction(prog_.mainIndex);
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (std::uint32_t f = 0; f < prog_.fns.size(); ++f) {
+        if (needsReplan_.size() > f && needsReplan_[f]) {
+          needsReplan_[f] = false;
+          planFunction(f);
+          changed = true;
+        }
+      }
+    }
+    plan.numReplicated = numReplicated_;
+    return plan;
+  }
+
+ private:
+  void planFunction(std::uint32_t fnIndex) {
+    const ir::Function& fn = prog_.fns[fnIndex];
+    if (planned_.size() <= fnIndex) planned_.resize(prog_.fns.size(), false);
+    if (needsReplan_.size() <= fnIndex) needsReplan_.resize(prog_.fns.size(), false);
+
+    FnTables tables(fn);
+    bool allLocal = inDistributedContext_[fnIndex];
+
+    // Clear any previous decisions for this function's loops.
+    std::function<void(const std::vector<Item>&)> clear =
+        [&](const std::vector<Item>& items) {
+          for (const Item& it : items) {
+            if (it.kind == ItemKind::Loop) {
+              auto found = plan_->loops.find(it.loop.get());
+              if (found != plan_->loops.end() && found->second.replicated) {
+                --numReplicated_;
+                plan_->loops.erase(found);
+              }
+              clear(it.loop->condItems);
+              clear(it.loop->body);
+              clear(it.loop->finalItems);
+            } else if (it.kind == ItemKind::If) {
+              clear(it.ifi->thenItems);
+              clear(it.ifi->elseItems);
+            }
+          }
+        };
+    if (planned_[fnIndex]) clear(fn.body.body);
+    planned_[fnIndex] = true;
+
+    planItems(fn.body.body, tables, /*inReplicated=*/allLocal);
+    // Calls outside loops run in whatever context the function itself runs.
+    propagateCalls(fn.body.body, allLocal);
+  }
+
+  /// Depth-first over loop nests: distribute the outermost LCD-free level.
+  void planItems(const std::vector<Item>& items, const FnTables& tables,
+                 bool inReplicated) {
+    for (const Item& it : items) {
+      switch (it.kind) {
+        case ItemKind::Loop:
+          planLoop(*it.loop, tables, inReplicated);
+          break;
+        case ItemKind::If:
+          planItems(it.ifi->thenItems, tables, inReplicated);
+          planItems(it.ifi->elseItems, tables, inReplicated);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void planLoop(const Block& loop, const FnTables& tables, bool inReplicated) {
+    if (!inReplicated && loop.kind == BlockKind::ForLoop &&
+        !hasLoopCarriedDependency(loop, tables, summaries_)) {
+      LoopPlan lp = chooseRangeFilter(loop, tables);
+      lp.replicated = true;
+      plan_->loops[&loop] = lp;
+      ++numReplicated_;
+      // Everything below the replicated level runs locally (4.2.3): RFs
+      // below are eliminated; callees inside run in distributed context.
+      // Yield expressions (finalItems) execute once per replica, so they
+      // count as distributed context too.
+      planItems(loop.body, tables, /*inReplicated=*/true);
+      planItems(loop.finalItems, tables, /*inReplicated=*/true);
+      propagateCalls(loop.body, /*distributedContext=*/true);
+      propagateCalls(loop.finalItems, /*distributedContext=*/true);
+      return;
+    }
+    // This level stays local; recurse to find distributable inner levels.
+    planItems(loop.condItems, tables, inReplicated);
+    planItems(loop.body, tables, inReplicated);
+    planItems(loop.finalItems, tables, inReplicated);
+    propagateCallsShallow(loop, inReplicated);
+  }
+
+  /// Marks callee functions reachable from `items` (recursively through
+  /// nested regions) as running in a distributed context when requested.
+  void propagateCalls(const std::vector<Item>& items, bool distributedContext) {
+    for (const Item& it : items) {
+      switch (it.kind) {
+        case ItemKind::Call:
+          noteCall(it.call->fnIndex, distributedContext);
+          break;
+        case ItemKind::If:
+          propagateCalls(it.ifi->thenItems, distributedContext);
+          propagateCalls(it.ifi->elseItems, distributedContext);
+          break;
+        case ItemKind::Loop:
+          propagateCalls(it.loop->condItems, distributedContext);
+          propagateCalls(it.loop->body, distributedContext);
+          propagateCalls(it.loop->finalItems, distributedContext);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  /// Calls directly in a local loop's own lists (not inside nested loops,
+  /// which planLoop handles itself).
+  void propagateCallsShallow(const Block& loop, bool inReplicated) {
+    // Nested loops were already visited by planLoop; visiting them again via
+    // propagateCalls would be wrong only if contexts differed — they do:
+    // a nested replicated loop switches its subtree to distributed context.
+    // To keep this simple we only handle calls NOT inside nested loops here.
+    auto walk = [&](const std::vector<Item>& items, auto&& self) -> void {
+      for (const Item& it : items) {
+        if (it.kind == ItemKind::Call) {
+          noteCall(it.call->fnIndex, inReplicated);
+        } else if (it.kind == ItemKind::If) {
+          self(it.ifi->thenItems, self);
+          self(it.ifi->elseItems, self);
+        }
+        // ItemKind::Loop: skip; handled by planLoop recursion.
+      }
+    };
+    walk(loop.condItems, walk);
+    walk(loop.body, walk);
+    walk(loop.finalItems, walk);
+  }
+
+  void noteCall(std::uint32_t callee, bool distributedContext) {
+    if (planned_.size() <= callee) planned_.resize(prog_.fns.size(), false);
+    if (needsReplan_.size() <= callee)
+      needsReplan_.resize(prog_.fns.size(), false);
+    if (distributedContext && !inDistributedContext_[callee]) {
+      inDistributedContext_[callee] = true;
+      needsReplan_[callee] = true;
+    } else if (!planned_[callee] && !needsReplan_[callee]) {
+      needsReplan_[callee] = true;
+    }
+  }
+
+  /// Picks the Range Filter for a loop being replicated: prefer a write whose
+  /// dim-0 subscript is index+c (OwnedRows); else a write whose dim-1
+  /// subscript is index+c with a loop-invariant row (OwnedColsOfRow); else
+  /// fall back to an even block split of the index range.
+  LoopPlan chooseRangeFilter(const Block& loop, const FnTables& tables) {
+    LoopPlan lp;
+    if (options_.forceBlockRange) {
+      lp.mode = RfMode::BlockRange;
+      return lp;
+    }
+    std::vector<ArrayAccess> accesses =
+        collectAccesses(loop, tables, summaries_);
+    // First pass: dim-0 matches on arrays defined outside the loop.
+    for (const ArrayAccess& a : accesses) {
+      if (!a.isWrite || !a.shapeKnown) continue;
+      if (!tables.isInvariant(a.array, loop)) continue;
+      AffineForm f0 = affineIn(a.sub[0], loop.indexVal, tables);
+      if (f0.kind == AffineForm::Kind::Affine) {
+        lp.mode = RfMode::OwnedRows;
+        lp.governingArray = a.array;
+        lp.filteredDim = 0;
+        lp.offset = static_cast<std::int32_t>(f0.offset);
+        return lp;
+      }
+    }
+    // Second pass: dim-1 matches with invariant row subscripts. Invariance
+    // of sub[0] also guarantees it is an *external use* of the loop block,
+    // i.e. an argument token available before the replica's prologue runs
+    // its RFLO/RFHI — a row index computed inside the body would leave the
+    // Range Filter reading an empty slot.
+    for (const ArrayAccess& a : accesses) {
+      if (!a.isWrite || !a.shapeKnown || a.rank < 2) continue;
+      if (!tables.isInvariant(a.array, loop)) continue;
+      AffineForm f1 = affineIn(a.sub[1], loop.indexVal, tables);
+      if (f1.kind == AffineForm::Kind::Affine &&
+          tables.isInvariant(a.sub[0], loop)) {
+        lp.mode = RfMode::OwnedColsOfRow;
+        lp.governingArray = a.array;
+        lp.filteredDim = 1;
+        lp.offset = static_cast<std::int32_t>(f1.offset);
+        lp.rowIndexVal = a.sub[0];
+        return lp;
+      }
+    }
+    lp.mode = RfMode::BlockRange;
+    return lp;
+  }
+
+  const ir::Program& prog_;
+  PlanOptions options_;
+  std::vector<FnSummary> summaries_;
+  std::vector<bool> inDistributedContext_;
+  std::vector<bool> planned_;
+  std::vector<bool> needsReplan_;
+  Plan* plan_ = nullptr;
+  int numReplicated_ = 0;
+};
+
+void describeItems(const std::vector<Item>& items, const Plan& plan, int depth,
+                   std::string& out) {
+  std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  for (const Item& it : items) {
+    if (it.kind == ItemKind::Loop) {
+      const Block& b = *it.loop;
+      out += pad + b.name + ": ";
+      const LoopPlan* lp = plan.find(&b);
+      if (lp && lp->replicated) {
+        out += "REPLICATED (LD) rf=";
+        switch (lp->mode) {
+          case RfMode::OwnedRows:
+            out += "owned-rows of %" + std::to_string(lp->governingArray) +
+                   " offset=" + std::to_string(lp->offset);
+            break;
+          case RfMode::OwnedColsOfRow:
+            out += "owned-cols of %" + std::to_string(lp->governingArray) +
+                   " row=%" + std::to_string(lp->rowIndexVal) +
+                   " offset=" + std::to_string(lp->offset);
+            break;
+          case RfMode::BlockRange:
+            out += "block-range";
+            break;
+        }
+      } else {
+        out += "local";
+      }
+      out += "\n";
+      describeItems(b.condItems, plan, depth + 1, out);
+      describeItems(b.body, plan, depth + 1, out);
+      describeItems(b.finalItems, plan, depth + 1, out);
+    } else if (it.kind == ItemKind::If) {
+      describeItems(it.ifi->thenItems, plan, depth, out);
+      describeItems(it.ifi->elseItems, plan, depth, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Plan::describe(const ir::Program& prog) const {
+  std::string out;
+  for (const ir::Function& fn : prog.fns) {
+    out += "fn " + fn.name + ":\n";
+    describeItems(fn.body.body, *this, 1, out);
+  }
+  return out;
+}
+
+Plan makePlan(const ir::Program& prog, const PlanOptions& options) {
+  return Planner(prog, options).run();
+}
+
+}  // namespace pods::partition

@@ -1,0 +1,75 @@
+// The PODS Partitioner's distribution plan (paper section 4.2).
+//
+// For every loop nest, the plan marks at most one level as *replicated*: its
+// parent's L operator becomes a distributing LD that spawns a copy of the
+// loop's SP on every PE, and a Range Filter clamps each copy's index range
+// to that PE's area of responsibility (Figure 5). The level chosen is the
+// outermost one without a loop-carried dependency (the for-loop distribution
+// algorithm of section 4.2.4); everything below runs locally with its full
+// index range, relying on the first-element-of-row ownership rule; everything
+// above stays centralized.
+//
+// Functions reachable from a replicated loop body never replicate their own
+// loops (each PE's copy would re-distribute, duplicating every iteration and
+// violating single assignment); the planner propagates that context over the
+// call graph.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "ir/graph.hpp"
+#include "partition/lcd.hpp"
+
+namespace pods::partition {
+
+/// How a replicated loop's Range Filter computes this PE's index subrange.
+enum class RfMode : std::uint8_t {
+  OwnedRows,       // loop index selects dim-0 of the governing array:
+                   // clamp to the rows owned under first-element-of-row rule
+  OwnedColsOfRow,  // loop index selects dim-1 for a fixed (invariant) row:
+                   // clamp to the columns of that row held locally (Fig. 5)
+  BlockRange,      // fallback: even block partition of the iteration range
+                   // (the "simple global algorithm")
+};
+
+struct LoopPlan {
+  bool replicated = false;
+  RfMode mode = RfMode::BlockRange;
+  ir::ValId governingArray = ir::kNoVal;  // array whose header drives the RF
+  int filteredDim = 0;
+  std::int32_t offset = 0;                // write subscript == index + offset
+  ir::ValId rowIndexVal = ir::kNoVal;     // OwnedColsOfRow: the fixed row
+};
+
+// The plan is independent of the PE count: Range-Filter bounds are computed
+// at run time from array headers, so a program compiled once with
+// distribution enabled runs correctly on any machine size (including 1 PE).
+struct PlanOptions {
+  bool distribute = true;  // false: everything local (testing / sequential)
+  /// Ablation: ignore array-ownership Range Filters and always fall back to
+  /// even block partitioning of the index range (Data-Distributed Execution
+  /// off). Computation then no longer follows the data distribution.
+  bool forceBlockRange = false;
+};
+
+struct Plan {
+  PlanOptions options;
+  std::unordered_map<const ir::Block*, LoopPlan> loops;
+  bool distributeArrays = false;
+  int numReplicated = 0;
+
+  const LoopPlan* find(const ir::Block* b) const {
+    auto it = loops.find(b);
+    return it == loops.end() ? nullptr : &it->second;
+  }
+
+  /// Human-readable plan listing (for tests and the partitioning demo).
+  std::string describe(const ir::Program& prog) const;
+};
+
+/// Runs LCD analysis and the for-loop distribution algorithm over the whole
+/// program.
+Plan makePlan(const ir::Program& prog, const PlanOptions& options);
+
+}  // namespace pods::partition

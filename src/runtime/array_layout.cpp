@@ -1,0 +1,54 @@
+#include "runtime/array_layout.hpp"
+
+#include <algorithm>
+
+namespace pods {
+
+int ArrayLayout::pageOwner(std::int64_t page) const {
+  PODS_CHECK(page >= 0 && page < std::max<std::int64_t>(numPages_, 1));
+  const std::int64_t q = numPages_ / numPEs_;
+  const std::int64_t r = numPages_ % numPEs_;
+  // First r PEs hold q+1 pages each, covering the first r*(q+1) pages.
+  const std::int64_t firstBlock = r * (q + 1);
+  if (page < firstBlock) return static_cast<int>(page / (q + 1));
+  if (q == 0) return numPEs_ - 1;  // degenerate: fewer pages than PEs
+  return static_cast<int>(r + (page - firstBlock) / q);
+}
+
+IdxRange ArrayLayout::ownedRows(int pe) const {
+  PODS_CHECK(pe >= 0 && pe < numPEs_);
+  if (shape_.numElems() == 0) return {};
+  // PE p is responsible for row i iff it holds flat offset i*dim1.
+  // Segments are contiguous in flat offsets, so responsible rows are the
+  // contiguous range of i with segLo <= i*dim1 <= segHi.
+  IdxRange seg = elemSegment(pe);
+  if (seg.empty()) return {};
+  const std::int64_t d1 = shape_.dim1;
+  const std::int64_t lo = (seg.lo + d1 - 1) / d1;  // ceil(segLo / dim1)
+  const std::int64_t hi = std::min(shape_.dim0 - 1, seg.hi / d1);
+  return {lo, hi};
+}
+
+IdxRange ArrayLayout::ownedColsOfRow(int pe, std::int64_t row) const {
+  PODS_CHECK(pe >= 0 && pe < numPEs_);
+  if (row < 0 || row >= shape_.dim0) return {};
+  IdxRange seg = elemSegment(pe);
+  if (seg.empty()) return {};
+  const std::int64_t base = row * shape_.dim1;
+  const std::int64_t lo = std::max<std::int64_t>(0, seg.lo - base);
+  const std::int64_t hi = std::min<std::int64_t>(shape_.dim1 - 1, seg.hi - base);
+  return {lo, hi};
+}
+
+IdxRange blockPartition(std::int64_t lo, std::int64_t hi, int pe, int numPEs) {
+  PODS_CHECK(numPEs >= 1 && pe >= 0 && pe < numPEs);
+  if (lo > hi) return {};
+  const std::int64_t n = hi - lo + 1;
+  const std::int64_t q = n / numPEs;
+  const std::int64_t r = n % numPEs;
+  const std::int64_t start = lo + pe * q + std::min<std::int64_t>(pe, r);
+  const std::int64_t len = q + (pe < r ? 1 : 0);
+  return {start, start + len - 1};
+}
+
+}  // namespace pods

@@ -1,0 +1,106 @@
+// Array partitioning & distribution math (paper section 4.1, Figures 4 and 6).
+//
+// An array is stored row-major, cut into pages of a fixed number of elements
+// (32 on the iPSC/2), and the pages are grouped into contiguous segments of
+// approximately equal size, one segment per PE, assigned sequentially. On top
+// of that the *iteration space* of a loop writing the array is divided by the
+// first-element-of-row ownership rule (section 4.2.3): the PE holding the
+// first element of a row is responsible for the entire row.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace pods {
+
+/// Shape of an I-structure array. rank 1 arrays use dim1 == 1 semantics
+/// internally but are addressed with a single subscript.
+struct ArrayShape {
+  int rank = 1;
+  std::int64_t dim0 = 0;  ///< rows (or length for rank 1)
+  std::int64_t dim1 = 1;  ///< columns (1 for rank 1)
+
+  std::int64_t numElems() const { return dim0 * dim1; }
+  std::int64_t flatten(std::int64_t i, std::int64_t j) const { return i * dim1 + j; }
+  bool inBounds(std::int64_t i, std::int64_t j) const {
+    return i >= 0 && i < dim0 && j >= 0 && j < dim1;
+  }
+};
+
+/// An inclusive range [lo, hi]; empty when lo > hi.
+struct IdxRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = -1;
+  bool empty() const { return lo > hi; }
+  std::int64_t size() const { return empty() ? 0 : hi - lo + 1; }
+  bool contains(std::int64_t v) const { return v >= lo && v <= hi; }
+};
+
+/// Row-major page/segment layout of one array across the machine.
+class ArrayLayout {
+ public:
+  ArrayLayout(ArrayShape shape, int numPEs, int pageElems)
+      : shape_(shape), numPEs_(numPEs), pageElems_(pageElems) {
+    PODS_CHECK(numPEs >= 1);
+    PODS_CHECK(pageElems >= 1);
+    PODS_CHECK(shape.numElems() >= 0);
+    numPages_ = (shape.numElems() + pageElems - 1) / pageElems;
+  }
+
+  const ArrayShape& shape() const { return shape_; }
+  int numPEs() const { return numPEs_; }
+  int pageElems() const { return pageElems_; }
+  std::int64_t numPages() const { return numPages_; }
+
+  std::int64_t pageOfOffset(std::int64_t offset) const { return offset / pageElems_; }
+
+  /// Pages are grouped into numPEs contiguous segments of approximately equal
+  /// size (the first `numPages % numPEs` PEs get one extra page).
+  IdxRange pageSegment(int pe) const {
+    PODS_CHECK(pe >= 0 && pe < numPEs_);
+    const std::int64_t q = numPages_ / numPEs_;
+    const std::int64_t r = numPages_ % numPEs_;
+    const std::int64_t lo = pe * q + std::min<std::int64_t>(pe, r);
+    const std::int64_t n = q + (pe < r ? 1 : 0);
+    return {lo, lo + n - 1};
+  }
+
+  /// Which PE owns a page.
+  int pageOwner(std::int64_t page) const;
+
+  /// Which PE owns a flat element offset.
+  int ownerOfOffset(std::int64_t offset) const { return pageOwner(pageOfOffset(offset)); }
+
+  /// Flat element range [lo, hi] held in this PE's local segment.
+  IdxRange elemSegment(int pe) const {
+    IdxRange pages = pageSegment(pe);
+    if (pages.empty()) return {};
+    return {pages.lo * pageElems_,
+            std::min(shape_.numElems() - 1, (pages.hi + 1) * pageElems_ - 1)};
+  }
+
+  /// Rows this PE is *responsible for* under the first-element-of-row rule
+  /// (section 4.2.3): pe owns row i iff it holds element (i, 0). The result
+  /// ranges over all PEs are disjoint and cover [0, dim0).
+  IdxRange ownedRows(int pe) const;
+
+  /// Columns of row `row` whose elements live in this PE's segment (the
+  /// i-dependent Range-Filter bounds of Figure 5). Disjoint across PEs and
+  /// covering [0, dim1) for every row.
+  IdxRange ownedColsOfRow(int pe, std::int64_t row) const;
+
+ private:
+  ArrayShape shape_;
+  int numPEs_;
+  int pageElems_;
+  std::int64_t numPages_;
+};
+
+/// Even block partitioning of an inclusive index range [lo, hi] over numPEs
+/// (the paper's "simple global algorithm" fallback used when a loop's index
+/// does not address the governing array's distributed dimension).
+IdxRange blockPartition(std::int64_t lo, std::int64_t hi, int pe, int numPEs);
+
+}  // namespace pods

@@ -1,0 +1,110 @@
+// Runtime values ("tokens") exchanged between Subcompact Processes and stored
+// in I-structure array elements and SP frame slots.
+//
+// A slot with Tag::Empty has no token yet: an instruction whose operand slot
+// is Empty is *disabled*, which is what blocks an SP (paper section 3). The
+// same emptiness encodes I-structure presence bits in array memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace pods {
+
+/// Global identifier of an I-structure array. IDs are minted PE-locally and
+/// kept globally unique by striding them by the PE count (paper section 4.1:
+/// "all PEs receive the same ID for the same array").
+using ArrayId = std::uint32_t;
+
+/// A continuation: the address of one slot of one SP frame on one PE.
+/// Parents pass continuations to children so results / completion signals
+/// can be sent back as tokens.
+struct Cont {
+  std::uint16_t pe = 0;
+  std::uint32_t frame = 0;
+  std::uint16_t slot = 0;
+
+  std::uint64_t pack() const {
+    return (std::uint64_t(pe) << 48) | (std::uint64_t(frame) << 16) | slot;
+  }
+  static Cont unpack(std::uint64_t bits) {
+    return Cont{static_cast<std::uint16_t>(bits >> 48),
+                static_cast<std::uint32_t>((bits >> 16) & 0xFFFFFFFFULL),
+                static_cast<std::uint16_t>(bits & 0xFFFFULL)};
+  }
+};
+
+enum class Tag : std::uint8_t { Empty, Int, Real, Array, Cont };
+
+struct Value {
+  Tag tag = Tag::Empty;
+  union {
+    std::int64_t i;
+    double f;
+    std::uint64_t bits;
+  };
+
+  Value() : bits(0) {}
+
+  static Value intv(std::int64_t v) { Value x; x.tag = Tag::Int; x.i = v; return x; }
+  static Value realv(double v) { Value x; x.tag = Tag::Real; x.f = v; return x; }
+  static Value arrayv(ArrayId id) { Value x; x.tag = Tag::Array; x.bits = id; return x; }
+  static Value contv(Cont c) { Value x; x.tag = Tag::Cont; x.bits = c.pack(); return x; }
+
+  bool empty() const { return tag == Tag::Empty; }
+  bool isInt() const { return tag == Tag::Int; }
+  bool isReal() const { return tag == Tag::Real; }
+  bool isArray() const { return tag == Tag::Array; }
+  bool isCont() const { return tag == Tag::Cont; }
+  bool isNumeric() const { return isInt() || isReal(); }
+
+  std::int64_t asInt() const {
+    PODS_CHECK_MSG(tag == Tag::Int, "value is not an int");
+    return i;
+  }
+  double asReal() const {
+    PODS_CHECK_MSG(isNumeric(), "value is not numeric");
+    return tag == Tag::Real ? f : static_cast<double>(i);
+  }
+  ArrayId asArray() const {
+    PODS_CHECK_MSG(tag == Tag::Array, "value is not an array id");
+    return static_cast<ArrayId>(bits);
+  }
+  Cont asCont() const {
+    PODS_CHECK_MSG(tag == Tag::Cont, "value is not a continuation");
+    return Cont::unpack(bits);
+  }
+  /// Truthiness for branches: nonzero numeric.
+  bool truthy() const {
+    PODS_CHECK_MSG(isNumeric(), "branch condition is not numeric");
+    return tag == Tag::Int ? i != 0 : f != 0.0;
+  }
+
+  /// Exact equality (same tag, same payload). Int 1 != Real 1.0.
+  bool identical(const Value& o) const { return tag == o.tag && bits == o.bits; }
+
+  std::string str() const;
+};
+
+inline std::string Value::str() const {
+  switch (tag) {
+    case Tag::Empty: return "<empty>";
+    case Tag::Int: return std::to_string(i);
+    case Tag::Real: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%g", f);
+      return buf;
+    }
+    case Tag::Array: return "arr#" + std::to_string(bits);
+    case Tag::Cont: {
+      Cont c = Cont::unpack(bits);
+      return "cont(pe=" + std::to_string(c.pe) + ",fr=" + std::to_string(c.frame) +
+             ",slot=" + std::to_string(c.slot) + ")";
+    }
+  }
+  return "<bad>";
+}
+
+}  // namespace pods

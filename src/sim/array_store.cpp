@@ -1,0 +1,36 @@
+#include "sim/array_store.hpp"
+
+#include "support/check.hpp"
+
+namespace pods::sim {
+
+ArrayId ArrayStore::create(int pe, ArrayShape shape, bool distributed) {
+  PODS_CHECK(pe >= 0 && pe < numPEs_);
+  ArrayId id = static_cast<ArrayId>(pe) +
+               static_cast<ArrayId>(nextId_[static_cast<std::size_t>(pe)]++) *
+                   static_cast<ArrayId>(numPEs_);
+  arrays_.emplace(id, ArrayInfo(id, shape, distributed, pe, numPEs_, pageElems_));
+  return id;
+}
+
+ArrayInfo* ArrayStore::find(ArrayId id) {
+  auto it = arrays_.find(id);
+  return it == arrays_.end() ? nullptr : &it->second;
+}
+
+const ArrayInfo* ArrayStore::find(ArrayId id) const {
+  auto it = arrays_.find(id);
+  return it == arrays_.end() ? nullptr : &it->second;
+}
+
+bool ArrayStore::write(ArrayId id, std::int64_t offset, Value v) {
+  ArrayInfo* info = find(id);
+  PODS_CHECK_MSG(info != nullptr, "write to unknown array");
+  PODS_CHECK(offset >= 0 && offset < info->shape.numElems());
+  Value& slot = info->elems[static_cast<std::size_t>(offset)];
+  if (!slot.empty()) return false;
+  slot = v;
+  return true;
+}
+
+}  // namespace pods::sim

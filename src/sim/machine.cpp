@@ -1,0 +1,1290 @@
+#include "sim/machine.hpp"
+
+#include <cstdio>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "runtime/ops.hpp"
+#include "support/check.hpp"
+
+// Implementation notes.
+//
+// Event granularity: the Execution Unit executes straight-line runs of
+// instructions inside one event dispatch, yielding back to the global queue
+// whenever its local time passes the queue's next event time, so cross-PE
+// interleaving is exact at instruction granularity. Array Manager tasks are
+// single-phase: state mutations apply at task arrival while their *effects*
+// (responses, page sends) are scheduled at the service-completion time; this
+// makes state visible at most one AM service time early, which is a
+// deterministic and negligible approximation. Frame creation charges the
+// Memory Manager's list-operation time as busy work without delaying the
+// first token's delivery (0.9 us, likewise negligible).
+
+namespace pods::sim {
+
+const char* unitName(Unit u) {
+  switch (u) {
+    case Unit::EU: return "EU";
+    case Unit::MU: return "MU";
+    case Unit::MM: return "MM";
+    case Unit::AM: return "AM";
+    case Unit::RU: return "RU";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class FrameState : std::uint8_t { Ready, Running, Blocked, Dead };
+
+struct Frame {
+  std::uint16_t spCode = 0;
+  std::uint64_t ctx = 0;
+  std::uint32_t pc = 0;
+  FrameState state = FrameState::Ready;
+  std::uint16_t blockedSlot = kNoSlot;
+  std::vector<Value> slots;
+};
+
+struct Token {
+  bool toCont = false;   // continuation-addressed vs (sp, ctx, slot)
+  std::uint16_t spCode = 0;
+  std::uint64_t ctx = 0;
+  std::uint16_t slot = 0;
+  Cont cont{};
+  Value v{};
+  bool add = false;  // join-counter token: add to the slot instead of set
+};
+
+/// Presence-mask snapshot of one cached remote page (up to 256 elems/page).
+struct PageMask {
+  std::array<std::uint64_t, 4> bits{};
+  bool test(int i) const { return (bits[i >> 6] >> (i & 63)) & 1; }
+  void set(int i) { bits[i >> 6] |= 1ULL << (i & 63); }
+  void merge(const PageMask& o) {
+    for (int i = 0; i < 4; ++i) bits[i] |= o.bits[i];
+  }
+};
+
+struct AmTask {
+  enum class Kind : std::uint8_t {
+    Read,           // local SP reads (i0[,i1]) of arr -> cont
+    Write,          // write value v at (i0[,i1]) of arr (local or forwarded)
+    RemoteReadReq,  // another PE requests `offset` of arr (we are the owner)
+    PageArrive,     // a fetched page lands here: install cache + respond
+    Alloc,          // local distributing/plain allocate -> cont receives id
+    AllocInstall,   // broadcast allocate arriving at a remote PE
+    Rf,             // range-filter bound of arr (split-phase when deferred)
+    DimQ,           // header dimension query (split-phase when deferred)
+    ValueArrive,    // a deferred remote read completes with a value token
+  };
+  Kind kind = Kind::Read;
+  ArrayId arr = 0;
+  std::int64_t i0 = 0, i1 = 0;  // subscripts (Read/Write); Rf row in i0
+  std::int64_t offset = 0;      // RemoteReadReq element / PageArrive page
+  Value v{};                    // write value
+  Cont cont{};                  // requester slot
+  std::uint16_t fromPe = 0;     // requesting PE (RemoteReadReq) / home PE
+  bool forwarded = false;       // Write arriving from the writing PE: the
+                                // value is already committed; only wake
+                                // deferred readers here
+  std::uint8_t rank = 1;
+  // Alloc / AllocInstall:
+  ArrayShape shape{};
+  bool distributed = false;
+  // Rf:
+  std::uint8_t dim = 0;
+  std::int32_t rfOff = 0;
+  bool isHi = false;
+  bool hasRow = false;
+  // PageArrive:
+  PageMask mask{};
+};
+
+enum class EvKind : std::uint8_t {
+  EuKick,        // run the Execution Unit scheduler on a PE
+  TokenAtMu,     // token arrival at a PE's Matching Unit
+  TokenDeliver,  // MU done: deliver token into the frame
+  AmArrive,      // task arrival at a PE's Array Manager
+  SlotFill,      // direct response into a frame slot (AM -> EU path)
+};
+
+struct Ev {
+  SimTime t{};
+  std::uint64_t seq = 0;
+  EvKind kind = EvKind::EuKick;
+  std::uint16_t pe = 0;
+  Token tok{};
+  AmTask am{};
+};
+
+struct EvLater {
+  bool operator()(const Ev& a, const Ev& b) const {
+    if (a.t.ns != b.t.ns) return a.t.ns > b.t.ns;
+    return a.seq > b.seq;
+  }
+};
+
+/// Deferred reads parked on one absent element (at its owner).
+struct Deferred {
+  std::vector<Cont> localWaiters;
+  std::vector<std::uint16_t> remotePes;
+};
+
+struct PeState {
+  // Execution memory.
+  std::vector<Frame> frames;
+  std::unordered_map<std::uint64_t, std::uint32_t> match;  // ctx -> frame
+  std::deque<std::uint32_t> readyQ;
+  std::int64_t current = -1;
+  std::uint32_t lastFrame = 0xFFFFFFFFu;
+  SimTime euFree{};
+  bool kickScheduled = false;
+  SimTime kickAt{};
+  std::uint64_t ctxCounter = 0;
+
+  // Unit resources (EU accounted separately through euFree/busy).
+  std::array<SimTime, kNumUnits> unitFree{};
+  std::array<SimTime, kNumUnits> unitBusy{};
+
+  // Array Manager state.
+  std::unordered_map<ArrayId, char> headers;  // headers installed here
+  std::unordered_map<ArrayId, std::vector<AmTask>> pendingHeader;
+  std::unordered_map<std::uint64_t, PageMask> cache;  // (arr<<24|page)
+  std::unordered_map<ArrayId, std::unordered_map<std::int64_t, std::vector<Cont>>>
+      pendingRemote;  // reads in flight to a remote owner
+  std::unordered_map<ArrayId, std::unordered_map<std::int64_t, Deferred>>
+      deferred;  // absent elements we own with waiting readers
+};
+
+std::uint64_t pageKey(ArrayId arr, std::int64_t page) {
+  return (static_cast<std::uint64_t>(arr) << 24) |
+         static_cast<std::uint64_t>(page);
+}
+
+/// One Chrome-trace timeline slice.
+struct TraceEv {
+  std::uint16_t pe;
+  std::uint8_t unit;
+  const std::string* name;  // nullptr -> the unit's name
+  SimTime start;
+  SimTime dur;
+};
+
+constexpr std::size_t kMaxTraceEvents = 200'000;
+
+}  // namespace
+
+struct Machine::Impl {
+  const SpProgram& prog;
+  MachineConfig cfg;
+  Timing tm;
+  ArrayStore store;
+  std::vector<PeState> pes;
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> q;
+  std::uint64_t seq = 0;
+  std::uint64_t eventsProcessed = 0;
+  SimTime now{};
+  // Live-SP tracking: PODS removed the k-bounded-loop throttling, so the
+  // only bound on concurrently-live SP frames is data availability. The
+  // peak is reported as counter "sp.peakLive".
+  std::int64_t liveSps = 0;
+  std::int64_t peakLiveSps = 0;
+  RunStats stats;
+  std::vector<bool> resultSet;
+  int errorCount = 0;
+
+  Impl(const SpProgram& p, MachineConfig c)
+      : prog(p),
+        cfg(c),
+        tm(c.timing),
+        store(c.numPEs, c.timing.pageElems),
+        pes(static_cast<std::size_t>(c.numPEs)) {
+    PODS_CHECK(c.numPEs >= 1 && c.numPEs <= 4096);
+    PODS_CHECK_MSG(c.timing.pageElems >= 1 && c.timing.pageElems <= 256,
+                   "pageElems must be in [1, 256]");
+    stats.busy.resize(static_cast<std::size_t>(c.numPEs));
+    stats.results.resize(static_cast<std::size_t>(prog.numResults));
+    resultSet.assign(static_cast<std::size_t>(prog.numResults), false);
+    stats.spProfiles.resize(prog.sps.size());
+    for (std::size_t i = 0; i < prog.sps.size(); ++i) {
+      stats.spProfiles[i].name = prog.sps[i].name;
+    }
+    tracing = !cfg.tracePath.empty();
+  }
+
+  // --- infrastructure ------------------------------------------------------
+
+  void push(Ev ev) {
+    ev.seq = ++seq;
+    q.push(std::move(ev));
+  }
+
+  void runtimeError(const std::string& msg) {
+    if (errorCount++ == 0) stats.error = msg;
+    stats.counters.add("runtime.errors");
+  }
+
+  /// Serial-resource scheduling: returns completion time, accrues busy time.
+  SimTime unitSched(std::uint16_t pe, Unit u, SimTime ready, SimTime svc) {
+    PeState& P = pes[pe];
+    SimTime start = std::max(ready, P.unitFree[static_cast<int>(u)]);
+    SimTime done = start + svc;
+    P.unitFree[static_cast<int>(u)] = done;
+    P.unitBusy[static_cast<int>(u)] += svc;
+    if (tracing && svc.ns > 0) addTrace(pe, u, nullptr, start, svc);
+    return done;
+  }
+
+  bool tracing = false;
+  std::vector<TraceEv> trace;
+
+  void addTrace(std::uint16_t pe, Unit u, const std::string* name,
+                SimTime start, SimTime dur) {
+    if (trace.size() >= kMaxTraceEvents) {
+      stats.counters.add("trace.dropped");
+      return;
+    }
+    trace.push_back({pe, static_cast<std::uint8_t>(u), name, start, dur});
+  }
+
+  void writeTrace() {
+    std::FILE* f = std::fopen(cfg.tracePath.c_str(), "w");
+    if (!f) {
+      runtimeError("cannot open trace file " + cfg.tracePath);
+      return;
+    }
+    std::fputs("{\"traceEvents\":[\n", f);
+    bool first = true;
+    for (const TraceEv& ev : trace) {
+      const char* name =
+          ev.name ? ev.name->c_str() : unitName(static_cast<Unit>(ev.unit));
+      std::fprintf(f,
+                   "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%u,\"tid\":%u,"
+                   "\"ts\":%.3f,\"dur\":%.3f}",
+                   first ? "" : ",\n", name, ev.pe, ev.unit, ev.start.us(),
+                   ev.dur.us());
+      first = false;
+    }
+    // Thread names so the viewer shows EU/MU/MM/AM/RU lanes per PE.
+    for (int pe = 0; pe < cfg.numPEs; ++pe) {
+      for (int u = 0; u < kNumUnits; ++u) {
+        std::fprintf(f,
+                     ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                     "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                     pe, u, unitName(static_cast<Unit>(u)));
+      }
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+  }
+
+  void euBusy(std::uint16_t pe, SimTime span) {
+    pes[pe].unitBusy[static_cast<int>(Unit::EU)] += span;
+  }
+
+  // --- token plumbing ------------------------------------------------------
+
+  /// EU (or AM) hands a token to this PE's Matching Unit.
+  void tokenToLocalMu(std::uint16_t pe, SimTime t, Token tok) {
+    Ev ev;
+    ev.t = t + tm.unitSignal;
+    ev.kind = EvKind::TokenAtMu;
+    ev.pe = pe;
+    ev.tok = std::move(tok);
+    push(std::move(ev));
+  }
+
+  /// EU (or AM) sends a token to another PE through the Routing Unit.
+  void tokenToRemote(std::uint16_t fromPe, std::uint16_t toPe, SimTime t,
+                     Token tok) {
+    SimTime done = unitSched(fromPe, Unit::RU, t + tm.unitSignal, tm.tokenRoute());
+    stats.counters.add("net.tokens");
+    Ev ev;
+    ev.t = done + tm.networkHop;
+    ev.kind = EvKind::TokenAtMu;
+    ev.pe = toPe;
+    ev.tok = std::move(tok);
+    push(std::move(ev));
+  }
+
+  void sendToken(std::uint16_t fromPe, std::uint16_t toPe, SimTime t, Token tok) {
+    if (fromPe == toPe) {
+      tokenToLocalMu(fromPe, t, std::move(tok));
+    } else {
+      tokenToRemote(fromPe, toPe, t, std::move(tok));
+    }
+  }
+
+  /// The distributing LD operator's token replication. The Routing Unit
+  /// forms the message once (one batched-token charge, as for any send); the
+  /// hypercube's Direct-Connect routing replicates it along a spanning tree
+  /// without involving intermediate CPUs, so every PE's Matching Unit — not
+  /// the sender's Routing Unit — pays the per-copy cost. This keeps the RU
+  /// lightly loaded, as the paper's Figure 8 reports.
+  void broadcastToken(std::uint16_t fromPe, SimTime t, const Token& tok) {
+    SimTime done =
+        unitSched(fromPe, Unit::RU, t + tm.unitSignal, tm.tokenRoute());
+    stats.counters.add("net.broadcastTokens");
+    for (int dest = 0; dest < cfg.numPEs; ++dest) {
+      if (dest == fromPe) {
+        tokenToLocalMu(fromPe, t, tok);
+        continue;
+      }
+      Ev ev;
+      ev.t = done + tm.networkHop;
+      ev.kind = EvKind::TokenAtMu;
+      ev.pe = static_cast<std::uint16_t>(dest);
+      ev.tok = tok;
+      push(std::move(ev));
+    }
+  }
+
+  /// AM task transfer to another PE's AM (read requests, forwarded writes,
+  /// allocate broadcasts ride token-sized messages; pages use the page cost).
+  void amToRemote(std::uint16_t fromPe, std::uint16_t toPe, SimTime t,
+                  AmTask task, bool pageSized) {
+    SimTime svc = pageSized ? tm.pageMessage() : tm.tokenRoute();
+    SimTime done = unitSched(fromPe, Unit::RU, t + tm.unitSignal, svc);
+    stats.counters.add(pageSized ? "net.pages" : "net.arrayMsgs");
+    Ev ev;
+    ev.t = done + tm.networkHop;
+    ev.kind = EvKind::AmArrive;
+    ev.pe = toPe;
+    ev.am = std::move(task);
+    push(std::move(ev));
+  }
+
+  void amLocal(std::uint16_t pe, SimTime t, AmTask task) {
+    Ev ev;
+    ev.t = t + tm.unitSignal;
+    ev.kind = EvKind::AmArrive;
+    ev.pe = pe;
+    ev.am = std::move(task);
+    push(std::move(ev));
+  }
+
+  void fillSlotLater(std::uint16_t pe, SimTime t, Cont cont, Value v) {
+    PODS_CHECK(cont.pe == pe);  // responses are delivered on the owner PE path
+    Ev ev;
+    ev.t = t;
+    ev.kind = EvKind::SlotFill;
+    ev.pe = pe;
+    ev.tok.toCont = true;
+    ev.tok.cont = cont;
+    ev.tok.v = v;
+    push(std::move(ev));
+  }
+
+  // --- Execution Unit ------------------------------------------------------
+
+  void pushKick(std::uint16_t pe, SimTime t) {
+    PeState& P = pes[pe];
+    SimTime want = std::max(t, P.euFree);
+    if (P.kickScheduled && P.kickAt <= want) return;
+    P.kickScheduled = true;
+    P.kickAt = want;
+    Ev ev;
+    ev.t = want;
+    ev.kind = EvKind::EuKick;
+    ev.pe = pe;
+    push(std::move(ev));
+  }
+
+  void wakeIfBlockedOn(std::uint16_t pe, std::uint32_t frameIdx,
+                       std::uint16_t slot, SimTime t) {
+    PeState& P = pes[pe];
+    Frame& f = P.frames[frameIdx];
+    if (f.state == FrameState::Blocked && f.blockedSlot == slot) {
+      f.state = FrameState::Ready;
+      f.blockedSlot = kNoSlot;
+      P.readyQ.push_back(frameIdx);
+      pushKick(pe, t);
+    }
+  }
+
+  std::uint32_t createFrame(std::uint16_t pe, std::uint16_t spCode,
+                            std::uint64_t ctx, SimTime t) {
+    PeState& P = pes[pe];
+    const SpCode& sp = prog.sp(spCode);
+    unitSched(pe, Unit::MM, t, tm.frameListOp);  // execution-memory allocation
+    Frame f;
+    f.spCode = spCode;
+    f.ctx = ctx;
+    f.slots.assign(sp.numSlots, Value{});
+    f.state = FrameState::Ready;
+    std::uint32_t idx = static_cast<std::uint32_t>(P.frames.size());
+    P.frames.push_back(std::move(f));
+    P.match[ctx] = idx;
+    P.readyQ.push_back(idx);
+    stats.counters.add("sp.instantiated");
+    ++stats.spProfiles[spCode].instances;
+    peakLiveSps = std::max(peakLiveSps, ++liveSps);
+    pushKick(pe, t);
+    return idx;
+  }
+
+  void deliverToken(std::uint16_t pe, SimTime t, const Token& tok) {
+    PeState& P = pes[pe];
+    std::uint32_t frameIdx;
+    std::uint16_t slot;
+    if (tok.toCont) {
+      frameIdx = tok.cont.frame;
+      slot = tok.cont.slot;
+      if (frameIdx >= P.frames.size() ||
+          P.frames[frameIdx].state == FrameState::Dead) {
+        stats.counters.add("tokens.dropped");
+        return;
+      }
+    } else {
+      auto it = P.match.find(tok.ctx);
+      if (it == P.match.end()) {
+        frameIdx = createFrame(pe, tok.spCode, tok.ctx, t);
+      } else {
+        frameIdx = it->second;
+      }
+      slot = tok.slot;
+    }
+    Frame& f = P.frames[frameIdx];
+    PODS_CHECK_MSG(slot < f.slots.size(), "token slot out of range");
+    if (tok.add) {
+      std::int64_t cur = f.slots[slot].empty() ? 0 : f.slots[slot].asInt();
+      f.slots[slot] = Value::intv(cur + tok.v.asInt());
+    } else {
+      f.slots[slot] = tok.v;
+    }
+    wakeIfBlockedOn(pe, frameIdx, slot, t);
+  }
+
+  // --- per-instruction execution -------------------------------------------
+
+  enum class StepResult { Continue, Blocked, Ended };
+
+  bool ensure(PeState& P, Frame& f, std::uint16_t slot) {
+    (void)P;
+    if (slot == kNoSlot) return true;
+    if (!f.slots[slot].empty()) return true;
+    f.state = FrameState::Blocked;
+    f.blockedSlot = slot;
+    return false;
+  }
+
+  /// True when the header of `arr` is installed on `pe`.
+  bool headerPresent(std::uint16_t pe, ArrayId arr) const {
+    return pes[pe].headers.count(arr) != 0;
+  }
+
+  /// Computes the flat offset; returns false (and records an error) on a
+  /// bad subscript.
+  bool resolveOffset(const ArrayInfo& info, std::int64_t i0, std::int64_t i1,
+                     std::int64_t& offset) {
+    if (info.shape.rank == 1) {
+      if (i0 < 0 || i0 >= info.shape.dim0 * info.shape.dim1) return false;
+      offset = i0;
+      return true;
+    }
+    if (!info.shape.inBounds(i0, i1)) return false;
+    offset = info.shape.flatten(i0, i1);
+    return true;
+  }
+
+  /// Range-filter bounds (both ends) for array `arr` on `pe`.
+  IdxRange rfRange(std::uint16_t pe, const ArrayInfo& info, std::uint8_t dim,
+                   bool hasRow, std::int64_t row) const {
+    if (!info.distributed) {
+      // Undistributed array: its single home PE is responsible for all of it.
+      if (static_cast<int>(pe) != info.homePe) return {};
+      if (dim == 0) return {0, info.shape.rank == 1
+                                   ? info.shape.numElems() - 1
+                                   : info.shape.dim0 - 1};
+      return {0, info.shape.dim1 - 1};
+    }
+    if (dim == 0) return info.layout.ownedRows(pe);
+    PODS_CHECK(hasRow);
+    return info.layout.ownedColsOfRow(pe, row);
+  }
+
+  StepResult step(std::uint16_t pe, SimTime& t, Frame& f) {
+    PeState& P = pes[pe];
+    const SpCode& sp = prog.sp(f.spCode);
+    PODS_CHECK_MSG(f.pc < sp.code.size(), "pc ran off the end of an SP");
+    const Instr& in = sp.code[f.pc];
+
+    // Operand availability: blocking on an empty slot is the data-driven part
+    // of the hybrid model.
+    switch (in.op) {
+      case Op::LIT: case Op::JMP: case Op::MYPE: case Op::NUMPE:
+      case Op::NEWCTX: case Op::MKCONT: case Op::CLEAR: case Op::END:
+        break;
+      case Op::AWAITN:
+        if (!ensure(P, f, in.b)) return StepResult::Blocked;
+        break;
+      case Op::AWR:
+        if (!ensure(P, f, in.a) || !ensure(P, f, in.b) ||
+            !ensure(P, f, in.c) || !ensure(P, f, in.dst))
+          return StepResult::Blocked;
+        break;
+      case Op::RFLO: case Op::RFHI:
+        if (!ensure(P, f, in.a) || !ensure(P, f, in.b))
+          return StepResult::Blocked;
+        break;
+      default:
+        if (!ensure(P, f, in.a)) return StepResult::Blocked;
+        if (!ensure(P, f, in.b)) return StepResult::Blocked;
+        if (!ensure(P, f, in.c)) return StepResult::Blocked;
+        break;
+    }
+
+    SpProfile& profile = stats.spProfiles[f.spCode];
+    auto charge = [&](bool realOp) {
+      SimTime c = tm.euCost(in.op, realOp);
+      t += c;
+      euBusy(pe, c);
+      ++profile.instructions;
+      profile.euTime += c;
+    };
+
+    std::uint32_t nextPc = f.pc + 1;
+
+    if (isBinaryOp(in.op)) {
+      const Value& a = f.slots[in.a];
+      const Value& b = f.slots[in.b];
+      charge(binIsReal(a, b));
+      f.slots[in.dst] = applyBin(in.op, a, b);
+      f.pc = nextPc;
+      return StepResult::Continue;
+    }
+    if (isUnaryOp(in.op)) {
+      const Value& a = f.slots[in.a];
+      charge(a.isReal());
+      f.slots[in.dst] = applyUn(in.op, a);
+      f.pc = nextPc;
+      return StepResult::Continue;
+    }
+
+    switch (in.op) {
+      case Op::LIT:
+        charge(false);
+        f.slots[in.dst] = in.imm;
+        break;
+      case Op::JMP:
+        charge(false);
+        nextPc = in.aux;
+        break;
+      case Op::BRF:
+        charge(false);
+        if (!f.slots[in.a].truthy()) nextPc = in.aux;
+        break;
+      case Op::MYPE:
+        charge(false);
+        f.slots[in.dst] = Value::intv(pe);
+        break;
+      case Op::NUMPE:
+        charge(false);
+        f.slots[in.dst] = Value::intv(cfg.numPEs);
+        break;
+      case Op::NEWCTX:
+        charge(false);
+        // PE-unique, monotonically increasing context tags.
+        f.slots[in.dst] = Value::intv(
+            static_cast<std::int64_t>((std::uint64_t(pe) << 40) |
+                                      ++P.ctxCounter));
+        break;
+      case Op::MKCONT: {
+        charge(false);
+        Cont c;
+        c.pe = pe;
+        c.frame = static_cast<std::uint32_t>(P.current);
+        c.slot = static_cast<std::uint16_t>(in.aux);
+        f.slots[in.dst] = Value::contv(c);
+        break;
+      }
+      case Op::CLEAR:
+        charge(false);
+        f.slots[in.a] = Value{};
+        break;
+      case Op::ALLOC:
+      case Op::ALLOCD: {
+        charge(false);
+        f.slots[in.dst] = Value{};  // split-phase: AM fills in the id
+        AmTask task;
+        task.kind = AmTask::Kind::Alloc;
+        task.distributed = in.op == Op::ALLOCD;
+        task.shape.rank = in.dim;
+        task.shape.dim0 = f.slots[in.a].asInt();
+        task.shape.dim1 = in.dim == 2 ? f.slots[in.b].asInt() : 1;
+        task.cont = {pe, static_cast<std::uint32_t>(P.current), in.dst};
+        if (task.shape.dim0 < 0 || task.shape.dim1 < 0 ||
+            task.shape.numElems() > (std::int64_t(1) << 24)) {
+          runtimeError("bad allocation dimensions");
+          break;
+        }
+        amLocal(pe, t, std::move(task));
+        break;
+      }
+      case Op::ARD: {
+        charge(false);  // flat 2.7 us local-read budget
+        stats.counters.add("array.reads");
+        const ArrayId arr = f.slots[in.a].asArray();
+        const std::int64_t i0 = f.slots[in.b].asInt();
+        const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
+        f.slots[in.dst] = Value{};  // split-phase
+        const Cont cont{pe, static_cast<std::uint32_t>(P.current), in.dst};
+        if (headerPresent(pe, arr)) {
+          const ArrayInfo* info = store.find(arr);
+          std::int64_t offset;
+          if (!resolveOffset(*info, i0, i1, offset)) {
+            runtimeError("array read out of bounds in " + sp.name);
+            break;
+          }
+          if (info->owner(offset) == pe &&
+              !info->elems[static_cast<std::size_t>(offset)].empty()) {
+            // Local present element: the fast path the 2.7 us covers.
+            f.slots[in.dst] = info->elems[static_cast<std::size_t>(offset)];
+            stats.counters.add("array.reads.localHit");
+            break;
+          }
+        }
+        AmTask task;
+        task.kind = AmTask::Kind::Read;
+        task.arr = arr;
+        task.i0 = i0;
+        task.i1 = i1;
+        task.rank = in.c != kNoSlot ? 2 : 1;
+        task.cont = cont;
+        amLocal(pe, t, std::move(task));
+        break;
+      }
+      case Op::AWR: {
+        charge(false);
+        stats.counters.add("array.writes");
+        AmTask task;
+        task.kind = AmTask::Kind::Write;
+        task.arr = f.slots[in.a].asArray();
+        task.i0 = f.slots[in.b].asInt();
+        task.i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
+        task.rank = in.c != kNoSlot ? 2 : 1;
+        task.v = f.slots[in.dst];
+        amLocal(pe, t, std::move(task));
+        break;
+      }
+      case Op::RFLO:
+      case Op::RFHI: {
+        charge(false);
+        const ArrayId arr = f.slots[in.a].asArray();
+        const bool hasRow = in.b != kNoSlot;
+        const std::int64_t row = hasRow ? f.slots[in.b].asInt() : 0;
+        if (headerPresent(pe, arr)) {
+          const ArrayInfo* info = store.find(arr);
+          IdxRange r = rfRange(pe, *info, in.dim, hasRow, row);
+          f.slots[in.dst] = Value::intv(
+              (in.op == Op::RFHI ? r.hi : r.lo) - in.off);
+        } else {
+          f.slots[in.dst] = Value{};  // split-phase via the Array Manager
+          AmTask task;
+          task.kind = AmTask::Kind::Rf;
+          task.arr = arr;
+          task.i0 = row;
+          task.hasRow = hasRow;
+          task.dim = in.dim;
+          task.rfOff = in.off;
+          task.isHi = in.op == Op::RFHI;
+          task.cont = {pe, static_cast<std::uint32_t>(P.current), in.dst};
+          amLocal(pe, t, std::move(task));
+        }
+        break;
+      }
+      case Op::BLKLO:
+      case Op::BLKHI: {
+        charge(false);
+        IdxRange r = blockPartition(f.slots[in.a].asInt(),
+                                    f.slots[in.b].asInt(), pe, cfg.numPEs);
+        f.slots[in.dst] = Value::intv(in.op == Op::BLKHI ? r.hi : r.lo);
+        break;
+      }
+      case Op::DIMQ: {
+        charge(false);
+        const ArrayId arr = f.slots[in.a].asArray();
+        if (headerPresent(pe, arr)) {
+          const ArrayInfo* info = store.find(arr);
+          f.slots[in.dst] = Value::intv(in.dim == 1 ? info->shape.dim1
+                                                    : info->shape.dim0);
+        } else {
+          f.slots[in.dst] = Value{};  // split-phase via the Array Manager
+          AmTask task;
+          task.kind = AmTask::Kind::DimQ;
+          task.arr = arr;
+          task.dim = in.dim;
+          task.cont = {pe, static_cast<std::uint32_t>(P.current), in.dst};
+          amLocal(pe, t, std::move(task));
+        }
+        break;
+      }
+      case Op::SENDA:
+      case Op::SENDD: {
+        charge(false);
+        Token tok;
+        tok.spCode = in.targetSp();
+        tok.slot = in.targetSlot();
+        tok.ctx = static_cast<std::uint64_t>(f.slots[in.b].asInt());
+        tok.v = f.slots[in.a];
+        stats.counters.add("tokens.sent");
+        if (in.op == Op::SENDA) {
+          sendToken(pe, pe, t, std::move(tok));
+        } else {
+          broadcastToken(pe, t, tok);
+        }
+        break;
+      }
+      case Op::SENDC:
+      case Op::ADDC: {
+        charge(false);
+        Cont c = f.slots[in.b].asCont();
+        Token tok;
+        tok.toCont = true;
+        tok.cont = c;
+        tok.v = f.slots[in.a];
+        tok.add = in.op == Op::ADDC;
+        stats.counters.add("tokens.sent");
+        sendToken(pe, c.pe, t, std::move(tok));
+        break;
+      }
+      case Op::AWAITN: {
+        charge(false);
+        std::int64_t count =
+            f.slots[in.a].empty() ? 0 : f.slots[in.a].asInt();
+        if (count < f.slots[in.b].asInt()) {
+          f.state = FrameState::Blocked;
+          f.blockedSlot = in.a;
+          return StepResult::Blocked;
+        }
+        break;
+      }
+      case Op::RESULT: {
+        charge(false);
+        std::size_t idx = in.aux;
+        PODS_CHECK(idx < stats.results.size());
+        stats.results[idx] = f.slots[in.a];
+        resultSet[idx] = true;
+        break;
+      }
+      case Op::END: {
+        charge(false);
+        f.state = FrameState::Dead;
+        P.match.erase(f.ctx);
+        f.slots.clear();
+        f.slots.shrink_to_fit();
+        unitSched(pe, Unit::MM, t, tm.frameListOp);  // frame release
+        stats.counters.add("sp.completed");
+        --liveSps;
+        return StepResult::Ended;
+      }
+      default:
+        PODS_UNREACHABLE("unhandled opcode");
+    }
+    f.pc = nextPc;
+    return StepResult::Continue;
+  }
+
+  /// The EU scheduler: runs ready SPs, blocking and switching per the paper.
+  void euRun(std::uint16_t pe, SimTime tStart) {
+    PeState& P = pes[pe];
+    SimTime t = std::max(tStart, P.euFree);
+    std::uint64_t steps = 0;
+    // Trace bookkeeping: one slice per contiguous run of one SP.
+    SimTime sliceStart{};
+    const std::string* sliceName = nullptr;
+    auto endSlice = [&](SimTime end) {
+      if (tracing && sliceName && end > sliceStart) {
+        addTrace(pe, Unit::EU, sliceName, sliceStart, end - sliceStart);
+      }
+      sliceName = nullptr;
+    };
+    for (;;) {
+      if (++steps > 50'000'000ULL) {
+        runtimeError("livelock: one EU slice exceeded 50M instructions");
+        endSlice(t);
+        P.euFree = t;
+        return;
+      }
+      if (P.current < 0) {
+        if (P.readyQ.empty()) {
+          P.euFree = t;
+          return;
+        }
+        std::uint32_t idx = P.readyQ.front();
+        P.readyQ.pop_front();
+        Frame& f = P.frames[idx];
+        if (f.state == FrameState::Dead) continue;
+        P.current = idx;
+        f.state = FrameState::Running;
+        if (idx != P.lastFrame) {
+          t += tm.contextSwitch;
+          euBusy(pe, tm.contextSwitch);
+          stats.counters.add("eu.contextSwitches");
+          P.lastFrame = idx;
+        }
+        sliceStart = t;
+        sliceName = &prog.sp(f.spCode).name;
+      }
+      // Yield to the global queue whenever our local time passes its head,
+      // so cross-PE interactions are exact.
+      if (!q.empty() && q.top().t < t) {
+        Frame& f = P.frames[static_cast<std::size_t>(P.current)];
+        f.state = FrameState::Ready;
+        P.readyQ.push_front(static_cast<std::uint32_t>(P.current));
+        P.current = -1;
+        P.euFree = t;
+        endSlice(t);
+        pushKick(pe, t);
+        return;
+      }
+      Frame& f = P.frames[static_cast<std::size_t>(P.current)];
+      StepResult r = step(pe, t, f);
+      if (r == StepResult::Blocked) {
+        P.current = -1;
+        stats.counters.add("eu.blocks");
+        endSlice(t);
+        continue;  // pick the next ready SP (context switch charged at pick)
+      }
+      if (r == StepResult::Ended) {
+        P.current = -1;
+        endSlice(t);
+        continue;
+      }
+      if (errorCount > 0 && stats.counters.get("runtime.errors") > 64) {
+        // Runaway error loop: stop making progress on this PE.
+        endSlice(t);
+        P.euFree = t;
+        return;
+      }
+    }
+  }
+
+  // --- Array Manager -------------------------------------------------------
+
+  void amHandle(std::uint16_t pe, SimTime t, AmTask& task) {
+    PeState& P = pes[pe];
+    // Allocation requests install headers; everything else needs one.
+    if (task.kind != AmTask::Kind::Alloc &&
+        task.kind != AmTask::Kind::AllocInstall &&
+        !headerPresent(pe, task.arr)) {
+      unitSched(pe, Unit::AM, t, tm.memRead);
+      P.pendingHeader[task.arr].push_back(task);
+      stats.counters.add("am.deferredOnHeader");
+      return;
+    }
+    switch (task.kind) {
+      case AmTask::Kind::Alloc: {
+        SimTime done = unitSched(pe, Unit::AM, t, tm.allocArray);
+        ArrayId id = store.create(pe, task.shape, task.distributed);
+        P.headers.emplace(id, 0);
+        fillSlotLater(pe, done + tm.unitSignal, task.cont, Value::arrayv(id));
+        stats.counters.add("array.allocs");
+        if (task.distributed && cfg.numPEs > 1) {
+          // Broadcast the allocation to all other PEs (one message injection,
+          // replicated by the network like the LD broadcast).
+          SimTime sent =
+              unitSched(pe, Unit::RU, done + tm.unitSignal, tm.tokenRoute());
+          for (int dest = 0; dest < cfg.numPEs; ++dest) {
+            if (dest == pe) continue;
+            AmTask inst;
+            inst.kind = AmTask::Kind::AllocInstall;
+            inst.arr = id;
+            inst.shape = task.shape;
+            inst.distributed = true;
+            inst.fromPe = pe;
+            Ev ev;
+            ev.t = sent + tm.networkHop;
+            ev.kind = EvKind::AmArrive;
+            ev.pe = static_cast<std::uint16_t>(dest);
+            ev.am = std::move(inst);
+            push(std::move(ev));
+          }
+        }
+        // Any ops that raced ahead of this allocation on this PE.
+        flushPendingHeader(pe, done, id);
+        break;
+      }
+      case AmTask::Kind::AllocInstall: {
+        SimTime done = unitSched(pe, Unit::AM, t, tm.allocArray);
+        P.headers.emplace(task.arr, 0);
+        flushPendingHeader(pe, done, task.arr);
+        break;
+      }
+      case AmTask::Kind::Read:
+        amRead(pe, t, task);
+        break;
+      case AmTask::Kind::Write:
+        amWrite(pe, t, task);
+        break;
+      case AmTask::Kind::RemoteReadReq:
+        amRemoteReadReq(pe, t, task);
+        break;
+      case AmTask::Kind::PageArrive:
+        amPageArrive(pe, t, task);
+        break;
+      case AmTask::Kind::Rf: {
+        SimTime done = unitSched(pe, Unit::AM, t, tm.memRead);
+        const ArrayInfo* info = store.find(task.arr);
+        IdxRange r = rfRange(pe, *info, task.dim, task.hasRow, task.i0);
+        fillSlotLater(pe, done + tm.unitSignal, task.cont,
+                      Value::intv((task.isHi ? r.hi : r.lo) - task.rfOff));
+        break;
+      }
+      case AmTask::Kind::DimQ: {
+        SimTime done = unitSched(pe, Unit::AM, t, tm.memRead);
+        const ArrayInfo* info = store.find(task.arr);
+        fillSlotLater(pe, done + tm.unitSignal, task.cont,
+                      Value::intv(task.dim == 1 ? info->shape.dim1
+                                                : info->shape.dim0));
+        break;
+      }
+      case AmTask::Kind::ValueArrive: {
+        // A remote owner answered a read that had been queued on an absent
+        // element: satisfy every local reader waiting on that element.
+        SimTime done = unitSched(pe, Unit::AM, t, tm.memWrite);
+        auto ait = P.pendingRemote.find(task.arr);
+        if (ait == P.pendingRemote.end()) break;
+        auto oit = ait->second.find(task.offset);
+        if (oit == ait->second.end()) break;
+        for (const Cont& c : oit->second) {
+          fillSlotLater(pe, done + tm.unitSignal, c, task.v);
+        }
+        ait->second.erase(oit);
+        break;
+      }
+    }
+  }
+
+  void flushPendingHeader(std::uint16_t pe, SimTime t, ArrayId id) {
+    PeState& P = pes[pe];
+    auto it = P.pendingHeader.find(id);
+    if (it == P.pendingHeader.end()) return;
+    std::vector<AmTask> tasks = std::move(it->second);
+    P.pendingHeader.erase(it);
+    for (AmTask& task : tasks) {
+      Ev ev;
+      ev.t = t;
+      ev.kind = EvKind::AmArrive;
+      ev.pe = pe;
+      ev.am = std::move(task);
+      push(std::move(ev));
+    }
+  }
+
+  void amRead(std::uint16_t pe, SimTime t, AmTask& task) {
+    PeState& P = pes[pe];
+    const ArrayInfo* info = store.find(task.arr);
+    std::int64_t offset;
+    if (!resolveOffset(*info, task.i0, task.i1, offset)) {
+      unitSched(pe, Unit::AM, t, tm.memRead);
+      runtimeError("array read out of bounds");
+      return;
+    }
+    const int owner = info->owner(offset);
+    if (owner == pe) {
+      const Value& v = info->elems[static_cast<std::size_t>(offset)];
+      if (!v.empty()) {
+        SimTime done = unitSched(pe, Unit::AM, t, tm.memRead);
+        fillSlotLater(pe, done + tm.unitSignal, task.cont, v);
+      } else {
+        unitSched(pe, Unit::AM, t, tm.enqueueRead);
+        P.deferred[task.arr][offset].localWaiters.push_back(task.cont);
+        stats.counters.add("array.reads.deferred");
+      }
+      return;
+    }
+    // Remote element: consult the software page cache first.
+    stats.counters.add("array.reads.remote");
+    const std::int64_t page = info->layout.pageOfOffset(offset);
+    const int within = static_cast<int>(offset % tm.pageElems);
+    if (cfg.cachePages) {
+      auto c = P.cache.find(pageKey(task.arr, page));
+      if (c != P.cache.end() && c->second.test(within)) {
+        SimTime done = unitSched(pe, Unit::AM, t, tm.memRead);
+        fillSlotLater(pe, done + tm.unitSignal, task.cont,
+                      info->elems[static_cast<std::size_t>(offset)]);
+        stats.counters.add("array.reads.cacheHit");
+        return;
+      }
+    }
+    // Coalesce with an already-in-flight request for the same element.
+    auto& pending = P.pendingRemote[task.arr];
+    auto pit = pending.find(offset);
+    if (pit != pending.end()) {
+      unitSched(pe, Unit::AM, t, tm.memRead);
+      pit->second.push_back(task.cont);
+      stats.counters.add("array.reads.coalesced");
+      return;
+    }
+    pending[offset].push_back(task.cont);
+    SimTime done = unitSched(pe, Unit::AM, t, tm.memRead);
+    AmTask req;
+    req.kind = AmTask::Kind::RemoteReadReq;
+    req.arr = task.arr;
+    req.offset = offset;
+    req.fromPe = pe;
+    amToRemote(pe, static_cast<std::uint16_t>(owner), done, req,
+               /*pageSized=*/false);
+  }
+
+  /// Ships the page containing `offset` to `toPe` with the current presence
+  /// mask snapshot.
+  void sendPage(std::uint16_t pe, SimTime t, const ArrayInfo& info,
+                std::int64_t page, std::uint16_t toPe) {
+    SimTime done = unitSched(
+        pe, Unit::AM, t,
+        tm.memRead * tm.pageElems + tm.unitSignal);  // "Send Page"
+    AmTask pg;
+    pg.kind = AmTask::Kind::PageArrive;
+    pg.arr = info.id;
+    pg.offset = page;
+    const std::int64_t base = page * tm.pageElems;
+    for (int i = 0; i < tm.pageElems; ++i) {
+      const std::int64_t off = base + i;
+      if (off >= info.shape.numElems()) break;
+      if (!info.elems[static_cast<std::size_t>(off)].empty()) pg.mask.set(i);
+    }
+    stats.counters.add("array.pagesSent");
+    amToRemote(pe, toPe, done, pg, /*pageSized=*/true);
+  }
+
+  void amRemoteReadReq(std::uint16_t pe, SimTime t, AmTask& task) {
+    PeState& P = pes[pe];
+    const ArrayInfo* info = store.find(task.arr);
+    const Value& v = info->elems[static_cast<std::size_t>(task.offset)];
+    if (!v.empty()) {
+      sendPage(pe, t, *info, info->layout.pageOfOffset(task.offset),
+               task.fromPe);
+      return;
+    }
+    // Queue the remote request on the absent element.
+    unitSched(pe, Unit::AM, t, tm.enqueueRead);
+    Deferred& d = P.deferred[task.arr][task.offset];
+    for (std::uint16_t waiting : d.remotePes) {
+      if (waiting == task.fromPe) return;  // already queued
+    }
+    d.remotePes.push_back(task.fromPe);
+    stats.counters.add("array.reads.remoteDeferred");
+  }
+
+  void amPageArrive(std::uint16_t pe, SimTime t, AmTask& task) {
+    PeState& P = pes[pe];
+    SimTime done =
+        unitSched(pe, Unit::AM, t, tm.memWrite * tm.pageElems);  // "Receive Page"
+    if (cfg.cachePages) {
+      P.cache[pageKey(task.arr, task.offset)].merge(task.mask);
+    }
+    stats.counters.add("array.pagesReceived");
+    // Satisfy every waiting read that this page covers.
+    const ArrayInfo* info = store.find(task.arr);
+    auto ait = P.pendingRemote.find(task.arr);
+    if (ait == P.pendingRemote.end()) return;
+    const std::int64_t lo = task.offset * tm.pageElems;
+    const std::int64_t hi = lo + tm.pageElems - 1;
+    for (auto it = ait->second.begin(); it != ait->second.end();) {
+      const std::int64_t off = it->first;
+      const int within = static_cast<int>(off - lo);
+      if (off >= lo && off <= hi && task.mask.test(within)) {
+        for (const Cont& c : it->second) {
+          fillSlotLater(pe, done + tm.unitSignal, c,
+                        info->elems[static_cast<std::size_t>(off)]);
+        }
+        it = ait->second.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void amWrite(std::uint16_t pe, SimTime t, AmTask& task) {
+    PeState& P = pes[pe];
+    ArrayInfo* info = store.find(task.arr);
+    std::int64_t offset;
+    if (!resolveOffset(*info, task.i0, task.i1, offset)) {
+      unitSched(pe, Unit::AM, t, tm.memRead);
+      runtimeError("array write out of bounds");
+      return;
+    }
+    const int owner = info->owner(offset);
+    if (owner != pe) {
+      // Remote write: commit the value here (single assignment makes it
+      // final, so the writer may also cache it — its own read-after-write,
+      // e.g. a recurrence over a distributed array, then stays local), and
+      // forward a token-sized notification to the owner, which wakes any
+      // readers queued on the element there.
+      if (!store.write(task.arr, offset, task.v)) {
+        unitSched(pe, Unit::AM, t, tm.memWrite);
+        runtimeError("single-assignment violation: array #" +
+                     std::to_string(task.arr) + " element " +
+                     std::to_string(offset) + " written twice");
+        return;
+      }
+      if (cfg.cachePages) {
+        P.cache[pageKey(task.arr, info->layout.pageOfOffset(offset))].set(
+            static_cast<int>(offset % tm.pageElems));
+      }
+      SimTime done = unitSched(pe, Unit::AM, t, tm.memWrite + tm.memRead);
+      stats.counters.add("array.writes.remote");
+      task.forwarded = true;
+      amToRemote(pe, static_cast<std::uint16_t>(owner), done, task,
+                 /*pageSized=*/false);
+      return;
+    }
+    if (!task.forwarded && !store.write(task.arr, offset, task.v)) {
+      unitSched(pe, Unit::AM, t, tm.memWrite);
+      runtimeError("single-assignment violation: array #" +
+                   std::to_string(task.arr) + " element " +
+                   std::to_string(offset) + " written twice");
+      return;
+    }
+    // "Array Write: memory_write_time + number_queued_reads * message_time".
+    auto dit = P.deferred.find(task.arr);
+    Deferred* d = nullptr;
+    if (dit != P.deferred.end()) {
+      auto oit = dit->second.find(offset);
+      if (oit != dit->second.end()) d = &oit->second;
+    }
+    const std::int64_t queued =
+        d ? static_cast<std::int64_t>(d->localWaiters.size()) : 0;
+    SimTime done = unitSched(pe, Unit::AM, t,
+                             tm.memWrite + tm.unitSignal * queued);
+    if (d) {
+      for (const Cont& c : d->localWaiters) {
+        fillSlotLater(pe, done + tm.unitSignal, c, task.v);
+      }
+      // Remote readers queued on this element get the value itself as a
+      // token-sized response (the write "reactivates all PEs blocked on that
+      // location"); future reads of the page still fetch and cache it whole.
+      for (std::uint16_t toPe : d->remotePes) {
+        AmTask resp;
+        resp.kind = AmTask::Kind::ValueArrive;
+        resp.arr = task.arr;
+        resp.offset = offset;
+        resp.v = task.v;
+        amToRemote(pe, toPe, done, resp, /*pageSized=*/false);
+      }
+      dit->second.erase(offset);
+    }
+  }
+
+  // --- main loop ------------------------------------------------------------
+
+  RunStats run() {
+    // Boot: instantiate main's frame on PE 0 with context 0.
+    {
+      PeState& P0 = pes[0];
+      Frame f;
+      f.spCode = prog.mainSp;
+      f.ctx = 0;
+      f.slots.assign(prog.sp(prog.mainSp).numSlots, Value{});
+      P0.frames.push_back(std::move(f));
+      P0.match[0] = 0;
+      P0.readyQ.push_back(0);
+      stats.counters.add("sp.instantiated");
+      ++stats.spProfiles[prog.mainSp].instances;
+      peakLiveSps = std::max(peakLiveSps, ++liveSps);
+      pushKick(0, kTimeZero);
+    }
+    while (!q.empty()) {
+      Ev ev = q.top();
+      q.pop();
+      ++eventsProcessed;
+      if (cfg.maxEvents && eventsProcessed > cfg.maxEvents) {
+        stats.ok = false;
+        stats.error = "event budget exhausted (possible livelock)";
+        stats.total = now;
+        return finalize();
+      }
+      now = ev.t;
+      switch (ev.kind) {
+        case EvKind::EuKick: {
+          PeState& P = pes[ev.pe];
+          if (P.kickScheduled && ev.t >= P.kickAt) P.kickScheduled = false;
+          euRun(ev.pe, ev.t);
+          break;
+        }
+        case EvKind::TokenAtMu: {
+          SimTime done = unitSched(ev.pe, Unit::MU, ev.t, tm.matchTime);
+          stats.counters.add("tokens.matched");
+          Ev del;
+          del.t = done;
+          del.kind = EvKind::TokenDeliver;
+          del.pe = ev.pe;
+          del.tok = std::move(ev.tok);
+          push(std::move(del));
+          break;
+        }
+        case EvKind::TokenDeliver:
+          deliverToken(ev.pe, ev.t, ev.tok);
+          break;
+        case EvKind::AmArrive:
+          amHandle(ev.pe, ev.t, ev.am);
+          break;
+        case EvKind::SlotFill:
+          deliverToken(ev.pe, ev.t, ev.tok);
+          break;
+      }
+    }
+    stats.total = now;
+    // EU time may extend past the last event.
+    for (const PeState& P : pes) stats.total = std::max(stats.total, P.euFree);
+    return finalize();
+  }
+
+  RunStats finalize() {
+    for (std::size_t pe = 0; pe < pes.size(); ++pe) {
+      stats.busy[pe] = pes[pe].unitBusy;
+    }
+    stats.counters.add("events", static_cast<std::int64_t>(eventsProcessed));
+    stats.counters.add("sp.peakLive", peakLiveSps);
+    if (tracing) writeTrace();
+    // Diagnose incomplete executions.
+    if (stats.error.empty()) {
+      int alive = 0;
+      std::string sample;
+      for (std::size_t pe = 0; pe < pes.size(); ++pe) {
+        for (const Frame& f : pes[pe].frames) {
+          if (f.state != FrameState::Dead) {
+            ++alive;
+            if (sample.size() < 200) {
+              sample += " [pe" + std::to_string(pe) + " " +
+                        prog.sp(f.spCode).name + " pc=" + std::to_string(f.pc) +
+                        (f.state == FrameState::Blocked
+                             ? " blocked on " +
+                                   prog.sp(f.spCode).slotName(f.blockedSlot)
+                             : "") +
+                        "]";
+            }
+          }
+        }
+      }
+      if (alive > 0) {
+        stats.error = "deadlock: " + std::to_string(alive) +
+                      " SPs never completed;" + sample;
+      } else {
+        for (std::size_t r = 0; r < resultSet.size(); ++r) {
+          if (!resultSet[r]) {
+            stats.error = "program result " + std::to_string(r) + " never set";
+            break;
+          }
+        }
+      }
+    }
+    stats.ok = stats.error.empty();
+    return stats;
+  }
+};
+
+Machine::Machine(const SpProgram& prog, MachineConfig cfg)
+    : impl_(std::make_unique<Impl>(prog, cfg)) {}
+
+Machine::~Machine() = default;
+
+RunStats Machine::run() { return impl_->run(); }
+
+const ArrayStore& Machine::arrays() const { return impl_->store; }
+
+}  // namespace pods::sim

@@ -1,0 +1,33 @@
+// Internal invariant checking.
+//
+// PODS_CHECK is used for programming-error invariants inside the library
+// (per C++ Core Guidelines I.6/E.12 style: fail fast and loudly on broken
+// preconditions). These are *not* used for user-input errors; the frontend
+// reports those through support/diag.hpp instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pods {
+
+[[noreturn]] inline void checkFailed(const char* cond, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "PODS_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pods
+
+#define PODS_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) ::pods::checkFailed(#cond, __FILE__, __LINE__, "");  \
+  } while (0)
+
+#define PODS_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) ::pods::checkFailed(#cond, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#define PODS_UNREACHABLE(msg) ::pods::checkFailed("unreachable", __FILE__, __LINE__, msg)

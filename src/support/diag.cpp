@@ -1,0 +1,41 @@
+#include "support/diag.hpp"
+
+namespace pods {
+
+std::string Diag::str() const {
+  std::string out;
+  switch (kind) {
+    case DiagKind::Error: out = "error"; break;
+    case DiagKind::Warning: out = "warning"; break;
+    case DiagKind::Note: out = "note"; break;
+  }
+  if (loc.valid()) {
+    out += " at " + std::to_string(loc.line) + ":" + std::to_string(loc.col);
+  }
+  out += ": " + message;
+  return out;
+}
+
+void DiagSink::error(SrcLoc loc, std::string msg) {
+  diags_.push_back({DiagKind::Error, loc, std::move(msg)});
+  ++errorCount_;
+}
+
+void DiagSink::warning(SrcLoc loc, std::string msg) {
+  diags_.push_back({DiagKind::Warning, loc, std::move(msg)});
+}
+
+void DiagSink::note(SrcLoc loc, std::string msg) {
+  diags_.push_back({DiagKind::Note, loc, std::move(msg)});
+}
+
+std::string DiagSink::str() const {
+  std::string out;
+  for (const Diag& d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pods

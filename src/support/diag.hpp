@@ -1,0 +1,47 @@
+// Source locations and user-facing diagnostics for the IdLite frontend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pods {
+
+/// A position in an IdLite source buffer (1-based line/column).
+struct SrcLoc {
+  int line = 0;
+  int col = 0;
+  bool valid() const { return line > 0; }
+};
+
+enum class DiagKind { Error, Warning, Note };
+
+/// One user-facing message (lexer/parser/sema error or warning).
+struct Diag {
+  DiagKind kind = DiagKind::Error;
+  SrcLoc loc;
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics during compilation. The frontend never throws
+/// across the public API; callers check hasErrors() instead.
+class DiagSink {
+ public:
+  void error(SrcLoc loc, std::string msg);
+  void warning(SrcLoc loc, std::string msg);
+  void note(SrcLoc loc, std::string msg);
+
+  bool hasErrors() const { return errorCount_ > 0; }
+  int errorCount() const { return errorCount_; }
+  const std::vector<Diag>& all() const { return diags_; }
+
+  /// All diagnostics joined with newlines, for error reporting in tools.
+  std::string str() const;
+
+ private:
+  std::vector<Diag> diags_;
+  int errorCount_ = 0;
+};
+
+}  // namespace pods

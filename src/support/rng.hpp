@@ -1,0 +1,35 @@
+// Deterministic pseudo-random number generation for workload generators and
+// property tests. SplitMix64: tiny, fast, reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace pods {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double range(double lo, double hi) { return lo + (hi - lo) * unit(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pods

@@ -1,0 +1,16 @@
+#include "support/stats.hpp"
+
+namespace pods {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  sum_ += x;
+  ++n_;
+}
+
+}  // namespace pods

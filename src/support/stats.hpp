@@ -1,0 +1,64 @@
+// Statistics utilities: busy-time accounting for functional units and
+// named event counters, used to reproduce the paper's utilization figures
+// (Figure 8, Figure 9).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/simtime.hpp"
+
+namespace pods {
+
+/// Accumulates the busy time of a serial resource (a PE functional unit).
+/// Utilization is busy / elapsed, exactly as the paper defines "the fraction
+/// of the time a given facility is busy".
+class BusyMeter {
+ public:
+  void addBusy(SimTime span) { busy_ += span; }
+  SimTime busy() const { return busy_; }
+
+  double utilization(SimTime elapsed) const {
+    if (elapsed.ns <= 0) return 0.0;
+    return static_cast<double>(busy_.ns) / static_cast<double>(elapsed.ns);
+  }
+
+ private:
+  SimTime busy_{};
+};
+
+/// A set of named monotonic counters (tokens routed, pages shipped, ...).
+class Counters {
+ public:
+  void add(const std::string& name, std::int64_t delta = 1) { map_[name] += delta; }
+  std::int64_t get(const std::string& name) const {
+    auto it = map_.find(name);
+    return it == map_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::int64_t>& all() const { return map_; }
+  void merge(const Counters& other) {
+    for (const auto& [k, v] : other.map_) map_[k] += v;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> map_;
+};
+
+/// Simple online mean/min/max accumulator.
+class Summary {
+ public:
+  void add(double x);
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  std::int64_t count() const { return n_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pods

@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace pods {
+
+std::string fmtF(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string value) {
+  PODS_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(fmtF(value, precision));
+}
+
+TextTable& TextTable::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+std::string TextTable::str() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (size_t i = 0; i < r.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  }
+  auto emitRow = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      out += "  ";
+      // Right-align everything but the first column (labels on the left).
+      if (i == 0) {
+        out += c;
+        out.append(width[i] - c.size(), ' ');
+      } else {
+        out.append(width[i] - c.size(), ' ');
+        out += c;
+      }
+    }
+    out += '\n';
+  };
+  std::string out;
+  emitRow(header_, out);
+  size_t total = 0;
+  for (size_t w : width) total += w + 2;
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& r : rows_) emitRow(r, out);
+  return out;
+}
+
+void TextTable::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace pods

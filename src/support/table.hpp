@@ -1,0 +1,35 @@
+// Plain-text table printer used by the benchmark harnesses to print the
+// paper's tables and figure series in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pods {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row.
+  TextTable& row();
+  /// Appends one cell to the current row.
+  TextTable& cell(std::string value);
+  TextTable& cell(double value, int precision = 2);
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+
+  /// Renders the table with a header rule, columns padded to fit.
+  std::string str() const;
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string fmtF(double v, int precision = 2);
+
+}  // namespace pods

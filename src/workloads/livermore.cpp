@@ -1,0 +1,111 @@
+#include "workloads/livermore.hpp"
+
+#include "support/check.hpp"
+
+namespace pods::workloads {
+
+const std::vector<LivermoreKernel>& livermoreKernels() {
+  static const std::vector<LivermoreKernel> k = {
+      {1, "hydro fragment", true},
+      {3, "inner product", false},
+      {5, "tri-diagonal elimination", false},
+      {7, "equation of state", true},
+      {11, "first sum", false},
+      {12, "first difference", true},
+  };
+  return k;
+}
+
+namespace {
+
+/// Shared input-vector setup: deterministic pseudo-data, filled in parallel.
+std::string inputs(int n, int extra) {
+  return "  let n = " + std::to_string(n) + ";\n" +
+         "  let m = " + std::to_string(n + extra) + ";\n" + R"(
+  let y = array(m);
+  let z = array(m);
+  for i = 0 to m - 1 {
+    y[i] = 0.2 + 0.001 * real(i);
+    z[i] = 1.0 + 0.0005 * real(i * i % 97);
+  }
+)";
+}
+
+}  // namespace
+
+std::string livermoreSource(int kernelNumber, int n) {
+  switch (kernelNumber) {
+    case 1:
+      // x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])
+      return "def main() -> array {\n" + inputs(n, 11) + R"(
+  let q = 0.5;
+  let r = 0.25;
+  let t = 0.125;
+  let x = array(n);
+  for k = 0 to n - 1 {
+    x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+  }
+  return x;
+}
+)";
+    case 3:
+      // q = sum z[k] * y[k]
+      return "def main() -> real {\n" + inputs(n, 0) + R"(
+  let q = for k = 0 to n - 1 carry (acc = 0.0) {
+    next acc = acc + z[k] * y[k];
+  } yield acc;
+  return q;
+}
+)";
+    case 5:
+      // x[i] = z[i] * (y[i] - x[i-1])
+      return "def main() -> array {\n" + inputs(n, 0) + R"(
+  let x = array(n);
+  x[0] = z[0] * y[0];
+  for i = 1 to n - 1 {
+    x[i] = z[i] * (y[i] - x[i-1]);
+  }
+  return x;
+}
+)";
+    case 7:
+      // Equation-of-state fragment: long parallel expression per element.
+      return "def main() -> array {\n" + inputs(n, 6) + R"(
+  let r = 0.5;
+  let t = 0.75;
+  let x = array(n);
+  for k = 0 to n - 1 {
+    x[k] = y[k] + r * (z[k] + r * y[k + 1]) +
+           t * (z[k + 3] + r * (z[k + 2] + r * z[k + 1]) +
+                t * (z[k + 6] + r * (z[k + 5] + r * z[k + 4])));
+  }
+  return x;
+}
+)";
+    case 11:
+      // x[k] = x[k-1] + y[k]  (prefix sum)
+      return "def main() -> array {\n" + inputs(n, 0) + R"(
+  let x = array(n);
+  x[0] = y[0];
+  for k = 1 to n - 1 {
+    x[k] = x[k-1] + y[k];
+  }
+  return x;
+}
+)";
+    case 12:
+      // x[k] = y[k+1] - y[k]
+      return "def main() -> array {\n" + inputs(n, 1) + R"(
+  let x = array(n);
+  for k = 0 to n - 1 {
+    x[k] = y[k + 1] - y[k];
+  }
+  return x;
+}
+)";
+    default:
+      PODS_UNREACHABLE("unknown Livermore kernel");
+  }
+}
+
+}  // namespace pods::workloads

@@ -1,0 +1,40 @@
+// Livermore-loop style kernels in IdLite.
+//
+// SIMPLE came from Lawrence Livermore, and the classic Livermore Fortran
+// Kernels are the canonical probe set for exactly the question PODS asks:
+// how much *iteration-level* parallelism does scientific code expose? This
+// pack implements a representative subset with contrasting dependence
+// structure — the LCD analysis distributes the data-parallel ones and keeps
+// the recurrences sequential, which the bench makes visible.
+//
+//   K1  hydro fragment            x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])
+//       — parallel (reads run ahead of the index but only of z, never
+//         written here).
+//   K3  inner product             q += z[k]*x[k]
+//       — a carried reduction (sequential by design).
+//   K5  tri-diagonal elimination  x[i] = z[i]*(y[i] - x[i-1])
+//       — first-order linear recurrence: a true LCD.
+//   K7  equation of state         heavy arithmetic, fully parallel.
+//   K11 first sum (prefix)        x[k] = x[k-1] + y[k] — a true LCD.
+//   K12 first difference          x[k] = y[k+1] - y[k] — parallel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pods::workloads {
+
+struct LivermoreKernel {
+  int number;        // the classic kernel number
+  const char* name;
+  bool parallel;     // expected: does the main loop distribute?
+};
+
+/// The kernels provided by livermoreSource, in order.
+const std::vector<LivermoreKernel>& livermoreKernels();
+
+/// IdLite source for one kernel over problem size n. main returns the
+/// kernel's result vector (and scalar, for the reduction).
+std::string livermoreSource(int kernelNumber, int n);
+
+}  // namespace pods::workloads

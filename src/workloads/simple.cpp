@@ -1,0 +1,221 @@
+#include "workloads/simple.hpp"
+
+namespace pods::workloads {
+
+namespace {
+
+/// The routine definitions shared by the full benchmark and the
+/// conduction-only configuration.
+std::string simpleRoutines() {
+  return R"(
+// Gamma-law equation of state (inlined into hydrodynamics' loop, like the
+// Id compiler inlines small function bodies).
+inline def eos(rho: real, e: real) -> real {
+  return 0.4 * rho * e;
+}
+
+// Velocity & position update: element-wise, no loop-carried dependencies.
+def velocity_position(n: int, dt: real,
+                      u: matrix, v: matrix, r: matrix, z: matrix,
+                      p: matrix, q: matrix,
+                      un: matrix, vn: matrix, rn: matrix, zn: matrix) {
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 {
+      let pl = if j == 0 then p[i,j] else p[i,j-1];
+      let pr = if j == n - 1 then p[i,j] else p[i,j+1];
+      let pu = if i == 0 then p[i,j] else p[i-1,j];
+      let pd = if i == n - 1 then p[i,j] else p[i+1,j];
+      let ql = if j == 0 then q[i,j] else q[i,j-1];
+      let qr = if j == n - 1 then q[i,j] else q[i,j+1];
+      let uv = u[i,j] - dt * (pr - pl + qr - ql) * 0.5;
+      let vv = v[i,j] - dt * (pd - pu) * 0.5;
+      un[i,j] = uv;
+      vn[i,j] = vv;
+      rn[i,j] = r[i,j] + dt * uv;
+      zn[i,j] = z[i,j] + dt * vv;
+    }
+  }
+}
+
+// Hydrodynamics: one big nested loop computing divergence, density,
+// artificial viscosity, energy, and pressure.
+def hydrodynamics(n: int, dt: real,
+                  u: matrix, v: matrix, rho: matrix, e: matrix,
+                  p: matrix, q: matrix,
+                  rhon: matrix, en: matrix, pn: matrix, qn: matrix) {
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 {
+      let ul = if j == 0 then u[i,j] else u[i,j-1];
+      let ur = if j == n - 1 then u[i,j] else u[i,j+1];
+      let vu = if i == 0 then v[i,j] else v[i-1,j];
+      let vd = if i == n - 1 then v[i,j] else v[i+1,j];
+      let div = 0.5 * (ur - ul + vd - vu);
+      let rhov = rho[i,j] * (1.0 - dt * div);
+      let qv = if div < 0.0 then 2.0 * rhov * div * div else 0.0;
+      let ev = e[i,j] - dt * (p[i,j] + qv) * div / rhov;
+      rhon[i,j] = rhov;
+      qn[i,j] = qv;
+      en[i,j] = ev;
+      pn[i,j] = eos(rhov, ev);
+    }
+  }
+}
+
+// Heat conduction, row phase: a tridiagonal (Thomas) solve along every row.
+// The forward recurrence and the descending back-substitution both carry a
+// dependency in j, so only the outer i loop distributes.
+def conduct_row(n: int, lam: real, T: matrix, Tn: matrix,
+                cp: matrix, dq: matrix) {
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 {
+      let cpPrev = if j == 0 then 0.0 else cp[i,j-1];
+      let dqPrev = if j == 0 then 0.0 else dq[i,j-1];
+      let m = 1.0 + 2.0 * lam - lam * cpPrev;
+      cp[i,j] = lam / m;
+      dq[i,j] = (T[i,j] + lam * dqPrev) / m;
+    }
+    for j = n - 1 downto 0 {
+      let nxt = if j == n - 1 then 0.0 else Tn[i,j+1];
+      Tn[i,j] = dq[i,j] + cp[i,j] * nxt;
+    }
+  }
+}
+
+// Heat conduction, column phase: the same solve down every column. The
+// recurrences carry over i, so the *inner* j loops distribute (per-row
+// broadcast with i-dependent Range-Filter bounds) and rows pipeline in a
+// staggered, doacross-like fashion.
+def conduct_col(n: int, lam: real, T: matrix, Tn: matrix,
+                cp: matrix, dq: matrix) {
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 {
+      let cpPrev = if i == 0 then 0.0 else cp[i-1,j];
+      let dqPrev = if i == 0 then 0.0 else dq[i-1,j];
+      let m = 1.0 + 2.0 * lam - lam * cpPrev;
+      cp[i,j] = lam / m;
+      dq[i,j] = (T[i,j] + lam * dqPrev) / m;
+    }
+  }
+  for i = n - 1 downto 0 {
+    for j = 0 to n - 1 {
+      let nxt = if i == n - 1 then 0.0 else Tn[i+1,j];
+      Tn[i,j] = dq[i,j] + cp[i,j] * nxt;
+    }
+  }
+}
+
+// Conduction driver: both sweep phases ("every element is recalculated
+// twice, based upon its neighbors").
+def conduction(n: int, dt: real, T: matrix, Tn: matrix) {
+  let lam = dt * 4.0;
+  let Th = matrix(n, n);
+  let cp1 = matrix(n, n);
+  let dq1 = matrix(n, n);
+  conduct_row(n, lam, T, Th, cp1, dq1);
+  let cp2 = matrix(n, n);
+  let dq2 = matrix(n, n);
+  conduct_col(n, lam, Th, Tn, cp2, dq2);
+}
+)";
+}
+
+}  // namespace
+
+std::string simpleSource(int n, int steps) {
+  const std::string N = std::to_string(n);
+  const std::string S = std::to_string(steps);
+  std::string src = "// SIMPLE: Lagrangian hydrodynamics + heat conduction (" +
+                    N + "x" + N + " mesh).\n";
+  src += simpleRoutines();
+  src += R"(
+def main() -> matrix {
+  let n = )" + N + R"(;
+  let steps = )" + S + R"(;
+  let dt = 0.002;
+
+  let u0 = matrix(n, n);
+  let v0 = matrix(n, n);
+  let r0 = matrix(n, n);
+  let z0 = matrix(n, n);
+  let rho0 = matrix(n, n);
+  let e0 = matrix(n, n);
+  let p0 = matrix(n, n);
+  let q0 = matrix(n, n);
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 {
+      let x = real(i) * 0.1;
+      let y = real(j) * 0.1;
+      u0[i,j] = 0.05 * sin(x) * cos(y);
+      v0[i,j] = 0.05 * cos(x) * sin(y);
+      r0[i,j] = real(j) * 0.5;
+      z0[i,j] = real(i) * 0.5;
+      rho0[i,j] = 1.0 + 0.1 * sin(x + y);
+      e0[i,j] = 2.0 + cos(x) * 0.5;
+      p0[i,j] = 0.4 * (1.0 + 0.1 * sin(x + y)) * (2.0 + cos(x) * 0.5);
+      q0[i,j] = 0.0;
+    }
+  }
+
+  let efinal = loop carry (u = u0, v = v0, r = r0, z = z0,
+                           rho = rho0, e = e0, p = p0, q = q0, t = 0)
+               while t < steps {
+    let un = matrix(n, n);
+    let vn = matrix(n, n);
+    let rn = matrix(n, n);
+    let zn = matrix(n, n);
+    velocity_position(n, dt, u, v, r, z, p, q, un, vn, rn, zn);
+
+    let rhon = matrix(n, n);
+    let en = matrix(n, n);
+    let pn = matrix(n, n);
+    let qn = matrix(n, n);
+    hydrodynamics(n, dt, un, vn, rho, e, p, q, rhon, en, pn, qn);
+
+    let Tn = matrix(n, n);
+    conduction(n, dt, en, Tn);
+
+    next u = un;
+    next v = vn;
+    next r = rn;
+    next z = zn;
+    next rho = rhon;
+    next e = Tn;
+    next p = pn;
+    next q = qn;
+    next t = t + 1;
+  } yield e;
+  return efinal;
+}
+)";
+  return src;
+}
+
+std::string conductionOnlySource(int n, int steps) {
+  const std::string N = std::to_string(n);
+  const std::string S = std::to_string(steps);
+  std::string src = "// SIMPLE conduction only (" + N + "x" + N + " input).\n";
+  src += simpleRoutines();
+  src += R"(
+def main() -> matrix {
+  let n = )" + N + R"(;
+  let steps = )" + S + R"(;
+  let dt = 0.002;
+  let T0 = matrix(n, n);
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 {
+      T0[i,j] = 2.0 + 0.5 * cos(real(i) * 0.1) + 0.01 * real(j);
+    }
+  }
+  let Tfinal = loop carry (T = T0, t = 0) while t < steps {
+    let Tn = matrix(n, n);
+    conduction(n, dt, T, Tn);
+    next T = Tn;
+    next t = t + 1;
+  } yield T;
+  return Tfinal;
+}
+)";
+  return src;
+}
+
+}  // namespace pods::workloads

@@ -1,0 +1,37 @@
+// The SIMPLE benchmark (paper section 5.2), written in IdLite.
+//
+// SIMPLE [Crowley et al., UCID-17715] is a Lagrangian hydrodynamics + heat
+// conduction simulation. Our version keeps the structure the paper's
+// evaluation depends on:
+//
+//  - velocity_position: one element-wise nested loop, no LCDs, no calls —
+//    parallelizes perfectly (outer loop replicated across PEs);
+//  - hydrodynamics: "basically one big nested loop" over neighbor reads
+//    with an inlined equation-of-state;
+//  - conduction: the hard routine — two ADI-style sweep phases (row solve,
+//    then column solve) built from tridiagonal forward recurrences and
+//    *descending* back-substitutions, so it has LCDs with both ascending
+//    and descending for-loops plus multiple function calls. The row sweep
+//    distributes its outer loop; the column sweep's recurrences carry over
+//    rows, so only its inner loops distribute (the Figure-5 i-dependent
+//    Range-Filter case), running in the staggered doacross fashion the
+//    paper describes.
+//
+// The driver advances `steps` time steps in a while-loop carrying the whole
+// state (every step allocates fresh single-assignment arrays).
+#pragma once
+
+#include <string>
+
+namespace pods::workloads {
+
+/// IdLite source of SIMPLE for an n x n mesh advancing `steps` time steps.
+/// main returns the final energy field.
+std::string simpleSource(int n, int steps);
+
+/// Just the conduction routine (both sweep phases) applied `steps` times to
+/// an n x n temperature field — the configuration of the paper's section
+/// 5.3.4 efficiency comparison ("a 32 x 32 input conduction").
+std::string conductionOnlySource(int n, int steps);
+
+}  // namespace pods::workloads

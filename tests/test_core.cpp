@@ -1,0 +1,156 @@
+// Public-facade tests: compile error reporting, output comparison, profile
+// plumbing, and the no-result / multi-result program shapes.
+#include <gtest/gtest.h>
+
+#include "core/pods.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pods {
+namespace {
+
+TEST(Core, LexErrorSurfaces) {
+  CompileResult cr = compile("def main() { let x = @; }");
+  EXPECT_FALSE(cr.ok);
+  EXPECT_NE(cr.diagnostics.find("unexpected character"), std::string::npos);
+  EXPECT_EQ(cr.compiled, nullptr);
+}
+
+TEST(Core, ParseErrorSurfaces) {
+  CompileResult cr = compile("def main( { }");
+  EXPECT_FALSE(cr.ok);
+  EXPECT_NE(cr.diagnostics.find("expected"), std::string::npos);
+}
+
+TEST(Core, SemaErrorSurfaces) {
+  CompileResult cr = compile("def main() { let x = y; }");
+  EXPECT_FALSE(cr.ok);
+  EXPECT_NE(cr.diagnostics.find("unknown variable"), std::string::npos);
+}
+
+TEST(Core, MissingMainSurfaces) {
+  CompileResult cr = compile("def notmain() { }");
+  EXPECT_FALSE(cr.ok);
+  EXPECT_NE(cr.diagnostics.find("main"), std::string::npos);
+}
+
+TEST(Core, InlineErrorSurfaces) {
+  CompileResult cr = compile(R"(
+inline def r(x: int) -> int { return r(x); }
+def main() -> int { return r(1); }
+)");
+  EXPECT_FALSE(cr.ok);
+  EXPECT_NE(cr.diagnostics.find("too deep"), std::string::npos);
+}
+
+TEST(Core, NoResultProgramRuns) {
+  CompileResult cr = compile(R"(
+def main() {
+  let a = array(4);
+  for i = 0 to 3 { a[i] = real(i); }
+}
+)");
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  EXPECT_EQ(cr.compiled->program.numResults, 0);
+  sim::MachineConfig mc;
+  mc.numPEs = 2;
+  PodsRun run = runPods(*cr.compiled, mc);
+  EXPECT_TRUE(run.stats.ok) << run.stats.error;
+  EXPECT_TRUE(run.out.results.empty());
+}
+
+TEST(Core, SameOutputsDetectsDifferences) {
+  ProgramOutputs a, b;
+  a.results.push_back(Value::intv(1));
+  b.results.push_back(Value::intv(2));
+  a.arrays.resize(1);
+  b.arrays.resize(1);
+  std::string why;
+  EXPECT_FALSE(sameOutputs(a, b, &why));
+  EXPECT_NE(why.find("result 0"), std::string::npos);
+
+  b.results[0] = Value::intv(1);
+  EXPECT_TRUE(sameOutputs(a, b, &why));
+
+  // Count mismatch.
+  b.results.push_back(Value::intv(3));
+  b.arrays.resize(2);
+  EXPECT_FALSE(sameOutputs(a, b, &why));
+
+  // Array shape / element mismatches.
+  ProgramOutputs c, d;
+  c.results.push_back(Value::arrayv(0));
+  d.results.push_back(Value::arrayv(0));
+  c.arrays.resize(1);
+  d.arrays.resize(1);
+  ProgramOutputs::OutArray ca, da;
+  ca.shape = {1, 3, 1};
+  da.shape = {1, 4, 1};
+  ca.elems.assign(3, Value::realv(1.0));
+  da.elems.assign(4, Value::realv(1.0));
+  c.arrays[0] = ca;
+  d.arrays[0] = da;
+  EXPECT_FALSE(sameOutputs(c, d, &why));
+  EXPECT_NE(why.find("shape"), std::string::npos);
+
+  da.shape = {1, 3, 1};
+  da.elems.assign(3, Value::realv(1.0));
+  da.elems[2] = Value::realv(1.5);
+  d.arrays[0] = da;
+  EXPECT_FALSE(sameOutputs(c, d, &why));
+  EXPECT_NE(why.find("element 2"), std::string::npos);
+
+  // Empty (never-written) elements compare equal only to empty.
+  da.elems[2] = Value{};
+  d.arrays[0] = da;
+  EXPECT_FALSE(sameOutputs(c, d, &why));
+}
+
+TEST(Core, SpProfilesAccountForExecution) {
+  CompileResult cr = compile(workloads::fill2dSource(8, 8));
+  ASSERT_TRUE(cr.ok);
+  sim::MachineConfig mc;
+  mc.numPEs = 4;
+  PodsRun run = runPods(*cr.compiled, mc);
+  ASSERT_TRUE(run.stats.ok);
+  ASSERT_EQ(run.stats.spProfiles.size(), cr.compiled->program.sps.size());
+  std::int64_t instances = 0, instrs = 0;
+  SimTime eu{};
+  for (const sim::SpProfile& p : run.stats.spProfiles) {
+    instances += p.instances;
+    instrs += p.instructions;
+    eu += p.euTime;
+    EXPECT_FALSE(p.name.empty());
+  }
+  EXPECT_EQ(instances, run.stats.counters.get("sp.instantiated"));
+  EXPECT_GT(instrs, 0);
+  // Profile EU time accounts for all busy time except context switches.
+  SimTime totalBusy{};
+  for (const auto& peBusy : run.stats.busy) {
+    totalBusy += peBusy[static_cast<int>(sim::Unit::EU)];
+  }
+  SimTime switches{run.stats.counters.get("eu.contextSwitches") *
+                   sim::Timing{}.contextSwitch.ns};
+  EXPECT_EQ(eu.ns + switches.ns, totalBusy.ns);
+}
+
+TEST(Core, WarningsDoNotBlockCompilation) {
+  // (No warnings are currently produced by the frontend; this asserts the
+  //  contract that diagnostics may be non-empty on success.)
+  CompileResult cr = compile("def main() -> int { return 1; }");
+  ASSERT_TRUE(cr.ok);
+}
+
+TEST(Core, CompiledIsMovable) {
+  CompileResult cr = compile(workloads::fill2dSource(6, 6));
+  ASSERT_TRUE(cr.ok);
+  // The plan keys into heap-allocated loop blocks: moving the Compiled must
+  // not invalidate them (runs still work after a move).
+  Compiled moved = std::move(*cr.compiled);
+  sim::MachineConfig mc;
+  mc.numPEs = 3;
+  PodsRun run = runPods(moved, mc);
+  EXPECT_TRUE(run.stats.ok) << run.stats.error;
+}
+
+}  // namespace
+}  // namespace pods

@@ -1,0 +1,150 @@
+// Baseline evaluator tests: the sequential cost model and the static
+// (Pingali/Rogers-style) distributed model.
+#include <gtest/gtest.h>
+
+#include "core/pods.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pods {
+namespace {
+
+std::unique_ptr<Compiled> compileOk(const std::string& src,
+                                    CompileOptions opts = {}) {
+  CompileResult cr = compile(src, opts);
+  EXPECT_TRUE(cr.ok) << cr.diagnostics;
+  return std::move(cr.compiled);
+}
+
+TEST(Sequential, ComputesKnownValues) {
+  auto c = compileOk(workloads::reduceSource(100), {.distribute = false});
+  BaselineRun run = runSequentialBaseline(*c);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  // sum_{i=0..99} (1 + i/1000) = 100 + 4.950
+  EXPECT_NEAR(run.out.results[0].asReal(), 104.95, 1e-9);
+  EXPECT_GT(run.stats.total.ns, 0);
+}
+
+TEST(Sequential, CostGrowsWithWork) {
+  auto small = compileOk(workloads::matmulSource(4));
+  auto large = compileOk(workloads::matmulSource(8));
+  BaselineRun a = runSequentialBaseline(*small);
+  BaselineRun b = runSequentialBaseline(*large);
+  // 8^3 / 4^3 = 8x the multiply work.
+  EXPECT_GT(b.stats.total.ns, a.stats.total.ns * 4);
+}
+
+TEST(Sequential, AntiDependenceIsDiagnosed) {
+  // Reads an element that is only written by a *later* iteration: a
+  // control-driven schedule cannot execute this (dataflow could).
+  auto c = compileOk(R"(
+def main() -> real {
+  let n = 8;
+  let a = array(n);
+  a[7] = 1.0;
+  for i = 6 downto 0 { a[i] = a[i+1] * 0.5; }
+  let bad = array(n);
+  bad[7] = 1.0;
+  for i = 0 to 6 { bad[i] = bad[i+1] * 0.5; }
+  return bad[0];
+}
+)", {.distribute = false});
+  BaselineRun run = runSequentialBaseline(*c);
+  EXPECT_FALSE(run.stats.ok);
+  EXPECT_NE(run.stats.error.find("never written"), std::string::npos);
+}
+
+TEST(Sequential, SingleAssignmentViolation) {
+  auto c = compileOk(R"(
+def main() -> real {
+  let a = array(2);
+  a[0] = 1.0;
+  a[0] = 2.0;
+  return a[0];
+}
+)", {.distribute = false});
+  BaselineRun run = runSequentialBaseline(*c);
+  EXPECT_FALSE(run.stats.ok);
+  EXPECT_NE(run.stats.error.find("single-assignment"), std::string::npos);
+}
+
+TEST(Static, ResultsIndependentOfPeCount) {
+  auto c = compileOk(workloads::stencilSource(10, 2));
+  BaselineRun ref = runSequentialBaseline(*c);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+  for (int pes : {1, 2, 3, 8, 32}) {
+    BaselineRun run = runStaticBaseline(*c, pes);
+    ASSERT_TRUE(run.stats.ok) << "pes=" << pes << ": " << run.stats.error;
+    std::string why;
+    EXPECT_TRUE(sameOutputs(run.out, ref.out, &why)) << "pes=" << pes << ": "
+                                                     << why;
+  }
+}
+
+TEST(Static, SpeedsUpOnParallelWork) {
+  auto c = compileOk(workloads::fill2dSource(64, 64));
+  BaselineRun p1 = runStaticBaseline(*c, 1);
+  BaselineRun p8 = runStaticBaseline(*c, 8);
+  ASSERT_TRUE(p1.stats.ok);
+  ASSERT_TRUE(p8.stats.ok);
+  EXPECT_LT(p8.stats.total.ns, p1.stats.total.ns / 3);
+}
+
+TEST(Static, OnePeMatchesSequentialCost) {
+  // With one PE and no remote traffic the static model degenerates to the
+  // sequential model (compiled once with distribution enabled).
+  auto c = compileOk(workloads::matmulSource(6));
+  BaselineRun st = runStaticBaseline(*c, 1);
+  BaselineRun seq = runSequentialBaseline(*c);
+  ASSERT_TRUE(st.stats.ok);
+  ASSERT_TRUE(seq.stats.ok);
+  EXPECT_EQ(st.stats.total.ns, seq.stats.total.ns);
+}
+
+TEST(Static, RemoteTrafficCountedAtScale) {
+  auto c = compileOk(workloads::stencilSource(16, 1));
+  BaselineRun run = runStaticBaseline(*c, 8);
+  ASSERT_TRUE(run.stats.ok);
+  EXPECT_GT(run.stats.counters.get("array.reads.remote"), 0);
+  EXPECT_GT(run.stats.counters.get("array.pageFetches"), 0);
+  EXPECT_GT(run.stats.counters.get("loops.distributed"), 0);
+}
+
+TEST(Static, PerPeClocksReported) {
+  auto c = compileOk(workloads::fill2dSource(16, 16));
+  BaselineRun run = runStaticBaseline(*c, 4);
+  ASSERT_TRUE(run.stats.ok);
+  ASSERT_EQ(run.stats.peTime.size(), 4u);
+  SimTime mx{};
+  for (SimTime t : run.stats.peTime) mx = std::max(mx, t);
+  EXPECT_EQ(mx.ns, run.stats.total.ns);
+}
+
+TEST(Static, LoadImbalanceShowsUp) {
+  // Triangular work: later rows do more; block row ownership puts them on
+  // the last PEs, so per-PE clocks must differ noticeably.
+  auto c = compileOk(workloads::triangularSource(64));
+  BaselineRun run = runStaticBaseline(*c, 4);
+  ASSERT_TRUE(run.stats.ok);
+  SimTime mn = run.stats.peTime[0], mx = run.stats.peTime[0];
+  for (SimTime t : run.stats.peTime) {
+    mn = std::min(mn, t);
+    mx = std::max(mx, t);
+  }
+  EXPECT_GT(mx.ns, mn.ns);
+}
+
+TEST(Static, FasterThanPodsAtOnePe) {
+  // The static/sequential model has no token, matching, or process
+  // overheads, so at 1 PE it is at least as fast as PODS (section 5.3.4).
+  auto c = compileOk(workloads::matmulSource(8));
+  BaselineRun st = runStaticBaseline(*c, 1);
+  sim::MachineConfig mc;
+  mc.numPEs = 1;
+  PodsRun pods = runPods(*c, mc);
+  ASSERT_TRUE(st.stats.ok);
+  ASSERT_TRUE(pods.stats.ok);
+  EXPECT_LE(st.stats.total.ns, pods.stats.total.ns);
+}
+
+}  // namespace
+}  // namespace pods

@@ -1,0 +1,130 @@
+// Frontend robustness: random byte soup and mutated valid programs must
+// produce diagnostics (or compile fine), never crashes or hangs. The
+// compiler is the part of the system exposed to untrusted input, so it gets
+// the fuzz treatment; seeds are fixed for reproducibility.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/pods.hpp"
+#include "support/rng.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pods {
+namespace {
+
+TEST(FuzzFrontend, RandomPrintableGarbage) {
+  SplitMix64 rng(0xFADEDBEEFULL);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 \n\t(){}[];:=+-*/%<>!&|.,\"'#$@";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string src;
+    std::size_t len = rng.below(300);
+    for (std::size_t i = 0; i < len; ++i) {
+      src += alphabet[rng.below(alphabet.size())];
+    }
+    CompileResult cr = compile(src);
+    if (cr.ok) continue;  // extraordinarily unlikely but legal
+    EXPECT_FALSE(cr.diagnostics.empty()) << src;
+  }
+}
+
+TEST(FuzzFrontend, RandomTokenSoup) {
+  // Keyword-heavy soup hits the parser's recovery paths harder.
+  static const char* const words[] = {
+      "def",  "inline", "let",    "next",  "return", "for",   "to",
+      "downto", "carry", "yield",  "loop",  "while",  "if",    "then",
+      "else", "int",    "real",   "array", "matrix", "main",  "x",
+      "y",    "f",      "42",     "3.5",   "(",      ")",     "{",
+      "}",    "[",      "]",      ";",     ",",      ":",     "->",
+      "=",    "+",      "-",      "*",     "/",      "%",     "<",
+      "<=",   "==",     "!=",     "&&",    "||",     "!",     "sqrt",
+  };
+  SplitMix64 rng(0x5EEDF00DULL);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string src;
+    std::size_t len = rng.below(120);
+    for (std::size_t i = 0; i < len; ++i) {
+      src += words[rng.below(std::size(words))];
+      src += ' ';
+    }
+    CompileResult cr = compile(src);
+    (void)cr;  // must terminate without crashing; ok either way
+  }
+}
+
+TEST(FuzzFrontend, MutatedValidPrograms) {
+  // Take a valid program and flip/delete/duplicate random characters: the
+  // compiler must reject or accept each mutant gracefully.
+  const std::string base = workloads::stencilSource(8, 1);
+  SplitMix64 rng(0xBADC0DEULL);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string src = base;
+    int edits = 1 + static_cast<int>(rng.below(4));
+    for (int e = 0; e < edits; ++e) {
+      if (src.empty()) break;
+      std::size_t pos = rng.below(src.size());
+      switch (rng.below(3)) {
+        case 0:
+          src[pos] = static_cast<char>('!' + rng.below(90));
+          break;
+        case 1:
+          src.erase(pos, 1 + rng.below(5));
+          break;
+        default:
+          src.insert(pos, 1, static_cast<char>('!' + rng.below(90)));
+          break;
+      }
+    }
+    CompileResult cr = compile(src);
+    if (cr.ok) {
+      // A surviving mutant must still run deterministically.
+      BaselineRun seq = runSequentialBaseline(*cr.compiled);
+      (void)seq;  // may legitimately fail at run time (e.g. bounds)
+    } else {
+      EXPECT_FALSE(cr.diagnostics.empty());
+    }
+  }
+}
+
+TEST(FuzzFrontend, DeepNestingDoesNotOverflow) {
+  // Deep but bounded expression nesting (parser recursion).
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  CompileResult cr = compile("def main() -> int { return " + expr + "; }");
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  BaselineRun seq = runSequentialBaseline(*cr.compiled);
+  ASSERT_TRUE(seq.stats.ok);
+  EXPECT_EQ(seq.out.results[0].asInt(), 201);
+}
+
+TEST(FuzzFrontend, DeepLoopNesting) {
+  std::string body = "m[a, b] = 1.0;";
+  std::string src = "def main() -> matrix {\n  let m = matrix(2, 2);\n"
+                    "  let a = 0; let b = 0;\n";
+  std::string close;
+  for (int i = 0; i < 24; ++i) {
+    src += "for v" + std::to_string(i) + " = 0 to 0 {\n";
+    close += "}\n";
+  }
+  src += body + close + "return m;\n}\n";
+  CompileResult cr = compile(src);
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  sim::MachineConfig mc;
+  mc.numPEs = 2;
+  PodsRun run = runPods(*cr.compiled, mc);
+  EXPECT_TRUE(run.stats.ok) << run.stats.error;
+}
+
+TEST(FuzzFrontend, HugeLiteralAndLongIdentifiers) {
+  std::string longName(2000, 'x');
+  CompileResult cr = compile("def main() -> int { let " + longName + " = " +
+                             "123456789123456789; return " + longName +
+                             " % 97; }");
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  BaselineRun seq = runSequentialBaseline(*cr.compiled);
+  EXPECT_TRUE(seq.stats.ok);
+}
+
+}  // namespace
+}  // namespace pods

@@ -1,0 +1,286 @@
+// Dataflow-graph IR tests: graph generation shapes, def/use computation,
+// the verifier, and the graphviz writer.
+#include <gtest/gtest.h>
+
+#include "frontend/inliner.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "ir/defuse.hpp"
+#include "ir/dot.hpp"
+#include "ir/graphgen.hpp"
+#include "ir/verify.hpp"
+
+namespace pods::ir {
+namespace {
+
+Program build(std::string_view src) {
+  DiagSink d;
+  fe::Module m = fe::parse(src, d);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  fe::expandInlines(m, d);
+  fe::analyze(m, d, /*requireMain=*/false);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  Program p = buildGraph(m, d);
+  if (m.find("main") == nullptr) {
+    // buildGraph demands a main; tests without one report the error but
+    // the per-function graphs are still usable.
+  }
+  return p;
+}
+
+Program buildVerified(std::string_view src) {
+  Program p = build(src);
+  std::string err;
+  EXPECT_TRUE(verify(p, err)) << err;
+  return p;
+}
+
+const Function& fn(const Program& p, const std::string& name) {
+  for (const Function& f : p.fns) {
+    if (f.name == name) return f;
+  }
+  ADD_FAILURE() << "function " << name << " not lowered";
+  return p.fns[0];
+}
+
+const Block& firstLoop(const Block& b) {
+  for (const Item& it : b.body) {
+    if (it.kind == ItemKind::Loop) return *it.loop;
+  }
+  ADD_FAILURE() << "no loop in block";
+  return b;
+}
+
+TEST(GraphGen, Figure2Shape) {
+  // The paper's Figure-2 program: three nested code blocks.
+  Program p = buildVerified(R"(
+def main() -> matrix {
+  let A = matrix(50, 10);
+  for i = 0 to 49 {
+    for j = 0 to 9 {
+      A[i,j] = real(i) + real(j);
+    }
+  }
+  return A;
+}
+)");
+  const Function& m = fn(p, "main");
+  const Block& iLoop = firstLoop(m.body);
+  EXPECT_EQ(iLoop.kind, BlockKind::ForLoop);
+  EXPECT_TRUE(iLoop.ascending);
+  const Block& jLoop = firstLoop(iLoop);
+  EXPECT_EQ(jLoop.kind, BlockKind::ForLoop);
+  // The inner loop writes the array allocated in the outermost scope: the
+  // array value must flow in through the L operators (external use).
+  auto ext = blockExternalUses(jLoop);
+  EXPECT_FALSE(ext.empty());
+  ASSERT_EQ(m.retVals.size(), 1u);
+}
+
+TEST(GraphGen, CarriedLoop) {
+  Program p = buildVerified(R"(
+def f(n: int, a: array) -> real {
+  let s = for i = 0 to n - 1 carry (acc = 0.0) {
+    next acc = acc + a[i];
+  } yield acc;
+  return s;
+}
+)");
+  const Block& loop = firstLoop(fn(p, "f").body);
+  ASSERT_EQ(loop.carried.size(), 1u);
+  EXPECT_NE(loop.carried[0].cur, kNoVal);
+  EXPECT_NE(loop.carried[0].shadow, kNoVal);
+  EXPECT_NE(loop.carried[0].init, kNoVal);
+  EXPECT_NE(loop.yieldVal, kNoVal);
+  // The yield of `acc` is the carried current value itself.
+  EXPECT_EQ(loop.yieldVal, loop.carried[0].cur);
+  // Body contains a Next item.
+  bool sawNext = false;
+  for (const Item& it : loop.body) {
+    if (it.kind == ItemKind::Next) sawNext = true;
+  }
+  EXPECT_TRUE(sawNext);
+}
+
+TEST(GraphGen, WhileLoopCondItems) {
+  Program p = buildVerified(R"(
+def f(n: int) -> int {
+  let r = loop carry (k = 0) while k < n { next k = k + 1; } yield k;
+  return r;
+}
+)");
+  const Block& loop = firstLoop(fn(p, "f").body);
+  EXPECT_EQ(loop.kind, BlockKind::WhileLoop);
+  EXPECT_FALSE(loop.condItems.empty());
+  EXPECT_NE(loop.condVal, kNoVal);
+}
+
+TEST(GraphGen, IfExprMergesBothArms) {
+  Program p = buildVerified(R"(
+def f(c: int) -> real {
+  let x = if c then 1.5 else 2.5;
+  return x;
+}
+)");
+  const Function& f = fn(p, "f");
+  // Find the If item; both arms must define the same merge value.
+  bool found = false;
+  for (const Item& it : f.body.body) {
+    if (it.kind != ItemKind::If) continue;
+    std::vector<ValId> thenDefs, elseDefs;
+    for (const Item& t : it.ifi->thenItems) itemDefs(t, thenDefs);
+    for (const Item& e : it.ifi->elseItems) itemDefs(e, elseDefs);
+    for (ValId v : thenDefs) {
+      for (ValId w : elseDefs) {
+        if (v == w) found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GraphGen, CallItem) {
+  Program p = buildVerified(R"(
+def g(x: real) -> real { return x * 2.0; }
+def f(a: real) -> real { return g(a + 1.0); }
+)");
+  const Function& f = fn(p, "f");
+  bool sawCall = false;
+  for (const Item& it : f.body.body) {
+    if (it.kind == ItemKind::Call) {
+      sawCall = true;
+      EXPECT_EQ(it.call->args.size(), 1u);
+      EXPECT_NE(it.call->dst, kNoVal);
+    }
+  }
+  EXPECT_TRUE(sawCall);
+}
+
+TEST(GraphGen, VoidCallHasNoDst) {
+  Program p = buildVerified(R"(
+def g(a: array) { a[0] = 1.0; }
+def f(a: array) { g(a); }
+)");
+  const Function& f = fn(p, "f");
+  for (const Item& it : f.body.body) {
+    if (it.kind == ItemKind::Call) {
+      EXPECT_EQ(it.call->dst, kNoVal);
+    }
+  }
+}
+
+TEST(GraphGen, DescendingLoop) {
+  Program p = buildVerified(R"(
+def f(n: int, a: array) {
+  for i = n - 1 downto 0 { a[i] = real(i); }
+}
+)");
+  EXPECT_FALSE(firstLoop(fn(p, "f").body).ascending);
+}
+
+TEST(DefUse, LoopItemUsesIncludeBoundsAndExternals) {
+  Program p = buildVerified(R"(
+def f(n: int, a: array, scale: real) {
+  for i = 0 to n - 1 { a[i] = scale * real(i); }
+}
+)");
+  const Function& f = fn(p, "f");
+  const Item* loopItem = nullptr;
+  for (const Item& it : f.body.body) {
+    if (it.kind == ItemKind::Loop) loopItem = &it;
+  }
+  ASSERT_NE(loopItem, nullptr);
+  std::vector<ValId> uses;
+  itemUses(*loopItem, uses);
+  // Bounds + array + scale all flow in: params a (ValId 1) and scale (2).
+  auto has = [&](ValId v) {
+    return std::find(uses.begin(), uses.end(), v) != uses.end();
+  };
+  EXPECT_TRUE(has(f.params[1]));  // a
+  EXPECT_TRUE(has(f.params[2]));  // scale
+}
+
+TEST(DefUse, NestedValueFlowsThroughBothBlocks) {
+  Program p = buildVerified(R"(
+def f(n: int, m: matrix, scale: real) {
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 {
+      m[i,j] = scale;
+    }
+  }
+}
+)");
+  const Function& f = fn(p, "f");
+  const Block& iLoop = firstLoop(f.body);
+  const Block& jLoop = firstLoop(iLoop);
+  auto extI = blockExternalUses(iLoop);
+  auto extJ = blockExternalUses(jLoop);
+  auto has = [](const std::vector<ValId>& v, ValId x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  // `scale` (param 2) is used only by the inner block but must appear as an
+  // external use of both, so the parent can forward it.
+  EXPECT_TRUE(has(extJ, f.params[2]));
+  EXPECT_TRUE(has(extI, f.params[2]));
+  // The inner loop's index is internal to it.
+  EXPECT_FALSE(has(extJ, jLoop.indexVal));
+}
+
+TEST(Verify, CatchesUseBeforeDef) {
+  // Build a tiny program, then corrupt it.
+  Program p = buildVerified("def main() -> int { let x = 1; return x; }");
+  Function& m = p.fns[p.mainIndex];
+  // Point the return at a value that is never defined.
+  m.retVals[0] = m.numVals + 100;
+  m.numVals += 200;
+  std::string err;
+  EXPECT_FALSE(verify(p, err));
+  EXPECT_NE(err.find("never defined"), std::string::npos);
+}
+
+TEST(Verify, CatchesMissingOperand) {
+  Program p = buildVerified("def main() -> int { let x = 1 + 2; return x; }");
+  Function& m = p.fns[p.mainIndex];
+  for (Item& it : m.body.body) {
+    if (it.kind == ItemKind::Node && it.node.op == NodeOp::Add) {
+      it.node.in[1] = m.numVals + 5;  // out of range
+      m.numVals += 10;
+    }
+  }
+  std::string err;
+  EXPECT_FALSE(verify(p, err));
+}
+
+TEST(Dot, ProducesClustersPerBlock) {
+  Program p = buildVerified(R"(
+def main() -> matrix {
+  let A = matrix(4, 4);
+  for i = 0 to 3 {
+    for j = 0 to 3 { A[i,j] = 1.0; }
+  }
+  return A;
+}
+)");
+  std::string dot = toDot(p.main());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  // function body + 2 loops = at least 3 clusters
+  EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_2"), std::string::npos);
+  EXPECT_NE(dot.find("alloc"), std::string::npos);
+}
+
+TEST(Dump, FunctionDumpMentionsLoops) {
+  Program p = buildVerified(R"(
+def main() -> int {
+  let s = for i = 0 to 3 carry (acc = 0) { next acc = acc + i; } yield acc;
+  return s;
+}
+)");
+  std::string s = dumpFunction(p.main());
+  EXPECT_NE(s.find("for"), std::string::npos);
+  EXPECT_NE(s.find("carry"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pods::ir

@@ -1,0 +1,210 @@
+// Inline-function expansion unit tests.
+#include <gtest/gtest.h>
+
+#include "frontend/inliner.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+
+namespace pods::fe {
+namespace {
+
+Module expandOk(std::string_view src) {
+  DiagSink d;
+  Module m = parse(src, d);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  expandInlines(m, d);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  // The expanded module must still pass sema.
+  analyze(m, d, /*requireMain=*/false);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  return m;
+}
+
+std::string expandErr(std::string_view src) {
+  DiagSink d;
+  Module m = parse(src, d);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  expandInlines(m, d);
+  EXPECT_TRUE(d.hasErrors());
+  return d.str();
+}
+
+/// Counts calls to named user functions anywhere in a statement tree.
+int countCalls(const std::vector<StmtPtr>& body, const std::string& name);
+
+int countCallsExpr(const Expr& e, const std::string& name) {
+  int n = (e.kind == ExKind::Call && e.name == name) ? 1 : 0;
+  for (const auto& a : e.args) n += countCallsExpr(*a, name);
+  if (e.loop) {
+    if (e.loop->init) n += countCallsExpr(*e.loop->init, name);
+    if (e.loop->limit) n += countCallsExpr(*e.loop->limit, name);
+    if (e.loop->cond) n += countCallsExpr(*e.loop->cond, name);
+    for (const auto& c : e.loop->carries) n += countCallsExpr(*c.init, name);
+    n += countCalls(e.loop->body, name);
+    if (e.loop->yieldExpr) n += countCallsExpr(*e.loop->yieldExpr, name);
+  }
+  return n;
+}
+
+int countCalls(const std::vector<StmtPtr>& body, const std::string& name) {
+  int n = 0;
+  for (const auto& s : body) {
+    if (s->value) n += countCallsExpr(*s->value, name);
+    for (const auto& v : s->values) n += countCallsExpr(*v, name);
+    for (const auto& v : s->subs) n += countCallsExpr(*v, name);
+    if (s->cond) n += countCallsExpr(*s->cond, name);
+    n += countCalls(s->thenBody, name);
+    n += countCalls(s->elseBody, name);
+  }
+  return n;
+}
+
+TEST(Inliner, SimpleExpansion) {
+  Module m = expandOk(R"(
+inline def sq(x: real) -> real { return x * x; }
+def f(a: real) -> real { return sq(a) + sq(a + 1.0); }
+)");
+  EXPECT_EQ(countCalls(m.find("f")->body, "sq"), 0);
+  // The body gained hoisted lets for args and results.
+  EXPECT_GT(m.find("f")->body.size(), 1u);
+}
+
+TEST(Inliner, NestedInlineCalls) {
+  Module m = expandOk(R"(
+inline def sq(x: real) -> real { return x * x; }
+inline def quad(x: real) -> real { return sq(sq(x)); }
+def f(a: real) -> real { return quad(a); }
+)");
+  EXPECT_EQ(countCalls(m.find("f")->body, "quad"), 0);
+  EXPECT_EQ(countCalls(m.find("f")->body, "sq"), 0);
+}
+
+TEST(Inliner, MultiStatementBodyWithArrays) {
+  Module m = expandOk(R"(
+inline def put2(a: array, i: int, v: real) {
+  a[i] = v;
+  a[i + 1] = v * 2.0;
+}
+def f(a: array) {
+  put2(a, 0, 1.5);
+}
+)");
+  EXPECT_EQ(countCalls(m.find("f")->body, "put2"), 0);
+  // The array writes were spliced in.
+  int writes = 0;
+  for (const auto& s : m.find("f")->body) {
+    if (s->kind == StKind::ArrayWrite) ++writes;
+  }
+  EXPECT_EQ(writes, 2);
+}
+
+TEST(Inliner, HygieneNoCapture) {
+  // The inline body's local `t` must not collide with the caller's `t`.
+  Module m = expandOk(R"(
+inline def g(x: int) -> int {
+  let t = x + 1;
+  return t;
+}
+def f() -> int {
+  let t = 10;
+  return g(t) + t;
+}
+)");
+  (void)m;  // sema passing (no duplicate-binding error) is the assertion
+}
+
+TEST(Inliner, InsideLoopsAndIfs) {
+  Module m = expandOk(R"(
+inline def g(x: int) -> int { return x * 2; }
+def f(n: int) -> int {
+  let r = for i = 0 to n carry (s = 0) {
+    if i % 2 == 0 {
+      next s = s + g(i);
+    }
+  } yield s;
+  return r;
+}
+)");
+  EXPECT_EQ(countCalls(m.find("f")->body, "g"), 0);
+}
+
+TEST(Inliner, InLoopBoundsIsHoisted) {
+  Module m = expandOk(R"(
+inline def half(x: int) -> int { return x / 2; }
+def f(n: int) {
+  for i = 0 to half(n) { }
+}
+)");
+  EXPECT_EQ(countCalls(m.find("f")->body, "half"), 0);
+}
+
+TEST(Inliner, RecursionRejected) {
+  std::string e = expandErr(R"(
+inline def r(x: int) -> int { return r(x); }
+def f() -> int { return r(1); }
+)");
+  EXPECT_NE(e.find("too deep"), std::string::npos);
+}
+
+TEST(Inliner, MutualRecursionRejected) {
+  expandErr(R"(
+inline def a(x: int) -> int { return b(x); }
+inline def b(x: int) -> int { return a(x); }
+def f() -> int { return a(1); }
+)");
+}
+
+TEST(Inliner, ReturnNotLastRejected) {
+  std::string e = expandErr(R"(
+inline def g(x: int) -> int { return x; let y = 1; }
+def f() -> int { return g(1); }
+)");
+  EXPECT_NE(e.find("final statement"), std::string::npos);
+}
+
+TEST(Inliner, WhileCondCallRejected) {
+  std::string e = expandErr(R"(
+inline def g(x: int) -> int { return x; }
+def f() {
+  loop carry (k = 0) while g(k) < 3 { next k = k + 1; }
+}
+)");
+  EXPECT_NE(e.find("not allowed"), std::string::npos);
+}
+
+TEST(Inliner, YieldCallRejected) {
+  expandErr(R"(
+inline def g(x: int) -> int { return x; }
+def f() -> int {
+  let r = for i = 0 to 3 carry (s = 0) { next s = s + 1; } yield g(s);
+  return r;
+}
+)");
+}
+
+TEST(Inliner, VoidInlineAsStatement) {
+  Module m = expandOk(R"(
+inline def touch(a: array, i: int) { a[i] = 0.0; }
+def f(a: array) { touch(a, 3); }
+)");
+  EXPECT_EQ(countCalls(m.find("f")->body, "touch"), 0);
+}
+
+TEST(Inliner, VoidInlineAsValueRejected) {
+  std::string e = expandErr(R"(
+inline def nop() { }
+def f() -> int { let x = nop(); return 0; }
+)");
+  EXPECT_NE(e.find("used as a value"), std::string::npos);
+}
+
+TEST(Inliner, NonInlineCallsUntouched) {
+  Module m = expandOk(R"(
+def g(x: int) -> int { return x; }
+def f() -> int { return g(1); }
+)");
+  EXPECT_EQ(countCalls(m.find("f")->body, "g"), 1);
+}
+
+}  // namespace
+}  // namespace pods::fe

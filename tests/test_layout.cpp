@@ -1,0 +1,176 @@
+// Array partitioning & distribution math (paper section 4.1, Figures 4/6).
+// Property-style sweeps over shapes, PE counts, and page sizes check the
+// invariants the Range-Filter machinery depends on: segments partition the
+// pages, row ownership partitions the rows, per-row column ranges partition
+// each row.
+#include <gtest/gtest.h>
+
+#include "runtime/array_layout.hpp"
+
+namespace pods {
+namespace {
+
+TEST(ArrayLayout, PaperFigure4Example) {
+  // "A two dimensional 6 x 256 array is to be partitioned and distributed
+  //  over 4 PEs. There are 1536 elements in the array, resulting in 48
+  //  pages, i.e., 12 pages per PE."
+  ArrayLayout l({2, 6, 256}, 4, 32);
+  EXPECT_EQ(l.numPages(), 48);
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(l.pageSegment(pe).size(), 12);
+  }
+  // PE0 holds the first 12 pages = flat elements [0, 383].
+  EXPECT_EQ(l.elemSegment(0).lo, 0);
+  EXPECT_EQ(l.elemSegment(0).hi, 383);
+  // First-element-of-row ownership (Figure 6): PE0 is responsible for rows
+  // 0 and 1 (it holds element (1,0) even though the second half of row 1
+  // lives on PE1); PE1 computes only row 2.
+  EXPECT_EQ(l.ownedRows(0).lo, 0);
+  EXPECT_EQ(l.ownedRows(0).hi, 1);
+  EXPECT_EQ(l.ownedRows(1).lo, 2);
+  EXPECT_EQ(l.ownedRows(1).hi, 2);
+  EXPECT_EQ(l.ownedRows(3).hi, 5);
+}
+
+TEST(ArrayLayout, Figure5ColumnRanges) {
+  // Fig. 5 narrative: "the RF in PE1 produces the j range 0:255 when i is 0
+  // but only 0:127 when i is 1" (0-based PE numbering here: PE0).
+  ArrayLayout l({2, 6, 256}, 4, 32);
+  IdxRange r0 = l.ownedColsOfRow(0, 0);
+  EXPECT_EQ(r0.lo, 0);
+  EXPECT_EQ(r0.hi, 255);
+  IdxRange r1 = l.ownedColsOfRow(0, 1);
+  EXPECT_EQ(r1.lo, 0);
+  EXPECT_EQ(r1.hi, 127);
+  IdxRange r1b = l.ownedColsOfRow(1, 1);
+  EXPECT_EQ(r1b.lo, 128);
+  EXPECT_EQ(r1b.hi, 255);
+}
+
+TEST(ArrayLayout, OwnerOfOffsetMatchesSegments) {
+  ArrayLayout l({2, 10, 37}, 5, 8);
+  for (std::int64_t off = 0; off < l.shape().numElems(); ++off) {
+    int owner = l.ownerOfOffset(off);
+    EXPECT_TRUE(l.elemSegment(owner).contains(off)) << "offset " << off;
+  }
+}
+
+struct LayoutCase {
+  int rank;
+  std::int64_t d0, d1;
+  int pes;
+  int page;
+};
+
+class LayoutProperty : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(LayoutProperty, PageSegmentsPartitionPages) {
+  const LayoutCase& c = GetParam();
+  ArrayLayout l({c.rank, c.d0, c.d1}, c.pes, c.page);
+  std::int64_t covered = 0;
+  std::int64_t prevHi = -1;
+  for (int pe = 0; pe < c.pes; ++pe) {
+    IdxRange seg = l.pageSegment(pe);
+    if (seg.empty()) continue;
+    EXPECT_EQ(seg.lo, prevHi + 1);  // contiguous, in PE order
+    prevHi = seg.hi;
+    covered += seg.size();
+  }
+  EXPECT_EQ(covered, l.numPages());
+  // Balance: sizes differ by at most one page.
+  std::int64_t mn = l.numPages(), mx = 0;
+  for (int pe = 0; pe < c.pes; ++pe) {
+    std::int64_t s = l.pageSegment(pe).size();
+    mn = std::min(mn, s);
+    mx = std::max(mx, s);
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+TEST_P(LayoutProperty, RowOwnershipPartitionsRows) {
+  const LayoutCase& c = GetParam();
+  ArrayLayout l({c.rank, c.d0, c.d1}, c.pes, c.page);
+  std::vector<int> ownersSeen(static_cast<std::size_t>(l.shape().dim0), 0);
+  for (int pe = 0; pe < c.pes; ++pe) {
+    IdxRange rows = l.ownedRows(pe);
+    for (std::int64_t r = rows.lo; r <= rows.hi; ++r) {
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, l.shape().dim0);
+      ownersSeen[static_cast<std::size_t>(r)]++;
+      // The owner must hold the row's first element.
+      EXPECT_EQ(l.ownerOfOffset(r * l.shape().dim1), pe);
+    }
+  }
+  for (std::int64_t r = 0; r < l.shape().dim0; ++r) {
+    EXPECT_EQ(ownersSeen[static_cast<std::size_t>(r)], 1) << "row " << r;
+  }
+}
+
+TEST_P(LayoutProperty, ColumnRangesPartitionEveryRow) {
+  const LayoutCase& c = GetParam();
+  ArrayLayout l({c.rank, c.d0, c.d1}, c.pes, c.page);
+  for (std::int64_t row = 0; row < l.shape().dim0; ++row) {
+    std::vector<int> seen(static_cast<std::size_t>(l.shape().dim1), 0);
+    for (int pe = 0; pe < c.pes; ++pe) {
+      IdxRange cols = l.ownedColsOfRow(pe, row);
+      for (std::int64_t j = cols.lo; j <= cols.hi; ++j) {
+        seen[static_cast<std::size_t>(j)]++;
+        // Consistency with flat ownership.
+        EXPECT_EQ(l.ownerOfOffset(row * l.shape().dim1 + j), pe);
+      }
+    }
+    for (std::int64_t j = 0; j < l.shape().dim1; ++j) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(j)], 1)
+          << "row " << row << " col " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutProperty,
+    ::testing::Values(LayoutCase{2, 6, 256, 4, 32},   // the paper's example
+                      LayoutCase{2, 16, 16, 32, 32},  // more PEs than pages
+                      LayoutCase{2, 64, 64, 32, 32},
+                      LayoutCase{2, 7, 13, 3, 4},     // nothing divides
+                      LayoutCase{2, 1, 100, 8, 16},   // single row
+                      LayoutCase{2, 100, 1, 8, 16},   // single column
+                      LayoutCase{1, 1000, 1, 7, 32},  // vector
+                      LayoutCase{1, 5, 1, 16, 64},    // tiny vector, many PEs
+                      LayoutCase{2, 33, 17, 5, 1}));  // one-element pages
+
+TEST(BlockPartition, CoversExactlyAndBalanced) {
+  for (int pes : {1, 2, 3, 7, 16}) {
+    for (std::int64_t lo : {-5, 0, 3}) {
+      for (std::int64_t n : {0, 1, 5, 100, 101}) {
+        std::int64_t hi = lo + n - 1;
+        std::int64_t covered = 0;
+        std::int64_t prev = lo - 1;
+        for (int pe = 0; pe < pes; ++pe) {
+          IdxRange r = blockPartition(lo, hi, pe, pes);
+          if (r.empty()) continue;
+          EXPECT_EQ(r.lo, prev + 1);
+          prev = r.hi;
+          covered += r.size();
+        }
+        EXPECT_EQ(covered, n);
+      }
+    }
+  }
+}
+
+TEST(BlockPartition, EmptyRange) {
+  EXPECT_TRUE(blockPartition(5, 4, 0, 3).empty());
+}
+
+TEST(ArrayShape, FlattenAndBounds) {
+  ArrayShape s{2, 4, 7};
+  EXPECT_EQ(s.numElems(), 28);
+  EXPECT_EQ(s.flatten(2, 3), 17);
+  EXPECT_TRUE(s.inBounds(3, 6));
+  EXPECT_FALSE(s.inBounds(4, 0));
+  EXPECT_FALSE(s.inBounds(0, 7));
+  EXPECT_FALSE(s.inBounds(-1, 0));
+}
+
+}  // namespace
+}  // namespace pods

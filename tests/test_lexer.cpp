@@ -1,0 +1,114 @@
+// IdLite lexer unit tests.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+
+namespace pods::fe {
+namespace {
+
+std::vector<Token> lexOk(std::string_view src) {
+  DiagSink d;
+  auto toks = lex(src, d);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  return toks;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto t = lexOk("");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].kind, Tok::Eof);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto t = lexOk("def let next forx to downto yield _id $tmp carry");
+  EXPECT_EQ(t[0].kind, Tok::KwDef);
+  EXPECT_EQ(t[1].kind, Tok::KwLet);
+  EXPECT_EQ(t[2].kind, Tok::KwNext);
+  EXPECT_EQ(t[3].kind, Tok::Ident);  // "forx" is not "for"
+  EXPECT_EQ(t[3].text, "forx");
+  EXPECT_EQ(t[4].kind, Tok::KwTo);
+  EXPECT_EQ(t[5].kind, Tok::KwDownto);
+  EXPECT_EQ(t[6].kind, Tok::KwYield);
+  EXPECT_EQ(t[7].kind, Tok::Ident);
+  EXPECT_EQ(t[7].text, "_id");
+  EXPECT_EQ(t[8].kind, Tok::Ident);
+  EXPECT_EQ(t[8].text, "$tmp");  // inliner-generated names
+  EXPECT_EQ(t[9].kind, Tok::KwCarry);
+}
+
+TEST(Lexer, IntegerAndRealLiterals) {
+  auto t = lexOk("42 3.5 1e3 2.5e-2 7e+1 10");
+  EXPECT_EQ(t[0].kind, Tok::IntLit);
+  EXPECT_EQ(t[0].ival, 42);
+  EXPECT_EQ(t[1].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(t[1].fval, 3.5);
+  EXPECT_EQ(t[2].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(t[2].fval, 1000.0);
+  EXPECT_EQ(t[3].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(t[3].fval, 0.025);
+  EXPECT_EQ(t[4].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(t[4].fval, 70.0);
+  EXPECT_EQ(t[5].kind, Tok::IntLit);
+}
+
+TEST(Lexer, DotWithoutDigitIsNotReal) {
+  DiagSink d;
+  auto t = lex("3.x", d);
+  // "3" then error on '.'? '.' is not a valid token start.
+  EXPECT_EQ(t[0].kind, Tok::IntLit);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Lexer, Operators) {
+  auto t = lexOk("+ - * / % < <= > >= == != && || ! = -> ( ) { } [ ] , ; :");
+  Tok expect[] = {Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash, Tok::Percent,
+                  Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::EqEq, Tok::NotEq,
+                  Tok::AndAnd, Tok::OrOr, Tok::Bang, Tok::Assign, Tok::Arrow,
+                  Tok::LParen, Tok::RParen, Tok::LBrace, Tok::RBrace,
+                  Tok::LBracket, Tok::RBracket, Tok::Comma, Tok::Semi,
+                  Tok::Colon};
+  for (std::size_t i = 0; i < std::size(expect); ++i) {
+    EXPECT_EQ(t[i].kind, expect[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, Comments) {
+  auto t = lexOk("a // line comment\nb /* block\n comment */ c");
+  ASSERT_GE(t.size(), 4u);
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+  EXPECT_EQ(t[2].text, "c");
+  EXPECT_EQ(t[3].kind, Tok::Eof);
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  DiagSink d;
+  lex("a /* never ends", d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+TEST(Lexer, SourceLocations) {
+  auto t = lexOk("a\n  b");
+  EXPECT_EQ(t[0].loc.line, 1);
+  EXPECT_EQ(t[0].loc.col, 1);
+  EXPECT_EQ(t[1].loc.line, 2);
+  EXPECT_EQ(t[1].loc.col, 3);
+}
+
+TEST(Lexer, UnexpectedCharacterRecovers) {
+  DiagSink d;
+  auto t = lex("a @ b", d);
+  EXPECT_TRUE(d.hasErrors());
+  // Lexing continues after the bad character.
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+}
+
+TEST(Lexer, SingleAmpersandIsError) {
+  DiagSink d;
+  lex("a & b", d);
+  EXPECT_TRUE(d.hasErrors());
+}
+
+}  // namespace
+}  // namespace pods::fe

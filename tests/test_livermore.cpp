@@ -1,0 +1,101 @@
+// Livermore kernel pack: plan expectations (which kernels distribute) and
+// cross-model result identity.
+#include <gtest/gtest.h>
+
+#include "core/pods.hpp"
+#include "workloads/livermore.hpp"
+
+namespace pods {
+namespace {
+
+class Livermore : public ::testing::TestWithParam<workloads::LivermoreKernel> {};
+
+TEST_P(Livermore, PlanMatchesDependenceStructure) {
+  const auto& k = GetParam();
+  CompileResult cr = compile(workloads::livermoreSource(k.number, 64));
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  // The input-fill loop always distributes; the kernel's own main loop
+  // distributes iff it has no LCD. Count replicated loops to tell.
+  int expected = k.parallel ? 2 : 1;
+  EXPECT_EQ(cr.compiled->plan.numReplicated, expected) << k.name;
+}
+
+TEST_P(Livermore, AllEnginesAgree) {
+  const auto& k = GetParam();
+  CompileResult cr = compile(workloads::livermoreSource(k.number, 100));
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  BaselineRun seq = runSequentialBaseline(*cr.compiled);
+  ASSERT_TRUE(seq.stats.ok) << k.name << ": " << seq.stats.error;
+
+  BaselineRun st = runStaticBaseline(*cr.compiled, 6);
+  ASSERT_TRUE(st.stats.ok) << k.name << ": " << st.stats.error;
+  std::string why;
+  EXPECT_TRUE(sameOutputs(st.out, seq.out, &why)) << k.name << ": " << why;
+
+  for (int pes : {1, 4, 9}) {
+    sim::MachineConfig mc;
+    mc.numPEs = pes;
+    PodsRun run = runPods(*cr.compiled, mc);
+    ASSERT_TRUE(run.stats.ok) << k.name << " pes=" << pes << ": "
+                              << run.stats.error;
+    EXPECT_TRUE(sameOutputs(run.out, seq.out, &why))
+        << k.name << " pes=" << pes << ": " << why;
+  }
+
+  native::NativeConfig nc;
+  nc.numWorkers = 4;
+  NativeRun nat = runNative(*cr.compiled, nc);
+  ASSERT_TRUE(nat.stats.ok) << k.name << ": " << nat.stats.error;
+  EXPECT_TRUE(sameOutputs(nat.out, seq.out, &why)) << k.name << ": " << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, Livermore, ::testing::ValuesIn(workloads::livermoreKernels()),
+    [](const ::testing::TestParamInfo<workloads::LivermoreKernel>& info) {
+      return "K" + std::to_string(info.param.number);
+    });
+
+TEST(LivermoreValues, PrefixSumExact) {
+  CompileResult cr = compile(workloads::livermoreSource(11, 50));
+  ASSERT_TRUE(cr.ok);
+  BaselineRun seq = runSequentialBaseline(*cr.compiled);
+  ASSERT_TRUE(seq.stats.ok);
+  const auto& x = *seq.out.arrays[0];
+  // x[k] = sum_{i<=k} y[i], y[i] = 0.2 + 0.001*i.
+  double expect = 0.0;
+  for (int k = 0; k < 50; ++k) {
+    expect += 0.2 + 0.001 * k;
+    EXPECT_NEAR(x.elems[static_cast<std::size_t>(k)].asReal(), expect, 1e-12);
+  }
+}
+
+TEST(LivermoreValues, FirstDifferenceExact) {
+  CompileResult cr = compile(workloads::livermoreSource(12, 64));
+  ASSERT_TRUE(cr.ok);
+  sim::MachineConfig mc;
+  mc.numPEs = 8;
+  PodsRun run = runPods(*cr.compiled, mc);
+  ASSERT_TRUE(run.stats.ok);
+  const auto& x = *run.out.arrays[0];
+  for (int k = 0; k < 64; ++k) {
+    // y[k+1] - y[k] = 0.001 everywhere.
+    EXPECT_NEAR(x.elems[static_cast<std::size_t>(k)].asReal(), 0.001, 1e-12);
+  }
+}
+
+TEST(LivermoreValues, InnerProductMatchesClosedForm) {
+  CompileResult cr = compile(workloads::livermoreSource(3, 40));
+  ASSERT_TRUE(cr.ok);
+  BaselineRun seq = runSequentialBaseline(*cr.compiled);
+  ASSERT_TRUE(seq.stats.ok);
+  double expect = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    double y = 0.2 + 0.001 * i;
+    double z = 1.0 + 0.0005 * ((i * i) % 97);
+    expect += z * y;
+  }
+  EXPECT_NEAR(seq.out.results[0].asReal(), expect, 1e-12);
+}
+
+}  // namespace
+}  // namespace pods

@@ -1,0 +1,232 @@
+// Simulator path-coverage tests: the rarer Array-Manager and token flows
+// (header races, deferred remote reads answered with value tokens, request
+// coalescing, broadcast accounting, live-SP tracking) must actually fire
+// on realistic distributed runs — these assert via counters that the code
+// paths execute, and via outputs that they execute *correctly*.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/pods.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/simple.hpp"
+
+namespace pods {
+namespace {
+
+std::unique_ptr<Compiled> compileOk(const std::string& src,
+                                    CompileOptions opts = {}) {
+  CompileResult cr = compile(src, opts);
+  EXPECT_TRUE(cr.ok) << cr.diagnostics;
+  return std::move(cr.compiled);
+}
+
+TEST(MachinePaths, ColumnSweepExercisesRemoteDeferredReads) {
+  // The conduction column sweep pipelines rows: replicas read the previous
+  // row before it is written at segment boundaries, so owner-side queued
+  // remote reads and their value-token responses must fire.
+  auto c = compileOk(workloads::conductionOnlySource(24, 1));
+  sim::MachineConfig mc;
+  mc.numPEs = 12;
+  PodsRun run = runPods(*c, mc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  EXPECT_GT(run.stats.counters.get("array.reads.remoteDeferred"), 0);
+  BaselineRun seq = runSequentialBaseline(*c);
+  std::string why;
+  EXPECT_TRUE(sameOutputs(run.out, seq.out, &why)) << why;
+}
+
+TEST(MachinePaths, HeaderInstallPrecedesUse) {
+  // The Array Manager parks any request that reaches a PE before that
+  // array's ALLOCD broadcast installs its header (pendingHeader). Under
+  // the compiled programs' topology this safety net should never trigger:
+  // an array id can only reach a remote PE through tokens that left the
+  // allocating PE's FIFO Routing Unit *after* the header broadcast, so the
+  // install always arrives first. Assert that invariant (a change to spawn
+  // routing or RU ordering that breaks it would surface here), and that
+  // results stay correct under a grossly inflated install cost.
+  auto c = compileOk(workloads::simpleSource(16, 1));
+  sim::MachineConfig mc;
+  mc.numPEs = 16;
+  mc.timing.allocArray = usec(4000.0);
+  PodsRun run = runPods(*c, mc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  EXPECT_EQ(run.stats.counters.get("am.deferredOnHeader"), 0);
+  BaselineRun seq = runSequentialBaseline(*c);
+  std::string why;
+  EXPECT_TRUE(sameOutputs(run.out, seq.out, &why)) << why;
+}
+
+TEST(MachinePaths, CoalescedRemoteReads) {
+  // Many iterations on one PE reading the same remote element in quick
+  // succession: only one request per element may go out while in flight.
+  auto c = compileOk(R"(
+def main() -> real {
+  let n = 64;
+  let a = array(n);
+  for i = 0 to n - 1 { a[i] = real(i) + 0.5; }
+  let b = array(n);
+  for i = 0 to n - 1 {
+    b[i] = a[0] + a[n - 1];   // everyone hammers two elements
+  }
+  let s = for i = 0 to n - 1 carry (acc = 0.0) { next acc = acc + b[i]; } yield acc;
+  return s;
+}
+)");
+  sim::MachineConfig mc;
+  mc.numPEs = 2;
+  mc.timing.pageElems = 4;  // keep the two hot elements on distinct pages
+  PodsRun run = runPods(*c, mc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  BaselineRun seq = runSequentialBaseline(*c);
+  std::string why;
+  EXPECT_TRUE(sameOutputs(run.out, seq.out, &why)) << why;
+  EXPECT_DOUBLE_EQ(run.out.results[0].asReal(), 64.0 * (0.5 + 63.5));
+}
+
+TEST(MachinePaths, BroadcastTokensCounted) {
+  auto c = compileOk(workloads::fill2dSource(8, 8));
+  sim::MachineConfig mc;
+  mc.numPEs = 8;
+  PodsRun run = runPods(*c, mc);
+  ASSERT_TRUE(run.stats.ok);
+  // Spawning the replicated i loop broadcast each argument token once.
+  EXPECT_GT(run.stats.counters.get("net.broadcastTokens"), 0);
+  // And every PE's MU matched its copy: matched >= broadcast * numPEs.
+  EXPECT_GE(run.stats.counters.get("tokens.matched"),
+            run.stats.counters.get("net.broadcastTokens") * 8);
+}
+
+TEST(MachinePaths, PeakLiveSpsTracksPipelining) {
+  // Unthrottled (no k-bounding) spawning: the stencil's time steps overlap,
+  // so more steps raise the peak number of live SPs.
+  auto c1 = compileOk(workloads::stencilSource(12, 1));
+  auto c3 = compileOk(workloads::stencilSource(12, 6));
+  sim::MachineConfig mc;
+  mc.numPEs = 4;
+  PodsRun r1 = runPods(*c1, mc);
+  PodsRun r3 = runPods(*c3, mc);
+  ASSERT_TRUE(r1.stats.ok);
+  ASSERT_TRUE(r3.stats.ok);
+  EXPECT_GT(r1.stats.counters.get("sp.peakLive"), 0);
+  EXPECT_GT(r3.stats.counters.get("sp.peakLive"),
+            r1.stats.counters.get("sp.peakLive"));
+}
+
+TEST(MachinePaths, AllSpsDieAtQuiescence) {
+  auto c = compileOk(workloads::simpleSource(8, 2));
+  sim::MachineConfig mc;
+  mc.numPEs = 8;
+  PodsRun run = runPods(*c, mc);
+  ASSERT_TRUE(run.stats.ok);
+  EXPECT_EQ(run.stats.counters.get("sp.instantiated"),
+            run.stats.counters.get("sp.completed"));
+}
+
+TEST(MachinePaths, DescendingDistributedLoop) {
+  // A replicated *descending* loop: the Figure-5 clamps swap roles.
+  auto c = compileOk(R"(
+def main() -> array {
+  let n = 40;
+  let a = array(n);
+  for i = n - 1 downto 0 {
+    a[i] = real(i) * 2.0;
+  }
+  return a;
+}
+)");
+  sim::MachineConfig mc;
+  mc.numPEs = 8;
+  PodsRun run = runPods(*c, mc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  const auto& a = *run.out.arrays[0];
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_DOUBLE_EQ(a.elems[static_cast<std::size_t>(i)].asReal(), 2.0 * i);
+  }
+}
+
+TEST(MachinePaths, OffsetRangeFilterWritesEveryElementOnce) {
+  // Write subscript i+1: RF bounds shift by the offset; coverage must stay
+  // exact (no misses, no single-assignment violations) at every PE count.
+  auto c = compileOk(R"(
+def main() -> array {
+  let n = 33;
+  let a = array(n);
+  a[0] = -1.0;
+  for i = 0 to n - 2 {
+    a[i + 1] = real(i);
+  }
+  return a;
+}
+)");
+  for (int pes : {1, 2, 7, 16}) {
+    sim::MachineConfig mc;
+    mc.numPEs = pes;
+    PodsRun run = runPods(*c, mc);
+    ASSERT_TRUE(run.stats.ok) << "pes=" << pes << ": " << run.stats.error;
+    const auto& a = *run.out.arrays[0];
+    EXPECT_DOUBLE_EQ(a.elems[0].asReal(), -1.0);
+    for (int i = 1; i < 33; ++i) {
+      EXPECT_DOUBLE_EQ(a.elems[static_cast<std::size_t>(i)].asReal(),
+                       double(i - 1))
+          << "pes=" << pes;
+    }
+  }
+}
+
+TEST(MachinePaths, TinyArraysManyPEs) {
+  // Arrays smaller than one page on a big machine: a single PE owns
+  // everything; all other replicas get empty RF ranges.
+  auto c = compileOk(R"(
+def main() -> array {
+  let a = array(3);
+  for i = 0 to 2 { a[i] = real(i * i); }
+  return a;
+}
+)");
+  sim::MachineConfig mc;
+  mc.numPEs = 32;
+  PodsRun run = runPods(*c, mc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  EXPECT_DOUBLE_EQ((*run.out.arrays[0]).elems[2].asReal(), 4.0);
+}
+
+TEST(MachinePaths, ChromeTraceWritten) {
+  auto c = compileOk(workloads::fill2dSource(8, 8));
+  sim::MachineConfig mc;
+  mc.numPEs = 4;
+  mc.tracePath = ::testing::TempDir() + "/pods_trace.json";
+  PodsRun run = runPods(*c, mc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  std::ifstream in(mc.tracePath);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string trace = ss.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("main/i#0"), std::string::npos);  // an EU slice name
+  EXPECT_NE(trace.find("\"RU\""), std::string::npos);    // lane metadata
+  EXPECT_EQ(trace.find("trace.dropped"), std::string::npos);
+  std::remove(mc.tracePath.c_str());
+}
+
+TEST(MachinePaths, ZeroIterationDistributedLoop) {
+  auto c = compileOk(R"(
+def main() -> real {
+  let a = array(8);
+  for i = 5 to 4 { a[i] = 1.0; }   // empty range, still broadcast/joined
+  a[0] = 3.5;
+  return a[0];
+}
+)");
+  sim::MachineConfig mc;
+  mc.numPEs = 4;
+  PodsRun run = runPods(*c, mc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  EXPECT_DOUBLE_EQ(run.out.results[0].asReal(), 3.5);
+}
+
+}  // namespace
+}  // namespace pods

@@ -1,0 +1,188 @@
+// Native threaded-runtime tests: the same SP programs executing on real
+// host threads must produce bit-identical results to every other engine,
+// under repetition (to shake out races) and across worker counts, and must
+// detect the same program errors (violations, deadlocks).
+#include <gtest/gtest.h>
+
+#include "core/pods.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/simple.hpp"
+
+namespace pods {
+namespace {
+
+std::unique_ptr<Compiled> compileOk(const std::string& src,
+                                    CompileOptions opts = {}) {
+  CompileResult cr = compile(src, opts);
+  EXPECT_TRUE(cr.ok) << cr.diagnostics;
+  return std::move(cr.compiled);
+}
+
+TEST(Native, MatchesSequentialOnKernels) {
+  struct Case {
+    const char* name;
+    std::string src;
+  };
+  const Case cases[] = {
+      {"fill2d", workloads::fill2dSource(12, 7)},
+      {"matmul", workloads::matmulSource(10)},
+      {"stencil", workloads::stencilSource(12, 2)},
+      {"reduce", workloads::reduceSource(150)},
+      {"triangular", workloads::triangularSource(20)},
+  };
+  for (const Case& c : cases) {
+    auto compiled = compileOk(c.src);
+    BaselineRun seq = runSequentialBaseline(*compiled);
+    ASSERT_TRUE(seq.stats.ok) << c.name << ": " << seq.stats.error;
+    native::NativeConfig nc;
+    nc.numWorkers = 4;
+    NativeRun run = runNative(*compiled, nc);
+    ASSERT_TRUE(run.stats.ok) << c.name << ": " << run.stats.error;
+    std::string why;
+    EXPECT_TRUE(sameOutputs(run.out, seq.out, &why)) << c.name << ": " << why;
+  }
+}
+
+TEST(Native, SimpleBenchmarkEndToEnd) {
+  auto c = compileOk(workloads::simpleSource(12, 2));
+  BaselineRun seq = runSequentialBaseline(*c);
+  ASSERT_TRUE(seq.stats.ok);
+  native::NativeConfig nc;
+  nc.numWorkers = 8;
+  NativeRun run = runNative(*c, nc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  std::string why;
+  EXPECT_TRUE(sameOutputs(run.out, seq.out, &why)) << why;
+  EXPECT_GT(run.stats.counters.get("native.frames"), 10);
+  EXPECT_GT(run.stats.counters.get("native.instructions"), 1000);
+}
+
+TEST(Native, DeterministicAcrossWorkerCountsAndReruns) {
+  auto c = compileOk(workloads::stencilSource(10, 2));
+  BaselineRun seq = runSequentialBaseline(*c);
+  ASSERT_TRUE(seq.stats.ok);
+  for (int workers : {1, 2, 3, 8, 16}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      native::NativeConfig nc;
+      nc.numWorkers = workers;
+      NativeRun run = runNative(*c, nc);
+      ASSERT_TRUE(run.stats.ok)
+          << "workers=" << workers << " rep=" << rep << ": "
+          << run.stats.error;
+      std::string why;
+      EXPECT_TRUE(sameOutputs(run.out, seq.out, &why))
+          << "workers=" << workers << " rep=" << rep << ": " << why;
+    }
+  }
+}
+
+TEST(Native, SmallSliceBudgetStillCorrect) {
+  // Tiny slices force frequent inbox drains and requeues.
+  auto c = compileOk(workloads::matmulSource(8));
+  BaselineRun seq = runSequentialBaseline(*c);
+  native::NativeConfig nc;
+  nc.numWorkers = 4;
+  nc.sliceInstructions = 3;
+  NativeRun run = runNative(*c, nc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  std::string why;
+  EXPECT_TRUE(sameOutputs(run.out, seq.out, &why)) << why;
+}
+
+TEST(Native, SingleAssignmentViolationDetected) {
+  auto c = compileOk(R"(
+def main() -> real {
+  let a = array(4);
+  a[1] = 1.0;
+  a[1] = 2.0;
+  return a[1];
+}
+)", {.distribute = false});
+  native::NativeConfig nc;
+  nc.numWorkers = 2;
+  NativeRun run = runNative(*c, nc);
+  EXPECT_FALSE(run.stats.ok);
+  EXPECT_NE(run.stats.error.find("single-assignment"), std::string::npos);
+}
+
+TEST(Native, DeadlockDetected) {
+  auto c = compileOk(R"(
+def main() -> real {
+  let a = array(4);
+  a[0] = 1.0;
+  return a[3];
+}
+)", {.distribute = false});
+  native::NativeConfig nc;
+  nc.numWorkers = 3;
+  NativeRun run = runNative(*c, nc);
+  EXPECT_FALSE(run.stats.ok);
+  EXPECT_NE(run.stats.error.find("deadlock"), std::string::npos);
+}
+
+TEST(Native, OutOfBoundsDetected) {
+  auto c = compileOk(R"(
+def main() -> real {
+  let a = array(4);
+  a[9] = 1.0;
+  return 0.0;
+}
+)", {.distribute = false});
+  native::NativeConfig nc;
+  nc.numWorkers = 2;
+  NativeRun run = runNative(*c, nc);
+  EXPECT_FALSE(run.stats.ok);
+  EXPECT_NE(run.stats.error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Native, RecursionWorks) {
+  auto c = compileOk(R"(
+def fib(n: int) -> int {
+  let r = if n < 2 then n else fib(n - 1) + fib(n - 2);
+  return r;
+}
+def main() -> int { return fib(15); }
+)");
+  native::NativeConfig nc;
+  nc.numWorkers = 4;
+  NativeRun run = runNative(*c, nc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  EXPECT_EQ(run.out.results[0].asInt(), 610);
+}
+
+TEST(Native, TupleResultsGathered) {
+  auto c = compileOk(R"(
+def main() {
+  let a = array(5);
+  for i = 0 to 4 { a[i] = real(i) * 1.5; }
+  return a, 99;
+}
+)");
+  native::NativeConfig nc;
+  nc.numWorkers = 3;
+  NativeRun run = runNative(*c, nc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  ASSERT_EQ(run.out.results.size(), 2u);
+  ASSERT_TRUE(run.out.arrays[0].has_value());
+  EXPECT_DOUBLE_EQ((*run.out.arrays[0]).elems[4].asReal(), 6.0);
+  EXPECT_EQ(run.out.results[1].asInt(), 99);
+}
+
+TEST(Native, MatchesSimulatorOutputs) {
+  // The two machines implement the same model at different fidelity; their
+  // *results* must agree exactly.
+  auto c = compileOk(workloads::conductionOnlySource(10, 1));
+  sim::MachineConfig mc;
+  mc.numPEs = 4;
+  PodsRun simRun = runPods(*c, mc);
+  ASSERT_TRUE(simRun.stats.ok) << simRun.stats.error;
+  native::NativeConfig nc;
+  nc.numWorkers = 4;
+  NativeRun natRun = runNative(*c, nc);
+  ASSERT_TRUE(natRun.stats.ok) << natRun.stats.error;
+  std::string why;
+  EXPECT_TRUE(sameOutputs(natRun.out, simRun.out, &why)) << why;
+}
+
+}  // namespace
+}  // namespace pods

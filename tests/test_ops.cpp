@@ -1,0 +1,133 @@
+// Value representation and the shared instruction semantics that guarantee
+// bit-identical results across the PODS machine and the baseline evaluators.
+#include <gtest/gtest.h>
+
+#include "runtime/ops.hpp"
+#include "runtime/value.hpp"
+
+namespace pods {
+namespace {
+
+TEST(Value, TagsAndAccessors) {
+  Value e;
+  EXPECT_TRUE(e.empty());
+  Value i = Value::intv(-7);
+  EXPECT_TRUE(i.isInt());
+  EXPECT_EQ(i.asInt(), -7);
+  EXPECT_DOUBLE_EQ(i.asReal(), -7.0);  // numeric coercion on read
+  Value r = Value::realv(2.5);
+  EXPECT_TRUE(r.isReal());
+  EXPECT_DOUBLE_EQ(r.asReal(), 2.5);
+  Value a = Value::arrayv(123);
+  EXPECT_TRUE(a.isArray());
+  EXPECT_EQ(a.asArray(), 123u);
+}
+
+TEST(Value, ContRoundTrip) {
+  Cont c{31, 0xABCDEF, 512};
+  Value v = Value::contv(c);
+  Cont d = v.asCont();
+  EXPECT_EQ(d.pe, 31);
+  EXPECT_EQ(d.frame, 0xABCDEFu);
+  EXPECT_EQ(d.slot, 512);
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_TRUE(Value::intv(1).truthy());
+  EXPECT_FALSE(Value::intv(0).truthy());
+  EXPECT_TRUE(Value::realv(0.5).truthy());
+  EXPECT_FALSE(Value::realv(0.0).truthy());
+}
+
+TEST(Value, IdenticalIsExact) {
+  EXPECT_TRUE(Value::intv(1).identical(Value::intv(1)));
+  EXPECT_FALSE(Value::intv(1).identical(Value::realv(1.0)));  // tag matters
+  EXPECT_TRUE(Value::realv(0.1).identical(Value::realv(0.1)));
+  EXPECT_FALSE(Value{}.identical(Value::intv(0)));
+}
+
+TEST(Value, Str) {
+  EXPECT_EQ(Value::intv(42).str(), "42");
+  EXPECT_EQ(Value{}.str(), "<empty>");
+  EXPECT_EQ(Value::arrayv(3).str(), "arr#3");
+}
+
+TEST(Ops, IntArithmetic) {
+  EXPECT_EQ(applyBin(Op::ADD, Value::intv(3), Value::intv(4)).asInt(), 7);
+  EXPECT_EQ(applyBin(Op::SUB, Value::intv(3), Value::intv(4)).asInt(), -1);
+  EXPECT_EQ(applyBin(Op::MUL, Value::intv(-3), Value::intv(4)).asInt(), -12);
+  EXPECT_EQ(applyBin(Op::DIV, Value::intv(7), Value::intv(2)).asInt(), 3);
+  EXPECT_EQ(applyBin(Op::MOD, Value::intv(7), Value::intv(3)).asInt(), 1);
+  EXPECT_TRUE(applyBin(Op::DIV, Value::intv(7), Value::intv(2)).isInt());
+}
+
+TEST(Ops, MixedPromotesToReal) {
+  Value v = applyBin(Op::ADD, Value::intv(1), Value::realv(0.5));
+  EXPECT_TRUE(v.isReal());
+  EXPECT_DOUBLE_EQ(v.asReal(), 1.5);
+  EXPECT_TRUE(applyBin(Op::DIV, Value::intv(7), Value::realv(2.0)).isReal());
+  EXPECT_DOUBLE_EQ(
+      applyBin(Op::DIV, Value::intv(7), Value::realv(2.0)).asReal(), 3.5);
+}
+
+TEST(Ops, MinMax) {
+  EXPECT_EQ(applyBin(Op::MIN2, Value::intv(3), Value::intv(-2)).asInt(), -2);
+  EXPECT_EQ(applyBin(Op::MAX2, Value::intv(3), Value::intv(-2)).asInt(), 3);
+  EXPECT_DOUBLE_EQ(
+      applyBin(Op::MIN2, Value::realv(1.5), Value::intv(2)).asReal(), 1.5);
+}
+
+TEST(Ops, Comparisons) {
+  EXPECT_EQ(applyBin(Op::CMPLT, Value::intv(1), Value::intv(2)).asInt(), 1);
+  EXPECT_EQ(applyBin(Op::CMPGE, Value::intv(1), Value::intv(2)).asInt(), 0);
+  EXPECT_EQ(applyBin(Op::CMPEQ, Value::realv(1.0), Value::intv(1)).asInt(), 1);
+  EXPECT_EQ(applyBin(Op::CMPNE, Value::intv(5), Value::intv(5)).asInt(), 0);
+  // Comparison results are Int regardless of operand types.
+  EXPECT_TRUE(applyBin(Op::CMPLE, Value::realv(1.0), Value::realv(2.0)).isInt());
+}
+
+TEST(Ops, Logical) {
+  EXPECT_EQ(applyBin(Op::AND, Value::intv(1), Value::intv(2)).asInt(), 1);
+  EXPECT_EQ(applyBin(Op::AND, Value::intv(1), Value::intv(0)).asInt(), 0);
+  EXPECT_EQ(applyBin(Op::OR, Value::intv(0), Value::intv(0)).asInt(), 0);
+  EXPECT_EQ(applyUn(Op::NOT, Value::intv(0)).asInt(), 1);
+  EXPECT_EQ(applyUn(Op::NOT, Value::intv(9)).asInt(), 0);
+}
+
+TEST(Ops, Unaries) {
+  EXPECT_EQ(applyUn(Op::NEG, Value::intv(4)).asInt(), -4);
+  EXPECT_DOUBLE_EQ(applyUn(Op::NEG, Value::realv(4.0)).asReal(), -4.0);
+  EXPECT_EQ(applyUn(Op::ABS, Value::intv(-4)).asInt(), 4);
+  EXPECT_DOUBLE_EQ(applyUn(Op::SQRT, Value::realv(9.0)).asReal(), 3.0);
+  EXPECT_DOUBLE_EQ(applyUn(Op::FLOOR, Value::realv(2.9)).asReal(), 2.0);
+  EXPECT_EQ(applyUn(Op::CVTI, Value::realv(2.9)).asInt(), 2);   // truncation
+  EXPECT_EQ(applyUn(Op::CVTI, Value::intv(5)).asInt(), 5);
+  EXPECT_TRUE(applyUn(Op::CVTR, Value::intv(5)).isReal());
+  EXPECT_EQ(applyUn(Op::CVTI, Value::realv(-2.9)).asInt(), -2);
+}
+
+TEST(Ops, PowIsAlwaysReal) {
+  Value v = applyBin(Op::POW, Value::intv(2), Value::intv(10));
+  EXPECT_TRUE(v.isReal());
+  EXPECT_DOUBLE_EQ(v.asReal(), 1024.0);
+}
+
+TEST(Ops, Classification) {
+  EXPECT_TRUE(isBinaryOp(Op::ADD));
+  EXPECT_TRUE(isBinaryOp(Op::CMPNE));
+  EXPECT_FALSE(isBinaryOp(Op::NEG));
+  EXPECT_FALSE(isBinaryOp(Op::ARD));
+  EXPECT_TRUE(isUnaryOp(Op::SQRT));
+  EXPECT_TRUE(isUnaryOp(Op::MOV));
+  EXPECT_FALSE(isUnaryOp(Op::ADD));
+  EXPECT_FALSE(isUnaryOp(Op::SENDA));
+}
+
+TEST(Ops, BinIsReal) {
+  EXPECT_FALSE(binIsReal(Value::intv(1), Value::intv(2)));
+  EXPECT_TRUE(binIsReal(Value::realv(1), Value::intv(2)));
+  EXPECT_TRUE(binIsReal(Value::intv(1), Value::realv(2)));
+}
+
+}  // namespace
+}  // namespace pods

@@ -1,0 +1,200 @@
+// IdLite parser unit tests.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+
+namespace pods::fe {
+namespace {
+
+Module parseOk(std::string_view src) {
+  DiagSink d;
+  Module m = parse(src, d);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  return m;
+}
+
+std::string parseErr(std::string_view src) {
+  DiagSink d;
+  parse(src, d);
+  EXPECT_TRUE(d.hasErrors());
+  return d.str();
+}
+
+TEST(Parser, EmptyModule) {
+  Module m = parseOk("");
+  EXPECT_TRUE(m.fns.empty());
+}
+
+TEST(Parser, FunctionHeader) {
+  Module m = parseOk(
+      "def f(a: int, b: real, c: array, d: matrix) -> real { return 1.0; }");
+  ASSERT_EQ(m.fns.size(), 1u);
+  const FnDecl& f = *m.fns[0];
+  EXPECT_EQ(f.name, "f");
+  EXPECT_FALSE(f.isInline);
+  ASSERT_EQ(f.params.size(), 4u);
+  EXPECT_EQ(f.params[0].type, Ty::Int);
+  EXPECT_EQ(f.params[1].type, Ty::Real);
+  EXPECT_EQ(f.params[2].type, Ty::Array1);
+  EXPECT_EQ(f.params[3].type, Ty::Array2);
+  EXPECT_EQ(f.retType, Ty::Real);
+}
+
+TEST(Parser, InlineAndVoid) {
+  Module m = parseOk("inline def g() { }");
+  EXPECT_TRUE(m.fns[0]->isInline);
+  EXPECT_EQ(m.fns[0]->retType, Ty::Void);
+}
+
+TEST(Parser, Precedence) {
+  Module m = parseOk("def f() -> int { return 1 + 2 * 3 < 4 && 5 == 6; }");
+  const Expr& e = *m.fns[0]->body[0]->values[0];
+  // Top: &&
+  ASSERT_EQ(e.kind, ExKind::Binary);
+  EXPECT_EQ(e.bop, BinOp::And);
+  // Left of &&: (1 + 2*3) < 4
+  const Expr& lt = *e.args[0];
+  EXPECT_EQ(lt.bop, BinOp::Lt);
+  const Expr& add = *lt.args[0];
+  EXPECT_EQ(add.bop, BinOp::Add);
+  const Expr& mul = *add.args[1];
+  EXPECT_EQ(mul.bop, BinOp::Mul);
+}
+
+TEST(Parser, UnaryBinding) {
+  Module m = parseOk("def f() -> int { return -1 - -2; }");
+  const Expr& e = *m.fns[0]->body[0]->values[0];
+  EXPECT_EQ(e.bop, BinOp::Sub);
+  EXPECT_EQ(e.args[0]->kind, ExKind::Unary);
+  EXPECT_EQ(e.args[1]->kind, ExKind::Unary);
+}
+
+TEST(Parser, IfExpressionAndStatement) {
+  Module m = parseOk(R"(
+def f(x: int) -> int {
+  let y = if x > 0 then 1 else 2;
+  if y == 1 { return 7; } else if y == 2 { } else { }
+}
+)");
+  const Stmt& let = *m.fns[0]->body[0];
+  EXPECT_EQ(let.kind, StKind::Let);
+  EXPECT_EQ(let.value->kind, ExKind::IfExpr);
+  const Stmt& ifs = *m.fns[0]->body[1];
+  EXPECT_EQ(ifs.kind, StKind::If);
+  ASSERT_EQ(ifs.elseBody.size(), 1u);  // else-if chain
+  EXPECT_EQ(ifs.elseBody[0]->kind, StKind::If);
+}
+
+TEST(Parser, ForLoopForms) {
+  Module m = parseOk(R"(
+def f(n: int) {
+  for i = 0 to n - 1 { }
+  for i = n - 1 downto 0 { }
+  let s = for i = 0 to n carry (acc = 0.0, k = 1) {
+    next acc = acc + 1.0;
+  } yield acc;
+}
+)");
+  const LoopInfo& up = *m.fns[0]->body[0]->value->loop;
+  EXPECT_TRUE(up.isFor);
+  EXPECT_TRUE(up.ascending);
+  EXPECT_TRUE(up.carries.empty());
+  const LoopInfo& down = *m.fns[0]->body[1]->value->loop;
+  EXPECT_FALSE(down.ascending);
+  const Stmt& let = *m.fns[0]->body[2];
+  const LoopInfo& carry = *let.value->loop;
+  ASSERT_EQ(carry.carries.size(), 2u);
+  EXPECT_EQ(carry.carries[0].name, "acc");
+  EXPECT_EQ(carry.carries[1].name, "k");
+  ASSERT_TRUE(carry.yieldExpr != nullptr);
+}
+
+TEST(Parser, WhileLoop) {
+  Module m = parseOk(R"(
+def f() -> int {
+  let r = loop carry (k = 0) while k < 10 {
+    next k = k + 1;
+  } yield k;
+  return r;
+}
+)");
+  const LoopInfo& w = *m.fns[0]->body[0]->value->loop;
+  EXPECT_FALSE(w.isFor);
+  ASSERT_TRUE(w.cond != nullptr);
+  ASSERT_EQ(w.carries.size(), 1u);
+}
+
+TEST(Parser, ArrayOps) {
+  Module m = parseOk(R"(
+def f(a: array, b: matrix) -> real {
+  a[0] = 1.0;
+  b[1, 2] = a[0] + 0.5;
+  return b[1, 2];
+}
+)");
+  const Stmt& w1 = *m.fns[0]->body[0];
+  EXPECT_EQ(w1.kind, StKind::ArrayWrite);
+  EXPECT_EQ(w1.subs.size(), 1u);
+  const Stmt& w2 = *m.fns[0]->body[1];
+  EXPECT_EQ(w2.subs.size(), 2u);
+  EXPECT_EQ(w2.value->kind, ExKind::Binary);
+}
+
+TEST(Parser, AllocationAndConversions) {
+  Module m = parseOk(R"(
+def f(n: int) {
+  let a = array(n);
+  let b = matrix(n, 2 * n);
+  let x = real(n);
+  let k = int(3.7);
+}
+)");
+  EXPECT_EQ(m.fns[0]->body[0]->value->builtin, Builtin::ArrayAlloc);
+  EXPECT_EQ(m.fns[0]->body[1]->value->builtin, Builtin::MatrixAlloc);
+  EXPECT_EQ(m.fns[0]->body[2]->value->name, "real");
+  EXPECT_EQ(m.fns[0]->body[3]->value->name, "int");
+}
+
+TEST(Parser, CallsAndTupleReturn) {
+  Module m = parseOk(R"(
+def main() {
+  return 1, 2.0;
+}
+)");
+  EXPECT_EQ(m.fns[0]->body[0]->values.size(), 2u);
+}
+
+TEST(Parser, LoopAsBareStatementOptionalSemi) {
+  parseOk("def f() { for i = 0 to 3 { } for j = 0 to 3 { }; }");
+}
+
+TEST(Parser, ErrorMissingSemicolon) {
+  std::string e = parseErr("def f() { let x = 1 }");
+  EXPECT_NE(e.find("expected ';'"), std::string::npos);
+}
+
+TEST(Parser, ErrorRecoversToNextDef) {
+  DiagSink d;
+  Module m = parse("def broken( { } def ok() { }", d);
+  EXPECT_TRUE(d.hasErrors());
+  // The second function is still parsed.
+  EXPECT_TRUE(m.find("ok") != nullptr);
+}
+
+TEST(Parser, ErrorBadType) {
+  parseErr("def f(x: banana) { }");
+}
+
+TEST(Parser, ErrorWhileWithoutCarry) {
+  parseErr("def f() { loop while 1 { } }");
+}
+
+TEST(Parser, NestedIndexExpressions) {
+  Module m = parseOk("def f(a: array, b: array) -> real { return a[int(b[0])]; }");
+  const Expr& idx = *m.fns[0]->body[0]->values[0];
+  EXPECT_EQ(idx.kind, ExKind::Index);
+  EXPECT_EQ(idx.args[0]->kind, ExKind::Call);
+}
+
+}  // namespace
+}  // namespace pods::fe

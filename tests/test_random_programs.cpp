@@ -1,0 +1,194 @@
+// Randomized differential testing: generate random (but well-formed,
+// single-assignment-safe) IdLite programs and assert that the PODS machine,
+// the static baseline, and the sequential evaluator produce bit-identical
+// outputs. This sweeps compiler + partitioner + machine paths no hand-
+// written test enumerates: random expression shapes, loop directions,
+// subscript offsets, border conditionals, reductions, and array chains.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/pods.hpp"
+#include "support/rng.hpp"
+
+namespace pods {
+namespace {
+
+class ProgramGen {
+ public:
+  explicit ProgramGen(std::uint64_t seed) : rng_(seed) {}
+
+  /// A program: fill A0 from formulas, derive A1..Ak each from its
+  /// predecessor with random neighbor reads, optionally compress rows into
+  /// a vector through a user function, then reduce.
+  std::string generate() {
+    n_ = 6 + static_cast<int>(rng_.below(10));  // 6..15
+    int chain = 1 + static_cast<int>(rng_.below(3));
+    bool useHelpers = rng_.below(2) == 0;
+    bool rowVector = rng_.below(2) == 0;
+    std::string src;
+    if (useHelpers) {
+      src += "inline def blend(a: real, b: real) -> real {\n"
+             "  return a * 0.5 + b * 0.25 + min(a, b) * 0.125;\n}\n";
+      src += "def scale(x: real, k: real) -> real {\n"
+             "  return x * k + 0.001;\n}\n";
+    }
+    src += "def main() -> real {\n";
+    src += "  let n = " + std::to_string(n_) + ";\n";
+    src += "  let A0 = matrix(n, n);\n";
+    src += fillLoop("A0");
+    for (int k = 1; k <= chain; ++k) {
+      std::string prev = "A" + std::to_string(k - 1);
+      std::string cur = "A" + std::to_string(k);
+      src += "  let " + cur + " = matrix(n, n);\n";
+      src += deriveLoop(cur, prev, useHelpers);
+    }
+    const std::string last = "A" + std::to_string(chain);
+    if (rowVector) {
+      // Triangular row compression into a 1-D array, then a 1-D reduction.
+      src += R"(
+  let rowsum = array(n);
+  for i = 0 to n - 1 {
+    let r = for j = 0 to i carry (acc = 0.0) {
+      next acc = acc + )" + last + R"([i,j];
+    } yield acc;
+    rowsum[i] = r;
+  }
+  let s = for i = 0 to len(rowsum) - 1 carry (acc = 0.0) {
+    next acc = acc + rowsum[i];
+  } yield acc;
+)";
+    } else {
+      src += reduction(last);
+    }
+    src += "  return s;\n}\n";
+    return src;
+  }
+
+ private:
+  /// Random scalar expression over the loop indices i and j.
+  std::string expr(int depth) {
+    if (depth <= 0 || rng_.below(3) == 0) {
+      switch (rng_.below(5)) {
+        case 0: return "real(i)";
+        case 1: return "real(j)";
+        case 2: return "real(i + j)";
+        case 3: return std::to_string(1 + rng_.below(9)) + ".5";
+        default: return "0.25";
+      }
+    }
+    std::string a = expr(depth - 1);
+    std::string b = expr(depth - 1);
+    switch (rng_.below(7)) {
+      case 0: return "(" + a + " + " + b + ")";
+      case 1: return "(" + a + " - " + b + ")";
+      case 2: return "(" + a + " * 0.5 + " + b + ")";
+      case 3: return "(" + a + " / (" + b + " * " + b + " + 1.0))";
+      case 4: return "sqrt(abs(" + a + "))";
+      case 5: return "min(" + a + ", " + b + ")";
+      default: return "(if i % 2 == 0 then " + a + " else " + b + ")";
+    }
+  }
+
+  std::string fillLoop(const std::string& name) {
+    bool down = rng_.below(2) == 0;
+    std::string hdr =
+        down ? "  for i = n - 1 downto 0 {\n" : "  for i = 0 to n - 1 {\n";
+    return hdr + "    for j = 0 to n - 1 {\n      " + name + "[i,j] = " +
+           expr(2) + ";\n    }\n  }\n";
+  }
+
+  /// A neighbor read of `prev` with border clamping via if-expressions.
+  std::string neighbor(const std::string& prev) {
+    switch (rng_.below(5)) {
+      case 0:
+        return "(if i == 0 then " + prev + "[i,j] else " + prev + "[i-1,j])";
+      case 1:
+        return "(if i == n - 1 then " + prev + "[i,j] else " + prev +
+               "[i+1,j])";
+      case 2:
+        return "(if j == 0 then " + prev + "[i,j] else " + prev + "[i,j-1])";
+      case 3:
+        return "(if j == n - 1 then " + prev + "[i,j] else " + prev +
+               "[i,j+1])";
+      default:
+        return prev + "[i,j]";
+    }
+  }
+
+  std::string deriveLoop(const std::string& cur, const std::string& prev,
+                         bool useHelpers) {
+    std::string combine;
+    if (useHelpers && rng_.below(2) == 0) {
+      combine = "blend(" + neighbor(prev) + ", " + neighbor(prev) + ")";
+    } else if (useHelpers && rng_.below(2) == 0) {
+      combine = "scale(" + neighbor(prev) + ", 0.75)";
+    } else {
+      combine = "0.5 * " + neighbor(prev) + " + 0.25 * " + neighbor(prev);
+    }
+    std::string body = "      " + cur + "[i,j] = " + combine + " + " +
+                       expr(1) + " * 0.001;\n";
+    bool down = rng_.below(2) == 0;
+    std::string hdr =
+        down ? "  for i = n - 1 downto 0 {\n" : "  for i = 0 to n - 1 {\n";
+    // Occasionally wrap the write in a statement-if with an else arm.
+    if (rng_.below(3) == 0) {
+      body = "      if (i + j) % 2 == 0 {\n  " + body + "      } else {\n  " +
+             "      " + cur + "[i,j] = " + neighbor(prev) + ";\n      }\n";
+    }
+    return hdr + "    for j = 0 to n - 1 {\n" + body + "    }\n  }\n";
+  }
+
+  std::string reduction(const std::string& arr) {
+    return "  let s = for i = 0 to n - 1 carry (acc = 0.0) {\n"
+           "    let row = for j = 0 to n - 1 carry (r = 0.0) {\n"
+           "      next r = r + " + arr + "[i,j];\n"
+           "    } yield r;\n"
+           "    next acc = acc + row;\n"
+           "  } yield acc;\n";
+  }
+
+  SplitMix64 rng_;
+  int n_ = 8;
+};
+
+class RandomPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPrograms, AllEnginesAgree) {
+  ProgramGen gen(0xC0FFEE00ULL + static_cast<std::uint64_t>(GetParam()));
+  std::string src = gen.generate();
+  SCOPED_TRACE(src);
+  CompileResult cr = compile(src);
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  BaselineRun seq = runSequentialBaseline(*cr.compiled);
+  ASSERT_TRUE(seq.stats.ok) << seq.stats.error;
+  ASSERT_TRUE(seq.out.results[0].isReal());
+  ASSERT_TRUE(std::isfinite(seq.out.results[0].asReal()));
+
+  BaselineRun st = runStaticBaseline(*cr.compiled, 5);
+  ASSERT_TRUE(st.stats.ok) << st.stats.error;
+  std::string why;
+  EXPECT_TRUE(sameOutputs(st.out, seq.out, &why)) << "static: " << why;
+
+  for (int pes : {1, 3, 8}) {
+    sim::MachineConfig mc;
+    mc.numPEs = pes;
+    PodsRun run = runPods(*cr.compiled, mc);
+    ASSERT_TRUE(run.stats.ok) << "pes=" << pes << ": " << run.stats.error;
+    EXPECT_TRUE(sameOutputs(run.out, seq.out, &why))
+        << "pods pes=" << pes << ": " << why;
+    EXPECT_EQ(run.stats.counters.get("tokens.dropped"), 0);
+  }
+
+  native::NativeConfig nc;
+  nc.numWorkers = 4;
+  NativeRun nat = runNative(*cr.compiled, nc);
+  ASSERT_TRUE(nat.stats.ok) << "native: " << nat.stats.error;
+  EXPECT_TRUE(sameOutputs(nat.out, seq.out, &why)) << "native: " << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pods

@@ -1,0 +1,232 @@
+// IdLite semantic analysis unit tests: scoping, single assignment, typing,
+// loop rules, and function rules.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+
+namespace pods::fe {
+namespace {
+
+std::string semaErr(std::string_view src, bool requireMain = false) {
+  DiagSink d;
+  Module m = parse(src, d);
+  EXPECT_FALSE(d.hasErrors()) << "parse failed: " << d.str();
+  analyze(m, d, requireMain);
+  EXPECT_TRUE(d.hasErrors()) << "expected a sema error";
+  return d.str();
+}
+
+Module semaOk(std::string_view src, bool requireMain = false) {
+  DiagSink d;
+  Module m = parse(src, d);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  analyze(m, d, requireMain);
+  EXPECT_FALSE(d.hasErrors()) << d.str();
+  return m;
+}
+
+TEST(Sema, TypesInferred) {
+  Module m = semaOk(R"(
+def f(n: int) -> real {
+  let x = 1;
+  let y = 2.5;
+  let z = x + y;
+  let q = x / 2;
+  return z * q;
+}
+)");
+  const FnDecl& f = *m.fns[0];
+  // vars: n, x, y, z, q
+  EXPECT_EQ(f.vars[1].type, Ty::Int);
+  EXPECT_EQ(f.vars[2].type, Ty::Real);
+  EXPECT_EQ(f.vars[3].type, Ty::Real);  // int + real -> real
+  EXPECT_EQ(f.vars[4].type, Ty::Int);   // int / int -> int
+}
+
+TEST(Sema, SingleAssignmentNoRebind) {
+  std::string e = semaErr("def f() { let x = 1; let x = 2; }");
+  EXPECT_NE(e.find("single-assignment"), std::string::npos);
+}
+
+TEST(Sema, NoShadowingInNestedScopes) {
+  semaErr("def f() { let x = 1; if x > 0 { let x = 2; } }");
+  semaErr("def f(x: int) { for x = 0 to 3 { } }");
+}
+
+TEST(Sema, BranchScopedLetsAreIndependent) {
+  semaOk("def f(c: int) { if c { let t = 1; } else { let t = 2; } }");
+}
+
+TEST(Sema, BranchLocalNotVisibleAfter) {
+  semaErr("def f(c: int) -> int { if c { let t = 1; } return t; }");
+}
+
+TEST(Sema, UnknownVariable) {
+  std::string e = semaErr("def f() -> int { return nope; }");
+  EXPECT_NE(e.find("unknown variable"), std::string::npos);
+}
+
+TEST(Sema, NextRules) {
+  // next outside loop
+  semaErr("def f() { next x = 1; }");
+  // next of a non-carried variable
+  semaErr("def f() { let s = 0; for i = 0 to 3 { next s = s + 1; } }");
+  // next targets innermost loop only
+  semaErr(R"(
+def f() {
+  for i = 0 to 3 carry (s = 0) {
+    for j = 0 to 3 {
+      next s = s + 1;
+    }
+  }
+}
+)");
+  // correct form
+  semaOk(R"(
+def f() -> int {
+  let r = for i = 0 to 3 carry (s = 0) { next s = s + i; } yield s;
+  return r;
+}
+)");
+}
+
+TEST(Sema, CarryTypeMismatch) {
+  std::string e = semaErr(
+      "def f() { for i = 0 to 3 carry (s = 0) { next s = 1.5; } }");
+  EXPECT_NE(e.find("does not match"), std::string::npos);
+}
+
+TEST(Sema, CarryIntToRealCoercionAllowed) {
+  semaOk("def f() { for i = 0 to 3 carry (s = 0.0) { next s = 1; } }");
+}
+
+TEST(Sema, LoopBoundsMustBeInt) {
+  semaErr("def f() { for i = 0.5 to 3 { } }");
+  semaErr("def f(n: int) { for i = 0 to n * 0.5 { } }");
+}
+
+TEST(Sema, SubscriptRules) {
+  semaErr("def f(a: array) -> real { return a[1.5]; }");
+  semaErr("def f(a: array) -> real { return a[0, 1]; }");
+  semaErr("def f(m: matrix) -> real { return m[0]; }");
+  semaErr("def f(x: int) -> real { return x[0]; }");
+  semaOk("def f(m: matrix, i: int) -> real { return m[i, i + 1]; }");
+}
+
+TEST(Sema, ArrayWriteRules) {
+  semaErr("def f(a: array, b: array) { a[0] = b; }");  // value not numeric
+  semaErr("def f(x: real) { x[0] = 1.0; }");
+  semaOk("def f(a: array) { a[0] = 1; }");  // int coerces to element
+}
+
+TEST(Sema, ReturnRules) {
+  semaErr("def f() -> int { let x = 1; }");            // missing return
+  semaErr("def f() -> int { return 1; let x = 2; }");  // return not last
+  semaErr("def f() { return 1; }");                    // void returns value
+  semaErr("def f() -> int { return 1.5; }");           // real -> int narrows
+  semaOk("def f() -> real { return 1; }");             // int -> real widens
+}
+
+TEST(Sema, TupleReturnOnlyInMain) {
+  semaErr("def f() -> int { return 1, 2; }");
+  Module m = semaOk("def main() { return 1, 2.0; }", /*requireMain=*/true);
+  EXPECT_EQ(m.find("main")->retTupleSize, 2);
+}
+
+TEST(Sema, MainRules) {
+  DiagSink d;
+  Module m = parse("def notmain() { }", d);
+  analyze(m, d, /*requireMain=*/true);
+  EXPECT_TRUE(d.hasErrors());
+
+  semaErr("def main(x: int) { }", /*requireMain=*/true);
+}
+
+TEST(Sema, CallChecks) {
+  semaErr("def f() { g(); }");  // unknown function
+  semaErr(R"(
+def g(x: int) -> int { return x; }
+def f() -> int { return g(); }
+)");  // arity
+  semaErr(R"(
+def g(x: int) -> int { return x; }
+def f() -> int { return g(1.5); }
+)");  // real -> int param narrows
+  semaErr(R"(
+def g(a: array) { }
+def f(m: matrix) { g(m); }
+)");  // matrix where array expected
+  semaOk(R"(
+def g(x: real) -> real { return x; }
+def f() -> real { return g(1); }
+)");
+}
+
+TEST(Sema, VoidCallOnlyAsStatement) {
+  std::string e = semaErr(R"(
+def g() { }
+def f() -> int { let x = g(); return x; }
+)");
+  EXPECT_NE(e.find("void"), std::string::npos);
+}
+
+TEST(Sema, BuiltinChecks) {
+  semaErr("def f() -> real { return sqrt(1.0, 2.0); }");
+  semaErr("def f(a: array) -> real { return sqrt(a); }");
+  semaOk("def f() -> int { return min(1, 2) + abs(-3) % max(1, 2); }");
+  // abs on real stays real; int(x) truncates.
+  Module m = semaOk("def f() -> real { return abs(-1.5); }");
+  (void)m;
+}
+
+TEST(Sema, CannotRedefineBuiltin) {
+  semaErr("def sqrt(x: real) -> real { return x; }");
+}
+
+TEST(Sema, DuplicateFunction) {
+  semaErr("def f() { } def f() { }");
+}
+
+TEST(Sema, MainCannotBeCalled) {
+  semaErr("def main() { } def f() { main(); }");
+}
+
+TEST(Sema, IfExprArmTypes) {
+  semaOk("def f(c: int) -> real { return if c then 1 else 2.5; }");
+  semaOk("def f(c: int, a: array, b: array) -> real { let x = if c then a else b; return x[0]; }");
+  semaErr("def f(c: int, a: array, m: matrix) { let x = if c then a else m; }");
+}
+
+TEST(Sema, WhileCondSeesCarries) {
+  semaOk(R"(
+def f(n: int) -> int {
+  let r = loop carry (k = 0) while k < n { next k = k + 1; } yield k;
+  return r;
+}
+)");
+}
+
+TEST(Sema, LogicalOpsRequireInt) {
+  semaErr("def f(x: real) -> int { return x && 1; }");
+  semaErr("def f(x: real) -> int { return !x; }");
+  semaErr("def f(x: real) -> int { return x % 2; }");
+}
+
+TEST(Sema, YieldSeesCarriesNotBodyLocals) {
+  semaOk(R"(
+def f() -> int {
+  let r = for i = 0 to 3 carry (s = 0) { next s = s + 1; } yield s * 2;
+  return r;
+}
+)");
+  semaErr(R"(
+def f() -> int {
+  let r = for i = 0 to 3 carry (s = 0) { let t = 1; next s = s + t; } yield t;
+  return r;
+}
+)");
+}
+
+}  // namespace
+}  // namespace pods::fe

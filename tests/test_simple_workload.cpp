@@ -1,0 +1,189 @@
+// Tests of the SIMPLE benchmark itself: structural expectations the paper
+// describes, physics sanity, and reproduction-shape properties (Figures
+// 8-10 in miniature, so regressions in the model show up in CI).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pods.hpp"
+#include "workloads/simple.hpp"
+
+namespace pods {
+namespace {
+
+std::unique_ptr<Compiled> compileOk(const std::string& src) {
+  CompileResult cr = compile(src);
+  EXPECT_TRUE(cr.ok) << cr.diagnostics;
+  return std::move(cr.compiled);
+}
+
+TEST(Simple, StructureMatchesPaperDescription) {
+  auto c = compileOk(workloads::simpleSource(16, 1));
+  // "SIMPLE consists of three major routines: velocity_position,
+  //  hydrodynamics, and conduction."
+  int fns = 0;
+  bool sawVp = false, sawHydro = false, sawCond = false, sawRow = false,
+       sawCol = false;
+  for (const ir::Function& f : c->graph.fns) {
+    ++fns;
+    if (f.name == "velocity_position") sawVp = true;
+    if (f.name == "hydrodynamics") sawHydro = true;
+    if (f.name == "conduction") sawCond = true;
+    if (f.name == "conduct_row") sawRow = true;
+    if (f.name == "conduct_col") sawCol = true;
+  }
+  EXPECT_TRUE(sawVp);
+  EXPECT_TRUE(sawHydro);
+  EXPECT_TRUE(sawCond);
+  EXPECT_TRUE(sawRow);  // conduction's "multiple function calls"
+  EXPECT_TRUE(sawCol);
+  EXPECT_EQ(fns, 6);  // + main; eos is inlined away
+  // A real SP population: the paper quotes 15 SPs for conduction alone.
+  EXPECT_GE(c->program.sps.size(), 15u);
+}
+
+TEST(Simple, ConductionHasAscendingAndDescendingLcdLoops) {
+  auto c = compileOk(workloads::simpleSource(8, 1));
+  // conduct_row: one descending j loop (back substitution) kept local.
+  int descendingLocal = 0;
+  for (const ir::Function& f : c->graph.fns) {
+    if (f.name != "conduct_row" && f.name != "conduct_col") continue;
+    ir::forEachItem(f.body, [&](const ir::Item& it) {
+      if (it.kind != ir::ItemKind::Loop) return;
+      const ir::Block& b = *it.loop;
+      const partition::LoopPlan* lp = c->plan.find(&b);
+      if (!b.ascending && (!lp || !lp->replicated)) ++descendingLocal;
+    });
+  }
+  EXPECT_GE(descendingLocal, 1);
+}
+
+TEST(Simple, PhysicsStaysFiniteAndSmooths) {
+  auto c = compileOk(workloads::conductionOnlySource(12, 3));
+  BaselineRun run = runSequentialBaseline(*c);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  const auto& T = *run.out.arrays[0];
+  double mn = 1e300, mx = -1e300;
+  for (const Value& v : T.elems) {
+    ASSERT_TRUE(v.isReal());
+    ASSERT_TRUE(std::isfinite(v.asReal()));
+    mn = std::min(mn, v.asReal());
+    mx = std::max(mx, v.asReal());
+  }
+  // Conduction is dissipative: the field contracts toward its mean.
+  // Initial range of T0 is [2 - 0.5.., 2 + 0.5 + 0.11] roughly.
+  EXPECT_GT(mn, 1.4);
+  EXPECT_LT(mx, 2.7);
+  EXPECT_LT(mx - mn, 1.3);
+}
+
+TEST(Simple, FullBenchmarkEnergyEvolves) {
+  auto c1 = compileOk(workloads::simpleSource(10, 1));
+  auto c2 = compileOk(workloads::simpleSource(10, 2));
+  BaselineRun r1 = runSequentialBaseline(*c1);
+  BaselineRun r2 = runSequentialBaseline(*c2);
+  ASSERT_TRUE(r1.stats.ok);
+  ASSERT_TRUE(r2.stats.ok);
+  // Different step counts give different (finite) fields.
+  std::string why;
+  EXPECT_FALSE(sameOutputs(r1.out, r2.out, &why));
+  for (const Value& v : (*r2.out.arrays[0]).elems) {
+    EXPECT_TRUE(std::isfinite(v.asReal()));
+  }
+}
+
+TEST(Simple, DeterministicAcrossMachineShapes) {
+  auto c = compileOk(workloads::simpleSource(8, 2));
+  BaselineRun seq = runSequentialBaseline(*c);
+  ASSERT_TRUE(seq.stats.ok) << seq.stats.error;
+  for (int pes : {1, 3, 8, 17}) {
+    for (int page : {8, 32}) {
+      sim::MachineConfig mc;
+      mc.numPEs = pes;
+      mc.timing.pageElems = page;
+      PodsRun run = runPods(*c, mc);
+      ASSERT_TRUE(run.stats.ok)
+          << "pes=" << pes << " page=" << page << ": " << run.stats.error;
+      std::string why;
+      EXPECT_TRUE(sameOutputs(run.out, seq.out, &why))
+          << "pes=" << pes << " page=" << page << ": " << why;
+    }
+  }
+}
+
+TEST(Simple, SpeedupShapeMiniature) {
+  // A fast, CI-sized version of Figure 10's shape assertions.
+  auto c = compileOk(workloads::simpleSource(16, 1));
+  sim::MachineConfig mc;
+  mc.numPEs = 1;
+  SimTime t1 = runPods(*c, mc).stats.total;
+  mc.numPEs = 4;
+  SimTime t4 = runPods(*c, mc).stats.total;
+  mc.numPEs = 8;
+  SimTime t8 = runPods(*c, mc).stats.total;
+  double s4 = double(t1.ns) / double(t4.ns);
+  double s8 = double(t1.ns) / double(t8.ns);
+  EXPECT_GT(s4, 2.0);       // real speedup at 4 PEs
+  EXPECT_GT(s8, s4 * 0.95);  // still not collapsing at 8
+  EXPECT_LT(s8, 8.0);       // sublinear (overheads exist)
+}
+
+TEST(Simple, EuDominatesOtherUnits) {
+  // Figure 8's headline in miniature.
+  auto c = compileOk(workloads::simpleSource(16, 1));
+  for (int pes : {1, 4}) {
+    sim::MachineConfig mc;
+    mc.numPEs = pes;
+    PodsRun run = runPods(*c, mc);
+    ASSERT_TRUE(run.stats.ok);
+    double eu = run.stats.avgUtilization(sim::Unit::EU);
+    for (sim::Unit u : {sim::Unit::MU, sim::Unit::MM, sim::Unit::AM,
+                        sim::Unit::RU}) {
+      EXPECT_GT(eu, run.stats.avgUtilization(u)) << "pes=" << pes;
+    }
+  }
+}
+
+TEST(Simple, UtilizationRisesWithProblemSize) {
+  // Figure 9's headline in miniature: at 8 PEs, 24x24 keeps the EUs busier
+  // than 8x8.
+  auto small = compileOk(workloads::simpleSource(8, 1));
+  auto large = compileOk(workloads::simpleSource(24, 1));
+  sim::MachineConfig mc;
+  mc.numPEs = 8;
+  PodsRun rs = runPods(*small, mc);
+  PodsRun rl = runPods(*large, mc);
+  ASSERT_TRUE(rs.stats.ok);
+  ASSERT_TRUE(rl.stats.ok);
+  EXPECT_GT(rl.stats.avgUtilization(sim::Unit::EU),
+            rs.stats.avgUtilization(sim::Unit::EU));
+}
+
+TEST(Simple, PodsBeatsStaticBaselineWhenBigEnough) {
+  // Figure 10's comparison point, miniature: at 24x24 / 8 PEs the hybrid
+  // should be at least competitive with static execution.
+  auto c = compileOk(workloads::simpleSource(24, 1));
+  sim::MachineConfig mc;
+  mc.numPEs = 8;
+  PodsRun pods = runPods(*c, mc);
+  BaselineRun st = runStaticBaseline(*c, 8);
+  ASSERT_TRUE(pods.stats.ok);
+  ASSERT_TRUE(st.stats.ok);
+  EXPECT_LT(pods.stats.total.ns, st.stats.total.ns * 3 / 2);
+}
+
+TEST(Simple, TimestepsPipelineAcrossSteps) {
+  // The while-loop body's calls are spawned asynchronously, so step k+1's
+  // velocity update overlaps step k's conduction: 2 steps must cost less
+  // than 2x one step on a parallel machine.
+  auto c1 = compileOk(workloads::simpleSource(16, 1));
+  auto c2 = compileOk(workloads::simpleSource(16, 2));
+  sim::MachineConfig mc;
+  mc.numPEs = 8;
+  SimTime t1 = runPods(*c1, mc).stats.total;
+  SimTime t2 = runPods(*c2, mc).stats.total;
+  EXPECT_LT(t2.ns, 2 * t1.ns);
+}
+
+}  // namespace
+}  // namespace pods

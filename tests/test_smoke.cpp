@@ -1,0 +1,71 @@
+// End-to-end smoke tests: source -> compile -> run on all three execution
+// models, asserting identical outputs (Church-Rosser determinacy).
+#include <gtest/gtest.h>
+
+#include "core/pods.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pods {
+namespace {
+
+TEST(Smoke, Fill2dSequential) {
+  auto cr = compile(workloads::fill2dSource(10, 6), {.distribute = false});
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  BaselineRun seq = runSequentialBaseline(*cr.compiled);
+  ASSERT_TRUE(seq.stats.ok) << seq.stats.error;
+  ASSERT_EQ(seq.out.results.size(), 1u);
+  ASSERT_TRUE(seq.out.arrays[0].has_value());
+  const auto& a = *seq.out.arrays[0];
+  EXPECT_EQ(a.shape.dim0, 10);
+  EXPECT_EQ(a.shape.dim1, 6);
+  // A[i,j] = i*10 + j
+  EXPECT_DOUBLE_EQ(a.elems[3 * 6 + 4].asReal(), 34.0);
+}
+
+TEST(Smoke, Fill2dPodsOnePe) {
+  auto cr = compile(workloads::fill2dSource(10, 6), {.distribute = false});
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  sim::MachineConfig mc;
+  mc.numPEs = 1;
+  PodsRun run = runPods(*cr.compiled, mc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  BaselineRun seq = runSequentialBaseline(*cr.compiled);
+  std::string why;
+  EXPECT_TRUE(sameOutputs(run.out, seq.out, &why)) << why;
+  EXPECT_GT(run.stats.total.ns, 0);
+}
+
+TEST(Smoke, Fill2dPodsDistributed) {
+  auto cr = compile(workloads::fill2dSource(10, 6), {.distribute = true});
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  BaselineRun seq = runSequentialBaseline(*cr.compiled);
+  ASSERT_TRUE(seq.stats.ok) << seq.stats.error;
+  for (int pes : {1, 2, 3, 4, 8}) {
+    sim::MachineConfig mc;
+    mc.numPEs = pes;
+    PodsRun run = runPods(*cr.compiled, mc);
+    ASSERT_TRUE(run.stats.ok) << "PEs=" << pes << ": " << run.stats.error;
+    std::string why;
+    EXPECT_TRUE(sameOutputs(run.out, seq.out, &why))
+        << "PEs=" << pes << ": " << why;
+  }
+}
+
+TEST(Smoke, ReduceAcrossModels) {
+  auto cr = compile(workloads::reduceSource(100));
+  ASSERT_TRUE(cr.ok) << cr.diagnostics;
+  BaselineRun seq = runSequentialBaseline(*cr.compiled);
+  ASSERT_TRUE(seq.stats.ok) << seq.stats.error;
+  BaselineRun sta = runStaticBaseline(*cr.compiled, 4);
+  ASSERT_TRUE(sta.stats.ok) << sta.stats.error;
+  sim::MachineConfig mc;
+  mc.numPEs = 4;
+  PodsRun pods = runPods(*cr.compiled, mc);
+  ASSERT_TRUE(pods.stats.ok) << pods.stats.error;
+  std::string why;
+  EXPECT_TRUE(sameOutputs(seq.out, sta.out, &why)) << why;
+  EXPECT_TRUE(sameOutputs(seq.out, pods.out, &why)) << why;
+}
+
+}  // namespace
+}  // namespace pods

@@ -1,0 +1,126 @@
+// Unit tests for the support library: simulated time, statistics, tables,
+// the deterministic RNG, and diagnostics.
+#include <gtest/gtest.h>
+
+#include "support/diag.hpp"
+#include "support/rng.hpp"
+#include "support/simtime.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace pods {
+namespace {
+
+TEST(SimTime, UsecConversionIsExactForPaperConstants) {
+  EXPECT_EQ(usec(0.300).ns, 300);
+  EXPECT_EQ(usec(1.312).ns, 1312);
+  EXPECT_EQ(usec(19.5).ns, 19500);
+  EXPECT_EQ(usec(96.418).ns, 96418);
+  EXPECT_EQ(usec(2.7).ns, 2700);
+  EXPECT_EQ(usec(0.4).ns, 400);
+}
+
+TEST(SimTime, Arithmetic) {
+  SimTime a = usec(1.5), b = usec(2.5);
+  EXPECT_EQ((a + b).ns, 4000);
+  EXPECT_EQ((b - a).ns, 1000);
+  EXPECT_EQ((a * 3).ns, 4500);
+  EXPECT_LT(a, b);
+  a += b;
+  EXPECT_EQ(a.ns, 4000);
+}
+
+TEST(SimTime, UnitViews) {
+  SimTime t = usec(1500.0);
+  EXPECT_DOUBLE_EQ(t.us(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.ms(), 1.5);
+  EXPECT_DOUBLE_EQ(t.sec(), 0.0015);
+}
+
+TEST(BusyMeter, Utilization) {
+  BusyMeter m;
+  m.addBusy(usec(30));
+  m.addBusy(usec(20));
+  EXPECT_DOUBLE_EQ(m.utilization(usec(100)), 0.5);
+  EXPECT_DOUBLE_EQ(m.utilization(SimTime{0}), 0.0);
+}
+
+TEST(Counters, AddGetMerge) {
+  Counters a, b;
+  a.add("x");
+  a.add("x", 4);
+  b.add("x", 2);
+  b.add("y", 7);
+  EXPECT_EQ(a.get("x"), 5);
+  EXPECT_EQ(a.get("missing"), 0);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 7);
+  EXPECT_EQ(a.get("y"), 7);
+}
+
+TEST(Summary, MinMaxMean) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(2.0);
+  s.add(4.0);
+  s.add(-3.0);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{5});
+  t.row().cell("b").cell(3.14159, 2);
+  std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  // All lines equal width for the header row and rule.
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+TEST(TextTable, FmtF) {
+  EXPECT_EQ(fmtF(1.0, 2), "1.00");
+  EXPECT_EQ(fmtF(-0.125, 3), "-0.125");
+}
+
+TEST(SplitMix64, DeterministicAndSeedSensitive) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  SplitMix64 a2(42);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(SplitMix64, UnitRangeAndBelow) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(r.below(10), 10u);
+    double x = r.range(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(DiagSink, CollectsAndCounts) {
+  DiagSink d;
+  EXPECT_FALSE(d.hasErrors());
+  d.warning({1, 2}, "careful");
+  EXPECT_FALSE(d.hasErrors());
+  d.error({3, 4}, "broken");
+  d.note({}, "context");
+  EXPECT_TRUE(d.hasErrors());
+  EXPECT_EQ(d.errorCount(), 1);
+  EXPECT_EQ(d.all().size(), 3u);
+  std::string s = d.str();
+  EXPECT_NE(s.find("error at 3:4: broken"), std::string::npos);
+  EXPECT_NE(s.find("warning at 1:2: careful"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pods

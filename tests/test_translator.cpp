@@ -1,0 +1,278 @@
+// PODS Translator tests: instruction ordering (the paper's topological
+// ordering step), SP structure, Range-Filter emission, and disassembly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pods.hpp"
+#include "support/rng.hpp"
+#include "translate/translator.hpp"
+#include "workloads/kernels.hpp"
+
+namespace pods {
+namespace {
+
+std::unique_ptr<Compiled> compileOk(const std::string& src,
+                                    CompileOptions opts = {}) {
+  CompileResult cr = compile(src, opts);
+  EXPECT_TRUE(cr.ok) << cr.diagnostics;
+  return std::move(cr.compiled);
+}
+
+const SpCode* findSp(const SpProgram& p, const std::string& name) {
+  for (const SpCode& sp : p.sps) {
+    if (sp.name == name) return &sp;
+  }
+  return nullptr;
+}
+
+int countOps(const SpCode& sp, Op op) {
+  int n = 0;
+  for (const Instr& in : sp.code) {
+    if (in.op == op) ++n;
+  }
+  return n;
+}
+
+// --- orderItems -------------------------------------------------------------
+
+/// Builds an item list of plain nodes forming a dependency chain plus some
+/// independent nodes, in a given order of indices.
+std::vector<ir::Item> makeChain(const std::vector<int>& order) {
+  // Node k computes v_k; node k uses v_{k-1} for k >= 1.
+  std::vector<ir::Item> items;
+  for (int k : order) {
+    ir::Item it;
+    it.kind = ir::ItemKind::Node;
+    it.node.op = k == 0 ? ir::NodeOp::Const : ir::NodeOp::Mov;
+    it.node.dst = static_cast<ir::ValId>(k);
+    if (k > 0) {
+      it.node.in[0] = static_cast<ir::ValId>(k - 1);
+      it.node.nin = 1;
+    }
+    items.push_back(std::move(it));
+  }
+  return items;
+}
+
+TEST(OrderItems, ValidOrderIsPreserved) {
+  auto items = makeChain({0, 1, 2, 3, 4});
+  auto ordered = translate::orderItems(items);
+  ASSERT_EQ(ordered.size(), 5u);
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_EQ(ordered[i], &items[i]);  // identity on already-valid input
+  }
+}
+
+TEST(OrderItems, ReversedChainIsSorted) {
+  auto items = makeChain({4, 3, 2, 1, 0});
+  auto ordered = translate::orderItems(items);
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_EQ(ordered[i]->node.dst, static_cast<ir::ValId>(i));
+  }
+}
+
+TEST(OrderItems, RandomShufflesAlwaysValid) {
+  SplitMix64 rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> order(12);
+    for (int i = 0; i < 12; ++i) order[static_cast<std::size_t>(i)] = i;
+    for (int i = 11; i > 0; --i) {
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[rng.below(static_cast<std::uint64_t>(i + 1))]);
+    }
+    auto items = makeChain(order);
+    auto ordered = translate::orderItems(items);
+    // Check def-before-use in the output.
+    std::vector<bool> defined(12, false);
+    for (const ir::Item* it : ordered) {
+      if (it->node.nin > 0) {
+        EXPECT_TRUE(defined[it->node.in[0]]);
+      }
+      defined[it->node.dst] = true;
+    }
+  }
+}
+
+TEST(OrderItems, IndependentItemsKeepRelativeOrder) {
+  // Two independent chains interleaved: stable sort keeps original order.
+  std::vector<ir::Item> items;
+  for (int k = 0; k < 6; ++k) {
+    ir::Item it;
+    it.kind = ir::ItemKind::Node;
+    it.node.op = ir::NodeOp::Const;
+    it.node.dst = static_cast<ir::ValId>(k);
+    items.push_back(std::move(it));
+  }
+  auto ordered = translate::orderItems(items);
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_EQ(ordered[i], &items[i]);
+  }
+}
+
+// --- SP structure ------------------------------------------------------------
+
+TEST(Translator, OneSpPerCodeBlock) {
+  auto c = compileOk(workloads::fill2dSource(8, 8));
+  // main + i loop + j loop = 3 SPs (f was inlined away).
+  EXPECT_EQ(c->program.sps.size(), 3u);
+  EXPECT_NE(findSp(c->program, "main"), nullptr);
+  EXPECT_NE(findSp(c->program, "main/i#0"), nullptr);
+  EXPECT_NE(findSp(c->program, "main/j#1"), nullptr);
+}
+
+TEST(Translator, MainEndsWithResultAndEnd) {
+  auto c = compileOk(workloads::fill2dSource(4, 4));
+  const SpCode* main = findSp(c->program, "main");
+  ASSERT_NE(main, nullptr);
+  EXPECT_EQ(countOps(*main, Op::RESULT), 1);
+  EXPECT_EQ(main->code.back().op, Op::END);
+  EXPECT_EQ(c->program.numResults, 1);
+}
+
+TEST(Translator, ReplicatedLoopHasRangeFilter) {
+  auto c = compileOk(workloads::fill2dSource(8, 8));
+  const SpCode* iLoop = findSp(c->program, "main/i#0");
+  ASSERT_NE(iLoop, nullptr);
+  EXPECT_TRUE(iLoop->replicated);
+  EXPECT_EQ(countOps(*iLoop, Op::RFLO), 1);
+  EXPECT_EQ(countOps(*iLoop, Op::RFHI), 1);
+  EXPECT_GE(countOps(*iLoop, Op::MAX2), 1);  // the Figure-5 clamps
+  EXPECT_GE(countOps(*iLoop, Op::MIN2), 1);
+  // The local inner loop carries no filter.
+  const SpCode* jLoop = findSp(c->program, "main/j#1");
+  EXPECT_FALSE(jLoop->replicated);
+  EXPECT_EQ(countOps(*jLoop, Op::RFLO), 0);
+}
+
+TEST(Translator, UndistributedHasNoFiltersOrBroadcasts) {
+  auto c = compileOk(workloads::fill2dSource(8, 8), {.distribute = false});
+  for (const SpCode& sp : c->program.sps) {
+    EXPECT_EQ(countOps(sp, Op::RFLO), 0) << sp.name;
+    EXPECT_EQ(countOps(sp, Op::SENDD), 0) << sp.name;
+    EXPECT_EQ(countOps(sp, Op::ALLOCD), 0) << sp.name;
+  }
+}
+
+TEST(Translator, DistributedUsesAllocD) {
+  auto c = compileOk(workloads::fill2dSource(8, 8));
+  const SpCode* main = findSp(c->program, "main");
+  EXPECT_EQ(countOps(*main, Op::ALLOCD), 1);
+  EXPECT_EQ(countOps(*main, Op::ALLOC), 0);
+}
+
+TEST(Translator, ParentOfReplicatedLoopBroadcasts) {
+  auto c = compileOk(workloads::fill2dSource(8, 8));
+  const SpCode* main = findSp(c->program, "main");
+  // Spawning the replicated i loop uses SENDD for every argument token.
+  EXPECT_GT(countOps(*main, Op::SENDD), 0);
+  // The i loop spawns the j loop locally.
+  const SpCode* iLoop = findSp(c->program, "main/i#0");
+  EXPECT_GT(countOps(*iLoop, Op::SENDA), 0);
+  EXPECT_EQ(countOps(*iLoop, Op::SENDD), 0);
+}
+
+TEST(Translator, JoinsAwaitSpawnCount) {
+  auto c = compileOk(workloads::fill2dSource(8, 8));
+  for (const SpCode& sp : c->program.sps) {
+    EXPECT_EQ(countOps(sp, Op::AWAITN), 1) << sp.name;
+  }
+  // Loop SPs send a completion token to their parent.
+  const SpCode* jLoop = findSp(c->program, "main/j#1");
+  EXPECT_EQ(countOps(*jLoop, Op::ADDC), 1);
+}
+
+TEST(Translator, DescendingLoopStepsDown) {
+  auto c = compileOk(R"(
+def main() -> array {
+  let a = array(8);
+  for i = 7 downto 0 { a[i] = real(i); }
+  return a;
+}
+)");
+  const SpCode* loop = findSp(c->program, "main/i#0");
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(countOps(*loop, Op::CMPGE), 1);  // descending test
+  EXPECT_GE(countOps(*loop, Op::SUB), 1);    // index decrement
+}
+
+TEST(Translator, FunctionCallPassesContinuation) {
+  auto c = compileOk(R"(
+def g(x: real) -> real { return x + 1.0; }
+def main() -> real { return g(41.0); }
+)");
+  const SpCode* main = findSp(c->program, "main");
+  const SpCode* g = findSp(c->program, "g");
+  ASSERT_NE(main, nullptr);
+  ASSERT_NE(g, nullptr);
+  EXPECT_GE(countOps(*main, Op::MKCONT), 1);
+  EXPECT_GE(countOps(*main, Op::NEWCTX), 1);
+  EXPECT_EQ(countOps(*g, Op::SENDC), 1);  // result back to the caller
+  EXPECT_EQ(countOps(*g, Op::ADDC), 0);   // functions send no done token
+}
+
+TEST(Translator, CallResultSlotClearedBeforeSpawn) {
+  auto c = compileOk(R"(
+def g(x: int) -> int { return x * 2; }
+def main() -> int {
+  let s = for i = 0 to 3 carry (acc = 0) {
+    next acc = acc + g(i);
+  } yield acc;
+  return s;
+}
+)");
+  const SpCode* loop = findSp(c->program, "main/i#0");
+  ASSERT_NE(loop, nullptr);
+  EXPECT_GE(countOps(*loop, Op::CLEAR), 1);
+}
+
+TEST(Translator, WhileLoopReevaluatesCondition) {
+  auto c = compileOk(R"(
+def main() -> int {
+  let r = loop carry (k = 0) while k < 5 { next k = k + 1; } yield k;
+  return r;
+}
+)");
+  const SpCode* wl = findSp(c->program, "main/while#0");
+  ASSERT_NE(wl, nullptr);
+  EXPECT_EQ(wl->kind, SpKind::WhileLoop);
+  EXPECT_GE(countOps(*wl, Op::CMPLT), 1);
+  EXPECT_GE(countOps(*wl, Op::BRF), 1);
+  EXPECT_GE(countOps(*wl, Op::JMP), 1);
+}
+
+TEST(Translator, DisassemblyIsReadable) {
+  auto c = compileOk(workloads::fill2dSource(4, 4));
+  std::string d = c->program.disasm();
+  EXPECT_NE(d.find("main"), std::string::npos);
+  EXPECT_NE(d.find("[replicated/LD]"), std::string::npos);
+  EXPECT_NE(d.find("ALLOCD"), std::string::npos);
+  EXPECT_NE(d.find("AWAITN"), std::string::npos);
+}
+
+TEST(Translator, TupleResults) {
+  auto c = compileOk(R"(
+def main() {
+  let a = array(4);
+  for i = 0 to 3 { a[i] = real(i); }
+  return a, 7, 2.5;
+}
+)");
+  EXPECT_EQ(c->program.numResults, 3);
+  const SpCode* main = findSp(c->program, "main");
+  EXPECT_EQ(countOps(*main, Op::RESULT), 3);
+}
+
+TEST(Translator, BranchTargetsInRange) {
+  auto c = compileOk(workloads::stencilSource(6, 1));
+  for (const SpCode& sp : c->program.sps) {
+    for (const Instr& in : sp.code) {
+      if (in.op == Op::JMP || in.op == Op::BRF) {
+        EXPECT_LE(in.aux, sp.code.size()) << sp.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pods

@@ -1,0 +1,254 @@
+// podsc — the PODS compiler/runner command-line tool.
+//
+// Compiles an IdLite source file through the full pipeline and runs it on
+// the selected engine, with dumps of every intermediate representation.
+//
+// Usage:
+//   podsc [options] <file.idl>
+//
+// Options:
+//   --engine=pods|seq|static|native   execution engine (default: pods)
+//   --pes N            PE / worker count                 (default: 4)
+//   --no-distribute    compile without the Partitioner
+//   --block-range      ablation: block-partition Range Filters
+//   --page N           array page size in elements       (default: 32)
+//   --no-cache         disable remote-page caching (pods engine)
+//   --trace=FILE       write a Chrome-trace timeline (pods engine)
+//   --verify           cross-check results against the sequential engine
+//   --stats            print machine statistics
+//   --dump-graph       print the dataflow-graph block tree
+//   --dump-plan        print the Partitioner's decisions
+//   --dump-sps         print the translated SP disassembly
+//   --dump-dot         print graphviz of main's dataflow graph
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/pods.hpp"
+#include "ir/dot.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct Options {
+  std::string engine = "pods";
+  int pes = 4;
+  bool distribute = true;
+  bool blockRange = false;
+  int page = 32;
+  bool cache = true;
+  bool verify = false;
+  bool stats = false;
+  bool dumpGraph = false;
+  bool dumpPlan = false;
+  bool dumpSps = false;
+  bool dumpDot = false;
+  std::string trace;
+  std::string file;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--engine=pods|seq|static|native] [--pes N] "
+               "[--no-distribute] [--block-range] [--page N] [--no-cache] "
+               "[--trace=FILE] "
+               "[--verify] [--stats] [--dump-graph] [--dump-plan] "
+               "[--dump-sps] [--dump-dot] <file.idl>\n",
+               argv0);
+  return 2;
+}
+
+bool parseArgs(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto intArg = [&](int& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoi(argv[++i]);
+      return out > 0;
+    };
+    if (a.rfind("--engine=", 0) == 0) {
+      o.engine = a.substr(9);
+      if (o.engine != "pods" && o.engine != "seq" && o.engine != "static" &&
+          o.engine != "native") {
+        return false;
+      }
+    } else if (a == "--pes") {
+      if (!intArg(o.pes)) return false;
+    } else if (a == "--page") {
+      if (!intArg(o.page)) return false;
+    } else if (a == "--no-distribute") {
+      o.distribute = false;
+    } else if (a == "--block-range") {
+      o.blockRange = true;
+    } else if (a == "--no-cache") {
+      o.cache = false;
+    } else if (a.rfind("--trace=", 0) == 0) {
+      o.trace = a.substr(8);
+    } else if (a == "--verify") {
+      o.verify = true;
+    } else if (a == "--stats") {
+      o.stats = true;
+    } else if (a == "--dump-graph") {
+      o.dumpGraph = true;
+    } else if (a == "--dump-plan") {
+      o.dumpPlan = true;
+    } else if (a == "--dump-sps") {
+      o.dumpSps = true;
+    } else if (a == "--dump-dot") {
+      o.dumpDot = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return false;
+    } else if (o.file.empty()) {
+      o.file = a;
+    } else {
+      return false;
+    }
+  }
+  return !o.file.empty();
+}
+
+void printOutputs(const pods::ProgramOutputs& out) {
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    const pods::Value& v = out.results[i];
+    if (!v.isArray()) {
+      std::printf("result %zu: %s\n", i, v.str().c_str());
+      continue;
+    }
+    if (!out.arrays[i]) {
+      std::printf("result %zu: <unknown array>\n", i);
+      continue;
+    }
+    const auto& a = *out.arrays[i];
+    double sum = 0.0;
+    std::int64_t present = 0;
+    for (const pods::Value& e : a.elems) {
+      if (!e.empty()) {
+        sum += e.asReal();
+        ++present;
+      }
+    }
+    if (a.shape.rank == 2) {
+      std::printf("result %zu: matrix(%lld, %lld)", i,
+                  static_cast<long long>(a.shape.dim0),
+                  static_cast<long long>(a.shape.dim1));
+    } else {
+      std::printf("result %zu: array(%lld)", i,
+                  static_cast<long long>(a.shape.dim0));
+    }
+    std::printf(" written=%lld/%zu sum=%.6g first=[",
+                static_cast<long long>(present), a.elems.size(), sum);
+    for (std::size_t e = 0; e < a.elems.size() && e < 5; ++e) {
+      std::printf("%s%s", e ? ", " : "", a.elems[e].str().c_str());
+    }
+    std::printf("%s]\n", a.elems.size() > 5 ? ", ..." : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parseArgs(argc, argv, o)) return usage(argv[0]);
+
+  std::ifstream in(o.file);
+  if (!in) {
+    std::fprintf(stderr, "podsc: cannot open '%s'\n", o.file.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  pods::CompileOptions copts;
+  copts.distribute = o.distribute;
+  copts.forceBlockRange = o.blockRange;
+  pods::CompileResult cr = pods::compile(buf.str(), copts);
+  if (!cr.ok) {
+    std::fprintf(stderr, "%s", cr.diagnostics.c_str());
+    return 1;
+  }
+  const pods::Compiled& c = *cr.compiled;
+  std::printf("compiled %s: %zu SPs, %zu instructions\n", o.file.c_str(),
+              c.program.sps.size(), c.program.totalInstrs());
+
+  if (o.dumpGraph) {
+    for (const auto& fn : c.graph.fns) {
+      std::printf("%s", pods::ir::dumpFunction(fn).c_str());
+    }
+  }
+  if (o.dumpPlan) std::printf("%s", c.plan.describe(c.graph).c_str());
+  if (o.dumpSps) std::printf("%s", c.program.disasm().c_str());
+  if (o.dumpDot) std::printf("%s", pods::ir::toDot(c.graph.main()).c_str());
+
+  pods::ProgramOutputs out;
+  if (o.engine == "pods") {
+    pods::sim::MachineConfig mc;
+    mc.numPEs = o.pes;
+    mc.cachePages = o.cache;
+    mc.timing.pageElems = o.page;
+    mc.tracePath = o.trace;
+    pods::PodsRun run = pods::runPods(c, mc);
+    if (!run.stats.ok) {
+      std::fprintf(stderr, "podsc: run failed: %s\n", run.stats.error.c_str());
+      return 1;
+    }
+    std::printf("engine=pods pes=%d simulated time: %.3f ms\n", o.pes,
+                run.stats.total.ms());
+    if (o.stats) {
+      std::printf("EU utilization: %.1f%%\n",
+                  100.0 * run.stats.avgUtilization(pods::sim::Unit::EU));
+      for (const auto& [k, v] : run.stats.counters.all()) {
+        std::printf("  %-28s %lld\n", k.c_str(), static_cast<long long>(v));
+      }
+    }
+    out = std::move(run.out);
+  } else if (o.engine == "seq") {
+    pods::BaselineRun run = pods::runSequentialBaseline(c);
+    if (!run.stats.ok) {
+      std::fprintf(stderr, "podsc: run failed: %s\n", run.stats.error.c_str());
+      return 1;
+    }
+    std::printf("engine=seq modeled time: %.3f ms\n", run.stats.total.ms());
+    out = std::move(run.out);
+  } else if (o.engine == "static") {
+    pods::BaselineRun run = pods::runStaticBaseline(c, o.pes);
+    if (!run.stats.ok) {
+      std::fprintf(stderr, "podsc: run failed: %s\n", run.stats.error.c_str());
+      return 1;
+    }
+    std::printf("engine=static pes=%d modeled time: %.3f ms\n", o.pes,
+                run.stats.total.ms());
+    out = std::move(run.out);
+  } else {  // native
+    pods::native::NativeConfig nc;
+    nc.numWorkers = o.pes;
+    nc.pageElems = o.page;
+    pods::NativeRun run = pods::runNative(c, nc);
+    if (!run.stats.ok) {
+      std::fprintf(stderr, "podsc: run failed: %s\n", run.stats.error.c_str());
+      return 1;
+    }
+    std::printf("engine=native workers=%d wall time: %.3f ms\n", o.pes,
+                run.stats.wallSeconds * 1e3);
+    out = std::move(run.out);
+  }
+
+  printOutputs(out);
+
+  if (o.verify) {
+    pods::BaselineRun seq = pods::runSequentialBaseline(c);
+    if (!seq.stats.ok) {
+      std::fprintf(stderr, "podsc: verify run failed: %s\n",
+                   seq.stats.error.c_str());
+      return 1;
+    }
+    std::string why;
+    if (!pods::sameOutputs(out, seq.out, &why)) {
+      std::fprintf(stderr, "podsc: VERIFY FAILED: %s\n", why.c_str());
+      return 1;
+    }
+    std::printf("verify: identical to the sequential engine\n");
+  }
+  return 0;
+}

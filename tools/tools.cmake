@@ -1,0 +1,22 @@
+# The podsc command-line tool, plus ctest smoke runs over the sample
+# programs in programs/ (every engine, with result verification).
+add_executable(podsc ${CMAKE_SOURCE_DIR}/tools/podsc.cpp)
+target_link_libraries(podsc PRIVATE pods)
+
+add_test(NAME podsc_heat
+         COMMAND podsc --pes 5 --verify ${CMAKE_SOURCE_DIR}/programs/heat.idl)
+add_test(NAME podsc_dotprod_stats
+         COMMAND podsc --pes 4 --stats --verify
+                 ${CMAKE_SOURCE_DIR}/programs/dotprod.idl)
+add_test(NAME podsc_pascal_static
+         COMMAND podsc --engine=static --pes 3 --verify
+                 ${CMAKE_SOURCE_DIR}/programs/pascal.idl)
+add_test(NAME podsc_quadrature_native
+         COMMAND podsc --engine=native --pes 4 --verify
+                 ${CMAKE_SOURCE_DIR}/programs/quadrature.idl)
+add_test(NAME podsc_dumps
+         COMMAND podsc --engine=seq --dump-plan --dump-graph --dump-sps
+                 --dump-dot --verify ${CMAKE_SOURCE_DIR}/programs/pascal.idl)
+add_test(NAME podsc_ablation
+         COMMAND podsc --pes 6 --block-range --page 8 --no-cache --verify
+                 ${CMAKE_SOURCE_DIR}/programs/heat.idl)
