@@ -30,6 +30,7 @@ struct NFrame {
   std::uint64_t ctx = 0;
   std::uint32_t pc = 0;
   std::uint16_t blockedSlot = kNoSlot;
+  std::uint16_t gen = 0;  // bumped (mod 4096) every time this storage retires
   bool blocked = false;
   bool dead = false;
   std::vector<Value> slots;
@@ -53,6 +54,19 @@ struct NArray {
         elems(static_cast<std::size_t>(s.numElems())) {}
 };
 
+/// Owner-thread-only event counters; read cross-thread only after join().
+struct WorkerStats {
+  std::int64_t tokensIn = 0;       // tokens drained from the inbox
+  std::int64_t tokensOut = 0;      // tokens this worker sent (local + remote)
+  std::int64_t tokensDropped = 0;  // tokens to dead / stale-generation frames
+  std::int64_t framesCreated = 0;
+  std::int64_t framesRetired = 0;
+  std::int64_t framesReused = 0;   // creations served from the free list
+  std::int64_t idleTransitions = 0;
+  std::int64_t instructions = 0;
+  PeakGauge liveFrames;
+};
+
 struct Worker {
   // Cross-thread: the inbox.
   std::mutex m;
@@ -61,9 +75,11 @@ struct Worker {
 
   // Owner-thread-only state.
   std::vector<std::unique_ptr<NFrame>> frames;
+  std::vector<std::uint32_t> freeList;  // retired frame indices, ready to reuse
   std::unordered_map<std::uint64_t, std::uint32_t> match;
   std::deque<std::uint32_t> ready;
   std::uint64_t ctxCounter = 0;
+  WorkerStats st;
   std::thread thread;
 };
 
@@ -85,22 +101,52 @@ struct NativeMachine::Impl {
   std::vector<bool> resultSet;
   std::string error;
 
-  // Liveness: live frames + in-flight cross-thread tokens. Hitting zero
-  // terminates the machine.
+  // --- quiescence protocol ---------------------------------------------------
+  //
+  // Termination and deadlock are decided by counting, never by timeouts.
+  //
+  //   pending     = live frames + cross-thread tokens not yet consumed.
+  //                 Senders increment *before* the token becomes visible;
+  //                 the moment it reaches zero the program is finished
+  //                 (nothing can ever create work again) and stop is raised.
+  //   inboxTokens = cross-thread tokens enqueued and not yet drained;
+  //                 distinguishes "frames alive but every token consumed"
+  //                 (deadlock) from "work still in flight".
+  //   idleWorkers = workers registered idle (empty ready list, empty inbox).
+  //   wakeEpoch   = bumped every time a worker leaves its cv wait — strictly
+  //                 after it deregisters from idleWorkers and strictly
+  //                 before it consumes anything.
+  //
+  // Deadlock = all workers idle, no tokens in flight, frames still alive.
+  // The check runs when a worker registers idle, as a double-collect guarded
+  // by wakeEpoch: read e1, read the three counters, re-read the epoch. If
+  // e2 == e1, no worker left its wait inside the window. The ordering rule
+  // makes that conclusive: any consumption is preceded (in the seq_cst total
+  // order) by that worker's deregistration and then its epoch bump, so a
+  // consumption that could invalidate the inboxTokens/pending reads either
+  // bumps the epoch inside the window (check fails, retried by a later
+  // registrant) or deregistered before the window (then idleWorkers == N
+  // already proves it re-registered with nothing runnable). Hence a passing
+  // check means every worker sat idle across all three reads and the frames
+  // counted in `pending` can never be fed another token — exact, with no
+  // grace-period sleep and no wait_for polling. The cv waits are untimed;
+  // every wake source (token push, stop) notifies under that worker's
+  // mutex, so wakeups cannot be missed. Protocol atomics use the default
+  // seq_cst ordering — the double-collect argument leans on its single
+  // total order; per-event stats stay in owner-thread WorkerStats instead.
   std::atomic<std::int64_t> pending{0};
   std::atomic<std::int64_t> inboxTokens{0};
   std::atomic<int> idleWorkers{0};
+  std::atomic<std::uint64_t> wakeEpoch{0};
   std::atomic<bool> stop{false};
-
-  // Statistics.
-  std::atomic<std::int64_t> framesCreated{0};
-  std::atomic<std::int64_t> tokensSent{0};
-  std::atomic<std::int64_t> instructions{0};
 
   Impl(const SpProgram& p, NativeConfig c) : prog(p), cfg(c) {
     PODS_CHECK_MSG(c.numWorkers >= 1 && c.numWorkers <= 256,
                    "numWorkers must be in [1, 256]");
     PODS_CHECK(c.pageElems >= 1 && c.pageElems <= 4096);
+    PODS_CHECK_MSG(c.sliceInstructions >= 1,
+                   "sliceInstructions must be >= 1 (a zero budget would "
+                   "requeue frames forever without progress)");
     for (int i = 0; i < c.numWorkers; ++i)
       workers.push_back(std::make_unique<Worker>());
     results.resize(static_cast<std::size_t>(prog.numResults));
@@ -133,12 +179,62 @@ struct NativeMachine::Impl {
   }
 
   void send(int fromPe, int toPe, NToken tok) {
-    tokensSent.fetch_add(1, std::memory_order_relaxed);
+    workers[static_cast<std::size_t>(fromPe)]->st.tokensOut++;
     if (toPe == fromPe) {
       deliver(fromPe, tok);  // owner thread: direct delivery
     } else {
       enqueue(toPe, std::move(tok));
     }
+  }
+
+  /// Allocates a frame on worker `w`, preferring recycled storage from the
+  /// free list. The generation of reused storage was bumped at retire time,
+  /// so continuations into the previous occupant no longer match.
+  std::uint32_t createFrame(Worker& w, std::uint16_t spCode,
+                            std::uint64_t ctx) {
+    std::uint32_t frameIdx;
+    if (!w.freeList.empty()) {
+      frameIdx = w.freeList.back();
+      w.freeList.pop_back();
+      NFrame& f = *w.frames[frameIdx];
+      f.spCode = spCode;
+      f.ctx = ctx;
+      f.pc = 0;
+      f.blockedSlot = kNoSlot;
+      f.blocked = false;
+      f.dead = false;
+      f.slots.assign(prog.sp(spCode).numSlots, Value{});
+      w.st.framesReused++;
+    } else {
+      frameIdx = static_cast<std::uint32_t>(w.frames.size());
+      if (frameIdx > Cont::kMaxFrame) {
+        fail("worker frame table overflow (> 16M live frames)");
+        return frameIdx;
+      }
+      auto f = std::make_unique<NFrame>();
+      f->spCode = spCode;
+      f->ctx = ctx;
+      f->slots.assign(prog.sp(spCode).numSlots, Value{});
+      w.frames.push_back(std::move(f));
+    }
+    w.match[ctx] = frameIdx;
+    w.ready.push_back(frameIdx);
+    pending.fetch_add(1);  // a live frame
+    w.st.framesCreated++;
+    w.st.liveFrames.inc();
+    return frameIdx;
+  }
+
+  /// Retires a frame: storage goes to the free list, the generation bump
+  /// invalidates every outstanding continuation into it.
+  void retireFrame(Worker& w, std::uint32_t frameIdx, NFrame& f) {
+    f.dead = true;
+    f.gen = static_cast<std::uint16_t>((f.gen + 1) & Cont::kGenMask);
+    f.slots.clear();  // drop payloads; capacity is kept for reuse
+    w.match.erase(f.ctx);
+    w.freeList.push_back(frameIdx);
+    w.st.framesRetired++;
+    w.st.liveFrames.dec();
   }
 
   /// Owner-thread token delivery (frame creation, slot write, wake-up).
@@ -149,20 +245,16 @@ struct NativeMachine::Impl {
     if (tok.toCont) {
       frameIdx = tok.cont.frame;
       slot = tok.cont.slot;
-      if (frameIdx >= w.frames.size() || w.frames[frameIdx]->dead) return;
+      if (frameIdx >= w.frames.size() || w.frames[frameIdx]->dead ||
+          w.frames[frameIdx]->gen != tok.cont.gen) {
+        w.st.tokensDropped++;  // stale continuation: the frame is gone
+        return;
+      }
     } else {
       auto it = w.match.find(tok.ctx);
       if (it == w.match.end()) {
-        auto f = std::make_unique<NFrame>();
-        f->spCode = tok.spCode;
-        f->ctx = tok.ctx;
-        f->slots.assign(prog.sp(tok.spCode).numSlots, Value{});
-        frameIdx = static_cast<std::uint32_t>(w.frames.size());
-        w.frames.push_back(std::move(f));
-        w.match[tok.ctx] = frameIdx;
-        w.ready.push_back(frameIdx);
-        pending.fetch_add(1);  // a live frame
-        framesCreated.fetch_add(1, std::memory_order_relaxed);
+        frameIdx = createFrame(w, tok.spCode, tok.ctx);
+        if (frameIdx > Cont::kMaxFrame) return;  // overflow already failed
       } else {
         frameIdx = it->second;
       }
@@ -197,6 +289,26 @@ struct NativeMachine::Impl {
     return id < arrays.size() ? arrays[id].get() : nullptr;
   }
 
+  /// Resolves an array operand for ARD/AWR/RFLO/RFHI/DIMQ. Returns nullptr
+  /// after reporting the failure: the operand may hold a non-array value
+  /// (ill-typed program) or an id no allocation ever produced (stale or
+  /// corrupted handle) — neither may be dereferenced.
+  NArray* arrayOperand(const NFrame& f, std::uint16_t slot, const SpCode& sp,
+                       const char* what) {
+    const Value& v = f.slots[slot];
+    if (!v.isArray()) {
+      fail(std::string(what) + " on non-array operand " + v.str() + " in " +
+           sp.name);
+      return nullptr;
+    }
+    NArray* a = findArray(v.asArray());
+    if (a == nullptr) {
+      fail(std::string(what) + " on unknown array id " +
+           std::to_string(v.asArray()) + " in " + sp.name);
+    }
+    return a;
+  }
+
   // --- frame execution --------------------------------------------------------
 
   enum class Step { Continue, Blocked, Ended, Stopped };
@@ -208,7 +320,7 @@ struct NativeMachine::Impl {
     return false;
   }
 
-  Step step(int pe, NFrame& f) {
+  Step step(int pe, std::uint32_t frameIdx, NFrame& f) {
     const SpCode& sp = prog.sp(f.spCode);
     PODS_CHECK(f.pc < sp.code.size());
     const Instr& in = sp.code[f.pc];
@@ -234,7 +346,8 @@ struct NativeMachine::Impl {
         break;
     }
 
-    instructions.fetch_add(1, std::memory_order_relaxed);
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    w.st.instructions++;
     std::uint32_t nextPc = f.pc + 1;
 
     if (isBinaryOp(in.op)) {
@@ -264,22 +377,16 @@ struct NativeMachine::Impl {
       case Op::NUMPE:
         f.slots[in.dst] = Value::intv(cfg.numWorkers);
         break;
-      case Op::NEWCTX: {
-        Worker& w = *workers[static_cast<std::size_t>(pe)];
+      case Op::NEWCTX:
         f.slots[in.dst] = Value::intv(static_cast<std::int64_t>(
             (std::uint64_t(static_cast<unsigned>(pe)) << 40) | ++w.ctxCounter));
         break;
-      }
       case Op::MKCONT: {
-        Worker& w = *workers[static_cast<std::size_t>(pe)];
-        // The running frame is the one we're stepping; find its index via
-        // the match table (context keys are unique).
-        auto it = w.match.find(f.ctx);
-        PODS_CHECK(it != w.match.end());
         Cont c;
         c.pe = static_cast<std::uint16_t>(pe);
-        c.frame = it->second;
+        c.frame = frameIdx;
         c.slot = static_cast<std::uint16_t>(in.aux);
+        c.gen = f.gen;
         f.slots[in.dst] = Value::contv(c);
         break;
       }
@@ -301,7 +408,8 @@ struct NativeMachine::Impl {
         break;
       }
       case Op::ARD: {
-        NArray* a = findArray(f.slots[in.a].asArray());
+        NArray* a = arrayOperand(f, in.a, sp, "array read");
+        if (a == nullptr) return Step::Stopped;
         const std::int64_t i0 = f.slots[in.b].asInt();
         const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
         std::int64_t offset;
@@ -310,10 +418,7 @@ struct NativeMachine::Impl {
           return Step::Stopped;
         }
         f.slots[in.dst] = Value{};
-        Worker& w = *workers[static_cast<std::size_t>(pe)];
-        auto it = w.match.find(f.ctx);
-        PODS_CHECK(it != w.match.end());
-        Cont c{static_cast<std::uint16_t>(pe), it->second, in.dst};
+        Cont c{static_cast<std::uint16_t>(pe), frameIdx, in.dst, f.gen};
         Value v;
         bool present = false;
         {
@@ -330,7 +435,8 @@ struct NativeMachine::Impl {
         break;
       }
       case Op::AWR: {
-        NArray* a = findArray(f.slots[in.a].asArray());
+        NArray* a = arrayOperand(f, in.a, sp, "array write");
+        if (a == nullptr) return Step::Stopped;
         const std::int64_t i0 = f.slots[in.b].asInt();
         const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
         std::int64_t offset;
@@ -365,7 +471,8 @@ struct NativeMachine::Impl {
       }
       case Op::RFLO:
       case Op::RFHI: {
-        NArray* a = findArray(f.slots[in.a].asArray());
+        NArray* a = arrayOperand(f, in.a, sp, "range filter");
+        if (a == nullptr) return Step::Stopped;
         IdxRange r;
         if (in.dim == 0) {
           r = a->layout.ownedRows(pe);
@@ -384,7 +491,8 @@ struct NativeMachine::Impl {
         break;
       }
       case Op::DIMQ: {
-        NArray* a = findArray(f.slots[in.a].asArray());
+        NArray* a = arrayOperand(f, in.a, sp, "dimension query");
+        if (a == nullptr) return Step::Stopped;
         f.slots[in.dst] =
             Value::intv(in.dim == 1 ? a->shape.dim1 : a->shape.dim0);
         break;
@@ -432,13 +540,7 @@ struct NativeMachine::Impl {
         break;
       }
       case Op::END:
-        f.dead = true;
-        f.slots.clear();
-        f.slots.shrink_to_fit();
-        {
-          Worker& w = *workers[static_cast<std::size_t>(pe)];
-          w.match.erase(f.ctx);
-        }
+        retireFrame(w, frameIdx, f);
         return Step::Ended;
       default:
         PODS_UNREACHABLE("unhandled opcode");
@@ -470,6 +572,7 @@ struct NativeMachine::Impl {
     }
     if (batch.empty()) return;
     inboxTokens.fetch_sub(static_cast<std::int64_t>(batch.size()));
+    w.st.tokensIn += static_cast<std::int64_t>(batch.size());
     for (NToken& tok : batch) {
       deliver(pe, tok);
       finishPending();  // token consumed
@@ -491,7 +594,7 @@ struct NativeMachine::Impl {
     NFrame& f = *w.frames[frameIdx];
     if (f.dead) return;
     for (int k = 0; k < cfg.sliceInstructions; ++k) {
-      Step s = step(pe, f);
+      Step s = step(pe, frameIdx, f);
       if (s == Step::Continue) continue;
       if (s == Step::Ended) finishPending();  // frame retired
       return;  // Blocked / Ended / Stopped
@@ -510,30 +613,28 @@ struct NativeMachine::Impl {
         runSlice(pe, idx);
         continue;
       }
-      // Idle: wait for tokens (or termination).
+      // Idle: register, run the quiescence check, then block on the cv until
+      // a token push or stop notifies us (no timeout — every wake source
+      // notifies under w.m, so a wakeup can't be missed).
       std::unique_lock<std::mutex> g(w.m);
       if (!w.inbox.empty() || stop.load()) continue;
+      w.st.idleTransitions++;
       idleWorkers.fetch_add(1);
-      // Deadlock check: everyone idle, nothing in flight, frames alive.
+      const std::uint64_t e1 = wakeEpoch.load();
       if (idleWorkers.load() == cfg.numWorkers && inboxTokens.load() == 0 &&
-          pending.load() > 0 && !stop.load()) {
+          pending.load() > 0 && wakeEpoch.load() == e1 && !stop.load()) {
+        // Stable double-collect: no worker woke between the two epoch reads,
+        // so all of them were idle across every read above — the frames
+        // counted in `pending` can never be fed another token.
         g.unlock();
-        // Double-check after a grace period (another worker may be mid-send;
-        // sends increment pending *before* enqueueing, so a stable snapshot
-        // across the sleep is conclusive).
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-        if (idleWorkers.load() == cfg.numWorkers && inboxTokens.load() == 0 &&
-            pending.load() > 0 && !stop.load()) {
-          fail("deadlock: " + std::to_string(pending.load()) +
-               " live SPs blocked forever");
-        }
+        fail("deadlock: " + std::to_string(pending.load()) +
+             " live SPs blocked forever");
         idleWorkers.fetch_sub(1);
         continue;
       }
-      w.cv.wait_for(g, std::chrono::milliseconds(10), [&] {
-        return !w.inbox.empty() || stop.load();
-      });
+      w.cv.wait(g, [&] { return !w.inbox.empty() || stop.load(); });
       idleWorkers.fetch_sub(1);
+      wakeEpoch.fetch_add(1);  // deregister first, bump second, consume last
     }
   }
 
@@ -541,18 +642,7 @@ struct NativeMachine::Impl {
     auto t0 = std::chrono::steady_clock::now();
     // Boot main on worker 0 via a spawn token carrying no payload slot —
     // create the frame directly instead (main may take no arguments).
-    {
-      Worker& w0 = *workers[0];
-      auto f = std::make_unique<NFrame>();
-      f->spCode = prog.mainSp;
-      f->ctx = 0;
-      f->slots.assign(prog.sp(prog.mainSp).numSlots, Value{});
-      w0.frames.push_back(std::move(f));
-      w0.match[0] = 0;
-      w0.ready.push_back(0);
-      pending.store(1);
-      framesCreated.store(1);
-    }
+    createFrame(*workers[0], prog.mainSp, 0);
     for (int i = 0; i < cfg.numWorkers; ++i) {
       workers[static_cast<std::size_t>(i)]->thread =
           std::thread([this, i] { workerMain(i); });
@@ -573,9 +663,31 @@ struct NativeMachine::Impl {
       }
     }
     out.ok = out.error.empty();
-    out.counters.add("native.frames", framesCreated.load());
-    out.counters.add("native.tokens", tokensSent.load());
-    out.counters.add("native.instructions", instructions.load());
+
+    // Per-worker counters (threads joined: owner-only state is now visible),
+    // rolled up into the aggregate "native.*" namespace.
+    std::int64_t frames = 0, tokens = 0;
+    for (const auto& w : workers) {
+      Counters c;
+      c.add("tokensIn", w->st.tokensIn);
+      c.add("tokensOut", w->st.tokensOut);
+      c.add("tokensDropped", w->st.tokensDropped);
+      c.add("framesCreated", w->st.framesCreated);
+      c.add("framesRetired", w->st.framesRetired);
+      c.add("framesReused", w->st.framesReused);
+      c.add("framesPeak", w->st.liveFrames.peak());
+      c.add("framesLive", w->st.liveFrames.current());
+      c.add("idleTransitions", w->st.idleTransitions);
+      c.add("instructions", w->st.instructions);
+      out.counters.mergePrefixed(c, "native.");
+      out.perWorker.push_back(std::move(c));
+      frames += w->st.framesCreated;
+      tokens += w->st.tokensOut;
+    }
+    // Legacy aliases kept stable for existing consumers; "native.instructions"
+    // already exists via the prefixed merge above.
+    out.counters.add("native.frames", frames);
+    out.counters.add("native.tokens", tokens);
     out.counters.add("native.workers", cfg.numWorkers);
     return out;
   }

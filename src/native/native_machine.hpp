@@ -14,8 +14,12 @@
 //    slots, split-phase I-structure reads with deferred-read wake-up,
 //    counted completion joins, Range Filters computed from array headers
 //    with the worker count as the PE count;
-//  - single assignment is enforced; violations, bounds errors, and
-//    deadlocks (all workers idle with live SPs) are detected and reported.
+//  - single assignment is enforced; violations, bounds errors, stale array
+//    handles, and deadlocks (all workers idle with live SPs) are detected
+//    and reported — termination and deadlock are decided by a counting
+//    quiescence protocol over live frames + in-flight tokens, never by
+//    grace-period sleeps or polling timeouts (docs/ARCHITECTURE.md,
+//    "Native runtime termination & memory model").
 //
 // Because the language is single-assignment, results are bit-identical to
 // the simulator and the evaluators regardless of thread interleaving —
@@ -38,6 +42,8 @@ struct NativeConfig {
   int numWorkers = 4;      // the "PE count" seen by NUMPE / Range Filters
   int pageElems = 32;      // array layout granularity (ownership math only)
   int sliceInstructions = 1024;  // max instructions before draining the inbox
+                                 // (must be >= 1: a zero budget would requeue
+                                 // a frame forever without progress)
 };
 
 struct NativeResult {
@@ -45,7 +51,12 @@ struct NativeResult {
   std::string error;
   std::vector<Value> results;
   double wallSeconds = 0.0;
+  /// Aggregated run counters ("native.*"): frames created/retired/peak,
+  /// free-list reuse, tokens in/out/dropped, idle transitions, instructions.
   Counters counters;
+  /// Per-worker breakdown of the same counters (unprefixed names), index ==
+  /// worker id. framesCreated - framesRetired must be 0 after a clean run.
+  std::vector<Counters> perWorker;
 };
 
 /// One materialized array, readable after run() completes.

@@ -21,18 +21,39 @@ using ArrayId = std::uint32_t;
 /// A continuation: the address of one slot of one SP frame on one PE.
 /// Parents pass continuations to children so results / completion signals
 /// can be sent back as tokens.
+///
+/// `gen` is a generation tag: runtimes that recycle retired frame storage
+/// (the native machine's per-worker free list) bump the slot's generation on
+/// every reuse, so a token addressed to a stale continuation is detected and
+/// dropped instead of landing in an unrelated frame. Engines with
+/// monotonically numbered frames (the simulator) leave it 0.
+///
+/// Packed layout (64 bits): pe:12 | gen:12 | frame:24 | slot:16. The field
+/// widths mirror the machine limits (<= 4096 PEs, 16M live frames per PE);
+/// pack() checks them so an overflow fails loudly instead of aliasing.
+/// A generation wraps after 4096 reuses of one frame index — an erroneous
+/// continuation held across a full wrap could alias, which we accept: within
+/// one run, well-formed programs only send to live continuations.
 struct Cont {
   std::uint16_t pe = 0;
   std::uint32_t frame = 0;
   std::uint16_t slot = 0;
+  std::uint16_t gen = 0;
+
+  static constexpr std::uint32_t kMaxFrame = (1u << 24) - 1;
+  static constexpr std::uint16_t kGenMask = 0xFFF;
 
   std::uint64_t pack() const {
-    return (std::uint64_t(pe) << 48) | (std::uint64_t(frame) << 16) | slot;
+    PODS_CHECK_MSG(pe < (1u << 12) && frame <= kMaxFrame && gen <= kGenMask,
+                   "continuation field out of packable range");
+    return (std::uint64_t(pe) << 52) | (std::uint64_t(gen) << 40) |
+           (std::uint64_t(frame) << 16) | slot;
   }
   static Cont unpack(std::uint64_t bits) {
-    return Cont{static_cast<std::uint16_t>(bits >> 48),
-                static_cast<std::uint32_t>((bits >> 16) & 0xFFFFFFFFULL),
-                static_cast<std::uint16_t>(bits & 0xFFFFULL)};
+    return Cont{static_cast<std::uint16_t>(bits >> 52),
+                static_cast<std::uint32_t>((bits >> 16) & 0xFFFFFFULL),
+                static_cast<std::uint16_t>(bits & 0xFFFFULL),
+                static_cast<std::uint16_t>((bits >> 40) & 0xFFFULL)};
   }
 };
 
@@ -101,7 +122,8 @@ inline std::string Value::str() const {
     case Tag::Cont: {
       Cont c = Cont::unpack(bits);
       return "cont(pe=" + std::to_string(c.pe) + ",fr=" + std::to_string(c.frame) +
-             ",slot=" + std::to_string(c.slot) + ")";
+             ",slot=" + std::to_string(c.slot) +
+             (c.gen ? ",gen=" + std::to_string(c.gen) : "") + ")";
     }
   }
   return "<bad>";

@@ -40,9 +40,32 @@ class Counters {
   void merge(const Counters& other) {
     for (const auto& [k, v] : other.map_) map_[k] += v;
   }
+  /// merge() with every incoming name prefixed — used to roll per-resource
+  /// counter sets (e.g. one per native worker) into one namespaced total.
+  void mergePrefixed(const Counters& other, const std::string& prefix) {
+    for (const auto& [k, v] : other.map_) map_[prefix + k] += v;
+  }
 
  private:
   std::map<std::string, std::int64_t> map_;
+};
+
+/// A level gauge with a high-water mark: current value plus the peak it ever
+/// reached. Used for per-worker live-frame accounting in the native runtime
+/// (frames live/peak), where "peak vs retired" is the leak check.
+class PeakGauge {
+ public:
+  void inc(std::int64_t delta = 1) {
+    cur_ += delta;
+    if (cur_ > peak_) peak_ = cur_;
+  }
+  void dec(std::int64_t delta = 1) { cur_ -= delta; }
+  std::int64_t current() const { return cur_; }
+  std::int64_t peak() const { return peak_; }
+
+ private:
+  std::int64_t cur_ = 0;
+  std::int64_t peak_ = 0;
 };
 
 /// Simple online mean/min/max accumulator.

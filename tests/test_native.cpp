@@ -55,6 +55,10 @@ TEST(Native, SimpleBenchmarkEndToEnd) {
   EXPECT_TRUE(sameOutputs(run.out, seq.out, &why)) << why;
   EXPECT_GT(run.stats.counters.get("native.frames"), 10);
   EXPECT_GT(run.stats.counters.get("native.instructions"), 1000);
+  // Frame ledger balances: every created frame was retired through END.
+  EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
+            run.stats.counters.get("native.framesRetired"));
+  EXPECT_EQ(run.stats.counters.get("native.framesLive"), 0);
 }
 
 TEST(Native, DeterministicAcrossWorkerCountsAndReruns) {

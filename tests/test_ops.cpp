@@ -30,6 +30,21 @@ TEST(Value, ContRoundTrip) {
   EXPECT_EQ(d.pe, 31);
   EXPECT_EQ(d.frame, 0xABCDEFu);
   EXPECT_EQ(d.slot, 512);
+  EXPECT_EQ(d.gen, 0);
+}
+
+TEST(Value, ContRoundTripAtFieldLimits) {
+  // Extremes of the packed layout (pe:12 | gen:12 | frame:24 | slot:16):
+  // every field must survive independently, including kNoSlot.
+  Cont c{4095, Cont::kMaxFrame, kNoSlot, Cont::kGenMask};
+  Cont d = Value::contv(c).asCont();
+  EXPECT_EQ(d.pe, 4095);
+  EXPECT_EQ(d.frame, Cont::kMaxFrame);
+  EXPECT_EQ(d.slot, kNoSlot);
+  EXPECT_EQ(d.gen, Cont::kGenMask);
+  // Generations distinguish reuses of the same frame index.
+  Cont g1{2, 77, 5, 1}, g2{2, 77, 5, 2};
+  EXPECT_NE(Value::contv(g1).asCont().gen, Value::contv(g2).asCont().gen);
 }
 
 TEST(Value, Truthiness) {

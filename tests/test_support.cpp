@@ -58,6 +58,35 @@ TEST(Counters, AddGetMerge) {
   EXPECT_EQ(a.get("y"), 7);
 }
 
+TEST(Counters, MergePrefixedNamespaces) {
+  Counters total, worker;
+  worker.add("tokensIn", 3);
+  worker.add("framesCreated", 2);
+  total.add("native.tokensIn", 1);
+  total.mergePrefixed(worker, "native.");
+  EXPECT_EQ(total.get("native.tokensIn"), 4);
+  EXPECT_EQ(total.get("native.framesCreated"), 2);
+  EXPECT_EQ(total.get("tokensIn"), 0);  // unprefixed name untouched
+}
+
+TEST(PeakGauge, TracksCurrentAndHighWaterMark) {
+  PeakGauge g;
+  EXPECT_EQ(g.current(), 0);
+  EXPECT_EQ(g.peak(), 0);
+  g.inc();
+  g.inc(2);
+  EXPECT_EQ(g.current(), 3);
+  EXPECT_EQ(g.peak(), 3);
+  g.dec(2);
+  EXPECT_EQ(g.current(), 1);
+  EXPECT_EQ(g.peak(), 3);  // peak is sticky
+  g.inc();
+  EXPECT_EQ(g.peak(), 3);  // returning below the peak doesn't move it
+  g.inc(5);
+  EXPECT_EQ(g.current(), 7);
+  EXPECT_EQ(g.peak(), 7);
+}
+
 TEST(Summary, MinMaxMean) {
   Summary s;
   EXPECT_EQ(s.count(), 0);

@@ -231,6 +231,22 @@ int main(int argc, char** argv) {
     }
     std::printf("engine=native workers=%d wall time: %.3f ms\n", o.pes,
                 run.stats.wallSeconds * 1e3);
+    if (o.stats) {
+      for (const auto& [k, v] : run.stats.counters.all()) {
+        std::printf("  %-28s %lld\n", k.c_str(), static_cast<long long>(v));
+      }
+      for (std::size_t w = 0; w < run.stats.perWorker.size(); ++w) {
+        const pods::Counters& c = run.stats.perWorker[w];
+        std::printf("  worker %-2zu frames=%lld peak=%lld reused=%lld "
+                    "tokensIn=%lld tokensOut=%lld idle=%lld\n",
+                    w, static_cast<long long>(c.get("framesCreated")),
+                    static_cast<long long>(c.get("framesPeak")),
+                    static_cast<long long>(c.get("framesReused")),
+                    static_cast<long long>(c.get("tokensIn")),
+                    static_cast<long long>(c.get("tokensOut")),
+                    static_cast<long long>(c.get("idleTransitions")));
+      }
+    }
     out = std::move(run.out);
   }
 
