@@ -1,12 +1,15 @@
 #include "native/native_machine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "runtime/ops.hpp"
 #include "support/check.hpp"
@@ -23,6 +26,9 @@ struct NToken {
   Cont cont{};
   Value v{};
   bool add = false;
+  /// Nonzero only under fault injection: unique id of this cross-worker
+  /// message, shared by duplicate copies so the receiver can suppress them.
+  std::uint64_t msgId = 0;
 };
 
 struct NFrame {
@@ -64,6 +70,7 @@ struct WorkerStats {
   std::int64_t framesReused = 0;   // creations served from the free list
   std::int64_t idleTransitions = 0;
   std::int64_t instructions = 0;
+  std::int64_t dupSuppressed = 0;  // duplicate faulty messages deduplicated
   PeakGauge liveFrames;
 };
 
@@ -79,8 +86,35 @@ struct Worker {
   std::unordered_map<std::uint64_t, std::uint32_t> match;
   std::deque<std::uint32_t> ready;
   std::uint64_t ctxCounter = 0;
+  /// Owner-thread-only dedup set for fault injection: msgIds of faulty
+  /// messages already delivered, so duplicate copies are suppressed before
+  /// they can re-apply a non-idempotent token (ADDC, spawn-by-token).
+  std::unordered_set<std::uint64_t> seenMsgs;
+  /// Owner-thread-only retired-instance ledger for fault injection:
+  /// contexts whose frame already ran END here. NEWCTX never reuses a
+  /// context, so a ctx-matched token arriving late (reordered by injected
+  /// delay/retransmit) for a retired context is a straggler the instance
+  /// never needed — it must be dropped, not spawn a zombie frame.
+  std::unordered_set<std::uint64_t> retiredCtxs;
   WorkerStats st;
   std::thread thread;
+};
+
+/// A token parked in the retransmit daemon: either a dropped message waiting
+/// for its backoff to expire (`redecide` — the resend rolls fresh fault
+/// dice) or a delayed one waiting out its injected latency (delivered as-is).
+struct RetxItem {
+  std::chrono::steady_clock::time_point due;
+  int toPe = 0;
+  std::uint32_t attempt = 1;
+  bool redecide = true;
+  NToken tok;
+};
+
+struct RetxLater {
+  bool operator()(const RetxItem& a, const RetxItem& b) const {
+    return a.due > b.due;  // min-heap on due time
+  }
 };
 
 }  // namespace
@@ -140,7 +174,32 @@ struct NativeMachine::Impl {
   std::atomic<std::uint64_t> wakeEpoch{0};
   std::atomic<bool> stop{false};
 
-  Impl(const SpProgram& p, NativeConfig c) : prog(p), cfg(c) {
+  // --- fault injection (cfg.faults; docs/ARCHITECTURE.md) --------------------
+  //
+  // Cross-worker tokens pass through an unreliable-transport shim: seeded
+  // dice drop, duplicate, or delay each transmission. Dropped and delayed
+  // tokens are parked in `retxQ` and re-driven by the retransmit daemon with
+  // exponential backoff; crucially they KEEP their pending/inboxTokens
+  // increments while parked, so the quiescence protocol above stays exact —
+  // an in-retransmit token reads as in-flight work, never as quiescence.
+  // Duplicate copies get their own increments and are consumed when the
+  // receiver's seenMsgs dedup drops them.
+  FaultPlan plan;
+  std::atomic<std::uint64_t> netSeq{0};
+  std::atomic<std::int64_t> faultDrops{0};
+  std::atomic<std::int64_t> faultDups{0};
+  std::atomic<std::int64_t> faultDelays{0};
+  std::atomic<std::int64_t> faultStalls{0};
+  std::atomic<std::int64_t> retxResent{0};
+  std::mutex retxM;
+  std::condition_variable retxCv;
+  std::priority_queue<RetxItem, std::vector<RetxItem>, RetxLater> retxQ;
+  bool retxStop = false;  // guarded by retxM; set only after workers join
+  std::thread retxThread;
+  std::thread monitorThread;
+
+  Impl(const SpProgram& p, NativeConfig c)
+      : prog(p), cfg(c), plan(c.faults) {
     PODS_CHECK_MSG(c.numWorkers >= 1 && c.numWorkers <= 256,
                    "numWorkers must be in [1, 256]");
     PODS_CHECK(c.pageElems >= 1 && c.pageElems <= 4096);
@@ -167,15 +226,117 @@ struct NativeMachine::Impl {
 
   // --- tokens ---------------------------------------------------------------
 
-  void enqueue(int pe, NToken tok) {
-    pending.fetch_add(1);
-    inboxTokens.fetch_add(1);
+  /// Makes a cross-thread token visible to worker `pe` (no accounting — the
+  /// caller has already charged pending/inboxTokens for this copy).
+  void pushInbox(int pe, NToken tok) {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
     {
       std::lock_guard<std::mutex> g(w.m);
       w.inbox.push_back(std::move(tok));
     }
     w.cv.notify_one();
+  }
+
+  void enqueue(int pe, NToken tok) {
+    pending.fetch_add(1);
+    inboxTokens.fetch_add(1);
+    if (plan.enabled()) {
+      if (tok.msgId == 0) tok.msgId = netSeq.fetch_add(1) + 1;
+      transmit(pe, std::move(tok), /*attempt=*/1);
+      return;
+    }
+    pushInbox(pe, std::move(tok));
+  }
+
+  /// One transmission attempt of a faulty cross-worker token: rolls the
+  /// seeded dice, then delivers, duplicates, or hands the token to the
+  /// retransmit daemon. The token's quiescence charges ride along untouched.
+  void transmit(int pe, NToken tok, std::uint32_t attempt) {
+    switch (plan.action(netSeq.fetch_add(1) + 1)) {
+      case FaultAction::Drop:
+        faultDrops.fetch_add(1);
+        if (static_cast<int>(attempt) >= plan.config().maxAttempts) {
+          fail("reliable delivery gave up on a token to worker " +
+               std::to_string(pe) + " after " + std::to_string(attempt) +
+               " attempts");
+          return;
+        }
+        scheduleRetx(pe, std::move(tok), attempt, /*redecide=*/true);
+        break;
+      case FaultAction::Duplicate: {
+        faultDups.fetch_add(1);
+        NToken copy = tok;
+        pushInbox(pe, std::move(tok));
+        // The duplicate is a real extra message: it carries its own
+        // quiescence charges, consumed when the receiver dedups it.
+        pending.fetch_add(1);
+        inboxTokens.fetch_add(1);
+        pushInbox(pe, std::move(copy));
+        break;
+      }
+      case FaultAction::Delay:
+        faultDelays.fetch_add(1);
+        scheduleRetx(pe, std::move(tok), attempt, /*redecide=*/false);
+        break;
+      case FaultAction::Deliver:
+        pushInbox(pe, std::move(tok));
+        break;
+    }
+  }
+
+  void scheduleRetx(int pe, NToken tok, std::uint32_t attempt, bool redecide) {
+    const FaultConfig& fc = plan.config();
+    const std::uint32_t doublings = std::min<std::uint32_t>(
+        attempt - 1, static_cast<std::uint32_t>(fc.maxBackoffDoublings));
+    const double us = redecide
+                          ? fc.nativeRetryUs *
+                                static_cast<double>(1ULL << doublings)
+                          : fc.nativeDelayUs;
+    RetxItem item;
+    item.due = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::micro>(us));
+    item.toPe = pe;
+    item.attempt = attempt;
+    item.redecide = redecide;
+    item.tok = std::move(tok);
+    {
+      std::lock_guard<std::mutex> g(retxM);
+      retxQ.push(std::move(item));
+    }
+    retxCv.notify_one();
+  }
+
+  /// The retransmit daemon: sleeps until the earliest due token, then
+  /// re-drives it — a delayed token is delivered as-is; a dropped one counts
+  /// as a resend and rolls fresh dice (it may be dropped again, backing off
+  /// exponentially up to maxAttempts). Exits only when run() raises
+  /// `retxStop` after the workers have joined; parked tokens hold pending
+  /// and inboxTokens charges, so the program cannot terminate or declare
+  /// deadlock while anything is still in here.
+  void retxMain() {
+    std::unique_lock<std::mutex> g(retxM);
+    while (!retxStop) {
+      if (retxQ.empty()) {
+        retxCv.wait(g, [&] { return retxStop || !retxQ.empty(); });
+        continue;
+      }
+      const auto due = retxQ.top().due;
+      if (retxCv.wait_until(g, due, [&] { return retxStop; })) break;
+      while (!retxQ.empty() &&
+             retxQ.top().due <= std::chrono::steady_clock::now()) {
+        RetxItem item = retxQ.top();
+        retxQ.pop();
+        g.unlock();
+        if (item.redecide) {
+          retxResent.fetch_add(1);
+          transmit(item.toPe, std::move(item.tok), item.attempt + 1);
+        } else {
+          pushInbox(item.toPe, std::move(item.tok));
+        }
+        g.lock();
+      }
+    }
   }
 
   void send(int fromPe, int toPe, NToken tok) {
@@ -228,6 +389,7 @@ struct NativeMachine::Impl {
   /// Retires a frame: storage goes to the free list, the generation bump
   /// invalidates every outstanding continuation into it.
   void retireFrame(Worker& w, std::uint32_t frameIdx, NFrame& f) {
+    if (plan.enabled()) w.retiredCtxs.insert(f.ctx);
     f.dead = true;
     f.gen = static_cast<std::uint16_t>((f.gen + 1) & Cont::kGenMask);
     f.slots.clear();  // drop payloads; capacity is kept for reuse
@@ -240,6 +402,22 @@ struct NativeMachine::Impl {
   /// Owner-thread token delivery (frame creation, slot write, wake-up).
   void deliver(int pe, const NToken& tok) {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
+    if (tok.msgId != 0) {
+      // Fault injection: exactly-once delivery. Duplicate copies of a
+      // message are suppressed here — single-assignment slot writes would
+      // tolerate redelivery, but ADDC join counters and spawn-by-token
+      // after frame retirement would not.
+      if (!w.seenMsgs.insert(tok.msgId).second) {
+        w.st.dupSuppressed++;
+        return;
+      }
+      if (plan.stallHit(tok.msgId)) {
+        faultStalls.fetch_add(1);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::micro>(
+                plan.config().nativeStallUs));
+      }
+    }
     std::uint32_t frameIdx;
     std::uint16_t slot;
     if (tok.toCont) {
@@ -253,6 +431,10 @@ struct NativeMachine::Impl {
     } else {
       auto it = w.match.find(tok.ctx);
       if (it == w.match.end()) {
+        if (plan.enabled() && w.retiredCtxs.count(tok.ctx) != 0) {
+          w.st.tokensDropped++;  // straggler to a retired instance
+          return;
+        }
         frameIdx = createFrame(w, tok.spCode, tok.ctx);
         if (frameIdx > Cont::kMaxFrame) return;  // overflow already failed
       } else {
@@ -643,11 +825,39 @@ struct NativeMachine::Impl {
     // Boot main on worker 0 via a spawn token carrying no payload slot —
     // create the frame directly instead (main may take no arguments).
     createFrame(*workers[0], prog.mainSp, 0);
+    if (plan.enabled()) retxThread = std::thread([this] { retxMain(); });
+    if (cfg.abort != nullptr) {
+      // Idle workers block in untimed cv waits and cannot observe a bare
+      // flag, so a monitor thread watches it and fails the run (which
+      // notifies everyone). Exits on `stop` — always set by the time the
+      // workers have joined.
+      monitorThread = std::thread([this] {
+        while (!stop.load()) {
+          if (cfg.abort->load()) {
+            fail("aborted: external stop requested (watchdog); " +
+                 std::to_string(inboxTokens.load()) +
+                 " tokens in flight, pending=" +
+                 std::to_string(pending.load()));
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
     for (int i = 0; i < cfg.numWorkers; ++i) {
       workers[static_cast<std::size_t>(i)]->thread =
           std::thread([this, i] { workerMain(i); });
     }
     for (auto& w : workers) w->thread.join();
+    if (retxThread.joinable()) {
+      {
+        std::lock_guard<std::mutex> g(retxM);
+        retxStop = true;
+      }
+      retxCv.notify_all();
+      retxThread.join();
+    }
+    if (monitorThread.joinable()) monitorThread.join();
     auto t1 = std::chrono::steady_clock::now();
 
     NativeResult out;
@@ -679,6 +889,7 @@ struct NativeMachine::Impl {
       c.add("framesLive", w->st.liveFrames.current());
       c.add("idleTransitions", w->st.idleTransitions);
       c.add("instructions", w->st.instructions);
+      c.add("dupSuppressed", w->st.dupSuppressed);
       out.counters.mergePrefixed(c, "native.");
       out.perWorker.push_back(std::move(c));
       frames += w->st.framesCreated;
@@ -689,6 +900,16 @@ struct NativeMachine::Impl {
     out.counters.add("native.frames", frames);
     out.counters.add("native.tokens", tokens);
     out.counters.add("native.workers", cfg.numWorkers);
+    if (plan.enabled()) {
+      out.counters.add("fault.drops", faultDrops.load());
+      out.counters.add("fault.dups", faultDups.load());
+      out.counters.add("fault.delays", faultDelays.load());
+      out.counters.add("fault.stalls", faultStalls.load());
+      out.counters.add("net.retx.resent", retxResent.load());
+      std::int64_t dedup = 0;
+      for (const auto& w : workers) dedup += w->st.dupSuppressed;
+      out.counters.add("net.retx.dupSuppressed", dedup);
+    }
     return out;
   }
 };

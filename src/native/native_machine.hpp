@@ -27,6 +27,7 @@
 // repeated runs and varying worker counts.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -34,6 +35,7 @@
 
 #include "runtime/array_layout.hpp"
 #include "runtime/isa.hpp"
+#include "support/fault.hpp"
 #include "support/stats.hpp"
 
 namespace pods::native {
@@ -44,6 +46,18 @@ struct NativeConfig {
   int sliceInstructions = 1024;  // max instructions before draining the inbox
                                  // (must be >= 1: a zero budget would requeue
                                  // a frame forever without progress)
+  /// Fault injection (support/fault.hpp). Nonzero rates put cross-worker
+  /// token delivery behind an unreliable-transport shim: dropped/delayed
+  /// tokens are re-driven by a wall-clock retransmit daemon with
+  /// exponential backoff, duplicates are suppressed at the receiver by
+  /// message id. Injected tokens keep their quiescence accounting, so
+  /// termination and deadlock detection stay exact. Results remain
+  /// bit-identical to a fault-free run (single assignment + dedup).
+  FaultConfig faults;
+  /// Optional external abort flag (e.g. a wall-clock watchdog): observed by
+  /// a monitor thread; when it becomes true the run fails fast with an
+  /// "aborted" error instead of hanging. Pointee must outlive run().
+  std::atomic<bool>* abort = nullptr;
 };
 
 struct NativeResult {

@@ -1,9 +1,11 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <deque>
 #include <queue>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "runtime/ops.hpp"
 #include "support/check.hpp"
@@ -20,6 +22,21 @@
 // deterministic and negligible approximation. Frame creation charges the
 // Memory Manager's list-operation time as busy work without delaying the
 // first token's delivery (0.9 us, likewise negligible).
+//
+// Fault injection & reliable delivery: with any nonzero rate in
+// MachineConfig::faults, every remote message (tokens, array messages,
+// pages, broadcast copies) is carried by an ack/retransmit protocol instead
+// of the direct push. The sender registers the message in a retransmit
+// buffer, transmits a copy (which the seeded FaultPlan may drop, duplicate,
+// or delay), and arms a timeout; the receiver deduplicates by message id —
+// exactly-once delivery on top of an at-least-once wire, which is what makes
+// non-idempotent tokens (ADDC join counters, spawn-by-token) safe — then
+// acknowledges (acks roll their own fault dice; a lost ack just means one
+// more retransmission gets suppressed). Timeouts back off exponentially.
+// Everything runs in *simulated* time through the one global event queue,
+// so a faulty run is bit-deterministic for a fixed seed. Stale timer events
+// that fire after their message was acked are skipped without extending the
+// reported completion time.
 
 namespace pods::sim {
 
@@ -108,7 +125,24 @@ enum class EvKind : std::uint8_t {
   TokenDeliver,  // MU done: deliver token into the frame
   AmArrive,      // task arrival at a PE's Array Manager
   SlotFill,      // direct response into a frame slot (AM -> EU path)
+  NetDeliver,    // lossy mode: reliable message copy reaches the receiver
+  NetAckArrive,  // lossy mode: acknowledgment reaches the sender
+  NetTimeout,    // lossy mode: sender retransmit timer fires
 };
+
+const char* evKindName(EvKind k) {
+  switch (k) {
+    case EvKind::EuKick: return "EuKick";
+    case EvKind::TokenAtMu: return "TokenAtMu";
+    case EvKind::TokenDeliver: return "TokenDeliver";
+    case EvKind::AmArrive: return "AmArrive";
+    case EvKind::SlotFill: return "SlotFill";
+    case EvKind::NetDeliver: return "NetDeliver";
+    case EvKind::NetAckArrive: return "NetAckArrive";
+    case EvKind::NetTimeout: return "NetTimeout";
+  }
+  return "?";
+}
 
 struct Ev {
   SimTime t{};
@@ -117,6 +151,11 @@ struct Ev {
   std::uint16_t pe = 0;
   Token tok{};
   AmTask am{};
+  // Reliable-delivery fields (lossy mode only).
+  std::uint64_t msgId = 0;   // NetDeliver / NetAckArrive / NetTimeout
+  std::uint16_t netFrom = 0; // NetDeliver: sending PE (ack destination)
+  std::uint32_t attempt = 0; // NetTimeout: transmission this timer covers
+  bool isToken = false;      // NetDeliver payload discriminator
 };
 
 struct EvLater {
@@ -156,6 +195,29 @@ struct PeState {
       pendingRemote;  // reads in flight to a remote owner
   std::unordered_map<ArrayId, std::unordered_map<std::int64_t, Deferred>>
       deferred;  // absent elements we own with waiting readers
+
+  // Reliable-delivery receiver state (lossy mode): ids of messages already
+  // delivered, so retransmissions and injected duplicates are suppressed.
+  // Grows with the message count of the run — acceptable for simulation.
+  std::unordered_set<std::uint64_t> seenMsgs;
+  // Retired-instance ledger (lossy mode): contexts whose frame already
+  // executed END on this PE. NEWCTX never reuses a context, so a token
+  // matching a retired context is a straggler its instance provably never
+  // needed (the instance retired without it) — delivered late only because
+  // injected delays/retransmits broke the network's normal FIFO order. It
+  // must be discarded, not allowed to spawn a zombie instance.
+  std::unordered_set<std::uint64_t> retiredCtxs;
+};
+
+/// Sender-side copy of one unacknowledged reliable message (lossy mode).
+struct RetxEntry {
+  std::uint16_t fromPe = 0;
+  std::uint16_t toPe = 0;
+  bool isToken = false;
+  bool pageSized = false;
+  Token tok{};
+  AmTask am{};
+  std::uint32_t attempt = 1;  // transmissions so far
 };
 
 std::uint64_t pageKey(ArrayId arr, std::int64_t page) {
@@ -194,6 +256,13 @@ struct Machine::Impl {
   RunStats stats;
   std::vector<bool> resultSet;
   int errorCount = 0;
+  // Reliable-delivery sender state (lossy mode): unacked messages by id.
+  FaultPlan plan;
+  std::uint64_t netSeq = 0;  // message ids and fault-decision stream
+  std::unordered_map<std::uint64_t, RetxEntry> retx;
+  // Completion time excluding stale retransmit timers that fire (and are
+  // ignored) after the last real work; `now` still tracks the raw queue.
+  SimTime lastUseful{};
 
   Impl(const SpProgram& p, MachineConfig c)
       : prog(p),
@@ -212,7 +281,11 @@ struct Machine::Impl {
       stats.spProfiles[i].name = prog.sps[i].name;
     }
     tracing = !cfg.tracePath.empty();
+    plan = FaultPlan(c.faults);
   }
+
+  /// True when the lossy network + reliable-delivery protocol is active.
+  bool faulty() const { return plan.enabled(); }
 
   // --- infrastructure ------------------------------------------------------
 
@@ -284,6 +357,164 @@ struct Machine::Impl {
     pes[pe].unitBusy[static_cast<int>(Unit::EU)] += span;
   }
 
+  // --- reliable delivery over a lossy network (lossy mode only) ------------
+
+  /// Transmits one copy of reliable message `msgId` onto the wire at `at`
+  /// (the Routing Unit charge has already been paid), letting the seeded
+  /// FaultPlan drop, duplicate, or delay it.
+  void netTransmit(std::uint64_t msgId, const RetxEntry& e, SimTime at) {
+    auto deliverAt = [&](SimTime when) {
+      Ev ev;
+      ev.t = when;
+      ev.kind = EvKind::NetDeliver;
+      ev.pe = e.toPe;
+      ev.msgId = msgId;
+      ev.netFrom = e.fromPe;
+      ev.isToken = e.isToken;
+      if (e.isToken) {
+        ev.tok = e.tok;
+      } else {
+        ev.am = e.am;
+      }
+      push(std::move(ev));
+    };
+    const SimTime arrive = at + tm.networkHop;
+    switch (plan.action(++netSeq)) {
+      case FaultAction::Drop:
+        stats.counters.add("fault.drops");
+        break;  // the retransmit timer recovers it
+      case FaultAction::Duplicate:
+        stats.counters.add("fault.dups");
+        deliverAt(arrive);
+        deliverAt(arrive + tm.networkHop);
+        break;
+      case FaultAction::Delay:
+        stats.counters.add("fault.delays");
+        deliverAt(arrive + usec(cfg.faults.simDelayUs));
+        break;
+      case FaultAction::Deliver:
+        deliverAt(arrive);
+        break;
+    }
+  }
+
+  void armTimeout(std::uint64_t msgId, std::uint32_t attempt, SimTime at) {
+    Ev ev;
+    ev.t = at;
+    ev.kind = EvKind::NetTimeout;
+    ev.msgId = msgId;
+    ev.attempt = attempt;
+    push(std::move(ev));
+  }
+
+  /// Entry point of the reliable-delivery layer: registers the message in
+  /// the retransmit buffer, transmits the first copy, and arms the timeout.
+  /// `sentAt` is the Routing Unit completion time of the initial injection.
+  void netSend(std::uint16_t fromPe, std::uint16_t toPe, SimTime sentAt,
+               bool isToken, bool pageSized, Token tok, AmTask am) {
+    const std::uint64_t msgId = ++netSeq;
+    RetxEntry e;
+    e.fromPe = fromPe;
+    e.toPe = toPe;
+    e.isToken = isToken;
+    e.pageSized = pageSized;
+    e.tok = std::move(tok);
+    e.am = std::move(am);
+    auto [it, inserted] = retx.emplace(msgId, std::move(e));
+    PODS_CHECK(inserted);
+    netTransmit(msgId, it->second, sentAt);
+    armTimeout(msgId, 1, sentAt + usec(cfg.faults.simRtoUs));
+  }
+
+  /// Receiver side: dedup, dispatch to MU/AM, inject the optional PE stall,
+  /// and acknowledge (again — a duplicate means our previous ack may have
+  /// been lost, so re-ack unconditionally). Returns true when the message
+  /// was fresh (delivered payload, not a suppressed duplicate).
+  bool netDeliver(Ev& ev) {
+    PeState& P = pes[ev.pe];
+    const bool fresh = P.seenMsgs.insert(ev.msgId).second;
+    if (!fresh) {
+      stats.counters.add("net.retx.dupSuppressed");
+    } else {
+      if (plan.stallHit(++netSeq)) {
+        stats.counters.add("fault.stalls");
+        const SimTime stallEnd = ev.t + usec(cfg.faults.simStallUs);
+        if (stallEnd > P.euFree) P.euFree = stallEnd;
+      }
+      Ev fwd;
+      fwd.t = ev.t;
+      fwd.pe = ev.pe;
+      if (ev.isToken) {
+        fwd.kind = EvKind::TokenAtMu;
+        fwd.tok = std::move(ev.tok);
+      } else {
+        fwd.kind = EvKind::AmArrive;
+        fwd.am = std::move(ev.am);
+      }
+      push(std::move(fwd));
+    }
+    const SimTime done =
+        unitSched(ev.pe, Unit::RU, ev.t + tm.unitSignal, tm.tokenRoute());
+    stats.counters.add("net.retx.acks");
+    auto ackAt = [&](SimTime when) {
+      Ev ack;
+      ack.t = when;
+      ack.kind = EvKind::NetAckArrive;
+      ack.pe = ev.netFrom;
+      ack.msgId = ev.msgId;
+      push(std::move(ack));
+    };
+    const SimTime arrive = done + tm.networkHop;
+    switch (plan.action(++netSeq)) {
+      case FaultAction::Drop:
+        stats.counters.add("fault.drops");
+        break;  // sender retransmits; we will dedup and re-ack
+      case FaultAction::Duplicate:
+        stats.counters.add("fault.dups");
+        ackAt(arrive);
+        ackAt(arrive + tm.networkHop);  // second copy erases nothing
+        break;
+      case FaultAction::Delay:
+        stats.counters.add("fault.delays");
+        ackAt(arrive + usec(cfg.faults.simDelayUs));
+        break;
+      case FaultAction::Deliver:
+        ackAt(arrive);
+        break;
+    }
+    return fresh;
+  }
+
+  /// Sender side: a retransmit timer fired. Stale timers (message already
+  /// acked, or superseded by a newer transmission's timer) are ignored and
+  /// do not count as progress; live ones pay the Routing Unit again and
+  /// back off exponentially. Returns true when the event did real work.
+  bool netTimeout(const Ev& ev) {
+    auto it = retx.find(ev.msgId);
+    if (it == retx.end() || it->second.attempt != ev.attempt) return false;
+    RetxEntry& e = it->second;
+    if (static_cast<int>(e.attempt) >= cfg.faults.maxAttempts) {
+      runtimeError("reliable delivery gave up on a message to PE " +
+                   std::to_string(e.toPe) + " after " +
+                   std::to_string(e.attempt) + " attempts");
+      retx.erase(it);
+      return true;
+    }
+    e.attempt += 1;
+    stats.counters.add("net.retx.resent");
+    const SimTime svc = e.pageSized ? tm.pageMessage() : tm.tokenRoute();
+    const SimTime done = unitSched(e.fromPe, Unit::RU, ev.t, svc);
+    netTransmit(ev.msgId, e, done);
+    const std::uint32_t doublings =
+        std::min<std::uint32_t>(e.attempt - 1,
+                                static_cast<std::uint32_t>(
+                                    cfg.faults.maxBackoffDoublings));
+    const SimTime rto =
+        usec(cfg.faults.simRtoUs * static_cast<double>(1ULL << doublings));
+    armTimeout(ev.msgId, e.attempt, done + rto);
+    return true;
+  }
+
   // --- token plumbing ------------------------------------------------------
 
   /// EU (or AM) hands a token to this PE's Matching Unit.
@@ -301,6 +532,11 @@ struct Machine::Impl {
                      Token tok) {
     SimTime done = unitSched(fromPe, Unit::RU, t + tm.unitSignal, tm.tokenRoute());
     stats.counters.add("net.tokens");
+    if (faulty()) {
+      netSend(fromPe, toPe, done, /*isToken=*/true, /*pageSized=*/false,
+              std::move(tok), AmTask{});
+      return;
+    }
     Ev ev;
     ev.t = done + tm.networkHop;
     ev.kind = EvKind::TokenAtMu;
@@ -332,6 +568,12 @@ struct Machine::Impl {
         tokenToLocalMu(fromPe, t, tok);
         continue;
       }
+      if (faulty()) {
+        // Every spanning-tree copy is its own reliable message.
+        netSend(fromPe, static_cast<std::uint16_t>(dest), done,
+                /*isToken=*/true, /*pageSized=*/false, tok, AmTask{});
+        continue;
+      }
       Ev ev;
       ev.t = done + tm.networkHop;
       ev.kind = EvKind::TokenAtMu;
@@ -348,6 +590,11 @@ struct Machine::Impl {
     SimTime svc = pageSized ? tm.pageMessage() : tm.tokenRoute();
     SimTime done = unitSched(fromPe, Unit::RU, t + tm.unitSignal, svc);
     stats.counters.add(pageSized ? "net.pages" : "net.arrayMsgs");
+    if (faulty()) {
+      netSend(fromPe, toPe, done, /*isToken=*/false, pageSized, Token{},
+              std::move(task));
+      return;
+    }
     Ev ev;
     ev.t = done + tm.networkHop;
     ev.kind = EvKind::AmArrive;
@@ -440,6 +687,12 @@ struct Machine::Impl {
     } else {
       auto it = P.match.find(tok.ctx);
       if (it == P.match.end()) {
+        if (faulty() && P.retiredCtxs.count(tok.ctx) != 0) {
+          // Straggler to a retired instance: reordered by injected delay or
+          // retransmission. Spawning here would create a zombie frame.
+          stats.counters.add("tokens.straggler");
+          return;
+        }
         frameIdx = createFrame(pe, tok.spCode, tok.ctx, t);
       } else {
         frameIdx = it->second;
@@ -772,6 +1025,7 @@ struct Machine::Impl {
       case Op::END: {
         charge(false);
         f.state = FrameState::Dead;
+        if (faulty()) P.retiredCtxs.insert(f.ctx);
         P.match.erase(f.ctx);
         f.slots.clear();
         f.slots.shrink_to_fit();
@@ -895,6 +1149,12 @@ struct Machine::Impl {
             inst.shape = task.shape;
             inst.distributed = true;
             inst.fromPe = pe;
+            if (faulty()) {
+              netSend(pe, static_cast<std::uint16_t>(dest), sent,
+                      /*isToken=*/false, /*pageSized=*/false, Token{},
+                      std::move(inst));
+              continue;
+            }
             Ev ev;
             ev.t = sent + tm.networkHop;
             ev.kind = EvKind::AmArrive;
@@ -1192,13 +1452,37 @@ struct Machine::Impl {
       Ev ev = q.top();
       q.pop();
       ++eventsProcessed;
-      if (cfg.maxEvents && eventsProcessed > cfg.maxEvents) {
+      if (cfg.abort != nullptr &&
+          cfg.abort->load(std::memory_order_relaxed)) {
         stats.ok = false;
-        stats.error = "event budget exhausted (possible livelock)";
+        stats.error = "aborted: external stop requested (watchdog) after " +
+                      std::to_string(eventsProcessed) +
+                      " events at simulated t=" + std::to_string(now.us()) +
+                      "us";
+        stats.total = now;
+        return finalize();
+      }
+      if (cfg.maxEvents && eventsProcessed > cfg.maxEvents) {
+        // Forensic report for the safety valve: which event tripped it,
+        // where, and what was still live at that moment.
+        int alive = 0;
+        const std::string sample = liveSpSample(alive);
+        stats.ok = false;
+        stats.error =
+            "event budget exhausted (possible livelock): event " +
+            std::to_string(eventsProcessed) + " exceeds maxEvents=" +
+            std::to_string(cfg.maxEvents) + "; tripping event was " +
+            evKindName(ev.kind) + " on PE " + std::to_string(ev.pe) +
+            " at simulated t=" + std::to_string(ev.t.us()) + "us; " +
+            std::to_string(alive) + " SPs live;" + sample;
         stats.total = now;
         return finalize();
       }
       now = ev.t;
+      // Protocol bookkeeping (acks, retransmit timers, suppressed
+      // duplicates) can trail past the last real work; `lastUseful` tracks
+      // the completion time the program actually observed.
+      bool useful = true;
       switch (ev.kind) {
         case EvKind::EuKick: {
           PeState& P = pes[ev.pe];
@@ -1226,12 +1510,49 @@ struct Machine::Impl {
         case EvKind::SlotFill:
           deliverToken(ev.pe, ev.t, ev.tok);
           break;
+        case EvKind::NetDeliver:
+          useful = netDeliver(ev);
+          break;
+        case EvKind::NetAckArrive:
+          retx.erase(ev.msgId);
+          useful = false;
+          break;
+        case EvKind::NetTimeout:
+          netTimeout(ev);
+          useful = false;
+          break;
       }
+      if (useful && now > lastUseful) lastUseful = now;
     }
-    stats.total = now;
+    stats.total = faulty() ? lastUseful : now;
     // EU time may extend past the last event.
     for (const PeState& P : pes) stats.total = std::max(stats.total, P.euFree);
     return finalize();
+  }
+
+  /// Samples live (non-Dead) frames for diagnostics: "[pe0 conduction pc=3
+  /// blocked on row]" entries, capped at ~200 chars. Sets `alive` to the
+  /// full count. Shared by the deadlock, event-budget, and abort reports.
+  std::string liveSpSample(int& alive) const {
+    alive = 0;
+    std::string sample;
+    for (std::size_t pe = 0; pe < pes.size(); ++pe) {
+      for (const Frame& f : pes[pe].frames) {
+        if (f.state != FrameState::Dead) {
+          ++alive;
+          if (sample.size() < 200) {
+            sample += " [pe" + std::to_string(pe) + " " +
+                      prog.sp(f.spCode).name + " pc=" + std::to_string(f.pc) +
+                      (f.state == FrameState::Blocked
+                           ? " blocked on " +
+                                 prog.sp(f.spCode).slotName(f.blockedSlot)
+                           : "") +
+                      "]";
+          }
+        }
+      }
+    }
+    return sample;
   }
 
   RunStats finalize() {
@@ -1244,23 +1565,7 @@ struct Machine::Impl {
     // Diagnose incomplete executions.
     if (stats.error.empty()) {
       int alive = 0;
-      std::string sample;
-      for (std::size_t pe = 0; pe < pes.size(); ++pe) {
-        for (const Frame& f : pes[pe].frames) {
-          if (f.state != FrameState::Dead) {
-            ++alive;
-            if (sample.size() < 200) {
-              sample += " [pe" + std::to_string(pe) + " " +
-                        prog.sp(f.spCode).name + " pc=" + std::to_string(f.pc) +
-                        (f.state == FrameState::Blocked
-                             ? " blocked on " +
-                                   prog.sp(f.spCode).slotName(f.blockedSlot)
-                             : "") +
-                        "]";
-            }
-          }
-        }
-      }
+      const std::string sample = liveSpSample(alive);
       if (alive > 0) {
         stats.error = "deadlock: " + std::to_string(alive) +
                       " SPs never completed;" + sample;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "runtime/isa.hpp"
 #include "sim/array_store.hpp"
 #include "sim/timing.hpp"
+#include "support/fault.hpp"
 #include "support/stats.hpp"
 
 namespace pods::sim {
@@ -46,6 +48,17 @@ struct MachineConfig {
   /// functional unit per PE, with EU rows showing each SP execution slice.
   /// Capped at ~200k events; simulated microseconds map to trace "us".
   std::string tracePath;
+  /// Fault injection + reliable delivery (support/fault.hpp). All-zero
+  /// probabilities (the default) keep the exact lossless network path; any
+  /// nonzero rate switches remote messages onto the ack/retransmit protocol,
+  /// modeled entirely in simulated time so runs stay bit-deterministic for a
+  /// fixed `faults.seed`. Counters: fault.* (injections), net.retx.*.
+  FaultConfig faults;
+  /// Optional external abort flag (e.g. a wall-clock watchdog): polled
+  /// between events; when it becomes true the run stops with a structured
+  /// "aborted" error and whatever statistics were accumulated. The pointee
+  /// must outlive run(). nullptr = never aborted.
+  std::atomic<bool>* abort = nullptr;
 };
 
 /// Per-SP-code profile: how many instances ran and what they cost. This is

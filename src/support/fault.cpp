@@ -1,0 +1,54 @@
+#include "support/fault.hpp"
+
+#include <cstdlib>
+
+namespace pods {
+
+namespace {
+
+bool parseProb(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  return out >= 0.0 && out <= 0.5;
+}
+
+}  // namespace
+
+bool FaultConfig::parse(const std::string& spec, FaultConfig& out,
+                        std::string* err) {
+  auto fail = [&](const std::string& why) {
+    if (err) *err = "bad fault spec '" + spec + "': " + why;
+    return false;
+  };
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) return fail("empty entry");
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) return fail("expected key:prob in '" + item + "'");
+    const std::string key = item.substr(0, colon);
+    const std::string val = item.substr(colon + 1);
+    double p = 0.0;
+    if (!parseProb(val, p))
+      return fail("probability '" + val + "' not in [0, 0.5]");
+    if (key == "drop") {
+      out.dropProb = p;
+    } else if (key == "dup") {
+      out.dupProb = p;
+    } else if (key == "delay") {
+      out.delayProb = p;
+    } else if (key == "stall") {
+      out.stallProb = p;
+    } else {
+      return fail("unknown key '" + key + "' (want drop|dup|delay|stall)");
+    }
+  }
+  return true;
+}
+
+}  // namespace pods

@@ -1,0 +1,114 @@
+// Deterministic fault injection for the simulated and native PODS machines.
+//
+// The paper's "ultimate goal" is running PODS on a real iPSC/2-class
+// machine, where messages get lost, duplicated, and delayed. PODS's own
+// semantics make an unreliable transport survivable by construction: tokens
+// land in single-assignment frame slots and array writes are I-structure
+// writes, so *redelivery* of a message is harmless as long as non-idempotent
+// tokens (ADDC join counters, spawn-by-token) are deduplicated by message
+// id. Both engines therefore pair injection with a reliable-delivery layer:
+// acknowledgments + retransmit with exponential backoff in the simulator
+// (all in simulated time, so a faulty run stays bit-deterministic for a
+// fixed seed), and a retransmit daemon with wall-clock backoff in the
+// native runtime.
+//
+// A FaultPlan is a *pure function* of (seed, transmission id): deciding the
+// fate of transmission #n never consults mutable state, so the simulator —
+// which numbers transmissions in deterministic event order — replays the
+// exact same fault schedule on every run with the same seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace pods {
+
+/// What the (simulated) network does with one transmission of one message.
+enum class FaultAction : std::uint8_t {
+  Deliver,    // arrives normally
+  Drop,       // vanishes; the sender's retransmit timer recovers it
+  Duplicate,  // arrives twice; the receiver's dedup set suppresses the copy
+  Delay,      // arrives late (extra latency beyond the normal network hop)
+};
+
+/// User-facing fault-injection knobs, carried by MachineConfig::faults and
+/// NativeConfig::faults. All probabilities are per *transmission* (a
+/// retransmission rolls fresh dice), in [0, 0.5]. Defaults are all-zero:
+/// injection disabled and both engines on their exact pre-fault fast paths.
+struct FaultConfig {
+  double dropProb = 0.0;   // token / array-page message loss
+  double dupProb = 0.0;    // message duplication
+  double delayProb = 0.0;  // message delay (extra latency, no loss)
+  double stallProb = 0.0;  // transient PE stall on message receipt
+  std::uint64_t seed = 1;  // fault schedule seed (podsc --fault-seed)
+
+  // Reliable-delivery tuning, simulator (simulated microseconds).
+  double simRtoUs = 400.0;    // initial retransmit timeout (doubles per retry)
+  double simDelayUs = 120.0;  // injected extra latency of a delayed message
+  double simStallUs = 200.0;  // injected transient EU stall
+
+  // Reliable-delivery tuning, native runtime (wall-clock microseconds).
+  double nativeRetryUs = 500.0;  // initial retransmit delay (doubles per retry)
+  double nativeDelayUs = 100.0;  // injected delivery delay
+  double nativeStallUs = 100.0;  // injected worker stall
+
+  int maxAttempts = 100;         // give up (runtime error) after this many
+  int maxBackoffDoublings = 6;   // cap backoff at initial << 6
+
+  bool enabled() const {
+    return dropProb > 0.0 || dupProb > 0.0 || delayProb > 0.0 ||
+           stallProb > 0.0;
+  }
+
+  /// Parses a `podsc --faults=` spec: comma-separated `key:probability`
+  /// pairs with keys drop, dup, delay, stall — e.g.
+  /// "drop:0.01,dup:0.005,delay:0.02". Probabilities must be in [0, 0.5].
+  /// Returns false (and fills `err`) on a malformed spec; `out` keeps its
+  /// other fields (seed, timeouts) untouched.
+  static bool parse(const std::string& spec, FaultConfig& out,
+                    std::string* err = nullptr);
+};
+
+/// Seeded, stateless fault schedule. Every decision mixes the seed, a
+/// per-purpose salt, and the transmission id through SplitMix64, so callers
+/// that number transmissions deterministically get a deterministic schedule
+/// and retransmissions (fresh ids) get independent dice.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& cfg) : cfg_(cfg) {}
+
+  bool enabled() const { return cfg_.enabled(); }
+  const FaultConfig& config() const { return cfg_; }
+
+  /// Fate of transmission #id (message sends and acknowledgments alike).
+  FaultAction action(std::uint64_t id) const {
+    if (!enabled()) return FaultAction::Deliver;
+    const double u = draw(0x6d65737361676573ULL /* "messages" */, id);
+    if (u < cfg_.dropProb) return FaultAction::Drop;
+    if (u < cfg_.dropProb + cfg_.dupProb) return FaultAction::Duplicate;
+    if (u < cfg_.dropProb + cfg_.dupProb + cfg_.delayProb)
+      return FaultAction::Delay;
+    return FaultAction::Deliver;
+  }
+
+  /// True when receipt #id additionally stalls the receiving PE.
+  bool stallHit(std::uint64_t id) const {
+    return cfg_.stallProb > 0.0 &&
+           draw(0x7374616c6c730aULL /* "stalls" */, id) < cfg_.stallProb;
+  }
+
+ private:
+  /// One uniform draw in [0, 1), pure in (seed, salt, id).
+  double draw(std::uint64_t salt, std::uint64_t id) const {
+    SplitMix64 rng(cfg_.seed ^ (salt * 0x9E3779B97F4A7C15ULL) ^
+                   ((id + 1) * 0xD1B54A32D192ED03ULL));
+    return rng.unit();
+  }
+
+  FaultConfig cfg_{};
+};
+
+}  // namespace pods

@@ -1,0 +1,311 @@
+// Fault-injection and reliable-delivery tests (docs/ARCHITECTURE.md, "Fault
+// model & delivery guarantees").
+//
+// The property under test is Church-Rosser under an unreliable network: for
+// any fault seed and any drop/dup/delay/stall rates up to 5%, both engines
+// must complete and produce results bit-identical to a fault-free run —
+// single assignment makes redelivered data harmless, message-id dedup makes
+// non-idempotent tokens (ADDC, spawn-by-token) exactly-once, and the
+// retired-context ledger swallows stragglers reordered past an instance's
+// END. The sweeps run PODS_FAULT_SEEDS seeds (default 32; CI soak raises
+// it) across engines and PE counts, on SIMPLE 16x16 and a recursive
+// workload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "core/pods.hpp"
+#include "support/fault.hpp"
+#include "workloads/simple.hpp"
+
+namespace pods {
+namespace {
+
+constexpr const char* kFibSource = R"(
+def fib(n: int) -> int {
+  let r = if n < 2 then n else fib(n - 1) + fib(n - 2);
+  return r;
+}
+def main() -> int { return fib(13); }
+)";
+
+std::unique_ptr<Compiled> compileOk(const std::string& src) {
+  CompileResult cr = compile(src, {});
+  EXPECT_TRUE(cr.ok) << cr.diagnostics;
+  return std::move(cr.compiled);
+}
+
+/// Seed count for the fuzz sweeps: PODS_FAULT_SEEDS overrides (the CI soak
+/// job raises it), default 32.
+int faultSeeds() {
+  if (const char* env = std::getenv("PODS_FAULT_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 32;
+}
+
+FaultConfig faultRates(std::uint64_t seed) {
+  FaultConfig fc;
+  EXPECT_TRUE(FaultConfig::parse("drop:0.05,dup:0.02,delay:0.05", fc));
+  fc.seed = seed;
+  // Keep the native sweeps fast: short retry/delay clocks.
+  fc.nativeRetryUs = 50.0;
+  fc.nativeDelayUs = 20.0;
+  return fc;
+}
+
+std::map<std::string, std::int64_t> counterMap(const Counters& c) {
+  std::map<std::string, std::int64_t> m;
+  for (const auto& [k, v] : c.all()) m.emplace(k, v);
+  return m;
+}
+
+TEST(FaultConfigParse, AcceptsWellFormedSpecs) {
+  FaultConfig fc;
+  ASSERT_TRUE(FaultConfig::parse("drop:0.01,dup:0.005,delay:0.02", fc));
+  EXPECT_DOUBLE_EQ(fc.dropProb, 0.01);
+  EXPECT_DOUBLE_EQ(fc.dupProb, 0.005);
+  EXPECT_DOUBLE_EQ(fc.delayProb, 0.02);
+  EXPECT_DOUBLE_EQ(fc.stallProb, 0.0);
+  EXPECT_TRUE(fc.enabled());
+
+  FaultConfig one;
+  ASSERT_TRUE(FaultConfig::parse("stall:0.5", one));
+  EXPECT_DOUBLE_EQ(one.stallProb, 0.5);
+
+  FaultConfig none;
+  EXPECT_FALSE(none.enabled());
+}
+
+TEST(FaultConfigParse, RejectsMalformedSpecs) {
+  FaultConfig fc;
+  std::string err;
+  EXPECT_FALSE(FaultConfig::parse("drop", fc, &err));
+  EXPECT_NE(err.find("key:prob"), std::string::npos);
+  EXPECT_FALSE(FaultConfig::parse("drop:0.6", fc, &err));  // > 0.5
+  EXPECT_NE(err.find("not in [0, 0.5]"), std::string::npos);
+  EXPECT_FALSE(FaultConfig::parse("drop:zap", fc, &err));
+  EXPECT_FALSE(FaultConfig::parse("teleport:0.1", fc, &err));
+  EXPECT_NE(err.find("unknown key"), std::string::npos);
+  EXPECT_FALSE(FaultConfig::parse("drop:0.1,,dup:0.1", fc, &err));
+  EXPECT_NE(err.find("empty entry"), std::string::npos);
+}
+
+TEST(FaultPlanDraws, DeterministicAndSeedSensitive) {
+  FaultConfig fc = faultRates(7);
+  FaultPlan a(fc), b(fc);
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    EXPECT_EQ(static_cast<int>(a.action(id)), static_cast<int>(b.action(id)));
+  }
+  fc.seed = 8;
+  FaultPlan other(fc);
+  int differs = 0;
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    if (a.action(id) != other.action(id)) ++differs;
+  }
+  EXPECT_GT(differs, 0);  // a new seed is a new schedule
+}
+
+// --- simulator sweeps -------------------------------------------------------
+
+TEST(FaultFuzz, SimSimpleBitIdenticalToFaultFree) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  const int seeds = faultSeeds();
+  std::int64_t resent = 0, dedup = 0, injected = 0;
+  for (int pes : {1, 4, 8}) {
+    sim::MachineConfig clean;
+    clean.numPEs = pes;
+    PodsRun ref = runPods(*c, clean);
+    ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      sim::MachineConfig mc;
+      mc.numPEs = pes;
+      mc.faults = faultRates(static_cast<std::uint64_t>(seed));
+      PodsRun run = runPods(*c, mc);
+      ASSERT_TRUE(run.stats.ok)
+          << "pes=" << pes << " seed=" << seed << ": " << run.stats.error;
+      std::string why;
+      ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+          << "pes=" << pes << " seed=" << seed << ": " << why;
+      resent += run.stats.counters.get("net.retx.resent");
+      dedup += run.stats.counters.get("net.retx.dupSuppressed");
+      injected += run.stats.counters.get("fault.drops") +
+                  run.stats.counters.get("fault.dups") +
+                  run.stats.counters.get("fault.delays");
+    }
+  }
+  // The protocol must actually have been exercised across the sweep.
+  EXPECT_GT(injected, 0);
+  EXPECT_GT(resent, 0);
+  EXPECT_GT(dedup, 0);
+}
+
+TEST(FaultFuzz, SimRecursiveWorkload) {
+  auto c = compileOk(kFibSource);
+  sim::MachineConfig clean;
+  clean.numPEs = 4;
+  PodsRun ref = runPods(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+  const int seeds = faultSeeds();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sim::MachineConfig mc;
+    mc.numPEs = 4;
+    mc.faults = faultRates(static_cast<std::uint64_t>(seed));
+    mc.faults.stallProb = 0.02;
+    PodsRun run = runPods(*c, mc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+  }
+}
+
+TEST(FaultFuzz, SimBitDeterministicAcrossRepeats) {
+  // Same seed => identical event schedule: simulated completion time and
+  // every counter (including the injected-fault tallies) must match exactly.
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  for (int seed : {1, 5, 23}) {
+    sim::MachineConfig mc;
+    mc.numPEs = 8;
+    mc.faults = faultRates(static_cast<std::uint64_t>(seed));
+    PodsRun a = runPods(*c, mc);
+    PodsRun b = runPods(*c, mc);
+    ASSERT_TRUE(a.stats.ok) << a.stats.error;
+    ASSERT_TRUE(b.stats.ok) << b.stats.error;
+    EXPECT_EQ(a.stats.total.ns, b.stats.total.ns) << "seed=" << seed;
+    EXPECT_EQ(counterMap(a.stats.counters), counterMap(b.stats.counters))
+        << "seed=" << seed;
+    std::string why;
+    EXPECT_TRUE(sameOutputs(a.out, b.out, &why)) << why;
+  }
+}
+
+// --- native sweeps ----------------------------------------------------------
+
+TEST(FaultFuzz, NativeSimpleBitIdenticalToFaultFree) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+  const int seeds = faultSeeds();
+  std::int64_t injected = 0;
+  for (int workers : {1, 4, 8}) {
+    for (int seed = 1; seed <= seeds; ++seed) {
+      native::NativeConfig nc;
+      nc.numWorkers = workers;
+      nc.faults = faultRates(static_cast<std::uint64_t>(seed));
+      NativeRun run = runNative(*c, nc);
+      ASSERT_TRUE(run.stats.ok)
+          << "workers=" << workers << " seed=" << seed << ": "
+          << run.stats.error;
+      std::string why;
+      ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+          << "workers=" << workers << " seed=" << seed << ": " << why;
+      // Zero leaked frames: the ledger balances even with injected faults.
+      EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
+                run.stats.counters.get("native.framesRetired"))
+          << "workers=" << workers << " seed=" << seed;
+      EXPECT_EQ(run.stats.counters.get("native.framesLive"), 0);
+      injected += run.stats.counters.get("fault.drops") +
+                  run.stats.counters.get("fault.dups") +
+                  run.stats.counters.get("fault.delays");
+    }
+  }
+  EXPECT_GT(injected, 0);
+}
+
+TEST(FaultFuzz, NativeRecursiveWorkload) {
+  auto c = compileOk(kFibSource);
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+  const int seeds = faultSeeds();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    native::NativeConfig nc;
+    nc.numWorkers = 8;
+    nc.faults = faultRates(static_cast<std::uint64_t>(seed));
+    nc.faults.stallProb = 0.01;
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+    EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
+              run.stats.counters.get("native.framesRetired"));
+  }
+}
+
+// --- forensics & watchdog ---------------------------------------------------
+
+TEST(MachineForensics, EventBudgetNamesTrippingEventAndLiveSps) {
+  auto c = compileOk(workloads::simpleSource(12, 2));
+  sim::MachineConfig mc;
+  mc.numPEs = 4;
+  mc.maxEvents = 100;
+  PodsRun run = runPods(*c, mc);
+  EXPECT_FALSE(run.stats.ok);
+  EXPECT_NE(run.stats.error.find("event budget exhausted"), std::string::npos)
+      << run.stats.error;
+  EXPECT_NE(run.stats.error.find("maxEvents=100"), std::string::npos)
+      << run.stats.error;
+  EXPECT_NE(run.stats.error.find("on PE "), std::string::npos)
+      << run.stats.error;
+  EXPECT_NE(run.stats.error.find("SPs live"), std::string::npos)
+      << run.stats.error;
+}
+
+TEST(MachineForensics, SimAbortFlagStopsRun) {
+  auto c = compileOk(workloads::simpleSource(12, 2));
+  std::atomic<bool> abortFlag{true};  // pre-raised: stop on the first event
+  sim::MachineConfig mc;
+  mc.numPEs = 4;
+  mc.abort = &abortFlag;
+  PodsRun run = runPods(*c, mc);
+  EXPECT_FALSE(run.stats.ok);
+  EXPECT_NE(run.stats.error.find("aborted"), std::string::npos)
+      << run.stats.error;
+}
+
+TEST(MachineForensics, NativeAbortFlagStopsRun) {
+  auto c = compileOk(workloads::simpleSource(12, 2));
+  std::atomic<bool> abortFlag{false};
+  native::NativeConfig nc;
+  nc.numWorkers = 4;
+  nc.abort = &abortFlag;
+  std::thread raiser([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    abortFlag.store(true);
+  });
+  NativeRun run = runNative(*c, nc);
+  raiser.join();
+  // Either the run won the race (finished in time) or it was aborted — it
+  // must never hang or crash, and an abort must be reported as one.
+  if (!run.stats.ok) {
+    EXPECT_NE(run.stats.error.find("aborted"), std::string::npos)
+        << run.stats.error;
+  }
+}
+
+TEST(MachineForensics, NativeAbortPreRaisedAlwaysAborts) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  std::atomic<bool> abortFlag{true};
+  native::NativeConfig nc;
+  nc.numWorkers = 2;
+  nc.faults = faultRates(3);  // slow the run so the monitor always wins
+  nc.faults.nativeRetryUs = 5000.0;
+  nc.abort = &abortFlag;
+  NativeRun run = runNative(*c, nc);
+  EXPECT_FALSE(run.stats.ok);
+  EXPECT_NE(run.stats.error.find("aborted"), std::string::npos)
+      << run.stats.error;
+}
+
+}  // namespace
+}  // namespace pods

@@ -14,20 +14,33 @@
 //   --page N           array page size in elements       (default: 32)
 //   --no-cache         disable remote-page caching (pods engine)
 //   --trace=FILE       write a Chrome-trace timeline (pods engine)
+//   --faults=SPEC      inject message faults (pods/native engines):
+//                      comma-separated key:prob with keys drop, dup, delay,
+//                      stall — e.g. --faults=drop:0.01,dup:0.005,delay:0.02
+//   --fault-seed N     fault schedule seed                (default: 1)
+//   --timeout SEC      wall-clock watchdog: abort a stuck run, dump stats,
+//                      exit 124
 //   --verify           cross-check results against the sequential engine
 //   --stats            print machine statistics
 //   --dump-graph       print the dataflow-graph block tree
 //   --dump-plan        print the Partitioner's decisions
 //   --dump-sps         print the translated SP disassembly
 //   --dump-dot         print graphviz of main's dataflow graph
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/pods.hpp"
 #include "ir/dot.hpp"
+#include "support/fault.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -46,6 +59,8 @@ struct Options {
   bool dumpSps = false;
   bool dumpDot = false;
   std::string trace;
+  pods::FaultConfig faults;
+  int timeoutSec = 0;  // 0 = no watchdog
   std::string file;
 };
 
@@ -53,12 +68,61 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--engine=pods|seq|static|native] [--pes N] "
                "[--no-distribute] [--block-range] [--page N] [--no-cache] "
-               "[--trace=FILE] "
+               "[--trace=FILE] [--faults=SPEC] [--fault-seed N] "
+               "[--timeout SEC] "
                "[--verify] [--stats] [--dump-graph] [--dump-plan] "
                "[--dump-sps] [--dump-dot] <file.idl>\n",
                argv0);
   return 2;
 }
+
+/// Wall-clock watchdog (podsc --timeout): after `seconds`, raises the
+/// engines' cooperative abort flag; if the run still hasn't unwound after a
+/// grace period (an engine stuck inside one step, or the seq/static
+/// evaluators which have no abort hook), hard-exits with status 124.
+class Watchdog {
+ public:
+  std::atomic<bool> abortFlag{false};
+
+  void arm(int seconds) {
+    if (seconds <= 0) return;
+    thread_ = std::thread([this, seconds] {
+      std::unique_lock<std::mutex> g(m_);
+      if (cv_.wait_for(g, std::chrono::seconds(seconds),
+                       [&] { return done_; })) {
+        return;  // run finished in time
+      }
+      std::fprintf(stderr,
+                   "podsc: watchdog: run exceeded %d s, requesting abort\n",
+                   seconds);
+      abortFlag.store(true);
+      if (!cv_.wait_for(g, std::chrono::seconds(5), [&] { return done_; })) {
+        std::fprintf(stderr,
+                     "podsc: watchdog: abort not honored after 5 s grace, "
+                     "hard exit\n");
+        std::_Exit(124);
+      }
+    });
+  }
+
+  /// Marks the run finished and joins; call before process exit.
+  void disarm() {
+    {
+      std::lock_guard<std::mutex> g(m_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool fired() const { return abortFlag.load(); }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
 
 bool parseArgs(int argc, char** argv, Options& o) {
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +150,18 @@ bool parseArgs(int argc, char** argv, Options& o) {
       o.cache = false;
     } else if (a.rfind("--trace=", 0) == 0) {
       o.trace = a.substr(8);
+    } else if (a.rfind("--faults=", 0) == 0) {
+      std::string err;
+      if (!pods::FaultConfig::parse(a.substr(9), o.faults, &err)) {
+        std::fprintf(stderr, "podsc: %s\n", err.c_str());
+        return false;
+      }
+    } else if (a == "--fault-seed") {
+      int seed = 0;
+      if (!intArg(seed)) return false;
+      o.faults.seed = static_cast<std::uint64_t>(seed);
+    } else if (a == "--timeout") {
+      if (!intArg(o.timeoutSec)) return false;
     } else if (a == "--verify") {
       o.verify = true;
     } else if (a == "--stats") {
@@ -146,12 +222,14 @@ void printOutputs(const pods::ProgramOutputs& out) {
   }
 }
 
-}  // namespace
+void dumpCounters(const pods::Counters& counters) {
+  for (const auto& [k, v] : counters.all()) {
+    std::fprintf(stderr, "  %-28s %lld\n", k.c_str(),
+                 static_cast<long long>(v));
+  }
+}
 
-int main(int argc, char** argv) {
-  Options o;
-  if (!parseArgs(argc, argv, o)) return usage(argv[0]);
-
+int runTool(const Options& o, Watchdog& dog) {
   std::ifstream in(o.file);
   if (!in) {
     std::fprintf(stderr, "podsc: cannot open '%s'\n", o.file.c_str());
@@ -188,9 +266,15 @@ int main(int argc, char** argv) {
     mc.cachePages = o.cache;
     mc.timing.pageElems = o.page;
     mc.tracePath = o.trace;
+    mc.faults = o.faults;
+    mc.abort = &dog.abortFlag;
     pods::PodsRun run = pods::runPods(c, mc);
     if (!run.stats.ok) {
       std::fprintf(stderr, "podsc: run failed: %s\n", run.stats.error.c_str());
+      if (dog.fired()) {
+        std::fprintf(stderr, "counter snapshot at abort:\n");
+        dumpCounters(run.stats.counters);
+      }
       return 1;
     }
     std::printf("engine=pods pes=%d simulated time: %.3f ms\n", o.pes,
@@ -224,9 +308,27 @@ int main(int argc, char** argv) {
     pods::native::NativeConfig nc;
     nc.numWorkers = o.pes;
     nc.pageElems = o.page;
+    nc.faults = o.faults;
+    nc.abort = &dog.abortFlag;
     pods::NativeRun run = pods::runNative(c, nc);
     if (!run.stats.ok) {
       std::fprintf(stderr, "podsc: run failed: %s\n", run.stats.error.c_str());
+      if (dog.fired()) {
+        std::fprintf(stderr, "counter snapshot at abort:\n");
+        dumpCounters(run.stats.counters);
+        for (std::size_t w = 0; w < run.stats.perWorker.size(); ++w) {
+          const pods::Counters& pc = run.stats.perWorker[w];
+          std::fprintf(
+              stderr,
+              "  worker %-2zu frames=%lld live=%lld tokensIn=%lld "
+              "tokensOut=%lld idle=%lld\n",
+              w, static_cast<long long>(pc.get("framesCreated")),
+              static_cast<long long>(pc.get("framesLive")),
+              static_cast<long long>(pc.get("tokensIn")),
+              static_cast<long long>(pc.get("tokensOut")),
+              static_cast<long long>(pc.get("idleTransitions")));
+        }
+      }
       return 1;
     }
     std::printf("engine=native workers=%d wall time: %.3f ms\n", o.pes,
@@ -267,4 +369,24 @@ int main(int argc, char** argv) {
     std::printf("verify: identical to the sequential engine\n");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parseArgs(argc, argv, o)) return usage(argv[0]);
+  if (o.faults.enabled() && (o.engine == "seq" || o.engine == "static")) {
+    std::fprintf(stderr,
+                 "podsc: --faults needs a message-passing engine "
+                 "(--engine=pods or --engine=native)\n");
+    return 2;
+  }
+
+  Watchdog dog;
+  dog.arm(o.timeoutSec);
+  int rc = runTool(o, dog);
+  dog.disarm();
+  if (dog.fired()) rc = 124;
+  return rc;
 }

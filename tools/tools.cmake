@@ -20,3 +20,18 @@ add_test(NAME podsc_dumps
 add_test(NAME podsc_ablation
          COMMAND podsc --pes 6 --block-range --page 8 --no-cache --verify
                  ${CMAKE_SOURCE_DIR}/programs/heat.idl)
+
+# Fault injection end-to-end: lossy network, ack/retransmit recovery, still
+# bit-identical to the sequential engine — on both engines, under a watchdog
+# so a delivery bug fails fast instead of wedging ctest.
+add_test(NAME podsc_heat_faulty_sim
+         COMMAND podsc --pes 5 --faults=drop:0.02,dup:0.01,delay:0.02
+                 --fault-seed 7 --timeout 120 --stats --verify
+                 ${CMAKE_SOURCE_DIR}/programs/heat.idl)
+add_test(NAME podsc_heat_faulty_native
+         COMMAND podsc --engine=native --pes 4
+                 --faults=drop:0.02,dup:0.01,delay:0.02,stall:0.01
+                 --fault-seed 11 --timeout 120 --stats --verify
+                 ${CMAKE_SOURCE_DIR}/programs/heat.idl)
+set_tests_properties(podsc_heat_faulty_sim podsc_heat_faulty_native
+                     PROPERTIES TIMEOUT 180)
