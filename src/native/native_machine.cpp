@@ -13,6 +13,7 @@
 
 #include "runtime/ops.hpp"
 #include "support/check.hpp"
+#include "support/recovery.hpp"
 
 namespace pods::native {
 
@@ -29,6 +30,13 @@ struct NToken {
   /// Nonzero only under fault injection: unique id of this cross-worker
   /// message, shared by duplicate copies so the receiver can suppress them.
   std::uint64_t msgId = 0;
+  /// Kill mode: logical send identity of SENDC/ADDC tokens — stable under
+  /// sender re-execution, unlike msgId (a replayed send is a new message).
+  std::uint64_t senderCtx = 0;
+  std::uint64_t sendKey = 0;
+  /// Kill mode: nonzero marks an array-element wake-up; encodes the element
+  /// so the receiver can drop wakes for parks wiped by its own kill.
+  std::uint64_t wakeKey = 0;
 };
 
 struct NFrame {
@@ -40,6 +48,16 @@ struct NFrame {
   bool blocked = false;
   bool dead = false;
   std::vector<Value> slots;
+  // Kill mode: deterministic per-frame streams so a re-executed frame
+  // reproduces the same send keys and minted identities.
+  std::uint32_t sendSeq = 0;
+  std::uint32_t mintSeq = 0;
+  // Kill mode: true on frames rebuilt from the receive log. A replaying
+  // frame only accepts continuation results from contexts it has re-sent to
+  // (sentCtxs); earlier arrivals are parked so a multi-round slot cannot be
+  // filled with a later round's value before the earlier round re-runs.
+  bool replaying = false;
+  std::unordered_set<std::uint64_t> sentCtxs;
 };
 
 /// A waiting split-phase read parked on an absent element.
@@ -75,6 +93,7 @@ struct WorkerStats {
 };
 
 struct Worker {
+  int id = 0;  // set once at construction, before any thread starts
   // Cross-thread: the inbox.
   std::mutex m;
   std::condition_variable cv;
@@ -96,9 +115,27 @@ struct Worker {
   /// delay/retransmit) for a retired context is a straggler the instance
   /// never needed — it must be dropped, not spawn a zombie frame.
   std::unordered_set<std::uint64_t> retiredCtxs;
+  /// Kill mode, owner-thread-only: logical exactly-once filters and parked
+  /// replay state (see support/recovery.hpp). Survivors need them too — they
+  /// absorb a rebuilt neighbor's re-sent tokens.
+  ReplayDedup dedup;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> pendingReplay;
+  /// Kill mode, owner-thread-only: outstanding array-read parks by wake key,
+  /// each holding the packed conts parked on that element. A wake whose key
+  /// is absent was for a park wiped by this worker's kill — the re-executed
+  /// read already took the element directly — and must be dropped, or it
+  /// could fill a multi-round slot out of order.
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>> myParks;
   WorkerStats st;
   std::thread thread;
 };
+
+/// Wake-token identity of one array element (top bit distinguishes the wake
+/// namespace from real sender contexts).
+std::uint64_t elemWakeKey(ArrayId arr, std::int64_t offset) {
+  return (1ULL << 63) | (static_cast<std::uint64_t>(arr) << 40) |
+         static_cast<std::uint64_t>(offset);
+}
 
 /// A token parked in the retransmit daemon: either a dropped message waiting
 /// for its backoff to expire (`redecide` — the resend rolls fresh fault
@@ -198,6 +235,29 @@ struct NativeMachine::Impl {
   std::thread retxThread;
   std::thread monitorThread;
 
+  // --- fail-stop recovery (kill mode; docs/ARCHITECTURE.md) ------------------
+  //
+  // `--faults=kill:PE@TIMEUS` fail-stops one worker once: at the wall-clock
+  // deadline the worker discards ALL its volatile state (frames, match table,
+  // ready list, free list, dedup sets) and rebuilds it from its stable
+  // receive log — frames come back at their original indices and generations,
+  // live ones re-execute from pc 0 with idempotent identity minting and
+  // parked re-delivery of logged results. The inbox is the network's buffer,
+  // not PE state: it survives the kill, keeping its pending/inboxTokens
+  // charges, so the quiescence ledger stays exact (the rebuilt live-frame
+  // count equals the wiped one, since both are pure functions of the log).
+  // The rebuild is instantaneous and on the owner thread: no other thread
+  // ever touches recLogs or the worker's volatile state, so kill mode adds
+  // no synchronization (TSan-clean by construction).
+  std::vector<RecoveryLog> recLogs;
+  std::chrono::steady_clock::time_point killAt{};
+  bool killFired = false;  // touched only by the killed worker's thread
+  std::int64_t recReplayedFrames = 0;   // owner-thread; read after join
+  std::int64_t recReplayedTokens = 0;
+  std::int64_t recParkedEarly = 0;
+
+  bool killMode() const { return cfg.faults.killEnabled(); }
+
   Impl(const SpProgram& p, NativeConfig c)
       : prog(p), cfg(c), plan(c.faults) {
     PODS_CHECK_MSG(c.numWorkers >= 1 && c.numWorkers <= 256,
@@ -206,8 +266,11 @@ struct NativeMachine::Impl {
     PODS_CHECK_MSG(c.sliceInstructions >= 1,
                    "sliceInstructions must be >= 1 (a zero budget would "
                    "requeue frames forever without progress)");
-    for (int i = 0; i < c.numWorkers; ++i)
+    for (int i = 0; i < c.numWorkers; ++i) {
       workers.push_back(std::make_unique<Worker>());
+      workers.back()->id = i;
+    }
+    if (killMode()) recLogs.resize(static_cast<std::size_t>(c.numWorkers));
     results.resize(static_cast<std::size_t>(prog.numResults));
     resultSet.assign(static_cast<std::size_t>(prog.numResults), false);
   }
@@ -364,6 +427,10 @@ struct NativeMachine::Impl {
       f.blockedSlot = kNoSlot;
       f.blocked = false;
       f.dead = false;
+      f.sendSeq = 0;
+      f.mintSeq = 0;
+      f.replaying = false;
+      f.sentCtxs.clear();
       f.slots.assign(prog.sp(spCode).numSlots, Value{});
       w.st.framesReused++;
     } else {
@@ -390,6 +457,13 @@ struct NativeMachine::Impl {
   /// invalidates every outstanding continuation into it.
   void retireFrame(Worker& w, std::uint32_t frameIdx, NFrame& f) {
     if (plan.enabled()) w.retiredCtxs.insert(f.ctx);
+    if (killMode()) {
+      RecEntry e;
+      e.kind = RecEntry::Kind::End;
+      e.ctx = f.ctx;
+      recLogs[static_cast<std::size_t>(w.id)].entries.push_back(e);
+      w.dedup.forget(f.ctx);
+    }
     f.dead = true;
     f.gen = static_cast<std::uint16_t>((f.gen + 1) & Cont::kGenMask);
     f.slots.clear();  // drop payloads; capacity is kept for reuse
@@ -397,6 +471,20 @@ struct NativeMachine::Impl {
     w.freeList.push_back(frameIdx);
     w.st.framesRetired++;
     w.st.liveFrames.dec();
+  }
+
+  static RecEntry contLogEntry(const NToken& tok, std::uint32_t frameIdx,
+                               std::uint16_t gen) {
+    RecEntry e;
+    e.kind = RecEntry::Kind::ConToken;
+    e.frame = frameIdx;
+    e.gen = gen;
+    e.slot = tok.cont.slot;
+    e.v = tok.v;
+    e.add = tok.add;
+    e.senderCtx = tok.senderCtx;
+    e.sendKey = tok.sendKey;
+    return e;
   }
 
   /// Owner-thread token delivery (frame creation, slot write, wake-up).
@@ -421,6 +509,26 @@ struct NativeMachine::Impl {
     std::uint32_t frameIdx;
     std::uint16_t slot;
     if (tok.toCont) {
+      if (killMode() && tok.wakeKey != 0) {
+        // Array-element wake-up: only valid for a park this worker still
+        // remembers. A kill wipes the park registry; wakes for pre-kill
+        // parks are redundant (the re-executed read found the element
+        // present) and dangerous (they could fill a reused slot mid-round).
+        auto pit = w.myParks.find(tok.wakeKey);
+        if (pit == w.myParks.end() ||
+            pit->second.erase(tok.cont.pack()) == 0) {
+          w.st.tokensDropped++;
+          return;
+        }
+        if (pit->second.empty()) w.myParks.erase(pit);
+      }
+      if (killMode() && tok.sendKey != 0 &&
+          !w.dedup.firstCont(tok.senderCtx, tok.sendKey)) {
+        // A re-executed sender re-sent this logical token; it was already
+        // applied (or parked) exactly once.
+        w.st.tokensDropped++;
+        return;
+      }
       frameIdx = tok.cont.frame;
       slot = tok.cont.slot;
       if (frameIdx >= w.frames.size() || w.frames[frameIdx]->dead ||
@@ -428,7 +536,24 @@ struct NativeMachine::Impl {
         w.st.tokensDropped++;  // stale continuation: the frame is gone
         return;
       }
+      NFrame& fr = *w.frames[frameIdx];
+      if (killMode() && tok.sendKey != 0 && fr.replaying &&
+          fr.sentCtxs.count(tok.senderCtx) == 0) {
+        // Fresh result racing the replay (e.g. a survivor child finishing
+        // after the rebuild): the rebuilt consumer has not re-sent to this
+        // context yet, so applying now could clobber an earlier round's
+        // slot. Park it; the re-send trigger delivers it in program order.
+        RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
+        w.pendingReplay[tok.senderCtx].push_back(L.entries.size());
+        L.entries.push_back(contLogEntry(tok, frameIdx, fr.gen));
+        recParkedEarly++;
+        return;
+      }
     } else {
+      if (killMode() && !w.dedup.firstCtx(tok.ctx, tok.slot)) {
+        w.st.tokensDropped++;  // replayed spawn/argument duplicate
+        return;
+      }
       auto it = w.match.find(tok.ctx);
       if (it == w.match.end()) {
         if (plan.enabled() && w.retiredCtxs.count(tok.ctx) != 0) {
@@ -443,6 +568,25 @@ struct NativeMachine::Impl {
       slot = tok.slot;
     }
     NFrame& f = *w.frames[frameIdx];
+    if (killMode() && !(tok.toCont && tok.sendKey == 0)) {
+      // Receive log: every applied ctx token (frame creation order and
+      // argument values) and every keyed continuation token. Wake-ups are
+      // excluded — a replayed read regenerates them from the I-structure.
+      RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
+      if (tok.toCont) {
+        L.entries.push_back(contLogEntry(tok, frameIdx, f.gen));
+      } else {
+        RecEntry e;
+        e.kind = RecEntry::Kind::CtxToken;
+        e.spCode = tok.spCode;
+        e.ctx = tok.ctx;
+        e.slot = slot;
+        e.v = tok.v;
+        e.frame = frameIdx;
+        e.gen = f.gen;
+        L.entries.push_back(e);
+      }
+    }
     PODS_CHECK(slot < f.slots.size());
     if (tok.add) {
       std::int64_t cur = f.slots[slot].empty() ? 0 : f.slots[slot].asInt();
@@ -560,6 +704,23 @@ struct NativeMachine::Impl {
         f.slots[in.dst] = Value::intv(cfg.numWorkers);
         break;
       case Op::NEWCTX:
+        if (killMode()) {
+          // Idempotent mint: the n-th NEWCTX of a replayed frame must return
+          // the context it handed out before the kill. The counter lives in
+          // the stable log so a rebuild never re-mints a pre-kill context.
+          RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
+          const std::uint32_t mseq = f.mintSeq++;
+          if (const Value* m = L.findMint(f.ctx, mseq)) {
+            f.slots[in.dst] = *m;
+            break;
+          }
+          Value v = Value::intv(static_cast<std::int64_t>(
+              (std::uint64_t(static_cast<unsigned>(pe)) << 40) |
+              ++L.ctxCounter));
+          L.recordMint(f.ctx, mseq, v);
+          f.slots[in.dst] = v;
+          break;
+        }
         f.slots[in.dst] = Value::intv(static_cast<std::int64_t>(
             (std::uint64_t(static_cast<unsigned>(pe)) << 40) | ++w.ctxCounter));
         break;
@@ -586,12 +747,27 @@ struct NativeMachine::Impl {
           fail("bad allocation dimensions");
           return Step::Stopped;
         }
+        if (killMode()) {
+          // Replayed allocation resolves to the array created before the
+          // kill — its elements (possibly already written) must survive.
+          RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
+          const std::uint32_t mseq = f.mintSeq++;
+          if (const Value* m = L.findMint(f.ctx, mseq)) {
+            f.slots[in.dst] = *m;
+            break;
+          }
+          Value v = Value::arrayv(allocArray(shape));
+          L.recordMint(f.ctx, mseq, v);
+          f.slots[in.dst] = v;
+          break;
+        }
         f.slots[in.dst] = Value::arrayv(allocArray(shape));
         break;
       }
       case Op::ARD: {
         NArray* a = arrayOperand(f, in.a, sp, "array read");
         if (a == nullptr) return Step::Stopped;
+        const ArrayId arrId = f.slots[in.a].asArray();
         const std::int64_t i0 = f.slots[in.b].asInt();
         const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
         std::int64_t offset;
@@ -610,10 +786,25 @@ struct NativeMachine::Impl {
             v = elem;
             present = true;
           } else {
-            a->waiters[offset].push_back(ElemWaiter{c});
+            auto& wl = a->waiters[offset];
+            bool dup = false;
+            if (killMode()) {
+              // A replayed read re-parks the same continuation its pre-kill
+              // instance parked (the waiter list survives the kill); a
+              // second entry would fire a second wake into a reused slot.
+              for (const ElemWaiter& ew : wl)
+                if (ew.cont.pack() == c.pack()) { dup = true; break; }
+            }
+            if (!dup) wl.push_back(ElemWaiter{c});
           }
         }
-        if (present) f.slots[in.dst] = v;
+        if (present) {
+          f.slots[in.dst] = v;
+        } else if (killMode()) {
+          // Register the park so the wake (whenever the writer fires it) is
+          // recognized as live; see Worker::myParks.
+          w.myParks[elemWakeKey(arrId, offset)].insert(c.pack());
+        }
         break;
       }
       case Op::AWR: {
@@ -631,6 +822,12 @@ struct NativeMachine::Impl {
           std::lock_guard<std::mutex> g(a->m);
           Value& elem = a->elems[static_cast<std::size_t>(offset)];
           if (!elem.empty()) {
+            if (killMode() && elem.identical(f.slots[in.dst])) {
+              // Replayed write of the value this element already holds:
+              // single assignment makes it a no-op (no waiter can be parked
+              // on a present element), not a violation.
+              break;
+            }
             fail("single-assignment violation at element " +
                  std::to_string(offset));
             return Step::Stopped;
@@ -647,6 +844,8 @@ struct NativeMachine::Impl {
           tok.toCont = true;
           tok.cont = waiter.cont;
           tok.v = f.slots[in.dst];
+          if (killMode())
+            tok.wakeKey = elemWakeKey(f.slots[in.a].asArray(), offset);
           send(pe, waiter.cont.pe, std::move(tok));
         }
         break;
@@ -686,12 +885,21 @@ struct NativeMachine::Impl {
         tok.slot = in.targetSlot();
         tok.ctx = static_cast<std::uint64_t>(f.slots[in.b].asInt());
         tok.v = f.slots[in.a];
+        const std::uint64_t targetCtx = tok.ctx;
         if (in.op == Op::SENDA) {
           send(pe, pe, std::move(tok));
         } else {
           for (int dest = 0; dest < cfg.numWorkers; ++dest) {
             send(pe, dest, tok);
           }
+        }
+        // A rebuilt worker parks logged continuation results until the frame
+        // that consumed them re-runs; the first send *to* the callee's
+        // context is the replay point where its logged replies re-apply.
+        if (killMode() && f.replaying) {
+          f.sentCtxs.insert(targetCtx);
+          if (!w.pendingReplay.empty())
+            replayResponsesFor(pe, targetCtx, frameIdx, f);
         }
         break;
       }
@@ -703,6 +911,14 @@ struct NativeMachine::Impl {
         tok.cont = c;
         tok.v = f.slots[in.a];
         tok.add = in.op == Op::ADDC;
+        if (killMode()) {
+          // Logical send identity: deterministic re-execution reproduces the
+          // same (sender ctx, sender PE, seq) triple, so receivers can drop
+          // the duplicate even though it travels as a brand-new message.
+          tok.senderCtx = f.ctx;
+          // Pre-increment: seq 0 on PE 0 would pack to the "unkeyed" 0.
+          tok.sendKey = packSendKey(pe, ++f.sendSeq);
+        }
         send(pe, c.pe, std::move(tok));
         break;
       }
@@ -741,6 +957,135 @@ struct NativeMachine::Impl {
     if (!a.shape.inBounds(i0, i1)) return false;
     offset = a.shape.flatten(i0, i1);
     return true;
+  }
+
+  // --- fail-stop recovery (kill mode) ----------------------------------------
+
+  /// The fail-stop itself, run on the victim's own thread: every piece of
+  /// volatile PE state is discarded and rebuilt from the stable receive log.
+  /// Frames come back at their original indices and generations (the log
+  /// records both at creation), END records turn storage back into retired
+  /// stubs with the same post-retirement generation, and every live frame
+  /// re-executes from pc 0. Logged continuation results are parked and
+  /// re-delivered on demand (see replayResponsesFor). The inbox and the
+  /// WorkerStats ledger are deliberately untouched: in-flight tokens belong
+  /// to the network, and the rebuilt live-frame count equals the discarded
+  /// one, so the quiescence charges remain exact.
+  void performKill(int pe) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    killFired = true;
+    w.frames.clear();
+    w.freeList.clear();
+    w.match.clear();
+    w.ready.clear();
+    w.seenMsgs.clear();
+    w.retiredCtxs.clear();
+    w.dedup.clear();
+    w.pendingReplay.clear();
+    w.myParks.clear();
+    RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
+    for (std::size_t i = 0; i < L.entries.size(); ++i) {
+      const RecEntry& e = L.entries[i];
+      switch (e.kind) {
+        case RecEntry::Kind::Boot:
+        case RecEntry::Kind::CtxToken: {
+          std::uint32_t idx;
+          auto it = w.match.find(e.ctx);
+          if (it == w.match.end()) {
+            idx = e.frame;
+            PODS_CHECK_MSG(idx <= w.frames.size(),
+                           "recovery log creates frames out of order");
+            if (idx == w.frames.size()) {
+              w.frames.push_back(std::make_unique<NFrame>());
+            } else {
+              PODS_CHECK_MSG(w.frames[idx]->dead,
+                             "recovery log reuses a live frame index");
+            }
+            NFrame& nf = *w.frames[idx];
+            nf.spCode = e.spCode;
+            nf.ctx = e.ctx;
+            nf.pc = 0;
+            nf.blockedSlot = kNoSlot;
+            nf.gen = e.gen;
+            nf.blocked = false;
+            nf.dead = false;
+            nf.sendSeq = 0;
+            nf.mintSeq = 0;
+            nf.replaying = true;
+            nf.sentCtxs.clear();
+            nf.slots.assign(prog.sp(e.spCode).numSlots, Value{});
+            w.match[e.ctx] = idx;
+          } else {
+            idx = it->second;
+          }
+          if (e.kind == RecEntry::Kind::CtxToken) {
+            w.dedup.firstCtx(e.ctx, e.slot);
+            w.frames[idx]->slots[e.slot] = e.v;
+          }
+          break;
+        }
+        case RecEntry::Kind::ConToken:
+          // Held back until the re-executing consumer re-sends to the
+          // original sender's context, so multi-round slots refill in
+          // program order.
+          w.dedup.firstCont(e.senderCtx, e.sendKey);
+          w.pendingReplay[e.senderCtx].push_back(i);
+          break;
+        case RecEntry::Kind::End: {
+          auto it = w.match.find(e.ctx);
+          PODS_CHECK_MSG(it != w.match.end(),
+                         "recovery log retires an unknown context");
+          NFrame& nf = *w.frames[it->second];
+          nf.dead = true;
+          nf.gen = static_cast<std::uint16_t>((nf.gen + 1) & Cont::kGenMask);
+          nf.slots.clear();
+          w.retiredCtxs.insert(e.ctx);
+          w.dedup.forget(e.ctx);
+          w.match.erase(it);
+          break;
+        }
+      }
+    }
+    for (std::uint32_t idx = 0;
+         idx < static_cast<std::uint32_t>(w.frames.size()); ++idx) {
+      if (w.frames[idx]->dead) {
+        w.freeList.push_back(idx);
+      } else {
+        w.ready.push_back(idx);
+        recReplayedFrames++;
+      }
+    }
+  }
+
+  /// On-demand re-delivery of parked responses: frame `frameIdx` (re-)sent a
+  /// token to context `target`, so every parked continuation delivery *from*
+  /// that context *into* this frame instance is due now. Entries addressed
+  /// to other frames stay parked.
+  void replayResponsesFor(int pe, std::uint64_t target, std::uint32_t frameIdx,
+                          NFrame& f) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    auto it = w.pendingReplay.find(target);
+    if (it == w.pendingReplay.end()) return;
+    auto& idxs = it->second;
+    const RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
+    for (std::size_t i = 0; i < idxs.size();) {
+      const RecEntry& e = L.entries[idxs[i]];
+      if (e.frame != frameIdx || e.gen != f.gen) {
+        ++i;
+        continue;
+      }
+      PODS_CHECK_MSG(e.slot < f.slots.size(), "replayed slot out of range");
+      if (e.add) {
+        std::int64_t cur =
+            f.slots[e.slot].empty() ? 0 : f.slots[e.slot].asInt();
+        f.slots[e.slot] = Value::intv(cur + e.v.asInt());
+      } else {
+        f.slots[e.slot] = e.v;
+      }
+      recReplayedTokens++;
+      idxs.erase(idxs.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    if (idxs.empty()) w.pendingReplay.erase(it);
   }
 
   // --- worker loop ------------------------------------------------------------
@@ -787,7 +1132,12 @@ struct NativeMachine::Impl {
 
   void workerMain(int pe) {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
+    const bool killTarget = killMode() && pe == cfg.faults.killPe;
     while (!stop.load()) {
+      if (killTarget && !killFired &&
+          std::chrono::steady_clock::now() >= killAt) {
+        performKill(pe);
+      }
       drainInbox(pe);
       if (!w.ready.empty()) {
         std::uint32_t idx = w.ready.front();
@@ -814,14 +1164,43 @@ struct NativeMachine::Impl {
         idleWorkers.fetch_sub(1);
         continue;
       }
-      w.cv.wait(g, [&] { return !w.inbox.empty() || stop.load(); });
+      if (killTarget && !killFired) {
+        // The victim must observe its wall-clock deadline even while idle:
+        // poll with a short timed wait until the kill has fired, then drop
+        // back to untimed waits. Spurious timeouts just bump the epoch.
+        w.cv.wait_for(g, std::chrono::milliseconds(1),
+                      [&] { return !w.inbox.empty() || stop.load(); });
+      } else {
+        w.cv.wait(g, [&] { return !w.inbox.empty() || stop.load(); });
+      }
       idleWorkers.fetch_sub(1);
       wakeEpoch.fetch_add(1);  // deregister first, bump second, consume last
     }
   }
 
   NativeResult run() {
+    if (killMode() && cfg.faults.killPe >= cfg.numWorkers) {
+      NativeResult bad;
+      bad.ok = false;
+      bad.error = "kill fault targets worker " +
+                  std::to_string(cfg.faults.killPe) + " but only " +
+                  std::to_string(cfg.numWorkers) + " workers exist";
+      return bad;
+    }
     auto t0 = std::chrono::steady_clock::now();
+    if (killMode()) {
+      killAt = t0 + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::micro>(
+                            cfg.faults.killTimeUs));
+      // The boot frame is not spawned by a token; log it so a kill of
+      // worker 0 can rebuild main.
+      RecEntry boot;
+      boot.kind = RecEntry::Kind::Boot;
+      boot.spCode = prog.mainSp;
+      boot.ctx = 0;
+      recLogs[0].entries.push_back(boot);
+    }
     // Boot main on worker 0 via a spawn token carrying no payload slot —
     // create the frame directly instead (main may take no arguments).
     createFrame(*workers[0], prog.mainSp, 0);
@@ -909,6 +1288,12 @@ struct NativeMachine::Impl {
       std::int64_t dedup = 0;
       for (const auto& w : workers) dedup += w->st.dupSuppressed;
       out.counters.add("net.retx.dupSuppressed", dedup);
+    }
+    if (killMode()) {
+      out.counters.add("fault.kills", killFired ? 1 : 0);
+      out.counters.add("recovery.replayedFrames", recReplayedFrames);
+      out.counters.add("recovery.replayedTokens", recReplayedTokens);
+      out.counters.add("recovery.parkedEarly", recParkedEarly);
     }
     return out;
   }

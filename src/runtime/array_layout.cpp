@@ -5,7 +5,19 @@
 namespace pods {
 
 int ArrayLayout::pageOwner(std::int64_t page) const {
-  PODS_CHECK(page >= 0 && page < std::max<std::int64_t>(numPages_, 1));
+  // A zero-element array has no pages at all; treat page 0 of the empty
+  // layout as home of PE 0 so callers probing a degenerate array get a
+  // well-defined owner instead of dividing by numPages_ == 0.
+  if (numPages_ == 0) {
+    PODS_CHECK(page == 0);
+    return 0;
+  }
+  PODS_CHECK(page >= 0 && page < numPages_);
+  if (!pageSeg_.empty()) {
+    for (int pe = 0; pe < numPEs_; ++pe)
+      if (pageSeg_[pe].contains(page)) return pe;
+    PODS_UNREACHABLE("migrated page segments do not cover all pages");
+  }
   const std::int64_t q = numPages_ / numPEs_;
   const std::int64_t r = numPages_ % numPEs_;
   // First r PEs hold q+1 pages each, covering the first r*(q+1) pages.
@@ -13,6 +25,40 @@ int ArrayLayout::pageOwner(std::int64_t page) const {
   if (page < firstBlock) return static_cast<int>(page / (q + 1));
   if (q == 0) return numPEs_ - 1;  // degenerate: fewer pages than PEs
   return static_cast<int>(r + (page - firstBlock) / q);
+}
+
+void ArrayLayout::migratePe(int deadPe) {
+  PODS_CHECK(deadPe >= 0 && deadPe < numPEs_);
+  if (dead_.empty()) dead_.assign(numPEs_, false);
+  if (dead_[deadPe]) return;  // idempotent
+  dead_[deadPe] = true;
+  int survivors = 0;
+  for (int pe = 0; pe < numPEs_; ++pe)
+    if (!dead_[pe]) ++survivors;
+  PODS_CHECK_MSG(survivors >= 1, "cannot migrate the last surviving PE");
+  if (pageSeg_.empty()) {
+    // Build into a local first: pageSegment() returns pageSeg_[pe] verbatim
+    // once the remap vector is non-empty, so resizing pageSeg_ before
+    // filling it would make every segment read back as empty.
+    std::vector<IdxRange> segs(numPEs_);
+    for (int pe = 0; pe < numPEs_; ++pe) segs[pe] = pageSegment(pe);
+    pageSeg_ = std::move(segs);
+  }
+  IdxRange moved = pageSeg_[deadPe];
+  pageSeg_[deadPe] = {};
+  if (moved.empty()) return;  // nothing to hand over
+  // Nearest surviving lower neighbor absorbs the block (its segment is
+  // adjacent from below after any earlier merges); if the dead PE had no
+  // live predecessor, the nearest higher survivor takes it instead.
+  int heir = -1;
+  for (int pe = deadPe - 1; pe >= 0; --pe)
+    if (!dead_[pe]) { heir = pe; break; }
+  if (heir < 0)
+    for (int pe = deadPe + 1; pe < numPEs_; ++pe)
+      if (!dead_[pe]) { heir = pe; break; }
+  IdxRange& h = pageSeg_[heir];
+  h = h.empty() ? moved
+                : IdxRange{std::min(h.lo, moved.lo), std::max(h.hi, moved.hi)};
 }
 
 IdxRange ArrayLayout::ownedRows(int pe) const {

@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <vector>
 
 #include "support/check.hpp"
 
@@ -22,7 +24,19 @@ struct ArrayShape {
   std::int64_t dim0 = 0;  ///< rows (or length for rank 1)
   std::int64_t dim1 = 1;  ///< columns (1 for rank 1)
 
-  std::int64_t numElems() const { return dim0 * dim1; }
+  /// Element count with an overflow-checked multiply: adversarial dims must
+  /// fail loudly here instead of wrapping and corrupting paging math.
+  std::int64_t numElems() const {
+    std::int64_t n = 0;
+    if (__builtin_mul_overflow(dim0, dim1, &n)) {
+      char msg[96];
+      std::snprintf(msg, sizeof msg,
+                    "ArrayShape %lld x %lld overflows int64 element count",
+                    static_cast<long long>(dim0), static_cast<long long>(dim1));
+      checkFailed("dim0 * dim1 fits in int64", __FILE__, __LINE__, msg);
+    }
+    return n;
+  }
   std::int64_t flatten(std::int64_t i, std::int64_t j) const { return i * dim1 + j; }
   bool inBounds(std::int64_t i, std::int64_t j) const {
     return i >= 0 && i < dim0 && j >= 0 && j < dim1;
@@ -57,14 +71,31 @@ class ArrayLayout {
   std::int64_t pageOfOffset(std::int64_t offset) const { return offset / pageElems_; }
 
   /// Pages are grouped into numPEs contiguous segments of approximately equal
-  /// size (the first `numPages % numPEs` PEs get one extra page).
+  /// size (the first `numPages % numPEs` PEs get one extra page). After a
+  /// migratePe() the remap table takes over; segments stay contiguous because
+  /// a dead PE's block is merged into an adjacent survivor's.
   IdxRange pageSegment(int pe) const {
     PODS_CHECK(pe >= 0 && pe < numPEs_);
+    if (!pageSeg_.empty()) return pageSeg_[pe];
     const std::int64_t q = numPages_ / numPEs_;
     const std::int64_t r = numPages_ % numPEs_;
     const std::int64_t lo = pe * q + std::min<std::int64_t>(pe, r);
     const std::int64_t n = q + (pe < r ? 1 : 0);
+    if (n <= 0) return {};
     return {lo, lo + n - 1};
+  }
+
+  /// Ownership migration after a fail-stop: reassigns `deadPe`'s page
+  /// segment to the nearest surviving neighbor (lower-numbered if one
+  /// exists, else the next higher). Segments remain contiguous, so
+  /// pageOwner / ownedRows / ownedColsOfRow stay disjoint and covering over
+  /// the surviving PEs. Requires at least one survivor; idempotent per PE.
+  void migratePe(int deadPe);
+
+  bool migrated() const { return !pageSeg_.empty(); }
+  bool peDead(int pe) const {
+    PODS_CHECK(pe >= 0 && pe < numPEs_);
+    return !dead_.empty() && dead_[pe];
   }
 
   /// Which PE owns a page.
@@ -96,6 +127,10 @@ class ArrayLayout {
   int numPEs_;
   int pageElems_;
   std::int64_t numPages_;
+  // Migration remap: empty until the first migratePe(). Once populated,
+  // pageSeg_[pe] is the authoritative (possibly empty) page range of pe.
+  std::vector<IdxRange> pageSeg_;
+  std::vector<bool> dead_;
 };
 
 /// Even block partitioning of an inclusive index range [lo, hi] over numPEs

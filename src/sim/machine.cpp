@@ -9,6 +9,7 @@
 
 #include "runtime/ops.hpp"
 #include "support/check.hpp"
+#include "support/recovery.hpp"
 
 // Implementation notes.
 //
@@ -37,6 +38,20 @@
 // so a faulty run is bit-deterministic for a fixed seed. Stale timer events
 // that fire after their message was acked are skipped without extending the
 // reported completion time.
+//
+// Fail-stop recovery (kill mode, see support/recovery.hpp): a PeKill event
+// wipes one PE's volatile state (frames, match table, caches, deferred-read
+// queues, protocol dedup sets) and bumps its incarnation; a PeRestart event
+// rebuilds it from the per-PE receive log and re-executes every frame that
+// was live at the kill from pc 0. Local events from the old incarnation
+// (EuKick, SlotFill) are dropped — re-execution regenerates them — while
+// in-flight token and Array Manager deliveries are *held* and re-delivered
+// after the rebuild, because their senders may have retired before the kill
+// and will never resend. Logical send keys deduplicate everything a replay
+// re-sends. Quiescence needs no special accounting: the PeRestart event
+// keeps the queue non-empty across the dead window, and messages addressed
+// to the dead PE are simply not acked, so the sender-side retransmit timers
+// redeliver them after the restart.
 
 namespace pods::sim {
 
@@ -62,6 +77,16 @@ struct Frame {
   FrameState state = FrameState::Ready;
   std::uint16_t blockedSlot = kNoSlot;
   std::vector<Value> slots;
+  // Kill mode: deterministic per-frame streams so a re-executed frame
+  // reproduces the same send keys and minted identities.
+  std::uint32_t sendSeq = 0;
+  std::uint32_t mintSeq = 0;
+  // Kill mode: true on frames rebuilt from the receive log. A replaying
+  // frame only accepts continuation results from contexts it has re-sent to
+  // (sentCtxs); earlier arrivals are parked so a multi-round slot cannot be
+  // filled with a later round's value before the earlier round re-runs.
+  bool replaying = false;
+  std::unordered_set<std::uint64_t> sentCtxs;
 };
 
 struct Token {
@@ -72,6 +97,11 @@ struct Token {
   Cont cont{};
   Value v{};
   bool add = false;  // join-counter token: add to the slot instead of set
+  // Kill mode: logical identity of a continuation-addressed send, stable
+  // under sender re-execution (msgIds are not — a replayed send is a new
+  // message). 0 = unstamped (AM responses, which replay regenerates).
+  std::uint64_t senderCtx = 0;
+  std::uint64_t sendKey = 0;
 };
 
 /// Presence-mask snapshot of one cached remote page (up to 256 elems/page).
@@ -110,6 +140,10 @@ struct AmTask {
   // Alloc / AllocInstall:
   ArrayShape shape{};
   bool distributed = false;
+  // Kill mode, Alloc only: the minting frame's (ctx, mint sequence), so a
+  // replayed allocation returns the original array id from the mint log.
+  std::uint64_t senderCtx = 0;
+  std::uint32_t mintSeq = 0;
   // Rf:
   std::uint8_t dim = 0;
   std::int32_t rfOff = 0;
@@ -128,6 +162,8 @@ enum class EvKind : std::uint8_t {
   NetDeliver,    // lossy mode: reliable message copy reaches the receiver
   NetAckArrive,  // lossy mode: acknowledgment reaches the sender
   NetTimeout,    // lossy mode: sender retransmit timer fires
+  PeKill,        // kill mode: fail-stop one PE (wipe its volatile state)
+  PeRestart,     // kill mode: rebuild the killed PE from its receive log
 };
 
 const char* evKindName(EvKind k) {
@@ -140,6 +176,8 @@ const char* evKindName(EvKind k) {
     case EvKind::NetDeliver: return "NetDeliver";
     case EvKind::NetAckArrive: return "NetAckArrive";
     case EvKind::NetTimeout: return "NetTimeout";
+    case EvKind::PeKill: return "PeKill";
+    case EvKind::PeRestart: return "PeRestart";
   }
   return "?";
 }
@@ -156,6 +194,9 @@ struct Ev {
   std::uint16_t netFrom = 0; // NetDeliver: sending PE (ack destination)
   std::uint32_t attempt = 0; // NetTimeout: transmission this timer covers
   bool isToken = false;      // NetDeliver payload discriminator
+  // Kill mode: the target PE's incarnation when this (PE-local) event was
+  // scheduled; a mismatch at dispatch means the PE died in between.
+  std::uint32_t inc = 0;
 };
 
 struct EvLater {
@@ -207,6 +248,16 @@ struct PeState {
   // injected delays/retransmits broke the network's normal FIFO order. It
   // must be discarded, not allowed to spawn a zombie instance.
   std::unordered_set<std::uint64_t> retiredCtxs;
+
+  // Kill mode.
+  bool dead = false;           // inside the fail-stop window
+  std::uint32_t incarnation = 0;
+  ReplayDedup dedup;           // logical exactly-once filter (see recovery.hpp)
+  // Logged continuation-addressed deliveries awaiting on-demand re-delivery
+  // after a restart: sender ctx -> indices into the PE's receive log. They
+  // are handed out when a re-executing frame re-sends to that sender's
+  // context, which is exactly after the slot's CLEAR of the matching round.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> pendingReplay;
 };
 
 /// Sender-side copy of one unacknowledged reliable message (lossy mode).
@@ -263,6 +314,10 @@ struct Machine::Impl {
   // Completion time excluding stale retransmit timers that fire (and are
   // ignored) after the last real work; `now` still tracks the raw queue.
   SimTime lastUseful{};
+  // Kill mode: per-PE stable recovery logs (conceptually off-PE storage —
+  // they survive the fail-stop) and the events held during the dead window.
+  std::vector<RecoveryLog> recLogs;
+  std::vector<Ev> deadHeld;
 
   Impl(const SpProgram& p, MachineConfig c)
       : prog(p),
@@ -282,15 +337,31 @@ struct Machine::Impl {
     }
     tracing = !cfg.tracePath.empty();
     plan = FaultPlan(c.faults);
+    if (killMode()) recLogs.resize(pes.size());
   }
 
   /// True when the lossy network + reliable-delivery protocol is active.
   bool faulty() const { return plan.enabled(); }
+  /// True when a fail-stop kill is scheduled (implies faulty()).
+  bool killMode() const { return cfg.faults.killEnabled(); }
 
   // --- infrastructure ------------------------------------------------------
 
   void push(Ev ev) {
     ev.seq = ++seq;
+    // Stamp PE-local events with the target's incarnation: if the PE dies
+    // before the event fires, dispatch can tell it belongs to a lost life.
+    switch (ev.kind) {
+      case EvKind::EuKick:
+      case EvKind::TokenAtMu:
+      case EvKind::TokenDeliver:
+      case EvKind::AmArrive:
+      case EvKind::SlotFill:
+        ev.inc = pes[ev.pe].incarnation;
+        break;
+      default:
+        break;
+    }
     q.push(std::move(ev));
   }
 
@@ -432,6 +503,12 @@ struct Machine::Impl {
   /// was fresh (delivered payload, not a suppressed duplicate).
   bool netDeliver(Ev& ev) {
     PeState& P = pes[ev.pe];
+    if (P.dead) {
+      // A dead PE neither receives nor acknowledges: the sender's
+      // retransmit timer re-offers the message until after the restart.
+      stats.counters.add("fault.deadDrops");
+      return false;
+    }
     const bool fresh = P.seenMsgs.insert(ev.msgId).second;
     if (!fresh) {
       stats.counters.add("net.retx.dupSuppressed");
@@ -672,11 +749,22 @@ struct Machine::Impl {
     return idx;
   }
 
-  void deliverToken(std::uint16_t pe, SimTime t, const Token& tok) {
+  /// `fromMu` distinguishes real token traffic (logged + logically
+  /// deduplicated in kill mode) from local Array Manager slot fills, which
+  /// a replayed frame regenerates by re-issuing its requests.
+  void deliverToken(std::uint16_t pe, SimTime t, const Token& tok,
+                    bool fromMu) {
     PeState& P = pes[pe];
     std::uint32_t frameIdx;
     std::uint16_t slot;
     if (tok.toCont) {
+      if (killMode() && fromMu && tok.sendKey != 0 &&
+          !P.dedup.firstCont(tok.senderCtx, tok.sendKey)) {
+        // A re-executed sender re-sent this logical token (or a held copy
+        // raced a replayed one): it was already applied exactly once.
+        stats.counters.add("tokens.replayDup");
+        return;
+      }
       frameIdx = tok.cont.frame;
       slot = tok.cont.slot;
       if (frameIdx >= P.frames.size() ||
@@ -684,7 +772,23 @@ struct Machine::Impl {
         stats.counters.add("tokens.dropped");
         return;
       }
+      Frame& fr = P.frames[frameIdx];
+      if (killMode() && fromMu && tok.sendKey != 0 && fr.replaying &&
+          fr.sentCtxs.count(tok.senderCtx) == 0) {
+        // Fresh result racing the replay (e.g. a survivor child finishing
+        // after the restart): the rebuilt consumer has not re-sent to this
+        // context yet, so applying now could clobber an earlier round's
+        // slot. Park it; the re-send trigger delivers it in program order.
+        P.pendingReplay[tok.senderCtx].push_back(recLogs[pe].entries.size());
+        logToken(pe, tok, frameIdx);
+        stats.counters.add("recovery.parkedEarly");
+        return;
+      }
     } else {
+      if (killMode() && fromMu && !P.dedup.firstCtx(tok.ctx, tok.slot)) {
+        stats.counters.add("tokens.replayDup");
+        return;
+      }
       auto it = P.match.find(tok.ctx);
       if (it == P.match.end()) {
         if (faulty() && P.retiredCtxs.count(tok.ctx) != 0) {
@@ -699,6 +803,7 @@ struct Machine::Impl {
       }
       slot = tok.slot;
     }
+    if (killMode() && fromMu) logToken(pe, tok, frameIdx);
     Frame& f = P.frames[frameIdx];
     PODS_CHECK_MSG(slot < f.slots.size(), "token slot out of range");
     if (tok.add) {
@@ -708,6 +813,26 @@ struct Machine::Impl {
       f.slots[slot] = tok.v;
     }
     wakeIfBlockedOn(pe, frameIdx, slot, t);
+  }
+
+  /// Appends one applied delivery to the PE's stable receive log.
+  void logToken(std::uint16_t pe, const Token& tok, std::uint32_t frameIdx) {
+    RecEntry e;
+    if (tok.toCont) {
+      e.kind = RecEntry::Kind::ConToken;
+      e.frame = frameIdx;
+      e.slot = tok.cont.slot;
+      e.senderCtx = tok.senderCtx;
+      e.sendKey = tok.sendKey;
+      e.add = tok.add;
+    } else {
+      e.kind = RecEntry::Kind::CtxToken;
+      e.ctx = tok.ctx;
+      e.slot = tok.slot;
+      e.spCode = tok.spCode;
+    }
+    e.v = tok.v;
+    recLogs[pe].entries.push_back(e);
   }
 
   // --- per-instruction execution -------------------------------------------
@@ -839,6 +964,24 @@ struct Machine::Impl {
         break;
       case Op::NEWCTX:
         charge(false);
+        if (killMode()) {
+          // Idempotent mint: the n-th NEWCTX of a replayed frame must
+          // return the context it handed out before the kill — children
+          // spawned under it (and their continuations back to us) already
+          // carry that identity. The counter lives in the stable log so a
+          // restart never re-mints a pre-kill context.
+          RecoveryLog& L = recLogs[pe];
+          const std::uint32_t mseq = f.mintSeq++;
+          if (const Value* m = L.findMint(f.ctx, mseq)) {
+            f.slots[in.dst] = *m;
+            break;
+          }
+          Value v = Value::intv(static_cast<std::int64_t>(
+              (std::uint64_t(pe) << 40) | ++L.ctxCounter));
+          L.recordMint(f.ctx, mseq, v);
+          f.slots[in.dst] = v;
+          break;
+        }
         // PE-unique, monotonically increasing context tags.
         f.slots[in.dst] = Value::intv(
             static_cast<std::int64_t>((std::uint64_t(pe) << 40) |
@@ -868,6 +1011,12 @@ struct Machine::Impl {
         task.shape.dim0 = f.slots[in.a].asInt();
         task.shape.dim1 = in.dim == 2 ? f.slots[in.b].asInt() : 1;
         task.cont = {pe, static_cast<std::uint32_t>(P.current), in.dst};
+        if (killMode()) {
+          // Stamp the mint identity so a replayed allocation resolves to the
+          // array created before the kill instead of a fresh (empty) one.
+          task.senderCtx = f.ctx;
+          task.mintSeq = f.mintSeq++;
+        }
         if (task.shape.dim0 < 0 || task.shape.dim1 < 0 ||
             task.shape.numElems() > (std::int64_t(1) << 24)) {
           runtimeError("bad allocation dimensions");
@@ -983,10 +1132,20 @@ struct Machine::Impl {
         tok.ctx = static_cast<std::uint64_t>(f.slots[in.b].asInt());
         tok.v = f.slots[in.a];
         stats.counters.add("tokens.sent");
+        const std::uint64_t targetCtx = tok.ctx;
         if (in.op == Op::SENDA) {
           sendToken(pe, pe, t, std::move(tok));
         } else {
           broadcastToken(pe, t, tok);
+        }
+        // A restarted PE parks logged continuation results until the frame
+        // that consumed them re-runs; the first send *to* the callee's
+        // context is the replay point where its logged replies re-apply.
+        if (killMode() && f.replaying) {
+          f.sentCtxs.insert(targetCtx);
+          if (!P.pendingReplay.empty())
+            replayResponsesFor(pe, targetCtx,
+                               static_cast<std::uint32_t>(P.current));
         }
         break;
       }
@@ -999,6 +1158,14 @@ struct Machine::Impl {
         tok.cont = c;
         tok.v = f.slots[in.a];
         tok.add = in.op == Op::ADDC;
+        if (killMode()) {
+          // Logical send identity: deterministic re-execution reproduces the
+          // same (sender ctx, sender PE, seq) triple, so receivers can drop
+          // the duplicate even though it travels as a brand-new message.
+          tok.senderCtx = f.ctx;
+          // Pre-increment: seq 0 on PE 0 would pack to the "unkeyed" 0.
+          tok.sendKey = packSendKey(pe, ++f.sendSeq);
+        }
         stats.counters.add("tokens.sent");
         sendToken(pe, c.pe, t, std::move(tok));
         break;
@@ -1026,6 +1193,13 @@ struct Machine::Impl {
         charge(false);
         f.state = FrameState::Dead;
         if (faulty()) P.retiredCtxs.insert(f.ctx);
+        if (killMode()) {
+          RecEntry e;
+          e.kind = RecEntry::Kind::End;
+          e.ctx = f.ctx;
+          recLogs[pe].entries.push_back(e);
+          P.dedup.forget(f.ctx);
+        }
         P.match.erase(f.ctx);
         f.slots.clear();
         f.slots.shrink_to_fit();
@@ -1132,7 +1306,37 @@ struct Machine::Impl {
     switch (task.kind) {
       case AmTask::Kind::Alloc: {
         SimTime done = unitSched(pe, Unit::AM, t, tm.allocArray);
+        if (killMode()) {
+          // Replayed allocation: hand back the array created before the kill
+          // (its elements — possibly already written — survive in the global
+          // store) instead of minting a fresh empty one.
+          if (const Value* m =
+                  recLogs[pe].findMint(task.senderCtx, task.mintSeq)) {
+            P.headers.emplace(m->asArray(), 0);
+            fillSlotLater(pe, done + tm.unitSignal, task.cont, *m);
+            stats.counters.add("array.allocs.replayDup");
+            flushPendingHeader(pe, done, m->asArray());
+            break;
+          }
+        }
         ArrayId id = store.create(pe, task.shape, task.distributed);
+        if (killMode()) {
+          recLogs[pe].recordMint(task.senderCtx, task.mintSeq,
+                                 Value::arrayv(id));
+          // Arrays born while a PE is down never home pages on it: remap the
+          // dead PE's segment onto a surviving neighbor so writes and reads
+          // of this array need not stall until the restart. (Ownership is
+          // fixed for an array's lifetime, so the remap is permanent — the
+          // restarted PE simply owns nothing of arrays it never saw born.)
+          if (task.distributed) {
+            ArrayInfo* born = store.find(id);
+            for (int d = 0; d < cfg.numPEs; ++d)
+              if (pes[d].dead) {
+                born->layout.migratePe(d);
+                stats.counters.add("recovery.migratedArrays");
+              }
+          }
+        }
         P.headers.emplace(id, 0);
         fillSlotLater(pe, done + tm.unitSignal, task.cont, Value::arrayv(id));
         stats.counters.add("array.allocs");
@@ -1369,6 +1573,17 @@ struct Machine::Impl {
       return;
     }
     const int owner = info->owner(offset);
+    // Under fail-stop replay a re-executed frame rewrites elements it wrote
+    // before the kill. Single assignment makes the replay value identical,
+    // so the rewrite is a no-op (nobody can still be waiting on a present
+    // element) rather than a violation; a *different* value still faults.
+    if (killMode() && !task.forwarded &&
+        !info->elems[static_cast<std::size_t>(offset)].empty() &&
+        info->elems[static_cast<std::size_t>(offset)].identical(task.v)) {
+      unitSched(pe, Unit::AM, t, tm.memWrite);
+      stats.counters.add("array.writes.replayDup");
+      return;
+    }
     if (owner != pe) {
       // Remote write: commit the value here (single assignment makes it
       // final, so the writer may also cache it — its own read-after-write,
@@ -1430,6 +1645,257 @@ struct Machine::Impl {
     }
   }
 
+  // --- fail-stop recovery (kill mode) --------------------------------------
+
+  /// True for Array Manager tasks a PE enqueues against itself on behalf of
+  /// its own frames (reads, writes, allocations, header queries). After a
+  /// kill these are volatile-state artifacts of the dead incarnation — the
+  /// replayed frames re-issue every one of them — and must be dropped, not
+  /// held: a stale Read, for instance, would re-register its continuation
+  /// under the *old* round's element and poison a multi-round slot with a
+  /// later iteration's value once the response lands. Network-origin tasks
+  /// (forwarded writes, remote read requests, page/value responses, header
+  /// installs) stay held: their senders acked and moved on, so the held
+  /// copy can be the only one left.
+  static bool amTaskIsLocalRequest(const AmTask& task) {
+    switch (task.kind) {
+      case AmTask::Kind::Read:
+      case AmTask::Kind::Alloc:
+      case AmTask::Kind::Rf:
+      case AmTask::Kind::DimQ:
+        return true;
+      case AmTask::Kind::Write:
+        return !task.forwarded;
+      default:
+        return false;
+    }
+  }
+
+  /// Filters events touching the killed PE. Events from a previous
+  /// incarnation are volatile-state artifacts: EU kicks, AM slot fills and
+  /// the PE's own Array Manager requests are dropped (re-execution
+  /// regenerates them), while token and network-origin Array Manager
+  /// deliveries are *held* — their senders may have retired before the
+  /// kill and will never resend — and re-injected after the rebuild,
+  /// where the logical dedup filters absorb any copy a replay also
+  /// regenerates. Returns true when the event must not be dispatched.
+  bool staleOrHeld(Ev& ev) {
+    switch (ev.kind) {
+      case EvKind::EuKick:
+      case EvKind::TokenAtMu:
+      case EvKind::TokenDeliver:
+      case EvKind::AmArrive:
+      case EvKind::SlotFill:
+        break;
+      default:
+        return false;  // network-layer + kill events are never PE-volatile
+    }
+    PeState& P = pes[ev.pe];
+    if (ev.inc == P.incarnation && !P.dead) return false;
+    if (ev.kind == EvKind::EuKick || ev.kind == EvKind::SlotFill ||
+        (ev.kind == EvKind::AmArrive && amTaskIsLocalRequest(ev.am))) {
+      stats.counters.add("recovery.droppedEvents");
+      return true;
+    }
+    if (P.dead) {
+      stats.counters.add("recovery.heldEvents");
+      deadHeld.push_back(std::move(ev));
+      return true;
+    }
+    // Already restarted: deliver as a fresh arrival; dedup does the rest.
+    if (ev.kind == EvKind::TokenDeliver) {
+      deliverToken(ev.pe, ev.t, ev.tok, /*fromMu=*/true);
+      return true;
+    }
+    ev.inc = P.incarnation;
+    return false;
+  }
+
+  void peKill(std::uint16_t pe, SimTime t) {
+    PeState& P = pes[pe];
+    stats.counters.add("fault.kills");
+    P.incarnation += 1;
+    P.dead = true;
+    for (const Frame& f : P.frames)
+      if (f.state != FrameState::Dead) --liveSps;
+    P.frames.clear();
+    P.match.clear();
+    P.readyQ.clear();
+    P.current = -1;
+    P.lastFrame = 0xFFFFFFFFu;
+    P.euFree = t;
+    P.kickScheduled = false;
+    P.headers.clear();
+    P.pendingHeader.clear();
+    P.cache.clear();
+    P.pendingRemote.clear();
+    P.deferred.clear();
+    P.seenMsgs.clear();
+    P.retiredCtxs.clear();
+    P.dedup.clear();
+    P.pendingReplay.clear();
+  }
+
+  /// Rebuilds the killed PE from its receive log, then re-injects the held
+  /// in-flight deliveries and asks surviving PEs to re-announce reads that
+  /// were parked at the dead owner (whose deferred-read queues died with it).
+  void peRestart(std::uint16_t pe, SimTime t) {
+    PeState& P = pes[pe];
+    PODS_CHECK(P.dead);
+    P.dead = false;
+    stats.counters.add("fault.restarts");
+    RecoveryLog& L = recLogs[pe];
+    for (std::size_t i = 0; i < L.entries.size(); ++i) {
+      const RecEntry& e = L.entries[i];
+      switch (e.kind) {
+        case RecEntry::Kind::Boot:
+        case RecEntry::Kind::CtxToken: {
+          std::uint32_t idx;
+          if (e.kind == RecEntry::Kind::Boot) {
+            idx = rebuildFrame(P, e.spCode, e.ctx);
+          } else {
+            P.dedup.firstCtx(e.ctx, e.slot);
+            auto it = P.match.find(e.ctx);
+            idx = it != P.match.end() ? it->second
+                                      : rebuildFrame(P, e.spCode, e.ctx);
+            P.frames[idx].slots[e.slot] = e.v;
+          }
+          break;
+        }
+        case RecEntry::Kind::ConToken:
+          // Not applied here: held back until the re-executing consumer
+          // re-sends to the original sender's context (after the matching
+          // round's CLEAR), so multi-round slots refill in program order.
+          P.dedup.firstCont(e.senderCtx, e.sendKey);
+          P.pendingReplay[e.senderCtx].push_back(i);
+          break;
+        case RecEntry::Kind::End: {
+          auto it = P.match.find(e.ctx);
+          PODS_CHECK_MSG(it != P.match.end(),
+                         "recovery log retires an unknown context");
+          Frame& f = P.frames[it->second];
+          f.state = FrameState::Dead;
+          f.slots.clear();
+          P.retiredCtxs.insert(e.ctx);
+          P.dedup.forget(e.ctx);
+          P.match.erase(it);
+          --liveSps;
+          break;
+        }
+      }
+    }
+    // Every frame that was live at the kill restarts from pc 0. Headers come
+    // back from the global store: every distributed array broadcast its
+    // header to all PEs, and an undistributed array homed here was installed
+    // by this PE's own allocation (which the mint log replays identically).
+    std::int64_t replayed = 0;
+    for (std::uint32_t idx = 0; idx < P.frames.size(); ++idx) {
+      if (P.frames[idx].state == FrameState::Dead) continue;
+      P.frames[idx].replaying = true;
+      P.readyQ.push_back(idx);
+      ++replayed;
+    }
+    stats.counters.add("recovery.replayedFrames", replayed);
+    for (const auto& [id, info] : store.all()) {
+      if (info.distributed || info.homePe == static_cast<int>(pe))
+        P.headers.emplace(id, 0);
+    }
+    for (Ev held : deadHeld) {
+      // In-flight continuation tokens were acked before the kill, so this
+      // held copy is the only one left. Delivering it now could land in a
+      // multi-round (CLEARed) slot ahead of the round that consumes it and
+      // be wiped; park it with the logged responses instead, so the trigger
+      // re-delivers it in program order. Context tokens are one-shot per
+      // (ctx, slot) and safe to deliver at any time.
+      if (held.kind != EvKind::AmArrive && held.tok.toCont &&
+          held.tok.sendKey != 0) {
+        if (P.dedup.firstCont(held.tok.senderCtx, held.tok.sendKey)) {
+          RecEntry e;
+          e.kind = RecEntry::Kind::ConToken;
+          e.frame = held.tok.cont.frame;
+          e.slot = held.tok.cont.slot;
+          e.v = held.tok.v;
+          e.add = held.tok.add;
+          e.senderCtx = held.tok.senderCtx;
+          e.sendKey = held.tok.sendKey;
+          P.pendingReplay[e.senderCtx].push_back(L.entries.size());
+          L.entries.push_back(e);
+        }
+        continue;
+      }
+      held.t = t;
+      held.kind = held.kind == EvKind::AmArrive ? EvKind::AmArrive
+                                                : EvKind::TokenAtMu;
+      push(std::move(held));
+    }
+    deadHeld.clear();
+    // Survivors re-announce reads whose owner-side deferral died with `pe`.
+    for (std::size_t from = 0; from < pes.size(); ++from) {
+      if (from == pe) continue;
+      for (const auto& [arr, offs] : pes[from].pendingRemote) {
+        const ArrayInfo* info = store.find(arr);
+        for (const auto& [offset, conts] : offs) {
+          if (info->owner(offset) != static_cast<int>(pe)) continue;
+          AmTask req;
+          req.kind = AmTask::Kind::RemoteReadReq;
+          req.arr = arr;
+          req.offset = offset;
+          req.fromPe = static_cast<std::uint16_t>(from);
+          amToRemote(static_cast<std::uint16_t>(from), pe, t, req,
+                     /*pageSized=*/false);
+          stats.counters.add("recovery.reRequestedReads");
+        }
+      }
+    }
+    pushKick(pe, t);
+  }
+
+  /// Frame reconstruction during restart: no stats/profile counting (these
+  /// are the same instances that were already counted at first creation).
+  std::uint32_t rebuildFrame(PeState& P, std::uint16_t spCode,
+                             std::uint64_t ctx) {
+    Frame f;
+    f.spCode = spCode;
+    f.ctx = ctx;
+    f.slots.assign(prog.sp(spCode).numSlots, Value{});
+    const std::uint32_t idx = static_cast<std::uint32_t>(P.frames.size());
+    P.frames.push_back(std::move(f));
+    P.match[ctx] = idx;
+    ++liveSps;
+    return idx;
+  }
+
+  /// On-demand re-delivery of logged responses: frame `frameIdx` (re-)sent a
+  /// token to context `target`, so every logged continuation-addressed
+  /// delivery *from* that context *into* this frame is due now. Entries
+  /// addressed to other frames stay parked (e.g. array-read wakeups — their
+  /// consumers refill by re-reading the surviving I-structure instead).
+  void replayResponsesFor(std::uint16_t pe, std::uint64_t target,
+                          std::uint32_t frameIdx) {
+    PeState& P = pes[pe];
+    auto it = P.pendingReplay.find(target);
+    if (it == P.pendingReplay.end()) return;
+    auto& idxs = it->second;
+    for (std::size_t i = 0; i < idxs.size();) {
+      const RecEntry& e = recLogs[pe].entries[idxs[i]];
+      if (e.frame != frameIdx) {
+        ++i;
+        continue;
+      }
+      Frame& f = P.frames[frameIdx];
+      PODS_CHECK_MSG(e.slot < f.slots.size(), "replayed slot out of range");
+      if (e.add) {
+        std::int64_t cur = f.slots[e.slot].empty() ? 0 : f.slots[e.slot].asInt();
+        f.slots[e.slot] = Value::intv(cur + e.v.asInt());
+      } else {
+        f.slots[e.slot] = e.v;
+      }
+      stats.counters.add("recovery.replayedTokens");
+      idxs.erase(idxs.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    if (idxs.empty()) P.pendingReplay.erase(it);
+  }
+
   // --- main loop ------------------------------------------------------------
 
   RunStats run() {
@@ -1447,6 +1913,32 @@ struct Machine::Impl {
       ++stats.spProfiles[prog.mainSp].instances;
       peakLiveSps = std::max(peakLiveSps, ++liveSps);
       pushKick(0, kTimeZero);
+    }
+    if (killMode()) {
+      if (cfg.faults.killPe >= cfg.numPEs) {
+        runtimeError("kill fault targets PE " +
+                     std::to_string(cfg.faults.killPe) + " but only " +
+                     std::to_string(cfg.numPEs) + " PEs exist");
+        stats.ok = false;
+        return finalize();
+      }
+      // The boot frame is not spawned by a token; log it so a kill of PE 0
+      // can rebuild main.
+      RecEntry boot;
+      boot.kind = RecEntry::Kind::Boot;
+      boot.spCode = prog.mainSp;
+      boot.ctx = 0;
+      recLogs[0].entries.push_back(boot);
+      Ev kill;
+      kill.kind = EvKind::PeKill;
+      kill.pe = static_cast<std::uint16_t>(cfg.faults.killPe);
+      kill.t = usec(cfg.faults.killTimeUs);
+      push(std::move(kill));
+      Ev restart;
+      restart.kind = EvKind::PeRestart;
+      restart.pe = static_cast<std::uint16_t>(cfg.faults.killPe);
+      restart.t = usec(cfg.faults.killTimeUs + cfg.faults.killRestartUs);
+      push(std::move(restart));
     }
     while (!q.empty()) {
       Ev ev = q.top();
@@ -1483,6 +1975,7 @@ struct Machine::Impl {
       // duplicates) can trail past the last real work; `lastUseful` tracks
       // the completion time the program actually observed.
       bool useful = true;
+      if (killMode() && staleOrHeld(ev)) continue;
       switch (ev.kind) {
         case EvKind::EuKick: {
           PeState& P = pes[ev.pe];
@@ -1502,13 +1995,13 @@ struct Machine::Impl {
           break;
         }
         case EvKind::TokenDeliver:
-          deliverToken(ev.pe, ev.t, ev.tok);
+          deliverToken(ev.pe, ev.t, ev.tok, /*fromMu=*/true);
           break;
         case EvKind::AmArrive:
           amHandle(ev.pe, ev.t, ev.am);
           break;
         case EvKind::SlotFill:
-          deliverToken(ev.pe, ev.t, ev.tok);
+          deliverToken(ev.pe, ev.t, ev.tok, /*fromMu=*/false);
           break;
         case EvKind::NetDeliver:
           useful = netDeliver(ev);
@@ -1519,6 +2012,14 @@ struct Machine::Impl {
           break;
         case EvKind::NetTimeout:
           netTimeout(ev);
+          useful = false;
+          break;
+        case EvKind::PeKill:
+          peKill(ev.pe, ev.t);
+          useful = false;
+          break;
+        case EvKind::PeRestart:
+          peRestart(ev.pe, ev.t);
           useful = false;
           break;
       }

@@ -6,12 +6,15 @@ namespace pods {
 
 namespace {
 
-bool parseProb(const std::string& text, double& out) {
+bool parseNum(const std::string& text, double& out) {
   if (text.empty()) return false;
   char* end = nullptr;
   out = std::strtod(text.c_str(), &end);
-  if (end == nullptr || *end != '\0') return false;
-  return out >= 0.0 && out <= 0.5;
+  return end != nullptr && *end == '\0';
+}
+
+bool parseProb(const std::string& text, double& out) {
+  return parseNum(text, out) && out >= 0.0 && out <= 0.5;
 }
 
 }  // namespace
@@ -33,6 +36,32 @@ bool FaultConfig::parse(const std::string& spec, FaultConfig& out,
     if (colon == std::string::npos) return fail("expected key:prob in '" + item + "'");
     const std::string key = item.substr(0, colon);
     const std::string val = item.substr(colon + 1);
+    if (key == "kill") {
+      // kill:PE@TIMEUS[+RESTARTUS] — fail-stop PE at a point in time.
+      const std::size_t at = val.find('@');
+      if (at == std::string::npos)
+        return fail("expected kill:PE@TIMEUS in '" + item + "'");
+      double pe = 0.0;
+      if (!parseNum(val.substr(0, at), pe) || pe < 0.0 || pe != double(int(pe)))
+        return fail("kill PE '" + val.substr(0, at) +
+                    "' is not a non-negative integer");
+      std::string when = val.substr(at + 1);
+      double restart = out.killRestartUs;
+      const std::size_t plus = when.find('+');
+      if (plus != std::string::npos) {
+        if (!parseNum(when.substr(plus + 1), restart) || restart <= 0.0)
+          return fail("kill restart delay '" + when.substr(plus + 1) +
+                      "' is not a positive number");
+        when = when.substr(0, plus);
+      }
+      double t = 0.0;
+      if (!parseNum(when, t) || t < 0.0)
+        return fail("kill time '" + when + "' is not a non-negative number");
+      out.killPe = int(pe);
+      out.killTimeUs = t;
+      out.killRestartUs = restart;
+      continue;
+    }
     double p = 0.0;
     if (!parseProb(val, p))
       return fail("probability '" + val + "' not in [0, 0.5]");
@@ -45,7 +74,7 @@ bool FaultConfig::parse(const std::string& spec, FaultConfig& out,
     } else if (key == "stall") {
       out.stallProb = p;
     } else {
-      return fail("unknown key '" + key + "' (want drop|dup|delay|stall)");
+      return fail("unknown key '" + key + "' (want drop|dup|delay|stall|kill)");
     }
   }
   return true;

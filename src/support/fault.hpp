@@ -57,16 +57,31 @@ struct FaultConfig {
   int maxAttempts = 100;         // give up (runtime error) after this many
   int maxBackoffDoublings = 6;   // cap backoff at initial << 6
 
+  // Fail-stop injection: kill PE `killPe` once at `killTimeUs` (simulated
+  // microseconds in the simulator, wall-clock microseconds after run start
+  // in the native runtime) and restart it `killRestartUs` later from its
+  // allocate/spawn log. killPe < 0 disables the kill.
+  int killPe = -1;
+  double killTimeUs = 0.0;
+  double killRestartUs = 400.0;
+
+  bool killEnabled() const { return killPe >= 0; }
+
+  // A kill implies the reliable-delivery layer: messages addressed to the
+  // dead PE must be buffered/retransmitted until it restarts, so both
+  // engines route every message through the ack/retransmit path whenever
+  // any fault — lossy or fail-stop — is configured.
   bool enabled() const {
     return dropProb > 0.0 || dupProb > 0.0 || delayProb > 0.0 ||
-           stallProb > 0.0;
+           stallProb > 0.0 || killEnabled();
   }
 
-  /// Parses a `podsc --faults=` spec: comma-separated `key:probability`
-  /// pairs with keys drop, dup, delay, stall — e.g.
-  /// "drop:0.01,dup:0.005,delay:0.02". Probabilities must be in [0, 0.5].
-  /// Returns false (and fills `err`) on a malformed spec; `out` keeps its
-  /// other fields (seed, timeouts) untouched.
+  /// Parses a `podsc --faults=` spec: comma-separated entries that are
+  /// either `key:probability` pairs with keys drop, dup, delay, stall —
+  /// e.g. "drop:0.01,dup:0.005,delay:0.02" (probabilities in [0, 0.5]) —
+  /// or a fail-stop `kill:PE@TIMEUS[+RESTARTUS]` entry, e.g. "kill:2@350"
+  /// or "kill:2@350+800". Returns false (and fills `err`) on a malformed
+  /// spec; `out` keeps its other fields (seed, timeouts) untouched.
   static bool parse(const std::string& spec, FaultConfig& out,
                     std::string* err = nullptr);
 };

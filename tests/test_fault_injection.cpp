@@ -132,6 +132,11 @@ TEST(FaultFuzz, SimSimpleBitIdenticalToFaultFree) {
       std::string why;
       ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
           << "pes=" << pes << " seed=" << seed << ": " << why;
+      // Leaked-frame check: every instantiated SP must retire even when the
+      // run completed through drops, duplicates, and delays.
+      EXPECT_EQ(run.stats.counters.get("sp.instantiated"),
+                run.stats.counters.get("sp.completed"))
+          << "pes=" << pes << " seed=" << seed;
       resent += run.stats.counters.get("net.retx.resent");
       dedup += run.stats.counters.get("net.retx.dupSuppressed");
       injected += run.stats.counters.get("fault.drops") +
@@ -162,6 +167,9 @@ TEST(FaultFuzz, SimRecursiveWorkload) {
     std::string why;
     ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
         << "seed=" << seed << ": " << why;
+    EXPECT_EQ(run.stats.counters.get("sp.instantiated"),
+              run.stats.counters.get("sp.completed"))
+        << "seed=" << seed;
   }
 }
 

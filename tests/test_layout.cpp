@@ -138,6 +138,122 @@ INSTANTIATE_TEST_SUITE_P(
                       LayoutCase{1, 5, 1, 16, 64},    // tiny vector, many PEs
                       LayoutCase{2, 33, 17, 5, 1}));  // one-element pages
 
+TEST(ArrayLayout, ZeroElementArrayIsWellDefined) {
+  for (auto shape : {ArrayShape{1, 0, 1}, ArrayShape{2, 0, 64},
+                     ArrayShape{2, 64, 0}}) {
+    ArrayLayout l(shape, 4, 32);
+    EXPECT_EQ(l.numPages(), 0);
+    for (int pe = 0; pe < 4; ++pe) {
+      EXPECT_TRUE(l.pageSegment(pe).empty());
+      EXPECT_TRUE(l.elemSegment(pe).empty());
+      EXPECT_TRUE(l.ownedRows(pe).empty());
+      EXPECT_TRUE(l.ownedColsOfRow(pe, 0).empty());
+    }
+    // Probing the empty layout's page 0 still answers (PE 0 is its home).
+    EXPECT_EQ(l.pageOwner(0), 0);
+    EXPECT_EQ(l.ownerOfOffset(0), 0);
+  }
+}
+
+TEST(ArrayLayout, FewerPagesThanPEs) {
+  // 2 pages over 4 PEs: the first two PEs get one page each, the rest none,
+  // and every owner probe answers a PE that actually holds the page.
+  ArrayLayout l({1, 64, 1}, 4, 32);
+  ASSERT_EQ(l.numPages(), 2);
+  EXPECT_EQ(l.pageSegment(0).size(), 1);
+  EXPECT_EQ(l.pageSegment(1).size(), 1);
+  EXPECT_TRUE(l.pageSegment(2).empty());
+  EXPECT_TRUE(l.pageSegment(3).empty());
+  for (std::int64_t p = 0; p < l.numPages(); ++p) {
+    EXPECT_TRUE(l.pageSegment(l.pageOwner(p)).contains(p)) << "page " << p;
+  }
+}
+
+// Shared check: after any sequence of migrations the surviving PEs' page
+// segments are still disjoint, contiguous in page order, and covering, and
+// no probe answers a dead PE.
+void expectMigratedInvariants(const ArrayLayout& l) {
+  std::vector<int> owners(static_cast<std::size_t>(l.numPages()), 0);
+  for (int pe = 0; pe < l.numPEs(); ++pe) {
+    IdxRange seg = l.pageSegment(pe);
+    if (seg.empty()) continue;
+    EXPECT_FALSE(l.peDead(pe)) << "dead PE " << pe << " still owns pages";
+    for (std::int64_t p = seg.lo; p <= seg.hi; ++p) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, l.numPages());
+      owners[static_cast<std::size_t>(p)]++;
+      EXPECT_EQ(l.pageOwner(p), pe);
+    }
+  }
+  for (std::int64_t p = 0; p < l.numPages(); ++p) {
+    EXPECT_EQ(owners[static_cast<std::size_t>(p)], 1) << "page " << p;
+  }
+  // Element / row / column ownership all derive from pageOwner, so the
+  // first-element-of-row partition must survive migration too.
+  std::vector<int> rowSeen(static_cast<std::size_t>(l.shape().dim0), 0);
+  for (int pe = 0; pe < l.numPEs(); ++pe) {
+    IdxRange rows = l.ownedRows(pe);
+    for (std::int64_t r = rows.lo; r <= rows.hi; ++r) {
+      rowSeen[static_cast<std::size_t>(r)]++;
+    }
+  }
+  for (std::int64_t r = 0; r < l.shape().dim0; ++r) {
+    EXPECT_EQ(rowSeen[static_cast<std::size_t>(r)], 1) << "row " << r;
+  }
+}
+
+TEST(ArrayLayoutMigration, SingleKillKeepsPartition) {
+  // Every victim position, including PE 0 (whose heir is the next higher
+  // survivor) and the last PE, on shapes with even, ragged, and sparse
+  // (fewer pages than PEs) segment maps.
+  for (LayoutCase c : {LayoutCase{2, 6, 256, 4, 32}, LayoutCase{2, 7, 13, 3, 4},
+                       LayoutCase{1, 64, 1, 4, 32},  // 2 pages, 4 PEs
+                       LayoutCase{2, 16, 16, 5, 32}}) {
+    for (int victim = 0; victim < c.pes; ++victim) {
+      ArrayLayout l({c.rank, c.d0, c.d1}, c.pes, c.page);
+      l.migratePe(victim);
+      EXPECT_TRUE(l.migrated());
+      EXPECT_TRUE(l.peDead(victim));
+      EXPECT_TRUE(l.pageSegment(victim).empty());
+      expectMigratedInvariants(l);
+    }
+  }
+}
+
+TEST(ArrayLayoutMigration, CascadingKillsDownToOneSurvivor) {
+  // Kill PEs one at a time in an interleaved order; after each step the
+  // partition invariants hold, and the last survivor owns every page.
+  ArrayLayout l({2, 16, 16}, 6, 8);
+  const int order[] = {2, 0, 5, 1, 4};
+  for (int victim : order) {
+    l.migratePe(victim);
+    expectMigratedInvariants(l);
+  }
+  IdxRange all = l.pageSegment(3);
+  EXPECT_EQ(all.lo, 0);
+  EXPECT_EQ(all.hi, l.numPages() - 1);
+}
+
+TEST(ArrayLayoutMigration, Idempotent) {
+  ArrayLayout l({2, 6, 256}, 4, 32);
+  l.migratePe(1);
+  IdxRange after = l.pageSegment(0);
+  l.migratePe(1);  // second kill of the same PE is a no-op
+  EXPECT_EQ(l.pageSegment(0).lo, after.lo);
+  EXPECT_EQ(l.pageSegment(0).hi, after.hi);
+  expectMigratedInvariants(l);
+}
+
+TEST(ArrayLayoutMigration, VictimWithNoPagesStillMarkedDead) {
+  ArrayLayout l({1, 64, 1}, 4, 32);  // 2 pages: PEs 2 and 3 own nothing
+  l.migratePe(3);
+  EXPECT_TRUE(l.peDead(3));
+  expectMigratedInvariants(l);
+  // The non-empty segments are untouched.
+  EXPECT_EQ(l.pageSegment(0).size(), 1);
+  EXPECT_EQ(l.pageSegment(1).size(), 1);
+}
+
 TEST(BlockPartition, CoversExactlyAndBalanced) {
   for (int pes : {1, 2, 3, 7, 16}) {
     for (std::int64_t lo : {-5, 0, 3}) {

@@ -27,6 +27,7 @@
 //   --dump-sps         print the translated SP disassembly
 //   --dump-dot         print graphviz of main's dataflow graph
 #include <atomic>
+#include <charconv>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -127,10 +128,28 @@ class Watchdog {
 bool parseArgs(int argc, char** argv, Options& o) {
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    auto intArg = [&](int& out) {
-      if (i + 1 >= argc) return false;
-      out = std::atoi(argv[++i]);
-      return out > 0;
+    // std::atoi would accept trailing junk ("8x" -> 8) and return 0 for
+    // unparseable input, indistinguishable from an explicit 0. from_chars
+    // rejects both, and naming the flag beats the bare usage line.
+    auto intArg = [&](const char* flag, int min, int& out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "podsc: %s requires an integer argument\n", flag);
+        return false;
+      }
+      const char* s = argv[++i];
+      int v = 0;
+      auto [end, ec] = std::from_chars(s, s + std::strlen(s), v);
+      if (ec != std::errc{} || *end != '\0') {
+        std::fprintf(stderr, "podsc: %s: '%s' is not an integer\n", flag, s);
+        return false;
+      }
+      if (v < min) {
+        std::fprintf(stderr, "podsc: %s must be >= %d (got %d)\n", flag, min,
+                     v);
+        return false;
+      }
+      out = v;
+      return true;
     };
     if (a.rfind("--engine=", 0) == 0) {
       o.engine = a.substr(9);
@@ -139,9 +158,9 @@ bool parseArgs(int argc, char** argv, Options& o) {
         return false;
       }
     } else if (a == "--pes") {
-      if (!intArg(o.pes)) return false;
+      if (!intArg("--pes", 1, o.pes)) return false;
     } else if (a == "--page") {
-      if (!intArg(o.page)) return false;
+      if (!intArg("--page", 1, o.page)) return false;
     } else if (a == "--no-distribute") {
       o.distribute = false;
     } else if (a == "--block-range") {
@@ -158,10 +177,10 @@ bool parseArgs(int argc, char** argv, Options& o) {
       }
     } else if (a == "--fault-seed") {
       int seed = 0;
-      if (!intArg(seed)) return false;
+      if (!intArg("--fault-seed", 0, seed)) return false;
       o.faults.seed = static_cast<std::uint64_t>(seed);
     } else if (a == "--timeout") {
-      if (!intArg(o.timeoutSec)) return false;
+      if (!intArg("--timeout", 0, o.timeoutSec)) return false;
     } else if (a == "--verify") {
       o.verify = true;
     } else if (a == "--stats") {
