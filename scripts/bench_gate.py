@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Measures whole-binary wall-clock time for a fixed set of benchmark binaries
+at a small fixed configuration (PODS_BENCH_SMALL=1) and gates pull requests
+against a committed baseline.
+
+    bench_gate.py measure --build-dir build --out BENCH_PR.json [--reps 5]
+    bench_gate.py compare BENCH_BASELINE.json BENCH_PR.json [--tolerance 0.20]
+
+Schema of the JSON files: {bench name: median wall-us over N reps}, plus a
+"_meta" object (host, date, reps) that the comparison ignores.
+
+Whole-binary wall time is deliberately coarse: it absorbs per-iteration
+noise that google-benchmark's own counters would surface, which is what a
+cross-machine gate with a generous tolerance wants. The committed baseline
+should be refreshed (re-run `measure` and commit the output as
+BENCH_BASELINE.json) whenever the benchmark set changes or a deliberate
+perf-affecting change lands.
+"""
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+
+# Bench name -> path relative to the build dir. Small, fixed configs: the
+# point is trajectory, not precision.
+BENCHES = {
+    "fig10_speedup": "bench/fig10_speedup",
+    "micro_engine": "bench/micro_engine",
+}
+
+
+def measure(args):
+    results = {}
+    env = dict(os.environ, PODS_BENCH_SMALL="1")
+    for name, rel in BENCHES.items():
+        path = os.path.join(args.build_dir, rel)
+        if not os.path.exists(path):
+            print(f"bench_gate: missing benchmark binary {path}", file=sys.stderr)
+            return 1
+        samples = []
+        for rep in range(args.reps):
+            t0 = time.monotonic()
+            proc = subprocess.run(
+                [path], env=env, stdout=subprocess.DEVNULL,
+                stderr=subprocess.STDOUT)
+            elapsed_us = (time.monotonic() - t0) * 1e6
+            if proc.returncode != 0:
+                print(f"bench_gate: {name} rep {rep} exited "
+                      f"{proc.returncode}", file=sys.stderr)
+                return 1
+            samples.append(elapsed_us)
+            print(f"  {name} rep {rep + 1}/{args.reps}: "
+                  f"{elapsed_us / 1e3:.1f} ms")
+        results[name] = round(statistics.median(samples), 1)
+        print(f"{name}: median {results[name] / 1e3:.1f} ms "
+              f"over {args.reps} reps")
+    results["_meta"] = {
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "reps": args.reps,
+        "env": {"PODS_BENCH_SMALL": "1"},
+    }
+    with open(args.out, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {k: v for k, v in data.items() if not k.startswith("_")}
+
+
+def compare(args):
+    base = load(args.baseline)
+    pr = load(args.candidate)
+    failed = []
+    for name in sorted(base):
+        if name not in pr:
+            print(f"MISSING  {name}: in baseline but not measured")
+            failed.append(name)
+            continue
+        b, p = base[name], pr[name]
+        delta = (p - b) / b if b > 0 else 0.0
+        status = "OK"
+        if delta > args.tolerance:
+            status = "REGRESSED"
+            failed.append(name)
+        print(f"{status:9s}{name}: baseline {b / 1e3:.1f} ms, "
+              f"candidate {p / 1e3:.1f} ms ({delta:+.1%}, "
+              f"tolerance +{args.tolerance:.0%})")
+    for name in sorted(set(pr) - set(base)):
+        print(f"NEW      {name}: {pr[name] / 1e3:.1f} ms "
+              "(not in baseline; not gated)")
+    if failed:
+        print(f"bench_gate: FAIL — {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("bench_gate: all benchmarks within tolerance")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    m = sub.add_parser("measure", help="run the benches, write a JSON report")
+    m.add_argument("--build-dir", default="build")
+    m.add_argument("--out", default="BENCH_PR.json")
+    m.add_argument("--reps", type=int, default=5)
+    m.set_defaults(func=measure)
+
+    c = sub.add_parser("compare", help="gate a candidate against a baseline")
+    c.add_argument("baseline")
+    c.add_argument("candidate")
+    c.add_argument("--tolerance", type=float, default=0.20,
+                   help="max allowed median regression (fraction, def 0.20)")
+    c.set_defaults(func=compare)
+
+    args = ap.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

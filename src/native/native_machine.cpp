@@ -6,11 +6,11 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "native/transport.hpp"
 #include "runtime/ops.hpp"
 #include "support/check.hpp"
 #include "support/recovery.hpp"
@@ -18,26 +18,6 @@
 namespace pods::native {
 
 namespace {
-
-struct NToken {
-  bool toCont = false;
-  std::uint16_t spCode = 0;
-  std::uint64_t ctx = 0;
-  std::uint16_t slot = 0;
-  Cont cont{};
-  Value v{};
-  bool add = false;
-  /// Nonzero only under fault injection: unique id of this cross-worker
-  /// message, shared by duplicate copies so the receiver can suppress them.
-  std::uint64_t msgId = 0;
-  /// Kill mode: logical send identity of SENDC/ADDC tokens — stable under
-  /// sender re-execution, unlike msgId (a replayed send is a new message).
-  std::uint64_t senderCtx = 0;
-  std::uint64_t sendKey = 0;
-  /// Kill mode: nonzero marks an array-element wake-up; encodes the element
-  /// so the receiver can drop wakes for parks wiped by its own kill.
-  std::uint64_t wakeKey = 0;
-};
 
 struct NFrame {
   std::uint16_t spCode = 0;
@@ -137,26 +117,9 @@ std::uint64_t elemWakeKey(ArrayId arr, std::int64_t offset) {
          static_cast<std::uint64_t>(offset);
 }
 
-/// A token parked in the retransmit daemon: either a dropped message waiting
-/// for its backoff to expire (`redecide` — the resend rolls fresh fault
-/// dice) or a delayed one waiting out its injected latency (delivered as-is).
-struct RetxItem {
-  std::chrono::steady_clock::time_point due;
-  int toPe = 0;
-  std::uint32_t attempt = 1;
-  bool redecide = true;
-  NToken tok;
-};
-
-struct RetxLater {
-  bool operator()(const RetxItem& a, const RetxItem& b) const {
-    return a.due > b.due;  // min-heap on due time
-  }
-};
-
 }  // namespace
 
-struct NativeMachine::Impl {
+struct NativeMachine::Impl : TransportSink {
   const SpProgram& prog;
   NativeConfig cfg;
 
@@ -211,28 +174,22 @@ struct NativeMachine::Impl {
   std::atomic<std::uint64_t> wakeEpoch{0};
   std::atomic<bool> stop{false};
 
-  // --- fault injection (cfg.faults; docs/ARCHITECTURE.md) --------------------
+  // --- cross-PE transport (native/transport.hpp) -----------------------------
   //
-  // Cross-worker tokens pass through an unreliable-transport shim: seeded
-  // dice drop, duplicate, or delay each transmission. Dropped and delayed
-  // tokens are parked in `retxQ` and re-driven by the retransmit daemon with
-  // exponential backoff; crucially they KEEP their pending/inboxTokens
-  // increments while parked, so the quiescence protocol above stays exact —
-  // an in-retransmit token reads as in-flight work, never as quiescence.
-  // Duplicate copies get their own increments and are consumed when the
-  // receiver's seenMsgs dedup drops them.
+  // Cross-worker tokens leave through `transport` — the in-process inbox
+  // path (with the fault-injection shim and retransmit daemon when faults
+  // are enabled) or per-PE UDP loopback sockets with an always-on
+  // ack/retransmit protocol. Either way the tokens KEEP their
+  // pending/inboxTokens increments while parked in a retransmit queue or a
+  // kernel socket buffer, so the quiescence protocol above stays exact —
+  // an in-transport token reads as in-flight work, never as quiescence.
+  // Injected duplicate copies on the inbox path get their own increments
+  // (chargeDuplicate) and are consumed when the receiver's seenMsgs dedup
+  // drops them; UDP duplicates are suppressed inside the transport before
+  // the inbox and never carry charges.
   FaultPlan plan;
-  std::atomic<std::uint64_t> netSeq{0};
-  std::atomic<std::int64_t> faultDrops{0};
-  std::atomic<std::int64_t> faultDups{0};
-  std::atomic<std::int64_t> faultDelays{0};
+  std::unique_ptr<Transport> transport;
   std::atomic<std::int64_t> faultStalls{0};
-  std::atomic<std::int64_t> retxResent{0};
-  std::mutex retxM;
-  std::condition_variable retxCv;
-  std::priority_queue<RetxItem, std::vector<RetxItem>, RetxLater> retxQ;
-  bool retxStop = false;  // guarded by retxM; set only after workers join
-  std::thread retxThread;
   std::thread monitorThread;
 
   // --- fail-stop recovery (kill mode; docs/ARCHITECTURE.md) ------------------
@@ -258,6 +215,14 @@ struct NativeMachine::Impl {
 
   bool killMode() const { return cfg.faults.killEnabled(); }
 
+  /// Whether the retired-context straggler ledger is maintained. Needed
+  /// whenever delivery can reorder a token past its instance's END: fault
+  /// injection (delays/retransmits) and the UDP transport (retransmit
+  /// reordering is inherent, faults or not).
+  bool trackStragglers() const {
+    return plan.enabled() || cfg.transport == TransportKind::Udp;
+  }
+
   Impl(const SpProgram& p, NativeConfig c)
       : prog(p), cfg(c), plan(c.faults) {
     PODS_CHECK_MSG(c.numWorkers >= 1 && c.numWorkers <= 256,
@@ -273,7 +238,10 @@ struct NativeMachine::Impl {
     if (killMode()) recLogs.resize(static_cast<std::size_t>(c.numWorkers));
     results.resize(static_cast<std::size_t>(prog.numResults));
     resultSet.assign(static_cast<std::size_t>(prog.numResults), false);
+    transport = makeTransport(cfg.transport, *this, plan, cfg.numWorkers);
   }
+
+  ~Impl() override { transport->stop(); }
 
   void fail(const std::string& msg) {
     {
@@ -290,8 +258,10 @@ struct NativeMachine::Impl {
   // --- tokens ---------------------------------------------------------------
 
   /// Makes a cross-thread token visible to worker `pe` (no accounting — the
-  /// caller has already charged pending/inboxTokens for this copy).
-  void pushInbox(int pe, NToken tok) {
+  /// caller has already charged pending/inboxTokens for this copy). This is
+  /// the TransportSink deposit: called by transport threads (retransmit
+  /// daemon, UDP receivers) as well as by workers.
+  void deposit(int pe, NToken tok) override {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
     {
       std::lock_guard<std::mutex> g(w.m);
@@ -300,106 +270,24 @@ struct NativeMachine::Impl {
     w.cv.notify_one();
   }
 
-  void enqueue(int pe, NToken tok) {
+  /// An injected duplicate on the inbox path is a real extra message: it
+  /// carries its own quiescence charges, consumed when the receiver's
+  /// seenMsgs dedup drops it.
+  void chargeDuplicate() override {
     pending.fetch_add(1);
     inboxTokens.fetch_add(1);
-    if (plan.enabled()) {
-      if (tok.msgId == 0) tok.msgId = netSeq.fetch_add(1) + 1;
-      transmit(pe, std::move(tok), /*attempt=*/1);
-      return;
-    }
-    pushInbox(pe, std::move(tok));
   }
 
-  /// One transmission attempt of a faulty cross-worker token: rolls the
-  /// seeded dice, then delivers, duplicates, or hands the token to the
-  /// retransmit daemon. The token's quiescence charges ride along untouched.
-  void transmit(int pe, NToken tok, std::uint32_t attempt) {
-    switch (plan.action(netSeq.fetch_add(1) + 1)) {
-      case FaultAction::Drop:
-        faultDrops.fetch_add(1);
-        if (static_cast<int>(attempt) >= plan.config().maxAttempts) {
-          fail("reliable delivery gave up on a token to worker " +
-               std::to_string(pe) + " after " + std::to_string(attempt) +
-               " attempts");
-          return;
-        }
-        scheduleRetx(pe, std::move(tok), attempt, /*redecide=*/true);
-        break;
-      case FaultAction::Duplicate: {
-        faultDups.fetch_add(1);
-        NToken copy = tok;
-        pushInbox(pe, std::move(tok));
-        // The duplicate is a real extra message: it carries its own
-        // quiescence charges, consumed when the receiver dedups it.
-        pending.fetch_add(1);
-        inboxTokens.fetch_add(1);
-        pushInbox(pe, std::move(copy));
-        break;
-      }
-      case FaultAction::Delay:
-        faultDelays.fetch_add(1);
-        scheduleRetx(pe, std::move(tok), attempt, /*redecide=*/false);
-        break;
-      case FaultAction::Deliver:
-        pushInbox(pe, std::move(tok));
-        break;
-    }
-  }
+  void transportFail(const std::string& msg) override { fail(msg); }
 
-  void scheduleRetx(int pe, NToken tok, std::uint32_t attempt, bool redecide) {
-    const FaultConfig& fc = plan.config();
-    const std::uint32_t doublings = std::min<std::uint32_t>(
-        attempt - 1, static_cast<std::uint32_t>(fc.maxBackoffDoublings));
-    const double us = redecide
-                          ? fc.nativeRetryUs *
-                                static_cast<double>(1ULL << doublings)
-                          : fc.nativeDelayUs;
-    RetxItem item;
-    item.due = std::chrono::steady_clock::now() +
-               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                   std::chrono::duration<double, std::micro>(us));
-    item.toPe = pe;
-    item.attempt = attempt;
-    item.redecide = redecide;
-    item.tok = std::move(tok);
-    {
-      std::lock_guard<std::mutex> g(retxM);
-      retxQ.push(std::move(item));
-    }
-    retxCv.notify_one();
-  }
-
-  /// The retransmit daemon: sleeps until the earliest due token, then
-  /// re-drives it — a delayed token is delivered as-is; a dropped one counts
-  /// as a resend and rolls fresh dice (it may be dropped again, backing off
-  /// exponentially up to maxAttempts). Exits only when run() raises
-  /// `retxStop` after the workers have joined; parked tokens hold pending
-  /// and inboxTokens charges, so the program cannot terminate or declare
-  /// deadlock while anything is still in here.
-  void retxMain() {
-    std::unique_lock<std::mutex> g(retxM);
-    while (!retxStop) {
-      if (retxQ.empty()) {
-        retxCv.wait(g, [&] { return retxStop || !retxQ.empty(); });
-        continue;
-      }
-      const auto due = retxQ.top().due;
-      if (retxCv.wait_until(g, due, [&] { return retxStop; })) break;
-      while (!retxQ.empty() &&
-             retxQ.top().due <= std::chrono::steady_clock::now()) {
-        RetxItem item = retxQ.top();
-        retxQ.pop();
-        g.unlock();
-        if (item.redecide) {
-          retxResent.fetch_add(1);
-          transmit(item.toPe, std::move(item.tok), item.attempt + 1);
-        } else {
-          pushInbox(item.toPe, std::move(item.tok));
-        }
-        g.lock();
-      }
-    }
+  /// Charges the quiescence ledger for one cross-PE token, then hands it to
+  /// the transport. The charges are released only when the destination
+  /// worker drains the token, so a token parked in a retransmit queue or a
+  /// kernel socket buffer still reads as in-flight work.
+  void enqueue(int fromPe, int toPe, NToken tok) {
+    pending.fetch_add(1);
+    inboxTokens.fetch_add(1);
+    transport->send(fromPe, toPe, std::move(tok));
   }
 
   void send(int fromPe, int toPe, NToken tok) {
@@ -407,7 +295,7 @@ struct NativeMachine::Impl {
     if (toPe == fromPe) {
       deliver(fromPe, tok);  // owner thread: direct delivery
     } else {
-      enqueue(toPe, std::move(tok));
+      enqueue(fromPe, toPe, std::move(tok));
     }
   }
 
@@ -456,7 +344,7 @@ struct NativeMachine::Impl {
   /// Retires a frame: storage goes to the free list, the generation bump
   /// invalidates every outstanding continuation into it.
   void retireFrame(Worker& w, std::uint32_t frameIdx, NFrame& f) {
-    if (plan.enabled()) w.retiredCtxs.insert(f.ctx);
+    if (trackStragglers()) w.retiredCtxs.insert(f.ctx);
     if (killMode()) {
       RecEntry e;
       e.kind = RecEntry::Kind::End;
@@ -556,7 +444,7 @@ struct NativeMachine::Impl {
       }
       auto it = w.match.find(tok.ctx);
       if (it == w.match.end()) {
-        if (plan.enabled() && w.retiredCtxs.count(tok.ctx) != 0) {
+        if (trackStragglers() && w.retiredCtxs.count(tok.ctx) != 0) {
           w.st.tokensDropped++;  // straggler to a retired instance
           return;
         }
@@ -1204,7 +1092,15 @@ struct NativeMachine::Impl {
     // Boot main on worker 0 via a spawn token carrying no payload slot —
     // create the frame directly instead (main may take no arguments).
     createFrame(*workers[0], prog.mainSp, 0);
-    if (plan.enabled()) retxThread = std::thread([this] { retxMain(); });
+    // Transport service threads (retransmit daemon, UDP sockets/receivers)
+    // come up before the workers so no send can outrun them.
+    std::string terr;
+    if (!transport->start(&terr)) {
+      NativeResult bad;
+      bad.ok = false;
+      bad.error = terr.empty() ? "transport failed to start" : terr;
+      return bad;
+    }
     if (cfg.abort != nullptr) {
       // Idle workers block in untimed cv waits and cannot observe a bare
       // flag, so a monitor thread watches it and fails the run (which
@@ -1228,14 +1124,9 @@ struct NativeMachine::Impl {
           std::thread([this, i] { workerMain(i); });
     }
     for (auto& w : workers) w->thread.join();
-    if (retxThread.joinable()) {
-      {
-        std::lock_guard<std::mutex> g(retxM);
-        retxStop = true;
-      }
-      retxCv.notify_all();
-      retxThread.join();
-    }
+    // Workers have joined: no further send() is possible, so the transport
+    // can quiesce its service threads.
+    transport->stop();
     if (monitorThread.joinable()) monitorThread.join();
     auto t1 = std::chrono::steady_clock::now();
 
@@ -1279,12 +1170,13 @@ struct NativeMachine::Impl {
     out.counters.add("native.frames", frames);
     out.counters.add("native.tokens", tokens);
     out.counters.add("native.workers", cfg.numWorkers);
+    // Transport-side counters (fault.drops/dups/delays, net.retx.resent,
+    // per-link breakdown, UDP wire totals); machine-side fault counters stay
+    // here because stalls and receiver dedup happen at delivery, not in the
+    // transport.
+    transport->addStats(out.counters);
     if (plan.enabled()) {
-      out.counters.add("fault.drops", faultDrops.load());
-      out.counters.add("fault.dups", faultDups.load());
-      out.counters.add("fault.delays", faultDelays.load());
       out.counters.add("fault.stalls", faultStalls.load());
-      out.counters.add("net.retx.resent", retxResent.load());
       std::int64_t dedup = 0;
       for (const auto& w : workers) dedup += w->st.dupSuppressed;
       out.counters.add("net.retx.dupSuppressed", dedup);

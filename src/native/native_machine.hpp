@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "native/transport.hpp"
 #include "runtime/array_layout.hpp"
 #include "runtime/isa.hpp"
 #include "support/fault.hpp"
@@ -54,6 +55,11 @@ struct NativeConfig {
   /// termination and deadlock detection stay exact. Results remain
   /// bit-identical to a fault-free run (single assignment + dedup).
   FaultConfig faults;
+  /// Cross-PE token transport (native/transport.hpp): the in-process inbox
+  /// (default, behavior-unchanged) or per-PE UDP loopback sockets with an
+  /// always-on ack/retransmit reliable-delivery protocol. Fault injection
+  /// and kill recovery compose with either.
+  TransportKind transport = TransportKind::Inbox;
   /// Optional external abort flag (e.g. a wall-clock watchdog): observed by
   /// a monitor thread; when it becomes true the run fails fast with an
   /// "aborted" error instead of hanging. Pointee must outlive run().

@@ -1,0 +1,781 @@
+#include "native/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace pods::native {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration micros(double us) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::micro>(us));
+}
+
+/// Exponential-backoff retransmit delay for attempt N (1-based): the initial
+/// timeout doubles per retry, capped at maxBackoffDoublings doublings.
+double backoffUs(const FaultConfig& fc, std::uint32_t attempt) {
+  const std::uint32_t doublings = std::min<std::uint32_t>(
+      attempt - 1, static_cast<std::uint32_t>(fc.maxBackoffDoublings));
+  return fc.nativeRetryUs * static_cast<double>(1ULL << doublings);
+}
+
+void put16(std::uint8_t* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+void put64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint16_t get16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+std::uint64_t get64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// Datagram type bytes (first byte of every UDP packet).
+constexpr std::uint8_t kTypeToken = 1;
+constexpr std::uint8_t kTypeAck = 2;
+constexpr std::uint8_t kTypeShutdown = 3;
+
+constexpr std::size_t kAckWireBytes = 11;  // type + srcPe + msgId
+
+/// Per-(src,dst) link counters. Written from worker, receiver, and timer
+/// threads; plain atomics, rolled into the Counters map after the run.
+struct LinkStat {
+  std::atomic<std::int64_t> tokens{0};     // logical tokens first sent
+  std::atomic<std::int64_t> datagrams{0};  // wire transmissions (UDP)
+  std::atomic<std::int64_t> bytes{0};      // wire bytes (UDP)
+  std::atomic<std::int64_t> retx{0};       // retransmissions
+};
+
+void addLinkStats(Counters& out, const std::vector<LinkStat>& links,
+                  int numPes) {
+  for (int f = 0; f < numPes; ++f) {
+    for (int t = 0; t < numPes; ++t) {
+      const LinkStat& l = links[static_cast<std::size_t>(f * numPes + t)];
+      const std::string key =
+          "net.link." + std::to_string(f) + "->" + std::to_string(t) + ".";
+      if (const auto v = l.tokens.load()) out.add(key + "tokens", v);
+      if (const auto v = l.datagrams.load()) out.add(key + "datagrams", v);
+      if (const auto v = l.bytes.load()) out.add(key + "bytes", v);
+      if (const auto v = l.retx.load()) out.add(key + "retx", v);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InboxTransport: the original in-process path, verbatim. Without fault
+// injection a send is a direct deposit; with it, every send rolls the
+// seeded dice and dropped/delayed tokens are re-driven by a wall-clock
+// retransmit daemon with exponential backoff.
+// ---------------------------------------------------------------------------
+
+class InboxTransport final : public Transport {
+ public:
+  InboxTransport(TransportSink& sink, const FaultPlan& plan, int numPes)
+      : sink_(sink),
+        plan_(plan),
+        numPes_(numPes),
+        links_(plan.enabled()
+                   ? static_cast<std::size_t>(numPes) * numPes
+                   : 0) {}
+
+  ~InboxTransport() override { stop(); }
+
+  const char* name() const override { return "inbox"; }
+
+  bool start(std::string*) override {
+    if (plan_.enabled() && !retxThread_.joinable()) {
+      retxThread_ = std::thread([this] { retxMain(); });
+    }
+    return true;
+  }
+
+  void send(int fromPe, int toPe, NToken tok) override {
+    if (!plan_.enabled()) {
+      sink_.deposit(toPe, std::move(tok));
+      return;
+    }
+    if (tok.msgId == 0) tok.msgId = netSeq_.fetch_add(1) + 1;
+    link(fromPe, toPe).tokens.fetch_add(1);
+    transmit(fromPe, toPe, std::move(tok), /*attempt=*/1);
+  }
+
+  void stop() override {
+    if (!retxThread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> g(retxM_);
+      retxStop_ = true;
+    }
+    retxCv_.notify_all();
+    retxThread_.join();
+  }
+
+  void addStats(Counters& out) const override {
+    if (!plan_.enabled()) return;
+    out.add("fault.drops", faultDrops_.load());
+    out.add("fault.dups", faultDups_.load());
+    out.add("fault.delays", faultDelays_.load());
+    out.add("net.retx.resent", retxResent_.load());
+    addLinkStats(out, links_, numPes_);
+  }
+
+ private:
+  /// A token parked in the retransmit daemon: either a dropped message
+  /// waiting for its backoff to expire (`redecide` — the resend rolls fresh
+  /// fault dice) or a delayed one waiting out its injected latency
+  /// (delivered as-is).
+  struct RetxItem {
+    Clock::time_point due;
+    int fromPe = 0;
+    int toPe = 0;
+    std::uint32_t attempt = 1;
+    bool redecide = true;
+    NToken tok;
+  };
+  struct RetxLater {
+    bool operator()(const RetxItem& a, const RetxItem& b) const {
+      return a.due > b.due;  // min-heap on due time
+    }
+  };
+
+  LinkStat& link(int fromPe, int toPe) {
+    return links_[static_cast<std::size_t>(fromPe * numPes_ + toPe)];
+  }
+
+  /// One transmission attempt: rolls the seeded dice, then delivers,
+  /// duplicates, or hands the token to the retransmit daemon. The token's
+  /// quiescence charges ride along untouched.
+  void transmit(int fromPe, int toPe, NToken tok, std::uint32_t attempt) {
+    switch (plan_.action(netSeq_.fetch_add(1) + 1)) {
+      case FaultAction::Drop:
+        faultDrops_.fetch_add(1);
+        if (static_cast<int>(attempt) >= plan_.config().maxAttempts) {
+          sink_.transportFail("reliable delivery gave up on a token to "
+                              "worker " +
+                              std::to_string(toPe) + " after " +
+                              std::to_string(attempt) + " attempts");
+          return;
+        }
+        scheduleRetx(fromPe, toPe, std::move(tok), attempt, /*redecide=*/true);
+        break;
+      case FaultAction::Duplicate: {
+        faultDups_.fetch_add(1);
+        NToken copy = tok;
+        sink_.deposit(toPe, std::move(tok));
+        // The duplicate is a real extra message: it carries its own
+        // quiescence charges, consumed when the receiver dedups it.
+        sink_.chargeDuplicate();
+        sink_.deposit(toPe, std::move(copy));
+        break;
+      }
+      case FaultAction::Delay:
+        faultDelays_.fetch_add(1);
+        scheduleRetx(fromPe, toPe, std::move(tok), attempt,
+                     /*redecide=*/false);
+        break;
+      case FaultAction::Deliver:
+        sink_.deposit(toPe, std::move(tok));
+        break;
+    }
+  }
+
+  void scheduleRetx(int fromPe, int toPe, NToken tok, std::uint32_t attempt,
+                    bool redecide) {
+    const FaultConfig& fc = plan_.config();
+    RetxItem item;
+    item.due = Clock::now() + micros(redecide ? backoffUs(fc, attempt)
+                                              : fc.nativeDelayUs);
+    item.fromPe = fromPe;
+    item.toPe = toPe;
+    item.attempt = attempt;
+    item.redecide = redecide;
+    item.tok = std::move(tok);
+    {
+      std::lock_guard<std::mutex> g(retxM_);
+      retxQ_.push(std::move(item));
+    }
+    retxCv_.notify_one();
+  }
+
+  /// The retransmit daemon: sleeps until the earliest due token, then
+  /// re-drives it — a delayed token is delivered as-is; a dropped one counts
+  /// as a resend and rolls fresh dice (it may be dropped again, backing off
+  /// exponentially up to maxAttempts). Exits only when stop() raises
+  /// `retxStop_` after the workers have joined; parked tokens hold pending
+  /// and inboxTokens charges, so the program cannot terminate or declare
+  /// deadlock while anything is still in here.
+  void retxMain() {
+    std::unique_lock<std::mutex> g(retxM_);
+    while (!retxStop_) {
+      if (retxQ_.empty()) {
+        retxCv_.wait(g, [&] { return retxStop_ || !retxQ_.empty(); });
+        continue;
+      }
+      const auto due = retxQ_.top().due;
+      // Also wake when a newly parked token is due *earlier* than the one
+      // we went to sleep on, so a short-backoff retransmit is never stuck
+      // behind a long-backoff wait.
+      if (retxCv_.wait_until(
+              g, due, [&] { return retxStop_ || retxQ_.top().due < due; })) {
+        if (retxStop_) break;
+        continue;
+      }
+      while (!retxQ_.empty() && retxQ_.top().due <= Clock::now()) {
+        RetxItem item = retxQ_.top();
+        retxQ_.pop();
+        g.unlock();
+        if (item.redecide) {
+          retxResent_.fetch_add(1);
+          link(item.fromPe, item.toPe).retx.fetch_add(1);
+          transmit(item.fromPe, item.toPe, std::move(item.tok),
+                   item.attempt + 1);
+        } else {
+          sink_.deposit(item.toPe, std::move(item.tok));
+        }
+        g.lock();
+      }
+    }
+  }
+
+  TransportSink& sink_;
+  FaultPlan plan_;
+  const int numPes_;
+  std::vector<LinkStat> links_;
+  std::atomic<std::uint64_t> netSeq_{0};
+  std::atomic<std::int64_t> faultDrops_{0};
+  std::atomic<std::int64_t> faultDups_{0};
+  std::atomic<std::int64_t> faultDelays_{0};
+  std::atomic<std::int64_t> retxResent_{0};
+  std::mutex retxM_;
+  std::condition_variable retxCv_;
+  std::priority_queue<RetxItem, std::vector<RetxItem>, RetxLater> retxQ_;
+  bool retxStop_ = false;  // guarded by retxM_; set only after workers join
+  std::thread retxThread_;
+};
+
+// ---------------------------------------------------------------------------
+// UdpTransport: one UDP socket per PE on 127.0.0.1, tokens as datagrams.
+//
+// UDP gives no delivery guarantee even on loopback (a full SO_RCVBUF drops
+// packets silently), so the reliable-delivery protocol ALWAYS runs:
+//
+//   sender    keeps every token in an unacked map keyed by msgId and
+//             retransmits with exponential backoff until acknowledged
+//             (giving up — failing the run — after maxAttempts);
+//   receiver  acknowledges every token datagram (re-acking duplicates so a
+//             lost ack self-heals) and suppresses duplicate msgIds before
+//             they reach the inbox;
+//   acks      are themselves datagrams and may be lost; injected faults
+//             roll dice on acks too (lossy-ack model, as in the simulator).
+//
+// Fault injection composes at the datagram level: each transmission of a
+// token (first send and every retransmit) rolls the seeded FaultPlan dice —
+// Drop suppresses the sendto (the backoff timer recovers it), Duplicate
+// sends the wire image twice, Delay parks the transmission in the timer.
+//
+// Threads: N receiver threads (one blocking recvfrom loop per PE socket —
+// the "NIC", which a kill-mode fail-stop deliberately does NOT destroy) and
+// one timer thread driving retransmits and delayed sends. The receiver's
+// dedup set is thread-local to its receiver thread; the unacked map and
+// timer heap share one mutex; everything else is atomics.
+// ---------------------------------------------------------------------------
+
+class UdpTransport final : public Transport {
+ public:
+  UdpTransport(TransportSink& sink, const FaultPlan& plan, int numPes)
+      : sink_(sink),
+        plan_(plan),
+        numPes_(numPes),
+        // Fault tests tune nativeRetryUs down to recover injected drops
+        // quickly; honor it then. Fault-free, datagram loss is rare (large
+        // SO_RCVBUF) and a sub-millisecond RTO just races thread scheduling
+        // on the ack path, so floor it — spurious retransmits are harmless
+        // (receiver dedup) but wasteful.
+        baseRtoUs_(plan.enabled()
+                       ? plan.config().nativeRetryUs
+                       : std::max(plan.config().nativeRetryUs, 5000.0)),
+        links_(static_cast<std::size_t>(numPes) * numPes) {}
+
+  ~UdpTransport() override { stop(); }
+
+  const char* name() const override { return "udp"; }
+
+  bool start(std::string* err) override {
+    fds_.assign(static_cast<std::size_t>(numPes_), -1);
+    addrs_.assign(static_cast<std::size_t>(numPes_), sockaddr_in{});
+    for (int pe = 0; pe < numPes_; ++pe) {
+      const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+      if (fd < 0) {
+        if (err) *err = "udp transport: socket(): " + errnoStr();
+        closeAll();
+        return false;
+      }
+      fds_[static_cast<std::size_t>(pe)] = fd;
+      // Large receive buffer: loopback "packet loss" is exactly a full
+      // receive queue, and every drop costs a backoff-delayed retransmit.
+      int rcvbuf = 4 << 20;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+      // Receive timeout so a receiver never blocks past shutdown even if
+      // the wake-up datagram itself were dropped.
+      timeval tv{};
+      tv.tv_usec = 20000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+      sockaddr_in sa{};
+      sa.sin_family = AF_INET;
+      sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      sa.sin_port = 0;  // ephemeral: each PE learns its port from the bind
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+        if (err) *err = "udp transport: bind(): " + errnoStr();
+        closeAll();
+        return false;
+      }
+      socklen_t len = sizeof addrs_[static_cast<std::size_t>(pe)];
+      if (::getsockname(
+              fd,
+              reinterpret_cast<sockaddr*>(&addrs_[static_cast<std::size_t>(pe)]),
+              &len) != 0) {
+        if (err) *err = "udp transport: getsockname(): " + errnoStr();
+        closeAll();
+        return false;
+      }
+    }
+    for (int pe = 0; pe < numPes_; ++pe) {
+      rxThreads_.emplace_back([this, pe] { recvMain(pe); });
+    }
+    timerThread_ = std::thread([this] { timerMain(); });
+    return true;
+  }
+
+  void send(int fromPe, int toPe, NToken tok) override {
+    tok.msgId = nextMsgId_.fetch_add(1) + 1;
+    Unacked u;
+    u.fromPe = fromPe;
+    u.toPe = toPe;
+    wireEncodeToken(tok, static_cast<std::uint16_t>(fromPe), u.wire.data());
+    LinkStat& l = link(fromPe, toPe);
+    l.tokens.fetch_add(1);
+    tokensSent_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> g(m_);
+      heap_.push(TimerEv{Clock::now() + micros(udpBackoffUs(1)), tok.msgId,
+                         /*delayedSend=*/false});
+      unacked_.emplace(tok.msgId, u);
+    }
+    timerCv_.notify_one();
+    attemptTransmit(u, tok.msgId);
+  }
+
+  void stop() override {
+    if (fds_.empty()) return;
+    rxStop_.store(true);
+    {
+      std::lock_guard<std::mutex> g(m_);
+      timerStop_ = true;
+    }
+    timerCv_.notify_all();
+    const std::uint8_t wake = kTypeShutdown;
+    for (int pe = 0; pe < numPes_; ++pe) {
+      rawSend(pe, addrs_[static_cast<std::size_t>(pe)],
+              sizeof(sockaddr_in), &wake, 1);
+    }
+    for (auto& t : rxThreads_) t.join();
+    rxThreads_.clear();
+    if (timerThread_.joinable()) timerThread_.join();
+    closeAll();
+  }
+
+  void addStats(Counters& out) const override {
+    out.add("net.udp.tokensSent", tokensSent_.load());
+    out.add("net.udp.datagramsSent", datagramsSent_.load());
+    out.add("net.udp.bytesSent", bytesSent_.load());
+    out.add("net.udp.datagramsRecv", datagramsRecv_.load());
+    out.add("net.udp.bytesRecv", bytesRecv_.load());
+    out.add("net.udp.acksSent", acksSent_.load());
+    out.add("net.udp.acksRecv", acksRecv_.load());
+    out.add("net.udp.dupDropped", dupDropped_.load());
+    out.add("net.udp.sendErrors", sendErrors_.load());
+    out.add("net.udp.badDatagrams", badDatagrams_.load());
+    out.add("net.retx.resent", retxResent_.load());
+    if (plan_.enabled()) {
+      out.add("fault.drops", faultDrops_.load());
+      out.add("fault.dups", faultDups_.load());
+      out.add("fault.delays", faultDelays_.load());
+    }
+    addLinkStats(out, links_, numPes_);
+  }
+
+ private:
+  struct Unacked {
+    int fromPe = 0;
+    int toPe = 0;
+    std::uint32_t attempts = 1;
+    std::array<std::uint8_t, kTokenWireBytes> wire{};
+  };
+  struct TimerEv {
+    Clock::time_point due;
+    std::uint64_t msgId = 0;
+    bool delayedSend = false;  // true: late-arriving original, no dice
+  };
+  struct EvLater {
+    bool operator()(const TimerEv& a, const TimerEv& b) const {
+      return a.due > b.due;
+    }
+  };
+
+  static std::string errnoStr() { return std::strerror(errno); }
+
+  /// Retransmit timeout for attempt N of a token datagram: the (possibly
+  /// floored) base RTO, doubling per retry like the inbox-path backoff.
+  double udpBackoffUs(std::uint32_t attempt) const {
+    const std::uint32_t doublings = std::min<std::uint32_t>(
+        attempt - 1,
+        static_cast<std::uint32_t>(plan_.config().maxBackoffDoublings));
+    return baseRtoUs_ * static_cast<double>(1ULL << doublings);
+  }
+
+  LinkStat& link(int fromPe, int toPe) {
+    return links_[static_cast<std::size_t>(fromPe * numPes_ + toPe)];
+  }
+
+  void closeAll() {
+    for (int& fd : fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    fds_.clear();
+  }
+
+  /// Raw datagram transmission from `fromPe`'s socket. A sendto failure
+  /// (e.g. ENOBUFS) is counted and otherwise treated as network loss — the
+  /// retransmit timer recovers token datagrams, re-acking recovers acks.
+  void rawSend(int fromPe, const sockaddr_in& to, socklen_t toLen,
+               const void* data, std::size_t len) {
+    const ssize_t n =
+        ::sendto(fds_[static_cast<std::size_t>(fromPe)], data, len, 0,
+                 reinterpret_cast<const sockaddr*>(&to), toLen);
+    if (n < 0) sendErrors_.fetch_add(1);
+  }
+
+  void xmitToken(const Unacked& u) {
+    rawSend(u.fromPe, addrs_[static_cast<std::size_t>(u.toPe)],
+            sizeof(sockaddr_in), u.wire.data(), u.wire.size());
+    LinkStat& l = link(u.fromPe, u.toPe);
+    l.datagrams.fetch_add(1);
+    l.bytes.fetch_add(static_cast<std::int64_t>(u.wire.size()));
+    datagramsSent_.fetch_add(1);
+    bytesSent_.fetch_add(static_cast<std::int64_t>(u.wire.size()));
+  }
+
+  /// One transmission attempt of a token datagram: rolls the seeded dice
+  /// when fault injection is on, otherwise just sends. Drop relies on the
+  /// retransmit timer (already scheduled) to recover.
+  void attemptTransmit(const Unacked& u, std::uint64_t msgId) {
+    if (plan_.enabled()) {
+      switch (plan_.action(txSeq_.fetch_add(1) + 1)) {
+        case FaultAction::Drop:
+          faultDrops_.fetch_add(1);
+          return;
+        case FaultAction::Duplicate:
+          faultDups_.fetch_add(1);
+          xmitToken(u);
+          break;  // fall through to the normal copy below
+        case FaultAction::Delay: {
+          faultDelays_.fetch_add(1);
+          {
+            std::lock_guard<std::mutex> g(m_);
+            heap_.push(TimerEv{
+                Clock::now() + micros(plan_.config().nativeDelayUs), msgId,
+                /*delayedSend=*/true});
+          }
+          timerCv_.notify_one();
+          return;
+        }
+        case FaultAction::Deliver:
+          break;
+      }
+    }
+    xmitToken(u);
+  }
+
+  void sendAck(int pe, const sockaddr_in& to, socklen_t toLen,
+               std::uint64_t msgId) {
+    std::uint8_t pkt[kAckWireBytes];
+    pkt[0] = kTypeAck;
+    put16(pkt + 1, static_cast<std::uint16_t>(pe));
+    put64(pkt + 3, msgId);
+    int copies = 1;
+    if (plan_.enabled()) {
+      // Lossy acks: acknowledgments roll the same dice as data. A dropped
+      // ack costs one retransmit + one dedup; injected Delay on an ack is
+      // treated as Deliver (the retransmit path already covers lateness).
+      switch (plan_.action(txSeq_.fetch_add(1) + 1)) {
+        case FaultAction::Drop:
+          faultDrops_.fetch_add(1);
+          copies = 0;
+          break;
+        case FaultAction::Duplicate:
+          faultDups_.fetch_add(1);
+          copies = 2;
+          break;
+        default:
+          break;
+      }
+    }
+    for (int i = 0; i < copies; ++i) {
+      rawSend(pe, to, toLen, pkt, sizeof pkt);
+      acksSent_.fetch_add(1);
+    }
+  }
+
+  /// Per-PE receiver loop: the PE's "NIC". Acks every token datagram,
+  /// suppresses duplicate msgIds (thread-local set — this state models the
+  /// network interface and deliberately survives a kill-mode fail-stop of
+  /// the PE), and deposits first copies into the owner's inbox.
+  void recvMain(int pe) {
+    const int fd = fds_[static_cast<std::size_t>(pe)];
+    std::uint8_t buf[256];
+    std::unordered_set<std::uint64_t> seen;
+    for (;;) {
+      sockaddr_in src{};
+      socklen_t srcLen = sizeof src;
+      const ssize_t n = ::recvfrom(fd, buf, sizeof buf, 0,
+                                   reinterpret_cast<sockaddr*>(&src), &srcLen);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          if (rxStop_.load()) return;
+          continue;
+        }
+        return;  // socket gone: shutdown path
+      }
+      if (n < 1) continue;
+      datagramsRecv_.fetch_add(1);
+      bytesRecv_.fetch_add(n);
+      switch (buf[0]) {
+        case kTypeToken: {
+          NToken tok;
+          std::uint16_t srcPe = 0;
+          if (!wireDecodeToken(buf, static_cast<std::size_t>(n), tok,
+                               &srcPe)) {
+            badDatagrams_.fetch_add(1);
+            break;
+          }
+          // Ack first copy AND duplicates: a re-ack is how a lost ack
+          // self-heals without the sender retrying forever.
+          sendAck(pe, src, srcLen, tok.msgId);
+          if (!seen.insert(tok.msgId).second) {
+            dupDropped_.fetch_add(1);
+            break;
+          }
+          sink_.deposit(pe, std::move(tok));
+          break;
+        }
+        case kTypeAck: {
+          if (static_cast<std::size_t>(n) < kAckWireBytes) {
+            badDatagrams_.fetch_add(1);
+            break;
+          }
+          acksRecv_.fetch_add(1);
+          std::lock_guard<std::mutex> g(m_);
+          unacked_.erase(get64(buf + 3));
+          break;
+        }
+        case kTypeShutdown:
+          if (rxStop_.load()) return;
+          break;
+        default:
+          badDatagrams_.fetch_add(1);
+          break;
+      }
+    }
+  }
+
+  /// Timer loop: drives retransmits of unacked tokens (fresh dice per
+  /// attempt, exponential backoff, give-up after maxAttempts fails the run)
+  /// and fault-injected delayed sends (the original wire image, no dice).
+  void timerMain() {
+    std::unique_lock<std::mutex> g(m_);
+    while (!timerStop_) {
+      if (heap_.empty()) {
+        timerCv_.wait(g, [&] { return timerStop_ || !heap_.empty(); });
+        continue;
+      }
+      const auto due = heap_.top().due;
+      if (timerCv_.wait_until(g, due, [&] {
+            return timerStop_ || heap_.top().due < due;
+          })) {
+        if (timerStop_) break;
+        continue;  // an earlier event was parked; recompute the sleep
+      }
+      while (!heap_.empty() && heap_.top().due <= Clock::now()) {
+        const TimerEv ev = heap_.top();
+        heap_.pop();
+        auto it = unacked_.find(ev.msgId);
+        if (it == unacked_.end()) continue;  // acked: nothing left to do
+        if (ev.delayedSend) {
+          const Unacked u = it->second;
+          g.unlock();
+          xmitToken(u);
+          g.lock();
+          continue;
+        }
+        if (static_cast<int>(it->second.attempts) >=
+            plan_.config().maxAttempts) {
+          const Unacked u = it->second;
+          unacked_.erase(it);
+          g.unlock();
+          sink_.transportFail(
+              "udp transport: reliable delivery gave up on a token from "
+              "worker " +
+              std::to_string(u.fromPe) + " to worker " +
+              std::to_string(u.toPe) + " after " +
+              std::to_string(u.attempts) + " attempts");
+          g.lock();
+          continue;
+        }
+        it->second.attempts++;
+        const Unacked u = it->second;
+        heap_.push(TimerEv{Clock::now() + micros(udpBackoffUs(u.attempts)),
+                           ev.msgId, /*delayedSend=*/false});
+        retxResent_.fetch_add(1);
+        link(u.fromPe, u.toPe).retx.fetch_add(1);
+        g.unlock();
+        attemptTransmit(u, ev.msgId);
+        g.lock();
+      }
+    }
+  }
+
+  TransportSink& sink_;
+  FaultPlan plan_;
+  const int numPes_;
+  const double baseRtoUs_;
+  std::vector<LinkStat> links_;
+
+  std::vector<int> fds_;
+  std::vector<sockaddr_in> addrs_;
+  std::vector<std::thread> rxThreads_;
+  std::thread timerThread_;
+  std::atomic<bool> rxStop_{false};
+
+  std::mutex m_;  // guards unacked_, heap_, timerStop_
+  std::condition_variable timerCv_;
+  std::unordered_map<std::uint64_t, Unacked> unacked_;
+  std::priority_queue<TimerEv, std::vector<TimerEv>, EvLater> heap_;
+  bool timerStop_ = false;
+
+  std::atomic<std::uint64_t> nextMsgId_{0};
+  std::atomic<std::uint64_t> txSeq_{0};
+  std::atomic<std::int64_t> tokensSent_{0};
+  std::atomic<std::int64_t> datagramsSent_{0};
+  std::atomic<std::int64_t> bytesSent_{0};
+  std::atomic<std::int64_t> datagramsRecv_{0};
+  std::atomic<std::int64_t> bytesRecv_{0};
+  std::atomic<std::int64_t> acksSent_{0};
+  std::atomic<std::int64_t> acksRecv_{0};
+  std::atomic<std::int64_t> dupDropped_{0};
+  std::atomic<std::int64_t> sendErrors_{0};
+  std::atomic<std::int64_t> badDatagrams_{0};
+  std::atomic<std::int64_t> retxResent_{0};
+  std::atomic<std::int64_t> faultDrops_{0};
+  std::atomic<std::int64_t> faultDups_{0};
+  std::atomic<std::int64_t> faultDelays_{0};
+};
+
+}  // namespace
+
+bool parseTransportKind(const std::string& name, TransportKind& out) {
+  if (name == "inbox") {
+    out = TransportKind::Inbox;
+    return true;
+  }
+  if (name == "udp") {
+    out = TransportKind::Udp;
+    return true;
+  }
+  return false;
+}
+
+const char* transportKindName(TransportKind kind) {
+  return kind == TransportKind::Udp ? "udp" : "inbox";
+}
+
+void wireEncodeToken(const NToken& tok, std::uint16_t srcPe,
+                     std::uint8_t out[kTokenWireBytes]) {
+  out[0] = kTypeToken;
+  out[1] = static_cast<std::uint8_t>((tok.toCont ? 1 : 0) |
+                                     (tok.add ? 2 : 0));
+  put16(out + 2, srcPe);
+  put16(out + 4, tok.spCode);
+  put16(out + 6, tok.slot);
+  put64(out + 8, tok.ctx);
+  put64(out + 16, tok.cont.pack());
+  out[24] = static_cast<std::uint8_t>(tok.v.tag);
+  put64(out + 25, tok.v.bits);
+  put64(out + 33, tok.msgId);
+  put64(out + 41, tok.senderCtx);
+  put64(out + 49, tok.sendKey);
+  put64(out + 57, tok.wakeKey);
+}
+
+bool wireDecodeToken(const std::uint8_t* data, std::size_t len, NToken& tok,
+                     std::uint16_t* srcPe) {
+  if (len != kTokenWireBytes || data[0] != kTypeToken) return false;
+  if (data[1] & ~0x3u) return false;
+  if (data[24] > static_cast<std::uint8_t>(Tag::Cont)) return false;
+  tok.toCont = (data[1] & 1) != 0;
+  tok.add = (data[1] & 2) != 0;
+  if (srcPe) *srcPe = get16(data + 2);
+  tok.spCode = get16(data + 4);
+  tok.slot = get16(data + 6);
+  tok.ctx = get64(data + 8);
+  tok.cont = Cont::unpack(get64(data + 16));
+  tok.v.tag = static_cast<Tag>(data[24]);
+  tok.v.bits = get64(data + 25);
+  tok.msgId = get64(data + 33);
+  tok.senderCtx = get64(data + 41);
+  tok.sendKey = get64(data + 49);
+  tok.wakeKey = get64(data + 57);
+  return true;
+}
+
+std::unique_ptr<Transport> makeInboxTransport(TransportSink& sink,
+                                              const FaultPlan& plan,
+                                              int numPes) {
+  return std::make_unique<InboxTransport>(sink, plan, numPes);
+}
+
+std::unique_ptr<Transport> makeUdpTransport(TransportSink& sink,
+                                            const FaultPlan& plan,
+                                            int numPes) {
+  return std::make_unique<UdpTransport>(sink, plan, numPes);
+}
+
+std::unique_ptr<Transport> makeTransport(TransportKind kind,
+                                         TransportSink& sink,
+                                         const FaultPlan& plan, int numPes) {
+  if (kind == TransportKind::Udp) return makeUdpTransport(sink, plan, numPes);
+  return makeInboxTransport(sink, plan, numPes);
+}
+
+}  // namespace pods::native

@@ -1,0 +1,132 @@
+// Pluggable cross-PE token transport for the native runtime.
+//
+// The native machine's workers never touch each other's frames; the only
+// cross-PE traffic is tokens. This seam — between `enqueue` (which charges
+// the quiescence ledger) and the destination worker's inbox — is where the
+// paper's target machine differs from a shared-memory host: on an iPSC/2
+// the hop is a real network message. Two transports implement the seam:
+//
+//  - InboxTransport (default): the original in-process path. Without fault
+//    injection a send is a mutex-guarded deque push; with it, the send goes
+//    through the seeded unreliable-network shim plus a wall-clock
+//    retransmit daemon (exponential backoff, receiver msgId dedup).
+//  - UdpTransport: every PE binds its own UDP socket on 127.0.0.1 and
+//    tokens travel as serialized datagrams — a true multi-node stand-in.
+//    UDP may drop, duplicate, or reorder even on loopback, so this
+//    transport ALWAYS runs a reliable-delivery protocol: each token
+//    datagram is acknowledged by the receiver, unacked tokens are
+//    retransmitted with exponential backoff, and the receiver suppresses
+//    duplicates by message id before they reach the inbox. FaultPlan
+//    injection composes at the datagram level (token sends AND acks roll
+//    the seeded dice), so `--faults=drop/dup/delay` specs and kill
+//    recovery work unchanged over real sockets.
+//
+// Quiescence contract: the machine charges `pending`/`inboxTokens` once per
+// logical token at send time, and the charges are released only when the
+// destination worker drains the token from its inbox. A token parked in a
+// retransmit queue or sitting in a kernel socket buffer therefore still
+// reads as in-flight work — the counting termination/deadlock protocol
+// stays exact with no transport-specific cases. Duplicate copies never
+// carry charges of their own on the UDP path (they are dropped at the
+// transport before the inbox); on the inbox path an injected duplicate is
+// charged explicitly via `chargeDuplicate` and consumed by the receiver's
+// dedup, exactly as before this interface existed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/value.hpp"
+#include "support/fault.hpp"
+#include "support/stats.hpp"
+
+namespace pods::native {
+
+/// Which cross-PE transport the native machine uses.
+enum class TransportKind : std::uint8_t {
+  Inbox,  // in-process mutex-guarded inbox (default; behavior-unchanged)
+  Udp,    // per-PE UDP loopback sockets, ack/retransmit reliable delivery
+};
+
+/// Parses a `podsc --transport=` value ("inbox" or "udp").
+bool parseTransportKind(const std::string& name, TransportKind& out);
+const char* transportKindName(TransportKind kind);
+
+/// A cross-PE token (the native machine's only inter-worker message).
+struct NToken {
+  bool toCont = false;
+  std::uint16_t spCode = 0;
+  std::uint64_t ctx = 0;
+  std::uint16_t slot = 0;
+  Cont cont{};
+  Value v{};
+  bool add = false;
+  /// Unique id of this cross-worker message (assigned by the transport;
+  /// nonzero whenever the transport can duplicate, so the receiver can
+  /// suppress copies). Shared by every copy of one logical message.
+  std::uint64_t msgId = 0;
+  /// Kill mode: logical send identity of SENDC/ADDC tokens — stable under
+  /// sender re-execution, unlike msgId (a replayed send is a new message).
+  std::uint64_t senderCtx = 0;
+  std::uint64_t sendKey = 0;
+  /// Kill mode: nonzero marks an array-element wake-up; encodes the element
+  /// so the receiver can drop wakes for parks wiped by its own kill.
+  std::uint64_t wakeKey = 0;
+};
+
+/// Machine-side callbacks the transports deliver into. Implemented by the
+/// native machine; all methods are safe to call from any transport thread.
+class TransportSink {
+ public:
+  virtual ~TransportSink() = default;
+  /// Hands a token to the destination PE's inbox. The token's quiescence
+  /// charges were made at send time and ride along untouched.
+  virtual void deposit(int pe, NToken tok) = 0;
+  /// Charges one extra in-flight token: an injected duplicate copy that
+  /// will reach the inbox and be consumed by the receiver's msgId dedup.
+  virtual void chargeDuplicate() = 0;
+  /// Fatal transport error (reliable delivery gave up): fails the run.
+  virtual void transportFail(const std::string& msg) = 0;
+};
+
+/// One cross-PE transport. Lifecycle: start() before worker threads exist,
+/// send() from any worker/daemon thread while running, stop() after every
+/// worker has joined (so no send() can race it), addStats() after stop().
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual const char* name() const = 0;
+  /// Binds sockets / starts service threads. False + `err` on failure.
+  virtual bool start(std::string* err) = 0;
+  /// Asynchronously moves one token from `fromPe` toward `toPe`'s inbox.
+  /// The caller has already charged the quiescence ledger for one copy.
+  virtual void send(int fromPe, int toPe, NToken tok) = 0;
+  /// Stops service threads. Tokens still parked in retransmit queues at
+  /// stop() were already either delivered (late acks) or the run failed.
+  virtual void stop() = 0;
+  /// Reports transport counters ("net.*" / "fault.*" namespaces), including
+  /// the per-(src,dst) link breakdown used by `podsc --stats`.
+  virtual void addStats(Counters& out) const = 0;
+};
+
+std::unique_ptr<Transport> makeInboxTransport(TransportSink& sink,
+                                              const FaultPlan& plan,
+                                              int numPes);
+std::unique_ptr<Transport> makeUdpTransport(TransportSink& sink,
+                                            const FaultPlan& plan,
+                                            int numPes);
+std::unique_ptr<Transport> makeTransport(TransportKind kind,
+                                         TransportSink& sink,
+                                         const FaultPlan& plan, int numPes);
+
+/// Wire format of one token datagram (UdpTransport). Exposed for tests:
+/// encode/decode must round-trip every field bit-exactly.
+constexpr std::size_t kTokenWireBytes = 65;
+void wireEncodeToken(const NToken& tok, std::uint16_t srcPe,
+                     std::uint8_t out[kTokenWireBytes]);
+bool wireDecodeToken(const std::uint8_t* data, std::size_t len, NToken& tok,
+                     std::uint16_t* srcPe);
+
+}  // namespace pods::native

@@ -188,5 +188,27 @@ TEST(Native, MatchesSimulatorOutputs) {
   EXPECT_TRUE(sameOutputs(natRun.out, simRun.out, &why)) << why;
 }
 
+TEST(Native, UdpTransportMatchesInboxOnKernels) {
+  // Smoke coverage of the real-socket transport inside the main suite; the
+  // full sweeps (fault fuzz, kill+restart, per-link counters) live in
+  // pods_transport_tests.
+  for (const std::string& src :
+       {workloads::matmulSource(10), workloads::reduceSource(150)}) {
+    auto c = compileOk(src);
+    native::NativeConfig inbox;
+    inbox.numWorkers = 4;
+    NativeRun ref = runNative(*c, inbox);
+    ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+    native::NativeConfig udp = inbox;
+    udp.transport = native::TransportKind::Udp;
+    NativeRun run = runNative(*c, udp);
+    ASSERT_TRUE(run.stats.ok) << run.stats.error;
+    std::string why;
+    EXPECT_TRUE(sameOutputs(run.out, ref.out, &why)) << why;
+    EXPECT_GT(run.stats.counters.get("net.udp.tokensSent"), 0);
+    EXPECT_EQ(run.stats.counters.get("native.framesLive"), 0);
+  }
+}
+
 }  // namespace
 }  // namespace pods

@@ -1,0 +1,383 @@
+// Native transport tests (docs/ARCHITECTURE.md, "Native transport").
+//
+// The property under test is transport transparency: the UDP loopback
+// transport — real sockets, serialized datagrams, ack/retransmit reliable
+// delivery — must produce results bit-identical to the in-process inbox
+// transport on every workload, PE count, fault seed, and kill schedule.
+// Single assignment gives Church-Rosser confluence, the transport-level
+// msgId dedup gives exactly-once delivery, and the quiescence charges ride
+// with each token through kernel socket buffers, so termination stays
+// exact. The fuzz sweeps run PODS_TRANSPORT_SEEDS seeds (default 8; the CI
+// socket-soak job raises it to 32+).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/pods.hpp"
+#include "native/transport.hpp"
+#include "support/fault.hpp"
+#include "workloads/simple.hpp"
+
+namespace pods {
+namespace {
+
+constexpr const char* kFibSource = R"(
+def fib(n: int) -> int {
+  let r = if n < 2 then n else fib(n - 1) + fib(n - 2);
+  return r;
+}
+def main() -> int { return fib(13); }
+)";
+
+std::unique_ptr<Compiled> compileOk(const std::string& src) {
+  CompileResult cr = compile(src, {});
+  EXPECT_TRUE(cr.ok) << cr.diagnostics;
+  return std::move(cr.compiled);
+}
+
+/// Seed count for the UDP fuzz sweeps: PODS_TRANSPORT_SEEDS overrides (the
+/// CI socket-soak job raises it), default 8 to keep local runs quick.
+int transportSeeds() {
+  if (const char* env = std::getenv("PODS_TRANSPORT_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 8;
+}
+
+FaultConfig lossyRates(std::uint64_t seed) {
+  FaultConfig fc;
+  EXPECT_TRUE(FaultConfig::parse("drop:0.05,dup:0.02,delay:0.05", fc));
+  fc.seed = seed;
+  fc.nativeRetryUs = 50.0;
+  fc.nativeDelayUs = 20.0;
+  return fc;
+}
+
+void expectBalancedLedger(const NativeRun& run, const std::string& what) {
+  EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
+            run.stats.counters.get("native.framesRetired"))
+      << what;
+  EXPECT_EQ(run.stats.counters.get("native.framesLive"), 0) << what;
+}
+
+// --- wire format ------------------------------------------------------------
+
+TEST(TransportWire, RoundTripsEveryField) {
+  native::NToken tok;
+  tok.toCont = true;
+  tok.spCode = 0xBEEF;
+  tok.ctx = 0x123456789ABCDEFULL;
+  tok.slot = 0x7A5C;
+  tok.cont = Cont{311, 0x00ABCDEF, 0x1234, 0x0FFF};
+  tok.v = Value::realv(-2.5e300);
+  tok.add = true;
+  tok.msgId = 0xFEDCBA9876543210ULL;
+  tok.senderCtx = 0x1111222233334444ULL;
+  tok.sendKey = 0x5555666677778888ULL;
+  tok.wakeKey = (1ULL << 63) | 42;
+
+  std::uint8_t wire[native::kTokenWireBytes];
+  native::wireEncodeToken(tok, 777, wire);
+
+  native::NToken back;
+  std::uint16_t srcPe = 0;
+  ASSERT_TRUE(
+      native::wireDecodeToken(wire, native::kTokenWireBytes, back, &srcPe));
+  EXPECT_EQ(srcPe, 777);
+  EXPECT_EQ(back.toCont, tok.toCont);
+  EXPECT_EQ(back.spCode, tok.spCode);
+  EXPECT_EQ(back.ctx, tok.ctx);
+  EXPECT_EQ(back.slot, tok.slot);
+  EXPECT_EQ(back.cont.pack(), tok.cont.pack());
+  EXPECT_EQ(static_cast<int>(back.v.tag), static_cast<int>(tok.v.tag));
+  EXPECT_EQ(back.v.bits, tok.v.bits);
+  EXPECT_EQ(back.add, tok.add);
+  EXPECT_EQ(back.msgId, tok.msgId);
+  EXPECT_EQ(back.senderCtx, tok.senderCtx);
+  EXPECT_EQ(back.sendKey, tok.sendKey);
+  EXPECT_EQ(back.wakeKey, tok.wakeKey);
+}
+
+TEST(TransportWire, RoundTripsDefaultToken) {
+  native::NToken tok;  // all-defaults spawn token (Empty value, zero keys)
+  tok.spCode = 3;
+  tok.ctx = 9;
+  std::uint8_t wire[native::kTokenWireBytes];
+  native::wireEncodeToken(tok, 0, wire);
+  native::NToken back;
+  ASSERT_TRUE(
+      native::wireDecodeToken(wire, native::kTokenWireBytes, back, nullptr));
+  EXPECT_FALSE(back.toCont);
+  EXPECT_FALSE(back.add);
+  EXPECT_EQ(back.spCode, 3u);
+  EXPECT_EQ(back.ctx, 9u);
+  EXPECT_TRUE(back.v.empty());
+  EXPECT_EQ(back.msgId, 0u);
+}
+
+TEST(TransportWire, RejectsMalformedDatagrams) {
+  native::NToken tok;
+  tok.v = Value::intv(17);
+  std::uint8_t wire[native::kTokenWireBytes];
+  native::wireEncodeToken(tok, 1, wire);
+
+  native::NToken out;
+  // Truncated / oversized.
+  EXPECT_FALSE(
+      native::wireDecodeToken(wire, native::kTokenWireBytes - 1, out, nullptr));
+  EXPECT_FALSE(native::wireDecodeToken(wire, 0, out, nullptr));
+  // Wrong type byte.
+  std::uint8_t bad[native::kTokenWireBytes];
+  std::copy(wire, wire + native::kTokenWireBytes, bad);
+  bad[0] = 0x7F;
+  EXPECT_FALSE(
+      native::wireDecodeToken(bad, native::kTokenWireBytes, out, nullptr));
+  // Reserved flag bits set.
+  std::copy(wire, wire + native::kTokenWireBytes, bad);
+  bad[1] = 0xF0;
+  EXPECT_FALSE(
+      native::wireDecodeToken(bad, native::kTokenWireBytes, out, nullptr));
+  // Out-of-range value tag.
+  std::copy(wire, wire + native::kTokenWireBytes, bad);
+  bad[24] = 0xEE;
+  EXPECT_FALSE(
+      native::wireDecodeToken(bad, native::kTokenWireBytes, out, nullptr));
+  // The untouched image still decodes.
+  EXPECT_TRUE(
+      native::wireDecodeToken(wire, native::kTokenWireBytes, out, nullptr));
+  EXPECT_EQ(out.v.asInt(), 17);
+}
+
+TEST(TransportKindParse, NamesRoundTrip) {
+  native::TransportKind k = native::TransportKind::Udp;
+  ASSERT_TRUE(native::parseTransportKind("inbox", k));
+  EXPECT_EQ(k, native::TransportKind::Inbox);
+  ASSERT_TRUE(native::parseTransportKind("udp", k));
+  EXPECT_EQ(k, native::TransportKind::Udp);
+  EXPECT_FALSE(native::parseTransportKind("tcp", k));
+  EXPECT_FALSE(native::parseTransportKind("", k));
+  EXPECT_STREQ(native::transportKindName(native::TransportKind::Inbox),
+               "inbox");
+  EXPECT_STREQ(native::transportKindName(native::TransportKind::Udp), "udp");
+}
+
+// --- bit-exactness vs the inbox transport -----------------------------------
+
+TEST(UdpTransport, SimpleBitIdenticalToInboxAcrossPeCounts) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  for (int workers : {1, 4, 8}) {
+    native::NativeConfig inbox;
+    inbox.numWorkers = workers;
+    NativeRun ref = runNative(*c, inbox);
+    ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+    native::NativeConfig udp = inbox;
+    udp.transport = native::TransportKind::Udp;
+    NativeRun run = runNative(*c, udp);
+    ASSERT_TRUE(run.stats.ok) << "workers=" << workers << ": "
+                              << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "workers=" << workers << ": " << why;
+    expectBalancedLedger(run, "workers=" + std::to_string(workers));
+    // Real datagrams must actually have crossed sockets (multi-PE only).
+    if (workers > 1) {
+      EXPECT_GT(run.stats.counters.get("net.udp.tokensSent"), 0)
+          << "workers=" << workers;
+      EXPECT_EQ(run.stats.counters.get("net.udp.acksRecv"),
+                run.stats.counters.get("net.udp.acksSent"))
+          << "workers=" << workers;
+    } else {
+      EXPECT_EQ(run.stats.counters.get("net.udp.tokensSent"), 0);
+    }
+  }
+}
+
+TEST(UdpTransport, RecursiveWorkloadBitIdenticalToInbox) {
+  auto c = compileOk(kFibSource);
+  for (int workers : {1, 4, 8}) {
+    native::NativeConfig inbox;
+    inbox.numWorkers = workers;
+    NativeRun ref = runNative(*c, inbox);
+    ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+    native::NativeConfig udp = inbox;
+    udp.transport = native::TransportKind::Udp;
+    NativeRun run = runNative(*c, udp);
+    ASSERT_TRUE(run.stats.ok) << "workers=" << workers << ": "
+                              << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "workers=" << workers << ": " << why;
+    expectBalancedLedger(run, "workers=" + std::to_string(workers));
+  }
+}
+
+TEST(UdpTransport, RepeatRunsBitIdentical) {
+  // Church-Rosser across the real-socket path: scheduling and datagram
+  // interleavings differ run to run, outputs must not.
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  native::NativeConfig udp;
+  udp.numWorkers = 4;
+  udp.transport = native::TransportKind::Udp;
+  NativeRun first = runNative(*c, udp);
+  ASSERT_TRUE(first.stats.ok) << first.stats.error;
+  for (int rep = 0; rep < 5; ++rep) {
+    NativeRun run = runNative(*c, udp);
+    ASSERT_TRUE(run.stats.ok) << "rep=" << rep << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, first.out, &why))
+        << "rep=" << rep << ": " << why;
+  }
+}
+
+// --- per-link visibility ----------------------------------------------------
+
+TEST(UdpTransport, PerLinkCountersSumToAggregates) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  native::NativeConfig udp;
+  udp.numWorkers = 4;
+  udp.transport = native::TransportKind::Udp;
+  NativeRun run = runNative(*c, udp);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+
+  std::int64_t linkTokens = 0, linkDatagrams = 0, linkBytes = 0, links = 0;
+  for (const auto& [k, v] : run.stats.counters.all()) {
+    if (k.rfind("net.link.", 0) != 0) continue;
+    if (k.size() >= 7 && k.compare(k.size() - 7, 7, ".tokens") == 0) {
+      linkTokens += v;
+      ++links;
+      EXPECT_GT(v, 0) << k;  // zero links are omitted entirely
+    } else if (k.size() >= 10 &&
+               k.compare(k.size() - 10, 10, ".datagrams") == 0) {
+      linkDatagrams += v;
+    } else if (k.size() >= 6 && k.compare(k.size() - 6, 6, ".bytes") == 0) {
+      linkBytes += v;
+    }
+  }
+  EXPECT_GT(links, 0);
+  EXPECT_EQ(linkTokens, run.stats.counters.get("net.udp.tokensSent"));
+  EXPECT_EQ(linkDatagrams, run.stats.counters.get("net.udp.datagramsSent"));
+  EXPECT_EQ(linkBytes, run.stats.counters.get("net.udp.bytesSent"));
+  EXPECT_EQ(linkBytes, linkDatagrams *
+                           static_cast<std::int64_t>(native::kTokenWireBytes));
+}
+
+// --- fault injection over real sockets --------------------------------------
+
+TEST(UdpTransport, LossyFuzzBitIdenticalToFaultFree) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+  const int seeds = transportSeeds();
+  std::int64_t injected = 0, dupDropped = 0;
+  for (int workers : {1, 4, 8}) {
+    for (int seed = 1; seed <= seeds; ++seed) {
+      native::NativeConfig nc;
+      nc.numWorkers = workers;
+      nc.transport = native::TransportKind::Udp;
+      nc.faults = lossyRates(static_cast<std::uint64_t>(seed));
+      NativeRun run = runNative(*c, nc);
+      ASSERT_TRUE(run.stats.ok) << "workers=" << workers << " seed=" << seed
+                                << ": " << run.stats.error;
+      std::string why;
+      ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+          << "workers=" << workers << " seed=" << seed << ": " << why;
+      expectBalancedLedger(run, "workers=" + std::to_string(workers) +
+                                    " seed=" + std::to_string(seed));
+      injected += run.stats.counters.get("fault.drops") +
+                  run.stats.counters.get("fault.dups") +
+                  run.stats.counters.get("fault.delays");
+      dupDropped += run.stats.counters.get("net.udp.dupDropped");
+    }
+  }
+  // The protocol must actually have been exercised across the sweep.
+  EXPECT_GT(injected, 0);
+  EXPECT_GT(dupDropped, 0);
+}
+
+TEST(UdpTransport, LossyFuzzRecursiveWorkload) {
+  auto c = compileOk(kFibSource);
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+  const int seeds = transportSeeds();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    native::NativeConfig nc;
+    nc.numWorkers = 8;
+    nc.transport = native::TransportKind::Udp;
+    nc.faults = lossyRates(static_cast<std::uint64_t>(seed));
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+    expectBalancedLedger(run, "seed=" + std::to_string(seed));
+  }
+}
+
+// --- kill + restart over real sockets ---------------------------------------
+
+TEST(UdpTransport, KillRestartBitIdenticalToFaultFree) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+  const int seeds = transportSeeds();
+  std::int64_t kills = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    native::NativeConfig nc;
+    nc.numWorkers = 4;
+    nc.transport = native::TransportKind::Udp;
+    nc.faults.seed = static_cast<std::uint64_t>(seed);
+    nc.faults.killPe = seed % 4;
+    nc.faults.killTimeUs = 100.0 + (seed * 211) % 2500;
+    nc.faults.killRestartUs = 100.0;
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+    expectBalancedLedger(run, "seed=" + std::to_string(seed));
+    kills += run.stats.counters.get("fault.kills");
+  }
+  // Some kills must have landed mid-run for the sweep to mean anything.
+  EXPECT_GT(kills, 0);
+}
+
+TEST(UdpTransport, KillPlusLossyComposition) {
+  auto c = compileOk(kFibSource);
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+  const int seeds = std::max(2, transportSeeds() / 2);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    native::NativeConfig nc;
+    nc.numWorkers = 4;
+    nc.transport = native::TransportKind::Udp;
+    nc.faults = lossyRates(static_cast<std::uint64_t>(seed));
+    nc.faults.killPe = seed % 4;
+    nc.faults.killTimeUs = 200.0 + (seed * 367) % 2000;
+    nc.faults.killRestartUs = 100.0;
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+    expectBalancedLedger(run, "seed=" + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace pods

@@ -14,6 +14,9 @@
 //   --page N           array page size in elements       (default: 32)
 //   --no-cache         disable remote-page caching (pods engine)
 //   --trace=FILE       write a Chrome-trace timeline (pods engine)
+//   --transport=inbox|udp  native engine: cross-PE token transport — the
+//                      in-process inbox (default) or per-PE UDP loopback
+//                      sockets with ack/retransmit reliable delivery
 //   --faults=SPEC      inject message faults (pods/native engines):
 //                      comma-separated key:prob with keys drop, dup, delay,
 //                      stall — e.g. --faults=drop:0.01,dup:0.005,delay:0.02
@@ -53,6 +56,8 @@ struct Options {
   bool blockRange = false;
   int page = 32;
   bool cache = true;
+  pods::native::TransportKind transport = pods::native::TransportKind::Inbox;
+  bool transportSet = false;
   bool verify = false;
   bool stats = false;
   bool dumpGraph = false;
@@ -69,6 +74,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--engine=pods|seq|static|native] [--pes N] "
                "[--no-distribute] [--block-range] [--page N] [--no-cache] "
+               "[--transport=inbox|udp] "
                "[--trace=FILE] [--faults=SPEC] [--fault-seed N] "
                "[--timeout SEC] "
                "[--verify] [--stats] [--dump-graph] [--dump-plan] "
@@ -167,6 +173,14 @@ bool parseArgs(int argc, char** argv, Options& o) {
       o.blockRange = true;
     } else if (a == "--no-cache") {
       o.cache = false;
+    } else if (a.rfind("--transport=", 0) == 0) {
+      if (!pods::native::parseTransportKind(a.substr(12), o.transport)) {
+        std::fprintf(stderr,
+                     "podsc: --transport must be 'inbox' or 'udp' (got '%s')\n",
+                     a.substr(12).c_str());
+        return false;
+      }
+      o.transportSet = true;
     } else if (a.rfind("--trace=", 0) == 0) {
       o.trace = a.substr(8);
     } else if (a.rfind("--faults=", 0) == 0) {
@@ -328,6 +342,7 @@ int runTool(const Options& o, Watchdog& dog) {
     nc.numWorkers = o.pes;
     nc.pageElems = o.page;
     nc.faults = o.faults;
+    nc.transport = o.transport;
     nc.abort = &dog.abortFlag;
     pods::NativeRun run = pods::runNative(c, nc);
     if (!run.stats.ok) {
@@ -350,7 +365,8 @@ int runTool(const Options& o, Watchdog& dog) {
       }
       return 1;
     }
-    std::printf("engine=native workers=%d wall time: %.3f ms\n", o.pes,
+    std::printf("engine=native workers=%d transport=%s wall time: %.3f ms\n",
+                o.pes, pods::native::transportKindName(o.transport),
                 run.stats.wallSeconds * 1e3);
     if (o.stats) {
       for (const auto& [k, v] : run.stats.counters.all()) {
@@ -399,6 +415,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "podsc: --faults needs a message-passing engine "
                  "(--engine=pods or --engine=native)\n");
+    return 2;
+  }
+  if (o.transportSet && o.engine != "native") {
+    std::fprintf(stderr,
+                 "podsc: --transport applies to the native engine only "
+                 "(--engine=native)\n");
     return 2;
   }
 
