@@ -26,6 +26,7 @@ import platform
 import statistics
 import subprocess
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 
@@ -35,6 +36,41 @@ BENCHES = {
     "fig10_speedup": "bench/fig10_speedup",
     "micro_engine": "bench/micro_engine",
 }
+
+# Counter-registry snapshots (podsc --stats-json) archived alongside the
+# wall-time medians: (engine, program, pes). Keys are "_"-prefixed in the
+# report so compare() ignores them — they are forensic context for a
+# regression, not a gated quantity.
+STATS_RUNS = {
+    "heat_pods_4pe": ("pods", "programs/heat.idl", 4),
+    "heat_native_4pe": ("native", "programs/heat.idl", 4),
+}
+
+
+def archive_stats(build_dir):
+    """Run podsc --stats-json for each STATS_RUNS entry; returns name->dict."""
+    podsc = os.path.join(build_dir, "podsc")
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    out = {}
+    for name, (engine, program, pes) in STATS_RUNS.items():
+        src = os.path.join(root, program)
+        if not (os.path.exists(podsc) and os.path.exists(src)):
+            print(f"bench_gate: skipping stats run {name} (missing binary "
+                  "or program)", file=sys.stderr)
+            continue
+        with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+            proc = subprocess.run(
+                [podsc, f"--engine={engine}", "--pes", str(pes),
+                 f"--stats-json={tmp.name}", src],
+                stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+            if proc.returncode != 0:
+                print(f"bench_gate: stats run {name} exited "
+                      f"{proc.returncode}", file=sys.stderr)
+                continue
+            with open(tmp.name) as f:
+                out[name] = json.load(f)
+        print(f"  archived counter registry for {name}")
+    return out
 
 
 def measure(args):
@@ -69,6 +105,7 @@ def measure(args):
         "reps": args.reps,
         "env": {"PODS_BENCH_SMALL": "1"},
     }
+    results["_stats"] = archive_stats(args.build_dir)
     with open(args.out, "w") as f:
         json.dump(results, f, indent=2, sort_keys=True)
         f.write("\n")

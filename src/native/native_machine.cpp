@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "native/transport.hpp"
+#include "proto/delivery.hpp"
 #include "runtime/ops.hpp"
 #include "support/check.hpp"
 #include "support/recovery.hpp"
@@ -52,9 +53,10 @@ struct NArray {
   std::vector<Value> elems;
   std::unordered_map<std::int64_t, std::vector<ElemWaiter>> waiters;
 
-  NArray(ArrayShape s, int pes, int page)
+  NArray(ArrayShape s, int pes, int page,
+         const std::vector<std::int64_t>& peWeights)
       : shape(s),
-        layout(s, pes, page),
+        layout(s, pes, page, peWeights),
         elems(static_cast<std::size_t>(s.numElems())) {}
 };
 
@@ -85,16 +87,14 @@ struct Worker {
   std::unordered_map<std::uint64_t, std::uint32_t> match;
   std::deque<std::uint32_t> ready;
   std::uint64_t ctxCounter = 0;
-  /// Owner-thread-only dedup set for fault injection: msgIds of faulty
-  /// messages already delivered, so duplicate copies are suppressed before
-  /// they can re-apply a non-idempotent token (ADDC, spawn-by-token).
-  std::unordered_set<std::uint64_t> seenMsgs;
-  /// Owner-thread-only retired-instance ledger for fault injection:
-  /// contexts whose frame already ran END here. NEWCTX never reuses a
-  /// context, so a ctx-matched token arriving late (reordered by injected
-  /// delay/retransmit) for a retired context is a straggler the instance
-  /// never needed — it must be dropped, not spawn a zombie frame.
-  std::unordered_set<std::uint64_t> retiredCtxs;
+  /// Owner-thread-only receiver half of the delivery protocol: msgId dedup
+  /// (duplicate copies suppressed before they can re-apply a non-idempotent
+  /// token — ADDC, spawn-by-token) plus the retired-instance straggler
+  /// ledger. NEWCTX never reuses a context, so a ctx-matched token arriving
+  /// late (reordered by injected delay/retransmit) for a retired context is
+  /// a straggler the instance never needed — it must be dropped, not spawn
+  /// a zombie frame. The logic lives in proto::Delivery.
+  proto::Delivery rx;
   /// Kill mode, owner-thread-only: logical exactly-once filters and parked
   /// replay state (see support/recovery.hpp). Survivors need them too — they
   /// absorb a rebuilt neighbor's re-sent tokens.
@@ -184,7 +184,7 @@ struct NativeMachine::Impl : TransportSink {
   // kernel socket buffer, so the quiescence protocol above stays exact —
   // an in-transport token reads as in-flight work, never as quiescence.
   // Injected duplicate copies on the inbox path get their own increments
-  // (chargeDuplicate) and are consumed when the receiver's seenMsgs dedup
+  // (chargeDuplicate) and are consumed when the receiver's message-id dedup
   // drops them; UDP duplicates are suppressed inside the transport before
   // the inbox and never carry charges.
   FaultPlan plan;
@@ -231,6 +231,9 @@ struct NativeMachine::Impl : TransportSink {
     PODS_CHECK_MSG(c.sliceInstructions >= 1,
                    "sliceInstructions must be >= 1 (a zero budget would "
                    "requeue frames forever without progress)");
+    PODS_CHECK_MSG(c.peWeights.empty() ||
+                       static_cast<int>(c.peWeights.size()) == c.numWorkers,
+                   "peWeights must be empty or have one entry per worker");
     for (int i = 0; i < c.numWorkers; ++i) {
       workers.push_back(std::make_unique<Worker>());
       workers.back()->id = i;
@@ -272,7 +275,7 @@ struct NativeMachine::Impl : TransportSink {
 
   /// An injected duplicate on the inbox path is a real extra message: it
   /// carries its own quiescence charges, consumed when the receiver's
-  /// seenMsgs dedup drops it.
+  /// message-id dedup (proto::Delivery::accept) drops it.
   void chargeDuplicate() override {
     pending.fetch_add(1);
     inboxTokens.fetch_add(1);
@@ -344,13 +347,19 @@ struct NativeMachine::Impl : TransportSink {
   /// Retires a frame: storage goes to the free list, the generation bump
   /// invalidates every outstanding continuation into it.
   void retireFrame(Worker& w, std::uint32_t frameIdx, NFrame& f) {
-    if (trackStragglers()) w.retiredCtxs.insert(f.ctx);
+    if (trackStragglers()) w.rx.retireCtx(f.ctx);
     if (killMode()) {
+      RecoveryLog& L = recLogs[static_cast<std::size_t>(w.id)];
       RecEntry e;
       e.kind = RecEntry::Kind::End;
       e.ctx = f.ctx;
-      recLogs[static_cast<std::size_t>(w.id)].entries.push_back(e);
-      w.dedup.forget(f.ctx);
+      L.entries.push_back(e);
+      // The instance is over: shed its logical-dedup keys and minted
+      // identities (nothing can consult them again — tokens to a dead
+      // frame are dropped or triaged as stragglers first). This bounds the
+      // recovery ledgers by *live* instances instead of run length.
+      w.dedup.retire(f.ctx);
+      L.mints.erase(f.ctx);
     }
     f.dead = true;
     f.gen = static_cast<std::uint16_t>((f.gen + 1) & Cont::kGenMask);
@@ -383,7 +392,7 @@ struct NativeMachine::Impl : TransportSink {
       // message are suppressed here — single-assignment slot writes would
       // tolerate redelivery, but ADDC join counters and spawn-by-token
       // after frame retirement would not.
-      if (!w.seenMsgs.insert(tok.msgId).second) {
+      if (!w.rx.accept(tok.msgId)) {
         w.st.dupSuppressed++;
         return;
       }
@@ -410,13 +419,6 @@ struct NativeMachine::Impl : TransportSink {
         }
         if (pit->second.empty()) w.myParks.erase(pit);
       }
-      if (killMode() && tok.sendKey != 0 &&
-          !w.dedup.firstCont(tok.senderCtx, tok.sendKey)) {
-        // A re-executed sender re-sent this logical token; it was already
-        // applied (or parked) exactly once.
-        w.st.tokensDropped++;
-        return;
-      }
       frameIdx = tok.cont.frame;
       slot = tok.cont.slot;
       if (frameIdx >= w.frames.size() || w.frames[frameIdx]->dead ||
@@ -425,6 +427,15 @@ struct NativeMachine::Impl : TransportSink {
         return;
       }
       NFrame& fr = *w.frames[frameIdx];
+      if (killMode() && tok.sendKey != 0 &&
+          !w.dedup.firstCont(fr.ctx, tok.senderCtx, tok.sendKey)) {
+        // A re-executed sender re-sent this logical token; it was already
+        // applied (or parked) exactly once. The ledger is keyed by the
+        // consuming context — dead/stale frames are dropped above before
+        // dedup is consulted, so END can prune a retired instance's keys.
+        w.st.tokensDropped++;
+        return;
+      }
       if (killMode() && tok.sendKey != 0 && fr.replaying &&
           fr.sentCtxs.count(tok.senderCtx) == 0) {
         // Fresh result racing the replay (e.g. a survivor child finishing
@@ -444,7 +455,7 @@ struct NativeMachine::Impl : TransportSink {
       }
       auto it = w.match.find(tok.ctx);
       if (it == w.match.end()) {
-        if (trackStragglers() && w.retiredCtxs.count(tok.ctx) != 0) {
+        if (trackStragglers() && w.rx.straggler(tok.ctx)) {
           w.st.tokensDropped++;  // straggler to a retired instance
           return;
         }
@@ -493,8 +504,8 @@ struct NativeMachine::Impl : TransportSink {
 
   ArrayId allocArray(ArrayShape shape) {
     std::lock_guard<std::mutex> g(storeM);
-    arrays.push_back(
-        std::make_unique<NArray>(shape, cfg.numWorkers, cfg.pageElems));
+    arrays.push_back(std::make_unique<NArray>(shape, cfg.numWorkers,
+                                              cfg.pageElems, cfg.peWeights));
     return static_cast<ArrayId>(arrays.size() - 1);
   }
 
@@ -866,8 +877,7 @@ struct NativeMachine::Impl : TransportSink {
     w.freeList.clear();
     w.match.clear();
     w.ready.clear();
-    w.seenMsgs.clear();
-    w.retiredCtxs.clear();
+    w.rx.resetReceiver();
     w.dedup.clear();
     w.pendingReplay.clear();
     w.myParks.clear();
@@ -915,8 +925,11 @@ struct NativeMachine::Impl : TransportSink {
         case RecEntry::Kind::ConToken:
           // Held back until the re-executing consumer re-sends to the
           // original sender's context, so multi-round slots refill in
-          // program order.
-          w.dedup.firstCont(e.senderCtx, e.sendKey);
+          // program order. The consumer frame exists in its original
+          // incarnation by log order (creations/Ends replay in sequence).
+          PODS_CHECK_MSG(e.frame < w.frames.size(),
+                         "replayed delivery targets an unknown frame");
+          w.dedup.firstCont(w.frames[e.frame]->ctx, e.senderCtx, e.sendKey);
           w.pendingReplay[e.senderCtx].push_back(i);
           break;
         case RecEntry::Kind::End: {
@@ -927,8 +940,9 @@ struct NativeMachine::Impl : TransportSink {
           nf.dead = true;
           nf.gen = static_cast<std::uint16_t>((nf.gen + 1) & Cont::kGenMask);
           nf.slots.clear();
-          w.retiredCtxs.insert(e.ctx);
-          w.dedup.forget(e.ctx);
+          w.rx.retireCtx(e.ctx);
+          w.dedup.retire(e.ctx);
+          L.mints.erase(e.ctx);
           w.match.erase(it);
           break;
         }
@@ -1175,17 +1189,29 @@ struct NativeMachine::Impl : TransportSink {
     // here because stalls and receiver dedup happen at delivery, not in the
     // transport.
     transport->addStats(out.counters);
+    if (trackStragglers()) {
+      // Receiver-half protocol counters (msgId dedup, straggler triage)
+      // accumulate inside each worker's proto::Delivery endpoint; roll them
+      // up here so faulty runs report the canonical counter-name set.
+      for (const auto& w : workers) w->rx.addStats(out.counters);
+    }
     if (plan.enabled()) {
       out.counters.add("fault.stalls", faultStalls.load());
-      std::int64_t dedup = 0;
-      for (const auto& w : workers) dedup += w->st.dupSuppressed;
-      out.counters.add("net.retx.dupSuppressed", dedup);
+      proto::Delivery::registerInjectionCounters(out.counters);
     }
     if (killMode()) {
       out.counters.add("fault.kills", killFired ? 1 : 0);
       out.counters.add("recovery.replayedFrames", recReplayedFrames);
       out.counters.add("recovery.replayedTokens", recReplayedTokens);
       out.counters.add("recovery.parkedEarly", recParkedEarly);
+      // Post-END ledger residency: bounded by live instances (recovery.hpp).
+      std::int64_t liveKeys = 0, liveMints = 0;
+      for (const auto& w : workers) liveKeys += w->dedup.liveKeys();
+      for (const RecoveryLog& L : recLogs)
+        for (const auto& [ctx, m] : L.mints)
+          liveMints += static_cast<std::int64_t>(m.size());
+      out.counters.add("recovery.dedup.liveKeys", liveKeys);
+      out.counters.add("recovery.mints.live", liveMints);
     }
     return out;
   }

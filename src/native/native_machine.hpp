@@ -47,6 +47,10 @@ struct NativeConfig {
   int sliceInstructions = 1024;  // max instructions before draining the inbox
                                  // (must be >= 1: a zero budget would requeue
                                  // a frame forever without progress)
+  /// Per-PE ownership weights for distributed-array page segmentation
+  /// (runtime/array_layout.hpp). Empty = uniform; otherwise one entry >= 1
+  /// per worker, sizing each worker's page share proportionally.
+  std::vector<std::int64_t> peWeights;
   /// Fault injection (support/fault.hpp). Nonzero rates put cross-worker
   /// token delivery behind an unreliable-transport shim: dropped/delayed
   /// tokens are re-driven by a wall-clock retransmit daemon with

@@ -16,8 +16,8 @@
 #include <queue>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 
+#include "proto/delivery.hpp"
 #include "support/check.hpp"
 
 namespace pods::native {
@@ -29,14 +29,6 @@ using Clock = std::chrono::steady_clock;
 Clock::duration micros(double us) {
   return std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double, std::micro>(us));
-}
-
-/// Exponential-backoff retransmit delay for attempt N (1-based): the initial
-/// timeout doubles per retry, capped at maxBackoffDoublings doublings.
-double backoffUs(const FaultConfig& fc, std::uint32_t attempt) {
-  const std::uint32_t doublings = std::min<std::uint32_t>(
-      attempt - 1, static_cast<std::uint32_t>(fc.maxBackoffDoublings));
-  return fc.nativeRetryUs * static_cast<double>(1ULL << doublings);
 }
 
 void put16(std::uint8_t* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
@@ -73,12 +65,14 @@ void addLinkStats(Counters& out, const std::vector<LinkStat>& links,
   for (int f = 0; f < numPes; ++f) {
     for (int t = 0; t < numPes; ++t) {
       const LinkStat& l = links[static_cast<std::size_t>(f * numPes + t)];
-      const std::string key =
-          "net.link." + std::to_string(f) + "->" + std::to_string(t) + ".";
-      if (const auto v = l.tokens.load()) out.add(key + "tokens", v);
-      if (const auto v = l.datagrams.load()) out.add(key + "datagrams", v);
-      if (const auto v = l.bytes.load()) out.add(key + "bytes", v);
-      if (const auto v = l.retx.load()) out.add(key + "retx", v);
+      if (const auto v = l.tokens.load())
+        out.add(proto::linkCounterName(f, t, "tokens"), v);
+      if (const auto v = l.datagrams.load())
+        out.add(proto::linkCounterName(f, t, "datagrams"), v);
+      if (const auto v = l.bytes.load())
+        out.add(proto::linkCounterName(f, t, "bytes"), v);
+      if (const auto v = l.retx.load())
+        out.add(proto::linkCounterName(f, t, "retx"), v);
     }
   }
 }
@@ -98,7 +92,8 @@ class InboxTransport final : public Transport {
         numPes_(numPes),
         links_(plan.enabled()
                    ? static_cast<std::size_t>(numPes) * numPes
-                   : 0) {}
+                   : 0),
+        sender_(plan.config().retry, /*faultsEnabled=*/true) {}
 
   ~InboxTransport() override { stop(); }
 
@@ -118,7 +113,11 @@ class InboxTransport final : public Transport {
     }
     if (tok.msgId == 0) tok.msgId = netSeq_.fetch_add(1) + 1;
     link(fromPe, toPe).tokens.fetch_add(1);
-    transmit(fromPe, toPe, std::move(tok), /*attempt=*/1);
+    {
+      std::lock_guard<std::mutex> g(senderM_);
+      sender_.onSend(tok.msgId);
+    }
+    transmit(fromPe, toPe, std::move(tok));
   }
 
   void stop() override {
@@ -133,10 +132,13 @@ class InboxTransport final : public Transport {
 
   void addStats(Counters& out) const override {
     if (!plan_.enabled()) return;
-    out.add("fault.drops", faultDrops_.load());
-    out.add("fault.dups", faultDups_.load());
-    out.add("fault.delays", faultDelays_.load());
-    out.add("net.retx.resent", retxResent_.load());
+    out.add(proto::kFaultDrops, faultDrops_.load());
+    out.add(proto::kFaultDups, faultDups_.load());
+    out.add(proto::kFaultDelays, faultDelays_.load());
+    {
+      std::lock_guard<std::mutex> g(senderM_);
+      sender_.addStats(out);
+    }
     addLinkStats(out, links_, numPes_);
   }
 
@@ -149,7 +151,6 @@ class InboxTransport final : public Transport {
     Clock::time_point due;
     int fromPe = 0;
     int toPe = 0;
-    std::uint32_t attempt = 1;
     bool redecide = true;
     NToken tok;
   };
@@ -163,24 +164,40 @@ class InboxTransport final : public Transport {
     return links_[static_cast<std::size_t>(fromPe * numPes_ + toPe)];
   }
 
+  /// The inbox path has no ack round-trip, so a settled token (anything but
+  /// a drop) is reported to the protocol core as acknowledged — the drop
+  /// branch then drives retransmit/give-up entirely through the core.
+  void settle(std::uint64_t msgId) {
+    std::lock_guard<std::mutex> g(senderM_);
+    sender_.onAck(msgId);
+  }
+
   /// One transmission attempt: rolls the seeded dice, then delivers,
   /// duplicates, or hands the token to the retransmit daemon. The token's
   /// quiescence charges ride along untouched.
-  void transmit(int fromPe, int toPe, NToken tok, std::uint32_t attempt) {
+  void transmit(int fromPe, int toPe, NToken tok) {
     switch (plan_.action(netSeq_.fetch_add(1) + 1)) {
-      case FaultAction::Drop:
+      case FaultAction::Drop: {
         faultDrops_.fetch_add(1);
-        if (static_cast<int>(attempt) >= plan_.config().maxAttempts) {
+        proto::TimeoutDecision d;
+        {
+          std::lock_guard<std::mutex> g(senderM_);
+          d = sender_.onTimeout(tok.msgId);
+        }
+        if (d.kind == proto::TimeoutDecision::Kind::GiveUp) {
           sink_.transportFail("reliable delivery gave up on a token to "
                               "worker " +
                               std::to_string(toPe) + " after " +
-                              std::to_string(attempt) + " attempts");
+                              std::to_string(d.attempt) + " attempts");
           return;
         }
-        scheduleRetx(fromPe, toPe, std::move(tok), attempt, /*redecide=*/true);
+        scheduleRetx(fromPe, toPe, std::move(tok), d.backoffUs,
+                     /*redecide=*/true);
         break;
+      }
       case FaultAction::Duplicate: {
         faultDups_.fetch_add(1);
+        settle(tok.msgId);
         NToken copy = tok;
         sink_.deposit(toPe, std::move(tok));
         // The duplicate is a real extra message: it carries its own
@@ -191,24 +208,23 @@ class InboxTransport final : public Transport {
       }
       case FaultAction::Delay:
         faultDelays_.fetch_add(1);
-        scheduleRetx(fromPe, toPe, std::move(tok), attempt,
-                     /*redecide=*/false);
+        settle(tok.msgId);
+        scheduleRetx(fromPe, toPe, std::move(tok),
+                     plan_.config().nativeDelayUs, /*redecide=*/false);
         break;
       case FaultAction::Deliver:
+        settle(tok.msgId);
         sink_.deposit(toPe, std::move(tok));
         break;
     }
   }
 
-  void scheduleRetx(int fromPe, int toPe, NToken tok, std::uint32_t attempt,
+  void scheduleRetx(int fromPe, int toPe, NToken tok, double delayUs,
                     bool redecide) {
-    const FaultConfig& fc = plan_.config();
     RetxItem item;
-    item.due = Clock::now() + micros(redecide ? backoffUs(fc, attempt)
-                                              : fc.nativeDelayUs);
+    item.due = Clock::now() + micros(delayUs);
     item.fromPe = fromPe;
     item.toPe = toPe;
-    item.attempt = attempt;
     item.redecide = redecide;
     item.tok = std::move(tok);
     {
@@ -246,10 +262,8 @@ class InboxTransport final : public Transport {
         retxQ_.pop();
         g.unlock();
         if (item.redecide) {
-          retxResent_.fetch_add(1);
           link(item.fromPe, item.toPe).retx.fetch_add(1);
-          transmit(item.fromPe, item.toPe, std::move(item.tok),
-                   item.attempt + 1);
+          transmit(item.fromPe, item.toPe, std::move(item.tok));
         } else {
           sink_.deposit(item.toPe, std::move(item.tok));
         }
@@ -266,7 +280,10 @@ class InboxTransport final : public Transport {
   std::atomic<std::int64_t> faultDrops_{0};
   std::atomic<std::int64_t> faultDups_{0};
   std::atomic<std::int64_t> faultDelays_{0};
-  std::atomic<std::int64_t> retxResent_{0};
+  /// Sender half of the delivery protocol core (backoff schedule, give-up,
+  /// resend accounting). Shared by worker threads and the retransmit daemon.
+  mutable std::mutex senderM_;
+  proto::Delivery sender_;
   std::mutex retxM_;
   std::condition_variable retxCv_;
   std::priority_queue<RetxItem, std::vector<RetxItem>, RetxLater> retxQ_;
@@ -296,9 +313,11 @@ class InboxTransport final : public Transport {
 //
 // Threads: N receiver threads (one blocking recvfrom loop per PE socket —
 // the "NIC", which a kill-mode fail-stop deliberately does NOT destroy) and
-// one timer thread driving retransmits and delayed sends. The receiver's
-// dedup set is thread-local to its receiver thread; the unacked map and
-// timer heap share one mutex; everything else is atomics.
+// one timer thread driving retransmits and delayed sends. Backoff, give-up,
+// and msgId dedup decisions live in proto::Delivery: one sender endpoint
+// shared under the unacked-map mutex, and one receiver endpoint per PE
+// touched only by that PE's receiver thread (the endpoint models the NIC
+// and deliberately survives a kill-mode fail-stop of the PE).
 // ---------------------------------------------------------------------------
 
 class UdpTransport final : public Transport {
@@ -307,15 +326,15 @@ class UdpTransport final : public Transport {
       : sink_(sink),
         plan_(plan),
         numPes_(numPes),
-        // Fault tests tune nativeRetryUs down to recover injected drops
+        links_(static_cast<std::size_t>(numPes) * numPes),
+        // Fault tests tune retry.rtoUs down to recover injected drops
         // quickly; honor it then. Fault-free, datagram loss is rare (large
         // SO_RCVBUF) and a sub-millisecond RTO just races thread scheduling
-        // on the ack path, so floor it — spurious retransmits are harmless
-        // (receiver dedup) but wasteful.
-        baseRtoUs_(plan.enabled()
-                       ? plan.config().nativeRetryUs
-                       : std::max(plan.config().nativeRetryUs, 5000.0)),
-        links_(static_cast<std::size_t>(numPes) * numPes) {}
+        // on the ack path, so the policy floors it — spurious retransmits
+        // are harmless (receiver dedup) but wasteful.
+        sender_(plan.config().retry, plan.enabled()),
+        rx_(static_cast<std::size_t>(numPes),
+            proto::Delivery(plan.config().retry, plan.enabled())) {}
 
   ~UdpTransport() override { stop(); }
 
@@ -378,8 +397,9 @@ class UdpTransport final : public Transport {
     tokensSent_.fetch_add(1);
     {
       std::lock_guard<std::mutex> g(m_);
-      heap_.push(TimerEv{Clock::now() + micros(udpBackoffUs(1)), tok.msgId,
-                         /*delayedSend=*/false});
+      sender_.onSend(tok.msgId);
+      heap_.push(TimerEv{Clock::now() + micros(sender_.initialRtoUs()),
+                         tok.msgId, /*delayedSend=*/false});
       unacked_.emplace(tok.msgId, u);
     }
     timerCv_.notify_one();
@@ -413,14 +433,18 @@ class UdpTransport final : public Transport {
     out.add("net.udp.bytesRecv", bytesRecv_.load());
     out.add("net.udp.acksSent", acksSent_.load());
     out.add("net.udp.acksRecv", acksRecv_.load());
-    out.add("net.udp.dupDropped", dupDropped_.load());
     out.add("net.udp.sendErrors", sendErrors_.load());
     out.add("net.udp.badDatagrams", badDatagrams_.load());
-    out.add("net.retx.resent", retxResent_.load());
+    {
+      std::lock_guard<std::mutex> g(m_);
+      sender_.addStats(out);
+    }
+    // Receiver threads are joined by stop() before stats are read.
+    for (const proto::Delivery& rx : rx_) rx.addStats(out);
     if (plan_.enabled()) {
-      out.add("fault.drops", faultDrops_.load());
-      out.add("fault.dups", faultDups_.load());
-      out.add("fault.delays", faultDelays_.load());
+      out.add(proto::kFaultDrops, faultDrops_.load());
+      out.add(proto::kFaultDups, faultDups_.load());
+      out.add(proto::kFaultDelays, faultDelays_.load());
     }
     addLinkStats(out, links_, numPes_);
   }
@@ -429,7 +453,6 @@ class UdpTransport final : public Transport {
   struct Unacked {
     int fromPe = 0;
     int toPe = 0;
-    std::uint32_t attempts = 1;
     std::array<std::uint8_t, kTokenWireBytes> wire{};
   };
   struct TimerEv {
@@ -444,15 +467,6 @@ class UdpTransport final : public Transport {
   };
 
   static std::string errnoStr() { return std::strerror(errno); }
-
-  /// Retransmit timeout for attempt N of a token datagram: the (possibly
-  /// floored) base RTO, doubling per retry like the inbox-path backoff.
-  double udpBackoffUs(std::uint32_t attempt) const {
-    const std::uint32_t doublings = std::min<std::uint32_t>(
-        attempt - 1,
-        static_cast<std::uint32_t>(plan_.config().maxBackoffDoublings));
-    return baseRtoUs_ * static_cast<double>(1ULL << doublings);
-  }
 
   LinkStat& link(int fromPe, int toPe) {
     return links_[static_cast<std::size_t>(fromPe * numPes_ + toPe)];
@@ -549,13 +563,13 @@ class UdpTransport final : public Transport {
   }
 
   /// Per-PE receiver loop: the PE's "NIC". Acks every token datagram,
-  /// suppresses duplicate msgIds (thread-local set — this state models the
-  /// network interface and deliberately survives a kill-mode fail-stop of
-  /// the PE), and deposits first copies into the owner's inbox.
+  /// suppresses duplicate msgIds through the PE's protocol-core receiver
+  /// endpoint (touched only by this thread), and deposits first copies into
+  /// the owner's inbox.
   void recvMain(int pe) {
     const int fd = fds_[static_cast<std::size_t>(pe)];
     std::uint8_t buf[256];
-    std::unordered_set<std::uint64_t> seen;
+    proto::Delivery& rx = rx_[static_cast<std::size_t>(pe)];
     for (;;) {
       sockaddr_in src{};
       socklen_t srcLen = sizeof src;
@@ -582,11 +596,9 @@ class UdpTransport final : public Transport {
           }
           // Ack first copy AND duplicates: a re-ack is how a lost ack
           // self-heals without the sender retrying forever.
+          rx.count(proto::kAcks);
           sendAck(pe, src, srcLen, tok.msgId);
-          if (!seen.insert(tok.msgId).second) {
-            dupDropped_.fetch_add(1);
-            break;
-          }
+          if (!rx.accept(tok.msgId)) break;
           sink_.deposit(pe, std::move(tok));
           break;
         }
@@ -596,8 +608,10 @@ class UdpTransport final : public Transport {
             break;
           }
           acksRecv_.fetch_add(1);
+          const std::uint64_t msgId = get64(buf + 3);
           std::lock_guard<std::mutex> g(m_);
-          unacked_.erase(get64(buf + 3));
+          sender_.onAck(msgId);
+          unacked_.erase(msgId);
           break;
         }
         case kTypeShutdown:
@@ -639,8 +653,9 @@ class UdpTransport final : public Transport {
           g.lock();
           continue;
         }
-        if (static_cast<int>(it->second.attempts) >=
-            plan_.config().maxAttempts) {
+        const proto::TimeoutDecision d = sender_.onTimeout(ev.msgId);
+        if (d.kind == proto::TimeoutDecision::Kind::Stale) continue;
+        if (d.kind == proto::TimeoutDecision::Kind::GiveUp) {
           const Unacked u = it->second;
           unacked_.erase(it);
           g.unlock();
@@ -649,15 +664,13 @@ class UdpTransport final : public Transport {
               "worker " +
               std::to_string(u.fromPe) + " to worker " +
               std::to_string(u.toPe) + " after " +
-              std::to_string(u.attempts) + " attempts");
+              std::to_string(d.attempt) + " attempts");
           g.lock();
           continue;
         }
-        it->second.attempts++;
         const Unacked u = it->second;
-        heap_.push(TimerEv{Clock::now() + micros(udpBackoffUs(u.attempts)),
-                           ev.msgId, /*delayedSend=*/false});
-        retxResent_.fetch_add(1);
+        heap_.push(TimerEv{Clock::now() + micros(d.backoffUs), ev.msgId,
+                           /*delayedSend=*/false});
         link(u.fromPe, u.toPe).retx.fetch_add(1);
         g.unlock();
         attemptTransmit(u, ev.msgId);
@@ -669,8 +682,11 @@ class UdpTransport final : public Transport {
   TransportSink& sink_;
   FaultPlan plan_;
   const int numPes_;
-  const double baseRtoUs_;
   std::vector<LinkStat> links_;
+  /// Protocol core endpoints: sender half under m_, one receiver half per
+  /// PE owned by its receiver thread (read by addStats after join).
+  proto::Delivery sender_;
+  std::vector<proto::Delivery> rx_;
 
   std::vector<int> fds_;
   std::vector<sockaddr_in> addrs_;
@@ -678,7 +694,7 @@ class UdpTransport final : public Transport {
   std::thread timerThread_;
   std::atomic<bool> rxStop_{false};
 
-  std::mutex m_;  // guards unacked_, heap_, timerStop_
+  mutable std::mutex m_;  // guards unacked_, heap_, timerStop_, sender_
   std::condition_variable timerCv_;
   std::unordered_map<std::uint64_t, Unacked> unacked_;
   std::priority_queue<TimerEv, std::vector<TimerEv>, EvLater> heap_;
@@ -693,10 +709,8 @@ class UdpTransport final : public Transport {
   std::atomic<std::int64_t> bytesRecv_{0};
   std::atomic<std::int64_t> acksSent_{0};
   std::atomic<std::int64_t> acksRecv_{0};
-  std::atomic<std::int64_t> dupDropped_{0};
   std::atomic<std::int64_t> sendErrors_{0};
   std::atomic<std::int64_t> badDatagrams_{0};
-  std::atomic<std::int64_t> retxResent_{0};
   std::atomic<std::int64_t> faultDrops_{0};
   std::atomic<std::int64_t> faultDups_{0};
   std::atomic<std::int64_t> faultDelays_{0};

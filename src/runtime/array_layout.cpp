@@ -18,6 +18,11 @@ int ArrayLayout::pageOwner(std::int64_t page) const {
       if (pageSeg_[pe].contains(page)) return pe;
     PODS_UNREACHABLE("migrated page segments do not cover all pages");
   }
+  if (!weightSeg_.empty()) {
+    for (int pe = 0; pe < numPEs_; ++pe)
+      if (weightSeg_[pe].contains(page)) return pe;
+    PODS_UNREACHABLE("weighted page segments do not cover all pages");
+  }
   const std::int64_t q = numPages_ / numPEs_;
   const std::int64_t r = numPages_ % numPEs_;
   // First r PEs hold q+1 pages each, covering the first r*(q+1) pages.
@@ -25,6 +30,52 @@ int ArrayLayout::pageOwner(std::int64_t page) const {
   if (page < firstBlock) return static_cast<int>(page / (q + 1));
   if (q == 0) return numPEs_ - 1;  // degenerate: fewer pages than PEs
   return static_cast<int>(r + (page - firstBlock) / q);
+}
+
+void ArrayLayout::buildWeightedSegments(
+    const std::vector<std::int64_t>& peWeights) {
+  PODS_CHECK_MSG(static_cast<int>(peWeights.size()) == numPEs_,
+                 "peWeights must have one entry per PE");
+  std::int64_t totalW = 0;
+  for (const std::int64_t w : peWeights) {
+    PODS_CHECK_MSG(w >= 1, "peWeights entries must be >= 1");
+    PODS_CHECK_MSG(!__builtin_add_overflow(totalW, w, &totalW),
+                   "peWeights sum overflows int64");
+  }
+  // Integer largest-remainder apportionment: PE i's ideal share is
+  // numPages * w_i / totalW; floors are assigned first and the leftover
+  // pages go to the largest fractional remainders, ties to the lower PE.
+  // Equal weights reduce to q = numPages / numPEs with the first
+  // numPages % numPEs PEs taking one extra page — exactly the uniform cut.
+  std::vector<std::int64_t> count(static_cast<std::size_t>(numPEs_), 0);
+  std::vector<std::int64_t> rem(static_cast<std::size_t>(numPEs_), 0);
+  std::int64_t assigned = 0;
+  for (int pe = 0; pe < numPEs_; ++pe) {
+    std::int64_t quota = 0;
+    PODS_CHECK_MSG(
+        !__builtin_mul_overflow(numPages_, peWeights[static_cast<std::size_t>(pe)],
+                                &quota),
+        "numPages * weight overflows int64");
+    count[static_cast<std::size_t>(pe)] = quota / totalW;
+    rem[static_cast<std::size_t>(pe)] = quota % totalW;
+    assigned += quota / totalW;
+  }
+  std::int64_t leftover = numPages_ - assigned;
+  std::vector<int> order(static_cast<std::size_t>(numPEs_));
+  for (int pe = 0; pe < numPEs_; ++pe) order[static_cast<std::size_t>(pe)] = pe;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return rem[static_cast<std::size_t>(a)] > rem[static_cast<std::size_t>(b)];
+  });
+  for (int i = 0; leftover > 0; ++i, --leftover)
+    count[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] += 1;
+  weightSeg_.assign(static_cast<std::size_t>(numPEs_), IdxRange{});
+  std::int64_t lo = 0;
+  for (int pe = 0; pe < numPEs_; ++pe) {
+    const std::int64_t n = count[static_cast<std::size_t>(pe)];
+    if (n > 0) weightSeg_[static_cast<std::size_t>(pe)] = {lo, lo + n - 1};
+    lo += n;
+  }
+  PODS_CHECK(lo == numPages_);
 }
 
 void ArrayLayout::migratePe(int deadPe) {

@@ -56,11 +56,22 @@ struct IdxRange {
 class ArrayLayout {
  public:
   ArrayLayout(ArrayShape shape, int numPEs, int pageElems)
+      : ArrayLayout(shape, numPEs, pageElems, {}) {}
+
+  /// Weight-parameterized ownership: PE i's page segment is sized
+  /// proportionally to peWeights[i] (integer largest-remainder rounding, ties
+  /// to the lower PE), segments staying contiguous and assigned in PE order.
+  /// An empty weight vector — or all-equal weights — reproduces the uniform
+  /// layout exactly. Everything downstream of pageSegment() (Range Filters,
+  /// row ownership, recovery migration) inherits the skew unchanged.
+  ArrayLayout(ArrayShape shape, int numPEs, int pageElems,
+              const std::vector<std::int64_t>& peWeights)
       : shape_(shape), numPEs_(numPEs), pageElems_(pageElems) {
     PODS_CHECK(numPEs >= 1);
     PODS_CHECK(pageElems >= 1);
     PODS_CHECK(shape.numElems() >= 0);
     numPages_ = (shape.numElems() + pageElems - 1) / pageElems;
+    if (!peWeights.empty()) buildWeightedSegments(peWeights);
   }
 
   const ArrayShape& shape() const { return shape_; }
@@ -77,6 +88,7 @@ class ArrayLayout {
   IdxRange pageSegment(int pe) const {
     PODS_CHECK(pe >= 0 && pe < numPEs_);
     if (!pageSeg_.empty()) return pageSeg_[pe];
+    if (!weightSeg_.empty()) return weightSeg_[pe];
     const std::int64_t q = numPages_ / numPEs_;
     const std::int64_t r = numPages_ % numPEs_;
     const std::int64_t lo = pe * q + std::min<std::int64_t>(pe, r);
@@ -93,6 +105,7 @@ class ArrayLayout {
   void migratePe(int deadPe);
 
   bool migrated() const { return !pageSeg_.empty(); }
+  bool weighted() const { return !weightSeg_.empty(); }
   bool peDead(int pe) const {
     PODS_CHECK(pe >= 0 && pe < numPEs_);
     return !dead_.empty() && dead_[pe];
@@ -123,10 +136,15 @@ class ArrayLayout {
   IdxRange ownedColsOfRow(int pe, std::int64_t row) const;
 
  private:
+  void buildWeightedSegments(const std::vector<std::int64_t>& peWeights);
+
   ArrayShape shape_;
   int numPEs_;
   int pageElems_;
   std::int64_t numPages_;
+  // Weighted cut: empty for the uniform layout (the lazy q/r math applies),
+  // else the per-PE page ranges computed once from the weights.
+  std::vector<IdxRange> weightSeg_;
   // Migration remap: empty until the first migratePe(). Once populated,
   // pageSeg_[pe] is the authoritative (possibly empty) page range of pe.
   std::vector<IdxRange> pageSeg_;

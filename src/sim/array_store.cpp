@@ -9,7 +9,8 @@ ArrayId ArrayStore::create(int pe, ArrayShape shape, bool distributed) {
   ArrayId id = static_cast<ArrayId>(pe) +
                static_cast<ArrayId>(nextId_[static_cast<std::size_t>(pe)]++) *
                    static_cast<ArrayId>(numPEs_);
-  arrays_.emplace(id, ArrayInfo(id, shape, distributed, pe, numPEs_, pageElems_));
+  arrays_.emplace(id, ArrayInfo(id, shape, distributed, pe, numPEs_,
+                                pageElems_, peWeights_));
   return id;
 }
 

@@ -26,12 +26,12 @@ struct ArrayInfo {
   std::vector<Value> elems;  // Tag::Empty == absent
 
   ArrayInfo(ArrayId i, ArrayShape s, bool dist, int home, int numPEs,
-            int pageElems)
+            int pageElems, const std::vector<std::int64_t>& peWeights)
       : id(i),
         shape(s),
         distributed(dist),
         homePe(home),
-        layout(s, numPEs, pageElems),
+        layout(s, numPEs, pageElems, peWeights),
         elems(static_cast<std::size_t>(s.numElems())) {}
 
   int owner(std::int64_t offset) const {
@@ -41,8 +41,12 @@ struct ArrayInfo {
 
 class ArrayStore {
  public:
-  ArrayStore(int numPEs, int pageElems)
-      : numPEs_(numPEs), pageElems_(pageElems), nextId_(numPEs, 0) {}
+  ArrayStore(int numPEs, int pageElems,
+             std::vector<std::int64_t> peWeights = {})
+      : numPEs_(numPEs),
+        pageElems_(pageElems),
+        peWeights_(std::move(peWeights)),
+        nextId_(numPEs, 0) {}
 
   /// Mints a globally-unique id for an allocation initiated on `pe`
   /// (id = pe + k * numPEs, the striping that makes broadcast ids agree).
@@ -63,6 +67,7 @@ class ArrayStore {
  private:
   int numPEs_;
   int pageElems_;
+  std::vector<std::int64_t> peWeights_;  // empty = uniform layout
   std::vector<ArrayId> nextId_;
   std::unordered_map<ArrayId, ArrayInfo> arrays_;
 };

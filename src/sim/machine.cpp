@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "proto/delivery.hpp"
 #include "runtime/ops.hpp"
 #include "support/check.hpp"
 #include "support/recovery.hpp"
@@ -237,17 +238,15 @@ struct PeState {
   std::unordered_map<ArrayId, std::unordered_map<std::int64_t, Deferred>>
       deferred;  // absent elements we own with waiting readers
 
-  // Reliable-delivery receiver state (lossy mode): ids of messages already
-  // delivered, so retransmissions and injected duplicates are suppressed.
-  // Grows with the message count of the run — acceptable for simulation.
-  std::unordered_set<std::uint64_t> seenMsgs;
-  // Retired-instance ledger (lossy mode): contexts whose frame already
-  // executed END on this PE. NEWCTX never reuses a context, so a token
+  // Reliable-delivery receiver half (lossy mode): msgId dedup (so
+  // retransmissions and injected duplicates are suppressed) and the
+  // retired-instance ledger. NEWCTX never reuses a context, so a token
   // matching a retired context is a straggler its instance provably never
   // needed (the instance retired without it) — delivered late only because
   // injected delays/retransmits broke the network's normal FIFO order. It
-  // must be discarded, not allowed to spawn a zombie instance.
-  std::unordered_set<std::uint64_t> retiredCtxs;
+  // must be discarded, not allowed to spawn a zombie instance. All of that
+  // logic lives in proto::Delivery; this PE just drives it.
+  proto::Delivery rx;
 
   // Kill mode.
   bool dead = false;           // inside the fail-stop window
@@ -260,7 +259,8 @@ struct PeState {
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> pendingReplay;
 };
 
-/// Sender-side copy of one unacknowledged reliable message (lossy mode).
+/// Sender-side payload copy of one unacknowledged reliable message (lossy
+/// mode). The attempt count lives in the proto::Delivery sender window.
 struct RetxEntry {
   std::uint16_t fromPe = 0;
   std::uint16_t toPe = 0;
@@ -268,7 +268,6 @@ struct RetxEntry {
   bool pageSized = false;
   Token tok{};
   AmTask am{};
-  std::uint32_t attempt = 1;  // transmissions so far
 };
 
 std::uint64_t pageKey(ArrayId arr, std::int64_t page) {
@@ -307,10 +306,14 @@ struct Machine::Impl {
   RunStats stats;
   std::vector<bool> resultSet;
   int errorCount = 0;
-  // Reliable-delivery sender state (lossy mode): unacked messages by id.
+  // Reliable-delivery sender half (lossy mode): the protocol core tracks
+  // attempts/backoff/give-up; `retx` keeps the payload copies by id.
   FaultPlan plan;
+  proto::Delivery sender;
   std::uint64_t netSeq = 0;  // message ids and fault-decision stream
   std::unordered_map<std::uint64_t, RetxEntry> retx;
+  // Per-link traffic counter names, built lazily ("net.link.F->T.<what>").
+  std::unordered_map<std::uint64_t, std::string> linkNames;
   // Completion time excluding stale retransmit timers that fire (and are
   // ignored) after the last real work; `now` still tracks the raw queue.
   SimTime lastUseful{};
@@ -323,11 +326,14 @@ struct Machine::Impl {
       : prog(p),
         cfg(c),
         tm(c.timing),
-        store(c.numPEs, c.timing.pageElems),
+        store(c.numPEs, c.timing.pageElems, c.peWeights),
         pes(static_cast<std::size_t>(c.numPEs)) {
     PODS_CHECK(c.numPEs >= 1 && c.numPEs <= 4096);
     PODS_CHECK_MSG(c.timing.pageElems >= 1 && c.timing.pageElems <= 256,
                    "pageElems must be in [1, 256]");
+    PODS_CHECK_MSG(c.peWeights.empty() ||
+                       static_cast<int>(c.peWeights.size()) == c.numPEs,
+                   "peWeights must be empty or have one entry per PE");
     stats.busy.resize(static_cast<std::size_t>(c.numPEs));
     stats.results.resize(static_cast<std::size_t>(prog.numResults));
     resultSet.assign(static_cast<std::size_t>(prog.numResults), false);
@@ -337,7 +343,23 @@ struct Machine::Impl {
     }
     tracing = !cfg.tracePath.empty();
     plan = FaultPlan(c.faults);
+    sender = proto::Delivery(c.faults.retry, /*faultsEnabled=*/true);
+    for (PeState& P : pes)
+      P.rx = proto::Delivery(c.faults.retry, /*faultsEnabled=*/true);
     if (killMode()) recLogs.resize(pes.size());
+  }
+
+  /// Memoized canonical per-link counter name.
+  const std::string& linkName(std::uint16_t from, std::uint16_t to,
+                              const char* what) {
+    // `what` is one of a handful of string literals; fold its first char
+    // into the key so tokens/retx/pages on the same link stay distinct.
+    const std::uint64_t key = (static_cast<std::uint64_t>(what[0]) << 32) |
+                              (static_cast<std::uint64_t>(from) << 16) | to;
+    auto it = linkNames.find(key);
+    if (it == linkNames.end())
+      it = linkNames.emplace(key, proto::linkCounterName(from, to, what)).first;
+    return it->second;
   }
 
   /// True when the lossy network + reliable-delivery protocol is active.
@@ -493,8 +515,9 @@ struct Machine::Impl {
     e.am = std::move(am);
     auto [it, inserted] = retx.emplace(msgId, std::move(e));
     PODS_CHECK(inserted);
+    sender.onSend(msgId);
     netTransmit(msgId, it->second, sentAt);
-    armTimeout(msgId, 1, sentAt + usec(cfg.faults.simRtoUs));
+    armTimeout(msgId, 1, sentAt + usec(sender.initialRtoUs()));
   }
 
   /// Receiver side: dedup, dispatch to MU/AM, inject the optional PE stall,
@@ -509,10 +532,8 @@ struct Machine::Impl {
       stats.counters.add("fault.deadDrops");
       return false;
     }
-    const bool fresh = P.seenMsgs.insert(ev.msgId).second;
-    if (!fresh) {
-      stats.counters.add("net.retx.dupSuppressed");
-    } else {
+    const bool fresh = P.rx.accept(ev.msgId);
+    if (fresh) {
       if (plan.stallHit(++netSeq)) {
         stats.counters.add("fault.stalls");
         const SimTime stallEnd = ev.t + usec(cfg.faults.simStallUs);
@@ -532,7 +553,7 @@ struct Machine::Impl {
     }
     const SimTime done =
         unitSched(ev.pe, Unit::RU, ev.t + tm.unitSignal, tm.tokenRoute());
-    stats.counters.add("net.retx.acks");
+    P.rx.count(proto::kAcks);
     auto ackAt = [&](SimTime when) {
       Ev ack;
       ack.t = when;
@@ -568,27 +589,28 @@ struct Machine::Impl {
   /// back off exponentially. Returns true when the event did real work.
   bool netTimeout(const Ev& ev) {
     auto it = retx.find(ev.msgId);
-    if (it == retx.end() || it->second.attempt != ev.attempt) return false;
-    RetxEntry& e = it->second;
-    if (static_cast<int>(e.attempt) >= cfg.faults.maxAttempts) {
-      runtimeError("reliable delivery gave up on a message to PE " +
-                   std::to_string(e.toPe) + " after " +
-                   std::to_string(e.attempt) + " attempts");
-      retx.erase(it);
-      return true;
+    if (it == retx.end()) return false;
+    const proto::TimeoutDecision d =
+        sender.onTimeout(ev.msgId, static_cast<int>(ev.attempt));
+    switch (d.kind) {
+      case proto::TimeoutDecision::Kind::Stale:
+        return false;
+      case proto::TimeoutDecision::Kind::GiveUp:
+        runtimeError("reliable delivery gave up on a message to PE " +
+                     std::to_string(it->second.toPe) + " after " +
+                     std::to_string(d.attempt) + " attempts");
+        retx.erase(it);
+        return true;
+      case proto::TimeoutDecision::Kind::Retransmit:
+        break;
     }
-    e.attempt += 1;
-    stats.counters.add("net.retx.resent");
+    RetxEntry& e = it->second;
+    stats.counters.add(linkName(e.fromPe, e.toPe, "retx"));
     const SimTime svc = e.pageSized ? tm.pageMessage() : tm.tokenRoute();
     const SimTime done = unitSched(e.fromPe, Unit::RU, ev.t, svc);
     netTransmit(ev.msgId, e, done);
-    const std::uint32_t doublings =
-        std::min<std::uint32_t>(e.attempt - 1,
-                                static_cast<std::uint32_t>(
-                                    cfg.faults.maxBackoffDoublings));
-    const SimTime rto =
-        usec(cfg.faults.simRtoUs * static_cast<double>(1ULL << doublings));
-    armTimeout(ev.msgId, e.attempt, done + rto);
+    armTimeout(ev.msgId, static_cast<std::uint32_t>(d.attempt),
+               done + usec(d.backoffUs));
     return true;
   }
 
@@ -609,6 +631,7 @@ struct Machine::Impl {
                      Token tok) {
     SimTime done = unitSched(fromPe, Unit::RU, t + tm.unitSignal, tm.tokenRoute());
     stats.counters.add("net.tokens");
+    stats.counters.add(linkName(fromPe, toPe, "tokens"));
     if (faulty()) {
       netSend(fromPe, toPe, done, /*isToken=*/true, /*pageSized=*/false,
               std::move(tok), AmTask{});
@@ -645,6 +668,8 @@ struct Machine::Impl {
         tokenToLocalMu(fromPe, t, tok);
         continue;
       }
+      stats.counters.add(
+          linkName(fromPe, static_cast<std::uint16_t>(dest), "tokens"));
       if (faulty()) {
         // Every spanning-tree copy is its own reliable message.
         netSend(fromPe, static_cast<std::uint16_t>(dest), done,
@@ -667,6 +692,7 @@ struct Machine::Impl {
     SimTime svc = pageSized ? tm.pageMessage() : tm.tokenRoute();
     SimTime done = unitSched(fromPe, Unit::RU, t + tm.unitSignal, svc);
     stats.counters.add(pageSized ? "net.pages" : "net.arrayMsgs");
+    stats.counters.add(linkName(fromPe, toPe, pageSized ? "pages" : "arrayMsgs"));
     if (faulty()) {
       netSend(fromPe, toPe, done, /*isToken=*/false, pageSized, Token{},
               std::move(task));
@@ -758,13 +784,6 @@ struct Machine::Impl {
     std::uint32_t frameIdx;
     std::uint16_t slot;
     if (tok.toCont) {
-      if (killMode() && fromMu && tok.sendKey != 0 &&
-          !P.dedup.firstCont(tok.senderCtx, tok.sendKey)) {
-        // A re-executed sender re-sent this logical token (or a held copy
-        // raced a replayed one): it was already applied exactly once.
-        stats.counters.add("tokens.replayDup");
-        return;
-      }
       frameIdx = tok.cont.frame;
       slot = tok.cont.slot;
       if (frameIdx >= P.frames.size() ||
@@ -773,6 +792,16 @@ struct Machine::Impl {
         return;
       }
       Frame& fr = P.frames[frameIdx];
+      if (killMode() && fromMu && tok.sendKey != 0 &&
+          !P.dedup.firstCont(fr.ctx, tok.senderCtx, tok.sendKey)) {
+        // A re-executed sender re-sent this logical token (or a held copy
+        // raced a replayed one): it was already applied exactly once. The
+        // ledger is keyed by the *consumer's* context — safe because dead
+        // consumers drop their tokens above, before dedup is consulted —
+        // so END can prune a retired instance's keys.
+        stats.counters.add("tokens.replayDup");
+        return;
+      }
       if (killMode() && fromMu && tok.sendKey != 0 && fr.replaying &&
           fr.sentCtxs.count(tok.senderCtx) == 0) {
         // Fresh result racing the replay (e.g. a survivor child finishing
@@ -791,10 +820,9 @@ struct Machine::Impl {
       }
       auto it = P.match.find(tok.ctx);
       if (it == P.match.end()) {
-        if (faulty() && P.retiredCtxs.count(tok.ctx) != 0) {
+        if (faulty() && P.rx.straggler(tok.ctx)) {
           // Straggler to a retired instance: reordered by injected delay or
           // retransmission. Spawning here would create a zombie frame.
-          stats.counters.add("tokens.straggler");
           return;
         }
         frameIdx = createFrame(pe, tok.spCode, tok.ctx, t);
@@ -1192,13 +1220,18 @@ struct Machine::Impl {
       case Op::END: {
         charge(false);
         f.state = FrameState::Dead;
-        if (faulty()) P.retiredCtxs.insert(f.ctx);
+        if (faulty()) P.rx.retireCtx(f.ctx);
         if (killMode()) {
           RecEntry e;
           e.kind = RecEntry::Kind::End;
           e.ctx = f.ctx;
           recLogs[pe].entries.push_back(e);
-          P.dedup.forget(f.ctx);
+          // The instance is over: its logical-dedup keys and minted values
+          // can never be consulted again (tokens to a dead frame are dropped
+          // or triaged as stragglers first), so the recovery ledgers shed
+          // them here — this is what keeps long runs' logs bounded.
+          P.dedup.retire(f.ctx);
+          recLogs[pe].mints.erase(f.ctx);
         }
         P.match.erase(f.ctx);
         f.slots.clear();
@@ -1730,8 +1763,7 @@ struct Machine::Impl {
     P.cache.clear();
     P.pendingRemote.clear();
     P.deferred.clear();
-    P.seenMsgs.clear();
-    P.retiredCtxs.clear();
+    P.rx.resetReceiver();
     P.dedup.clear();
     P.pendingReplay.clear();
   }
@@ -1766,7 +1798,11 @@ struct Machine::Impl {
           // Not applied here: held back until the re-executing consumer
           // re-sends to the original sender's context (after the matching
           // round's CLEAR), so multi-round slots refill in program order.
-          P.dedup.firstCont(e.senderCtx, e.sendKey);
+          // The consumer frame exists by log order (its creating record
+          // precedes every delivery into it).
+          PODS_CHECK_MSG(e.frame < P.frames.size(),
+                         "replayed delivery targets an unknown frame");
+          P.dedup.firstCont(P.frames[e.frame].ctx, e.senderCtx, e.sendKey);
           P.pendingReplay[e.senderCtx].push_back(i);
           break;
         case RecEntry::Kind::End: {
@@ -1776,8 +1812,9 @@ struct Machine::Impl {
           Frame& f = P.frames[it->second];
           f.state = FrameState::Dead;
           f.slots.clear();
-          P.retiredCtxs.insert(e.ctx);
-          P.dedup.forget(e.ctx);
+          P.rx.retireCtx(e.ctx);
+          P.dedup.retire(e.ctx);
+          L.mints.erase(e.ctx);
           P.match.erase(it);
           --liveSps;
           break;
@@ -1809,7 +1846,18 @@ struct Machine::Impl {
       // (ctx, slot) and safe to deliver at any time.
       if (held.kind != EvKind::AmArrive && held.tok.toCont &&
           held.tok.sendKey != 0) {
-        if (P.dedup.firstCont(held.tok.senderCtx, held.tok.sendKey)) {
+        // A held copy into a frame that has since retired (or never came
+        // back) was never going to be applied: parked entries are only
+        // re-delivered into live re-sending frames. Dropping it here keeps
+        // the dedup ledger consumer-keyed.
+        const std::uint32_t cf = held.tok.cont.frame;
+        if (cf >= P.frames.size() ||
+            P.frames[cf].state == FrameState::Dead) {
+          stats.counters.add("tokens.dropped");
+          continue;
+        }
+        if (P.dedup.firstCont(P.frames[cf].ctx, held.tok.senderCtx,
+                              held.tok.sendKey)) {
           RecEntry e;
           e.kind = RecEntry::Kind::ConToken;
           e.frame = held.tok.cont.frame;
@@ -2007,6 +2055,7 @@ struct Machine::Impl {
           useful = netDeliver(ev);
           break;
         case EvKind::NetAckArrive:
+          sender.onAck(ev.msgId);
           retx.erase(ev.msgId);
           useful = false;
           break;
@@ -2062,6 +2111,24 @@ struct Machine::Impl {
     }
     stats.counters.add("events", static_cast<std::int64_t>(eventsProcessed));
     stats.counters.add("sp.peakLive", peakLiveSps);
+    if (faulty()) {
+      // Protocol counters accumulate inside the delivery endpoints; roll
+      // them (plus canonical zero registrations, so every faulty run
+      // reports the same counter-name set) into the run's registry.
+      sender.addStats(stats.counters);
+      for (const PeState& P : pes) P.rx.addStats(stats.counters);
+      proto::Delivery::registerInjectionCounters(stats.counters);
+    }
+    if (killMode()) {
+      // Recovery-ledger residency after END-pruning: bounded by the number
+      // of *live* instances, not the length of the run (see recovery.hpp).
+      std::int64_t liveKeys = 0, liveMints = 0;
+      for (const PeState& P : pes) liveKeys += P.dedup.liveKeys();
+      for (const RecoveryLog& L : recLogs)
+        for (const auto& [ctx, m] : L.mints) liveMints += static_cast<std::int64_t>(m.size());
+      stats.counters.add("recovery.dedup.liveKeys", liveKeys);
+      stats.counters.add("recovery.mints.live", liveMints);
+    }
     if (tracing) writeTrace();
     // Diagnose incomplete executions.
     if (stats.error.empty()) {

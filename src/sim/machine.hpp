@@ -42,6 +42,12 @@ struct MachineConfig {
   int numPEs = 1;
   Timing timing{};
   bool cachePages = true;        // remote-page software caching (4.x)
+  /// Per-PE ownership weights for distributed-array page segmentation
+  /// (runtime/array_layout.hpp). Empty = uniform; otherwise one entry >= 1
+  /// per PE, and PE i's share of every array's pages is proportional to
+  /// peWeights[i]. Iteration partitioning (Range Filters, row ownership)
+  /// follows the skewed segments automatically.
+  std::vector<std::int64_t> peWeights;
   std::uint64_t maxEvents = 0;   // 0 = unlimited (safety valve for tests)
   /// When non-empty, write a Chrome-trace-format (chrome://tracing /
   /// Perfetto) JSON timeline of the run to this path: one row per

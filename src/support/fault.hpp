@@ -24,6 +24,44 @@
 #include "support/rng.hpp"
 
 namespace pods {
+namespace proto {
+
+/// Retransmit tuning shared by every reliable-delivery driver: the sim
+/// Routing Unit (simulated time), the native inbox transport, and the UDP
+/// transport (both wall-clock). One policy, one set of defaults — the three
+/// engines can no longer silently drift apart.
+struct RetryPolicy {
+  /// Initial retransmit timeout in microseconds (simulated or wall-clock,
+  /// depending on the driver). Doubles on every retry up to the cap below.
+  double rtoUs = 500.0;
+  /// Give up — a structured runtime error, never silent loss — once a
+  /// message has been transmitted this many times.
+  int maxAttempts = 100;
+  /// Backoff cap: the effective timeout is rtoUs << min(attempt-1, this).
+  int maxBackoffDoublings = 6;
+  /// Floor applied when fault injection is *off* but the transport is still
+  /// inherently lossy (UDP on loopback): 500 us causes spurious retransmits
+  /// against real kernel scheduling jitter, so fault-free wall-clock drivers
+  /// use at least this RTO.
+  double faultFreeFloorUs = 5000.0;
+
+  /// Base timeout for attempt 1 — the configured RTO, or the lossless-floor
+  /// maximum when injection is disabled.
+  double baseRtoUs(bool faultsEnabled) const {
+    return faultsEnabled ? rtoUs : (rtoUs > faultFreeFloorUs ? rtoUs : faultFreeFloorUs);
+  }
+  /// Timeout to arm after transmission #attempt (1-based): exponential
+  /// backoff with a doubling cap.
+  double backoffUs(int attempt, double base) const {
+    const int shift = attempt - 1 < maxBackoffDoublings ? attempt - 1 : maxBackoffDoublings;
+    return base * static_cast<double>(1ULL << shift);
+  }
+  /// True when a message that has already been transmitted `attempt` times
+  /// must not be retransmitted again.
+  bool giveUpAt(int attempt) const { return attempt >= maxAttempts; }
+};
+
+}  // namespace proto
 
 /// What the (simulated) network does with one transmission of one message.
 enum class FaultAction : std::uint8_t {
@@ -44,18 +82,16 @@ struct FaultConfig {
   double stallProb = 0.0;  // transient PE stall on message receipt
   std::uint64_t seed = 1;  // fault schedule seed (podsc --fault-seed)
 
-  // Reliable-delivery tuning, simulator (simulated microseconds).
-  double simRtoUs = 400.0;    // initial retransmit timeout (doubles per retry)
+  // Retransmit tuning shared by all three reliable-delivery drivers.
+  proto::RetryPolicy retry{};
+
+  // Injection latencies, simulator (simulated microseconds).
   double simDelayUs = 120.0;  // injected extra latency of a delayed message
   double simStallUs = 200.0;  // injected transient EU stall
 
-  // Reliable-delivery tuning, native runtime (wall-clock microseconds).
-  double nativeRetryUs = 500.0;  // initial retransmit delay (doubles per retry)
+  // Injection latencies, native runtime (wall-clock microseconds).
   double nativeDelayUs = 100.0;  // injected delivery delay
   double nativeStallUs = 100.0;  // injected worker stall
-
-  int maxAttempts = 100;         // give up (runtime error) after this many
-  int maxBackoffDoublings = 6;   // cap backoff at initial << 6
 
   // Fail-stop injection: kill PE `killPe` once at `killTimeUs` (simulated
   // microseconds in the simulator, wall-clock microseconds after run start

@@ -93,21 +93,49 @@ struct RecoveryLog {
 /// Receiver-side logical dedup for kill mode (exactly-once delivery that is
 /// stable under sender re-execution). Every PE keeps one — survivors need it
 /// to absorb a restarted neighbor's re-sent tokens.
+///
+/// Both ledgers are keyed by the *consuming* context so retire() can shed an
+/// instance's keys the moment it ENDs. That is sound because consumers check
+/// frame liveness before consulting dedup: a late duplicate addressed to a
+/// retired instance is dropped (dead frame) or triaged as a straggler before
+/// the pruned entry would ever be missed. Without pruning the ledgers grow
+/// with the total instance count of the run; with it they are bounded by the
+/// number of concurrently-live instances.
 struct ReplayDedup {
   // (target ctx) -> slots already filled by a context-addressed token.
   std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>> ctxSlots;
-  // (sender ctx) -> (sender PE << 32 | per-frame send seq) already applied.
-  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>> contKeys;
+  // (consumer ctx) -> (sender ctx) ->
+  //     (sender PE << 32 | per-frame send seq) already applied.
+  std::unordered_map<
+      std::uint64_t,
+      std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>>
+      contKeys;
 
   /// True the first time this context-addressed (ctx, slot) is seen.
   bool firstCtx(std::uint64_t ctx, std::uint16_t slot) {
     return ctxSlots[ctx].insert(slot).second;
   }
-  /// True the first time this continuation-addressed send key is seen.
-  bool firstCont(std::uint64_t senderCtx, std::uint64_t sendKey) {
-    return contKeys[senderCtx].insert(sendKey).second;
+  /// True the first time consumer `consumerCtx` sees this (sender ctx,
+  /// send key) pair.
+  bool firstCont(std::uint64_t consumerCtx, std::uint64_t senderCtx,
+                 std::uint64_t sendKey) {
+    return contKeys[consumerCtx][senderCtx].insert(sendKey).second;
   }
-  void forget(std::uint64_t ctx) { ctxSlots.erase(ctx); }
+  /// The instance ENDed: release everything keyed by it.
+  void retire(std::uint64_t ctx) {
+    ctxSlots.erase(ctx);
+    contKeys.erase(ctx);
+  }
+  /// Ledger residency (for the bounded-recovery-state counters/tests).
+  std::int64_t liveKeys() const {
+    std::int64_t n = 0;
+    for (const auto& [ctx, slots] : ctxSlots)
+      n += static_cast<std::int64_t>(slots.size());
+    for (const auto& [ctx, senders] : contKeys)
+      for (const auto& [sender, keys] : senders)
+        n += static_cast<std::int64_t>(keys.size());
+    return n;
+  }
   void clear() {
     ctxSlots.clear();
     contKeys.clear();

@@ -54,7 +54,7 @@ FaultConfig faultRates(std::uint64_t seed) {
   EXPECT_TRUE(FaultConfig::parse("drop:0.05,dup:0.02,delay:0.05", fc));
   fc.seed = seed;
   // Keep the native sweeps fast: short retry/delay clocks.
-  fc.nativeRetryUs = 50.0;
+  fc.retry.rtoUs = 50.0;
   fc.nativeDelayUs = 20.0;
   return fc;
 }
@@ -307,7 +307,7 @@ TEST(MachineForensics, NativeAbortPreRaisedAlwaysAborts) {
   native::NativeConfig nc;
   nc.numWorkers = 2;
   nc.faults = faultRates(3);  // slow the run so the monitor always wins
-  nc.faults.nativeRetryUs = 5000.0;
+  nc.faults.retry.rtoUs = 5000.0;
   nc.abort = &abortFlag;
   NativeRun run = runNative(*c, nc);
   EXPECT_FALSE(run.stats.ok);

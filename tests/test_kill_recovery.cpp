@@ -15,6 +15,7 @@
 // through every position. PODS_KILL_SEEDS raises the sweep width in CI.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -228,6 +229,74 @@ TEST(KillFuzz, SimKillPlusLossyNetwork) {
   }
 }
 
+// Weighted ownership (--pe-weights) composes with fail-stop recovery: the
+// skewed page cut changes which allocations/tokens land on the victim and
+// the migrated segment map inherits the skew, but the results must still be
+// bit-identical — both to the fault-free *weighted* run and to the uniform
+// reference (placement is invisible under single assignment).
+TEST(KillFuzz, SimWeightedOwnershipBitIdentical) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  sim::MachineConfig clean;
+  clean.numPEs = 4;
+  PodsRun uniform = runPods(*c, clean);
+  ASSERT_TRUE(uniform.stats.ok) << uniform.stats.error;
+
+  sim::MachineConfig weightedClean = clean;
+  weightedClean.peWeights = {6, 1, 1, 1};
+  PodsRun ref = runPods(*c, weightedClean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+  std::string why;
+  ASSERT_TRUE(sameOutputs(ref.out, uniform.out, &why)) << why;
+
+  const double totalUs = ref.stats.total.ns / 1e3;
+  const int seeds = std::max(4, killSeeds() / 4);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sim::MachineConfig mc = weightedClean;
+    ASSERT_TRUE(FaultConfig::parse("drop:0.03,dup:0.02", mc.faults));
+    mc.faults.seed = static_cast<std::uint64_t>(seed);
+    mc.faults.killPe = seed % 4;  // includes the heavy PE 0
+    mc.faults.killTimeUs = totalUs * seed / (seeds + 1.0);
+    PodsRun run = runPods(*c, mc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+    EXPECT_EQ(run.stats.counters.get("fault.kills"), 1);
+    EXPECT_EQ(run.stats.counters.get("sp.instantiated"),
+              run.stats.counters.get("sp.completed"))
+        << "seed=" << seed;
+  }
+}
+
+// Same on the native runtime: a wall-clock kill under a skewed cut, checked
+// against the uniform fault-free outputs.
+TEST(KillFuzz, NativeWeightedOwnershipBitIdentical) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+  const int seeds = std::max(4, killSeeds() / 4);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    native::NativeConfig nc = clean;
+    nc.peWeights = {1, 1, 5, 1};
+    ASSERT_TRUE(FaultConfig::parse("drop:0.03,dup:0.02", nc.faults));
+    nc.faults.seed = static_cast<std::uint64_t>(seed);
+    nc.faults.retry.rtoUs = 50.0;
+    nc.faults.killPe = seed % 4;
+    nc.faults.killTimeUs = 100.0 + (seed * 211) % 2500;
+    nc.faults.killRestartUs = 100.0;
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+    EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
+              run.stats.counters.get("native.framesRetired"))
+        << "seed=" << seed;
+  }
+}
+
 // Same seed => the killed run replays the exact same schedule: simulated
 // completion time and every counter (including the recovery tallies) match.
 TEST(KillFuzz, SimBitDeterministicAcrossRepeats) {
@@ -344,7 +413,7 @@ TEST(KillFuzz, NativeKillPlusLossyNetwork) {
     nc.faults.killPe = seed % 4;
     nc.faults.killTimeUs = 100.0 + (seed * 211) % 2500;
     nc.faults.killRestartUs = 100.0;
-    nc.faults.nativeRetryUs = 50.0;
+    nc.faults.retry.rtoUs = 50.0;
     NativeRun run = runNative(*c, nc);
     ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
     std::string why;

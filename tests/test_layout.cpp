@@ -254,6 +254,133 @@ TEST(ArrayLayoutMigration, VictimWithNoPagesStillMarkedDead) {
   EXPECT_EQ(l.pageSegment(1).size(), 1);
 }
 
+// --- weight-parameterized ownership ------------------------------------
+//
+// The weighted cut must be a strict generalization: equal weights reproduce
+// the uniform quotient/remainder segmentation *exactly* (so existing runs
+// stay bit-identical), and skewed weights keep every partition invariant the
+// Range-Filter machinery depends on while shifting segment sizes by
+// largest-remainder apportionment.
+
+TEST(WeightedLayout, EqualWeightsMatchUniformExactly) {
+  for (LayoutCase c : {LayoutCase{2, 6, 256, 4, 32}, LayoutCase{2, 7, 13, 3, 4},
+                       LayoutCase{1, 64, 1, 4, 32}, LayoutCase{2, 16, 16, 5, 32},
+                       LayoutCase{1, 1000, 1, 7, 32}}) {
+    ArrayLayout plain({c.rank, c.d0, c.d1}, c.pes, c.page);
+    for (std::int64_t w : {std::int64_t{1}, std::int64_t{5}}) {
+      ArrayLayout weighted({c.rank, c.d0, c.d1}, c.pes, c.page,
+                           std::vector<std::int64_t>(
+                               static_cast<std::size_t>(c.pes), w));
+      EXPECT_TRUE(weighted.weighted());
+      for (int pe = 0; pe < c.pes; ++pe) {
+        EXPECT_EQ(weighted.pageSegment(pe).lo, plain.pageSegment(pe).lo)
+            << "pe " << pe << " w " << w;
+        EXPECT_EQ(weighted.pageSegment(pe).hi, plain.pageSegment(pe).hi)
+            << "pe " << pe << " w " << w;
+        EXPECT_EQ(weighted.ownedRows(pe).lo, plain.ownedRows(pe).lo);
+        EXPECT_EQ(weighted.ownedRows(pe).hi, plain.ownedRows(pe).hi);
+      }
+      for (std::int64_t p = 0; p < plain.numPages(); ++p) {
+        EXPECT_EQ(weighted.pageOwner(p), plain.pageOwner(p)) << "page " << p;
+      }
+    }
+  }
+}
+
+TEST(WeightedLayout, UnweightedReportsUnweighted) {
+  ArrayLayout l({2, 6, 256}, 4, 32);
+  EXPECT_FALSE(l.weighted());
+  ArrayLayout w({2, 6, 256}, 4, 32, {2, 1, 1, 1});
+  EXPECT_TRUE(w.weighted());
+}
+
+TEST(WeightedLayout, LargestRemainderApportionment) {
+  // 48 pages, weights 6:1:1:1 (total 9). Exact quotas are 32 and 5.33...;
+  // floors assign 32+5+5+5 = 47, and the one leftover page goes to the
+  // highest remainder — PE1 (ties broken toward lower PE ids).
+  ArrayLayout l({2, 6, 256}, 4, 32, {6, 1, 1, 1});
+  ASSERT_EQ(l.numPages(), 48);
+  EXPECT_EQ(l.pageSegment(0).size(), 32);
+  EXPECT_EQ(l.pageSegment(1).size(), 6);
+  EXPECT_EQ(l.pageSegment(2).size(), 5);
+  EXPECT_EQ(l.pageSegment(3).size(), 5);
+}
+
+TEST(WeightedLayout, SkewedPartitionInvariantsHold) {
+  const std::vector<std::vector<std::int64_t>> weightSets3 = {
+      {5, 1, 1}, {1, 1, 7}, {100, 1, 100}};
+  for (LayoutCase c : {LayoutCase{2, 6, 256, 3, 32}, LayoutCase{2, 7, 13, 3, 4},
+                       LayoutCase{1, 64, 1, 3, 32},  // fewer pages than quota
+                       LayoutCase{2, 33, 17, 3, 1}}) {
+    for (const auto& weights : weightSets3) {
+      ArrayLayout l({c.rank, c.d0, c.d1}, c.pes, c.page, weights);
+      // Page segments: contiguous in PE order, disjoint, covering.
+      std::int64_t covered = 0, prevHi = -1;
+      for (int pe = 0; pe < c.pes; ++pe) {
+        IdxRange seg = l.pageSegment(pe);
+        if (seg.empty()) continue;
+        EXPECT_EQ(seg.lo, prevHi + 1);
+        prevHi = seg.hi;
+        covered += seg.size();
+      }
+      EXPECT_EQ(covered, l.numPages());
+      // Probes agree with the segments.
+      for (std::int64_t p = 0; p < l.numPages(); ++p) {
+        EXPECT_TRUE(l.pageSegment(l.pageOwner(p)).contains(p)) << "page " << p;
+      }
+      for (std::int64_t off = 0; off < l.shape().numElems(); ++off) {
+        EXPECT_TRUE(l.elemSegment(l.ownerOfOffset(off)).contains(off))
+            << "offset " << off;
+      }
+      // First-element-of-row ownership still partitions the rows.
+      std::vector<int> rowSeen(static_cast<std::size_t>(l.shape().dim0), 0);
+      for (int pe = 0; pe < c.pes; ++pe) {
+        IdxRange rows = l.ownedRows(pe);
+        for (std::int64_t r = rows.lo; r <= rows.hi; ++r) {
+          ASSERT_GE(r, 0);
+          ASSERT_LT(r, l.shape().dim0);
+          rowSeen[static_cast<std::size_t>(r)]++;
+        }
+      }
+      for (std::int64_t r = 0; r < l.shape().dim0; ++r) {
+        EXPECT_EQ(rowSeen[static_cast<std::size_t>(r)], 1) << "row " << r;
+      }
+    }
+  }
+}
+
+TEST(WeightedLayout, ProportionalWithinOnePage) {
+  // Largest remainder guarantees every PE's share is within one page of its
+  // exact quota numPages * w_i / totalW.
+  ArrayLayout l({2, 64, 64}, 5, 8, {3, 1, 4, 1, 5});
+  const std::int64_t totalW = 3 + 1 + 4 + 1 + 5;
+  const std::int64_t weights[] = {3, 1, 4, 1, 5};
+  for (int pe = 0; pe < 5; ++pe) {
+    const double exact =
+        static_cast<double>(l.numPages() * weights[pe]) / totalW;
+    const double got = static_cast<double>(l.pageSegment(pe).size());
+    EXPECT_GE(got, exact - 1.0) << "pe " << pe;
+    EXPECT_LE(got, exact + 1.0) << "pe " << pe;
+  }
+}
+
+TEST(WeightedLayoutMigration, WeightedCutSurvivesKills) {
+  // Migration seeds its explicit segment map from the weighted cut, so a
+  // kill inherits the skew: surviving segments still partition the pages
+  // and the heavy PE keeps (at least) its share.
+  for (int victim = 0; victim < 4; ++victim) {
+    ArrayLayout l({2, 16, 16}, 4, 8, {6, 1, 1, 1});
+    const std::int64_t before = l.pageSegment(0).size();
+    l.migratePe(victim);
+    EXPECT_TRUE(l.migrated());
+    EXPECT_TRUE(l.peDead(victim));
+    expectMigratedInvariants(l);
+    if (victim != 0) {
+      EXPECT_GE(l.pageSegment(0).size(), before);
+    }
+  }
+}
+
 TEST(BlockPartition, CoversExactlyAndBalanced) {
   for (int pes : {1, 2, 3, 7, 16}) {
     for (std::int64_t lo : {-5, 0, 3}) {

@@ -50,7 +50,7 @@ FaultConfig lossyRates(std::uint64_t seed) {
   FaultConfig fc;
   EXPECT_TRUE(FaultConfig::parse("drop:0.05,dup:0.02,delay:0.05", fc));
   fc.seed = seed;
-  fc.nativeRetryUs = 50.0;
+  fc.retry.rtoUs = 50.0;
   fc.nativeDelayUs = 20.0;
   return fc;
 }
@@ -293,7 +293,7 @@ TEST(UdpTransport, LossyFuzzBitIdenticalToFaultFree) {
       injected += run.stats.counters.get("fault.drops") +
                   run.stats.counters.get("fault.dups") +
                   run.stats.counters.get("fault.delays");
-      dupDropped += run.stats.counters.get("net.udp.dupDropped");
+      dupDropped += run.stats.counters.get("net.retx.dupSuppressed");
     }
   }
   // The protocol must actually have been exercised across the sweep.

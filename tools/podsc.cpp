@@ -9,6 +9,9 @@
 // Options:
 //   --engine=pods|seq|static|native   execution engine (default: pods)
 //   --pes N            PE / worker count                 (default: 4)
+//   --pe-weights=W0,W1,...  skew distributed-array ownership: PE i's page
+//                      share is proportional to Wi (one integer >= 1 per
+//                      PE; pods/native engines). Default: uniform.
 //   --no-distribute    compile without the Partitioner
 //   --block-range      ablation: block-partition Range Filters
 //   --page N           array page size in elements       (default: 32)
@@ -25,6 +28,8 @@
 //                      exit 124
 //   --verify           cross-check results against the sequential engine
 //   --stats            print machine statistics
+//   --stats-json=FILE  write the run's counter registry as JSON
+//                      (pods/native engines)
 //   --dump-graph       print the dataflow-graph block tree
 //   --dump-plan        print the Partitioner's decisions
 //   --dump-sps         print the translated SP disassembly
@@ -52,6 +57,7 @@ namespace {
 struct Options {
   std::string engine = "pods";
   int pes = 4;
+  std::vector<std::int64_t> peWeights;
   bool distribute = true;
   bool blockRange = false;
   int page = 32;
@@ -65,6 +71,7 @@ struct Options {
   bool dumpSps = false;
   bool dumpDot = false;
   std::string trace;
+  std::string statsJson;
   pods::FaultConfig faults;
   int timeoutSec = 0;  // 0 = no watchdog
   std::string file;
@@ -73,12 +80,13 @@ struct Options {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--engine=pods|seq|static|native] [--pes N] "
+               "[--pe-weights=W0,W1,...] "
                "[--no-distribute] [--block-range] [--page N] [--no-cache] "
                "[--transport=inbox|udp] "
                "[--trace=FILE] [--faults=SPEC] [--fault-seed N] "
                "[--timeout SEC] "
-               "[--verify] [--stats] [--dump-graph] [--dump-plan] "
-               "[--dump-sps] [--dump-dot] <file.idl>\n",
+               "[--verify] [--stats] [--stats-json=FILE] [--dump-graph] "
+               "[--dump-plan] [--dump-sps] [--dump-dot] <file.idl>\n",
                argv0);
   return 2;
 }
@@ -165,6 +173,26 @@ bool parseArgs(int argc, char** argv, Options& o) {
       }
     } else if (a == "--pes") {
       if (!intArg("--pes", 1, o.pes)) return false;
+    } else if (a.rfind("--pe-weights=", 0) == 0) {
+      o.peWeights.clear();
+      const std::string spec = a.substr(13);
+      std::size_t pos = 0;
+      while (pos <= spec.size()) {
+        const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+        const char* s = spec.data() + pos;
+        const char* e = spec.data() + comma;
+        long long w = 0;
+        auto [end, ec] = std::from_chars(s, e, w);
+        if (ec != std::errc{} || end != e || w < 1) {
+          std::fprintf(stderr,
+                       "podsc: --pe-weights wants comma-separated integers "
+                       ">= 1 (got '%s')\n",
+                       spec.c_str());
+          return false;
+        }
+        o.peWeights.push_back(w);
+        pos = comma + 1;
+      }
     } else if (a == "--page") {
       if (!intArg("--page", 1, o.page)) return false;
     } else if (a == "--no-distribute") {
@@ -183,6 +211,8 @@ bool parseArgs(int argc, char** argv, Options& o) {
       o.transportSet = true;
     } else if (a.rfind("--trace=", 0) == 0) {
       o.trace = a.substr(8);
+    } else if (a.rfind("--stats-json=", 0) == 0) {
+      o.statsJson = a.substr(13);
     } else if (a.rfind("--faults=", 0) == 0) {
       std::string err;
       if (!pods::FaultConfig::parse(a.substr(9), o.faults, &err)) {
@@ -262,6 +292,45 @@ void dumpCounters(const pods::Counters& counters) {
   }
 }
 
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+      out += buf;
+      continue;
+    }
+    out.push_back(ch);
+  }
+  return out;
+}
+
+/// --stats-json: the full counter registry of a run as one JSON object,
+/// machine-readable for bench_gate.py and friends. Keys are sorted because
+/// Counters::all() returns a sorted view, so files diff cleanly.
+bool writeStatsJson(const std::string& path, const std::string& engine,
+                    int pes, double timeMs, const pods::Counters& counters) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "podsc: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  f << "{\n  \"engine\": \"" << jsonEscape(engine) << "\",\n"
+    << "  \"pes\": " << pes << ",\n"
+    << "  \"time_ms\": " << timeMs << ",\n"
+    << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [k, v] : counters.all()) {
+    f << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k) << "\": " << v;
+    first = false;
+  }
+  f << "\n  }\n}\n";
+  return f.good();
+}
+
 int runTool(const Options& o, Watchdog& dog) {
   std::ifstream in(o.file);
   if (!in) {
@@ -296,6 +365,7 @@ int runTool(const Options& o, Watchdog& dog) {
   if (o.engine == "pods") {
     pods::sim::MachineConfig mc;
     mc.numPEs = o.pes;
+    mc.peWeights = o.peWeights;
     mc.cachePages = o.cache;
     mc.timing.pageElems = o.page;
     mc.tracePath = o.trace;
@@ -312,6 +382,11 @@ int runTool(const Options& o, Watchdog& dog) {
     }
     std::printf("engine=pods pes=%d simulated time: %.3f ms\n", o.pes,
                 run.stats.total.ms());
+    if (!o.statsJson.empty() &&
+        !writeStatsJson(o.statsJson, "pods", o.pes, run.stats.total.ms(),
+                        run.stats.counters)) {
+      return 1;
+    }
     if (o.stats) {
       std::printf("EU utilization: %.1f%%\n",
                   100.0 * run.stats.avgUtilization(pods::sim::Unit::EU));
@@ -340,6 +415,7 @@ int runTool(const Options& o, Watchdog& dog) {
   } else {  // native
     pods::native::NativeConfig nc;
     nc.numWorkers = o.pes;
+    nc.peWeights = o.peWeights;
     nc.pageElems = o.page;
     nc.faults = o.faults;
     nc.transport = o.transport;
@@ -368,6 +444,11 @@ int runTool(const Options& o, Watchdog& dog) {
     std::printf("engine=native workers=%d transport=%s wall time: %.3f ms\n",
                 o.pes, pods::native::transportKindName(o.transport),
                 run.stats.wallSeconds * 1e3);
+    if (!o.statsJson.empty() &&
+        !writeStatsJson(o.statsJson, "native", o.pes,
+                        run.stats.wallSeconds * 1e3, run.stats.counters)) {
+      return 1;
+    }
     if (o.stats) {
       for (const auto& [k, v] : run.stats.counters.all()) {
         std::printf("  %-28s %lld\n", k.c_str(), static_cast<long long>(v));
@@ -421,6 +502,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "podsc: --transport applies to the native engine only "
                  "(--engine=native)\n");
+    return 2;
+  }
+  if (!o.peWeights.empty()) {
+    if (o.engine != "pods" && o.engine != "native") {
+      std::fprintf(stderr,
+                   "podsc: --pe-weights needs a distributed engine "
+                   "(--engine=pods or --engine=native)\n");
+      return 2;
+    }
+    if (static_cast<int>(o.peWeights.size()) != o.pes) {
+      std::fprintf(stderr,
+                   "podsc: --pe-weights wants exactly one weight per PE "
+                   "(%d weights for --pes %d)\n",
+                   static_cast<int>(o.peWeights.size()), o.pes);
+      return 2;
+    }
+  }
+  if (!o.statsJson.empty() && o.engine != "pods" && o.engine != "native") {
+    std::fprintf(stderr,
+                 "podsc: --stats-json needs a machine engine "
+                 "(--engine=pods or --engine=native)\n");
     return 2;
   }
 
