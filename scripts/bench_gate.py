@@ -38,13 +38,27 @@ BENCHES = {
 }
 
 # Counter-registry snapshots (podsc --stats-json) archived alongside the
-# wall-time medians: (engine, program, pes). Keys are "_"-prefixed in the
-# report so compare() ignores them — they are forensic context for a
-# regression, not a gated quantity.
+# wall-time medians: (engine, program, pes, extra podsc flags). Keys are
+# "_"-prefixed in the report so compare() ignores them — they are forensic
+# context for a regression, not a gated quantity.
 STATS_RUNS = {
-    "heat_pods_4pe": ("pods", "programs/heat.idl", 4),
-    "heat_native_4pe": ("native", "programs/heat.idl", 4),
+    "heat_pods_4pe": ("pods", "programs/heat.idl", 4, ()),
+    "heat_native_4pe": ("native", "programs/heat.idl", 4, ()),
+    "heat_native_udp_4pe": ("native", "programs/heat.idl", 4,
+                            ("--transport=udp",)),
 }
+
+# Counters whose baseline-vs-candidate drift compare() prints (never gates):
+# the UDP hot-path quantities a wall-time regression usually traces back to.
+STATS_DELTA_COUNTERS = (
+    "net.udp.tokensSent",
+    "net.udp.datagramsSent",
+    "net.udp.acksSent",
+    "net.udp.batch.flushFull",
+    "net.udp.batch.flushDeadline",
+    "net.retx.resent",
+    "native.inboxOverflow",
+)
 
 
 def archive_stats(build_dir):
@@ -52,7 +66,7 @@ def archive_stats(build_dir):
     podsc = os.path.join(build_dir, "podsc")
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     out = {}
-    for name, (engine, program, pes) in STATS_RUNS.items():
+    for name, (engine, program, pes, extra) in STATS_RUNS.items():
         src = os.path.join(root, program)
         if not (os.path.exists(podsc) and os.path.exists(src)):
             print(f"bench_gate: skipping stats run {name} (missing binary "
@@ -61,7 +75,7 @@ def archive_stats(build_dir):
         with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
             proc = subprocess.run(
                 [podsc, f"--engine={engine}", "--pes", str(pes),
-                 f"--stats-json={tmp.name}", src],
+                 f"--stats-json={tmp.name}", *extra, src],
                 stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
             if proc.returncode != 0:
                 print(f"bench_gate: stats run {name} exited "
@@ -74,28 +88,36 @@ def archive_stats(build_dir):
 
 
 def measure(args):
-    results = {}
     env = dict(os.environ, PODS_BENCH_SMALL="1")
+    paths = {}
     for name, rel in BENCHES.items():
         path = os.path.join(args.build_dir, rel)
         if not os.path.exists(path):
             print(f"bench_gate: missing benchmark binary {path}", file=sys.stderr)
             return 1
-        samples = []
-        for rep in range(args.reps):
+        paths[name] = path
+    # Reps are interleaved round-robin across the benches (A B A B ...)
+    # rather than blocked per bench, so slow drift on the host — thermal
+    # state, a background job ramping up — biases every bench's sample set
+    # the same way instead of landing entirely on whichever bench ran last.
+    samples = {name: [] for name in BENCHES}
+    for rep in range(args.reps):
+        for name in BENCHES:
             t0 = time.monotonic()
             proc = subprocess.run(
-                [path], env=env, stdout=subprocess.DEVNULL,
+                [paths[name]], env=env, stdout=subprocess.DEVNULL,
                 stderr=subprocess.STDOUT)
             elapsed_us = (time.monotonic() - t0) * 1e6
             if proc.returncode != 0:
                 print(f"bench_gate: {name} rep {rep} exited "
                       f"{proc.returncode}", file=sys.stderr)
                 return 1
-            samples.append(elapsed_us)
+            samples[name].append(elapsed_us)
             print(f"  {name} rep {rep + 1}/{args.reps}: "
                   f"{elapsed_us / 1e3:.1f} ms")
-        results[name] = round(statistics.median(samples), 1)
+    results = {}
+    for name in BENCHES:
+        results[name] = round(statistics.median(samples[name]), 1)
         print(f"{name}: median {results[name] / 1e3:.1f} ms "
               f"over {args.reps} reps")
     results["_meta"] = {
@@ -119,6 +141,50 @@ def load(path):
     return {k: v for k, v in data.items() if not k.startswith("_")}
 
 
+def load_stats(path):
+    with open(path) as f:
+        return json.load(f).get("_stats", {})
+
+
+def tokens_per_datagram(counters):
+    """Mean batched-token occupancy, from the raw sums (the archived
+    net.udp.batch.tokensPerDgram counter is integer-truncated)."""
+    dgrams = counters.get("net.udp.batch.datagrams", 0)
+    if dgrams <= 0:
+        return None
+    return counters.get("net.udp.batch.tokens", 0) / dgrams
+
+
+def print_stats_deltas(baseline_path, candidate_path):
+    """Forensic (never gated) drift report over the archived counter
+    registries: wall time, batching occupancy, and the hot-path counters in
+    STATS_DELTA_COUNTERS. Runs present on only one side are skipped."""
+    base, pr = load_stats(baseline_path), load_stats(candidate_path)
+    common = sorted(set(base) & set(pr))
+    if not common:
+        return
+    print("\ncounter-registry drift (forensic, not gated):")
+    for name in common:
+        b, p = base[name], pr[name]
+        line = f"  {name}: {b.get('time_ms', 0):.1f} -> " \
+               f"{p.get('time_ms', 0):.1f} ms"
+        btpd = tokens_per_datagram(b.get("counters", {}))
+        ptpd = tokens_per_datagram(p.get("counters", {}))
+        if btpd is not None or ptpd is not None:
+            line += (f", tokens/datagram "
+                     f"{btpd if btpd is not None else 0:.1f} -> "
+                     f"{ptpd if ptpd is not None else 0:.1f}")
+        print(line)
+        bc, pc = b.get("counters", {}), p.get("counters", {})
+        for key in STATS_DELTA_COUNTERS:
+            bv, pv = bc.get(key), pc.get(key)
+            if bv is None and pv is None:
+                continue
+            if (bv or 0) != (pv or 0):
+                print(f"    {key}: {bv if bv is not None else '-'} -> "
+                      f"{pv if pv is not None else '-'}")
+
+
 def compare(args):
     base = load(args.baseline)
     pr = load(args.candidate)
@@ -140,6 +206,7 @@ def compare(args):
     for name in sorted(set(pr) - set(base)):
         print(f"NEW      {name}: {pr[name] / 1e3:.1f} ms "
               "(not in baseline; not gated)")
+    print_stats_deltas(args.baseline, args.candidate)
     if failed:
         print(f"bench_gate: FAIL — {', '.join(failed)}", file=sys.stderr)
         return 1

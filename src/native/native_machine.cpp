@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "native/spsc_ring.hpp"
 #include "native/transport.hpp"
 #include "proto/delivery.hpp"
 #include "runtime/ops.hpp"
@@ -74,12 +75,34 @@ struct WorkerStats {
   PeakGauge liveFrames;
 };
 
+/// Capacity of each inbox SPSC ring. Deep enough that fault-free runs
+/// essentially never spill to the overflow deque; small enough that even a
+/// wide all-to-all run stays cheap (rings allocate lazily per used lane).
+constexpr std::uint32_t kInboxRingCap = 1024;
+
 struct Worker {
   int id = 0;  // set once at construction, before any thread starts
-  // Cross-thread: the inbox.
+  // Cross-thread: the inbox — one lock-free SPSC ring per producer lane
+  // (lane = sending worker's PE id, or numWorkers for a transport service
+  // thread; each lane has exactly one producer thread, this worker is the
+  // only consumer). Rings are bounded; a full ring falls back to the
+  // mutex-guarded overflow deque so producers never block or spin.
+  // `sleeping` is the wakeup handshake: the consumer sets it under m before
+  // re-checking the rings and waiting; producers check it after a seq_cst
+  // fence and only then pay for the mutex + notify (see workerMain).
   std::mutex m;
   std::condition_variable cv;
-  std::deque<NToken> inbox;
+  std::unique_ptr<std::atomic<SpscRing<NToken>*>[]> lanes;  // laneCount cells
+  int laneCount = 0;
+  std::atomic<bool> sleeping{false};
+  std::deque<NToken> overflow;          // guarded by m
+  std::atomic<int> overflowCount{0};    // live overflow entries
+  std::atomic<std::int64_t> overflowTotal{0};  // lifetime, for stats
+
+  ~Worker() {
+    for (int i = 0; i < laneCount; ++i)
+      delete lanes[i].load(std::memory_order_relaxed);
+  }
 
   // Owner-thread-only state.
   std::vector<std::unique_ptr<NFrame>> frames;
@@ -236,7 +259,16 @@ struct NativeMachine::Impl : TransportSink {
                    "peWeights must be empty or have one entry per worker");
     for (int i = 0; i < c.numWorkers; ++i) {
       workers.push_back(std::make_unique<Worker>());
-      workers.back()->id = i;
+      Worker& w = *workers.back();
+      w.id = i;
+      // One lane per sending worker plus one service lane (numWorkers) for
+      // transport threads. Ring storage allocates lazily on a lane's first
+      // push — most of the all-to-all matrix never carries a token.
+      w.laneCount = c.numWorkers + 1;
+      w.lanes.reset(new std::atomic<SpscRing<NToken>*>[
+          static_cast<std::size_t>(w.laneCount)]);
+      for (int l = 0; l < w.laneCount; ++l)
+        w.lanes[l].store(nullptr, std::memory_order_relaxed);
     }
     if (killMode()) recLogs.resize(static_cast<std::size_t>(c.numWorkers));
     results.resize(static_cast<std::size_t>(prog.numResults));
@@ -263,14 +295,44 @@ struct NativeMachine::Impl : TransportSink {
   /// Makes a cross-thread token visible to worker `pe` (no accounting — the
   /// caller has already charged pending/inboxTokens for this copy). This is
   /// the TransportSink deposit: called by transport threads (retransmit
-  /// daemon, UDP receivers) as well as by workers.
-  void deposit(int pe, NToken tok) override {
+  /// daemon, UDP receivers) as well as by workers; `lane` names the calling
+  /// thread's SPSC ring at the destination (one producer per lane).
+  ///
+  /// Fast path: lock-free ring push, then a seq_cst fence and a sleeping
+  /// check — the mutex+notify is paid only when the consumer is (or is
+  /// about to be) blocked. The fence pairs with the consumer's fence after
+  /// it publishes sleeping=true and before it re-checks the rings: either
+  /// this push's ring write is visible to that re-check, or sleeping=true
+  /// is visible here and we notify under the mutex. Either way the token
+  /// cannot strand while the worker sleeps.
+  void deposit(int pe, int lane, NToken tok) override {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
+    std::atomic<SpscRing<NToken>*>& cell =
+        w.lanes[static_cast<std::size_t>(lane)];
+    SpscRing<NToken>* ring = cell.load(std::memory_order_acquire);
+    if (!ring) {
+      // Only this lane's single producer allocates, so a plain store
+      // publishes without a CAS.
+      ring = new SpscRing<NToken>(kInboxRingCap);
+      cell.store(ring, std::memory_order_release);
+    }
+    if (ring->tryPush(std::move(tok))) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (w.sleeping.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> g(w.m);
+        w.cv.notify_one();
+      }
+      return;
+    }
+    // Ring full: unbounded mutex-guarded fallback. tryPush moved-from only
+    // on success, so tok is still intact here.
     {
       std::lock_guard<std::mutex> g(w.m);
-      w.inbox.push_back(std::move(tok));
+      w.overflow.push_back(std::move(tok));
+      w.overflowCount.fetch_add(1, std::memory_order_relaxed);
+      w.overflowTotal.fetch_add(1, std::memory_order_relaxed);
+      w.cv.notify_one();
     }
-    w.cv.notify_one();
   }
 
   /// An injected duplicate on the inbox path is a real extra message: it
@@ -992,20 +1054,46 @@ struct NativeMachine::Impl : TransportSink {
 
   // --- worker loop ------------------------------------------------------------
 
+  /// True when any inbox lane (ring or overflow) holds a token. Racy by
+  /// itself; conclusive inside the sleep handshake (after sleeping=true +
+  /// seq_cst fence) and in the cv predicate (under w.m).
+  bool inboxNonEmpty(Worker& w) const {
+    for (int l = 0; l < w.laneCount; ++l) {
+      SpscRing<NToken>* ring = w.lanes[l].load(std::memory_order_acquire);
+      if (ring && !ring->empty()) return true;
+    }
+    return w.overflowCount.load(std::memory_order_relaxed) > 0;
+  }
+
   void drainInbox(int pe) {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
-    std::deque<NToken> batch;
-    {
-      std::lock_guard<std::mutex> g(w.m);
-      batch.swap(w.inbox);
+    std::int64_t drained = 0;
+    NToken tok;
+    for (int l = 0; l < w.laneCount; ++l) {
+      SpscRing<NToken>* ring = w.lanes[l].load(std::memory_order_acquire);
+      if (!ring) continue;
+      while (ring->tryPop(tok)) {
+        inboxTokens.fetch_sub(1);
+        ++drained;
+        deliver(pe, tok);
+        finishPending();  // token consumed
+      }
     }
-    if (batch.empty()) return;
-    inboxTokens.fetch_sub(static_cast<std::int64_t>(batch.size()));
-    w.st.tokensIn += static_cast<std::int64_t>(batch.size());
-    for (NToken& tok : batch) {
-      deliver(pe, tok);
-      finishPending();  // token consumed
+    if (w.overflowCount.load(std::memory_order_relaxed) > 0) {
+      std::deque<NToken> batch;
+      {
+        std::lock_guard<std::mutex> g(w.m);
+        batch.swap(w.overflow);
+        w.overflowCount.store(0, std::memory_order_relaxed);
+      }
+      inboxTokens.fetch_sub(static_cast<std::int64_t>(batch.size()));
+      drained += static_cast<std::int64_t>(batch.size());
+      for (NToken& t : batch) {
+        deliver(pe, t);
+        finishPending();
+      }
     }
+    w.st.tokensIn += drained;
   }
 
   void finishPending() {
@@ -1035,6 +1123,7 @@ struct NativeMachine::Impl : TransportSink {
   void workerMain(int pe) {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
     const bool killTarget = killMode() && pe == cfg.faults.killPe;
+    int slicesSinceFlush = 0;
     while (!stop.load()) {
       if (killTarget && !killFired &&
           std::chrono::steady_clock::now() >= killAt) {
@@ -1045,13 +1134,37 @@ struct NativeMachine::Impl : TransportSink {
         std::uint32_t idx = w.ready.front();
         w.ready.pop_front();
         runSlice(pe, idx);
+        // A worker with a deep ready queue still ships its outboxes every
+        // few slices — enough slack for sends to coalesce into near-full
+        // batches, without leaning on the transport's deadline timer (and
+        // its extra thread wake-ups) for the steady-state flow.
+        if (++slicesSinceFlush >= 4) {
+          transport->flush(pe);
+          slicesSinceFlush = 0;
+        }
         continue;
       }
-      // Idle: register, run the quiescence check, then block on the cv until
-      // a token push or stop notifies us (no timeout — every wake source
-      // notifies under w.m, so a wakeup can't be missed).
+      slicesSinceFlush = 0;
+      // Out of local work: ship any tokens coalescing in this worker's
+      // transport outboxes. Every path from a send to the cv-wait below
+      // passes through here, so batching can never park the last wake-up a
+      // peer is waiting for; while the worker stays busy, outboxes keep
+      // coalescing and the transport's deadline timer bounds their latency.
+      transport->flush(pe);
+      drainInbox(pe);
+      if (!w.ready.empty()) continue;
+      // Idle: publish sleeping, re-check the rings, register, run the
+      // quiescence check, then block on the cv until a token push or stop
+      // notifies us (no timeout — once sleeping is visible every producer
+      // notifies under w.m, so a wakeup can't be missed; the seq_cst fence
+      // pairs with the one in deposit()).
       std::unique_lock<std::mutex> g(w.m);
-      if (!w.inbox.empty() || stop.load()) continue;
+      w.sleeping.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (inboxNonEmpty(w) || stop.load()) {
+        w.sleeping.store(false, std::memory_order_relaxed);
+        continue;
+      }
       w.st.idleTransitions++;
       idleWorkers.fetch_add(1);
       const std::uint64_t e1 = wakeEpoch.load();
@@ -1064,6 +1177,7 @@ struct NativeMachine::Impl : TransportSink {
         fail("deadlock: " + std::to_string(pending.load()) +
              " live SPs blocked forever");
         idleWorkers.fetch_sub(1);
+        w.sleeping.store(false, std::memory_order_relaxed);
         continue;
       }
       if (killTarget && !killFired) {
@@ -1071,10 +1185,11 @@ struct NativeMachine::Impl : TransportSink {
         // poll with a short timed wait until the kill has fired, then drop
         // back to untimed waits. Spurious timeouts just bump the epoch.
         w.cv.wait_for(g, std::chrono::milliseconds(1),
-                      [&] { return !w.inbox.empty() || stop.load(); });
+                      [&] { return inboxNonEmpty(w) || stop.load(); });
       } else {
-        w.cv.wait(g, [&] { return !w.inbox.empty() || stop.load(); });
+        w.cv.wait(g, [&] { return inboxNonEmpty(w) || stop.load(); });
       }
+      w.sleeping.store(false, std::memory_order_relaxed);
       idleWorkers.fetch_sub(1);
       wakeEpoch.fetch_add(1);  // deregister first, bump second, consume last
     }
@@ -1184,6 +1299,12 @@ struct NativeMachine::Impl : TransportSink {
     out.counters.add("native.frames", frames);
     out.counters.add("native.tokens", tokens);
     out.counters.add("native.workers", cfg.numWorkers);
+    // Inbox SPSC-ring overflow spills (tokens that fell back to the mutex
+    // deque because a ring was full) — zero in healthy runs.
+    std::int64_t overflow = 0;
+    for (const auto& w : workers)
+      overflow += w->overflowTotal.load(std::memory_order_relaxed);
+    out.counters.add("native.inboxOverflow", overflow);
     // Transport-side counters (fault.drops/dups/delays, net.retx.resent,
     // per-link breakdown, UDP wire totals); machine-side fault counters stay
     // here because stalls and receiver dedup happen at delivery, not in the

@@ -1,0 +1,84 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// The native machine's inbox is a set of these, one per (producer lane,
+// receiving worker) pair: the lane's single producer (a sending worker
+// thread, or a transport service thread) pushes, the receiving worker pops.
+// Power-of-two capacity, monotonically increasing 32-bit indices (wrap-safe
+// under unsigned arithmetic), and exactly two synchronizing edges:
+//
+//   push: write slot, then tail.store(release)   — publishes the payload;
+//   pop:  tail.load(acquire), then read slot     — observes it.
+//
+// head mirrors the same pattern in the other direction so the producer's
+// full-check never reads a slot the consumer still owns. Neither side ever
+// blocks: a full ring fails the push (the caller falls back to the
+// receiver's mutex-guarded overflow deque) and an empty ring fails the pop.
+// The cross-thread *wakeup* handshake (the consumer's sleep flag) lives in
+// the machine, not here — see native_machine.cpp and docs/ARCHITECTURE.md,
+// "Native transport".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pods::native {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::uint32_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    PODS_CHECK_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                   "SpscRing capacity must be a power of two");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when the ring is full (caller must fall back to
+  /// an unbounded path; spinning here could deadlock two workers that are
+  /// both producing into each other's full rings).
+  bool tryPush(T&& v) {
+    const std::uint32_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool tryPop(T& out) {
+    const std::uint32_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy emptiness probe (either thread). A false "empty" can only happen
+  /// for a push that was not yet published — callers that need a conclusive
+  /// answer (the idle/quiescence check) pair this with a seq_cst fence
+  /// against the producer's post-push fence; see the machine's sleep
+  /// handshake.
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::uint32_t capacity() const { return mask_ + 1; }
+
+ private:
+  // Indices on separate cache lines: the producer writes tail_ and reads
+  // head_; the consumer does the opposite. Sharing a line would make every
+  // push/pop pair ping-pong it.
+  alignas(64) std::atomic<std::uint32_t> head_{0};
+  alignas(64) std::atomic<std::uint32_t> tail_{0};
+  const std::uint32_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace pods::native

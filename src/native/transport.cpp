@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -44,12 +45,27 @@ std::uint64_t get64(const std::uint8_t* p) {
   return v;
 }
 
-// Datagram type bytes (first byte of every UDP packet).
+// Datagram type bytes (first byte of every UDP packet). Type 2 was the
+// retired per-message ack; the value stays reserved so old captures stay
+// readable and a stray legacy ack is rejected, not misparsed.
 constexpr std::uint8_t kTypeToken = 1;
-constexpr std::uint8_t kTypeAck = 2;
+constexpr std::uint8_t kTypeLegacyAck = 2;
 constexpr std::uint8_t kTypeShutdown = 3;
+constexpr std::uint8_t kTypeBatch = 4;
+constexpr std::uint8_t kTypeCumAck = 5;
 
-constexpr std::size_t kAckWireBytes = 11;  // type + srcPe + msgId
+// Cumulative ack: type + ackerPe u16 + cumSeq u64 + bitmap u64.
+constexpr std::size_t kCumAckWireBytes = 19;
+
+// Outbox flush deadline: how long a partially-filled batch may sit before
+// the timer thread ships it. The sending worker's loop flushes far more
+// often than this; the deadline only covers a worker stuck in a long slice.
+constexpr double kFlushDeadlineUs = 50.0;
+
+// Lazy-ack threshold: a receiver answers partial batches and healed
+// duplicates immediately, but lets full-batch streams run this many tokens
+// between cumulative acks (see recvMain).
+constexpr std::int64_t kAckLazyTokens = 64;
 
 /// Per-(src,dst) link counters. Written from worker, receiver, and timer
 /// threads; plain atomics, rolled into the Counters map after the run.
@@ -108,7 +124,7 @@ class InboxTransport final : public Transport {
 
   void send(int fromPe, int toPe, NToken tok) override {
     if (!plan_.enabled()) {
-      sink_.deposit(toPe, std::move(tok));
+      sink_.deposit(toPe, fromPe, std::move(tok));
       return;
     }
     if (tok.msgId == 0) tok.msgId = netSeq_.fetch_add(1) + 1;
@@ -117,7 +133,7 @@ class InboxTransport final : public Transport {
       std::lock_guard<std::mutex> g(senderM_);
       sender_.onSend(tok.msgId);
     }
-    transmit(fromPe, toPe, std::move(tok));
+    transmit(fromPe, toPe, std::move(tok), /*lane=*/fromPe);
   }
 
   void stop() override {
@@ -174,8 +190,10 @@ class InboxTransport final : public Transport {
 
   /// One transmission attempt: rolls the seeded dice, then delivers,
   /// duplicates, or hands the token to the retransmit daemon. The token's
-  /// quiescence charges ride along untouched.
-  void transmit(int fromPe, int toPe, NToken tok) {
+  /// quiescence charges ride along untouched. `lane` identifies the calling
+  /// thread for the destination's SPSC inbox rings (worker PE id, or
+  /// numPes_ from the retransmit daemon).
+  void transmit(int fromPe, int toPe, NToken tok, int lane) {
     switch (plan_.action(netSeq_.fetch_add(1) + 1)) {
       case FaultAction::Drop: {
         faultDrops_.fetch_add(1);
@@ -199,11 +217,11 @@ class InboxTransport final : public Transport {
         faultDups_.fetch_add(1);
         settle(tok.msgId);
         NToken copy = tok;
-        sink_.deposit(toPe, std::move(tok));
+        sink_.deposit(toPe, lane, std::move(tok));
         // The duplicate is a real extra message: it carries its own
         // quiescence charges, consumed when the receiver dedups it.
         sink_.chargeDuplicate();
-        sink_.deposit(toPe, std::move(copy));
+        sink_.deposit(toPe, lane, std::move(copy));
         break;
       }
       case FaultAction::Delay:
@@ -214,7 +232,7 @@ class InboxTransport final : public Transport {
         break;
       case FaultAction::Deliver:
         settle(tok.msgId);
-        sink_.deposit(toPe, std::move(tok));
+        sink_.deposit(toPe, lane, std::move(tok));
         break;
     }
   }
@@ -263,9 +281,10 @@ class InboxTransport final : public Transport {
         g.unlock();
         if (item.redecide) {
           link(item.fromPe, item.toPe).retx.fetch_add(1);
-          transmit(item.fromPe, item.toPe, std::move(item.tok));
+          transmit(item.fromPe, item.toPe, std::move(item.tok),
+                   /*lane=*/numPes_);
         } else {
-          sink_.deposit(item.toPe, std::move(item.tok));
+          sink_.deposit(item.toPe, numPes_, std::move(item.tok));
         }
         g.lock();
       }
@@ -292,32 +311,51 @@ class InboxTransport final : public Transport {
 };
 
 // ---------------------------------------------------------------------------
-// UdpTransport: one UDP socket per PE on 127.0.0.1, tokens as datagrams.
+// UdpTransport: one UDP socket per PE on 127.0.0.1, tokens as batched
+// datagrams with cumulative acknowledgment.
+//
+// Sends coalesce per (src,dst) link: each link keeps a small outbox that
+// accumulates 65-byte token records and ships them as one MTU-sized batch
+// datagram when full (kBatchMaxTokens), when the sending worker's loop
+// calls flush(), or when the 50 µs deadline timer fires. A single-token
+// flush goes out as the bare legacy token datagram.
 //
 // UDP gives no delivery guarantee even on loopback (a full SO_RCVBUF drops
 // packets silently), so the reliable-delivery protocol ALWAYS runs:
 //
-//   sender    keeps every token in an unacked map keyed by msgId and
+//   sender    numbers each link's tokens with a dense 1-based sequence
+//             (packed into the msgId, see proto::Delivery::packLinkMsgId),
+//             keeps every unacked record's wire image per link, and
 //             retransmits with exponential backoff until acknowledged
-//             (giving up — failing the run — after maxAttempts);
-//   receiver  acknowledges every token datagram (re-acking duplicates so a
-//             lost ack self-heals) and suppresses duplicate msgIds before
-//             they reach the inbox;
+//             (giving up — failing the run — after maxAttempts). A
+//             retransmitted record rides the link's next batch with its
+//             ORIGINAL msgId (never re-registered, so quiescence is never
+//             double-charged) alongside fresh tokens;
+//   receiver  answers every token-carrying datagram with one cumulative
+//             ack — highest contiguously received seq plus a selective
+//             bitmap for seqs above it — re-acking duplicates so a lost
+//             ack self-heals, and suppresses duplicates by link sequence
+//             before they reach the inbox;
 //   acks      are themselves datagrams and may be lost; injected faults
 //             roll dice on acks too (lossy-ack model, as in the simulator).
 //
 // Fault injection composes at the datagram level: each transmission of a
-// token (first send and every retransmit) rolls the seeded FaultPlan dice —
-// Drop suppresses the sendto (the backoff timer recovers it), Duplicate
-// sends the wire image twice, Delay parks the transmission in the timer.
+// batch (first flush and every retransmit flush) rolls the seeded FaultPlan
+// dice — Drop suppresses the sendto for the whole batch (the backoff timers
+// recover each token), Duplicate sends the wire image twice, Delay parks
+// the image in the timer.
 //
 // Threads: N receiver threads (one blocking recvfrom loop per PE socket —
 // the "NIC", which a kill-mode fail-stop deliberately does NOT destroy) and
-// one timer thread driving retransmits and delayed sends. Backoff, give-up,
-// and msgId dedup decisions live in proto::Delivery: one sender endpoint
-// shared under the unacked-map mutex, and one receiver endpoint per PE
-// touched only by that PE's receiver thread (the endpoint models the NIC
-// and deliberately survives a kill-mode fail-stop of the PE).
+// one timer thread driving retransmit batches, flush deadlines, and delayed
+// sends. Backoff, give-up, sequence windows, and dedup decisions live in
+// proto::Delivery: one sender endpoint under m_, and one receiver endpoint
+// per PE touched only by that PE's receiver thread (the endpoint models the
+// NIC and deliberately survives a kill-mode fail-stop of the PE).
+//
+// Lock order: lk.m (a link's outbox) and m_ (sender window + timer heap)
+// are NEVER held together — every path releases one before taking the
+// other, so the send path stays two short critical sections.
 // ---------------------------------------------------------------------------
 
 class UdpTransport final : public Transport {
@@ -334,9 +372,22 @@ class UdpTransport final : public Transport {
         // are harmless (receiver dedup) but wasteful.
         sender_(plan.config().retry, plan.enabled()),
         rx_(static_cast<std::size_t>(numPes),
-            proto::Delivery(plan.config().retry, plan.enabled())) {}
+            proto::Delivery(plan.config().retry, plan.enabled())),
+        outSlots_(new std::atomic<LinkOut*>[static_cast<std::size_t>(numPes) *
+                                            numPes]),
+        dirtySrc_(new std::atomic<int>[static_cast<std::size_t>(numPes)]) {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(numPes) * numPes; ++i)
+      outSlots_[i].store(nullptr, std::memory_order_relaxed);
+    for (int i = 0; i < numPes; ++i)
+      dirtySrc_[i].store(0, std::memory_order_relaxed);
+  }
 
-  ~UdpTransport() override { stop(); }
+  ~UdpTransport() override {
+    stop();
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(numPes_) * numPes_; ++i)
+      delete outSlots_[i].load(std::memory_order_relaxed);
+  }
 
   const char* name() const override { return "udp"; }
 
@@ -379,31 +430,67 @@ class UdpTransport final : public Transport {
         return false;
       }
     }
-    for (int pe = 0; pe < numPes_; ++pe) {
-      rxThreads_.emplace_back([this, pe] { recvMain(pe); });
-    }
+    rxThread_ = std::thread([this] { recvMain(); });
     timerThread_ = std::thread([this] { timerMain(); });
     return true;
   }
 
+  /// Parks the token in the (fromPe,toPe) outbox; ships when the batch
+  /// fills, when the worker's loop flushes, or at the deadline. The token's
+  /// quiescence charge was made at enqueue and keeps it visible while it
+  /// coalesces here.
   void send(int fromPe, int toPe, NToken tok) override {
-    tok.msgId = nextMsgId_.fetch_add(1) + 1;
-    Unacked u;
-    u.fromPe = fromPe;
-    u.toPe = toPe;
-    wireEncodeToken(tok, static_cast<std::uint16_t>(fromPe), u.wire.data());
-    LinkStat& l = link(fromPe, toPe);
-    l.tokens.fetch_add(1);
+    LinkOut& lk = linkOut(fromPe, toPe);
+    link(fromPe, toPe).tokens.fetch_add(1);
     tokensSent_.fetch_add(1);
-    {
-      std::lock_guard<std::mutex> g(m_);
-      sender_.onSend(tok.msgId);
-      heap_.push(TimerEv{Clock::now() + micros(sender_.initialRtoUs()),
-                         tok.msgId, /*delayedSend=*/false});
-      unacked_.emplace(tok.msgId, u);
+    bool wrote = false;
+    bool full = false;
+    bool first = false;
+    while (!wrote) {
+      {
+        std::lock_guard<std::mutex> g(lk.m);
+        // The timer thread can leave the outbox exactly full: its
+        // retransmit requeue appends up to the cap under lk.m and flushes
+        // only after dropping it. Writing a record here in that window
+        // would run past buf, so flush the full outbox ourselves and
+        // retry.
+        if (lk.count < kBatchMaxTokens) {
+          const std::uint64_t seq = ++lk.nextSeq;
+          tok.msgId = proto::Delivery::packLinkMsgId(fromPe, toPe, seq);
+          std::uint8_t* rec =
+              lk.buf + kBatchHeaderBytes +
+              static_cast<std::size_t>(lk.count) * kTokenWireBytes;
+          wireEncodeToken(tok, static_cast<std::uint16_t>(fromPe), rec);
+          std::memcpy(lk.unackedWire[seq].data(), rec, kTokenWireBytes);
+          if (lk.count == 0) {
+            first = true;
+            dirtySrc_[fromPe].fetch_add(1, std::memory_order_release);
+          }
+          if (lk.freshCount == 0) lk.firstFreshSeq = seq;
+          ++lk.count;
+          ++lk.freshCount;
+          full = lk.count == kBatchMaxTokens;
+          wrote = true;
+        }
+      }
+      if (!wrote) flushLink(fromPe, toPe, FlushWhy::Full);
     }
-    timerCv_.notify_one();
-    attemptTransmit(u, tok.msgId);
+    if (full)
+      flushLink(fromPe, toPe, FlushWhy::Full);
+    else if (first)
+      armFlushTimer(fromPe, toPe);
+  }
+
+  /// Ships everything coalescing in fromPe's outboxes. Called by the
+  /// sending worker at the top of its scheduling loop; the dirty count
+  /// makes the common (nothing pending) case one atomic load.
+  void flush(int fromPe) override {
+    if (dirtySrc_[fromPe].load(std::memory_order_acquire) == 0) return;
+    for (int to = 0; to < numPes_; ++to) {
+      if (to == fromPe) continue;
+      if (outSlots_[slot(fromPe, to)].load(std::memory_order_acquire))
+        flushLink(fromPe, to, FlushWhy::Drain);
+    }
   }
 
   void stop() override {
@@ -419,8 +506,7 @@ class UdpTransport final : public Transport {
       rawSend(pe, addrs_[static_cast<std::size_t>(pe)],
               sizeof(sockaddr_in), &wake, 1);
     }
-    for (auto& t : rxThreads_) t.join();
-    rxThreads_.clear();
+    if (rxThread_.joinable()) rxThread_.join();
     if (timerThread_.joinable()) timerThread_.join();
     closeAll();
   }
@@ -435,6 +521,15 @@ class UdpTransport final : public Transport {
     out.add("net.udp.acksRecv", acksRecv_.load());
     out.add("net.udp.sendErrors", sendErrors_.load());
     out.add("net.udp.badDatagrams", badDatagrams_.load());
+    const std::int64_t bd = batchDgrams_.load();
+    const std::int64_t bt = batchTokens_.load();
+    out.add("net.udp.batch.datagrams", bd);
+    out.add("net.udp.batch.tokens", bt);
+    out.add("net.udp.batch.tokensPerDgram", bd > 0 ? bt / bd : 0);
+    out.add("net.udp.batch.flushFull", flushFull_.load());
+    out.add("net.udp.batch.flushDeadline", flushDeadline_.load());
+    out.add("net.udp.batch.flushDrain", flushDrain_.load());
+    out.add("net.udp.batch.flushRetx", flushRetx_.load());
     {
       std::lock_guard<std::mutex> g(m_);
       sender_.addStats(out);
@@ -450,15 +545,43 @@ class UdpTransport final : public Transport {
   }
 
  private:
-  struct Unacked {
-    int fromPe = 0;
-    int toPe = 0;
-    std::array<std::uint8_t, kTokenWireBytes> wire{};
+  /// One (src,dst) link's sender state: the coalescing outbox (header
+  /// space + up to kBatchMaxTokens records) and the wire image of every
+  /// unacked record, keyed by link seq, for retransmission. Single fresh
+  /// producer (worker src); the timer thread appends retransmits and the
+  /// receiver thread for src erases acked images — all under m.
+  struct LinkOut {
+    std::mutex m;
+    std::uint8_t buf[kBatchMaxBytes];
+    int count = 0;       // records currently in buf
+    int freshCount = 0;  // suffix of count that is first-send (not retx)
+    std::uint64_t firstFreshSeq = 0;
+    std::uint64_t nextSeq = 0;  // last assigned link sequence
+    std::unordered_map<std::uint64_t,
+                       std::array<std::uint8_t, kTokenWireBytes>>
+        unackedWire;
+    /// Retransmit schedule: (deadline, seq) min-heap, consumed lazily (an
+    /// acked seq is skipped when its deadline fires). The whole link keeps
+    /// at most ~one live Retx timer event — `retxArmed`/`armedDue` dedup
+    /// the arming — so the timer heap scales with links, not with batches.
+    std::priority_queue<
+        std::pair<Clock::time_point, std::uint64_t>,
+        std::vector<std::pair<Clock::time_point, std::uint64_t>>,
+        std::greater<std::pair<Clock::time_point, std::uint64_t>>>
+        retxQ;
+    bool retxArmed = false;
+    Clock::time_point armedDue{};
   };
+
+  enum class FlushWhy : std::uint8_t { Full, Drain, Deadline, Retx };
+
   struct TimerEv {
     Clock::time_point due;
-    std::uint64_t msgId = 0;
-    bool delayedSend = false;  // true: late-arriving original, no dice
+    enum class Kind : std::uint8_t { Retx, Flush, DelayedWire } kind =
+        Kind::Retx;
+    int fromPe = 0;
+    int toPe = 0;
+    std::vector<std::uint8_t> wire;  // DelayedWire: parked datagram
   };
   struct EvLater {
     bool operator()(const TimerEv& a, const TimerEv& b) const {
@@ -472,6 +595,28 @@ class UdpTransport final : public Transport {
     return links_[static_cast<std::size_t>(fromPe * numPes_ + toPe)];
   }
 
+  std::size_t slot(int fromPe, int toPe) const {
+    return static_cast<std::size_t>(fromPe * numPes_ + toPe);
+  }
+
+  /// Outboxes allocate lazily (256 PEs all-to-all would be ~90 MB up
+  /// front). Only the link's sending worker creates it, so the publication
+  /// is a plain release store; every other thread reaches the link only
+  /// after a send has happened.
+  LinkOut& linkOut(int fromPe, int toPe) {
+    std::atomic<LinkOut*>& cell = outSlots_[slot(fromPe, toPe)];
+    LinkOut* lk = cell.load(std::memory_order_acquire);
+    if (!lk) {
+      lk = new LinkOut();
+      cell.store(lk, std::memory_order_release);
+    }
+    return *lk;
+  }
+
+  LinkOut* linkOutIfExists(int fromPe, int toPe) {
+    return outSlots_[slot(fromPe, toPe)].load(std::memory_order_acquire);
+  }
+
   void closeAll() {
     for (int& fd : fds_) {
       if (fd >= 0) ::close(fd);
@@ -480,31 +625,44 @@ class UdpTransport final : public Transport {
     fds_.clear();
   }
 
-  /// Raw datagram transmission from `fromPe`'s socket. A sendto failure
-  /// (e.g. ENOBUFS) is counted and otherwise treated as network loss — the
-  /// retransmit timer recovers token datagrams, re-acking recovers acks.
+  /// Raw datagram transmission from `fromPe`'s socket. EINTR always
+  /// retries; a transiently full stack (EAGAIN/ENOBUFS) gets a few yields
+  /// before the failure is counted and treated as network loss — the
+  /// retransmit timers recover token batches, re-acking recovers acks.
   void rawSend(int fromPe, const sockaddr_in& to, socklen_t toLen,
                const void* data, std::size_t len) {
-    const ssize_t n =
-        ::sendto(fds_[static_cast<std::size_t>(fromPe)], data, len, 0,
-                 reinterpret_cast<const sockaddr*>(&to), toLen);
-    if (n < 0) sendErrors_.fetch_add(1);
+    for (int attempt = 0;; ++attempt) {
+      const ssize_t n =
+          ::sendto(fds_[static_cast<std::size_t>(fromPe)], data, len, 0,
+                   reinterpret_cast<const sockaddr*>(&to), toLen);
+      if (n >= 0) return;
+      if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) &&
+          attempt < 4) {
+        std::this_thread::yield();
+        continue;
+      }
+      sendErrors_.fetch_add(1);
+      return;
+    }
   }
 
-  void xmitToken(const Unacked& u) {
-    rawSend(u.fromPe, addrs_[static_cast<std::size_t>(u.toPe)],
-            sizeof(sockaddr_in), u.wire.data(), u.wire.size());
-    LinkStat& l = link(u.fromPe, u.toPe);
+  void xmitWire(int fromPe, int toPe, const std::uint8_t* data,
+                std::size_t len) {
+    rawSend(fromPe, addrs_[static_cast<std::size_t>(toPe)],
+            sizeof(sockaddr_in), data, len);
+    LinkStat& l = link(fromPe, toPe);
     l.datagrams.fetch_add(1);
-    l.bytes.fetch_add(static_cast<std::int64_t>(u.wire.size()));
+    l.bytes.fetch_add(static_cast<std::int64_t>(len));
     datagramsSent_.fetch_add(1);
-    bytesSent_.fetch_add(static_cast<std::int64_t>(u.wire.size()));
+    bytesSent_.fetch_add(static_cast<std::int64_t>(len));
   }
 
-  /// One transmission attempt of a token datagram: rolls the seeded dice
-  /// when fault injection is on, otherwise just sends. Drop relies on the
-  /// retransmit timer (already scheduled) to recover.
-  void attemptTransmit(const Unacked& u, std::uint64_t msgId) {
+  /// One transmission attempt of a batch datagram: rolls the seeded dice
+  /// when fault injection is on, otherwise just sends. Drop suppresses the
+  /// whole batch and relies on the per-token retransmit timers to recover.
+  void attemptTransmit(int fromPe, int toPe, const std::uint8_t* data,
+                       std::size_t len) {
     if (plan_.enabled()) {
       switch (plan_.action(txSeq_.fetch_add(1) + 1)) {
         case FaultAction::Drop:
@@ -512,37 +670,249 @@ class UdpTransport final : public Transport {
           return;
         case FaultAction::Duplicate:
           faultDups_.fetch_add(1);
-          xmitToken(u);
+          xmitWire(fromPe, toPe, data, len);
           break;  // fall through to the normal copy below
         case FaultAction::Delay: {
           faultDelays_.fetch_add(1);
-          {
-            std::lock_guard<std::mutex> g(m_);
-            heap_.push(TimerEv{
-                Clock::now() + micros(plan_.config().nativeDelayUs), msgId,
-                /*delayedSend=*/true});
-          }
-          timerCv_.notify_one();
+          TimerEv ev;
+          ev.due = Clock::now() + micros(plan_.config().nativeDelayUs);
+          ev.kind = TimerEv::Kind::DelayedWire;
+          ev.fromPe = fromPe;
+          ev.toPe = toPe;
+          ev.wire.assign(data, data + len);
+          pushTimerEv(std::move(ev));
           return;
         }
         case FaultAction::Deliver:
           break;
       }
     }
-    xmitToken(u);
+    xmitWire(fromPe, toPe, data, len);
   }
 
-  void sendAck(int pe, const sockaddr_in& to, socklen_t toLen,
-               std::uint64_t msgId) {
-    std::uint8_t pkt[kAckWireBytes];
-    pkt[0] = kTypeAck;
-    put16(pkt + 1, static_cast<std::uint16_t>(pe));
-    put64(pkt + 3, msgId);
+  /// Pushes a timer event, waking the timer thread only when the event
+  /// becomes the new earliest deadline — a later event will be seen when
+  /// the thread wakes for the current front anyway, and every avoided
+  /// notify is an avoided context switch on the send path.
+  void pushTimerEv(TimerEv ev) {
+    bool newFront = false;
+    {
+      std::lock_guard<std::mutex> g(m_);
+      newFront = heap_.empty() || ev.due < heap_.front().due;
+      heap_.push_back(std::move(ev));
+      std::push_heap(heap_.begin(), heap_.end(), EvLater{});
+    }
+    if (newFront) timerCv_.notify_one();
+  }
+
+  void armFlushTimer(int fromPe, int toPe) {
+    TimerEv ev;
+    ev.due = Clock::now() + micros(kFlushDeadlineUs);
+    ev.kind = TimerEv::Kind::Flush;
+    ev.fromPe = fromPe;
+    ev.toPe = toPe;
+    pushTimerEv(std::move(ev));
+  }
+
+  /// Ships the (fromPe,toPe) outbox as one datagram: snapshot + reset the
+  /// outbox under lk.m, register the fresh tokens' retransmit state under
+  /// m_, then transmit with no lock held. Returns without sending when a
+  /// concurrent flush already emptied the outbox.
+  void flushLink(int fromPe, int toPe, FlushWhy why) {
+    LinkOut* lkp = linkOutIfExists(fromPe, toPe);
+    if (!lkp) return;
+    LinkOut& lk = *lkp;
+    std::uint8_t dgram[kBatchMaxBytes];
+    std::size_t len = 0;
+    int count = 0;
+    int fresh = 0;
+    std::uint64_t firstFreshSeq = 0;
+    {
+      std::lock_guard<std::mutex> g(lk.m);
+      if (lk.count == 0) return;
+      count = lk.count;
+      fresh = lk.freshCount;
+      firstFreshSeq = lk.firstFreshSeq;
+      if (count == 1) {
+        // Bare legacy token datagram: bit-identical to the pre-batching
+        // wire format.
+        len = kTokenWireBytes;
+        std::memcpy(dgram, lk.buf + kBatchHeaderBytes, len);
+      } else {
+        lk.buf[0] = kTypeBatch;
+        put16(lk.buf + 1, static_cast<std::uint16_t>(fromPe));
+        put16(lk.buf + 3, static_cast<std::uint16_t>(count));
+        len = kBatchHeaderBytes +
+              static_cast<std::size_t>(count) * kTokenWireBytes;
+        std::memcpy(dgram, lk.buf, len);
+      }
+      lk.count = 0;
+      lk.freshCount = 0;
+      dirtySrc_[fromPe].fetch_sub(1, std::memory_order_release);
+    }
+    if (fresh > 0) {
+      const std::uint64_t firstMsgId =
+          proto::Delivery::packLinkMsgId(fromPe, toPe, firstFreshSeq);
+      {
+        std::lock_guard<std::mutex> g(m_);
+        sender_.onSendBatch(firstMsgId, fresh);
+      }
+      // Schedule the batch's retransmit deadline on the link's own queue;
+      // a timer event is pushed only when the link isn't armed yet (or
+      // this deadline precedes the armed one) — typically once per burst,
+      // not once per batch.
+      const auto due = Clock::now() + micros(sender_.initialRtoUs());
+      bool arm = false;
+      {
+        std::lock_guard<std::mutex> g(lk.m);
+        for (int i = 0; i < fresh; ++i)
+          lk.retxQ.emplace(due,
+                           firstFreshSeq + static_cast<std::uint64_t>(i));
+        if (!lk.retxArmed || due < lk.armedDue) {
+          lk.retxArmed = true;
+          lk.armedDue = due;
+          arm = true;
+        }
+      }
+      if (arm) {
+        TimerEv ev;
+        ev.due = due;
+        ev.kind = TimerEv::Kind::Retx;
+        ev.fromPe = fromPe;
+        ev.toPe = toPe;
+        pushTimerEv(std::move(ev));
+      }
+    }
+    switch (why) {
+      case FlushWhy::Full: flushFull_.fetch_add(1); break;
+      case FlushWhy::Drain: flushDrain_.fetch_add(1); break;
+      case FlushWhy::Deadline: flushDeadline_.fetch_add(1); break;
+      case FlushWhy::Retx: flushRetx_.fetch_add(1); break;
+    }
+    batchDgrams_.fetch_add(1);
+    batchTokens_.fetch_add(count);
+    attemptTransmit(fromPe, toPe, dgram, len);
+  }
+
+  /// Appends the still-unacked wire images of `msgIds` to their link's
+  /// outbox (original msgId — the receiver's window dedups, quiescence was
+  /// charged exactly once at the original enqueue) and ships immediately,
+  /// letting retransmits ride with any fresh tokens already coalescing.
+  void requeueRetransmits(int fromPe, int toPe,
+                          const std::vector<std::uint64_t>& msgIds) {
+    LinkOut* lkp = linkOutIfExists(fromPe, toPe);
+    if (!lkp) return;
+    LinkOut& lk = *lkp;
+    std::size_t i = 0;
+    while (i < msgIds.size()) {
+      bool needFlush = false;
+      {
+        std::lock_guard<std::mutex> g(lk.m);
+        for (; i < msgIds.size(); ++i) {
+          const std::uint64_t seq =
+              proto::Delivery::linkMsgIdSeq(msgIds[i]);
+          auto it = lk.unackedWire.find(seq);
+          if (it == lk.unackedWire.end()) continue;  // acked meanwhile
+          if (lk.count == kBatchMaxTokens) {
+            needFlush = true;
+            break;
+          }
+          std::memcpy(lk.buf + kBatchHeaderBytes +
+                          static_cast<std::size_t>(lk.count) *
+                              kTokenWireBytes,
+                      it->second.data(), kTokenWireBytes);
+          if (lk.count == 0)
+            dirtySrc_[fromPe].fetch_add(1, std::memory_order_release);
+          ++lk.count;
+          link(fromPe, toPe).retx.fetch_add(1);
+        }
+      }
+      if (needFlush) flushLink(fromPe, toPe, FlushWhy::Retx);
+    }
+    flushLink(fromPe, toPe, FlushWhy::Retx);
+  }
+
+  /// A link's retransmit deadline fired: pop every due (deadline, seq)
+  /// entry, let the protocol core decide each one (entries acked since
+  /// they were scheduled come back Stale and vanish), requeue the
+  /// survivors' wire images, and re-arm a single event at the link's next
+  /// outstanding deadline.
+  void fireRetx(int fromPe, int toPe) {
+    LinkOut* lkp = linkOutIfExists(fromPe, toPe);
+    if (!lkp) return;
+    LinkOut& lk = *lkp;
+    std::vector<std::uint64_t> expired;
+    {
+      std::lock_guard<std::mutex> g(lk.m);
+      const auto now = Clock::now();
+      while (!lk.retxQ.empty() && lk.retxQ.top().first <= now) {
+        expired.push_back(lk.retxQ.top().second);
+        lk.retxQ.pop();
+      }
+    }
+    std::vector<std::uint64_t> again;  // msgIds to retransmit...
+    std::vector<double> backoffUs;     // ...and their re-check distances
+    int gaveUpAttempt = 0;
+    if (!expired.empty()) {
+      std::lock_guard<std::mutex> g(m_);
+      for (const std::uint64_t seq : expired) {
+        const proto::TimeoutDecision d = sender_.onTimeout(
+            proto::Delivery::packLinkMsgId(fromPe, toPe, seq));
+        if (d.kind == proto::TimeoutDecision::Kind::Stale) continue;
+        if (d.kind == proto::TimeoutDecision::Kind::GiveUp) {
+          gaveUpAttempt = d.attempt;
+          continue;
+        }
+        again.push_back(proto::Delivery::packLinkMsgId(fromPe, toPe, seq));
+        backoffUs.push_back(d.backoffUs);
+      }
+    }
+    if (gaveUpAttempt != 0) {
+      sink_.transportFail(
+          "udp transport: reliable delivery gave up on a token from worker " +
+          std::to_string(fromPe) + " to worker " + std::to_string(toPe) +
+          " after " + std::to_string(gaveUpAttempt) + " attempts");
+    }
+    if (!again.empty()) requeueRetransmits(fromPe, toPe, again);
+    bool arm = false;
+    Clock::time_point due{};
+    {
+      std::lock_guard<std::mutex> g(lk.m);
+      const auto now = Clock::now();
+      for (std::size_t i = 0; i < again.size(); ++i)
+        lk.retxQ.emplace(now + micros(backoffUs[i]),
+                         proto::Delivery::linkMsgIdSeq(again[i]));
+      if (!lk.retxQ.empty()) {
+        due = lk.retxQ.top().first;
+        lk.retxArmed = true;
+        lk.armedDue = due;
+        arm = true;
+      } else {
+        lk.retxArmed = false;
+      }
+    }
+    if (arm) {
+      TimerEv ev;
+      ev.due = due;
+      ev.kind = TimerEv::Kind::Retx;
+      ev.fromPe = fromPe;
+      ev.toPe = toPe;
+      pushTimerEv(std::move(ev));
+    }
+  }
+
+  /// One cumulative ack datagram for the (srcPe -> ackerPe) link, rolled
+  /// through the same fault dice as data (lossy-ack model; Delay is
+  /// treated as Deliver — re-acking already covers lateness).
+  void sendCumAck(int ackerPe, const sockaddr_in& to, socklen_t toLen,
+                  const proto::Delivery::CumAckView& view) {
+    std::uint8_t pkt[kCumAckWireBytes];
+    pkt[0] = kTypeCumAck;
+    put16(pkt + 1, static_cast<std::uint16_t>(ackerPe));
+    put64(pkt + 3, view.cum);
+    put64(pkt + 11, view.bitmap);
     int copies = 1;
     if (plan_.enabled()) {
-      // Lossy acks: acknowledgments roll the same dice as data. A dropped
-      // ack costs one retransmit + one dedup; injected Delay on an ack is
-      // treated as Deliver (the retransmit path already covers lateness).
       switch (plan_.action(txSeq_.fetch_add(1) + 1)) {
         case FaultAction::Drop:
           faultDrops_.fetch_add(1);
@@ -557,76 +927,181 @@ class UdpTransport final : public Transport {
       }
     }
     for (int i = 0; i < copies; ++i) {
-      rawSend(pe, to, toLen, pkt, sizeof pkt);
+      rawSend(ackerPe, to, toLen, pkt, sizeof pkt);
       acksSent_.fetch_add(1);
     }
   }
 
-  /// Per-PE receiver loop: the PE's "NIC". Acks every token datagram,
-  /// suppresses duplicate msgIds through the PE's protocol-core receiver
-  /// endpoint (touched only by this thread), and deposits first copies into
-  /// the owner's inbox.
-  void recvMain(int pe) {
-    const int fd = fds_[static_cast<std::size_t>(pe)];
-    std::uint8_t buf[256];
-    proto::Delivery& rx = rx_[static_cast<std::size_t>(pe)];
-    for (;;) {
-      sockaddr_in src{};
-      socklen_t srcLen = sizeof src;
-      const ssize_t n = ::recvfrom(fd, buf, sizeof buf, 0,
-                                   reinterpret_cast<sockaddr*>(&src), &srcLen);
-      if (n < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-          if (rxStop_.load()) return;
-          continue;
-        }
-        return;  // socket gone: shutdown path
+  /// Receiver loop: one thread polls every PE's socket — the machine's
+  /// "NIC". Answers token-carrying datagrams with cumulative acks
+  /// (re-acking duplicates so a lost ack self-heals), suppresses
+  /// duplicates through the destination PE's protocol-core link windows
+  /// (touched only by this thread), and deposits first copies into the
+  /// owner's inbox via the service lane — one thread for all PEs keeps
+  /// the single-producer-per-lane invariant trivially true and the
+  /// machine's thread count (and context-switch pressure) flat in PEs.
+  /// Also receives cumulative acks for batches each PE sent.
+  void recvMain() {
+    std::uint8_t buf[2048];
+    std::vector<NToken> toks;
+    std::vector<NToken> freshToks;
+    // Lazy cumulative acks, per (dstPe, srcPe): a partial batch ends a
+    // burst and a duplicate means the sender is already retransmitting —
+    // both ack immediately. A stream of FULL batches acks only every
+    // kAckLazyTokens tokens (~every 3rd datagram), cutting ack traffic on
+    // hot links by two thirds. A full-batch tail that never sees a
+    // partial flush is healed by the sender's retransmit: the duplicates
+    // force an immediate ack.
+    std::vector<std::int64_t> sinceAck(
+        static_cast<std::size_t>(numPes_) * numPes_, 0);
+    std::vector<pollfd> pfds(static_cast<std::size_t>(numPes_));
+    for (int pe = 0; pe < numPes_; ++pe) {
+      pfds[static_cast<std::size_t>(pe)].fd = fds_[static_cast<std::size_t>(pe)];
+      pfds[static_cast<std::size_t>(pe)].events = POLLIN;
+    }
+    bool stopping = false;
+    while (!stopping) {
+      const int nready =
+          ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 20);
+      if (nready < 0) {
+        if (errno == EINTR) continue;
+        return;  // sockets gone: shutdown path
       }
-      if (n < 1) continue;
-      datagramsRecv_.fetch_add(1);
-      bytesRecv_.fetch_add(n);
-      switch (buf[0]) {
-        case kTypeToken: {
-          NToken tok;
-          std::uint16_t srcPe = 0;
-          if (!wireDecodeToken(buf, static_cast<std::size_t>(n), tok,
-                               &srcPe)) {
-            badDatagrams_.fetch_add(1);
-            break;
+      if (nready == 0) {
+        if (rxStop_.load()) break;
+        continue;
+      }
+      for (int pe = 0; pe < numPes_; ++pe) {
+        if (!(pfds[static_cast<std::size_t>(pe)].revents & POLLIN)) continue;
+        for (;;) {
+          sockaddr_in src{};
+          socklen_t srcLen = sizeof src;
+          const ssize_t n = ::recvfrom(
+              fds_[static_cast<std::size_t>(pe)], buf, sizeof buf,
+              MSG_DONTWAIT, reinterpret_cast<sockaddr*>(&src), &srcLen);
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            break;  // EAGAIN: this socket is drained
           }
-          // Ack first copy AND duplicates: a re-ack is how a lost ack
-          // self-heals without the sender retrying forever.
-          rx.count(proto::kAcks);
-          sendAck(pe, src, srcLen, tok.msgId);
-          if (!rx.accept(tok.msgId)) break;
-          sink_.deposit(pe, std::move(tok));
+          if (n < 1) continue;
+          if (!handleDatagram(pe, buf, static_cast<std::size_t>(n), src,
+                              srcLen, toks, freshToks, sinceAck))
+            stopping = true;  // shutdown wake-up observed after rxStop_
+        }
+      }
+    }
+    // The shutdown wake on one socket can overtake acks (or late
+    // retransmits) still queued on another — every sendto already made
+    // loopback delivery, so one non-blocking sweep drains the ledgers dry
+    // and acksSent/acksRecv close exactly on a fault-free run.
+    for (int pe = 0; pe < numPes_; ++pe) {
+      for (;;) {
+        sockaddr_in src{};
+        socklen_t srcLen = sizeof src;
+        const ssize_t n = ::recvfrom(
+            fds_[static_cast<std::size_t>(pe)], buf, sizeof buf,
+            MSG_DONTWAIT, reinterpret_cast<sockaddr*>(&src), &srcLen);
+        if (n < 0) {
+          if (errno == EINTR) continue;
           break;
         }
-        case kTypeAck: {
-          if (static_cast<std::size_t>(n) < kAckWireBytes) {
-            badDatagrams_.fetch_add(1);
-            break;
-          }
-          acksRecv_.fetch_add(1);
-          const std::uint64_t msgId = get64(buf + 3);
-          std::lock_guard<std::mutex> g(m_);
-          sender_.onAck(msgId);
-          unacked_.erase(msgId);
-          break;
-        }
-        case kTypeShutdown:
-          if (rxStop_.load()) return;
-          break;
-        default:
-          badDatagrams_.fetch_add(1);
-          break;
+        if (n < 1) continue;
+        handleDatagram(pe, buf, static_cast<std::size_t>(n), src, srcLen,
+                       toks, freshToks, sinceAck);
       }
     }
   }
 
-  /// Timer loop: drives retransmits of unacked tokens (fresh dice per
-  /// attempt, exponential backoff, give-up after maxAttempts fails the run)
-  /// and fault-injected delayed sends (the original wire image, no dice).
+  /// Processes one datagram addressed to `pe`. Returns false only for the
+  /// shutdown wake-up after stop() raised rxStop_.
+  bool handleDatagram(int pe, std::uint8_t* buf, std::size_t n,
+                      const sockaddr_in& src, socklen_t srcLen,
+                      std::vector<NToken>& toks,
+                      std::vector<NToken>& freshToks,
+                      std::vector<std::int64_t>& sinceAck) {
+    proto::Delivery& rx = rx_[static_cast<std::size_t>(pe)];
+    datagramsRecv_.fetch_add(1);
+    bytesRecv_.fetch_add(static_cast<std::int64_t>(n));
+    switch (buf[0]) {
+        case kTypeToken:
+      case kTypeBatch: {
+        std::uint16_t srcPe = 0;
+        if (!wireDecodeBatch(buf, n, toks, &srcPe) || srcPe >= numPes_) {
+          badDatagrams_.fetch_add(1);
+          break;
+        }
+        freshToks.clear();
+        for (NToken& tok : toks) {
+          const std::uint64_t seq = proto::Delivery::linkMsgIdSeq(tok.msgId);
+          if (rx.acceptSeq(srcPe, pe, seq))
+            freshToks.push_back(std::move(tok));
+        }
+        // The ack (when due) is composed after the window update and
+        // sent before the deposits, so at termination the final ack is
+        // already in flight toward the sender's socket.
+        const bool full = static_cast<int>(toks.size()) == kBatchMaxTokens;
+        const bool hadDup = freshToks.size() != toks.size();
+        std::int64_t& since =
+            sinceAck[static_cast<std::size_t>(pe) * numPes_ + srcPe];
+        since += static_cast<std::int64_t>(toks.size());
+        if (!full || hadDup || since >= kAckLazyTokens) {
+          rx.count(proto::kAcks);
+          sendCumAck(pe, src, srcLen, rx.cumAckView(srcPe, pe));
+          since = 0;
+        }
+        for (NToken& tok : freshToks) {
+          // Receiver dedup MUST precede the ring deposit: a retransmitted
+          // token that reached the inbox twice would double-release its
+          // single quiescence charge.
+          PODS_CHECK_MSG(
+              rx.seenSeq(srcPe, pe, proto::Delivery::linkMsgIdSeq(tok.msgId)),
+              "udp transport: token deposited before dedup recorded it");
+          sink_.deposit(pe, numPes_, std::move(tok));
+        }
+        break;
+      }
+      case kTypeCumAck: {
+        if (n != kCumAckWireBytes) {
+          badDatagrams_.fetch_add(1);
+          break;
+        }
+        const std::uint16_t acker = get16(buf + 1);
+        if (acker >= numPes_) {
+          badDatagrams_.fetch_add(1);
+          break;
+        }
+        acksRecv_.fetch_add(1);
+        const std::uint64_t cum = get64(buf + 3);
+        const std::uint64_t bitmap = get64(buf + 11);
+        std::vector<std::uint64_t> retired;
+        {
+          std::lock_guard<std::mutex> g(m_);
+          retired = sender_.onCumAck(pe, acker, cum, bitmap);
+        }
+        if (!retired.empty()) {
+          if (LinkOut* lk = linkOutIfExists(pe, acker)) {
+            std::lock_guard<std::mutex> g(lk->m);
+            for (const std::uint64_t id : retired)
+              lk->unackedWire.erase(proto::Delivery::linkMsgIdSeq(id));
+          }
+        }
+        break;
+      }
+      case kTypeShutdown:
+        if (rxStop_.load()) return false;
+        break;
+      case kTypeLegacyAck:  // retired per-message ack: reject, don't parse
+      default:
+        badDatagrams_.fetch_add(1);
+        break;
+    }
+    return true;
+  }
+
+  /// Timer loop: drives flush deadlines for partially-filled outboxes,
+  /// retransmit batches for unacked tokens (fresh dice per flush,
+  /// exponential backoff, give-up after maxAttempts fails the run), and
+  /// fault-injected delayed sends (the original wire image, no dice).
   void timerMain() {
     std::unique_lock<std::mutex> g(m_);
     while (!timerStop_) {
@@ -634,47 +1109,34 @@ class UdpTransport final : public Transport {
         timerCv_.wait(g, [&] { return timerStop_ || !heap_.empty(); });
         continue;
       }
-      const auto due = heap_.top().due;
+      const auto due = heap_.front().due;
       if (timerCv_.wait_until(g, due, [&] {
-            return timerStop_ || heap_.top().due < due;
+            return timerStop_ || heap_.front().due < due;
           })) {
         if (timerStop_) break;
         continue;  // an earlier event was parked; recompute the sleep
       }
-      while (!heap_.empty() && heap_.top().due <= Clock::now()) {
-        const TimerEv ev = heap_.top();
-        heap_.pop();
-        auto it = unacked_.find(ev.msgId);
-        if (it == unacked_.end()) continue;  // acked: nothing left to do
-        if (ev.delayedSend) {
-          const Unacked u = it->second;
-          g.unlock();
-          xmitToken(u);
-          g.lock();
-          continue;
+      while (!heap_.empty() && heap_.front().due <= Clock::now()) {
+        std::pop_heap(heap_.begin(), heap_.end(), EvLater{});
+        TimerEv ev = std::move(heap_.back());
+        heap_.pop_back();
+        switch (ev.kind) {
+          case TimerEv::Kind::Flush:
+            g.unlock();
+            flushLink(ev.fromPe, ev.toPe, FlushWhy::Deadline);
+            g.lock();
+            break;
+          case TimerEv::Kind::DelayedWire:
+            g.unlock();
+            xmitWire(ev.fromPe, ev.toPe, ev.wire.data(), ev.wire.size());
+            g.lock();
+            break;
+          case TimerEv::Kind::Retx:
+            g.unlock();
+            fireRetx(ev.fromPe, ev.toPe);
+            g.lock();
+            break;
         }
-        const proto::TimeoutDecision d = sender_.onTimeout(ev.msgId);
-        if (d.kind == proto::TimeoutDecision::Kind::Stale) continue;
-        if (d.kind == proto::TimeoutDecision::Kind::GiveUp) {
-          const Unacked u = it->second;
-          unacked_.erase(it);
-          g.unlock();
-          sink_.transportFail(
-              "udp transport: reliable delivery gave up on a token from "
-              "worker " +
-              std::to_string(u.fromPe) + " to worker " +
-              std::to_string(u.toPe) + " after " +
-              std::to_string(d.attempt) + " attempts");
-          g.lock();
-          continue;
-        }
-        const Unacked u = it->second;
-        heap_.push(TimerEv{Clock::now() + micros(d.backoffUs), ev.msgId,
-                           /*delayedSend=*/false});
-        link(u.fromPe, u.toPe).retx.fetch_add(1);
-        g.unlock();
-        attemptTransmit(u, ev.msgId);
-        g.lock();
       }
     }
   }
@@ -687,20 +1149,23 @@ class UdpTransport final : public Transport {
   /// PE owned by its receiver thread (read by addStats after join).
   proto::Delivery sender_;
   std::vector<proto::Delivery> rx_;
+  /// Per-link outboxes (lazily allocated; see linkOut) and a per-source
+  /// count of non-empty ones so the worker-loop flush is one atomic load
+  /// when nothing is pending.
+  std::unique_ptr<std::atomic<LinkOut*>[]> outSlots_;
+  std::unique_ptr<std::atomic<int>[]> dirtySrc_;
 
   std::vector<int> fds_;
   std::vector<sockaddr_in> addrs_;
-  std::vector<std::thread> rxThreads_;
+  std::thread rxThread_;
   std::thread timerThread_;
   std::atomic<bool> rxStop_{false};
 
-  mutable std::mutex m_;  // guards unacked_, heap_, timerStop_, sender_
+  mutable std::mutex m_;  // guards heap_, timerStop_, sender_
   std::condition_variable timerCv_;
-  std::unordered_map<std::uint64_t, Unacked> unacked_;
-  std::priority_queue<TimerEv, std::vector<TimerEv>, EvLater> heap_;
+  std::vector<TimerEv> heap_;  // min-heap on due (std::push_heap/pop_heap)
   bool timerStop_ = false;
 
-  std::atomic<std::uint64_t> nextMsgId_{0};
   std::atomic<std::uint64_t> txSeq_{0};
   std::atomic<std::int64_t> tokensSent_{0};
   std::atomic<std::int64_t> datagramsSent_{0};
@@ -711,6 +1176,12 @@ class UdpTransport final : public Transport {
   std::atomic<std::int64_t> acksRecv_{0};
   std::atomic<std::int64_t> sendErrors_{0};
   std::atomic<std::int64_t> badDatagrams_{0};
+  std::atomic<std::int64_t> batchDgrams_{0};
+  std::atomic<std::int64_t> batchTokens_{0};
+  std::atomic<std::int64_t> flushFull_{0};
+  std::atomic<std::int64_t> flushDeadline_{0};
+  std::atomic<std::int64_t> flushDrain_{0};
+  std::atomic<std::int64_t> flushRetx_{0};
   std::atomic<std::int64_t> faultDrops_{0};
   std::atomic<std::int64_t> faultDups_{0};
   std::atomic<std::int64_t> faultDelays_{0};
@@ -770,6 +1241,63 @@ bool wireDecodeToken(const std::uint8_t* data, std::size_t len, NToken& tok,
   tok.senderCtx = get64(data + 41);
   tok.sendKey = get64(data + 49);
   tok.wakeKey = get64(data + 57);
+  return true;
+}
+
+std::size_t wireEncodeBatch(const NToken* toks, int count, std::uint16_t srcPe,
+                            std::uint8_t* out) {
+  PODS_CHECK_MSG(count >= 1 && count <= kBatchMaxTokens,
+                 "wireEncodeBatch: count out of range");
+  if (count == 1) {
+    wireEncodeToken(toks[0], srcPe, out);
+    return kTokenWireBytes;
+  }
+  out[0] = kTypeBatch;
+  put16(out + 1, srcPe);
+  put16(out + 3, static_cast<std::uint16_t>(count));
+  for (int i = 0; i < count; ++i)
+    wireEncodeToken(toks[i], srcPe,
+                    out + kBatchHeaderBytes +
+                        static_cast<std::size_t>(i) * kTokenWireBytes);
+  return kBatchHeaderBytes + static_cast<std::size_t>(count) * kTokenWireBytes;
+}
+
+bool wireDecodeBatch(const std::uint8_t* data, std::size_t len,
+                     std::vector<NToken>& out, std::uint16_t* srcPe) {
+  out.clear();
+  if (len < 1) return false;
+  if (data[0] == kTypeToken) {
+    NToken tok;
+    std::uint16_t src = 0;
+    if (!wireDecodeToken(data, len, tok, &src)) return false;
+    if (srcPe) *srcPe = src;
+    out.push_back(tok);
+    return true;
+  }
+  if (data[0] != kTypeBatch || len < kBatchHeaderBytes) return false;
+  const std::uint16_t src = get16(data + 1);
+  const int count = get16(data + 3);
+  // A 1-record batch is never emitted (it goes out as the bare legacy
+  // token datagram), so count < 2 is malformed, as is any length that is
+  // not exactly header + count records (truncation or trailing junk).
+  if (count < 2 || count > kBatchMaxTokens) return false;
+  if (len != kBatchHeaderBytes +
+                 static_cast<std::size_t>(count) * kTokenWireBytes)
+    return false;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    NToken tok;
+    std::uint16_t recSrc = 0;
+    if (!wireDecodeToken(data + kBatchHeaderBytes +
+                             static_cast<std::size_t>(i) * kTokenWireBytes,
+                         kTokenWireBytes, tok, &recSrc) ||
+        recSrc != src) {
+      out.clear();  // all-or-nothing: one bad record rejects the datagram
+      return false;
+    }
+    out.push_back(tok);
+  }
+  if (srcPe) *srcPe = src;
   return true;
 }
 

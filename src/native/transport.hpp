@@ -12,14 +12,19 @@
 //    retransmit daemon (exponential backoff, receiver msgId dedup).
 //  - UdpTransport: every PE binds its own UDP socket on 127.0.0.1 and
 //    tokens travel as serialized datagrams — a true multi-node stand-in.
-//    UDP may drop, duplicate, or reorder even on loopback, so this
-//    transport ALWAYS runs a reliable-delivery protocol: each token
-//    datagram is acknowledged by the receiver, unacked tokens are
-//    retransmitted with exponential backoff, and the receiver suppresses
-//    duplicates by message id before they reach the inbox. FaultPlan
-//    injection composes at the datagram level (token sends AND acks roll
-//    the seeded dice), so `--faults=drop/dup/delay` specs and kill
-//    recovery work unchanged over real sockets.
+//    Tokens for one destination coalesce into MTU-sized batch datagrams
+//    (flushed when full, when the sending worker's loop comes around, or by
+//    a 50 µs deadline timer). UDP may drop, duplicate, or reorder even on
+//    loopback, so this transport ALWAYS runs a reliable-delivery protocol:
+//    each (src,dst) link numbers its tokens with a dense sequence, the
+//    receiver answers every batch with one cumulative ack (highest
+//    contiguous seq + selective bitmap), unacked tokens are retransmitted
+//    with exponential backoff (riding later batches, keeping their original
+//    msgId), and the receiver suppresses duplicates by link sequence before
+//    they reach the inbox. FaultPlan injection composes at the datagram
+//    level (batch sends AND acks roll the seeded dice), so
+//    `--faults=drop/dup/delay` specs and kill recovery work unchanged over
+//    real sockets.
 //
 // Quiescence contract: the machine charges `pending`/`inboxTokens` once per
 // logical token at send time, and the charges are released only when the
@@ -83,7 +88,13 @@ class TransportSink {
   virtual ~TransportSink() = default;
   /// Hands a token to the destination PE's inbox. The token's quiescence
   /// charges were made at send time and ride along untouched.
-  virtual void deposit(int pe, NToken tok) = 0;
+  ///
+  /// `lane` selects the destination's SPSC inbox ring and must identify the
+  /// calling thread uniquely per destination: sending worker threads pass
+  /// their own PE id (lanes 0..numPes-1); a transport's service thread (the
+  /// inbox retransmit daemon, the UDP receiver thread) passes numPes. The
+  /// single-producer invariant is what lets the ring run lock-free.
+  virtual void deposit(int pe, int lane, NToken tok) = 0;
   /// Charges one extra in-flight token: an injected duplicate copy that
   /// will reach the inbox and be consumed by the receiver's msgId dedup.
   virtual void chargeDuplicate() = 0;
@@ -102,7 +113,14 @@ class Transport {
   virtual bool start(std::string* err) = 0;
   /// Asynchronously moves one token from `fromPe` toward `toPe`'s inbox.
   /// The caller has already charged the quiescence ledger for one copy.
+  /// Batching transports may park the token in a per-link outbox; the
+  /// charge keeps it visible to the quiescence protocol until drained.
   virtual void send(int fromPe, int toPe, NToken tok) = 0;
+  /// Ships any tokens coalescing in `fromPe`'s outboxes. The sending
+  /// worker calls this at the top of its scheduling loop, so every path
+  /// from a send to a cv-wait passes a flush — the deadline timer is a
+  /// latency backstop, not a liveness requirement. No-op by default.
+  virtual void flush(int fromPe) { (void)fromPe; }
   /// Stops service threads. Tokens still parked in retransmit queues at
   /// stop() were already either delivered (late acks) or the run failed.
   virtual void stop() = 0;
@@ -128,5 +146,27 @@ void wireEncodeToken(const NToken& tok, std::uint16_t srcPe,
                      std::uint8_t out[kTokenWireBytes]);
 bool wireDecodeToken(const std::uint8_t* data, std::size_t len, NToken& tok,
                      std::uint16_t* srcPe);
+
+/// Batch datagram: 5-byte header (type, srcPe u16, count u16) followed by
+/// `count` full 65-byte token records. Sized to fit a common 1400-byte MTU
+/// budget — 21 tokens per datagram. A single-token flush is emitted as the
+/// bare 65-byte record, so 1-token "batches" are bit-identical to the
+/// legacy wire format.
+constexpr std::size_t kBatchHeaderBytes = 5;
+constexpr std::size_t kBatchMaxBytes = 1400;
+constexpr int kBatchMaxTokens =
+    static_cast<int>((kBatchMaxBytes - kBatchHeaderBytes) / kTokenWireBytes);
+
+/// Encodes `count` tokens (1..kBatchMaxTokens) into one datagram image;
+/// returns its length. count==1 produces the legacy single-token format.
+std::size_t wireEncodeBatch(const NToken* toks, int count, std::uint16_t srcPe,
+                            std::uint8_t* out /* >= kBatchMaxBytes */);
+
+/// Decodes a token-carrying datagram (legacy single-token or batch) into
+/// `out`. All-or-nothing: a truncated datagram, trailing junk, a malformed
+/// record, or a record whose srcPe disagrees with the header rejects the
+/// whole datagram (returns false, `out` left empty).
+bool wireDecodeBatch(const std::uint8_t* data, std::size_t len,
+                     std::vector<NToken>& out, std::uint16_t* srcPe);
 
 }  // namespace pods::native

@@ -32,9 +32,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "support/fault.hpp"
 #include "support/stats.hpp"
@@ -96,10 +99,68 @@ class Delivery {
 
   /// An acknowledgment arrived; retires the message from the window.
   /// Duplicate / late acks are harmless no-ops.
-  void onAck(std::uint64_t msgId) { window_.erase(msgId); }
+  void onAck(std::uint64_t msgId);
 
   bool inFlight(std::uint64_t msgId) const { return window_.count(msgId) != 0; }
   std::size_t windowSize() const { return window_.size(); }
+
+  // ---- Per-link sequence windows (batched drivers) ---------------------
+  // A batching driver numbers tokens per (srcPe,dstPe) link with a dense
+  // 1-based sequence and packs the link into the msgId so one cumulative
+  // ack can retire a whole prefix of the window. The plain onSend/onAck
+  // path and these batch entry points share window_ — a driver uses one
+  // style per Delivery instance, and a retransmitted token riding a later
+  // batch keeps its original msgId, so it is never re-registered (no
+  // double entry in the window, no double quiescence charge downstream).
+
+  /// msgId layout: [63:56]=srcPe, [55:48]=dstPe, [47:0]=seq (1-based).
+  /// PE ids fit 8 bits (NativeConfig caps workers at 256); seq 1 keeps
+  /// msgId nonzero so accept()'s "0 = unrouted" convention still holds.
+  static std::uint64_t packLinkMsgId(int srcPe, int dstPe, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(srcPe & 0xFF) << 56) |
+           (static_cast<std::uint64_t>(dstPe & 0xFF) << 48) |
+           (seq & 0xFFFFFFFFFFFFULL);
+  }
+  static std::uint64_t linkMsgIdSeq(std::uint64_t msgId) {
+    return msgId & 0xFFFFFFFFFFFFULL;
+  }
+  static std::uint32_t linkMsgIdLink(std::uint64_t msgId) {
+    return static_cast<std::uint32_t>(msgId >> 48);
+  }
+
+  /// Register `count` fresh consecutive messages (attempt 1 each) starting
+  /// at `firstMsgId` — the fresh tokens of one flushed batch. Retransmits
+  /// riding the same batch are already in the window and must not be
+  /// re-registered.
+  void onSendBatch(std::uint64_t firstMsgId, int count);
+
+  /// A cumulative ack for link (srcPe,dstPe) arrived: every seq <= cumSeq
+  /// is delivered, plus seq cumSeq+1+i for each set bit i of `bitmap`
+  /// (selective acks above the contiguous prefix). Retires all newly-acked
+  /// messages and returns their msgIds so the driver can drop buffered
+  /// wire images.
+  std::vector<std::uint64_t> onCumAck(int srcPe, int dstPe,
+                                      std::uint64_t cumSeq,
+                                      std::uint64_t bitmap);
+
+  /// Receiver half of the link window: first delivery of (srcPe,dstPe,seq)?
+  /// Counts kDupSuppressed and returns false on a redelivery. Unlike the
+  /// flat seen_ set this state is bounded by the reordering span: the
+  /// contiguous prefix collapses into one cursor.
+  bool acceptSeq(int srcPe, int dstPe, std::uint64_t seq);
+
+  /// True when (srcPe,dstPe,seq) has already been recorded by acceptSeq —
+  /// the receive-before-deposit ordering assertion (a token must be in the
+  /// dedup ledger before its inbox-ring deposit charges quiescence).
+  bool seenSeq(int srcPe, int dstPe, std::uint64_t seq) const;
+
+  /// Snapshot of the receive window for composing a cumulative ack:
+  /// highest contiguously received seq + bitmap of cum+1..cum+64.
+  struct CumAckView {
+    std::uint64_t cum = 0;
+    std::uint64_t bitmap = 0;
+  };
+  CumAckView cumAckView(int srcPe, int dstPe) const;
 
   /// A retransmit timer fired. `expectedAttempt` guards against stale
   /// timers in drivers whose timer events carry the attempt they were armed
@@ -126,6 +187,7 @@ class Delivery {
   void resetReceiver() {
     seen_.clear();
     retired_.clear();
+    linkRecv_.clear();
   }
 
   // ---- Accounting ----------------------------------------------------
@@ -142,9 +204,22 @@ class Delivery {
   static void registerInjectionCounters(Counters& out);
 
  private:
+  /// Per-link receive window: cursor for the contiguous prefix plus the
+  /// (sparse, reordering-bounded) set of seqs received above it.
+  struct RecvWin {
+    std::uint64_t cum = 0;
+    std::set<std::uint64_t> above;
+  };
+
+  void eraseLinkInFlight(std::uint64_t msgId);
+
   RetryPolicy policy_{};
   double baseRtoUs_ = RetryPolicy{}.rtoUs;
   std::unordered_map<std::uint64_t, int> window_;
+  /// Sender-side mirror of window_ keyed by link, ordered by seq so a
+  /// cumulative ack can walk the acked prefix and stop at the first hole.
+  std::unordered_map<std::uint32_t, std::set<std::uint64_t>> linkInFlight_;
+  std::unordered_map<std::uint32_t, RecvWin> linkRecv_;
   std::unordered_set<std::uint64_t> seen_;
   std::unordered_set<std::uint64_t> retired_;
   Counters counters_;

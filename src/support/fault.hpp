@@ -42,8 +42,11 @@ struct RetryPolicy {
   /// Floor applied when fault injection is *off* but the transport is still
   /// inherently lossy (UDP on loopback): 500 us causes spurious retransmits
   /// against real kernel scheduling jitter, so fault-free wall-clock drivers
-  /// use at least this RTO.
-  double faultFreeFloorUs = 5000.0;
+  /// use at least this RTO. Loopback fault-free only ever loses a datagram
+  /// to kernel-buffer exhaustion, so a generous floor costs nothing in the
+  /// common case — while a tight one turns every scheduling hiccup (and
+  /// every lazily-acked batch stream) into a retransmit storm.
+  double faultFreeFloorUs = 25000.0;
 
   /// Base timeout for attempt 1 — the configured RTO, or the lossless-floor
   /// maximum when injection is disabled.

@@ -127,6 +127,124 @@ TEST(DeliverySender, ExpectedAttemptGuardsSupersededTimers) {
   EXPECT_EQ(d.onTimeout(42).kind, proto::TimeoutDecision::Kind::Stale);
 }
 
+// --- Delivery per-link sequence windows (batched drivers) --------------------
+
+TEST(DeliveryBatchWindow, PackLinkMsgIdRoundTripsAndStaysNonzero) {
+  const std::uint64_t id = proto::Delivery::packLinkMsgId(3, 7, 42);
+  EXPECT_EQ(proto::Delivery::linkMsgIdSeq(id), 42u);
+  EXPECT_EQ(proto::Delivery::linkMsgIdLink(id),
+            proto::Delivery::linkMsgIdLink(
+                proto::Delivery::packLinkMsgId(3, 7, 9999)));
+  EXPECT_NE(proto::Delivery::linkMsgIdLink(id),
+            proto::Delivery::linkMsgIdLink(
+                proto::Delivery::packLinkMsgId(7, 3, 42)));
+  // seq is 1-based, so every link msgId is nonzero (accept()'s "0 means
+  // unrouted" convention stays safe).
+  EXPECT_NE(proto::Delivery::packLinkMsgId(0, 0, 1), 0u);
+}
+
+TEST(DeliveryBatchWindow, CumAckRetiresContiguousPrefix) {
+  proto::Delivery d(proto::RetryPolicy{}, true);
+  const std::uint64_t first = proto::Delivery::packLinkMsgId(1, 2, 1);
+  d.onSendBatch(first, 5);  // seqs 1..5 in flight
+  EXPECT_EQ(d.windowSize(), 5u);
+
+  auto retired = d.onCumAck(1, 2, 3, 0);  // everything through seq 3
+  ASSERT_EQ(retired.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    EXPECT_EQ(proto::Delivery::linkMsgIdSeq(retired[i]), i + 1);
+  EXPECT_EQ(d.windowSize(), 2u);
+  EXPECT_FALSE(d.inFlight(first));
+  EXPECT_TRUE(d.inFlight(first + 3));
+
+  // A later (cumulative) ack re-covering the prefix is a harmless no-op.
+  EXPECT_TRUE(d.onCumAck(1, 2, 2, 0).empty());
+  // Acks for a different link never touch this window.
+  EXPECT_TRUE(d.onCumAck(2, 1, 5, 0).empty());
+  EXPECT_EQ(d.windowSize(), 2u);
+}
+
+TEST(DeliveryBatchWindow, CumAckBitmapRetiresSelectively) {
+  proto::Delivery d(proto::RetryPolicy{}, true);
+  const std::uint64_t first = proto::Delivery::packLinkMsgId(0, 1, 1);
+  d.onSendBatch(first, 6);  // seqs 1..6
+  // cum=1, bitmap bit0 -> seq 2, bit3 -> seq 5: holes at 3, 4, 6.
+  auto retired = d.onCumAck(0, 1, 1, 0b1001);
+  ASSERT_EQ(retired.size(), 3u);
+  EXPECT_EQ(d.windowSize(), 3u);
+  EXPECT_TRUE(d.inFlight(first + 2));   // seq 3
+  EXPECT_TRUE(d.inFlight(first + 3));   // seq 4
+  EXPECT_FALSE(d.inFlight(first + 4));  // seq 5: bitmap-acked
+  EXPECT_TRUE(d.inFlight(first + 5));   // seq 6
+  // The holes still drive retransmission through the normal window path.
+  EXPECT_EQ(d.onTimeout(first + 2).kind,
+            proto::TimeoutDecision::Kind::Retransmit);
+  EXPECT_EQ(d.onTimeout(first + 4).kind, proto::TimeoutDecision::Kind::Stale);
+}
+
+TEST(DeliveryBatchWindow, RetransmittedTokenIsNeverReRegistered) {
+  proto::Delivery d(proto::RetryPolicy{}, true);
+  const std::uint64_t first = proto::Delivery::packLinkMsgId(2, 4, 1);
+  d.onSendBatch(first, 2);
+  // A retransmit rides a later batch with its ORIGINAL msgId; only genuinely
+  // fresh tokens are batch-registered, so the window stays at one entry per
+  // logical message and attempt counts keep climbing monotonically.
+  ASSERT_EQ(d.onTimeout(first).attempt, 2);
+  EXPECT_EQ(d.windowSize(), 2u);
+  ASSERT_EQ(d.onTimeout(first).attempt, 3);
+  EXPECT_EQ(d.windowSize(), 2u);
+  auto retired = d.onCumAck(2, 4, 2, 0);
+  EXPECT_EQ(retired.size(), 2u);
+  EXPECT_EQ(d.windowSize(), 0u);
+}
+
+TEST(DeliveryBatchWindow, AcceptSeqDedupsAndSeenSeqAgrees) {
+  proto::Delivery d(proto::RetryPolicy{}, true);
+  EXPECT_FALSE(d.seenSeq(1, 0, 1));
+  EXPECT_TRUE(d.acceptSeq(1, 0, 1));
+  EXPECT_TRUE(d.seenSeq(1, 0, 1));
+  EXPECT_FALSE(d.acceptSeq(1, 0, 1));  // retransmitted duplicate
+  // Out-of-order arrival: 3 before 2, both fresh exactly once.
+  EXPECT_TRUE(d.acceptSeq(1, 0, 3));
+  EXPECT_FALSE(d.acceptSeq(1, 0, 3));
+  EXPECT_TRUE(d.acceptSeq(1, 0, 2));
+  EXPECT_FALSE(d.acceptSeq(1, 0, 2));  // now inside the contiguous prefix
+  // Links are independent: the reverse direction starts fresh.
+  EXPECT_TRUE(d.acceptSeq(0, 1, 1));
+  Counters c;
+  d.addStats(c);
+  EXPECT_EQ(c.get(proto::kDupSuppressed), 3);
+}
+
+TEST(DeliveryBatchWindow, CumAckViewTracksHolesThenCollapses) {
+  proto::Delivery d(proto::RetryPolicy{}, true);
+  EXPECT_EQ(d.cumAckView(2, 0).cum, 0u);
+  EXPECT_EQ(d.cumAckView(2, 0).bitmap, 0u);
+  EXPECT_TRUE(d.acceptSeq(2, 0, 1));
+  EXPECT_TRUE(d.acceptSeq(2, 0, 4));
+  EXPECT_TRUE(d.acceptSeq(2, 0, 5));
+  auto v = d.cumAckView(2, 0);
+  EXPECT_EQ(v.cum, 1u);
+  EXPECT_EQ(v.bitmap, 0b1100u);  // bits for seqs 4 and 5 (cum+3, cum+4)
+  EXPECT_TRUE(d.acceptSeq(2, 0, 2));
+  EXPECT_TRUE(d.acceptSeq(2, 0, 3));
+  v = d.cumAckView(2, 0);
+  EXPECT_EQ(v.cum, 5u);  // prefix collapsed through the former holes
+  EXPECT_EQ(v.bitmap, 0u);
+}
+
+TEST(DeliveryBatchWindow, ResetReceiverWipesLinkWindows) {
+  proto::Delivery d(proto::RetryPolicy{}, true);
+  EXPECT_TRUE(d.acceptSeq(3, 1, 1));
+  EXPECT_TRUE(d.acceptSeq(3, 1, 2));
+  d.resetReceiver();
+  // Fail-stop: the link receive window is volatile PE state and rebuilds
+  // from scratch; redelivered tokens are fresh again (recovery-log dedup
+  // above this layer keeps non-idempotent effects exactly-once).
+  EXPECT_FALSE(d.seenSeq(3, 1, 1));
+  EXPECT_TRUE(d.acceptSeq(3, 1, 1));
+}
+
 // --- Delivery receiver ledger -----------------------------------------------
 
 TEST(DeliveryReceiver, DuplicateMsgIdsAreSuppressedOnce) {

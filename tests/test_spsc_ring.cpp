@@ -1,0 +1,104 @@
+// SPSC inbox-ring tests (docs/ARCHITECTURE.md, "Native transport").
+//
+// The ring carries every cross-PE token of the native machine, so the
+// properties under test are exactly the ones the quiescence protocol leans
+// on: FIFO order per lane, no loss, no duplication, a conclusive full/empty
+// discipline (a failed push must leave the value intact for the overflow
+// fallback), and wrap-safety of the 32-bit indices. Test names start with
+// NativeSpscRing so the sanitizer jobs' `Native*` filters include them —
+// the two-thread transfer test is the interesting one under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "native/spsc_ring.hpp"
+
+namespace pods::native {
+namespace {
+
+TEST(NativeSpscRing, FifoSingleThread) {
+  SpscRing<int> r(8);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.capacity(), 8u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(r.tryPush(int{i}));
+  EXPECT_FALSE(r.empty());
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(r.tryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.tryPop(out));
+}
+
+TEST(NativeSpscRing, FullRingRejectsPushAndKeepsValue) {
+  SpscRing<std::vector<int>> r(4);
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(r.tryPush(std::vector<int>{i, i, i}));
+  // The failed push must NOT consume the moved-from value: the machine
+  // falls back to the overflow deque with the same token.
+  std::vector<int> v{9, 9, 9};
+  EXPECT_FALSE(r.tryPush(std::move(v)));
+  EXPECT_EQ(v.size(), 3u) << "rejected push must leave the payload intact";
+  std::vector<int> out;
+  ASSERT_TRUE(r.tryPop(out));
+  EXPECT_EQ(out, (std::vector<int>{0, 0, 0}));
+  // One slot freed: the push succeeds now.
+  EXPECT_TRUE(r.tryPush(std::move(v)));
+}
+
+TEST(NativeSpscRing, WrapAroundPreservesFifo) {
+  SpscRing<std::uint32_t> r(4);
+  std::uint32_t next = 0, expect = 0, out = 0;
+  // Many laps around the 4-slot ring: indices keep increasing, slots wrap.
+  for (int lap = 0; lap < 1000; ++lap) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(r.tryPush(std::uint32_t{next++}));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(r.tryPop(out));
+      ASSERT_EQ(out, expect++);
+    }
+  }
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(NativeSpscRing, TwoThreadTransferIsLosslessAndOrdered) {
+  constexpr std::uint32_t kItems = 200000;
+  SpscRing<std::uint32_t> r(64);
+  std::atomic<std::uint64_t> popped{0};
+  std::thread consumer([&] {
+    std::uint32_t expect = 0;
+    std::uint32_t out = 0;
+    while (expect < kItems) {
+      if (r.tryPop(out)) {
+        ASSERT_EQ(out, expect);  // FIFO, no loss, no duplication
+        ++expect;
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (std::uint32_t i = 0; i < kItems;) {
+    if (r.tryPush(std::uint32_t{i})) ++i;
+  }
+  consumer.join();
+  EXPECT_EQ(popped.load(), kItems);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(NativeSpscRing, EmptyProbeIsSafeFromBothSides) {
+  SpscRing<int> r(2);
+  EXPECT_TRUE(r.empty());
+  ASSERT_TRUE(r.tryPush(1));
+  EXPECT_FALSE(r.empty());
+  ASSERT_TRUE(r.tryPush(2));
+  int out = 0;
+  ASSERT_TRUE(r.tryPop(out));
+  ASSERT_TRUE(r.tryPop(out));
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace pods::native

@@ -12,10 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/pods.hpp"
 #include "native/transport.hpp"
+#include "proto/delivery.hpp"
 #include "support/fault.hpp"
 #include "workloads/simple.hpp"
 
@@ -150,6 +152,134 @@ TEST(TransportWire, RejectsMalformedDatagrams) {
   EXPECT_EQ(out.v.asInt(), 17);
 }
 
+// --- batch wire format ------------------------------------------------------
+
+native::NToken wireFuzzToken(std::uint64_t i) {
+  native::NToken tok;
+  tok.toCont = (i & 1) != 0;
+  tok.add = (i & 2) != 0;
+  tok.spCode = static_cast<std::uint16_t>(0x1000 + i);
+  tok.ctx = 0x0123456789ABCDEFULL ^ (i * 0x9E3779B97F4A7C15ULL);
+  tok.slot = static_cast<std::uint16_t>(i * 7);
+  tok.v = Value::intv(static_cast<std::int64_t>(i) - 3);
+  tok.msgId = proto::Delivery::packLinkMsgId(3, 5, i + 1);
+  tok.senderCtx = i * 31;
+  tok.sendKey = i * 17;
+  tok.wakeKey = i % 3 == 0 ? 0 : (1ULL << 62) | i;
+  return tok;
+}
+
+TEST(TransportWire, BatchRoundTripsAtEverySize) {
+  for (int count = 2; count <= native::kBatchMaxTokens; ++count) {
+    std::vector<native::NToken> toks;
+    for (int i = 0; i < count; ++i)
+      toks.push_back(wireFuzzToken(static_cast<std::uint64_t>(i)));
+    std::uint8_t dgram[native::kBatchMaxBytes];
+    const std::size_t len =
+        native::wireEncodeBatch(toks.data(), count, 3, dgram);
+    ASSERT_EQ(len, native::kBatchHeaderBytes +
+                       static_cast<std::size_t>(count) *
+                           native::kTokenWireBytes);
+    std::vector<native::NToken> back;
+    std::uint16_t srcPe = 0;
+    ASSERT_TRUE(native::wireDecodeBatch(dgram, len, back, &srcPe))
+        << "count=" << count;
+    EXPECT_EQ(srcPe, 3);
+    ASSERT_EQ(back.size(), static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      EXPECT_EQ(back[static_cast<std::size_t>(i)].msgId,
+                toks[static_cast<std::size_t>(i)].msgId);
+      EXPECT_EQ(back[static_cast<std::size_t>(i)].ctx,
+                toks[static_cast<std::size_t>(i)].ctx);
+      EXPECT_EQ(back[static_cast<std::size_t>(i)].v.bits,
+                toks[static_cast<std::size_t>(i)].v.bits);
+    }
+  }
+}
+
+TEST(TransportWire, SingleTokenBatchIsBitIdenticalToLegacyFormat) {
+  const native::NToken tok = wireFuzzToken(9);
+  std::uint8_t legacy[native::kTokenWireBytes];
+  native::wireEncodeToken(tok, 3, legacy);
+  std::uint8_t batched[native::kBatchMaxBytes];
+  const std::size_t len = native::wireEncodeBatch(&tok, 1, 3, batched);
+  ASSERT_EQ(len, native::kTokenWireBytes);
+  EXPECT_EQ(0, std::memcmp(legacy, batched, len));
+  // And the batch decoder accepts the legacy image as a 1-token batch.
+  std::vector<native::NToken> back;
+  std::uint16_t srcPe = 0;
+  ASSERT_TRUE(native::wireDecodeBatch(legacy, len, back, &srcPe));
+  EXPECT_EQ(srcPe, 3);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].msgId, tok.msgId);
+}
+
+TEST(TransportWire, BatchDecodeIsAllOrNothing) {
+  std::vector<native::NToken> toks;
+  for (int i = 0; i < 3; ++i)
+    toks.push_back(wireFuzzToken(static_cast<std::uint64_t>(i)));
+  std::uint8_t dgram[native::kBatchMaxBytes];
+  const std::size_t len = native::wireEncodeBatch(toks.data(), 3, 4, dgram);
+
+  std::vector<native::NToken> out;
+  // Every truncation point rejects — including cuts that leave a whole
+  // number of records (the header count must match exactly).
+  for (std::size_t cut = 0; cut < len; ++cut) {
+    EXPECT_FALSE(native::wireDecodeBatch(dgram, cut, out, nullptr))
+        << "cut=" << cut;
+    EXPECT_TRUE(out.empty()) << "cut=" << cut;
+  }
+  // Trailing junk rejects.
+  std::uint8_t extended[native::kBatchMaxBytes + 8];
+  std::memcpy(extended, dgram, len);
+  extended[len] = 0xAB;
+  EXPECT_FALSE(native::wireDecodeBatch(extended, len + 1, out, nullptr));
+  EXPECT_TRUE(out.empty());
+  // A corrupt record mid-batch rejects the whole datagram.
+  std::uint8_t corrupt[native::kBatchMaxBytes];
+  std::memcpy(corrupt, dgram, len);
+  corrupt[native::kBatchHeaderBytes + native::kTokenWireBytes + 24] =
+      0xEE;  // second record's value tag out of range
+  EXPECT_FALSE(native::wireDecodeBatch(corrupt, len, out, nullptr));
+  EXPECT_TRUE(out.empty());
+  // A record whose srcPe disagrees with the batch header rejects.
+  std::memcpy(corrupt, dgram, len);
+  corrupt[native::kBatchHeaderBytes + 2] = 0x77;  // first record's srcPe
+  EXPECT_FALSE(native::wireDecodeBatch(corrupt, len, out, nullptr));
+  EXPECT_TRUE(out.empty());
+  // The untouched image still decodes.
+  EXPECT_TRUE(native::wireDecodeBatch(dgram, len, out, nullptr));
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(TransportWire, BatchHeaderRejectsBadCounts) {
+  std::vector<native::NToken> toks;
+  for (int i = 0; i < 2; ++i)
+    toks.push_back(wireFuzzToken(static_cast<std::uint64_t>(i)));
+  std::uint8_t dgram[native::kBatchMaxBytes];
+  const std::size_t len = native::wireEncodeBatch(toks.data(), 2, 4, dgram);
+  std::vector<native::NToken> out;
+
+  // count < 2 in explicit batch framing is malformed (a real single token
+  // ships as the bare legacy record).
+  std::uint8_t bad[native::kBatchMaxBytes];
+  std::memcpy(bad, dgram, len);
+  bad[3] = 0;
+  bad[4] = 0;
+  EXPECT_FALSE(native::wireDecodeBatch(bad, len, out, nullptr));
+  bad[3] = 1;
+  EXPECT_FALSE(native::wireDecodeBatch(bad, len, out, nullptr));
+  // count beyond the MTU budget is malformed no matter the length.
+  std::memcpy(bad, dgram, len);
+  bad[3] = static_cast<std::uint8_t>(native::kBatchMaxTokens + 1);
+  EXPECT_FALSE(native::wireDecodeBatch(bad, len, out, nullptr));
+  // count disagreeing with the datagram length is malformed.
+  std::memcpy(bad, dgram, len);
+  bad[3] = 3;
+  EXPECT_FALSE(native::wireDecodeBatch(bad, len, out, nullptr));
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(TransportKindParse, NamesRoundTrip) {
   native::TransportKind k = native::TransportKind::Udp;
   ASSERT_TRUE(native::parseTransportKind("inbox", k));
@@ -189,8 +319,25 @@ TEST(UdpTransport, SimpleBitIdenticalToInboxAcrossPeCounts) {
       EXPECT_EQ(run.stats.counters.get("net.udp.acksRecv"),
                 run.stats.counters.get("net.udp.acksSent"))
           << "workers=" << workers;
+      // Batching must be live: fewer datagrams than tokens.
+      EXPECT_GT(run.stats.counters.get("net.udp.batch.datagrams"), 0)
+          << "workers=" << workers;
+      EXPECT_LT(run.stats.counters.get("net.udp.batch.datagrams"),
+                run.stats.counters.get("net.udp.tokensSent"))
+          << "workers=" << workers;
     } else {
       EXPECT_EQ(run.stats.counters.get("net.udp.tokensSent"), 0);
+    }
+    // The UDP counter set is registered unconditionally — a run that never
+    // hits a send error still reports the zero (satellite: sendErrors must
+    // be visible in `podsc --stats`).
+    for (const char* key :
+         {"net.udp.sendErrors", "net.udp.badDatagrams",
+          "net.udp.batch.datagrams", "net.udp.batch.tokensPerDgram",
+          "net.udp.batch.flushFull", "net.udp.batch.flushDeadline",
+          "net.udp.batch.flushDrain", "net.udp.batch.flushRetx"}) {
+      EXPECT_EQ(run.stats.counters.all().count(key), 1u)
+          << "workers=" << workers << " missing " << key;
     }
   }
 }
@@ -261,8 +408,20 @@ TEST(UdpTransport, PerLinkCountersSumToAggregates) {
   EXPECT_EQ(linkTokens, run.stats.counters.get("net.udp.tokensSent"));
   EXPECT_EQ(linkDatagrams, run.stats.counters.get("net.udp.datagramsSent"));
   EXPECT_EQ(linkBytes, run.stats.counters.get("net.udp.bytesSent"));
-  EXPECT_EQ(linkBytes, linkDatagrams *
-                           static_cast<std::int64_t>(native::kTokenWireBytes));
+  // Batched wire: every datagram carries at least one 65-byte record (a
+  // single-token flush has no batch header) and at most a full MTU batch.
+  EXPECT_GE(linkBytes, linkDatagrams * static_cast<std::int64_t>(
+                                           native::kTokenWireBytes));
+  EXPECT_LE(linkBytes, linkDatagrams * static_cast<std::int64_t>(
+                                           native::kBatchMaxBytes));
+  // Token records dominate the byte stream: everything beyond the records
+  // themselves is batch headers, at most kBatchHeaderBytes per datagram.
+  const std::int64_t records = run.stats.counters.get("net.udp.batch.tokens");
+  EXPECT_GE(records, linkTokens);  // >= : retransmitted tokens recount
+  EXPECT_LE(linkBytes - records * static_cast<std::int64_t>(
+                                      native::kTokenWireBytes),
+            linkDatagrams * static_cast<std::int64_t>(
+                                native::kBatchHeaderBytes));
 }
 
 // --- fault injection over real sockets --------------------------------------
@@ -294,6 +453,12 @@ TEST(UdpTransport, LossyFuzzBitIdenticalToFaultFree) {
                   run.stats.counters.get("fault.dups") +
                   run.stats.counters.get("fault.delays");
       dupDropped += run.stats.counters.get("net.retx.dupSuppressed");
+      // Transport-level dedup (the link receive windows) must fire BEFORE
+      // the inbox-ring deposit: if a duplicate ever reached the machine,
+      // its msgId dedup would count here — and the token would have
+      // double-released a single quiescence charge.
+      EXPECT_EQ(run.stats.counters.get("native.dupSuppressed"), 0)
+          << "workers=" << workers << " seed=" << seed;
     }
   }
   // The protocol must actually have been exercised across the sweep.
