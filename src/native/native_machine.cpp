@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "native/procmgr.hpp"
+#include "native/shm_store.hpp"
 #include "native/spsc_ring.hpp"
 #include "native/transport.hpp"
 #include "proto/delivery.hpp"
@@ -140,6 +142,19 @@ std::uint64_t elemWakeKey(ArrayId arr, std::int64_t offset) {
          static_cast<std::uint64_t>(offset);
 }
 
+/// Worker mode: a frame that has ENDed but whose End log record is held
+/// back until the END-retire barrier passes — every send the frame ever
+/// made must be acked first, or a crash after logging End could lose the
+/// frame's output (the replay would see the frame as over and never
+/// re-execute it). Frame storage is recycled only when the record lands,
+/// so log replay can never see an index reused before its previous
+/// occupant's End.
+struct Retiring {
+  std::uint32_t frameIdx = 0;
+  std::uint64_t ctx = 0;
+  std::vector<std::uint64_t> snap;  // transport END barrier snapshot
+};
+
 }  // namespace
 
 struct NativeMachine::Impl : TransportSink {
@@ -236,14 +251,63 @@ struct NativeMachine::Impl : TransportSink {
   std::int64_t recReplayedTokens = 0;
   std::int64_t recParkedEarly = 0;
 
+  // --- multi-process mode (transport == UdpMultiproc) ------------------------
+  //
+  // Supervisor (localPe < 0): run() delegates to procmgr::runSupervisor,
+  // which forks one worker process per PE; this Impl is a shell that holds
+  // the shm I-structure segment for post-run gather().
+  //
+  // Worker (localPe >= 0): exactly one worker thread runs (the local PE).
+  // Arrays live in the supervisor-created shm segment, every receive and
+  // mint is mirrored to the supervisor over the control channel
+  // (pessimistic logging), and output commit gates both acks (a sequence is
+  // acked only once its Recv record is stable) and frame retirement (End is
+  // logged only after every send of the frame is acked).
+  std::unique_ptr<ShmStore> shm;
+  /// Worker-mode array cache: shm cells + shape + ownership layout, filled
+  /// lazily (arrays allocated by other PEs resolve on first touch).
+  /// Owner-thread-only — worker mode has a single worker thread.
+  struct WArr {
+    ShmStore::ArrayRef ref;
+    ArrayShape shape{};
+    ArrayLayout layout;
+    WArr(ShmStore::ArrayRef r, ArrayShape s, int pes, int page,
+         const std::vector<std::int64_t>& peWeights)
+        : ref(r), shape(s), layout(s, pes, page, peWeights) {}
+  };
+  std::unordered_map<std::uint64_t, WArr> warrays;
+  /// Worker-mode allocation stream: array ids are strided (id = seq *
+  /// numPes + pe), so concurrent per-PE allocation needs no coordination.
+  /// Rebuilt from the mint log on respawn so replay never re-mints.
+  std::uint64_t wArraySeq = 0;
+  /// Worker-mode deferred retirements, FIFO (owner-thread-only).
+  std::deque<Retiring> retiring;
+  /// Monotone deposit count — the activity component of Status snapshots
+  /// (the supervisor's two-round quiescence check detects in-window motion
+  /// through it, like wakeEpoch in the in-process double-collect).
+  std::atomic<std::int64_t> depositTotal{0};
+
   bool killMode() const { return cfg.faults.killEnabled(); }
+
+  bool workerMode() const {
+    return cfg.transport == TransportKind::UdpMultiproc && cfg.localPe >= 0;
+  }
+  bool supervisorMode() const {
+    return cfg.transport == TransportKind::UdpMultiproc && cfg.localPe < 0;
+  }
+  /// Whether the recovery machinery (receive/mint logging, logical dedup,
+  /// parked replay) is live: in-process kill mode, or ANY worker process —
+  /// a multiproc worker can be `kill -9`ed at an arbitrary moment, so it
+  /// must log unconditionally.
+  bool recMode() const { return killMode() || workerMode(); }
 
   /// Whether the retired-context straggler ledger is maintained. Needed
   /// whenever delivery can reorder a token past its instance's END: fault
   /// injection (delays/retransmits) and the UDP transport (retransmit
   /// reordering is inherent, faults or not).
   bool trackStragglers() const {
-    return plan.enabled() || cfg.transport == TransportKind::Udp;
+    return plan.enabled() || cfg.transport == TransportKind::Udp ||
+           cfg.transport == TransportKind::UdpMultiproc;
   }
 
   Impl(const SpProgram& p, NativeConfig c)
@@ -270,13 +334,23 @@ struct NativeMachine::Impl : TransportSink {
       for (int l = 0; l < w.laneCount; ++l)
         w.lanes[l].store(nullptr, std::memory_order_relaxed);
     }
-    if (killMode()) recLogs.resize(static_cast<std::size_t>(c.numWorkers));
+    if (recMode()) recLogs.resize(static_cast<std::size_t>(c.numWorkers));
     results.resize(static_cast<std::size_t>(prog.numResults));
     resultSet.assign(static_cast<std::size_t>(prog.numResults), false);
-    transport = makeTransport(cfg.transport, *this, plan, cfg.numWorkers);
+    if (workerMode()) {
+      transport = makeUdpMultiprocTransport(*this, plan, cfg.numWorkers,
+                                            cfg.localPe, cfg.epoch, cfg.sockFd,
+                                            cfg.peerPorts, cfg.link);
+    } else if (!supervisorMode()) {
+      // Supervisor mode needs no transport: tokens flow between worker
+      // processes, never through this Impl.
+      transport = makeTransport(cfg.transport, *this, plan, cfg.numWorkers);
+    }
   }
 
-  ~Impl() override { transport->stop(); }
+  ~Impl() override {
+    if (transport != nullptr) transport->stop();
+  }
 
   void fail(const std::string& msg) {
     {
@@ -306,6 +380,17 @@ struct NativeMachine::Impl : TransportSink {
   /// is visible here and we notify under the mutex. Either way the token
   /// cannot strand while the worker sleeps.
   void deposit(int pe, int lane, NToken tok) override {
+    if (workerMode()) {
+      // Multi-process quiescence is per-process: the sender's ledger tracks
+      // the token as transport->outstanding() until it is acked, and the
+      // receiving process charges its own pending/inboxTokens here, on the
+      // rx thread, before the token becomes visible. The supervisor's
+      // termination check sums both sides, so a token is accounted
+      // somewhere at every instant.
+      pending.fetch_add(1);
+      inboxTokens.fetch_add(1);
+      depositTotal.fetch_add(1, std::memory_order_relaxed);
+    }
     Worker& w = *workers[static_cast<std::size_t>(pe)];
     std::atomic<SpscRing<NToken>*>& cell =
         w.lanes[static_cast<std::size_t>(lane)];
@@ -350,8 +435,14 @@ struct NativeMachine::Impl : TransportSink {
   /// worker drains the token, so a token parked in a retransmit queue or a
   /// kernel socket buffer still reads as in-flight work.
   void enqueue(int fromPe, int toPe, NToken tok) {
-    pending.fetch_add(1);
-    inboxTokens.fetch_add(1);
+    if (!workerMode()) {
+      pending.fetch_add(1);
+      inboxTokens.fetch_add(1);
+    }
+    // Worker mode: no local charge — the destination is another process.
+    // The token reads as transport->outstanding() until acked (the Status
+    // snapshot the supervisor sums), and the receiver charges its own
+    // ledger at deposit.
     transport->send(fromPe, toPe, std::move(tok));
   }
 
@@ -410,6 +501,27 @@ struct NativeMachine::Impl : TransportSink {
   /// invalidates every outstanding continuation into it.
   void retireFrame(Worker& w, std::uint32_t frameIdx, NFrame& f) {
     if (trackStragglers()) w.rx.retireCtx(f.ctx);
+    if (workerMode()) {
+      // Output commit for retirement: the End record may enter the log only
+      // after every send this frame made is acked (otherwise a crash after
+      // End could lose unacked output — replay would see the frame as over
+      // and never re-execute it). Snapshot the per-destination send
+      // high-water now; pumpRetiring completes the retirement when the
+      // barrier passes. The frame dies immediately for everything else.
+      Retiring r;
+      r.frameIdx = frameIdx;
+      r.ctx = f.ctx;
+      transport->barrierSnapshot(r.snap);
+      retiring.push_back(std::move(r));
+      w.dedup.retire(f.ctx);
+      f.dead = true;
+      f.gen = static_cast<std::uint16_t>((f.gen + 1) & Cont::kGenMask);
+      f.slots.clear();
+      w.match.erase(f.ctx);
+      w.st.framesRetired++;
+      w.st.liveFrames.dec();
+      return;
+    }
     if (killMode()) {
       RecoveryLog& L = recLogs[static_cast<std::size_t>(w.id)];
       RecEntry e;
@@ -446,14 +558,39 @@ struct NativeMachine::Impl : TransportSink {
     return e;
   }
 
+  /// Appends one receive-log record to PE `pe`'s log and, in worker mode,
+  /// mirrors it onto the control channel (pessimistic logging: the
+  /// supervisor is the stable storage a respawn replays from). Returns the
+  /// record's 1-based control-stream position (0 when not mirrored).
+  std::uint64_t logAppend(int pe, const RecEntry& e) {
+    recLogs[static_cast<std::size_t>(pe)].entries.push_back(e);
+    if (workerMode() && cfg.link != nullptr) return cfg.link->logEntry(e);
+    return 0;
+  }
+
+  /// Records a NEWCTX/ALLOC mint and, in worker mode, mirrors it onto the
+  /// control channel with the context-counter high-water.
+  void logMintRec(int pe, std::uint64_t ctx, std::uint32_t mseq,
+                  const Value& v) {
+    RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
+    L.recordMint(ctx, mseq, v);
+    if (workerMode() && cfg.link != nullptr)
+      cfg.link->logMint(ctx, mseq, v, L.ctxCounter);
+  }
+
   /// Owner-thread token delivery (frame creation, slot write, wake-up).
   void deliver(int pe, const NToken& tok) {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
-    if (tok.msgId != 0) {
+    if (tok.msgId != 0 && !workerMode()) {
       // Fault injection: exactly-once delivery. Duplicate copies of a
       // message are suppressed here — single-assignment slot writes would
       // tolerate redelivery, but ADDC join counters and spawn-by-token
-      // after frame retirement would not.
+      // after frame retirement would not. Multi-process mode must NOT use
+      // this window: the transport rx thread already dedups per (link,
+      // epoch) before depositing, and link seq numbering restarts at 1 on
+      // a peer's respawn — an epoch-unaware msgId window here would
+      // suppress a respawned peer's fresh sends as duplicates of the dead
+      // incarnation's early messages.
       if (!w.rx.accept(tok.msgId)) {
         w.st.dupSuppressed++;
         return;
@@ -468,7 +605,7 @@ struct NativeMachine::Impl : TransportSink {
     std::uint32_t frameIdx;
     std::uint16_t slot;
     if (tok.toCont) {
-      if (killMode() && tok.wakeKey != 0) {
+      if (recMode() && tok.wakeKey != 0) {
         // Array-element wake-up: only valid for a park this worker still
         // remembers. A kill wipes the park registry; wakes for pre-kill
         // parks are redundant (the re-executed read found the element
@@ -489,7 +626,7 @@ struct NativeMachine::Impl : TransportSink {
         return;
       }
       NFrame& fr = *w.frames[frameIdx];
-      if (killMode() && tok.sendKey != 0 &&
+      if (recMode() && tok.sendKey != 0 &&
           !w.dedup.firstCont(fr.ctx, tok.senderCtx, tok.sendKey)) {
         // A re-executed sender re-sent this logical token; it was already
         // applied (or parked) exactly once. The ledger is keyed by the
@@ -498,20 +635,20 @@ struct NativeMachine::Impl : TransportSink {
         w.st.tokensDropped++;
         return;
       }
-      if (killMode() && tok.sendKey != 0 && fr.replaying &&
+      if (recMode() && tok.sendKey != 0 && fr.replaying &&
           fr.sentCtxs.count(tok.senderCtx) == 0) {
         // Fresh result racing the replay (e.g. a survivor child finishing
         // after the rebuild): the rebuilt consumer has not re-sent to this
         // context yet, so applying now could clobber an earlier round's
         // slot. Park it; the re-send trigger delivers it in program order.
-        RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
-        w.pendingReplay[tok.senderCtx].push_back(L.entries.size());
-        L.entries.push_back(contLogEntry(tok, frameIdx, fr.gen));
+        w.pendingReplay[tok.senderCtx].push_back(
+            recLogs[static_cast<std::size_t>(pe)].entries.size());
+        logAppend(pe, contLogEntry(tok, frameIdx, fr.gen));
         recParkedEarly++;
         return;
       }
     } else {
-      if (killMode() && !w.dedup.firstCtx(tok.ctx, tok.slot)) {
+      if (recMode() && !w.dedup.firstCtx(tok.ctx, tok.slot)) {
         w.st.tokensDropped++;  // replayed spawn/argument duplicate
         return;
       }
@@ -529,13 +666,12 @@ struct NativeMachine::Impl : TransportSink {
       slot = tok.slot;
     }
     NFrame& f = *w.frames[frameIdx];
-    if (killMode() && !(tok.toCont && tok.sendKey == 0)) {
+    if (recMode() && !(tok.toCont && tok.sendKey == 0)) {
       // Receive log: every applied ctx token (frame creation order and
       // argument values) and every keyed continuation token. Wake-ups are
       // excluded — a replayed read regenerates them from the I-structure.
-      RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
       if (tok.toCont) {
-        L.entries.push_back(contLogEntry(tok, frameIdx, f.gen));
+        logAppend(pe, contLogEntry(tok, frameIdx, f.gen));
       } else {
         RecEntry e;
         e.kind = RecEntry::Kind::CtxToken;
@@ -545,7 +681,7 @@ struct NativeMachine::Impl : TransportSink {
         e.v = tok.v;
         e.frame = frameIdx;
         e.gen = f.gen;
-        L.entries.push_back(e);
+        logAppend(pe, e);
       }
     }
     PODS_CHECK(slot < f.slots.size());
@@ -580,6 +716,48 @@ struct NativeMachine::Impl : TransportSink {
   /// after reporting the failure: the operand may hold a non-array value
   /// (ill-typed program) or an id no allocation ever produced (stale or
   /// corrupted handle) — neither may be dereferenced.
+  /// Worker mode: resolves (and caches) an array's shm cells, shape, and
+  /// ownership layout. `createShape` non-null is the ALLOC create-or-lookup
+  /// path; null is lookup-only (the array was allocated by some PE already,
+  /// possibly this one). Returns nullptr when the id is unknown (lookup) or
+  /// the segment is exhausted (create).
+  WArr* wArray(ArrayId id, const ArrayShape* createShape) {
+    auto it = warrays.find(id);
+    if (it != warrays.end()) return &it->second;
+    ShmStore::ArrayRef ref =
+        createShape != nullptr
+            ? shm->createArray(id, static_cast<std::uint32_t>(createShape->rank),
+                               createShape->dim0, createShape->dim1)
+            : shm->lookup(id);
+    if (!ref.valid()) return nullptr;
+    ArrayShape s;
+    s.rank = static_cast<int>(ref.rank);
+    s.dim0 = ref.dim0;
+    s.dim1 = ref.dim1;
+    auto [jt, inserted] = warrays.try_emplace(id, ref, s, cfg.numWorkers,
+                                              cfg.pageElems, cfg.peWeights);
+    (void)inserted;
+    return &jt->second;
+  }
+
+  /// Worker mode: resolves an array operand against the shm store. Returns
+  /// nullptr after reporting the failure (non-array value or unknown id).
+  WArr* wArrayOperand(const NFrame& f, std::uint16_t slot, const SpCode& sp,
+                      const char* what) {
+    const Value& v = f.slots[slot];
+    if (!v.isArray()) {
+      fail(std::string(what) + " on non-array operand " + v.str() + " in " +
+           sp.name);
+      return nullptr;
+    }
+    WArr* a = wArray(v.asArray(), nullptr);
+    if (a == nullptr) {
+      fail(std::string(what) + " on unknown array id " +
+           std::to_string(v.asArray()) + " in " + sp.name);
+    }
+    return a;
+  }
+
   NArray* arrayOperand(const NFrame& f, std::uint16_t slot, const SpCode& sp,
                        const char* what) {
     const Value& v = f.slots[slot];
@@ -665,7 +843,7 @@ struct NativeMachine::Impl : TransportSink {
         f.slots[in.dst] = Value::intv(cfg.numWorkers);
         break;
       case Op::NEWCTX:
-        if (killMode()) {
+        if (recMode()) {
           // Idempotent mint: the n-th NEWCTX of a replayed frame must return
           // the context it handed out before the kill. The counter lives in
           // the stable log so a rebuild never re-mints a pre-kill context.
@@ -678,7 +856,7 @@ struct NativeMachine::Impl : TransportSink {
           Value v = Value::intv(static_cast<std::int64_t>(
               (std::uint64_t(static_cast<unsigned>(pe)) << 40) |
               ++L.ctxCounter));
-          L.recordMint(f.ctx, mseq, v);
+          logMintRec(pe, f.ctx, mseq, v);
           f.slots[in.dst] = v;
           break;
         }
@@ -708,6 +886,30 @@ struct NativeMachine::Impl : TransportSink {
           fail("bad allocation dimensions");
           return Step::Stopped;
         }
+        if (workerMode()) {
+          RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
+          const std::uint32_t mseq = f.mintSeq++;
+          Value v;
+          if (const Value* m = L.findMint(f.ctx, mseq)) {
+            v = *m;  // replayed allocation: same identity, elements survive
+          } else {
+            v = Value::arrayv(static_cast<ArrayId>(
+                (++wArraySeq) * static_cast<std::uint64_t>(cfg.numWorkers) +
+                static_cast<unsigned>(pe)));
+            logMintRec(pe, f.ctx, mseq, v);
+          }
+          // Create-or-lookup even on a mint-log hit: the mint may have
+          // reached stable storage while the kill landed before the shm
+          // table slot was claimed. createArray is idempotent, so the
+          // replayed call either claims the slot now or finds the original
+          // (with its elements intact — the segment restore of recovery).
+          if (wArray(v.asArray(), &shape) == nullptr) {
+            fail("shm array store exhausted in " + sp.name);
+            return Step::Stopped;
+          }
+          f.slots[in.dst] = v;
+          break;
+        }
         if (killMode()) {
           // Replayed allocation resolves to the array created before the
           // kill — its elements (possibly already written) must survive.
@@ -726,13 +928,40 @@ struct NativeMachine::Impl : TransportSink {
         break;
       }
       case Op::ARD: {
+        if (workerMode()) {
+          WArr* wa = wArrayOperand(f, in.a, sp, "array read");
+          if (wa == nullptr) return Step::Stopped;
+          const ArrayId arrId = f.slots[in.a].asArray();
+          const std::int64_t i0 = f.slots[in.b].asInt();
+          const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
+          std::int64_t offset;
+          if (!resolveOffset(wa->shape, i0, i1, in.c != kNoSlot ? 2 : 1,
+                             offset)) {
+            fail("array read out of bounds in " + sp.name);
+            return Step::Stopped;
+          }
+          f.slots[in.dst] = Value{};
+          Cont c{static_cast<std::uint16_t>(pe), frameIdx, in.dst, f.gen};
+          Value v;
+          if (shm->parkOrRead(wa->ref, offset, c.pack(), &v)) {
+            f.slots[in.dst] = v;
+            break;
+          }
+          // Parked in the shm waiter stack. Register the park locally so
+          // (a) the writer's wake is recognized as live, (b) a wake for a
+          // park wiped by our own kill is dropped, and (c) the idle sweeper
+          // can self-serve the read if the writer died after publishing the
+          // element but before its wake tokens made it out (sweepParks).
+          w.myParks[elemWakeKey(arrId, offset)].insert(c.pack());
+          break;
+        }
         NArray* a = arrayOperand(f, in.a, sp, "array read");
         if (a == nullptr) return Step::Stopped;
         const ArrayId arrId = f.slots[in.a].asArray();
         const std::int64_t i0 = f.slots[in.b].asInt();
         const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
         std::int64_t offset;
-        if (!resolveOffset(*a, i0, i1, in.c != kNoSlot ? 2 : 1, offset)) {
+        if (!resolveOffset(a->shape, i0, i1, in.c != kNoSlot ? 2 : 1, offset)) {
           fail("array read out of bounds in " + sp.name);
           return Step::Stopped;
         }
@@ -769,12 +998,48 @@ struct NativeMachine::Impl : TransportSink {
         break;
       }
       case Op::AWR: {
+        if (workerMode()) {
+          WArr* wa = wArrayOperand(f, in.a, sp, "array write");
+          if (wa == nullptr) return Step::Stopped;
+          const ArrayId arrId = f.slots[in.a].asArray();
+          const std::int64_t i0 = f.slots[in.b].asInt();
+          const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
+          std::int64_t offset;
+          if (!resolveOffset(wa->shape, i0, i1, in.c != kNoSlot ? 2 : 1,
+                             offset)) {
+            fail("array write out of bounds in " + sp.name);
+            return Step::Stopped;
+          }
+          Value prev;
+          bool wasSet = false;
+          std::vector<std::uint64_t> woken;
+          shm->write(wa->ref, offset, f.slots[in.dst], &prev, &wasSet, &woken);
+          if (wasSet && !prev.identical(f.slots[in.dst])) {
+            fail("single-assignment violation at element " +
+                 std::to_string(offset));
+            return Step::Stopped;
+          }
+          // Wake every parked reader — also on an identical rewrite,
+          // because the original writer may have died between publishing
+          // the element and sending the wakes. Receivers drop wakes for
+          // parks they no longer hold.
+          for (std::uint64_t packed : woken) {
+            Cont wc = Cont::unpack(packed);
+            NToken tok;
+            tok.toCont = true;
+            tok.cont = wc;
+            tok.v = f.slots[in.dst];
+            tok.wakeKey = elemWakeKey(arrId, offset);
+            send(pe, wc.pe, std::move(tok));
+          }
+          break;
+        }
         NArray* a = arrayOperand(f, in.a, sp, "array write");
         if (a == nullptr) return Step::Stopped;
         const std::int64_t i0 = f.slots[in.b].asInt();
         const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
         std::int64_t offset;
-        if (!resolveOffset(*a, i0, i1, in.c != kNoSlot ? 2 : 1, offset)) {
+        if (!resolveOffset(a->shape, i0, i1, in.c != kNoSlot ? 2 : 1, offset)) {
           fail("array write out of bounds in " + sp.name);
           return Step::Stopped;
         }
@@ -813,13 +1078,19 @@ struct NativeMachine::Impl : TransportSink {
       }
       case Op::RFLO:
       case Op::RFHI: {
-        NArray* a = arrayOperand(f, in.a, sp, "range filter");
-        if (a == nullptr) return Step::Stopped;
         IdxRange r;
-        if (in.dim == 0) {
-          r = a->layout.ownedRows(pe);
+        if (workerMode()) {
+          WArr* wa = wArrayOperand(f, in.a, sp, "range filter");
+          if (wa == nullptr) return Step::Stopped;
+          r = in.dim == 0
+                  ? wa->layout.ownedRows(pe)
+                  : wa->layout.ownedColsOfRow(pe, f.slots[in.b].asInt());
         } else {
-          r = a->layout.ownedColsOfRow(pe, f.slots[in.b].asInt());
+          NArray* a = arrayOperand(f, in.a, sp, "range filter");
+          if (a == nullptr) return Step::Stopped;
+          r = in.dim == 0
+                  ? a->layout.ownedRows(pe)
+                  : a->layout.ownedColsOfRow(pe, f.slots[in.b].asInt());
         }
         f.slots[in.dst] =
             Value::intv((in.op == Op::RFHI ? r.hi : r.lo) - in.off);
@@ -833,6 +1104,13 @@ struct NativeMachine::Impl : TransportSink {
         break;
       }
       case Op::DIMQ: {
+        if (workerMode()) {
+          WArr* wa = wArrayOperand(f, in.a, sp, "dimension query");
+          if (wa == nullptr) return Step::Stopped;
+          f.slots[in.dst] =
+              Value::intv(in.dim == 1 ? wa->shape.dim1 : wa->shape.dim0);
+          break;
+        }
         NArray* a = arrayOperand(f, in.a, sp, "dimension query");
         if (a == nullptr) return Step::Stopped;
         f.slots[in.dst] =
@@ -857,7 +1135,7 @@ struct NativeMachine::Impl : TransportSink {
         // A rebuilt worker parks logged continuation results until the frame
         // that consumed them re-runs; the first send *to* the callee's
         // context is the replay point where its logged replies re-apply.
-        if (killMode() && f.replaying) {
+        if (recMode() && f.replaying) {
           f.sentCtxs.insert(targetCtx);
           if (!w.pendingReplay.empty())
             replayResponsesFor(pe, targetCtx, frameIdx, f);
@@ -872,7 +1150,7 @@ struct NativeMachine::Impl : TransportSink {
         tok.cont = c;
         tok.v = f.slots[in.a];
         tok.add = in.op == Op::ADDC;
-        if (killMode()) {
+        if (recMode()) {
           // Logical send identity: deterministic re-execution reproduces the
           // same (sender ctx, sender PE, seq) triple, so receivers can drop
           // the duplicate even though it travels as a brand-new message.
@@ -894,6 +1172,13 @@ struct NativeMachine::Impl : TransportSink {
       }
       case Op::RESULT: {
         std::lock_guard<std::mutex> g(resultM);
+        // Multi-process: result slots are process-local (arrays live in shm
+        // but results do not), so the store must reach the supervisor's log
+        // or a kill after this frame retires loses it. Replay re-execution
+        // of an already-applied store (resultSet set from resumeResults)
+        // stores the identical value and is not re-logged.
+        if (workerMode() && cfg.link != nullptr && !resultSet[in.aux])
+          cfg.link->logResult(in.aux, f.slots[in.a]);
         results[in.aux] = f.slots[in.a];
         resultSet[in.aux] = true;
         break;
@@ -908,15 +1193,15 @@ struct NativeMachine::Impl : TransportSink {
     return Step::Continue;
   }
 
-  static bool resolveOffset(const NArray& a, std::int64_t i0, std::int64_t i1,
-                            int rank, std::int64_t& offset) {
+  static bool resolveOffset(const ArrayShape& s, std::int64_t i0,
+                            std::int64_t i1, int rank, std::int64_t& offset) {
     if (rank == 1) {
-      if (i0 < 0 || i0 >= a.shape.numElems()) return false;
+      if (i0 < 0 || i0 >= s.numElems()) return false;
       offset = i0;
       return true;
     }
-    if (!a.shape.inBounds(i0, i1)) return false;
-    offset = a.shape.flatten(i0, i1);
+    if (!s.inBounds(i0, i1)) return false;
+    offset = s.flatten(i0, i1);
     return true;
   }
 
@@ -1008,6 +1293,14 @@ struct NativeMachine::Impl : TransportSink {
           w.match.erase(it);
           break;
         }
+        case RecEntry::Kind::Recv:
+          // Multi-process: a wire-accepted inbound msgId (sender incarnation
+          // in `gen`). Re-prime the UDP receive-dedup and ackable windows so
+          // a survivor's retransmits of old-numbered tokens still dedup and
+          // ack instead of double-applying — runs before transport threads
+          // exist (a no-op on in-process transports).
+          transport->primeRecv(e.msgId, static_cast<std::uint8_t>(e.gen));
+          break;
       }
     }
     for (std::uint32_t idx = 0;
@@ -1065,6 +1358,24 @@ struct NativeMachine::Impl : TransportSink {
     return w.overflowCount.load(std::memory_order_relaxed) > 0;
   }
 
+  /// Consumes one inbox token on the owner thread. In worker mode the wire
+  /// accept is logged first (a Recv record carrying msgId + sender epoch)
+  /// and its stream position handed to the transport: the cumulative ack
+  /// for this sequence may go out only once that record is stable at the
+  /// supervisor — output commit; never ack what stable storage hasn't seen.
+  void consumeInboxToken(int pe, const NToken& tok) {
+    if (workerMode()) {
+      RecEntry e;
+      e.kind = RecEntry::Kind::Recv;
+      e.msgId = tok.msgId;
+      e.gen = tok.epoch;
+      const std::uint64_t seq = logAppend(pe, e);
+      transport->noteDrained(tok.msgId, tok.epoch, seq);
+    }
+    deliver(pe, tok);
+    finishPending();  // token consumed
+  }
+
   void drainInbox(int pe) {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
     std::int64_t drained = 0;
@@ -1075,8 +1386,7 @@ struct NativeMachine::Impl : TransportSink {
       while (ring->tryPop(tok)) {
         inboxTokens.fetch_sub(1);
         ++drained;
-        deliver(pe, tok);
-        finishPending();  // token consumed
+        consumeInboxToken(pe, tok);
       }
     }
     if (w.overflowCount.load(std::memory_order_relaxed) > 0) {
@@ -1089,15 +1399,17 @@ struct NativeMachine::Impl : TransportSink {
       inboxTokens.fetch_sub(static_cast<std::int64_t>(batch.size()));
       drained += static_cast<std::int64_t>(batch.size());
       for (NToken& t : batch) {
-        deliver(pe, t);
-        finishPending();
+        consumeInboxToken(pe, t);
       }
     }
     w.st.tokensIn += drained;
   }
 
   void finishPending() {
-    if (pending.fetch_sub(1) == 1) {
+    // Worker mode: a local zero is NOT global termination — a peer process
+    // may still send tokens here. The supervisor decides the end of the run
+    // (Poll/Status rounds) and stops this worker with an End frame.
+    if (pending.fetch_sub(1) == 1 && !workerMode()) {
       stop.store(true);
       for (auto& w : workers) {
         std::lock_guard<std::mutex> g(w->m);
@@ -1113,16 +1425,77 @@ struct NativeMachine::Impl : TransportSink {
     for (int k = 0; k < cfg.sliceInstructions; ++k) {
       Step s = step(pe, frameIdx, f);
       if (s == Step::Continue) continue;
-      if (s == Step::Ended) finishPending();  // frame retired
+      // Worker mode holds the retired frame's pending charge through the
+      // END-retire barrier; pumpRetiring releases it with the End record.
+      if (s == Step::Ended && !workerMode()) finishPending();  // frame retired
       return;  // Blocked / Ended / Stopped
     }
     // Slice budget exhausted: requeue and let the inbox drain.
     w.ready.push_back(frameIdx);
   }
 
+  // --- worker-mode deferred retirement + park sweeping -----------------------
+
+  /// Completes retirements whose END barrier has passed: every send the
+  /// frame made is acked under the current epochs, so its output is in the
+  /// receivers' stable logs and the End record can safely enter ours. FIFO
+  /// order keeps End records in retirement order, and storage is recycled
+  /// only here — replay must never see a frame index reused before its
+  /// previous occupant's End.
+  void pumpRetiring(int pe) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    while (!retiring.empty()) {
+      const Retiring& r = retiring.front();
+      if (!transport->barrierPassed(r.snap)) return;
+      RecEntry e;
+      e.kind = RecEntry::Kind::End;
+      e.ctx = r.ctx;
+      logAppend(pe, e);
+      recLogs[static_cast<std::size_t>(pe)].mints.erase(r.ctx);
+      w.freeList.push_back(r.frameIdx);
+      retiring.pop_front();
+      finishPending();  // the frame's live charge, held through the barrier
+    }
+  }
+
+  /// Self-serves parked reads whose element has appeared in shm without the
+  /// wake token arriving. That happens in exactly one failure shape: the
+  /// writer completed its write (element published, waiter stack drained)
+  /// and died before its wake tokens were delivered — its replay re-drains
+  /// an already-empty stack, so nobody will ever re-send the wake. Run from
+  /// the idle path; a benign race with an in-flight wake resolves at
+  /// deliver(), which drops whichever copy comes second (myParks registry).
+  void sweepParks(int pe) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    if (w.myParks.empty()) return;
+    for (auto it = w.myParks.begin(); it != w.myParks.end();) {
+      const std::uint64_t key = it->first;
+      const ArrayId arr = static_cast<ArrayId>((key >> 40) & 0x7FFFFFu);
+      const std::int64_t off =
+          static_cast<std::int64_t>(key & ((1ULL << 40) - 1));
+      WArr* wa = wArray(arr, nullptr);
+      Value v;
+      if (wa == nullptr || !shm->tryRead(wa->ref, off, &v)) {
+        ++it;
+        continue;
+      }
+      std::vector<std::uint64_t> conts(it->second.begin(), it->second.end());
+      ++it;  // deliver() erases this key from myParks; advance first
+      for (std::uint64_t packed : conts) {
+        NToken tok;
+        tok.toCont = true;
+        tok.cont = Cont::unpack(packed);
+        tok.v = v;
+        tok.wakeKey = key;
+        deliver(pe, tok);  // local self-delivery: no quiescence charges
+      }
+    }
+  }
+
   void workerMain(int pe) {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
     const bool killTarget = killMode() && pe == cfg.faults.killPe;
+    const bool wmode = workerMode();
     int slicesSinceFlush = 0;
     while (!stop.load()) {
       if (killTarget && !killFired &&
@@ -1130,6 +1503,7 @@ struct NativeMachine::Impl : TransportSink {
         performKill(pe);
       }
       drainInbox(pe);
+      if (wmode && !retiring.empty()) pumpRetiring(pe);
       if (!w.ready.empty()) {
         std::uint32_t idx = w.ready.front();
         w.ready.pop_front();
@@ -1140,6 +1514,7 @@ struct NativeMachine::Impl : TransportSink {
         // its extra thread wake-ups) for the steady-state flow.
         if (++slicesSinceFlush >= 4) {
           transport->flush(pe);
+          if (wmode) transport->pumpAcks();
           slicesSinceFlush = 0;
         }
         continue;
@@ -1151,6 +1526,11 @@ struct NativeMachine::Impl : TransportSink {
       // peer is waiting for; while the worker stays busy, outboxes keep
       // coalescing and the transport's deadline timer bounds their latency.
       transport->flush(pe);
+      if (wmode) {
+        transport->pumpAcks();
+        pumpRetiring(pe);
+        sweepParks(pe);
+      }
       drainInbox(pe);
       if (!w.ready.empty()) continue;
       // Idle: publish sleeping, re-check the rings, register, run the
@@ -1167,23 +1547,29 @@ struct NativeMachine::Impl : TransportSink {
       }
       w.st.idleTransitions++;
       idleWorkers.fetch_add(1);
-      const std::uint64_t e1 = wakeEpoch.load();
-      if (idleWorkers.load() == cfg.numWorkers && inboxTokens.load() == 0 &&
-          pending.load() > 0 && wakeEpoch.load() == e1 && !stop.load()) {
-        // Stable double-collect: no worker woke between the two epoch reads,
-        // so all of them were idle across every read above — the frames
-        // counted in `pending` can never be fed another token.
-        g.unlock();
-        fail("deadlock: " + std::to_string(pending.load()) +
-             " live SPs blocked forever");
-        idleWorkers.fetch_sub(1);
-        w.sleeping.store(false, std::memory_order_relaxed);
-        continue;
+      if (!wmode) {
+        const std::uint64_t e1 = wakeEpoch.load();
+        if (idleWorkers.load() == cfg.numWorkers && inboxTokens.load() == 0 &&
+            pending.load() > 0 && wakeEpoch.load() == e1 && !stop.load()) {
+          // Stable double-collect: no worker woke between the two epoch
+          // reads, so all of them were idle across every read above — the
+          // frames counted in `pending` can never be fed another token.
+          g.unlock();
+          fail("deadlock: " + std::to_string(pending.load()) +
+               " live SPs blocked forever");
+          idleWorkers.fetch_sub(1);
+          w.sleeping.store(false, std::memory_order_relaxed);
+          continue;
+        }
       }
-      if (killTarget && !killFired) {
-        // The victim must observe its wall-clock deadline even while idle:
-        // poll with a short timed wait until the kill has fired, then drop
-        // back to untimed waits. Spurious timeouts just bump the epoch.
+      if (wmode || (killTarget && !killFired)) {
+        // Timed waits: the kill victim must observe its wall-clock deadline
+        // even while idle, and a multiproc worker must keep re-polling
+        // gated flushes, pending acks, the END barrier, and the park
+        // sweeper — and its run ends out-of-band (ctl End → requestStop).
+        // Local counters cannot distinguish deadlock from "peer busy", so
+        // the double-collect above is the supervisor's job in worker mode
+        // (Poll/Status rounds). Spurious timeouts just bump the epoch.
         w.cv.wait_for(g, std::chrono::milliseconds(1),
                       [&] { return inboxNonEmpty(w) || stop.load(); });
       } else {
@@ -1196,6 +1582,13 @@ struct NativeMachine::Impl : TransportSink {
   }
 
   NativeResult run() {
+    if (supervisorMode()) {
+      // The machine object is a shell in supervisor mode: the run happens
+      // in forked worker processes. runSupervisor creates the shm segment
+      // (handed back here so gather() can read result arrays) and drives
+      // the fleet — fork, boot, heartbeats, kill recovery, termination.
+      return procmgr::runSupervisor(prog, cfg, shm);
+    }
     if (killMode() && cfg.faults.killPe >= cfg.numWorkers) {
       NativeResult bad;
       bad.ok = false;
@@ -1205,22 +1598,117 @@ struct NativeMachine::Impl : TransportSink {
       return bad;
     }
     auto t0 = std::chrono::steady_clock::now();
-    if (killMode()) {
-      killAt = t0 + std::chrono::duration_cast<
-                        std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double, std::micro>(
-                            cfg.faults.killTimeUs));
-      // The boot frame is not spawned by a token; log it so a kill of
-      // worker 0 can rebuild main.
-      RecEntry boot;
-      boot.kind = RecEntry::Kind::Boot;
-      boot.spCode = prog.mainSp;
-      boot.ctx = 0;
-      recLogs[0].entries.push_back(boot);
+    if (workerMode()) {
+      // Segment attach — on respawn this is the segment-restore step of
+      // recovery: the I-structure elements written before the kill are in
+      // the supervisor-owned mapping, untouched by this process's death.
+      std::string serr;
+      shm = ShmStore::open(cfg.shmName, &serr);
+      if (shm == nullptr) {
+        NativeResult bad;
+        bad.ok = false;
+        bad.error = "shm open failed: " + serr;
+        return bad;
+      }
+      const int pe = cfg.localPe;
+      // Re-apply logged RESULT stores before replay: with the slot already
+      // marked set, a replayed frame's re-execution of the store is a
+      // silent overwrite with the identical value, not a fresh log append.
+      for (const auto& [slot, v] : cfg.resumeResults) {
+        if (slot < resultSet.size()) {
+          results[slot] = v;
+          resultSet[slot] = true;
+        }
+      }
+      if (cfg.resume) {
+        // Log replay: the supervisor shipped our full recovery stream in
+        // Boot. Rebuild frames/mints/dedup and re-prime the UDP windows
+        // (performKill's Recv records) before any transport thread exists.
+        RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
+        L = std::move(cfg.resumeLog);
+        for (const auto& [ctx, m] : L.mints) {
+          (void)ctx;
+          for (const auto& [mseq, v] : m) {
+            (void)mseq;
+            if (v.isArray())
+              wArraySeq = std::max(
+                  wArraySeq, (static_cast<std::uint64_t>(v.asArray()) -
+                              static_cast<unsigned>(pe)) /
+                                 static_cast<std::uint64_t>(cfg.numWorkers));
+          }
+        }
+        performKill(pe);
+        // In-process kill recovery inherits the machine's surviving ledger
+        // (the original createFrame charges were never released), but this
+        // is a fresh process: charge pending once per live frame the replay
+        // rebuilt, or their eventual retirement drives the ledger negative
+        // and the supervisor's termination count is off by the replay size.
+        pending.fetch_add(static_cast<std::int64_t>(
+            workers[static_cast<std::size_t>(pe)]->ready.size()));
+        // Same story for the stats ledger: count every frame the replay
+        // instantiated as created and every replayed-End stub as retired,
+        // so this incarnation's framesCreated/framesRetired balance once
+        // its live frames run to completion (the dead incarnation's
+        // counters died with it — the supervisor only merges ours).
+        {
+          Worker& rw = *workers[static_cast<std::size_t>(pe)];
+          for (const auto& fp : rw.frames) {
+            rw.st.framesCreated++;
+            rw.st.liveFrames.inc();
+            if (fp->dead) {
+              rw.st.framesRetired++;
+              rw.st.liveFrames.dec();
+            }
+          }
+        }
+        if (pe == 0 && L.entries.empty()) {
+          // PE 0 died before its Boot record reached the supervisor: the
+          // resume log is empty, so nothing rebuilt main. Boot it fresh —
+          // the stream always starts with Boot, so emptiness is the exact
+          // "nothing ever stabilized" case.
+          RecEntry boot;
+          boot.kind = RecEntry::Kind::Boot;
+          boot.spCode = prog.mainSp;
+          boot.ctx = 0;
+          logAppend(0, boot);
+          createFrame(*workers[0], prog.mainSp, 0);
+        }
+      } else if (pe == 0) {
+        // First boot of PE 0: log the bootstrap frame (it is not spawned by
+        // a token) so a later kill of this process can rebuild main.
+        RecEntry boot;
+        boot.kind = RecEntry::Kind::Boot;
+        boot.spCode = prog.mainSp;
+        boot.ctx = 0;
+        logAppend(0, boot);
+        createFrame(*workers[0], prog.mainSp, 0);
+      }
+      // Execution (and on resume, re-sending) begins only on the
+      // supervisor's Start — it is gating the respawn barrier.
+      if (cfg.link != nullptr && !cfg.link->waitStart()) {
+        NativeResult bad;
+        bad.ok = false;
+        bad.error = "aborted before Start";
+        return bad;
+      }
+    } else {
+      if (killMode()) {
+        killAt = t0 + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::micro>(
+                              cfg.faults.killTimeUs));
+        // The boot frame is not spawned by a token; log it so a kill of
+        // worker 0 can rebuild main.
+        RecEntry boot;
+        boot.kind = RecEntry::Kind::Boot;
+        boot.spCode = prog.mainSp;
+        boot.ctx = 0;
+        recLogs[0].entries.push_back(boot);
+      }
+      // Boot main on worker 0 via a spawn token carrying no payload slot —
+      // create the frame directly instead (main may take no arguments).
+      createFrame(*workers[0], prog.mainSp, 0);
     }
-    // Boot main on worker 0 via a spawn token carrying no payload slot —
-    // create the frame directly instead (main may take no arguments).
-    createFrame(*workers[0], prog.mainSp, 0);
     // Transport service threads (retransmit daemon, UDP sockets/receivers)
     // come up before the workers so no send can outrun them.
     std::string terr;
@@ -1249,10 +1737,13 @@ struct NativeMachine::Impl : TransportSink {
       });
     }
     for (int i = 0; i < cfg.numWorkers; ++i) {
+      // Worker mode: exactly one PE runs in this process.
+      if (workerMode() && i != cfg.localPe) continue;
       workers[static_cast<std::size_t>(i)]->thread =
           std::thread([this, i] { workerMain(i); });
     }
-    for (auto& w : workers) w->thread.join();
+    for (auto& w : workers)
+      if (w->thread.joinable()) w->thread.join();
     // Workers have joined: no further send() is possible, so the transport
     // can quiesce its service threads.
     transport->stop();
@@ -1262,8 +1753,13 @@ struct NativeMachine::Impl : TransportSink {
     NativeResult out;
     out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
     out.results = results;
+    out.resultsSet.reserve(resultSet.size());
+    for (const bool set : resultSet)
+      out.resultsSet.push_back(set ? 1 : 0);
     out.error = error;
-    if (out.error.empty()) {
+    if (out.error.empty() && !workerMode()) {
+      // Worker mode: RESULT slots may have been stored by OTHER processes;
+      // the supervisor checks completeness after merging every Result.
       for (std::size_t r = 0; r < resultSet.size(); ++r) {
         if (!resultSet[r]) {
           out.error = "program result " + std::to_string(r) + " never set";
@@ -1298,7 +1794,9 @@ struct NativeMachine::Impl : TransportSink {
     // already exists via the prefixed merge above.
     out.counters.add("native.frames", frames);
     out.counters.add("native.tokens", tokens);
-    out.counters.add("native.workers", cfg.numWorkers);
+    // Workers skip this one: the supervisor adds it exactly once, or the
+    // merged total would read N * numWorkers.
+    if (!workerMode()) out.counters.add("native.workers", cfg.numWorkers);
     // Inbox SPSC-ring overflow spills (tokens that fell back to the mutex
     // deque because a ring was full) — zero in healthy runs.
     std::int64_t overflow = 0;
@@ -1320,8 +1818,10 @@ struct NativeMachine::Impl : TransportSink {
       out.counters.add("fault.stalls", faultStalls.load());
       proto::Delivery::registerInjectionCounters(out.counters);
     }
-    if (killMode()) {
-      out.counters.add("fault.kills", killFired ? 1 : 0);
+    if (killMode() || (workerMode() && cfg.resume)) {
+      // In multi-process mode fault.kills is the supervisor's counter (it
+      // performs the kills); a resumed worker reports only the replay side.
+      if (killMode()) out.counters.add("fault.kills", killFired ? 1 : 0);
       out.counters.add("recovery.replayedFrames", recReplayedFrames);
       out.counters.add("recovery.replayedTokens", recReplayedTokens);
       out.counters.add("recovery.parkedEarly", recParkedEarly);
@@ -1346,6 +1846,17 @@ NativeMachine::~NativeMachine() = default;
 NativeResult NativeMachine::run() { return impl_->run(); }
 
 std::optional<NativeArray> NativeMachine::gather(ArrayId id) const {
+  if (impl_->shm != nullptr) {
+    // Multi-process mode: arrays live in the shm I-structure segment.
+    ShmStore::ArrayRef ref = impl_->shm->lookup(id);
+    if (!ref.valid()) return std::nullopt;
+    NativeArray view;
+    view.shape.rank = static_cast<int>(ref.rank);
+    view.shape.dim0 = ref.dim0;
+    view.shape.dim1 = ref.dim1;
+    impl_->shm->gather(ref, &view.elems);
+    return view;
+  }
   if (id >= impl_->arrays.size()) return std::nullopt;
   // Post-run (threads joined), so unguarded reads are safe.
   NArray& a = *impl_->arrays[id];
@@ -1353,6 +1864,57 @@ std::optional<NativeArray> NativeMachine::gather(ArrayId id) const {
   view.shape = a.shape;
   view.elems = a.elems;
   return view;
+}
+
+WorkerStatus NativeMachine::workerStatus() const {
+  const Impl& m = *impl_;
+  WorkerStatus s;
+  s.idle = m.idleWorkers.load() > 0;
+  s.pending = m.pending.load();
+  s.inboxTokens = m.inboxTokens.load();
+  s.outstanding = m.transport != nullptr ? m.transport->outstanding() : 0;
+  s.logAppended = m.cfg.link != nullptr ? m.cfg.link->logAppended() : 0;
+  // Deposits only — NOT wakeEpoch: the worker-mode idle loop uses 1 ms
+  // timed waits, so the epoch ticks forever and would keep two otherwise
+  // identical quiet rounds from ever matching. Every cross-process event
+  // the supervisor's check must see moves depositTotal or logAppended
+  // (all wire arrivals deposit AND log a Recv record; retirement logs End).
+  s.activity =
+      static_cast<std::uint64_t>(m.depositTotal.load(std::memory_order_relaxed));
+  if (std::getenv("PODS_MULTIPROC_DEBUG") != nullptr && s.idle &&
+      s.pending > 0) {
+    // Racy read of worker-owned frame state — debug diagnostics only.
+    for (const auto& w : m.workers) {
+      for (const auto& fp : w->frames) {
+        const NFrame& f = *fp;
+        if (f.dead) continue;
+        std::fprintf(stderr,
+                     "[pe%d dbg] live frame sp=%u ctx=%llu pc=%u blocked=%d "
+                     "slot=%u replaying=%d\n",
+                     m.cfg.localPe, unsigned(f.spCode),
+                     static_cast<unsigned long long>(f.ctx), f.pc,
+                     int(f.blocked), unsigned(f.blockedSlot),
+                     int(f.replaying));
+      }
+    }
+  }
+  return s;
+}
+
+void NativeMachine::requestStop() {
+  Impl& m = *impl_;
+  m.stop.store(true);
+  for (auto& w : m.workers) {
+    std::lock_guard<std::mutex> g(w->m);
+    w->cv.notify_all();
+  }
+}
+
+void NativeMachine::noteLogStable(std::uint64_t upTo) {
+  // The WorkerLink already advanced its stable watermark to `upTo`; this
+  // call just retries whatever was gated on it (flushes, pending acks).
+  (void)upTo;
+  if (impl_->transport != nullptr) impl_->transport->onStableAdvance();
 }
 
 }  // namespace pods::native

@@ -37,6 +37,7 @@
 #include "runtime/array_layout.hpp"
 #include "runtime/isa.hpp"
 #include "support/fault.hpp"
+#include "support/recovery.hpp"
 #include "support/stats.hpp"
 
 namespace pods::native {
@@ -68,12 +69,38 @@ struct NativeConfig {
   /// a monitor thread; when it becomes true the run fails fast with an
   /// "aborted" error instead of hanging. Pointee must outlive run().
   std::atomic<bool>* abort = nullptr;
+
+  // ---- Multi-process mode (transport == UdpMultiproc) ------------------
+  /// Supervisor: leave localPe at -1 — run() then forks one worker process
+  /// per PE (native/procmgr.hpp) instead of spawning threads. Worker: the
+  /// PE this process executes; everything below is filled from the Boot
+  /// message by the worker entry point.
+  int localPe = -1;
+  std::uint8_t epoch = 0;            // worker incarnation (0 = first boot)
+  WorkerLink* link = nullptr;        // control-channel seam (worker only)
+  bool resume = false;               // rebuild from resumeLog before running
+  RecoveryLog resumeLog;             // replayed stream from the supervisor
+  /// Resume only: RESULT stores the previous incarnation had logged as
+  /// stable, applied as (slot, value) before replay — result slots are
+  /// process-local (not in shm), so the log is their only stable home.
+  std::vector<std::pair<std::uint32_t, Value>> resumeResults;
+  std::string shmName;               // I-structure shm segment to open/create
+  std::uint64_t shmBytes = 0;        // supervisor: segment size (0 = default)
+  int sockFd = -1;                   // worker: inherited bound UDP socket
+  std::vector<std::uint16_t> peerPorts;  // loopback data port of every PE
+  std::uint32_t heartbeatPeriodMs = 25;
+  std::uint32_t heartbeatTimeoutMs = 2000;
 };
 
 struct NativeResult {
   bool ok = false;
   std::string error;
   std::vector<Value> results;
+  /// Parallel to results: whether slot r was stored by THIS process. In
+  /// single-process runs every slot is set on success; in multi-process
+  /// mode each worker sets only the slots its own frames stored and the
+  /// supervisor merges + checks completeness.
+  std::vector<std::uint8_t> resultsSet;
   double wallSeconds = 0.0;
   /// Aggregated run counters ("native.*"): frames created/retired/peak,
   /// free-list reuse, tokens in/out/dropped, idle transitions, instructions.
@@ -89,6 +116,16 @@ struct NativeArray {
   std::vector<Value> elems;
 };
 
+/// Worker snapshot for the supervisor's termination protocol (ctl Status).
+struct WorkerStatus {
+  bool idle = false;
+  std::int64_t pending = 0;
+  std::int64_t inboxTokens = 0;
+  std::int64_t outstanding = 0;
+  std::uint64_t logAppended = 0;
+  std::uint64_t activity = 0;
+};
+
 class NativeMachine {
  public:
   NativeMachine(const SpProgram& prog, NativeConfig cfg);
@@ -102,6 +139,15 @@ class NativeMachine {
 
   /// Post-run array snapshot (for result extraction); nullopt if unknown.
   std::optional<NativeArray> gather(ArrayId id) const;
+
+  // ---- Worker-mode control (called from the procmgr ctl thread) --------
+  /// Quiescence snapshot for a termination Poll.
+  WorkerStatus workerStatus() const;
+  /// Supervisor decided the run is over (End frame): stop the worker loop.
+  void requestStop();
+  /// The supervisor acknowledged log stability up to stream seq `upTo`:
+  /// retry gated flushes and pump pending acks.
+  void noteLogStable(std::uint64_t upTo);
 
  private:
   struct Impl;

@@ -1,0 +1,286 @@
+#include "native/shm_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace pods::native {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x504F445353484D31ULL;  // "PODSSHM1"
+constexpr std::uint32_t kTableCap = 1u << 16;
+constexpr std::uint64_t kTableOff = 4096;
+
+struct Header {
+  std::uint64_t magic;
+  std::uint64_t size;
+  std::atomic<std::uint64_t> bump;  // next free byte offset (8-aligned)
+  std::uint32_t tableCap;
+  std::uint32_t pad;
+};
+
+/// Open-addressed array table entry. `id` is claimed by CAS and `ready` is
+/// published last, so a concurrent lookup either sees a fully-initialized
+/// entry or spins on ready for the (short) init window.
+struct TableEntry {
+  std::atomic<std::uint32_t> id;
+  std::atomic<std::uint32_t> ready;
+  std::uint32_t rank;
+  std::uint32_t pad;
+  std::int64_t dim0;
+  std::int64_t dim1;
+  std::uint64_t cellsOff;
+};
+
+/// One element cell. tag==0 is the I-structure "empty" presence bit;
+/// writers store bits before tag, readers load bits after tag. seq_cst on
+/// tag and waiters gives the Dekker-style guarantee described in the
+/// header: a racing park is either seen by the writer's pop or sees the
+/// writer's tag.
+struct Cell {
+  std::atomic<std::uint64_t> bits;
+  std::atomic<std::uint64_t> waiters;  // offset of first WaitNode, 0 = none
+  std::atomic<std::uint32_t> tag;
+  std::uint32_t pad;
+};
+
+struct WaitNode {
+  std::uint64_t next;  // offset of next node, 0 = end
+  std::uint64_t cont;  // packed continuation of the parked reader
+};
+
+static_assert(sizeof(Header) <= kTableOff, "header must fit the first page");
+static_assert(sizeof(TableEntry) == 40, "table entry layout");
+static_assert(sizeof(Cell) == 24, "cell layout");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shm atomics must be lock-free across processes");
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "shm atomics must be lock-free across processes");
+
+std::uint32_t slotHash(ArrayId id) {
+  std::uint64_t h = static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::uint32_t>(h >> 40);
+}
+
+}  // namespace
+
+ShmStore::~ShmStore() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+  if (owner_ && !name_.empty()) ::shm_unlink(name_.c_str());
+}
+
+bool ShmStore::mapSegment(int fd, std::uint64_t bytes, bool fresh,
+                          std::string* err) {
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) {
+    if (err) *err = std::string("shm mmap: ") + std::strerror(errno);
+    return false;
+  }
+  base_ = static_cast<std::uint8_t*>(p);
+  size_ = bytes;
+  Header* h = reinterpret_cast<Header*>(base_);
+  if (fresh) {
+    h->size = bytes;
+    h->tableCap = kTableCap;
+    h->bump.store(kTableOff + static_cast<std::uint64_t>(kTableCap) *
+                                  sizeof(TableEntry),
+                  std::memory_order_relaxed);
+    h->magic = kMagic;  // last: open() validates magic after mapping
+  } else if (h->magic != kMagic || h->size != bytes) {
+    if (err) *err = "shm segment header mismatch (wrong segment?)";
+    ::munmap(base_, size_);
+    base_ = nullptr;
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<ShmStore> ShmStore::create(const std::string& name,
+                                           std::uint64_t bytes,
+                                           std::string* err) {
+  const std::uint64_t minBytes =
+      kTableOff + static_cast<std::uint64_t>(kTableCap) * sizeof(TableEntry) +
+      (1u << 20);
+  if (bytes < minBytes) bytes = minBytes;
+  int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) {
+    if (err) *err = std::string("shm_open(create): ") + std::strerror(errno);
+    return nullptr;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    if (err) *err = std::string("shm ftruncate: ") + std::strerror(errno);
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return nullptr;
+  }
+  std::unique_ptr<ShmStore> s(new ShmStore());
+  s->name_ = name;
+  s->owner_ = true;
+  if (!s->mapSegment(fd, bytes, /*fresh=*/true, err)) {
+    ::shm_unlink(name.c_str());
+    return nullptr;
+  }
+  return s;
+}
+
+std::unique_ptr<ShmStore> ShmStore::open(const std::string& name,
+                                         std::string* err) {
+  int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    if (err) *err = std::string("shm_open: ") + std::strerror(errno);
+    return nullptr;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    if (err) *err = std::string("shm fstat: ") + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  std::unique_ptr<ShmStore> s(new ShmStore());
+  s->name_ = name;
+  s->owner_ = false;
+  if (!s->mapSegment(fd, static_cast<std::uint64_t>(st.st_size),
+                     /*fresh=*/false, err)) {
+    return nullptr;
+  }
+  return s;
+}
+
+ShmStore::ArrayRef ShmStore::createArray(ArrayId id, std::uint32_t rank,
+                                         std::int64_t dim0,
+                                         std::int64_t dim1) {
+  PODS_CHECK_MSG(id != 0, "shm array ids are nonzero");
+  Header* h = reinterpret_cast<Header*>(base_);
+  TableEntry* table = reinterpret_cast<TableEntry*>(base_ + kTableOff);
+  const std::int64_t elems = rank == 2 ? dim0 * dim1 : dim0;
+  for (std::uint32_t probe = 0; probe < h->tableCap; ++probe) {
+    TableEntry& e = table[(slotHash(id) + probe) & (h->tableCap - 1)];
+    std::uint32_t cur = e.id.load(std::memory_order_acquire);
+    if (cur == 0) {
+      std::uint32_t expect = 0;
+      if (e.id.compare_exchange_strong(expect, id, std::memory_order_acq_rel)) {
+        // We own the slot: allocate zeroed cells (the bump region of a
+        // fresh ftruncate'd segment is zero-filled and never reused, so no
+        // memset is needed), then publish.
+        const std::uint64_t need =
+            static_cast<std::uint64_t>(elems) * sizeof(Cell);
+        const std::uint64_t off =
+            h->bump.fetch_add(need, std::memory_order_relaxed);
+        if (off + need > h->size) return {};  // segment exhausted
+        e.rank = rank;
+        e.dim0 = dim0;
+        e.dim1 = dim1;
+        e.cellsOff = off;
+        e.ready.store(1, std::memory_order_release);
+        return {rank, dim0, dim1, off};
+      }
+      cur = expect;  // lost the race; fall through to the id check
+    }
+    if (cur == id) {
+      while (e.ready.load(std::memory_order_acquire) == 0) {
+        // creator is mid-publish; the window is a few stores
+      }
+      return {e.rank, e.dim0, e.dim1, e.cellsOff};
+    }
+    // different array hashed here — keep probing
+  }
+  return {};  // table full
+}
+
+ShmStore::ArrayRef ShmStore::lookup(ArrayId id) const {
+  const Header* h = reinterpret_cast<const Header*>(base_);
+  TableEntry* table = reinterpret_cast<TableEntry*>(base_ + kTableOff);
+  for (std::uint32_t probe = 0; probe < h->tableCap; ++probe) {
+    TableEntry& e = table[(slotHash(id) + probe) & (h->tableCap - 1)];
+    const std::uint32_t cur = e.id.load(std::memory_order_acquire);
+    if (cur == 0) return {};
+    if (cur == id) {
+      while (e.ready.load(std::memory_order_acquire) == 0) {
+      }
+      return {e.rank, e.dim0, e.dim1, e.cellsOff};
+    }
+  }
+  return {};
+}
+
+bool ShmStore::tryRead(const ArrayRef& a, std::int64_t off, Value* out) const {
+  const Cell* cells = reinterpret_cast<const Cell*>(base_ + a.cellsOff);
+  const Cell& c = cells[off];
+  const std::uint32_t tag = c.tag.load(std::memory_order_seq_cst);
+  if (tag == 0) return false;
+  out->tag = static_cast<Tag>(tag);
+  out->bits = c.bits.load(std::memory_order_relaxed);
+  return true;
+}
+
+bool ShmStore::parkOrRead(const ArrayRef& a, std::int64_t off,
+                          std::uint64_t packedCont, Value* out) {
+  Cell* cells = reinterpret_cast<Cell*>(base_ + a.cellsOff);
+  Cell& c = cells[off];
+  if (tryRead(a, off, out)) return true;
+  Header* h = reinterpret_cast<Header*>(base_);
+  const std::uint64_t nodeOff =
+      h->bump.fetch_add(sizeof(WaitNode), std::memory_order_relaxed);
+  PODS_CHECK_MSG(nodeOff + sizeof(WaitNode) <= h->size,
+                 "shm segment exhausted by waiter nodes");
+  WaitNode* node = reinterpret_cast<WaitNode*>(base_ + nodeOff);
+  node->cont = packedCont;
+  std::uint64_t head = c.waiters.load(std::memory_order_relaxed);
+  do {
+    node->next = head;
+  } while (!c.waiters.compare_exchange_weak(head, nodeOff,
+                                            std::memory_order_seq_cst));
+  // Re-check after the push: if the writer published between our first
+  // check and the push, its pop may have missed our node — but then this
+  // load sees the tag and we proceed with the value. The stale node stays
+  // on the (now only ever re-drained) stack; a duplicate wake from a
+  // replaying writer is dropped by the reader's own park registry.
+  return tryRead(a, off, out);
+}
+
+bool ShmStore::write(const ArrayRef& a, std::int64_t off, const Value& v,
+                     Value* prev, bool* wasSet,
+                     std::vector<std::uint64_t>* woken) {
+  Cell* cells = reinterpret_cast<Cell*>(base_ + a.cellsOff);
+  Cell& c = cells[off];
+  const std::uint32_t old = c.tag.load(std::memory_order_seq_cst);
+  if (old != 0) {
+    *wasSet = true;
+    prev->tag = static_cast<Tag>(old);
+    prev->bits = c.bits.load(std::memory_order_relaxed);
+  } else {
+    *wasSet = false;
+    c.bits.store(v.bits, std::memory_order_relaxed);
+    c.tag.store(static_cast<std::uint32_t>(v.tag), std::memory_order_seq_cst);
+  }
+  // Drain the waiter stack even on a rewrite: replay's identical-rewrite
+  // must re-issue wakes in case the original writer died after publishing
+  // the tag but before its wake tokens escaped.
+  std::uint64_t head = c.waiters.exchange(0, std::memory_order_seq_cst);
+  while (head != 0) {
+    PODS_CHECK_MSG(head + sizeof(WaitNode) <= size_, "corrupt shm waiter");
+    const WaitNode* node = reinterpret_cast<const WaitNode*>(base_ + head);
+    woken->push_back(node->cont);
+    head = node->next;
+  }
+  return true;
+}
+
+void ShmStore::gather(const ArrayRef& a, std::vector<Value>* out) const {
+  const std::int64_t n = a.elems();
+  out->assign(static_cast<std::size_t>(n), Value{});
+  for (std::int64_t i = 0; i < n; ++i) {
+    Value v;
+    if (tryRead(a, i, &v)) (*out)[static_cast<std::size_t>(i)] = v;
+  }
+}
+
+}  // namespace pods::native

@@ -1,0 +1,112 @@
+// POSIX shared-memory I-structure store for multi-process PODS.
+//
+// In the single-process native machine, I-structure arrays live in one
+// global table guarded by a mutex. With PEs as separate OS processes that
+// model breaks — and the paper gives us the right replacement: its target
+// machine keeps "structure memory" in modules *separate from the PEs*, so
+// array elements survive a PE failure by construction. We reproduce that by
+// putting every array's element cells in one POSIX shm segment created by
+// the supervisor: a `kill -9`'d worker loses its frames and parks, but the
+// single-assignment element store is intact when the respawned process
+// re-attaches, which is what "segment restore" means in this mode.
+//
+// Concurrency: cells are written at most once (single assignment) and read
+// by any PE, lock-free:
+//   * a cell is {bits, waiter-stack head, tag}; the writer stores bits, then
+//     publishes tag (the presence bit), then pops the whole waiter stack and
+//     sends wake tokens;
+//   * a reader finding tag unset pushes a waiter node (Treiber stack) and
+//     re-checks tag — with seq_cst on both sides, either the writer's pop
+//     sees the node or the reader's re-check sees the tag, so no park is
+//     lost;
+//   * waiter nodes are bump-allocated and never freed or reused, so a stale
+//     node reference can never alias a new park.
+// Kill recovery leans on one extra rule: a re-executed write of the same
+// value (the identical-rewrite no-op of replay) must STILL pop waiters and
+// re-send wakes, because the original writer may have died between
+// publishing the tag and sending the wake tokens.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/value.hpp"
+
+namespace pods::native {
+
+/// One mapped shm segment. The supervisor create()s (and unlinks on
+/// destruction); workers open() by name — including on respawn, which is
+/// the segment-restore step of recovery.
+class ShmStore {
+ public:
+  ~ShmStore();
+  ShmStore(const ShmStore&) = delete;
+  ShmStore& operator=(const ShmStore&) = delete;
+
+  static std::unique_ptr<ShmStore> create(const std::string& name,
+                                          std::uint64_t bytes,
+                                          std::string* err);
+  static std::unique_ptr<ShmStore> open(const std::string& name,
+                                        std::string* err);
+
+  const std::string& name() const { return name_; }
+
+  /// A resolved array: shape plus the element-cell base. Cheap to copy;
+  /// valid for the life of the mapping.
+  struct ArrayRef {
+    std::uint32_t rank = 0;
+    std::int64_t dim0 = 0;
+    std::int64_t dim1 = 0;
+    std::uint64_t cellsOff = 0;  // offset of the first cell in the segment
+    std::int64_t elems() const { return rank == 2 ? dim0 * dim1 : dim0; }
+    bool valid() const { return cellsOff != 0; }
+  };
+
+  /// Idempotent create-or-lookup: the first caller claims the table slot
+  /// and allocates zeroed cells; a replayed ALLOC or a concurrent reader
+  /// gets the same ArrayRef. Returns !valid() when the segment is out of
+  /// space or the table is full (the caller fails the run).
+  ArrayRef createArray(ArrayId id, std::uint32_t rank, std::int64_t dim0,
+                       std::int64_t dim1);
+
+  /// Lookup only — !valid() when `id` has not been created. Spins briefly
+  /// if the creator is mid-publish (claim precedes ready).
+  ArrayRef lookup(ArrayId id) const;
+
+  /// Non-blocking element read. True + value when present.
+  bool tryRead(const ArrayRef& a, std::int64_t off, Value* out) const;
+
+  /// Split-phase read: pushes a waiter node for `packedCont`, then
+  /// re-checks presence. Returns true + value when the element turned out
+  /// present (the node stays on the stack; the eventual writer's duplicate
+  /// wake is dropped by the reader's park registry). Returns false when
+  /// genuinely parked.
+  bool parkOrRead(const ArrayRef& a, std::int64_t off,
+                  std::uint64_t packedCont, Value* out);
+
+  /// Single-assignment write. Fills `prev` with the prior value when the
+  /// cell was already set (the caller checks identical-rewrite), and always
+  /// drains the waiter stack into `woken` (packed continuations) — also on
+  /// rewrite, for the writer-died-before-wake replay case.
+  /// Returns false when the write failed (allocator exhaustion can't happen
+  /// here; reserved for future use).
+  bool write(const ArrayRef& a, std::int64_t off, const Value& v, Value* prev,
+             bool* wasSet, std::vector<std::uint64_t>* woken);
+
+  /// Supervisor-side gather after the run: all elements of `a`.
+  void gather(const ArrayRef& a, std::vector<Value>* out) const;
+
+ private:
+  ShmStore() = default;
+  bool mapSegment(int fd, std::uint64_t bytes, bool fresh, std::string* err);
+
+  std::string name_;
+  bool owner_ = false;
+  std::uint8_t* base_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace pods::native

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -53,9 +54,21 @@ constexpr std::uint8_t kTypeLegacyAck = 2;
 constexpr std::uint8_t kTypeShutdown = 3;
 constexpr std::uint8_t kTypeBatch = 4;
 constexpr std::uint8_t kTypeCumAck = 5;
+// Multi-process (epoch-stamped) variants: same record/ack bodies plus one
+// incarnation byte, so a respawned sender's renumbered stream is never
+// confused with its predecessor's.
+constexpr std::uint8_t kTypeBatchE = 6;
+constexpr std::uint8_t kTypeCumAckE = 7;
 
 // Cumulative ack: type + ackerPe u16 + cumSeq u64 + bitmap u64.
 constexpr std::size_t kCumAckWireBytes = 19;
+// Epoch batch header: type + srcPe u16 + count u16 + epoch u8.
+constexpr std::size_t kBatchEHeaderBytes = 6;
+// Epoch cumulative ack: kCumAckWireBytes + epoch u8. The epoch is the
+// *acked stream's sender's* incarnation as known by the acker — a reborn
+// sender must drop acks for its predecessor's stream, whose seq numbers
+// would otherwise wrongly retire the fresh renumbered ones.
+constexpr std::size_t kCumAckEWireBytes = 20;
 
 // Outbox flush deadline: how long a partially-filled batch may sit before
 // the timer thread ships it. The sending worker's loop flushes far more
@@ -1088,6 +1101,16 @@ class UdpTransport final : public Transport {
         break;
       }
       case kTypeShutdown:
+        // Teardown trust: the shutdown wake-up is only ever self-sent from
+        // this PE's own socket in stop(). Accepting it from an arbitrary
+        // endpoint would let any process that discovers the ephemeral port
+        // wedge the receiver sweep early — validate the sender.
+        if (src.sin_addr.s_addr !=
+                addrs_[static_cast<std::size_t>(pe)].sin_addr.s_addr ||
+            src.sin_port != addrs_[static_cast<std::size_t>(pe)].sin_port) {
+          badDatagrams_.fetch_add(1);
+          break;
+        }
         if (rxStop_.load()) return false;
         break;
       case kTypeLegacyAck:  // retired per-message ack: reject, don't parse
@@ -1187,6 +1210,801 @@ class UdpTransport final : public Transport {
   std::atomic<std::int64_t> faultDelays_{0};
 };
 
+// ---------------------------------------------------------------------------
+// UdpMultiprocTransport: the worker-process side of --transport=udp-multiproc.
+//
+// Same batch/cumulative-ack protocol as UdpTransport, with four differences
+// forced by PEs being separate killable processes:
+//
+//   socket   this process owns exactly ONE socket, created+bound by the
+//            supervisor and inherited across fork. The supervisor keeps its
+//            own fd copy, so the port binding and any datagrams buffered in
+//            the kernel survive a kill -9 of this process — the socket is
+//            the paper's "NIC outlives the PE". Peers are addressed by the
+//            fixed loopback port table from the Boot message.
+//   epochs   every data datagram and ack carries the sender incarnation.
+//            A respawned worker boots with epoch+1 and renumbers all of its
+//            links from seq 1; receivers reset the link's receive window the
+//            first time they see a higher epoch from a source (the logical
+//            dedup ledgers absorb the replayed payloads), and a reborn
+//            sender drops acks stamped with its predecessor's epoch.
+//   output   a token may be ACKED only once its Recv record is stable at
+//   commit   the supervisor (an acked-but-unlogged token would never be
+//            retransmitted and would vanish with the next kill), and an
+//            outbox may be FLUSHED only once the log records that preceded
+//            the sends are stable (the NEWCTX/ALLOC mints behind a send are
+//            not replay-stable until logged). Both gates hang off the
+//            WorkerLink stable watermark and are retried by the worker
+//            loop's 1 ms poll and by onStableAdvance().
+//   faults   no datagram dice: fault injection (including the kill plan)
+//            is the SUPERVISOR's job in this mode — it SIGKILLs whole
+//            processes; drop/dup/delay arrive zeroed in the worker's
+//            FaultConfig (the retry policy rides along unchanged).
+// ---------------------------------------------------------------------------
+
+class UdpMultiprocTransport final : public Transport {
+ public:
+  UdpMultiprocTransport(TransportSink& sink, const FaultPlan& plan, int numPes,
+                        int localPe, std::uint8_t epoch, int sockFd,
+                        const std::vector<std::uint16_t>& peerPorts,
+                        WorkerLink* link)
+      : sink_(sink),
+        numPes_(numPes),
+        me_(localPe),
+        epoch_(epoch),
+        fd_(sockFd),
+        link_(link),
+        links_(static_cast<std::size_t>(numPes) * numPes),
+        sender_(plan.config().retry, plan.enabled()),
+        rx_(plan.config().retry, plan.enabled()),
+        knownEpoch_(static_cast<std::size_t>(numPes), 0) {
+    addrs_.assign(static_cast<std::size_t>(numPes), sockaddr_in{});
+    for (int pe = 0; pe < numPes; ++pe) {
+      sockaddr_in& sa = addrs_[static_cast<std::size_t>(pe)];
+      sa.sin_family = AF_INET;
+      sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      sa.sin_port = htons(peerPorts[static_cast<std::size_t>(pe)]);
+    }
+    out_.reserve(static_cast<std::size_t>(numPes));
+    acks_.reserve(static_cast<std::size_t>(numPes));
+    for (int pe = 0; pe < numPes; ++pe) {
+      out_.push_back(std::make_unique<LinkOut>());
+      acks_.push_back(std::make_unique<AckState>());
+    }
+  }
+
+  ~UdpMultiprocTransport() override { stop(); }
+
+  const char* name() const override { return "udp-multiproc"; }
+
+  bool start(std::string* err) override {
+    if (fd_ < 0) {
+      if (err) *err = "udp-multiproc transport: no inherited socket fd";
+      return false;
+    }
+    int rcvbuf = 4 << 20;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    // Bounded block so the receiver notices rxStop_ without a wake datagram
+    // (a respawned sibling may hold stale addresses; self-wakes are the one
+    // thing the teardown-trust rule forbids accepting blindly).
+    timeval tv{};
+    tv.tv_usec = 20000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    rxThread_ = std::thread([this] { recvMain(); });
+    timerThread_ = std::thread([this] { timerMain(); });
+    return true;
+  }
+
+  void send(int fromPe, int toPe, NToken tok) override {
+    PODS_CHECK_MSG(fromPe == me_, "multiproc transport: send from foreign PE");
+    LinkOut& lk = *out_[static_cast<std::size_t>(toPe)];
+    link(fromPe, toPe).tokens.fetch_add(1);
+    tokensSent_.fetch_add(1);
+    bool wrote = false;
+    bool full = false;
+    bool first = false;
+    while (!wrote) {
+      {
+        std::lock_guard<std::mutex> g(lk.m);
+        if (lk.count < kBatchMaxTokens) {
+          const std::uint64_t seq = ++lk.nextSeq;
+          tok.msgId = proto::Delivery::packLinkMsgId(fromPe, toPe, seq);
+          std::uint8_t* rec =
+              lk.buf + kBatchEHeaderBytes +
+              static_cast<std::size_t>(lk.count) * kTokenWireBytes;
+          wireEncodeToken(tok, static_cast<std::uint16_t>(fromPe), rec);
+          std::memcpy(lk.unackedWire[seq].data(), rec, kTokenWireBytes);
+          // Output commit: everything this token's payload may depend on
+          // (mints, received tokens) is in the log stream by now — the
+          // batch must not hit the wire before that prefix is stable.
+          if (link_) lk.gateSeq = link_->logAppended();
+          if (lk.count == 0) {
+            first = true;
+            dirty_.fetch_add(1, std::memory_order_release);
+          }
+          if (lk.freshCount == 0) lk.firstFreshSeq = seq;
+          ++lk.count;
+          ++lk.freshCount;
+          full = lk.count == kBatchMaxTokens;
+          wrote = true;
+        }
+      }
+      if (!wrote) flushLink(toPe, FlushWhy::Full);
+    }
+    if (full)
+      flushLink(toPe, FlushWhy::Full);
+    else if (first)
+      armFlushTimer(toPe);
+  }
+
+  void flush(int fromPe) override {
+    (void)fromPe;
+    if (dirty_.load(std::memory_order_acquire) == 0) return;
+    for (int to = 0; to < numPes_; ++to) {
+      if (to == me_) continue;
+      flushLink(to, FlushWhy::Drain);
+    }
+  }
+
+  void stop() override {
+    if (!rxThread_.joinable() && !timerThread_.joinable()) return;
+    rxStop_.store(true);
+    {
+      std::lock_guard<std::mutex> g(m_);
+      timerStop_ = true;
+    }
+    timerCv_.notify_all();
+    if (rxThread_.joinable()) rxThread_.join();
+    if (timerThread_.joinable()) timerThread_.join();
+    // fd_ stays open: the supervisor owns the socket's lifetime.
+  }
+
+  void addStats(Counters& out) const override {
+    out.add("net.udp.tokensSent", tokensSent_.load());
+    out.add("net.udp.datagramsSent", datagramsSent_.load());
+    out.add("net.udp.bytesSent", bytesSent_.load());
+    out.add("net.udp.datagramsRecv", datagramsRecv_.load());
+    out.add("net.udp.bytesRecv", bytesRecv_.load());
+    out.add("net.udp.acksSent", acksSent_.load());
+    out.add("net.udp.acksRecv", acksRecv_.load());
+    out.add("net.udp.sendErrors", sendErrors_.load());
+    out.add("net.udp.badDatagrams", badDatagrams_.load());
+    out.add("net.udp.staleEpoch", staleEpoch_.load());
+    out.add("net.udp.staleAcks", staleAcks_.load());
+    out.add("net.udp.gatedFlushes", gatedFlushes_.load());
+    const std::int64_t bd = batchDgrams_.load();
+    const std::int64_t bt = batchTokens_.load();
+    out.add("net.udp.batch.datagrams", bd);
+    out.add("net.udp.batch.tokens", bt);
+    out.add("net.udp.batch.tokensPerDgram", bd > 0 ? bt / bd : 0);
+    out.add("net.udp.batch.flushFull", flushFull_.load());
+    out.add("net.udp.batch.flushDeadline", flushDeadline_.load());
+    out.add("net.udp.batch.flushDrain", flushDrain_.load());
+    out.add("net.udp.batch.flushRetx", flushRetx_.load());
+    {
+      std::lock_guard<std::mutex> g(m_);
+      sender_.addStats(out);
+    }
+    rx_.addStats(out);
+    addLinkStats(out, links_, numPes_);
+  }
+
+  // ---- Multi-process hooks -------------------------------------------
+
+  void noteDrained(std::uint64_t msgId, std::uint8_t epoch,
+                   std::uint64_t logSeq) override {
+    if (msgId == 0) return;  // local delivery: nothing to ack
+    const int src = static_cast<int>(msgId >> 56) & 0xFF;
+    AckState& ack = *acks_[static_cast<std::size_t>(src)];
+    std::lock_guard<std::mutex> g(ack.m);
+    // A token from a dead incarnation needs no ack — its sender is gone and
+    // the reborn one re-sends under the new epoch.
+    if (epoch != ack.epoch) return;
+    ack.pend.push_back({proto::Delivery::linkMsgIdSeq(msgId), logSeq});
+    ack.due.store(true, std::memory_order_release);
+  }
+
+  void pumpAcks() override {
+    const std::uint64_t stable =
+        link_ ? link_->logStable() : ~std::uint64_t{0};
+    for (int src = 0; src < numPes_; ++src) {
+      if (src == me_) continue;
+      AckState& ack = *acks_[static_cast<std::size_t>(src)];
+      if (!ack.due.load(std::memory_order_acquire)) continue;
+      proto::Delivery::CumAckView view;
+      std::uint8_t epoch = 0;
+      bool moved = false;
+      {
+        std::lock_guard<std::mutex> g(ack.m);
+        while (!ack.pend.empty() && ack.pend.front().logSeq <= stable) {
+          ack.win.acceptSeq(src, me_, ack.pend.front().seq);
+          ack.pend.pop_front();
+          moved = true;
+        }
+        if (ack.pend.empty()) ack.due.store(false, std::memory_order_release);
+        if (moved) {
+          view = ack.win.cumAckView(src, me_);
+          epoch = ack.epoch;
+        }
+      }
+      if (moved) sendCumAckE(src, view, epoch);
+    }
+  }
+
+  void onStableAdvance() override {
+    flush(me_);
+    pumpAcks();
+  }
+
+  std::int64_t outstanding() const override {
+    std::int64_t n = 0;
+    for (int to = 0; to < numPes_; ++to) {
+      if (to == me_) continue;
+      LinkOut& lk = *out_[static_cast<std::size_t>(to)];
+      std::lock_guard<std::mutex> g(lk.m);
+      n += lk.count;
+    }
+    {
+      std::lock_guard<std::mutex> g(m_);
+      n += static_cast<std::int64_t>(sender_.windowSize());
+    }
+    return n;
+  }
+
+  void primeRecv(std::uint64_t msgId, std::uint8_t epoch) override {
+    // Pre-start rebuild (no threads yet). The log replays in receive order,
+    // so per-source epochs are non-decreasing: only the newest incarnation's
+    // stream is rebuilt — older streams died with their senders.
+    const int src = static_cast<int>(msgId >> 56) & 0xFF;
+    AckState& ack = *acks_[static_cast<std::size_t>(src)];
+    if (epoch < knownEpoch_[static_cast<std::size_t>(src)]) return;
+    if (epoch > knownEpoch_[static_cast<std::size_t>(src)]) {
+      knownEpoch_[static_cast<std::size_t>(src)] = epoch;
+      rx_.resetRecvLink(src, me_);
+      ack.win = proto::Delivery();
+      ack.epoch = epoch;
+    }
+    const std::uint64_t seq = proto::Delivery::linkMsgIdSeq(msgId);
+    rx_.acceptSeq(src, me_, seq);
+    ack.win.acceptSeq(src, me_, seq);
+  }
+
+  void barrierSnapshot(std::vector<std::uint64_t>& out) override {
+    out.assign(static_cast<std::size_t>(numPes_), 0);
+    for (int to = 0; to < numPes_; ++to) {
+      if (to == me_) continue;
+      LinkOut& lk = *out_[static_cast<std::size_t>(to)];
+      std::lock_guard<std::mutex> g(lk.m);
+      out[static_cast<std::size_t>(to)] = lk.nextSeq;
+    }
+  }
+
+  bool barrierPassed(const std::vector<std::uint64_t>& snap) override {
+    for (int to = 0; to < numPes_; ++to) {
+      if (to == me_ || snap[static_cast<std::size_t>(to)] == 0) continue;
+      {
+        std::lock_guard<std::mutex> g(m_);
+        const std::uint64_t low = sender_.lowestUnackedSeq(me_, to);
+        if (low != 0 && low <= snap[static_cast<std::size_t>(to)])
+          return false;
+      }
+      // Tokens still coalescing (or gate-parked) in the outbox are not in
+      // the sender window yet — lowestUnackedSeq alone would pass early.
+      LinkOut& lk = *out_[static_cast<std::size_t>(to)];
+      std::lock_guard<std::mutex> g(lk.m);
+      if (lk.freshCount > 0 &&
+          lk.firstFreshSeq <= snap[static_cast<std::size_t>(to)])
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  struct LinkOut {
+    std::mutex m;
+    std::uint8_t buf[kBatchMaxBytes];
+    int count = 0;
+    int freshCount = 0;
+    std::uint64_t firstFreshSeq = 0;
+    std::uint64_t nextSeq = 0;
+    /// Output-commit gate: log stream position that must be stable before
+    /// this outbox may hit the wire (high-water over its parked tokens).
+    std::uint64_t gateSeq = 0;
+    std::unordered_map<std::uint64_t,
+                       std::array<std::uint8_t, kTokenWireBytes>>
+        unackedWire;
+    std::priority_queue<
+        std::pair<Clock::time_point, std::uint64_t>,
+        std::vector<std::pair<Clock::time_point, std::uint64_t>>,
+        std::greater<std::pair<Clock::time_point, std::uint64_t>>>
+        retxQ;
+    bool retxArmed = false;
+    Clock::time_point armedDue{};
+  };
+
+  /// Ack gating state for one source PE. The rx thread deposits and wire-
+  /// dedups but never acks fresh tokens; the worker thread reports each
+  /// drain (with its Recv record's stream position) and pumpAcks() moves
+  /// entries into the ackable window `win` once the supervisor has made
+  /// their records stable.
+  struct AckState {
+    std::mutex m;
+    struct Pend {
+      std::uint64_t seq;
+      std::uint64_t logSeq;
+    };
+    std::deque<Pend> pend;
+    proto::Delivery win;      // ackable window: stable-logged seqs only
+    std::uint8_t epoch = 0;   // sender incarnation the window belongs to
+    std::atomic<bool> due{false};
+  };
+
+  enum class FlushWhy : std::uint8_t { Full, Drain, Deadline, Retx };
+
+  struct TimerEv {
+    Clock::time_point due;
+    enum class Kind : std::uint8_t { Retx, Flush } kind = Kind::Retx;
+    int toPe = 0;
+  };
+  struct EvLater {
+    bool operator()(const TimerEv& a, const TimerEv& b) const {
+      return a.due > b.due;
+    }
+  };
+
+  LinkStat& link(int fromPe, int toPe) {
+    return links_[static_cast<std::size_t>(fromPe * numPes_ + toPe)];
+  }
+
+  void rawSend(const sockaddr_in& to, const void* data, std::size_t len) {
+    for (int attempt = 0;; ++attempt) {
+      const ssize_t n = ::sendto(fd_, data, len, 0,
+                                 reinterpret_cast<const sockaddr*>(&to),
+                                 sizeof to);
+      if (n >= 0) return;
+      if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) &&
+          attempt < 4) {
+        std::this_thread::yield();
+        continue;
+      }
+      sendErrors_.fetch_add(1);
+      return;
+    }
+  }
+
+  void xmitWire(int toPe, const std::uint8_t* data, std::size_t len) {
+    rawSend(addrs_[static_cast<std::size_t>(toPe)], data, len);
+    LinkStat& l = link(me_, toPe);
+    l.datagrams.fetch_add(1);
+    l.bytes.fetch_add(static_cast<std::int64_t>(len));
+    datagramsSent_.fetch_add(1);
+    bytesSent_.fetch_add(static_cast<std::int64_t>(len));
+  }
+
+  void pushTimerEv(TimerEv ev) {
+    bool newFront = false;
+    {
+      std::lock_guard<std::mutex> g(m_);
+      newFront = heap_.empty() || ev.due < heap_.front().due;
+      heap_.push_back(std::move(ev));
+      std::push_heap(heap_.begin(), heap_.end(), EvLater{});
+    }
+    if (newFront) timerCv_.notify_one();
+  }
+
+  void armFlushTimer(int toPe) {
+    TimerEv ev;
+    ev.due = Clock::now() + micros(kFlushDeadlineUs);
+    ev.kind = TimerEv::Kind::Flush;
+    ev.toPe = toPe;
+    pushTimerEv(std::move(ev));
+  }
+
+  void flushLink(int toPe, FlushWhy why) {
+    LinkOut& lk = *out_[static_cast<std::size_t>(toPe)];
+    std::uint8_t dgram[kBatchMaxBytes];
+    std::size_t len = 0;
+    int count = 0;
+    int fresh = 0;
+    std::uint64_t firstFreshSeq = 0;
+    {
+      std::lock_guard<std::mutex> g(lk.m);
+      if (lk.count == 0) return;
+      if (link_ && link_->logStable() < lk.gateSeq) {
+        // Output commit: the log prefix behind these sends is not stable
+        // yet. Retried by the worker loop's poll and onStableAdvance().
+        gatedFlushes_.fetch_add(1);
+        return;
+      }
+      count = lk.count;
+      fresh = lk.freshCount;
+      firstFreshSeq = lk.firstFreshSeq;
+      lk.buf[0] = kTypeBatchE;
+      put16(lk.buf + 1, static_cast<std::uint16_t>(me_));
+      put16(lk.buf + 3, static_cast<std::uint16_t>(count));
+      lk.buf[5] = epoch_;
+      len = kBatchEHeaderBytes +
+            static_cast<std::size_t>(count) * kTokenWireBytes;
+      std::memcpy(dgram, lk.buf, len);
+      lk.count = 0;
+      lk.freshCount = 0;
+      dirty_.fetch_sub(1, std::memory_order_release);
+    }
+    if (fresh > 0) {
+      const std::uint64_t firstMsgId =
+          proto::Delivery::packLinkMsgId(me_, toPe, firstFreshSeq);
+      {
+        std::lock_guard<std::mutex> g(m_);
+        sender_.onSendBatch(firstMsgId, fresh);
+      }
+      const auto due = Clock::now() + micros(sender_.initialRtoUs());
+      bool arm = false;
+      {
+        std::lock_guard<std::mutex> g(lk.m);
+        for (int i = 0; i < fresh; ++i)
+          lk.retxQ.emplace(due,
+                           firstFreshSeq + static_cast<std::uint64_t>(i));
+        if (!lk.retxArmed || due < lk.armedDue) {
+          lk.retxArmed = true;
+          lk.armedDue = due;
+          arm = true;
+        }
+      }
+      if (arm) {
+        TimerEv ev;
+        ev.due = due;
+        ev.kind = TimerEv::Kind::Retx;
+        ev.toPe = toPe;
+        pushTimerEv(std::move(ev));
+      }
+    }
+    switch (why) {
+      case FlushWhy::Full: flushFull_.fetch_add(1); break;
+      case FlushWhy::Drain: flushDrain_.fetch_add(1); break;
+      case FlushWhy::Deadline: flushDeadline_.fetch_add(1); break;
+      case FlushWhy::Retx: flushRetx_.fetch_add(1); break;
+    }
+    batchDgrams_.fetch_add(1);
+    batchTokens_.fetch_add(count);
+    xmitWire(toPe, dgram, len);
+  }
+
+  void requeueRetransmits(int toPe, const std::vector<std::uint64_t>& msgIds) {
+    LinkOut& lk = *out_[static_cast<std::size_t>(toPe)];
+    std::size_t i = 0;
+    while (i < msgIds.size()) {
+      bool needFlush = false;
+      {
+        std::lock_guard<std::mutex> g(lk.m);
+        for (; i < msgIds.size(); ++i) {
+          const std::uint64_t seq = proto::Delivery::linkMsgIdSeq(msgIds[i]);
+          auto it = lk.unackedWire.find(seq);
+          if (it == lk.unackedWire.end()) continue;  // acked meanwhile
+          if (lk.count == kBatchMaxTokens) {
+            needFlush = true;
+            break;
+          }
+          std::memcpy(lk.buf + kBatchEHeaderBytes +
+                          static_cast<std::size_t>(lk.count) * kTokenWireBytes,
+                      it->second.data(), kTokenWireBytes);
+          if (lk.count == 0) dirty_.fetch_add(1, std::memory_order_release);
+          ++lk.count;
+          link(me_, toPe).retx.fetch_add(1);
+        }
+      }
+      if (needFlush) flushLink(toPe, FlushWhy::Retx);
+    }
+    flushLink(toPe, FlushWhy::Retx);
+  }
+
+  void fireRetx(int toPe) {
+    LinkOut& lk = *out_[static_cast<std::size_t>(toPe)];
+    std::vector<std::uint64_t> expired;
+    {
+      std::lock_guard<std::mutex> g(lk.m);
+      const auto now = Clock::now();
+      while (!lk.retxQ.empty() && lk.retxQ.top().first <= now) {
+        expired.push_back(lk.retxQ.top().second);
+        lk.retxQ.pop();
+      }
+    }
+    std::vector<std::uint64_t> again;
+    std::vector<double> backoffUs;
+    int gaveUpAttempt = 0;
+    if (!expired.empty()) {
+      std::lock_guard<std::mutex> g(m_);
+      for (const std::uint64_t seq : expired) {
+        const proto::TimeoutDecision d = sender_.onTimeout(
+            proto::Delivery::packLinkMsgId(me_, toPe, seq));
+        if (d.kind == proto::TimeoutDecision::Kind::Stale) continue;
+        if (d.kind == proto::TimeoutDecision::Kind::GiveUp) {
+          gaveUpAttempt = d.attempt;
+          continue;
+        }
+        again.push_back(proto::Delivery::packLinkMsgId(me_, toPe, seq));
+        backoffUs.push_back(d.backoffUs);
+      }
+    }
+    if (gaveUpAttempt != 0) {
+      sink_.transportFail(
+          "udp-multiproc transport: reliable delivery gave up on a token "
+          "from worker " +
+          std::to_string(me_) + " to worker " + std::to_string(toPe) +
+          " after " + std::to_string(gaveUpAttempt) + " attempts");
+    }
+    if (!again.empty()) requeueRetransmits(toPe, again);
+    bool arm = false;
+    Clock::time_point due{};
+    {
+      std::lock_guard<std::mutex> g(lk.m);
+      const auto now = Clock::now();
+      for (std::size_t i = 0; i < again.size(); ++i)
+        lk.retxQ.emplace(now + micros(backoffUs[i]),
+                         proto::Delivery::linkMsgIdSeq(again[i]));
+      if (!lk.retxQ.empty()) {
+        due = lk.retxQ.top().first;
+        lk.retxArmed = true;
+        lk.armedDue = due;
+        arm = true;
+      } else {
+        lk.retxArmed = false;
+      }
+    }
+    if (arm) {
+      TimerEv ev;
+      ev.due = due;
+      ev.kind = TimerEv::Kind::Retx;
+      ev.toPe = toPe;
+      pushTimerEv(std::move(ev));
+    }
+  }
+
+  void sendCumAckE(int srcPe, const proto::Delivery::CumAckView& view,
+                   std::uint8_t epoch) {
+    std::uint8_t pkt[kCumAckEWireBytes];
+    pkt[0] = kTypeCumAckE;
+    put16(pkt + 1, static_cast<std::uint16_t>(me_));
+    put64(pkt + 3, view.cum);
+    put64(pkt + 11, view.bitmap);
+    pkt[19] = epoch;
+    rawSend(addrs_[static_cast<std::size_t>(srcPe)], pkt, sizeof pkt);
+    acksSent_.fetch_add(1);
+  }
+
+  void recvMain() {
+    std::uint8_t buf[2048];
+    std::vector<NToken> toks;
+    while (!rxStop_.load()) {
+      sockaddr_in src{};
+      socklen_t srcLen = sizeof src;
+      const ssize_t n =
+          ::recvfrom(fd_, buf, sizeof buf, 0,
+                     reinterpret_cast<sockaddr*>(&src), &srcLen);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+          continue;  // SO_RCVTIMEO tick: re-check the stop flag
+        return;      // socket gone
+      }
+      if (n < 1) continue;
+      handleDatagram(buf, static_cast<std::size_t>(n));
+    }
+    // Final non-blocking sweep (acks queued behind the last poll).
+    for (;;) {
+      sockaddr_in src{};
+      socklen_t srcLen = sizeof src;
+      const ssize_t n =
+          ::recvfrom(fd_, buf, sizeof buf, MSG_DONTWAIT,
+                     reinterpret_cast<sockaddr*>(&src), &srcLen);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n < 1) continue;
+      handleDatagram(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  void handleDatagram(std::uint8_t* buf, std::size_t n) {
+    datagramsRecv_.fetch_add(1);
+    bytesRecv_.fetch_add(static_cast<std::int64_t>(n));
+    switch (buf[0]) {
+      case kTypeBatchE: {
+        if (n < kBatchEHeaderBytes) {
+          badDatagrams_.fetch_add(1);
+          break;
+        }
+        const std::uint16_t srcPe = get16(buf + 1);
+        const int count = get16(buf + 3);
+        const std::uint8_t e = buf[5];
+        if (srcPe >= numPes_ || srcPe == me_ || count < 1 ||
+            count > kBatchMaxTokens ||
+            n != kBatchEHeaderBytes +
+                     static_cast<std::size_t>(count) * kTokenWireBytes) {
+          badDatagrams_.fetch_add(1);
+          break;
+        }
+        // All-or-nothing decode before any window mutation.
+        std::vector<NToken> toks;
+        toks.reserve(static_cast<std::size_t>(count));
+        bool ok = true;
+        for (int i = 0; i < count; ++i) {
+          NToken tok;
+          std::uint16_t recSrc = 0;
+          if (!wireDecodeToken(buf + kBatchEHeaderBytes +
+                                   static_cast<std::size_t>(i) *
+                                       kTokenWireBytes,
+                               kTokenWireBytes, tok, &recSrc) ||
+              recSrc != srcPe) {
+            ok = false;
+            break;
+          }
+          tok.epoch = e;
+          toks.push_back(tok);
+        }
+        if (!ok) {
+          badDatagrams_.fetch_add(1);
+          break;
+        }
+        AckState& ack = *acks_[static_cast<std::size_t>(srcPe)];
+        if (e < knownEpoch_[static_cast<std::size_t>(srcPe)]) {
+          // The sender of this datagram is dead; its reborn successor
+          // renumbered the link. Nothing from the old stream may touch the
+          // new windows.
+          staleEpoch_.fetch_add(1);
+          break;
+        }
+        if (e > knownEpoch_[static_cast<std::size_t>(srcPe)]) {
+          knownEpoch_[static_cast<std::size_t>(srcPe)] = e;
+          rx_.resetRecvLink(srcPe, me_);
+          std::lock_guard<std::mutex> g(ack.m);
+          ack.pend.clear();
+          ack.win = proto::Delivery();
+          ack.epoch = e;
+        }
+        bool hadDup = false;
+        for (NToken& tok : toks) {
+          const std::uint64_t seq =
+              proto::Delivery::linkMsgIdSeq(tok.msgId);
+          if (rx_.acceptSeq(srcPe, me_, seq)) {
+            // Fresh: deposit only. The ack waits until the worker thread
+            // drains the token AND its Recv record is supervisor-stable
+            // (noteDrained -> pumpAcks) — acking now would let a kill
+            // between ack and log lose the token forever.
+            sink_.deposit(me_, numPes_, std::move(tok));
+          } else {
+            hadDup = true;
+          }
+        }
+        if (hadDup) {
+          // The sender is retransmitting: re-ack the stable window
+          // immediately (it never covers unlogged tokens).
+          proto::Delivery::CumAckView view;
+          std::uint8_t ackEpoch = 0;
+          {
+            std::lock_guard<std::mutex> g(ack.m);
+            view = ack.win.cumAckView(srcPe, me_);
+            ackEpoch = ack.epoch;
+          }
+          sendCumAckE(srcPe, view, ackEpoch);
+        }
+        break;
+      }
+      case kTypeCumAckE: {
+        if (n != kCumAckEWireBytes) {
+          badDatagrams_.fetch_add(1);
+          break;
+        }
+        const std::uint16_t acker = get16(buf + 1);
+        if (acker >= numPes_ || acker == me_) {
+          badDatagrams_.fetch_add(1);
+          break;
+        }
+        if (buf[19] != epoch_) {
+          // An ack for a previous incarnation of this process: its seq
+          // numbers refer to the dead stream and would wrongly retire the
+          // renumbered fresh sends.
+          staleAcks_.fetch_add(1);
+          break;
+        }
+        acksRecv_.fetch_add(1);
+        const std::uint64_t cum = get64(buf + 3);
+        const std::uint64_t bitmap = get64(buf + 11);
+        std::vector<std::uint64_t> retired;
+        {
+          std::lock_guard<std::mutex> g(m_);
+          retired = sender_.onCumAck(me_, acker, cum, bitmap);
+        }
+        if (!retired.empty()) {
+          LinkOut& lk = *out_[static_cast<std::size_t>(acker)];
+          std::lock_guard<std::mutex> g(lk.m);
+          for (const std::uint64_t id : retired)
+            lk.unackedWire.erase(proto::Delivery::linkMsgIdSeq(id));
+        }
+        break;
+      }
+      default:
+        badDatagrams_.fetch_add(1);
+        break;
+    }
+  }
+
+  void timerMain() {
+    std::unique_lock<std::mutex> g(m_);
+    while (!timerStop_) {
+      if (heap_.empty()) {
+        timerCv_.wait(g, [&] { return timerStop_ || !heap_.empty(); });
+        continue;
+      }
+      const auto due = heap_.front().due;
+      if (timerCv_.wait_until(g, due, [&] {
+            return timerStop_ || heap_.front().due < due;
+          })) {
+        if (timerStop_) break;
+        continue;
+      }
+      while (!heap_.empty() && heap_.front().due <= Clock::now()) {
+        std::pop_heap(heap_.begin(), heap_.end(), EvLater{});
+        TimerEv ev = heap_.back();
+        heap_.pop_back();
+        g.unlock();
+        if (ev.kind == TimerEv::Kind::Flush)
+          flushLink(ev.toPe, FlushWhy::Deadline);
+        else
+          fireRetx(ev.toPe);
+        g.lock();
+      }
+    }
+  }
+
+  TransportSink& sink_;
+  const int numPes_;
+  const int me_;
+  const std::uint8_t epoch_;
+  const int fd_;
+  WorkerLink* const link_;
+  std::vector<LinkStat> links_;
+  std::vector<sockaddr_in> addrs_;
+  /// Sender window under m_; one receiver endpoint touched only by the rx
+  /// thread (and primeRecv before threads start).
+  proto::Delivery sender_;
+  proto::Delivery rx_;
+  std::vector<std::unique_ptr<LinkOut>> out_;
+  std::vector<std::unique_ptr<AckState>> acks_;
+  /// Highest incarnation seen per source. rx thread only (+ pre-start
+  /// primeRecv); the worker-thread view lives in AckState::epoch.
+  std::vector<std::uint8_t> knownEpoch_;
+  std::atomic<int> dirty_{0};
+
+  std::thread rxThread_;
+  std::thread timerThread_;
+  std::atomic<bool> rxStop_{false};
+
+  mutable std::mutex m_;  // guards heap_, timerStop_, sender_
+  std::condition_variable timerCv_;
+  std::vector<TimerEv> heap_;
+  bool timerStop_ = false;
+
+  std::atomic<std::int64_t> tokensSent_{0};
+  std::atomic<std::int64_t> datagramsSent_{0};
+  std::atomic<std::int64_t> bytesSent_{0};
+  std::atomic<std::int64_t> datagramsRecv_{0};
+  std::atomic<std::int64_t> bytesRecv_{0};
+  std::atomic<std::int64_t> acksSent_{0};
+  std::atomic<std::int64_t> acksRecv_{0};
+  std::atomic<std::int64_t> sendErrors_{0};
+  std::atomic<std::int64_t> badDatagrams_{0};
+  std::atomic<std::int64_t> staleEpoch_{0};
+  std::atomic<std::int64_t> staleAcks_{0};
+  std::atomic<std::int64_t> gatedFlushes_{0};
+  std::atomic<std::int64_t> batchDgrams_{0};
+  std::atomic<std::int64_t> batchTokens_{0};
+  std::atomic<std::int64_t> flushFull_{0};
+  std::atomic<std::int64_t> flushDeadline_{0};
+  std::atomic<std::int64_t> flushDrain_{0};
+  std::atomic<std::int64_t> flushRetx_{0};
+};
+
 }  // namespace
 
 bool parseTransportKind(const std::string& name, TransportKind& out) {
@@ -1198,11 +2016,20 @@ bool parseTransportKind(const std::string& name, TransportKind& out) {
     out = TransportKind::Udp;
     return true;
   }
+  if (name == "udp-multiproc") {
+    out = TransportKind::UdpMultiproc;
+    return true;
+  }
   return false;
 }
 
 const char* transportKindName(TransportKind kind) {
-  return kind == TransportKind::Udp ? "udp" : "inbox";
+  switch (kind) {
+    case TransportKind::Udp: return "udp";
+    case TransportKind::UdpMultiproc: return "udp-multiproc";
+    case TransportKind::Inbox: break;
+  }
+  return "inbox";
 }
 
 void wireEncodeToken(const NToken& tok, std::uint16_t srcPe,
@@ -1318,6 +2145,17 @@ std::unique_ptr<Transport> makeTransport(TransportKind kind,
                                          const FaultPlan& plan, int numPes) {
   if (kind == TransportKind::Udp) return makeUdpTransport(sink, plan, numPes);
   return makeInboxTransport(sink, plan, numPes);
+}
+
+std::unique_ptr<Transport> makeUdpMultiprocTransport(
+    TransportSink& sink, const FaultPlan& plan, int numPes, int localPe,
+    std::uint8_t epoch, int sockFd, const std::vector<std::uint16_t>& peerPorts,
+    WorkerLink* link) {
+  PODS_CHECK_MSG(static_cast<int>(peerPorts.size()) == numPes,
+                 "udp-multiproc: port table size mismatch");
+  return std::make_unique<UdpMultiprocTransport>(sink, plan, numPes, localPe,
+                                                 epoch, sockFd, peerPorts,
+                                                 link);
 }
 
 }  // namespace pods::native

@@ -45,6 +45,7 @@
 
 #include "runtime/value.hpp"
 #include "support/fault.hpp"
+#include "support/recovery.hpp"
 #include "support/stats.hpp"
 
 namespace pods::native {
@@ -53,9 +54,11 @@ namespace pods::native {
 enum class TransportKind : std::uint8_t {
   Inbox,  // in-process mutex-guarded inbox (default; behavior-unchanged)
   Udp,    // per-PE UDP loopback sockets, ack/retransmit reliable delivery
+  UdpMultiproc,  // PEs are forked worker processes; same UDP batch wire,
+                 // sockets bound by (and inherited from) the supervisor
 };
 
-/// Parses a `podsc --transport=` value ("inbox" or "udp").
+/// Parses a `podsc --transport=` value ("inbox", "udp", "udp-multiproc").
 bool parseTransportKind(const std::string& name, TransportKind& out);
 const char* transportKindName(TransportKind kind);
 
@@ -79,6 +82,11 @@ struct NToken {
   /// Kill mode: nonzero marks an array-element wake-up; encodes the element
   /// so the receiver can drop wakes for parks wiped by its own kill.
   std::uint64_t wakeKey = 0;
+  /// Multi-process: the sending process's incarnation, stamped from the
+  /// batch-datagram header at receive time (not part of the 65-byte token
+  /// record). Rides to the drain so the ack for this token is attributed to
+  /// the right sender incarnation.
+  std::uint8_t epoch = 0;
 };
 
 /// Machine-side callbacks the transports deliver into. Implemented by the
@@ -100,6 +108,33 @@ class TransportSink {
   virtual void chargeDuplicate() = 0;
   /// Fatal transport error (reliable delivery gave up): fails the run.
   virtual void transportFail(const std::string& msg) = 0;
+};
+
+/// Worker-process side of the supervisor control channel (multi-process
+/// mode only). The machine and transport append recovery-log records and
+/// mints through this seam; the procmgr worker loop ships them to the
+/// supervisor and advances the stable watermark on LogAck. `logAppended`
+/// and `logStable` index ONE interleaved stream of entries+mints — the
+/// output-commit rules (ack gating, flush gating) compare against these
+/// stream positions, not the machine's own log indexes.
+class WorkerLink {
+ public:
+  virtual ~WorkerLink() = default;
+  /// Append a receive-log record to the stream; returns its 1-based seq.
+  virtual std::uint64_t logEntry(const RecEntry& e) = 0;
+  /// Append a NEWCTX/ALLOC mint record to the stream; returns its seq.
+  virtual std::uint64_t logMint(std::uint64_t ctx, std::uint32_t seq,
+                                const Value& v, std::uint64_t ctxCounter) = 0;
+  /// Append a program RESULT store. Result slots live in process-local
+  /// memory (unlike array writes, which survive in shm), so they must be in
+  /// the log or a kill after the storing frame retires loses them forever.
+  virtual std::uint64_t logResult(std::uint32_t slot, const Value& v) = 0;
+  /// Records appended so far (stream length).
+  virtual std::uint64_t logAppended() const = 0;
+  /// Longest stream prefix the supervisor has acknowledged as stable.
+  virtual std::uint64_t logStable() const = 0;
+  /// Blocks until the supervisor's Start frame (false: aborted before it).
+  virtual bool waitStart() = 0;
 };
 
 /// One cross-PE transport. Lifecycle: start() before worker threads exist,
@@ -127,6 +162,41 @@ class Transport {
   /// Reports transport counters ("net.*" / "fault.*" namespaces), including
   /// the per-(src,dst) link breakdown used by `podsc --stats`.
   virtual void addStats(Counters& out) const = 0;
+
+  // ---- Multi-process hooks (no-ops on in-process transports) -----------
+  /// Output commit for acks: the worker thread drained msgId from its inbox
+  /// and its Recv record is stream position `logSeq`. The ack for this
+  /// sequence may go out only once logStable() >= logSeq.
+  virtual void noteDrained(std::uint64_t msgId, std::uint8_t epoch,
+                           std::uint64_t logSeq) {
+    (void)msgId;
+    (void)epoch;
+    (void)logSeq;
+  }
+  /// Sends any acks whose Recv records have become stable.
+  virtual void pumpAcks() {}
+  /// The stable watermark advanced (LogAck): retry gated flushes + acks.
+  virtual void onStableAdvance() {}
+  /// Unacked + outbox-buffered sends (termination Status snapshot).
+  virtual std::int64_t outstanding() const { return 0; }
+  /// Respawn rebuild: re-records a wire-accepted inbound msgId (received
+  /// under sender incarnation `epoch`) into the receive-dedup and ackable
+  /// windows (replaying a Recv log record). Called before start().
+  virtual void primeRecv(std::uint64_t msgId, std::uint8_t epoch) {
+    (void)msgId;
+    (void)epoch;
+  }
+  /// END-retire barrier: snapshot per-destination send-sequence high-water
+  /// (indexed by dst PE) at the moment a frame retires...
+  virtual void barrierSnapshot(std::vector<std::uint64_t>& out) {
+    out.clear();
+  }
+  /// ...and true once every send at or below the snapshot is acked (the
+  /// frame's End record may then enter the log).
+  virtual bool barrierPassed(const std::vector<std::uint64_t>& snap) {
+    (void)snap;
+    return true;
+  }
 };
 
 std::unique_ptr<Transport> makeInboxTransport(TransportSink& sink,
@@ -138,6 +208,17 @@ std::unique_ptr<Transport> makeUdpTransport(TransportSink& sink,
 std::unique_ptr<Transport> makeTransport(TransportKind kind,
                                          TransportSink& sink,
                                          const FaultPlan& plan, int numPes);
+
+/// Multi-process worker transport: one socket fd inherited from the
+/// supervisor (already bound; the supervisor keeps its own copy so the port
+/// and buffered datagrams survive this process), peers addressed by the
+/// fixed loopback port table. `epoch` stamps outbound datagrams; a respawn
+/// boots with epoch+1 and renumbers all links from 1, and receivers reset
+/// their per-link windows when they first see a higher epoch from a source.
+std::unique_ptr<Transport> makeUdpMultiprocTransport(
+    TransportSink& sink, const FaultPlan& plan, int numPes, int localPe,
+    std::uint8_t epoch, int sockFd, const std::vector<std::uint16_t>& peerPorts,
+    WorkerLink* link);
 
 /// Wire format of one token datagram (UdpTransport). Exposed for tests:
 /// encode/decode must round-trip every field bit-exactly.

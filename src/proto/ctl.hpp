@@ -1,0 +1,251 @@
+// Control-channel protocol for multi-process PODS.
+//
+// When `podsc --transport=udp-multiproc` runs, the tool process becomes a
+// *supervisor* and each PE a forked worker process. Tokens travel PE-to-PE
+// over the UDP batch wire exactly as in-process `--transport=udp`; this
+// module defines the second, supervisor<->worker wire: a length-prefixed
+// frame stream over a socketpair that carries everything that is NOT a
+// token — the compiled SP program and machine configuration at boot, the
+// pessimistic receive/allocate log stream (the stable storage that makes
+// `kill -9` recovery possible), heartbeats, the UDP port/epoch table,
+// termination polling, and the final results/counters.
+//
+// Framing: [u32 len][u8 tag][len payload bytes], little-endian. Decoding is
+// all-or-nothing, mirroring the UDP batch wire: a truncated payload,
+// trailing junk, an out-of-range tag, an over-limit length, a magic or
+// version mismatch — any of these rejects the whole frame into
+// `net.ctl.badFrames` and surfaces a structured error instead of decoding
+// garbage. The handshake (Hello/HelloAck with magic + protocol version,
+// then a config hash over the Boot payload) is what lets a stale or
+// mismatched worker binary fail fast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/isa.hpp"
+#include "runtime/value.hpp"
+#include "support/fault.hpp"
+#include "support/recovery.hpp"
+
+namespace pods {
+namespace proto {
+namespace ctl {
+
+inline constexpr std::uint32_t kMagic = 0x5043544Cu;  // "PCTL"
+inline constexpr std::uint16_t kVersion = 1;
+/// Hard cap on one frame's payload — a Boot frame carries the whole SP
+/// program plus (on respawn) the full recovery log stream.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Canonical counter names (mirroring net.udp.badDatagrams).
+inline constexpr const char* kBadFrames = "net.ctl.badFrames";
+inline constexpr const char* kFrames = "net.ctl.frames";
+
+enum class FrameTag : std::uint8_t {
+  Hello = 1,      // sup->wrk: magic + protocol version
+  HelloAck = 2,   // wrk->sup: magic + version echo
+  Boot = 3,       // sup->wrk: config hash + program + config (+ resume log)
+  BootAck = 4,    // wrk->sup: config hash echo
+  PortAnnounce = 5,  // wrk->sup: the worker's bound UDP port
+  PortTable = 6,  // sup->wrk: (port, epoch) of every PE; re-sent on respawn
+  PortTableAck = 7,  // wrk->sup: table applied (respawn barrier)
+  Start = 8,      // sup->wrk: begin (or resume) execution
+  Log = 9,        // wrk->sup: recovery-log records (pessimistic logging)
+  LogAck = 10,    // sup->wrk: log stable up to sequence N
+  Heartbeat = 11,  // wrk->sup: liveness
+  Status = 12,    // wrk->sup: termination-snapshot reply
+  Poll = 13,      // sup->wrk: termination-snapshot request
+  End = 14,       // sup->wrk: global quiescence reached — report and exit
+  Result = 15,    // wrk->sup: results, counters, error state
+  Error = 16,     // either way: structured fatal error
+};
+
+/// One decoded control frame.
+struct Frame {
+  FrameTag tag = FrameTag::Error;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends the wire image of one frame to `out`.
+void encodeFrame(FrameTag tag, const std::uint8_t* payload, std::size_t len,
+                 std::vector<std::uint8_t>& out);
+inline void encodeFrame(FrameTag tag, const std::vector<std::uint8_t>& payload,
+                        std::vector<std::uint8_t>& out) {
+  encodeFrame(tag, payload.data(), payload.size(), out);
+}
+
+/// Incremental frame extractor over a byte stream. feed() buffered bytes,
+/// then next() until it returns false. A malformed header (unknown tag /
+/// over-limit length) poisons the stream: next() sets `*bad` and the
+/// connection must be torn down — there is no way to resynchronize a
+/// length-prefixed stream after a corrupt header.
+class FrameReader {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+  bool next(Frame& f, bool* bad);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;
+  bool bad_ = false;
+};
+
+// ---- Payload primitives ---------------------------------------------------
+
+/// Bounds-checked little-endian payload writer.
+class Writer {
+ public:
+  std::vector<std::uint8_t> out;
+  void u8(std::uint8_t v) { out.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void str(const std::string& s);
+  void value(const Value& v);
+};
+
+/// Bounds-checked little-endian payload reader. Every accessor returns
+/// false once the payload is exhausted or a field is malformed; decoders
+/// finish with done(), which additionally rejects trailing junk.
+class Reader {
+ public:
+  Reader(const std::uint8_t* p, std::size_t n) : p_(p), n_(n) {}
+  bool u8(std::uint8_t& v);
+  bool u16(std::uint16_t& v);
+  bool u32(std::uint32_t& v);
+  bool u64(std::uint64_t& v);
+  bool i64(std::int64_t& v);
+  bool f64(double& v);
+  bool str(std::string& s);
+  bool value(Value& v);
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && off_ == n_; }
+
+ private:
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+/// FNV-1a over a byte range — the Boot config hash. Both sides hash the
+/// Boot payload after the hash field; a worker built from different source
+/// (struct layout drift, different program) almost surely disagrees.
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n);
+
+// ---- Messages -------------------------------------------------------------
+
+struct HelloMsg {
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kVersion;
+};
+void encodeHello(const HelloMsg& m, std::vector<std::uint8_t>& out);
+bool decodeHello(const std::uint8_t* p, std::size_t n, HelloMsg& m);
+
+/// One recovery-log record on the wire: the worker mirrors every RecEntry
+/// append and every mint to the supervisor (pessimistic logging — the
+/// supervisor is the "stable storage" a respawned worker replays from).
+struct LogRec {
+  static constexpr std::uint8_t kMint = 5;    // kinds 0..4 are RecEntry kinds
+  static constexpr std::uint8_t kResult = 6;  // program RESULT store
+  std::uint8_t kind = 0;
+  RecEntry entry{};            // kind 0..4 (4 = Recv: msgId only)
+  std::uint64_t mintCtx = 0;   // kind 5
+  std::uint32_t mintSeq = 0;   // kind 5: mint seq; kind 6: result slot
+  Value mintV{};               // kind 5: minted identity; kind 6: the value
+  std::uint64_t ctxCounter = 0;  // minting PE's counter high-water
+};
+void encodeLogRec(const LogRec& r, Writer& w);
+bool decodeLogRec(Reader& r, LogRec& out);
+
+struct BootMsg {
+  std::uint16_t numPes = 0;
+  std::uint16_t localPe = 0;
+  std::uint8_t epoch = 0;
+  std::uint8_t resume = 0;
+  std::uint32_t pageElems = 32;
+  std::uint32_t sliceInstructions = 1024;
+  std::uint32_t heartbeatPeriodMs = 25;
+  std::uint32_t heartbeatTimeoutMs = 2000;
+  std::uint64_t shmBytes = 0;
+  std::string shmName;
+  /// Loopback UDP data-plane port of every PE, indexed by pe. The
+  /// supervisor binds all sockets up front and workers inherit their own
+  /// fd across fork, so the table is fixed for the whole run — a respawned
+  /// worker reuses the same socket (port + buffered datagrams survive).
+  std::vector<std::uint16_t> peerPorts;
+  std::vector<std::int64_t> peWeights;
+  FaultConfig faults{};
+  SpProgram program{};
+  std::vector<LogRec> log;  // resume only: the PE's full recovery stream
+};
+/// Encodes `m` with a leading FNV-1a hash of everything after it.
+void encodeBoot(const BootMsg& m, std::vector<std::uint8_t>& out);
+/// All-or-nothing decode; also fails on a config-hash mismatch.
+bool decodeBoot(const std::uint8_t* p, std::size_t n, BootMsg& m,
+                std::uint64_t* wantHash = nullptr,
+                std::uint64_t* gotHash = nullptr);
+
+struct PeerEndpoint {
+  std::uint16_t port = 0;
+  std::uint8_t epoch = 0;
+};
+void encodePortTable(const std::vector<PeerEndpoint>& peers,
+                     std::vector<std::uint8_t>& out);
+bool decodePortTable(const std::uint8_t* p, std::size_t n,
+                     std::vector<PeerEndpoint>& peers);
+
+struct LogMsg {
+  std::uint64_t firstSeq = 0;  // 0-based index of recs[0] in the PE's stream
+  std::vector<LogRec> recs;
+};
+void encodeLog(const LogMsg& m, std::vector<std::uint8_t>& out);
+bool decodeLog(const std::uint8_t* p, std::size_t n, LogMsg& m);
+
+/// Worker's reply to a termination Poll: a snapshot of the quiescence
+/// inputs. The supervisor runs a two-round Dijkstra–Safra-style check over
+/// these (see procmgr.cpp).
+struct StatusMsg {
+  std::uint64_t statusSeq = 0;  // echoes the Poll's sequence number
+  std::uint8_t idle = 0;        // the worker thread is cv-parked
+  std::int64_t pending = 0;     // live frames + undrained deposited tokens
+  std::int64_t inboxTokens = 0;
+  std::int64_t outstanding = 0;  // unacked + outbox-buffered sends
+  std::uint64_t logAppended = 0;  // log records appended so far
+  std::uint64_t activity = 0;    // monotone work counter (deposits + wakes)
+};
+void encodeStatus(const StatusMsg& m, std::vector<std::uint8_t>& out);
+bool decodeStatus(const std::uint8_t* p, std::size_t n, StatusMsg& m);
+
+struct ResultMsg {
+  bool ok = true;
+  std::string error;
+  std::vector<std::uint8_t> resultSet;  // parallel to results: value present?
+  std::vector<Value> results;
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> workerCounters;
+};
+void encodeResult(const ResultMsg& m, std::vector<std::uint8_t>& out);
+bool decodeResult(const std::uint8_t* p, std::size_t n, ResultMsg& m);
+
+struct ErrorMsg {
+  std::uint32_t code = 0;
+  std::string text;
+};
+void encodeError(const ErrorMsg& m, std::vector<std::uint8_t>& out);
+bool decodeError(const std::uint8_t* p, std::size_t n, ErrorMsg& m);
+
+// Single-u64 payloads (BootAck hash echo, LogAck upTo, Poll statusSeq).
+void encodeU64(std::uint64_t v, std::vector<std::uint8_t>& out);
+bool decodeU64(const std::uint8_t* p, std::size_t n, std::uint64_t& v);
+// Single-u16 payload (PortAnnounce).
+void encodeU16(std::uint16_t v, std::vector<std::uint8_t>& out);
+bool decodeU16(const std::uint8_t* p, std::size_t n, std::uint16_t& v);
+
+}  // namespace ctl
+}  // namespace proto
+}  // namespace pods

@@ -79,6 +79,29 @@ std::vector<std::uint64_t> Delivery::onCumAck(int srcPe, int dstPe,
   return retired;
 }
 
+std::vector<std::uint64_t> Delivery::resetSendLink(int srcPe, int dstPe) {
+  std::vector<std::uint64_t> dropped;
+  const std::uint32_t link = linkMsgIdLink(packLinkMsgId(srcPe, dstPe, 1));
+  auto it = linkInFlight_.find(link);
+  if (it == linkInFlight_.end()) return dropped;
+  for (std::uint64_t seq : it->second) {
+    dropped.push_back(seq);
+    window_.erase(packLinkMsgId(srcPe, dstPe, seq));
+  }
+  linkInFlight_.erase(it);
+  return dropped;
+}
+
+void Delivery::resetRecvLink(int srcPe, int dstPe) {
+  linkRecv_.erase(linkMsgIdLink(packLinkMsgId(srcPe, dstPe, 1)));
+}
+
+std::uint64_t Delivery::lowestUnackedSeq(int srcPe, int dstPe) const {
+  auto it = linkInFlight_.find(linkMsgIdLink(packLinkMsgId(srcPe, dstPe, 1)));
+  if (it == linkInFlight_.end() || it->second.empty()) return 0;
+  return *it->second.begin();
+}
+
 bool Delivery::acceptSeq(int srcPe, int dstPe, std::uint64_t seq) {
   RecvWin& win = linkRecv_[linkMsgIdLink(packLinkMsgId(srcPe, dstPe, 1))];
   if (seq <= win.cum || win.above.count(seq) != 0) {

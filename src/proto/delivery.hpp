@@ -162,6 +162,21 @@ class Delivery {
   };
   CumAckView cumAckView(int srcPe, int dstPe) const;
 
+  /// Respawn support (multi-process transport): wipes the sender window of
+  /// link (srcPe,dstPe) and returns the seqs that were still in flight, in
+  /// order — the driver re-sends their payloads under fresh sequence
+  /// numbers once the reborn peer's endpoint is known.
+  std::vector<std::uint64_t> resetSendLink(int srcPe, int dstPe);
+
+  /// Respawn support: wipes the receive window of link (srcPe,dstPe) — a
+  /// reborn peer renumbers its sends from 1.
+  void resetRecvLink(int srcPe, int dstPe);
+
+  /// Lowest sequence still unacked on link (srcPe,dstPe); 0 when the link
+  /// is fully drained. Drives the multi-process END-retire barrier (a
+  /// frame's End may enter the recovery log only after its sends are safe).
+  std::uint64_t lowestUnackedSeq(int srcPe, int dstPe) const;
+
   /// A retransmit timer fired. `expectedAttempt` guards against stale
   /// timers in drivers whose timer events carry the attempt they were armed
   /// for (the simulator); pass 0 when the driver keeps at most one live

@@ -48,6 +48,9 @@ struct RecEntry {
     CtxToken,  // context-addressed delivery (spawn/call argument)
     ConToken,  // continuation-addressed delivery (result / yield / join add)
     End,       // frame retirement (its ctx entered the retired ledger)
+    Recv,      // multi-process: wire-accepted inbound token (msgId only) —
+               // replayed to rebuild the UDP receive/ack windows so a
+               // survivor's old-numbered retransmits still dedup and ack
   };
   Kind kind = Kind::CtxToken;
   std::uint16_t spCode = 0;    // Boot / frame-creating CtxToken

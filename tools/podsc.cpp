@@ -17,9 +17,13 @@
 //   --page N           array page size in elements       (default: 32)
 //   --no-cache         disable remote-page caching (pods engine)
 //   --trace=FILE       write a Chrome-trace timeline (pods engine)
-//   --transport=inbox|udp  native engine: cross-PE token transport — the
-//                      in-process inbox (default) or per-PE UDP loopback
-//                      sockets with ack/retransmit reliable delivery
+//   --transport=inbox|udp|udp-multiproc  native engine: cross-PE token
+//                      transport — the in-process inbox (default), per-PE
+//                      UDP loopback sockets with ack/retransmit reliable
+//                      delivery, or PEs as real supervised OS processes on
+//                      the same UDP wire (kill -9 a worker: the supervisor
+//                      respawns it and replays its log; output is
+//                      bit-identical to a fault-free run)
 //   --faults=SPEC      inject message faults (pods/native engines):
 //                      comma-separated key:prob with keys drop, dup, delay,
 //                      stall — e.g. --faults=drop:0.01,dup:0.005,delay:0.02
@@ -49,6 +53,7 @@
 
 #include "core/pods.hpp"
 #include "ir/dot.hpp"
+#include "native/procmgr.hpp"
 #include "support/fault.hpp"
 #include "support/table.hpp"
 
@@ -82,7 +87,7 @@ int usage(const char* argv0) {
                "usage: %s [--engine=pods|seq|static|native] [--pes N] "
                "[--pe-weights=W0,W1,...] "
                "[--no-distribute] [--block-range] [--page N] [--no-cache] "
-               "[--transport=inbox|udp] "
+               "[--transport=inbox|udp|udp-multiproc] "
                "[--trace=FILE] [--faults=SPEC] [--fault-seed N] "
                "[--timeout SEC] "
                "[--verify] [--stats] [--stats-json=FILE] [--dump-graph] "
@@ -204,7 +209,8 @@ bool parseArgs(int argc, char** argv, Options& o) {
     } else if (a.rfind("--transport=", 0) == 0) {
       if (!pods::native::parseTransportKind(a.substr(12), o.transport)) {
         std::fprintf(stderr,
-                     "podsc: --transport must be 'inbox' or 'udp' (got '%s')\n",
+                     "podsc: --transport must be 'inbox', 'udp', or "
+                     "'udp-multiproc' (got '%s')\n",
                      a.substr(12).c_str());
         return false;
       }
@@ -490,6 +496,10 @@ int runTool(const Options& o, Watchdog& dog) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Multi-process mode: when this process is a forked PE worker
+  // (--transport=udp-multiproc supervisor exec'd us with --pods-worker=...),
+  // hand the process over before any tool setup. Never returns in that case.
+  pods::native::procmgr::maybeRunPodsWorker(argc, argv);
   Options o;
   if (!parseArgs(argc, argv, o)) return usage(argv[0]);
   if (o.faults.enabled() && (o.engine == "seq" || o.engine == "static")) {

@@ -35,3 +35,13 @@ add_test(NAME podsc_heat_faulty_native
                  ${CMAKE_SOURCE_DIR}/programs/heat.idl)
 set_tests_properties(podsc_heat_faulty_sim podsc_heat_faulty_native
                      PROPERTIES TIMEOUT 180)
+
+# Multi-process end-to-end: podsc as supervisor, one forked worker process
+# per PE over the UDP loopback wire, a seeded mid-run SIGKILL of PE 2 and a
+# supervised respawn + log replay — the answer must still verify against
+# the sequential engine (the recovery analogue of the faulty-native smoke).
+add_test(NAME podsc_heat_multiproc_kill
+         COMMAND podsc --engine=native --transport=udp-multiproc --pes 4
+                 --faults=kill:2@4000 --timeout 120 --stats --verify
+                 ${CMAKE_SOURCE_DIR}/programs/heat.idl)
+set_tests_properties(podsc_heat_multiproc_kill PROPERTIES TIMEOUT 180)
