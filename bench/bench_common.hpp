@@ -19,8 +19,12 @@ inline bool smallMode() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
-/// The paper's PE counts (x axis of Figures 8-10).
-inline std::vector<int> peCounts() { return {1, 2, 4, 8, 16, 32}; }
+/// The paper's PE counts (x axis of Figures 8-10), extended to 64 to probe
+/// past the paper's 32-PE right edge. Small mode keeps the quick-CI subset.
+inline std::vector<int> peCounts() {
+  if (smallMode()) return {1, 2, 4, 8, 16, 32};
+  return {1, 2, 4, 8, 16, 32, 64};
+}
 
 /// The paper's SIMPLE problem sizes; trimmed in small mode.
 inline std::vector<int> problemSizes() {

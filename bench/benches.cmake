@@ -19,3 +19,5 @@ pods_bench(ablate_batching)
 pods_bench(livermore_speedup)
 pods_bench(micro_engine)
 target_link_libraries(micro_engine PRIVATE benchmark::benchmark)
+pods_bench(micro_eventq)
+target_link_libraries(micro_eventq PRIVATE benchmark::benchmark)

@@ -38,6 +38,13 @@ enum class Unit : std::uint8_t { EU = 0, MU = 1, MM = 2, AM = 3, RU = 4 };
 inline constexpr int kNumUnits = 5;
 const char* unitName(Unit u);
 
+/// Which event-queue implementation drives the run. Calendar is the indexed
+/// calendar queue (sim/event_queue.hpp) — the default and the fast path.
+/// BinaryHeap keeps the original std::priority_queue engine alive as the
+/// reference implementation: the fuzz suites run both and require
+/// bit-identical outputs, counters, and stats.total.
+enum class EventEngine : std::uint8_t { Calendar = 0, BinaryHeap = 1 };
+
 struct MachineConfig {
   int numPEs = 1;
   Timing timing{};
@@ -52,8 +59,12 @@ struct MachineConfig {
   /// When non-empty, write a Chrome-trace-format (chrome://tracing /
   /// Perfetto) JSON timeline of the run to this path: one row per
   /// functional unit per PE, with EU rows showing each SP execution slice.
-  /// Capped at ~200k events; simulated microseconds map to trace "us".
+  /// Capped at `maxTraceEvents`; simulated microseconds map to trace "us".
+  /// A truncated trace carries one instant marker event and counts the
+  /// overflow in the trace.dropped counter.
   std::string tracePath;
+  std::size_t maxTraceEvents = 200'000;
+  EventEngine eventEngine = EventEngine::Calendar;
   /// Fault injection + reliable delivery (support/fault.hpp). All-zero
   /// probabilities (the default) keep the exact lossless network path; any
   /// nonzero rate switches remote messages onto the ack/retransmit protocol,
@@ -85,6 +96,13 @@ struct RunStats {
   Counters counters;
   std::vector<Value> results;
   std::vector<SpProfile> spProfiles;  // indexed by SP code id
+  /// Host-side wall clock spent inside run() and the number of simulator
+  /// events dispatched. Kept out of `counters` on purpose: counters must be
+  /// bit-deterministic (the fuzz suites compare full counter maps across
+  /// runs), wall time is not. podsc derives sim.events.persec from these
+  /// for --stats-json.
+  double wallSeconds = 0.0;
+  std::uint64_t events = 0;
 
   double utilization(int pe, Unit u) const {
     if (total.ns <= 0) return 0.0;

@@ -65,6 +65,17 @@ std::map<std::string, std::int64_t> counterMap(const Counters& c) {
   return m;
 }
 
+/// Counter map with the engine-internal sim.eventq.* gauges stripped: the
+/// two event engines must agree on every simulation-visible counter, while
+/// their own health gauges (queue depth, bucket occupancy) are
+/// engine-specific by construction.
+std::map<std::string, std::int64_t> portableCounterMap(const Counters& c) {
+  std::map<std::string, std::int64_t> m;
+  for (const auto& [k, v] : c.all())
+    if (k.rfind("sim.eventq.", 0) != 0) m.emplace(k, v);
+  return m;
+}
+
 TEST(FaultConfigParse, AcceptsWellFormedSpecs) {
   FaultConfig fc;
   ASSERT_TRUE(FaultConfig::parse("drop:0.01,dup:0.005,delay:0.02", fc));
@@ -173,6 +184,39 @@ TEST(FaultFuzz, SimRecursiveWorkload) {
   }
 }
 
+// The calendar event engine against the reference binary heap, across the
+// whole fault fuzz matrix plus fault-free runs: outputs, simulated
+// completion time, and every simulation-visible counter (including the raw
+// "events" dispatch count) must match bit for bit. This is the contract
+// that lets the calendar queue be the default engine.
+TEST(FaultFuzz, SimCalendarVsHeapBitIdentical) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  const int seeds = faultSeeds();
+  for (int pes : {4, 8}) {
+    for (int seed = 0; seed <= seeds; ++seed) {  // seed 0 = fault-free
+      sim::MachineConfig mc;
+      mc.numPEs = pes;
+      if (seed > 0) mc.faults = faultRates(static_cast<std::uint64_t>(seed));
+      mc.eventEngine = sim::EventEngine::Calendar;
+      PodsRun cal = runPods(*c, mc);
+      mc.eventEngine = sim::EventEngine::BinaryHeap;
+      PodsRun heap = runPods(*c, mc);
+      ASSERT_TRUE(cal.stats.ok)
+          << "pes=" << pes << " seed=" << seed << ": " << cal.stats.error;
+      ASSERT_TRUE(heap.stats.ok)
+          << "pes=" << pes << " seed=" << seed << ": " << heap.stats.error;
+      EXPECT_EQ(cal.stats.total.ns, heap.stats.total.ns)
+          << "pes=" << pes << " seed=" << seed;
+      EXPECT_EQ(portableCounterMap(cal.stats.counters),
+                portableCounterMap(heap.stats.counters))
+          << "pes=" << pes << " seed=" << seed;
+      std::string why;
+      ASSERT_TRUE(sameOutputs(cal.out, heap.out, &why))
+          << "pes=" << pes << " seed=" << seed << ": " << why;
+    }
+  }
+}
+
 TEST(FaultFuzz, SimBitDeterministicAcrossRepeats) {
   // Same seed => identical event schedule: simulated completion time and
   // every counter (including the injected-fault tallies) must match exactly.
@@ -267,6 +311,13 @@ TEST(MachineForensics, EventBudgetNamesTrippingEventAndLiveSps) {
       << run.stats.error;
   EXPECT_NE(run.stats.error.find("SPs live"), std::string::npos)
       << run.stats.error;
+  // stats.total is stamped from the tripping event itself, so the reported
+  // total and the "t=...us" in the message agree exactly (they used to lag
+  // one event apart: total was taken from `now` before it advanced).
+  EXPECT_NE(run.stats.error.find(
+                "t=" + std::to_string(run.stats.total.us()) + "us"),
+            std::string::npos)
+      << run.stats.error << " vs total=" << run.stats.total.us();
 }
 
 TEST(MachineForensics, SimAbortFlagStopsRun) {
@@ -279,6 +330,11 @@ TEST(MachineForensics, SimAbortFlagStopsRun) {
   EXPECT_FALSE(run.stats.ok);
   EXPECT_NE(run.stats.error.find("aborted"), std::string::npos)
       << run.stats.error;
+  // Same total/tripping-time consistency contract as the event budget.
+  EXPECT_NE(run.stats.error.find(
+                "t=" + std::to_string(run.stats.total.us()) + "us"),
+            std::string::npos)
+      << run.stats.error << " vs total=" << run.stats.total.us();
 }
 
 TEST(MachineForensics, NativeAbortFlagStopsRun) {

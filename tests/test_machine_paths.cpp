@@ -212,6 +212,27 @@ TEST(MachinePaths, ChromeTraceWritten) {
   std::remove(mc.tracePath.c_str());
 }
 
+TEST(MachinePaths, ChromeTraceTruncationIsCountedAndMarked) {
+  auto c = compileOk(workloads::fill2dSource(8, 8));
+  sim::MachineConfig mc;
+  mc.numPEs = 4;
+  mc.tracePath = ::testing::TempDir() + "/pods_trace_trunc.json";
+  mc.maxTraceEvents = 64;  // far below what this workload emits
+  PodsRun run = runPods(*c, mc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  const std::int64_t dropped = run.stats.counters.get("trace.dropped");
+  EXPECT_GT(dropped, 0);
+  std::ifstream in(mc.tracePath);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string trace = ss.str();
+  EXPECT_NE(trace.find("trace truncated: " + std::to_string(dropped) +
+                       " events dropped"),
+            std::string::npos);
+  std::remove(mc.tracePath.c_str());
+}
+
 TEST(MachinePaths, ZeroIterationDistributedLoop) {
   auto c = compileOk(R"(
 def main() -> real {

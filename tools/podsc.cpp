@@ -16,6 +16,9 @@
 //   --block-range      ablation: block-partition Range Filters
 //   --page N           array page size in elements       (default: 32)
 //   --no-cache         disable remote-page caching (pods engine)
+//   --eventq=calendar|heap  pods engine event queue: the calendar queue
+//                      (default) or the reference binary heap (A/B runs;
+//                      outputs and counters are bit-identical)
 //   --trace=FILE       write a Chrome-trace timeline (pods engine)
 //   --transport=inbox|udp|udp-multiproc  native engine: cross-PE token
 //                      transport — the in-process inbox (default), per-PE
@@ -67,6 +70,7 @@ struct Options {
   bool blockRange = false;
   int page = 32;
   bool cache = true;
+  pods::sim::EventEngine eventq = pods::sim::EventEngine::Calendar;
   pods::native::TransportKind transport = pods::native::TransportKind::Inbox;
   bool transportSet = false;
   bool verify = false;
@@ -87,6 +91,7 @@ int usage(const char* argv0) {
                "usage: %s [--engine=pods|seq|static|native] [--pes N] "
                "[--pe-weights=W0,W1,...] "
                "[--no-distribute] [--block-range] [--page N] [--no-cache] "
+               "[--eventq=calendar|heap] "
                "[--transport=inbox|udp|udp-multiproc] "
                "[--trace=FILE] [--faults=SPEC] [--fault-seed N] "
                "[--timeout SEC] "
@@ -206,6 +211,19 @@ bool parseArgs(int argc, char** argv, Options& o) {
       o.blockRange = true;
     } else if (a == "--no-cache") {
       o.cache = false;
+    } else if (a.rfind("--eventq=", 0) == 0) {
+      const std::string kind = a.substr(9);
+      if (kind == "calendar") {
+        o.eventq = pods::sim::EventEngine::Calendar;
+      } else if (kind == "heap") {
+        o.eventq = pods::sim::EventEngine::BinaryHeap;
+      } else {
+        std::fprintf(stderr,
+                     "podsc: --eventq must be 'calendar' or 'heap' "
+                     "(got '%s')\n",
+                     kind.c_str());
+        return false;
+      }
     } else if (a.rfind("--transport=", 0) == 0) {
       if (!pods::native::parseTransportKind(a.substr(12), o.transport)) {
         std::fprintf(stderr,
@@ -318,7 +336,8 @@ std::string jsonEscape(const std::string& s) {
 /// machine-readable for bench_gate.py and friends. Keys are sorted because
 /// Counters::all() returns a sorted view, so files diff cleanly.
 bool writeStatsJson(const std::string& path, const std::string& engine,
-                    int pes, double timeMs, const pods::Counters& counters) {
+                    int pes, double timeMs, const pods::Counters& counters,
+                    double wallSeconds = 0.0, std::uint64_t events = 0) {
   std::ofstream f(path);
   if (!f) {
     std::fprintf(stderr, "podsc: cannot write '%s'\n", path.c_str());
@@ -326,8 +345,20 @@ bool writeStatsJson(const std::string& path, const std::string& engine,
   }
   f << "{\n  \"engine\": \"" << jsonEscape(engine) << "\",\n"
     << "  \"pes\": " << pes << ",\n"
-    << "  \"time_ms\": " << timeMs << ",\n"
-    << "  \"counters\": {";
+    << "  \"time_ms\": " << timeMs << ",\n";
+  // Host-side quantities live in a "derived" object, not "counters": the
+  // counter registry is the deterministic contract, wall time is not.
+  if (wallSeconds > 0.0) {
+    f << "  \"derived\": {\n"
+      << "    \"wall_ms\": " << wallSeconds * 1e3;
+    if (events > 0) {
+      f << ",\n    \"sim.events\": " << events << ",\n"
+        << "    \"sim.events.persec\": "
+        << static_cast<double>(events) / wallSeconds;
+    }
+    f << "\n  },\n";
+  }
+  f << "  \"counters\": {";
   bool first = true;
   for (const auto& [k, v] : counters.all()) {
     f << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k) << "\": " << v;
@@ -373,6 +404,7 @@ int runTool(const Options& o, Watchdog& dog) {
     mc.numPEs = o.pes;
     mc.peWeights = o.peWeights;
     mc.cachePages = o.cache;
+    mc.eventEngine = o.eventq;
     mc.timing.pageElems = o.page;
     mc.tracePath = o.trace;
     mc.faults = o.faults;
@@ -390,7 +422,8 @@ int runTool(const Options& o, Watchdog& dog) {
                 run.stats.total.ms());
     if (!o.statsJson.empty() &&
         !writeStatsJson(o.statsJson, "pods", o.pes, run.stats.total.ms(),
-                        run.stats.counters)) {
+                        run.stats.counters, run.stats.wallSeconds,
+                        run.stats.events)) {
       return 1;
     }
     if (o.stats) {
@@ -452,7 +485,8 @@ int runTool(const Options& o, Watchdog& dog) {
                 run.stats.wallSeconds * 1e3);
     if (!o.statsJson.empty() &&
         !writeStatsJson(o.statsJson, "native", o.pes,
-                        run.stats.wallSeconds * 1e3, run.stats.counters)) {
+                        run.stats.wallSeconds * 1e3, run.stats.counters,
+                        run.stats.wallSeconds)) {
       return 1;
     }
     if (o.stats) {
