@@ -17,6 +17,7 @@ pods_bench(ablate_caching)
 pods_bench(ablate_rf_placement)
 pods_bench(ablate_batching)
 pods_bench(livermore_speedup)
+pods_bench(micro_serve)
 pods_bench(micro_engine)
 target_link_libraries(micro_engine PRIVATE benchmark::benchmark)
 pods_bench(micro_eventq)

@@ -1,0 +1,220 @@
+// micro_serve: what does the warm daemon actually buy over one-shot podsc?
+//
+// Three quantities, all wall-clock on the host:
+//
+//  - cold: a full one-shot podsc process (fork + exec + parse + translate +
+//    partition + thread spin-up + run) on SIMPLE 16x16 — the cost every
+//    submission pays without a daemon;
+//  - warm x1: a submit of the same program to an in-process daemon over a
+//    real Unix socket, compiled-program cache hot — protocol + dispatch +
+//    the run itself on the warm pool;
+//  - warm x8: eight concurrent clients submitting the same program, to show
+//    admission + the shared pool under contention.
+//
+// The PR's acceptance bar (EXPERIMENTS.md): warm-cache submit latency
+// <= 25% of the cold one-shot wall time. PODS_BENCH_SMALL=1 shrinks rep
+// counts, not the program — the bench_gate wall-time budget is the whole
+// binary.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/serve.hpp"
+#include "workloads/simple.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+/// Locates the podsc binary next to this one (build/bench/../podsc);
+/// PODS_PODSC overrides.
+std::string findPodsc(const char* argv0) {
+  if (const char* env = std::getenv("PODS_PODSC")) return env;
+  std::string self = argv0;
+  const std::size_t slash = self.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  return dir + "/../podsc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  const bool small = std::getenv("PODS_BENCH_SMALL") != nullptr;
+  const int coldReps = small ? 5 : 15;
+  const int warmReps = small ? 20 : 100;
+  const int concClients = 8;
+  const int concRepsEach = small ? 4 : 20;
+
+  const std::string src = pods::workloads::simpleSource(16, 1);
+
+  // ---- cold: one-shot podsc process on the same program -----------------
+  const std::string podsc = findPodsc(argv[0]);
+  char tmpl[] = "/tmp/micro_serve_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string dir = tmpl;
+  const std::string idl = dir + "/simple16.idl";
+  {
+    std::ofstream out(idl);
+    out << src;
+  }
+  const std::string coldCmd =
+      podsc + " --engine=native --pes 4 " + idl + " > /dev/null 2>&1";
+  std::vector<double> coldMs;
+  if (::access(podsc.c_str(), X_OK) == 0) {
+    for (int i = 0; i < coldReps; ++i) {
+      const auto t0 = Clock::now();
+      if (std::system(coldCmd.c_str()) != 0) {
+        std::fprintf(stderr, "micro_serve: cold podsc run failed: %s\n",
+                     coldCmd.c_str());
+        return 1;
+      }
+      coldMs.push_back(msSince(t0));
+    }
+  } else {
+    std::fprintf(stderr,
+                 "micro_serve: podsc not found at %s — skipping the cold "
+                 "reference (set PODS_PODSC)\n",
+                 podsc.c_str());
+  }
+
+  // ---- warm: in-process daemon over a real Unix socket ------------------
+  pods::serve::ServeConfig cfg;
+  cfg.pes = 4;
+  cfg.maxInflight = concClients;  // x8 measures the pool, not the queue
+  cfg.maxQueue = 2 * concClients;
+  pods::serve::Endpoint ep;
+  ep.unixPath = dir + "/podsd.sock";
+  pods::serve::Daemon daemon(cfg, ep);
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::fprintf(stderr, "micro_serve: %s\n", err.c_str());
+    return 1;
+  }
+
+  auto submitOnce = [&](pods::serve::Client& cli, std::string* why) {
+    pods::serve::Client::Reply reply;
+    for (;;) {
+      if (!cli.submitSource(src, 0, &reply, why)) return -1.0;
+      if (!reply.busy) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (reply.result.ok == 0) {
+      *why = reply.result.error;
+      return -1.0;
+    }
+    return reply.result.wallMs;
+  };
+
+  pods::serve::Client cli;
+  pods::proto::ctl::WelcomeMsg welcome;
+  if (!cli.connectUnix(ep.unixPath, &err) || !cli.handshake(&welcome, &err)) {
+    std::fprintf(stderr, "micro_serve: %s\n", err.c_str());
+    return 1;
+  }
+  // Prime the compiled-program cache AND the warm pool: the first few jobs
+  // still pay allocator/page-fault warm-up, which is exactly the cost a
+  // long-lived daemon amortizes away — don't let it into the median.
+  for (int i = 0; i < 10; ++i) {
+    if (submitOnce(cli, &err) < 0) {
+      std::fprintf(stderr, "micro_serve: priming submit failed: %s\n",
+                   err.c_str());
+      return 1;
+    }
+  }
+  std::vector<double> warm1Ms;  // client-observed round-trip, cache hot
+  for (int i = 0; i < warmReps; ++i) {
+    const auto t0 = Clock::now();
+    if (submitOnce(cli, &err) < 0) {
+      std::fprintf(stderr, "micro_serve: warm submit failed: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    warm1Ms.push_back(msSince(t0));
+  }
+
+  // ---- warm x8: concurrent tenants on the shared pool -------------------
+  std::vector<std::thread> threads;
+  std::mutex m;
+  std::vector<double> warm8Ms;
+  std::vector<std::string> errors;
+  const auto concStart = Clock::now();
+  for (int c = 0; c < concClients; ++c) {
+    threads.emplace_back([&] {
+      pods::serve::Client tenant;
+      std::string terr;
+      pods::proto::ctl::WelcomeMsg w;
+      if (!tenant.connectUnix(ep.unixPath, &terr) ||
+          !tenant.handshake(&w, &terr)) {
+        std::lock_guard<std::mutex> g(m);
+        errors.push_back(terr);
+        return;
+      }
+      for (int i = 0; i < concRepsEach; ++i) {
+        const auto t0 = Clock::now();
+        if (submitOnce(tenant, &terr) < 0) {
+          std::lock_guard<std::mutex> g(m);
+          errors.push_back(terr);
+          return;
+        }
+        const double ms = msSince(t0);
+        std::lock_guard<std::mutex> g(m);
+        warm8Ms.push_back(ms);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double concWallMs = msSince(concStart);
+  if (!errors.empty()) {
+    std::fprintf(stderr, "micro_serve: concurrent submit failed: %s\n",
+                 errors.front().c_str());
+    return 1;
+  }
+
+  daemon.stop();
+  ::unlink(idl.c_str());
+  ::unlink(ep.unixPath.c_str());
+  ::rmdir(dir.c_str());
+
+  const double cold = median(coldMs);
+  const double warm1 = median(warm1Ms);
+  const double warm8 = median(warm8Ms);
+  std::printf("micro_serve: SIMPLE 16x16, native pes=4 (%s reps)\n",
+              small ? "small" : "full");
+  if (!coldMs.empty())
+    std::printf("  cold one-shot podsc      median %7.3f ms  (%d reps)\n",
+                cold, coldReps);
+  std::printf("  warm submit x1 (cache hot) median %7.3f ms  (%d reps)\n",
+              warm1, warmReps);
+  std::printf("  warm submit x8 concurrent  median %7.3f ms  (%d clients x "
+              "%d; %.0f jobs/s aggregate)\n",
+              warm8, concClients, concRepsEach,
+              1e3 * concClients * concRepsEach / concWallMs);
+  if (!coldMs.empty() && cold > 0)
+    std::printf("  warm/cold ratio            %6.1f%%  (acceptance bar: "
+                "<= 25%%)\n",
+                100.0 * warm1 / cold);
+  return 0;
+}

@@ -35,6 +35,7 @@ from datetime import datetime, timezone
 BENCHES = {
     "fig10_speedup": "bench/fig10_speedup",
     "micro_engine": "bench/micro_engine",
+    "micro_serve": "bench/micro_serve",
     "micro_eventq": "bench/micro_eventq",
 }
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate --stats-json artifacts against scripts/stats_schema.json.
+
+    check_stats_schema.py [--schema scripts/stats_schema.json] FILE...
+    check_stats_schema.py --bench-report BENCH_PR.json
+
+The counter registry is a cross-tool contract: podsc, podsd, podsd_client
+and the bench-gate archives all emit the same JSON shape, and dashboards
+plus the soak scripts key on exact counter names. This gate pins:
+
+  - the top-level shape (engine / pes / time_ms / counters, optional
+    "derived" with a whitelisted key set);
+  - every counter name lives in a registered namespace (or is a registered
+    bare name), with integer values — a per-job "job.<id>." prefix must
+    itself wrap a registered namespace;
+  - per-engine required counters are present (a rename fails loudly).
+
+--bench-report validates each entry of a bench_gate report's "_stats"
+archive instead of a standalone file.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+JOB_PREFIX = re.compile(r"^job\.\d+\.(.+)$")
+
+
+def load_schema(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_counter_name(name, schema):
+    """Returns None if the name is registered, else an error string."""
+    if name in schema["bare_counters"]:
+        return None
+    # A per-job namespace wraps another registered namespace:
+    # job.7.native.framesCreated is fine, job.7.bogus is not.
+    m = JOB_PREFIX.match(name)
+    if m:
+        return check_counter_name(m.group(1), schema)
+    for ns in schema["counter_namespaces"]:
+        if name.startswith(ns) and len(name) > len(ns):
+            return None
+    return f"counter '{name}' is not in a registered namespace"
+
+
+def check_stats(doc, schema, where):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{where}: {msg}")
+
+    if not isinstance(doc, dict):
+        err("top level is not an object")
+        return errors
+    for key in schema["required_keys"]:
+        if key not in doc:
+            err(f"missing required key '{key}'")
+    allowed = set(schema["required_keys"]) | set(schema["optional_keys"])
+    for key in doc:
+        if key not in allowed:
+            err(f"unexpected top-level key '{key}'")
+    if errors:
+        return errors
+
+    engine = doc["engine"]
+    if engine not in schema["engines"]:
+        err(f"unknown engine '{engine}'")
+    if not isinstance(doc["pes"], int) or doc["pes"] < 1:
+        err(f"pes must be a positive integer, got {doc['pes']!r}")
+    if not isinstance(doc["time_ms"], (int, float)) or doc["time_ms"] < 0:
+        err(f"time_ms must be a non-negative number, got {doc['time_ms']!r}")
+
+    derived = doc.get("derived", {})
+    if not isinstance(derived, dict):
+        err("derived is not an object")
+    else:
+        for key, value in derived.items():
+            if key not in schema["derived_keys"]:
+                err(f"unregistered derived key '{key}'")
+            if not isinstance(value, (int, float)):
+                err(f"derived '{key}' is not a number: {value!r}")
+
+    counters = doc["counters"]
+    if not isinstance(counters, dict):
+        err("counters is not an object")
+        return errors
+    for name, value in counters.items():
+        bad = check_counter_name(name, schema)
+        if bad:
+            err(bad)
+        if not isinstance(value, int) or isinstance(value, bool):
+            err(f"counter '{name}' is not an integer: {value!r}")
+    for name in schema["required_counters"].get(engine, []):
+        if name not in counters:
+            err(f"engine '{engine}' is missing required counter '{name}'")
+    return errors
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--schema", default=os.path.join(here, "stats_schema.json"))
+    ap.add_argument("--bench-report", action="store_true",
+                    help="treat each FILE as a bench_gate report and "
+                         "validate every entry of its _stats archive")
+    ap.add_argument("files", nargs="+")
+    args = ap.parse_args()
+
+    schema = load_schema(args.schema)
+    errors = []
+    checked = 0
+    for path in args.files:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"{path}: cannot read as JSON: {e}")
+            continue
+        if args.bench_report:
+            stats = doc.get("_stats", {})
+            if not stats:
+                errors.append(f"{path}: bench report has no _stats archive")
+                continue
+            for name, entry in sorted(stats.items()):
+                errors.extend(check_stats(entry, schema, f"{path}:{name}"))
+                checked += 1
+        else:
+            errors.extend(check_stats(doc, schema, path))
+            checked += 1
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_stats_schema: FAIL — {len(errors)} error(s) over "
+              f"{checked} document(s)", file=sys.stderr)
+        return 1
+    print(f"check_stats_schema: {checked} document(s) conform")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

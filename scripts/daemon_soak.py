@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Soak the serving daemon with real processes and concurrent clients.
+
+    daemon_soak.py --build-dir build [--duration 60] [--clients 8]
+                   [--repeat 3] [--garbage-clients 1] [--pes 4]
+                   [--max-inflight 4] [--max-queue 16]
+
+Starts one podsd on a Unix socket, then hammers it for --duration seconds:
+
+  - N worker clients loop `podsd_client --by-hash --verify-seq` over a mix
+    of programs — the two repo sample programs plus comment-mutated copies
+    (different source hash, identical semantics), so the compiled-program
+    cache sees both hits and misses the whole run. podsd_client itself
+    enforces the correctness contract per job: bit-identical to the
+    sequential engine, and bit-identical across repeats (cross-job bleed);
+  - one garbage client loops malformed frames (corrupt tag, over-limit
+    length, wrong-magic Hello, truncated Submit) and checks the daemon
+    drops the connection but keeps serving.
+
+Then SIGTERM, which must produce exit 0 + "clean shutdown", and the final
+counter registry (--stats-json) must show: every client-observed job
+counted, cache hits AND misses, every malformed frame counted into
+net.ctl.badFrames, zero leaked frames in the aggregated native ledger, and
+the artifact itself conforming to scripts/stats_schema.json.
+
+Exit 0 only if every client exited 0 and every assertion held. Used by the
+podsd_smoke ctest (seconds-scale) and the CI daemon-soak job (60 s, and
+again at reduced scale against a TSan build via --build-dir build-tsan).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class Soak:
+    def __init__(self, args):
+        self.args = args
+        self.deadline = time.monotonic() + args.duration
+        self.lock = threading.Lock()
+        self.failures = []
+        self.jobs_done = 0
+        self.garbage_rounds = 0
+
+    def fail(self, msg):
+        with self.lock:
+            self.failures.append(msg)
+
+    def worker(self, idx, podsd_client, socket_path, programs):
+        # Stagger program mixes across workers so concurrent tenants run
+        # DIFFERENT programs against each other, not just the same one.
+        mix = programs[idx % len(programs):] + programs[:idx % len(programs)]
+        mix = mix[:3]
+        while time.monotonic() < self.deadline and not self.failures:
+            cmd = [podsd_client, f"--socket={socket_path}",
+                   f"--repeat={self.args.repeat}", "--by-hash",
+                   "--verify-seq", "--quiet", *mix]
+            proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT, text=True)
+            if proc.returncode != 0:
+                self.fail(f"worker {idx}: podsd_client exited "
+                          f"{proc.returncode}:\n{proc.stdout}")
+                return
+            with self.lock:
+                self.jobs_done += self.args.repeat * len(mix)
+
+    def garbage(self, podsd_client, socket_path):
+        while time.monotonic() < self.deadline and not self.failures:
+            cmd = [podsd_client, f"--socket={socket_path}", "--garbage=4",
+                   "--quiet"]
+            proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT, text=True)
+            if proc.returncode != 0:
+                self.fail(f"garbage client: podsd_client exited "
+                          f"{proc.returncode}:\n{proc.stdout}")
+                return
+            with self.lock:
+                self.garbage_rounds += 1
+            time.sleep(0.05)
+
+
+def make_programs(tmpdir):
+    """The repo sample programs plus comment-mutated copies: a mutated copy
+    has a different FNV-1a source hash but identical semantics, so it is a
+    guaranteed cache MISS whose results still verify."""
+    out = []
+    for name in ("heat.idl", "dotprod.idl"):
+        src = os.path.join(ROOT, "programs", name)
+        with open(src) as f:
+            body = f.read()
+        base = os.path.join(tmpdir, name)
+        with open(base, "w") as f:
+            f.write(body)
+        out.append(base)
+        for k in (1, 2):
+            variant = os.path.join(tmpdir, f"{name[:-4]}_v{k}.idl")
+            with open(variant, "w") as f:
+                f.write(f"// soak cache-miss variant {k}\n" + body)
+            out.append(variant)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--duration", type=float, default=60.0)
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--repeat", type=int, default=3)
+    ap.add_argument("--garbage-clients", type=int, default=1)
+    ap.add_argument("--pes", type=int, default=4)
+    ap.add_argument("--max-inflight", type=int, default=4)
+    ap.add_argument("--max-queue", type=int, default=16)
+    args = ap.parse_args()
+
+    podsd = os.path.join(args.build_dir, "podsd")
+    podsd_client = os.path.join(args.build_dir, "podsd_client")
+    for binary in (podsd, podsd_client):
+        if not os.path.exists(binary):
+            print(f"daemon_soak: missing binary {binary}", file=sys.stderr)
+            return 1
+
+    tmpdir = tempfile.mkdtemp(prefix="pods_soak_")
+    socket_path = os.path.join(tmpdir, "podsd.sock")
+    stats_path = os.path.join(tmpdir, "podsd_stats.json")
+    try:
+        programs = make_programs(tmpdir)
+        daemon = subprocess.Popen(
+            [podsd, f"--socket={socket_path}", f"--pes={args.pes}",
+             f"--max-inflight={args.max_inflight}",
+             f"--max-queue={args.max_queue}",
+             f"--stats-json={stats_path}"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        # The readiness line is printed (and flushed) once the socket is
+        # bound and the I/O thread is up.
+        ready = daemon.stdout.readline()
+        if "serving on" not in ready:
+            daemon.kill()
+            print(f"daemon_soak: podsd failed to start: {ready!r}",
+                  file=sys.stderr)
+            return 1
+        print(f"daemon_soak: {ready.strip()}")
+
+        soak = Soak(args)
+        threads = [
+            threading.Thread(target=soak.worker,
+                             args=(i, podsd_client, socket_path, programs))
+            for i in range(args.clients)
+        ]
+        threads += [
+            threading.Thread(target=soak.garbage,
+                             args=(podsd_client, socket_path))
+            for _ in range(args.garbage_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            out, _ = daemon.communicate(timeout=120)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            print("daemon_soak: podsd did not shut down within 120 s",
+                  file=sys.stderr)
+            return 1
+
+        failures = list(soak.failures)
+        if daemon.returncode != 0:
+            failures.append(f"podsd exited {daemon.returncode}:\n{out}")
+        if "clean shutdown" not in out:
+            failures.append(f"podsd did not report a clean shutdown:\n{out}")
+
+        # ---- counter-registry assertions --------------------------------
+        counters = {}
+        if not os.path.exists(stats_path):
+            failures.append("podsd wrote no --stats-json artifact")
+        else:
+            with open(stats_path) as f:
+                counters = json.load(f).get("counters", {})
+
+        def expect(cond, msg):
+            if not cond:
+                failures.append(msg)
+
+        if counters:
+            expect(counters.get("serve.jobs.ok", 0) >= soak.jobs_done,
+                   f"daemon counted {counters.get('serve.jobs.ok', 0)} ok "
+                   f"jobs, clients completed {soak.jobs_done}")
+            expect(counters.get("serve.jobs.failed", 0) == 0,
+                   f"{counters.get('serve.jobs.failed', 0)} jobs failed")
+            expect(counters.get("serve.cache.hits", 0) > 0,
+                   "no compiled-cache hits in a soak designed to hit")
+            expect(counters.get("serve.cache.misses", 0) > 0,
+                   "no compiled-cache misses despite mutated variants")
+            expect(counters.get("net.ctl.badFrames", 0)
+                   >= 4 * soak.garbage_rounds,
+                   f"badFrames={counters.get('net.ctl.badFrames', 0)} < "
+                   f"4 * {soak.garbage_rounds} garbage rounds")
+            expect(counters.get("native.framesLive", 0) == 0,
+                   f"{counters.get('native.framesLive', 0)} frames leaked "
+                   "across the whole soak")
+            expect(counters.get("native.framesCreated", 0)
+                   == counters.get("native.framesRetired", 0),
+                   "aggregated frame ledger is unbalanced: "
+                   f"created={counters.get('native.framesCreated', 0)} "
+                   f"retired={counters.get('native.framesRetired', 0)}")
+
+            schema_check = subprocess.run(
+                [sys.executable,
+                 os.path.join(ROOT, "scripts", "check_stats_schema.py"),
+                 stats_path],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+            if schema_check.returncode != 0:
+                failures.append("stats artifact violates the schema:\n"
+                                + schema_check.stdout)
+
+        hit = counters.get("serve.cache.hits", 0)
+        miss = counters.get("serve.cache.misses", 0)
+        total = hit + miss
+        print(f"daemon_soak: {soak.jobs_done} client jobs, "
+              f"{soak.garbage_rounds} garbage rounds, "
+              f"cache hit rate {hit}/{total} "
+              f"({100.0 * hit / total if total else 0:.0f}%), "
+              f"busy rejects {counters.get('serve.busyRejects', 0)}, "
+              f"bad frames {counters.get('net.ctl.badFrames', 0)}")
+        if failures:
+            for f in failures:
+                print(f"daemon_soak: FAIL: {f}", file=sys.stderr)
+            return 1
+        print("daemon_soak: PASS")
+        return 0
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

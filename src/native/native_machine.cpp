@@ -854,6 +854,7 @@ struct NativeMachine::Impl : TransportSink {
             break;
           }
           Value v = Value::intv(static_cast<std::int64_t>(
+              jobCtxBase(cfg.jobId) |
               (std::uint64_t(static_cast<unsigned>(pe)) << 40) |
               ++L.ctxCounter));
           logMintRec(pe, f.ctx, mseq, v);
@@ -861,6 +862,7 @@ struct NativeMachine::Impl : TransportSink {
           break;
         }
         f.slots[in.dst] = Value::intv(static_cast<std::int64_t>(
+            jobCtxBase(cfg.jobId) |
             (std::uint64_t(static_cast<unsigned>(pe)) << 40) | ++w.ctxCounter));
         break;
       case Op::MKCONT: {
@@ -1669,9 +1671,9 @@ struct NativeMachine::Impl : TransportSink {
           RecEntry boot;
           boot.kind = RecEntry::Kind::Boot;
           boot.spCode = prog.mainSp;
-          boot.ctx = 0;
+          boot.ctx = jobCtxBase(cfg.jobId);
           logAppend(0, boot);
-          createFrame(*workers[0], prog.mainSp, 0);
+          createFrame(*workers[0], prog.mainSp, jobCtxBase(cfg.jobId));
         }
       } else if (pe == 0) {
         // First boot of PE 0: log the bootstrap frame (it is not spawned by
@@ -1679,9 +1681,9 @@ struct NativeMachine::Impl : TransportSink {
         RecEntry boot;
         boot.kind = RecEntry::Kind::Boot;
         boot.spCode = prog.mainSp;
-        boot.ctx = 0;
+        boot.ctx = jobCtxBase(cfg.jobId);
         logAppend(0, boot);
-        createFrame(*workers[0], prog.mainSp, 0);
+        createFrame(*workers[0], prog.mainSp, jobCtxBase(cfg.jobId));
       }
       // Execution (and on resume, re-sending) begins only on the
       // supervisor's Start — it is gating the respawn barrier.
@@ -1702,12 +1704,12 @@ struct NativeMachine::Impl : TransportSink {
         RecEntry boot;
         boot.kind = RecEntry::Kind::Boot;
         boot.spCode = prog.mainSp;
-        boot.ctx = 0;
+        boot.ctx = jobCtxBase(cfg.jobId);
         recLogs[0].entries.push_back(boot);
       }
       // Boot main on worker 0 via a spawn token carrying no payload slot —
       // create the frame directly instead (main may take no arguments).
-      createFrame(*workers[0], prog.mainSp, 0);
+      createFrame(*workers[0], prog.mainSp, jobCtxBase(cfg.jobId));
     }
     // Transport service threads (retransmit daemon, UDP sockets/receivers)
     // come up before the workers so no send can outrun them.
@@ -1736,11 +1738,32 @@ struct NativeMachine::Impl : TransportSink {
         }
       });
     }
+    // Pool mode (serving daemon): worker bodies run on a warm external
+    // pool; completion is a counted latch instead of join().
+    std::atomic<int> liveBodies{0};
+    std::mutex poolDoneM;
+    std::condition_variable poolDoneCv;
     for (int i = 0; i < cfg.numWorkers; ++i) {
       // Worker mode: exactly one PE runs in this process.
       if (workerMode() && i != cfg.localPe) continue;
-      workers[static_cast<std::size_t>(i)]->thread =
-          std::thread([this, i] { workerMain(i); });
+      if (cfg.pool != nullptr) {
+        liveBodies.fetch_add(1, std::memory_order_relaxed);
+        cfg.pool->dispatch([this, i, &liveBodies, &poolDoneM, &poolDoneCv] {
+          workerMain(i);
+          std::lock_guard<std::mutex> g(poolDoneM);
+          if (liveBodies.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            poolDoneCv.notify_all();
+        });
+      } else {
+        workers[static_cast<std::size_t>(i)]->thread =
+            std::thread([this, i] { workerMain(i); });
+      }
+    }
+    if (cfg.pool != nullptr) {
+      std::unique_lock<std::mutex> g(poolDoneM);
+      poolDoneCv.wait(g, [&] {
+        return liveBodies.load(std::memory_order_acquire) == 0;
+      });
     }
     for (auto& w : workers)
       if (w->thread.joinable()) w->thread.join();

@@ -28,6 +28,8 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -41,6 +43,30 @@
 #include "support/stats.hpp"
 
 namespace pods::native {
+
+/// Seam for a persistent host-thread pool standing in for per-run worker
+/// spawn. A long-lived server (src/serve) keeps one warm pool across jobs so
+/// a job's run() pays no thread create/join cost; dispatch() must execute
+/// `fn` on some pool thread, and run() blocks until every dispatched body
+/// has returned. The pool must have at least numWorkers threads available
+/// for the whole run — worker bodies park until quiescence, so a smaller
+/// pool deadlocks.
+class ExecPool {
+ public:
+  virtual ~ExecPool() = default;
+  virtual void dispatch(std::function<void()> fn) = 0;
+};
+
+/// Contexts are minted as (jobId | pe | counter) and never reused, so the
+/// job id rides in the high bits of every context a run creates: 13 bits at
+/// bit 49 — above the pe field (bit 40), below the array wake-key namespace
+/// (bit 63), and small enough that minted contexts stay positive int64s.
+inline constexpr std::uint32_t kJobIdBits = 13;
+inline constexpr int kJobIdShift = 49;
+inline std::uint64_t jobCtxBase(std::uint32_t jobId) {
+  return static_cast<std::uint64_t>(jobId & ((1u << kJobIdBits) - 1))
+         << kJobIdShift;
+}
 
 struct NativeConfig {
   int numWorkers = 4;      // the "PE count" seen by NUMPE / Range Filters
@@ -69,6 +95,16 @@ struct NativeConfig {
   /// a monitor thread; when it becomes true the run fails fast with an
   /// "aborted" error instead of hanging. Pointee must outlive run().
   std::atomic<bool>* abort = nullptr;
+  /// Multi-tenant namespace: every context this run mints (including the
+  /// boot frame's) carries jobId in its high bits (jobCtxBase), so tokens,
+  /// frames, straggler-ledger entries, and dedup keys of concurrent jobs
+  /// can never collide. 0 (the default) reproduces the historical ctx
+  /// values bit-for-bit.
+  std::uint32_t jobId = 0;
+  /// When set, run() executes worker bodies on this pool instead of
+  /// spawning one thread per PE (the serving daemon's warm pool). Must
+  /// outlive run(). Thread mode (nullptr) is unchanged.
+  ExecPool* pool = nullptr;
 
   // ---- Multi-process mode (transport == UdpMultiproc) ------------------
   /// Supervisor: leave localPe at -1 — run() then forks one worker process

@@ -15,7 +15,7 @@ namespace {
 
 bool validTag(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameTag::Hello) &&
-         t <= static_cast<std::uint8_t>(FrameTag::Error);
+         t <= static_cast<std::uint8_t>(FrameTag::Welcome);
 }
 
 }  // namespace
@@ -541,6 +541,169 @@ void encodeError(const ErrorMsg& m, std::vector<std::uint8_t>& out) {
 bool decodeError(const std::uint8_t* p, std::size_t n, ErrorMsg& m) {
   Reader r(p, n);
   if (!r.u32(m.code) || !r.str(m.text)) return false;
+  return r.done();
+}
+
+// ---- Serving-daemon messages ---------------------------------------------
+
+void encodeWelcome(const WelcomeMsg& m, std::vector<std::uint8_t>& out) {
+  Writer w;
+  w.u64(m.cfgHash);
+  w.u16(m.pes);
+  w.u32(m.pageElems);
+  w.u32(m.maxInflight);
+  w.u32(m.maxQueue);
+  out = std::move(w.out);
+}
+
+bool decodeWelcome(const std::uint8_t* p, std::size_t n, WelcomeMsg& m) {
+  Reader r(p, n);
+  if (!(r.u64(m.cfgHash) && r.u16(m.pes) && r.u32(m.pageElems) &&
+        r.u32(m.maxInflight) && r.u32(m.maxQueue))) {
+    return false;
+  }
+  return r.done();
+}
+
+void encodeSubmit(const SubmitMsg& m, std::vector<std::uint8_t>& out) {
+  Writer w;
+  w.u64(m.cfgHash);
+  w.u32(m.clientTag);
+  w.u32(m.timeoutMs);
+  w.str(m.source);
+  out = std::move(w.out);
+}
+
+bool decodeSubmit(const std::uint8_t* p, std::size_t n, SubmitMsg& m) {
+  Reader r(p, n);
+  if (!(r.u64(m.cfgHash) && r.u32(m.clientTag) && r.u32(m.timeoutMs) &&
+        r.str(m.source))) {
+    return false;
+  }
+  m.byHash = 0;
+  m.sourceHash = 0;
+  return r.done();
+}
+
+void encodeCacheRef(const SubmitMsg& m, std::vector<std::uint8_t>& out) {
+  Writer w;
+  w.u64(m.cfgHash);
+  w.u32(m.clientTag);
+  w.u32(m.timeoutMs);
+  w.u64(m.sourceHash);
+  out = std::move(w.out);
+}
+
+bool decodeCacheRef(const std::uint8_t* p, std::size_t n, SubmitMsg& m) {
+  Reader r(p, n);
+  if (!(r.u64(m.cfgHash) && r.u32(m.clientTag) && r.u32(m.timeoutMs) &&
+        r.u64(m.sourceHash))) {
+    return false;
+  }
+  m.byHash = 1;
+  m.source.clear();
+  return r.done();
+}
+
+void encodeJobResult(const JobResultMsg& m, std::vector<std::uint8_t>& out) {
+  Writer w;
+  w.u32(m.clientTag);
+  w.u32(m.jobId);
+  w.u8(m.ok);
+  w.u8(m.cacheHit);
+  w.u64(m.sourceHash);
+  w.f64(m.wallMs);
+  w.str(m.error);
+  w.u32(static_cast<std::uint32_t>(m.results.size()));
+  for (std::size_t i = 0; i < m.results.size(); ++i) {
+    w.u8(i < m.resultSet.size() ? m.resultSet[i] : 0);
+    w.value(m.results[i]);
+    const JobResultMsg::OutArray* a =
+        i < m.arrays.size() ? &m.arrays[i] : nullptr;
+    if (a == nullptr || a->present == 0) {
+      w.u8(0);
+      continue;
+    }
+    w.u8(1);
+    w.u8(a->rank);
+    w.i64(a->dim0);
+    w.i64(a->dim1);
+    w.u32(static_cast<std::uint32_t>(a->elems.size()));
+    for (const Value& v : a->elems) w.value(v);
+  }
+  w.u32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const auto& [k, v] : m.counters) {
+    w.str(k);
+    w.i64(v);
+  }
+  out = std::move(w.out);
+}
+
+bool decodeJobResult(const std::uint8_t* p, std::size_t n, JobResultMsg& m) {
+  Reader r(p, n);
+  std::uint32_t numResults = 0;
+  if (!(r.u32(m.clientTag) && r.u32(m.jobId) && r.u8(m.ok) &&
+        r.u8(m.cacheHit) && r.u64(m.sourceHash) && r.f64(m.wallMs) &&
+        r.str(m.error) && r.u32(numResults))) {
+    return false;
+  }
+  if (m.ok > 1 || m.cacheHit > 1) return false;
+  m.resultSet.clear();
+  m.results.clear();
+  m.arrays.clear();
+  for (std::uint32_t i = 0; i < numResults; ++i) {
+    std::uint8_t set = 0;
+    Value v;
+    JobResultMsg::OutArray a;
+    if (!r.u8(set) || set > 1 || !r.value(v) || !r.u8(a.present) ||
+        a.present > 1) {
+      return false;
+    }
+    if (a.present != 0) {
+      std::uint32_t numElems = 0;
+      if (!(r.u8(a.rank) && r.i64(a.dim0) && r.i64(a.dim1) &&
+            r.u32(numElems)) ||
+          a.rank < 1 || a.rank > 2) {
+        return false;
+      }
+      for (std::uint32_t e = 0; e < numElems; ++e) {
+        Value ev;
+        if (!r.value(ev)) return false;
+        a.elems.push_back(ev);
+      }
+    }
+    m.resultSet.push_back(set);
+    m.results.push_back(v);
+    m.arrays.push_back(std::move(a));
+  }
+  std::uint32_t numCounters = 0;
+  if (!r.u32(numCounters)) return false;
+  m.counters.clear();
+  for (std::uint32_t i = 0; i < numCounters; ++i) {
+    std::string k;
+    std::int64_t v = 0;
+    if (!r.str(k) || !r.i64(v)) return false;
+    m.counters.emplace_back(std::move(k), v);
+  }
+  return r.done();
+}
+
+void encodeBusy(const BusyMsg& m, std::vector<std::uint8_t>& out) {
+  Writer w;
+  w.u32(m.clientTag);
+  w.u32(m.inflight);
+  w.u32(m.queued);
+  w.u32(m.maxInflight);
+  w.u32(m.maxQueue);
+  out = std::move(w.out);
+}
+
+bool decodeBusy(const std::uint8_t* p, std::size_t n, BusyMsg& m) {
+  Reader r(p, n);
+  if (!(r.u32(m.clientTag) && r.u32(m.inflight) && r.u32(m.queued) &&
+        r.u32(m.maxInflight) && r.u32(m.maxQueue))) {
+    return false;
+  }
   return r.done();
 }
 

@@ -60,6 +60,14 @@ enum class FrameTag : std::uint8_t {
   End = 14,       // sup->wrk: global quiescence reached — report and exit
   Result = 15,    // wrk->sup: results, counters, error state
   Error = 16,     // either way: structured fatal error
+  // Serving-daemon (podsd) frames. Same stream rules apply: the daemon
+  // replies to a malformed client frame with Error, counts it into
+  // net.ctl.badFrames, and closes the connection.
+  Submit = 17,     // cli->srv: IdLite source + job options
+  CacheRef = 18,   // cli->srv: job by compiled-program handle (source hash)
+  JobResult = 19,  // srv->cli: results + per-job counters
+  Busy = 20,       // srv->cli: admission rejected (bounded queue full)
+  Welcome = 21,    // srv->cli: config hash + serving limits after HelloAck
 };
 
 /// One decoded control frame.
@@ -238,6 +246,76 @@ struct ErrorMsg {
 };
 void encodeError(const ErrorMsg& m, std::vector<std::uint8_t>& out);
 bool decodeError(const std::uint8_t* p, std::size_t n, ErrorMsg& m);
+
+// ---- Serving-daemon messages ---------------------------------------------
+
+/// Daemon's half of the serve handshake, sent right after HelloAck. The
+/// config hash covers {protocol version, pes, pageElems}; a Submit must echo
+/// it, so a client pointed at a daemon with a different machine shape fails
+/// fast instead of getting silently different partitioning.
+struct WelcomeMsg {
+  std::uint64_t cfgHash = 0;
+  std::uint16_t pes = 0;
+  std::uint32_t pageElems = 0;
+  std::uint32_t maxInflight = 0;
+  std::uint32_t maxQueue = 0;
+};
+void encodeWelcome(const WelcomeMsg& m, std::vector<std::uint8_t>& out);
+bool decodeWelcome(const std::uint8_t* p, std::size_t n, WelcomeMsg& m);
+
+/// A job submission. One struct backs both wire frames: Submit carries the
+/// IdLite source (byHash == 0), CacheRef carries only the FNV-1a source hash
+/// of a program the daemon is expected to still have compiled (byHash == 1).
+struct SubmitMsg {
+  std::uint64_t cfgHash = 0;    // Welcome echo — config compatibility check
+  std::uint32_t clientTag = 0;  // echoed verbatim in JobResult/Busy
+  std::uint32_t timeoutMs = 0;  // 0 = no per-job deadline
+  std::uint8_t byHash = 0;
+  std::uint64_t sourceHash = 0;  // byHash == 1
+  std::string source;            // byHash == 0
+};
+void encodeSubmit(const SubmitMsg& m, std::vector<std::uint8_t>& out);
+bool decodeSubmit(const std::uint8_t* p, std::size_t n, SubmitMsg& m);
+void encodeCacheRef(const SubmitMsg& m, std::vector<std::uint8_t>& out);
+bool decodeCacheRef(const std::uint8_t* p, std::size_t n, SubmitMsg& m);
+
+/// A finished (or failed) job. Array results are expanded to shape +
+/// elements on the wire — an ArrayId is a handle into the *job's* machine,
+/// which is gone by the time the client reads this.
+struct JobResultMsg {
+  struct OutArray {
+    std::uint8_t present = 0;  // 0: the result slot is a scalar (or unset)
+    std::uint8_t rank = 1;
+    std::int64_t dim0 = 0;
+    std::int64_t dim1 = 1;
+    std::vector<Value> elems;
+  };
+  std::uint32_t clientTag = 0;
+  std::uint32_t jobId = 0;
+  std::uint8_t ok = 0;
+  std::uint8_t cacheHit = 0;
+  std::uint64_t sourceHash = 0;  // the compiled handle for future CacheRefs
+  double wallMs = 0;
+  std::string error;
+  std::vector<std::uint8_t> resultSet;  // parallel to results
+  std::vector<Value> results;
+  std::vector<OutArray> arrays;  // parallel to results
+  std::vector<std::pair<std::string, std::int64_t>> counters;  // job.<id>.*
+};
+void encodeJobResult(const JobResultMsg& m, std::vector<std::uint8_t>& out);
+bool decodeJobResult(const std::uint8_t* p, std::size_t n, JobResultMsg& m);
+
+/// Structured admission rejection: the in-flight executors and the wait
+/// queue are both full. Clients are expected to back off and resubmit.
+struct BusyMsg {
+  std::uint32_t clientTag = 0;
+  std::uint32_t inflight = 0;
+  std::uint32_t queued = 0;
+  std::uint32_t maxInflight = 0;
+  std::uint32_t maxQueue = 0;
+};
+void encodeBusy(const BusyMsg& m, std::vector<std::uint8_t>& out);
+bool decodeBusy(const std::uint8_t* p, std::size_t n, BusyMsg& m);
 
 // Single-u64 payloads (BootAck hash echo, LogAck upTo, Poll statusSeq).
 void encodeU64(std::uint64_t v, std::vector<std::uint8_t>& out);

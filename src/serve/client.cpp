@@ -1,0 +1,225 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pods::serve {
+
+namespace ctl = proto::ctl;
+
+namespace {
+
+bool sendAll(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t k = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(k);
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool Client::connectUnix(const std::string& path, std::string* err) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (err) *err = "socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err) *err = "unix socket path too long: " + path;
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (err) *err = "connect " + path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connectTcp(std::uint16_t port, std::string* err) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (err) *err = "socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (err)
+      *err = "connect 127.0.0.1:" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::readFrame(ctl::Frame* f, std::string* err) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    bool bad = false;
+    if (reader_.next(*f, &bad)) return true;
+    if (bad) {
+      if (err) *err = "corrupt frame from daemon";
+      return false;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      if (err) *err = "daemon closed the connection";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (err) *err = "recv: " + std::string(std::strerror(errno));
+      return false;
+    }
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::handshake(ctl::WelcomeMsg* welcome, std::string* err) {
+  ctl::HelloMsg hello;
+  std::vector<std::uint8_t> payload, wire;
+  ctl::encodeHello(hello, payload);
+  ctl::encodeFrame(ctl::FrameTag::Hello, payload, wire);
+  if (!sendAll(fd_, wire.data(), wire.size())) {
+    if (err) *err = "send Hello: " + std::string(std::strerror(errno));
+    return false;
+  }
+  ctl::Frame f;
+  if (!readFrame(&f, err)) return false;
+  ctl::HelloMsg ack;
+  if (f.tag != ctl::FrameTag::HelloAck ||
+      !ctl::decodeHello(f.payload.data(), f.payload.size(), ack) ||
+      ack.magic != ctl::kMagic || ack.version != ctl::kVersion) {
+    if (err) *err = "handshake: expected HelloAck";
+    return false;
+  }
+  if (!readFrame(&f, err)) return false;
+  if (f.tag != ctl::FrameTag::Welcome ||
+      !ctl::decodeWelcome(f.payload.data(), f.payload.size(), welcome_)) {
+    if (err) *err = "handshake: expected Welcome";
+    return false;
+  }
+  if (welcome) *welcome = welcome_;
+  return true;
+}
+
+bool Client::submit(const ctl::SubmitMsg& m, bool byHash, Reply* out,
+                    std::string* err) {
+  std::vector<std::uint8_t> payload, wire;
+  if (byHash) {
+    ctl::encodeCacheRef(m, payload);
+    ctl::encodeFrame(ctl::FrameTag::CacheRef, payload, wire);
+  } else {
+    ctl::encodeSubmit(m, payload);
+    ctl::encodeFrame(ctl::FrameTag::Submit, payload, wire);
+  }
+  if (!sendAll(fd_, wire.data(), wire.size())) {
+    if (err) *err = "send Submit: " + std::string(std::strerror(errno));
+    return false;
+  }
+  ctl::Frame f;
+  if (!readFrame(&f, err)) return false;
+  *out = Reply{};
+  switch (f.tag) {
+    case ctl::FrameTag::JobResult:
+      if (!ctl::decodeJobResult(f.payload.data(), f.payload.size(),
+                                out->result)) {
+        if (err) *err = "malformed JobResult from daemon";
+        return false;
+      }
+      if (out->result.clientTag != m.clientTag) {
+        if (err) *err = "JobResult for a different request (tag mismatch)";
+        return false;
+      }
+      return true;
+    case ctl::FrameTag::Busy:
+      if (!ctl::decodeBusy(f.payload.data(), f.payload.size(),
+                           out->busyInfo)) {
+        if (err) *err = "malformed Busy from daemon";
+        return false;
+      }
+      out->busy = true;
+      return true;
+    case ctl::FrameTag::Error: {
+      ctl::ErrorMsg e;
+      if (ctl::decodeError(f.payload.data(), f.payload.size(), e)) {
+        if (err) *err = "daemon error " + std::to_string(e.code) + ": " + e.text;
+      } else if (err) {
+        *err = "daemon error (malformed Error frame)";
+      }
+      return false;
+    }
+    default:
+      if (err) *err = "unexpected reply tag";
+      return false;
+  }
+}
+
+bool Client::submitSource(const std::string& source, std::uint32_t timeoutMs,
+                          Reply* out, std::string* err) {
+  ctl::SubmitMsg m;
+  m.cfgHash = welcome_.cfgHash;
+  m.clientTag = ++nextTag_;
+  m.timeoutMs = timeoutMs;
+  m.source = source;
+  return submit(m, false, out, err);
+}
+
+bool Client::submitHash(std::uint64_t sourceHash, std::uint32_t timeoutMs,
+                        Reply* out, std::string* err) {
+  ctl::SubmitMsg m;
+  m.cfgHash = welcome_.cfgHash;
+  m.clientTag = ++nextTag_;
+  m.timeoutMs = timeoutMs;
+  m.byHash = 1;
+  m.sourceHash = sourceHash;
+  return submit(m, true, out, err);
+}
+
+bool Client::sendRaw(const std::uint8_t* p, std::size_t n) {
+  return sendAll(fd_, p, n);
+}
+
+ProgramOutputs Client::toOutputs(const ctl::JobResultMsg& m) {
+  ProgramOutputs out;
+  out.results = m.results;
+  out.arrays.resize(m.results.size());
+  for (std::size_t i = 0; i < m.results.size() && i < m.arrays.size(); ++i) {
+    if (m.arrays[i].present == 0) continue;
+    ProgramOutputs::OutArray a;
+    a.shape.rank = m.arrays[i].rank;
+    a.shape.dim0 = m.arrays[i].dim0;
+    a.shape.dim1 = m.arrays[i].dim1;
+    a.elems = m.arrays[i].elems;
+    out.arrays[i] = std::move(a);
+  }
+  return out;
+}
+
+}  // namespace pods::serve

@@ -1,0 +1,63 @@
+// Client side of the podsd serve protocol, shared by the podsd_client tool,
+// the serve tests, and the micro_serve bench. Blocking, one outstanding
+// request per call — the daemon multiplexes many such clients.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/pods.hpp"
+#include "proto/ctl.hpp"
+
+namespace pods::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connectUnix(const std::string& path, std::string* err);
+  bool connectTcp(std::uint16_t port, std::string* err);  // 127.0.0.1
+
+  /// Hello -> HelloAck + Welcome. Must be the first exchange.
+  bool handshake(proto::ctl::WelcomeMsg* welcome, std::string* err);
+
+  /// One submit -> one reply. False only on transport/protocol failure
+  /// (including a daemon Error frame, surfaced via *err); Busy and job
+  /// failures are successful exchanges reported in *out.
+  struct Reply {
+    bool busy = false;
+    proto::ctl::BusyMsg busyInfo{};
+    proto::ctl::JobResultMsg result{};
+  };
+  bool submitSource(const std::string& source, std::uint32_t timeoutMs,
+                    Reply* out, std::string* err);
+  bool submitHash(std::uint64_t sourceHash, std::uint32_t timeoutMs,
+                  Reply* out, std::string* err);
+
+  /// Sends raw bytes on the socket — the garbage-frame soak client.
+  bool sendRaw(const std::uint8_t* p, std::size_t n);
+
+  void close();
+
+  const proto::ctl::WelcomeMsg& welcome() const { return welcome_; }
+
+  /// Converts a decoded JobResult into the engine-comparison form used by
+  /// sameOutputs() — array results re-materialized from the wire expansion.
+  static ProgramOutputs toOutputs(const proto::ctl::JobResultMsg& m);
+
+ private:
+  bool submit(const proto::ctl::SubmitMsg& m, bool byHash, Reply* out,
+              std::string* err);
+  bool readFrame(proto::ctl::Frame* f, std::string* err);
+
+  int fd_ = -1;
+  proto::ctl::FrameReader reader_;
+  proto::ctl::WelcomeMsg welcome_{};
+  std::uint32_t nextTag_ = 0;
+};
+
+}  // namespace pods::serve

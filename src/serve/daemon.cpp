@@ -1,0 +1,417 @@
+#include "serve/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/ctl.hpp"
+
+namespace pods::serve {
+
+namespace ctl = proto::ctl;
+
+namespace {
+
+/// Whole-buffer blocking send; MSG_NOSIGNAL so a client that vanished
+/// mid-write surfaces as EPIPE instead of killing the process.
+bool sendAll(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t k = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(k);
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Daemon::Impl {
+  const ServeConfig cfg;
+  const Endpoint ep;
+  JobRunner runner;
+
+  int listenFd = -1;
+  int wakePipe[2] = {-1, -1};  // poke the poll loop (stop)
+  std::uint16_t port = 0;
+  std::thread ioThread;
+  std::atomic<bool> stopping{false};
+  bool started = false;
+  bool stopped = false;
+
+  struct Conn {
+    int fd = -1;
+    ctl::FrameReader reader;
+    bool gotHello = false;
+    std::mutex writeM;  // io thread (handshake/errors) vs executors (results)
+    std::atomic<bool> open{true};
+  };
+  // Owned by the io thread; executors hold shared_ptrs for result delivery.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+
+  mutable std::mutex statsM;
+  Counters st;  // net.ctl.* + serve.connections etc.
+
+  Impl(const ServeConfig& c, Endpoint e) : cfg(c), ep(std::move(e)), runner(c) {
+    // Pre-register the wire counters the stats schema requires: a counter
+    // that only materializes on first increment would vanish from a clean
+    // run's artifact (zero bad frames is the GOOD case) and fail the gate.
+    st.add("net.ctl.frames", 0);
+    st.add("net.ctl.badFrames", 0);
+    st.add("serve.connections", 0);
+    st.add("serve.cfgMismatches", 0);
+  }
+
+  void count(const char* name, std::int64_t delta = 1) {
+    std::lock_guard<std::mutex> g(statsM);
+    st.add(name, delta);
+  }
+
+  bool bindListen(std::string* err) {
+    if (!ep.unixPath.empty()) {
+      listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (listenFd < 0) {
+        if (err) *err = "socket: " + std::string(std::strerror(errno));
+        return false;
+      }
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (ep.unixPath.size() >= sizeof(addr.sun_path)) {
+        if (err) *err = "unix socket path too long: " + ep.unixPath;
+        return false;
+      }
+      std::strncpy(addr.sun_path, ep.unixPath.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      ::unlink(ep.unixPath.c_str());
+      if (::bind(listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0) {
+        if (err)
+          *err = "bind " + ep.unixPath + ": " + std::strerror(errno);
+        return false;
+      }
+    } else {
+      listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (listenFd < 0) {
+        if (err) *err = "socket: " + std::string(std::strerror(errno));
+        return false;
+      }
+      const int one = 1;
+      ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(ep.tcpPort);
+      if (::bind(listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0) {
+        if (err)
+          *err = "bind 127.0.0.1:" + std::to_string(ep.tcpPort) + ": " +
+                 std::strerror(errno);
+        return false;
+      }
+      sockaddr_in bound{};
+      socklen_t blen = sizeof(bound);
+      ::getsockname(listenFd, reinterpret_cast<sockaddr*>(&bound), &blen);
+      port = ntohs(bound.sin_port);
+    }
+    if (::listen(listenFd, 64) < 0) {
+      if (err) *err = "listen: " + std::string(std::strerror(errno));
+      return false;
+    }
+    return true;
+  }
+
+  void writeFrame(const std::shared_ptr<Conn>& c, ctl::FrameTag tag,
+                  const std::vector<std::uint8_t>& payload) {
+    std::vector<std::uint8_t> wire;
+    ctl::encodeFrame(tag, payload, wire);
+    std::lock_guard<std::mutex> g(c->writeM);
+    if (!c->open.load()) {
+      count("serve.droppedReplies");
+      return;
+    }
+    if (!sendAll(c->fd, wire.data(), wire.size())) {
+      count("serve.droppedReplies");
+      c->open.store(false);
+    }
+  }
+
+  void sendError(const std::shared_ptr<Conn>& c, std::uint32_t code,
+                 const std::string& text) {
+    ctl::ErrorMsg e;
+    e.code = code;
+    e.text = text;
+    std::vector<std::uint8_t> payload;
+    ctl::encodeError(e, payload);
+    writeFrame(c, ctl::FrameTag::Error, payload);
+  }
+
+  /// Marks the connection closed for writers; the io thread owns the fd
+  /// close so executors never race a reused descriptor number.
+  void closeConn(int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    it->second->open.store(false);
+    {
+      // Serialize against an executor mid-write on this fd.
+      std::lock_guard<std::mutex> g(it->second->writeM);
+      ::close(fd);
+      it->second->fd = -1;
+    }
+    conns.erase(it);
+  }
+
+  void onSubmit(const std::shared_ptr<Conn>& c, const ctl::SubmitMsg& m) {
+    if (m.cfgHash != configHash(cfg)) {
+      count("serve.cfgMismatches");
+      sendError(c, 2,
+                "config hash mismatch: daemon serves pes=" +
+                    std::to_string(cfg.pes) +
+                    " page=" + std::to_string(cfg.pageElems) +
+                    "; reconnect and use the Welcome hash");
+      c->open.store(false);
+      return;
+    }
+    JobRequest req;
+    req.byHash = m.byHash != 0;
+    req.hash = m.sourceHash;
+    req.source = m.source;
+    req.timeoutMs = m.timeoutMs;
+    const std::uint32_t clientTag = m.clientTag;
+    std::uint32_t inflight = 0, queued = 0;
+    const bool admitted = runner.submit(
+        std::move(req),
+        [this, c, clientTag](JobReply rep) {
+          ctl::JobResultMsg out;
+          out.clientTag = clientTag;
+          out.jobId = rep.jobId;
+          out.ok = rep.ok ? 1 : 0;
+          out.cacheHit = rep.cacheHit ? 1 : 0;
+          out.sourceHash = rep.sourceHash;
+          out.wallMs = rep.wallMs;
+          out.error = rep.error;
+          const std::string prefix = "job." + std::to_string(rep.jobId) + ".";
+          for (const auto& [k, v] : rep.counters.all())
+            out.counters.emplace_back(prefix + k, v);
+          out.resultSet.reserve(rep.out.results.size());
+          for (std::size_t i = 0; i < rep.out.results.size(); ++i) {
+            out.resultSet.push_back(1);
+            out.results.push_back(rep.out.results[i]);
+            ctl::JobResultMsg::OutArray a;
+            if (i < rep.out.arrays.size() && rep.out.arrays[i]) {
+              a.present = 1;
+              a.rank = static_cast<std::uint8_t>(rep.out.arrays[i]->shape.rank);
+              a.dim0 = rep.out.arrays[i]->shape.dim0;
+              a.dim1 = rep.out.arrays[i]->shape.dim1;
+              a.elems = rep.out.arrays[i]->elems;
+            }
+            out.arrays.push_back(std::move(a));
+          }
+          std::vector<std::uint8_t> payload;
+          ctl::encodeJobResult(out, payload);
+          writeFrame(c, ctl::FrameTag::JobResult, payload);
+        },
+        &inflight, &queued);
+    if (!admitted) {
+      ctl::BusyMsg busy;
+      busy.clientTag = clientTag;
+      busy.inflight = inflight;
+      busy.queued = queued;
+      busy.maxInflight = static_cast<std::uint32_t>(cfg.maxInflight);
+      busy.maxQueue = static_cast<std::uint32_t>(cfg.maxQueue);
+      std::vector<std::uint8_t> payload;
+      ctl::encodeBusy(busy, payload);
+      writeFrame(c, ctl::FrameTag::Busy, payload);
+    }
+  }
+
+  /// Handles one well-framed message. Returns false when the connection
+  /// must be torn down (protocol violation — already counted + answered).
+  bool onFrame(const std::shared_ptr<Conn>& c, const ctl::Frame& f) {
+    count(ctl::kFrames);
+    if (!c->gotHello) {
+      ctl::HelloMsg hello;
+      if (f.tag != ctl::FrameTag::Hello ||
+          !ctl::decodeHello(f.payload.data(), f.payload.size(), hello) ||
+          hello.magic != ctl::kMagic || hello.version != ctl::kVersion) {
+        count(ctl::kBadFrames);
+        sendError(c, 1, "expected Hello (magic PCTL, version 1)");
+        return false;
+      }
+      c->gotHello = true;
+      std::vector<std::uint8_t> payload;
+      ctl::encodeHello(hello, payload);
+      writeFrame(c, ctl::FrameTag::HelloAck, payload);
+      ctl::WelcomeMsg w;
+      w.cfgHash = configHash(cfg);
+      w.pes = static_cast<std::uint16_t>(cfg.pes);
+      w.pageElems = static_cast<std::uint32_t>(cfg.pageElems);
+      w.maxInflight = static_cast<std::uint32_t>(cfg.maxInflight);
+      w.maxQueue = static_cast<std::uint32_t>(cfg.maxQueue);
+      payload.clear();
+      ctl::encodeWelcome(w, payload);
+      writeFrame(c, ctl::FrameTag::Welcome, payload);
+      return true;
+    }
+    ctl::SubmitMsg m;
+    switch (f.tag) {
+      case ctl::FrameTag::Submit:
+        if (!ctl::decodeSubmit(f.payload.data(), f.payload.size(), m)) {
+          count(ctl::kBadFrames);
+          sendError(c, 3, "malformed Submit payload");
+          return false;
+        }
+        onSubmit(c, m);
+        return c->open.load();
+      case ctl::FrameTag::CacheRef:
+        if (!ctl::decodeCacheRef(f.payload.data(), f.payload.size(), m)) {
+          count(ctl::kBadFrames);
+          sendError(c, 3, "malformed CacheRef payload");
+          return false;
+        }
+        onSubmit(c, m);
+        return c->open.load();
+      default:
+        count(ctl::kBadFrames);
+        sendError(c, 4, "unexpected frame tag");
+        return false;
+    }
+  }
+
+  void ioMain() {
+    std::vector<std::uint8_t> buf(64 * 1024);
+    for (;;) {
+      std::vector<pollfd> fds;
+      fds.push_back({wakePipe[0], POLLIN, 0});
+      if (!stopping.load() && listenFd >= 0)
+        fds.push_back({listenFd, POLLIN, 0});
+      for (const auto& [fd, c] : conns) fds.push_back({fd, POLLIN, 0});
+      if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), 250) < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (stopping.load()) {
+        // Drain delivered below by stop(); just stop reading and exit.
+        return;
+      }
+      for (const pollfd& p : fds) {
+        if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        if (p.fd == wakePipe[0]) {
+          std::uint8_t sink[16];
+          while (::read(wakePipe[0], sink, sizeof(sink)) > 0) {
+          }
+          continue;
+        }
+        if (p.fd == listenFd) {
+          const int cfd = ::accept(listenFd, nullptr, nullptr);
+          if (cfd >= 0) {
+            auto conn = std::make_shared<Conn>();
+            conn->fd = cfd;
+            conns.emplace(cfd, std::move(conn));
+            count("serve.connections");
+          }
+          continue;
+        }
+        auto it = conns.find(p.fd);
+        if (it == conns.end()) continue;
+        std::shared_ptr<Conn> c = it->second;
+        const ssize_t n = ::recv(p.fd, buf.data(), buf.size(), 0);
+        if (n <= 0) {
+          if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+          closeConn(p.fd);
+          continue;
+        }
+        c->reader.feed(buf.data(), static_cast<std::size_t>(n));
+        ctl::Frame f;
+        bool bad = false;
+        bool drop = false;
+        while (c->reader.next(f, &bad)) {
+          if (!onFrame(c, f)) {
+            drop = true;
+            break;
+          }
+        }
+        if (bad) {
+          // Corrupt header: the stream is poisoned (no resync possible).
+          count(ctl::kBadFrames);
+          sendError(c, 5, "corrupt frame header; closing");
+          drop = true;
+        }
+        if (drop || !c->open.load()) closeConn(p.fd);
+      }
+    }
+  }
+};
+
+Daemon::Daemon(const ServeConfig& cfg, Endpoint ep)
+    : impl_(std::make_unique<Impl>(cfg, std::move(ep))) {}
+
+Daemon::~Daemon() { stop(); }
+
+bool Daemon::start(std::string* err) {
+  Impl& im = *impl_;
+  if (im.started) return true;
+  if (::pipe(im.wakePipe) < 0) {
+    if (err) *err = "pipe: " + std::string(std::strerror(errno));
+    return false;
+  }
+  // Nonblocking read end: the io thread drains it opportunistically.
+  ::fcntl(im.wakePipe[0], F_SETFL, O_NONBLOCK);
+  if (!im.bindListen(err)) return false;
+  im.ioThread = std::thread([&im] { im.ioMain(); });
+  im.started = true;
+  return true;
+}
+
+void Daemon::stop() {
+  Impl& im = *impl_;
+  if (!im.started || im.stopped) return;
+  im.stopped = true;
+  im.stopping.store(true);
+  // Stop accepting + reading, but deliver every admitted job's result
+  // before tearing connections down: executors write directly to conns.
+  const std::uint8_t poke = 1;
+  const ssize_t ignored = ::write(im.wakePipe[1], &poke, 1);
+  (void)ignored;
+  im.ioThread.join();
+  im.runner.drain();
+  for (const auto& [fd, c] : im.conns) {
+    c->open.store(false);
+    std::lock_guard<std::mutex> g(c->writeM);
+    ::close(fd);
+    c->fd = -1;
+  }
+  im.conns.clear();
+  if (im.listenFd >= 0) ::close(im.listenFd);
+  im.listenFd = -1;
+  ::close(im.wakePipe[0]);
+  ::close(im.wakePipe[1]);
+  if (!im.ep.unixPath.empty()) ::unlink(im.ep.unixPath.c_str());
+}
+
+std::uint16_t Daemon::boundPort() const { return impl_->port; }
+
+Counters Daemon::stats() const {
+  Counters out = impl_->runner.stats();
+  std::lock_guard<std::mutex> g(impl_->statsM);
+  out.merge(impl_->st);
+  return out;
+}
+
+const ServeConfig& Daemon::config() const { return impl_->cfg; }
+
+}  // namespace pods::serve

@@ -1,0 +1,72 @@
+// Socket front end of the serving daemon (podsd).
+//
+// Speaks the PR 7 ctl-frame format ([u32 len][u8 tag], little-endian,
+// all-or-nothing decode) over a Unix-domain or loopback-TCP listener:
+//
+//   client                daemon
+//   Hello          ---->            magic + version check
+//                  <----  HelloAck
+//                  <----  Welcome   config hash + machine shape + limits
+//   Submit/CacheRef --->            admission + cache + execute
+//                  <----  JobResult (or Busy, or Error)
+//
+// Protocol discipline mirrors the supervisor<->worker channel: a malformed
+// frame (corrupt header, truncated payload, trailing junk, unexpected tag)
+// is counted into net.ctl.badFrames, answered with a best-effort Error
+// frame, and the connection is closed — the daemon itself never goes down
+// with a client. A config-hash mismatch in Submit is a *well-formed* frame
+// with incompatible values: same Error-and-close, counted separately.
+//
+// One poll()-based I/O thread owns every read; job results are written by
+// JobRunner executor threads directly, under a per-connection write lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/serve.hpp"
+#include "support/stats.hpp"
+
+namespace pods::serve {
+
+/// Where to listen. Exactly one of unixPath / tcp must be chosen: a
+/// non-empty unixPath wins; otherwise a loopback TCP socket is bound on
+/// tcpPort (0 = ephemeral; see boundPort()).
+struct Endpoint {
+  std::string unixPath;
+  std::uint16_t tcpPort = 0;
+  bool tcp = false;
+};
+
+class Daemon {
+ public:
+  Daemon(const ServeConfig& cfg, Endpoint ep);
+  ~Daemon();  // stop() if still running
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens, and starts the I/O thread. False (with *err) on any
+  /// socket failure.
+  bool start(std::string* err);
+
+  /// Clean shutdown: stop accepting, finish every admitted job (results
+  /// are still delivered), then close connections and join. Idempotent.
+  void stop();
+
+  /// TCP only: the actually-bound port (useful with tcpPort == 0).
+  std::uint16_t boundPort() const;
+
+  /// JobRunner stats plus the daemon's own net.ctl.* / serve.connections
+  /// counters — the podsd --stats-json payload.
+  Counters stats() const;
+
+  const ServeConfig& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pods::serve

@@ -1,0 +1,113 @@
+// Multi-tenant job execution for the serving daemon (podsd).
+//
+// One-shot `podsc` pays process startup, parse, translate, partition, and
+// worker-pool spin-up per run. The paper's thesis is that iteration-level
+// parallelism amortizes per-program setup across iterations; `JobRunner`
+// extends that amortization across *jobs*:
+//
+//  - a warm host-thread pool (native::ExecPool) survives across jobs, so a
+//    job's NativeMachine::run() spawns no threads;
+//  - a compiled-program cache keyed by the FNV-1a hash of the IdLite source
+//    skips parse/translate/partition on a hit (compilation is deterministic,
+//    so a hit is bit-identical to a miss);
+//  - admission control bounds concurrently executing jobs (maxInflight
+//    executors) plus a bounded wait queue (maxQueue) — beyond that a submit
+//    is rejected with a structured busy reply instead of queuing unboundedly;
+//  - every job runs in its own NativeMachine under its own context
+//    namespace (NativeConfig::jobId), so tokens, frames, straggler-ledger
+//    entries, and dedup keys of concurrent jobs can never collide, and a
+//    job aborted mid-run cannot leak state into survivors.
+//
+// JobRunner is transport-agnostic; the socket front end lives in
+// serve/daemon.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/pods.hpp"
+#include "support/stats.hpp"
+
+namespace pods::serve {
+
+struct ServeConfig {
+  int pes = 4;          // worker count of every job's NativeMachine
+  int pageElems = 32;   // array-layout granularity of every job
+  int maxInflight = 2;  // concurrently executing jobs (executor threads)
+  int maxQueue = 8;     // admitted-but-waiting jobs beyond the executors
+  int cacheCapacity = 64;  // compiled programs kept warm (LRU eviction)
+};
+
+/// FNV-1a over {protocol version, pes, pageElems} — the Welcome/Submit
+/// compatibility check. Machine shape is part of the contract: the same
+/// source partitioned for a different PE count is a different program.
+std::uint64_t configHash(const ServeConfig& c);
+
+/// FNV-1a of the IdLite source — the compiled-program cache key and the
+/// CacheRef handle clients use to skip re-sending (and re-compiling) source.
+std::uint64_t sourceHash(const std::string& source);
+
+struct JobRequest {
+  std::string source;  // IdLite source (byHash == false)
+  bool byHash = false;
+  std::uint64_t hash = 0;       // compiled handle (byHash == true)
+  std::uint32_t timeoutMs = 0;  // 0 = no per-job deadline
+};
+
+struct JobReply {
+  bool busy = false;  // admission rejected; only inflight/queued are valid
+  std::uint32_t inflight = 0;
+  std::uint32_t queued = 0;
+  bool ok = false;
+  bool cacheHit = false;
+  std::uint32_t jobId = 0;
+  std::uint64_t sourceHash = 0;
+  std::string error;
+  double wallMs = 0.0;
+  ProgramOutputs out;
+  /// Per-job counters, canonical (unprefixed) names. The wire layer
+  /// namespaces them as job.<id>.* ; the runner's stats() aggregates them
+  /// un-namespaced so daemon totals stay bounded.
+  Counters counters;
+};
+
+class JobRunner {
+ public:
+  explicit JobRunner(const ServeConfig& cfg);
+  /// Finishes every admitted job, then winds down executors and the pool.
+  ~JobRunner();
+
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  /// Asynchronous submit. The admission decision is made synchronously:
+  /// returns false (and fills *inflight / *queued) when the executors and
+  /// the queue are both full — `done` is then never invoked. Otherwise the
+  /// job is admitted and `done` fires exactly once, from an executor
+  /// thread, when the job completes. Thread-safe.
+  bool submit(JobRequest req, std::function<void(JobReply)> done,
+              std::uint32_t* inflight = nullptr,
+              std::uint32_t* queued = nullptr);
+
+  /// Blocking convenience over submit(): busy rejections come back as a
+  /// reply with busy == true.
+  JobReply run(JobRequest req);
+
+  /// Blocks until no job is executing or queued.
+  void drain();
+
+  /// serve.* counters (submits, busy rejects, cache hits/misses/evictions,
+  /// jobs ok/failed/aborted, inflight/queued gauges) plus the canonical
+  /// per-job counters aggregated across all completed jobs.
+  Counters stats() const;
+
+  const ServeConfig& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pods::serve

@@ -1,5 +1,8 @@
 #include "support/stats.hpp"
 
+#include <cstdio>
+#include <fstream>
+
 namespace pods {
 
 void Summary::add(double x) {
@@ -11,6 +14,50 @@ void Summary::add(double x) {
   }
   sum_ += x;
   ++n_;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+      out += buf;
+      continue;
+    }
+    out.push_back(ch);
+  }
+  return out;
+}
+
+bool writeStatsJson(const std::string& path, const std::string& engine,
+                    int pes, double timeMs, const Counters& counters,
+                    double wallSeconds, std::uint64_t events) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "{\n  \"engine\": \"" << jsonEscape(engine) << "\",\n"
+    << "  \"pes\": " << pes << ",\n"
+    << "  \"time_ms\": " << timeMs << ",\n";
+  if (wallSeconds > 0.0) {
+    f << "  \"derived\": {\n"
+      << "    \"wall_ms\": " << wallSeconds * 1e3;
+    if (events > 0) {
+      f << ",\n    \"sim.events\": " << events << ",\n"
+        << "    \"sim.events.persec\": "
+        << static_cast<double>(events) / wallSeconds;
+    }
+    f << "\n  },\n";
+  }
+  f << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [k, v] : counters.all()) {
+    f << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k) << "\": " << v;
+    first = false;
+  }
+  f << "\n  }\n}\n";
+  return f.good();
 }
 
 }  // namespace pods

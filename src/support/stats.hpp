@@ -28,6 +28,21 @@ class BusyMeter {
   SimTime busy_{};
 };
 
+/// JSON string escaping for the stats writer (quotes, backslashes, control
+/// characters).
+std::string jsonEscape(const std::string& s);
+
+/// --stats-json: the full counter registry of a run as one JSON object,
+/// machine-readable for bench_gate.py, check_stats_schema.py and friends.
+/// Keys are sorted because Counters::all() returns a sorted view, so files
+/// diff cleanly. Host-side quantities (wall time, event rate) go into a
+/// "derived" object, not "counters": the counter registry is the
+/// deterministic contract, wall time is not.
+class Counters;
+bool writeStatsJson(const std::string& path, const std::string& engine,
+                    int pes, double timeMs, const Counters& counters,
+                    double wallSeconds = 0.0, std::uint64_t events = 0);
+
 /// A set of named monotonic counters (tokens routed, pages shipped, ...).
 class Counters {
  public:

@@ -462,8 +462,9 @@ TEST(CtlFrame, IncrementalFeedReassembles) {
 }
 
 TEST(CtlFrame, UnknownTagPoisonsStream) {
+  // 22 is the first tag past Welcome — keep this in step with FrameTag.
   for (const std::uint8_t tag :
-       {std::uint8_t{0}, std::uint8_t{17}, std::uint8_t{255}}) {
+       {std::uint8_t{0}, std::uint8_t{22}, std::uint8_t{255}}) {
     const std::vector<std::uint8_t> wire = {1, 0, 0, 0, tag, 0xAB};
     FrameReader rd;
     rd.feed(wire.data(), wire.size());

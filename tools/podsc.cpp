@@ -316,56 +316,17 @@ void dumpCounters(const pods::Counters& counters) {
   }
 }
 
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    if (ch == '"' || ch == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(ch) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-      out += buf;
-      continue;
-    }
-    out.push_back(ch);
-  }
-  return out;
-}
-
-/// --stats-json: the full counter registry of a run as one JSON object,
-/// machine-readable for bench_gate.py and friends. Keys are sorted because
-/// Counters::all() returns a sorted view, so files diff cleanly.
-bool writeStatsJson(const std::string& path, const std::string& engine,
+/// Shared --stats-json writer (support/stats.cpp) plus the tool's error
+/// message on failure.
+bool writeStatsOrWarn(const std::string& path, const std::string& engine,
                     int pes, double timeMs, const pods::Counters& counters,
                     double wallSeconds = 0.0, std::uint64_t events = 0) {
-  std::ofstream f(path);
-  if (!f) {
-    std::fprintf(stderr, "podsc: cannot write '%s'\n", path.c_str());
-    return false;
+  if (pods::writeStatsJson(path, engine, pes, timeMs, counters, wallSeconds,
+                           events)) {
+    return true;
   }
-  f << "{\n  \"engine\": \"" << jsonEscape(engine) << "\",\n"
-    << "  \"pes\": " << pes << ",\n"
-    << "  \"time_ms\": " << timeMs << ",\n";
-  // Host-side quantities live in a "derived" object, not "counters": the
-  // counter registry is the deterministic contract, wall time is not.
-  if (wallSeconds > 0.0) {
-    f << "  \"derived\": {\n"
-      << "    \"wall_ms\": " << wallSeconds * 1e3;
-    if (events > 0) {
-      f << ",\n    \"sim.events\": " << events << ",\n"
-        << "    \"sim.events.persec\": "
-        << static_cast<double>(events) / wallSeconds;
-    }
-    f << "\n  },\n";
-  }
-  f << "  \"counters\": {";
-  bool first = true;
-  for (const auto& [k, v] : counters.all()) {
-    f << (first ? "\n" : ",\n") << "    \"" << jsonEscape(k) << "\": " << v;
-    first = false;
-  }
-  f << "\n  }\n}\n";
-  return f.good();
+  std::fprintf(stderr, "podsc: cannot write '%s'\n", path.c_str());
+  return false;
 }
 
 int runTool(const Options& o, Watchdog& dog) {
@@ -421,7 +382,7 @@ int runTool(const Options& o, Watchdog& dog) {
     std::printf("engine=pods pes=%d simulated time: %.3f ms\n", o.pes,
                 run.stats.total.ms());
     if (!o.statsJson.empty() &&
-        !writeStatsJson(o.statsJson, "pods", o.pes, run.stats.total.ms(),
+        !writeStatsOrWarn(o.statsJson, "pods", o.pes, run.stats.total.ms(),
                         run.stats.counters, run.stats.wallSeconds,
                         run.stats.events)) {
       return 1;
@@ -484,7 +445,7 @@ int runTool(const Options& o, Watchdog& dog) {
                 o.pes, pods::native::transportKindName(o.transport),
                 run.stats.wallSeconds * 1e3);
     if (!o.statsJson.empty() &&
-        !writeStatsJson(o.statsJson, "native", o.pes,
+        !writeStatsOrWarn(o.statsJson, "native", o.pes,
                         run.stats.wallSeconds * 1e3, run.stats.counters,
                         run.stats.wallSeconds)) {
       return 1;

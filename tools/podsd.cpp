@@ -1,0 +1,144 @@
+// podsd — the PODS serving daemon.
+//
+// A long-lived server keeping one warm native worker pool and a
+// compiled-program cache; clients submit IdLite programs (or cached
+// compiled handles) over a Unix/TCP socket speaking the ctl-frame protocol
+// and get results + per-job counters back. See docs/ARCHITECTURE.md,
+// "Serving daemon".
+//
+// Usage:
+//   podsd (--socket=PATH | --tcp=PORT) [options]
+//
+// Options:
+//   --socket=PATH      listen on a Unix-domain socket at PATH
+//   --tcp=PORT         listen on 127.0.0.1:PORT (0 = ephemeral, printed)
+//   --pes N            worker count of every job's machine   (default: 4)
+//   --page N           array page size in elements           (default: 32)
+//   --max-inflight N   concurrently executing jobs           (default: 2)
+//   --max-queue N      admitted-but-waiting jobs             (default: 8)
+//   --cache-cap N      compiled programs kept warm           (default: 64)
+//   --stats            print the counter registry at shutdown
+//   --stats-json=FILE  write the counter registry as JSON at shutdown
+//
+// SIGINT/SIGTERM: stop accepting, finish every admitted job, write stats,
+// exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "serve/daemon.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+std::atomic<bool> gStop{false};
+
+void onSignal(int) { gStop.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket=PATH | --tcp=PORT) [--pes N] [--page N] "
+               "[--max-inflight N] [--max-queue N] [--cache-cap N] "
+               "[--stats] [--stats-json=FILE]\n",
+               argv0);
+  return 2;
+}
+
+bool intAfter(const std::string& a, const char* prefix, int min, int& out) {
+  const std::string v = a.substr(std::strlen(prefix));
+  char* end = nullptr;
+  const long x = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || x < min) return false;
+  out = static_cast<int>(x);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pods::serve::ServeConfig cfg;
+  pods::serve::Endpoint ep;
+  bool printStats = false;
+  std::string statsJson;
+  int tcpPort = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--socket=", 0) == 0) {
+      ep.unixPath = a.substr(9);
+    } else if (a.rfind("--tcp=", 0) == 0) {
+      if (!intAfter(a, "--tcp=", 0, tcpPort) || tcpPort > 65535)
+        return usage(argv[0]);
+      ep.tcp = true;
+      ep.tcpPort = static_cast<std::uint16_t>(tcpPort);
+    } else if (a.rfind("--pes=", 0) == 0) {
+      if (!intAfter(a, "--pes=", 1, cfg.pes)) return usage(argv[0]);
+    } else if (a == "--pes" && i + 1 < argc) {
+      if (!intAfter(std::string("=") + argv[++i], "=", 1, cfg.pes))
+        return usage(argv[0]);
+    } else if (a.rfind("--page=", 0) == 0) {
+      if (!intAfter(a, "--page=", 1, cfg.pageElems)) return usage(argv[0]);
+    } else if (a.rfind("--max-inflight=", 0) == 0) {
+      if (!intAfter(a, "--max-inflight=", 1, cfg.maxInflight))
+        return usage(argv[0]);
+    } else if (a.rfind("--max-queue=", 0) == 0) {
+      if (!intAfter(a, "--max-queue=", 0, cfg.maxQueue)) return usage(argv[0]);
+    } else if (a.rfind("--cache-cap=", 0) == 0) {
+      if (!intAfter(a, "--cache-cap=", 1, cfg.cacheCapacity))
+        return usage(argv[0]);
+    } else if (a == "--stats") {
+      printStats = true;
+    } else if (a.rfind("--stats-json=", 0) == 0) {
+      statsJson = a.substr(13);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (ep.unixPath.empty() && !ep.tcp) return usage(argv[0]);
+
+  pods::serve::Daemon daemon(cfg, ep);
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::fprintf(stderr, "podsd: %s\n", err.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  if (!ep.unixPath.empty()) {
+    std::printf("podsd: serving on unix:%s pes=%d page=%d inflight=%d "
+                "queue=%d cache=%d\n",
+                ep.unixPath.c_str(), cfg.pes, cfg.pageElems, cfg.maxInflight,
+                cfg.maxQueue, cfg.cacheCapacity);
+  } else {
+    std::printf("podsd: serving on tcp:127.0.0.1:%u pes=%d page=%d "
+                "inflight=%d queue=%d cache=%d\n",
+                daemon.boundPort(), cfg.pes, cfg.pageElems, cfg.maxInflight,
+                cfg.maxQueue, cfg.cacheCapacity);
+  }
+  std::fflush(stdout);
+
+  while (!gStop.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  daemon.stop();
+  const pods::Counters st = daemon.stats();
+  if (printStats) {
+    for (const auto& [k, v] : st.all())
+      std::printf("  %-28s %lld\n", k.c_str(), static_cast<long long>(v));
+  }
+  if (!statsJson.empty() &&
+      !pods::writeStatsJson(statsJson, "serve", cfg.pes, 0.0, st)) {
+    std::fprintf(stderr, "podsd: cannot write '%s'\n", statsJson.c_str());
+    return 1;
+  }
+  std::printf("podsd: clean shutdown (%lld jobs ok, %lld busy rejects, "
+              "%lld bad frames)\n",
+              static_cast<long long>(st.get("serve.jobs.ok")),
+              static_cast<long long>(st.get("serve.busyRejects")),
+              static_cast<long long>(st.get("net.ctl.badFrames")));
+  return 0;
+}

@@ -1,0 +1,293 @@
+// podsd_client — submit IdLite programs to a running podsd.
+//
+// Usage:
+//   podsd_client (--socket=PATH | --tcp=PORT) [options] file.idl...
+//
+// Options:
+//   --repeat N        submit each program N times (default: 1); results of
+//                     every repetition must be bit-identical — any
+//                     divergence (cross-job bleed) exits 1
+//   --by-hash         after the first source submit of a file, resubmit by
+//                     the cached compiled handle (CacheRef)
+//   --timeout-ms N    per-job deadline enforced by the daemon
+//   --verify-seq      also compile locally and require bit-identical output
+//                     vs the sequential engine (once per file)
+//   --garbage[=N]     protocol-abuse mode: send N malformed frames
+//                     (default 4) instead of jobs; expects the daemon to
+//                     close the connection and stay alive
+//   --stats-json=FILE write the last job's counters (job.<id>.* namespace)
+//   --quiet           suppress per-result output
+//
+// Busy replies are retried with a small backoff (the admission queue is
+// bounded by design); the retry count is reported at exit.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pods.hpp"
+#include "serve/client.hpp"
+#include "serve/serve.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket=PATH | --tcp=PORT) [--repeat N] "
+               "[--by-hash] [--timeout-ms N] [--verify-seq] [--garbage[=N]] "
+               "[--stats-json=FILE] [--quiet] file.idl...\n",
+               argv0);
+  return 2;
+}
+
+struct Options {
+  std::string unixPath;
+  int tcpPort = -1;
+  int repeat = 1;
+  bool byHash = false;
+  int timeoutMs = 0;
+  bool verifySeq = false;
+  int garbage = 0;
+  std::string statsJson;
+  bool quiet = false;
+  std::vector<std::string> files;
+};
+
+bool intAfter(const std::string& a, const char* prefix, int min, int& out) {
+  const std::string v = a.substr(std::strlen(prefix));
+  char* end = nullptr;
+  const long x = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || x < min) return false;
+  out = static_cast<int>(x);
+  return true;
+}
+
+bool connect(pods::serve::Client& cli, const Options& o, std::string* err) {
+  if (!o.unixPath.empty()) return cli.connectUnix(o.unixPath, err);
+  return cli.connectTcp(static_cast<std::uint16_t>(o.tcpPort), err);
+}
+
+/// Sends malformed frames until the daemon (correctly) drops us, then
+/// proves the daemon still serves by completing a fresh handshake.
+int runGarbage(const Options& o) {
+  for (int round = 0; round < o.garbage; ++round) {
+    pods::serve::Client cli;
+    std::string err;
+    if (!connect(cli, o, &err)) {
+      std::fprintf(stderr, "podsd_client: %s\n", err.c_str());
+      return 1;
+    }
+    switch (round % 4) {
+      case 0: {  // corrupt header: out-of-range tag
+        const std::uint8_t wire[] = {4, 0, 0, 0, 99, 1, 2, 3, 4};
+        cli.sendRaw(wire, sizeof(wire));
+        break;
+      }
+      case 1: {  // over-limit length
+        const std::uint8_t wire[] = {0xFF, 0xFF, 0xFF, 0xFF, 1};
+        cli.sendRaw(wire, sizeof(wire));
+        break;
+      }
+      case 2: {  // well-framed Hello with the wrong magic
+        std::vector<std::uint8_t> payload, wire;
+        pods::proto::ctl::HelloMsg bad;
+        bad.magic = 0xDEADBEEF;
+        pods::proto::ctl::encodeHello(bad, payload);
+        pods::proto::ctl::encodeFrame(pods::proto::ctl::FrameTag::Hello,
+                                      payload, wire);
+        cli.sendRaw(wire.data(), wire.size());
+        break;
+      }
+      default: {  // truncated Submit payload under a valid header
+        const std::uint8_t wire[] = {3, 0, 0, 0, 17, 0xAA, 0xBB, 0xCC};
+        cli.sendRaw(wire, sizeof(wire));
+        break;
+      }
+    }
+    // The daemon answers Error and closes; handshake must now fail.
+    pods::proto::ctl::WelcomeMsg w;
+    if (cli.handshake(&w, &err)) {
+      std::fprintf(stderr,
+                   "podsd_client: daemon accepted a handshake after garbage "
+                   "(connection should be closed)\n");
+      return 1;
+    }
+  }
+  // Daemon must still be alive for well-behaved clients.
+  pods::serve::Client cli;
+  std::string err;
+  pods::proto::ctl::WelcomeMsg w;
+  if (!connect(cli, o, &err) || !cli.handshake(&w, &err)) {
+    std::fprintf(stderr, "podsd_client: daemon down after garbage: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  if (!o.quiet)
+    std::printf("garbage: %d malformed frames rejected, daemon alive\n",
+                o.garbage);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--socket=", 0) == 0) {
+      o.unixPath = a.substr(9);
+    } else if (a.rfind("--tcp=", 0) == 0) {
+      if (!intAfter(a, "--tcp=", 0, o.tcpPort)) return usage(argv[0]);
+    } else if (a.rfind("--repeat=", 0) == 0) {
+      if (!intAfter(a, "--repeat=", 1, o.repeat)) return usage(argv[0]);
+    } else if (a == "--by-hash") {
+      o.byHash = true;
+    } else if (a.rfind("--timeout-ms=", 0) == 0) {
+      if (!intAfter(a, "--timeout-ms=", 1, o.timeoutMs)) return usage(argv[0]);
+    } else if (a == "--verify-seq") {
+      o.verifySeq = true;
+    } else if (a == "--garbage") {
+      o.garbage = 4;
+    } else if (a.rfind("--garbage=", 0) == 0) {
+      if (!intAfter(a, "--garbage=", 1, o.garbage)) return usage(argv[0]);
+    } else if (a.rfind("--stats-json=", 0) == 0) {
+      o.statsJson = a.substr(13);
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      o.files.push_back(a);
+    }
+  }
+  if (o.unixPath.empty() && o.tcpPort < 0) return usage(argv[0]);
+  if (o.garbage > 0) return runGarbage(o);
+  if (o.files.empty()) return usage(argv[0]);
+
+  pods::serve::Client cli;
+  std::string err;
+  if (!connect(cli, o, &err)) {
+    std::fprintf(stderr, "podsd_client: %s\n", err.c_str());
+    return 1;
+  }
+  pods::proto::ctl::WelcomeMsg welcome;
+  if (!cli.handshake(&welcome, &err)) {
+    std::fprintf(stderr, "podsd_client: %s\n", err.c_str());
+    return 1;
+  }
+
+  long long busyRetries = 0, cacheHits = 0, jobs = 0;
+  pods::Counters lastJob;
+  double lastWallMs = 0.0;
+  for (const std::string& file : o.files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "podsd_client: cannot open '%s'\n", file.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+
+    pods::ProgramOutputs reference;
+    bool haveReference = false;
+    if (o.verifySeq) {
+      pods::CompileResult cr = pods::compile(source);
+      if (!cr.ok) {
+        std::fprintf(stderr, "podsd_client: local compile of '%s' failed:\n%s",
+                     file.c_str(), cr.diagnostics.c_str());
+        return 1;
+      }
+      pods::BaselineRun seq = pods::runSequentialBaseline(*cr.compiled);
+      if (!seq.stats.ok) {
+        std::fprintf(stderr, "podsd_client: sequential run failed: %s\n",
+                     seq.stats.error.c_str());
+        return 1;
+      }
+      reference = std::move(seq.out);
+      haveReference = true;
+    }
+
+    bool haveHandle = false;
+    std::uint64_t handle = 0;
+    pods::ProgramOutputs first;
+    bool haveFirst = false;
+    for (int rep = 0; rep < o.repeat; ++rep) {
+      pods::serve::Client::Reply reply;
+      for (;;) {
+        const bool sent =
+            (o.byHash && haveHandle)
+                ? cli.submitHash(handle,
+                                 static_cast<std::uint32_t>(o.timeoutMs),
+                                 &reply, &err)
+                : cli.submitSource(source,
+                                   static_cast<std::uint32_t>(o.timeoutMs),
+                                   &reply, &err);
+        if (!sent) {
+          std::fprintf(stderr, "podsd_client: %s\n", err.c_str());
+          return 1;
+        }
+        if (!reply.busy) break;
+        ++busyRetries;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      const auto& r = reply.result;
+      if (r.ok == 0) {
+        std::fprintf(stderr, "podsd_client: job %u failed: %s\n", r.jobId,
+                     r.error.c_str());
+        return 1;
+      }
+      ++jobs;
+      if (r.cacheHit != 0) ++cacheHits;
+      handle = r.sourceHash;
+      haveHandle = true;
+      lastWallMs = r.wallMs;
+      lastJob = pods::Counters();
+      for (const auto& [k, v] : r.counters) lastJob.add(k, v);
+
+      const pods::ProgramOutputs out = pods::serve::Client::toOutputs(r);
+      std::string why;
+      if (haveReference && !pods::sameOutputs(out, reference, &why)) {
+        std::fprintf(stderr,
+                     "podsd_client: '%s' diverged from the sequential "
+                     "engine: %s\n",
+                     file.c_str(), why.c_str());
+        return 1;
+      }
+      if (!haveFirst) {
+        first = out;
+        haveFirst = true;
+      } else if (!pods::sameOutputs(out, first, &why)) {
+        std::fprintf(stderr,
+                     "podsd_client: '%s' rep %d diverged from rep 0 "
+                     "(cross-job bleed?): %s\n",
+                     file.c_str(), rep, why.c_str());
+        return 1;
+      }
+      if (!o.quiet) {
+        std::printf("%s job=%u cacheHit=%d wall=%.3fms results=%zu\n",
+                    file.c_str(), r.jobId, int(r.cacheHit), r.wallMs,
+                    r.results.size());
+      }
+    }
+  }
+
+  if (!o.statsJson.empty() &&
+      !pods::writeStatsJson(o.statsJson, "serve-job", welcome.pes, lastWallMs,
+                            lastJob)) {
+    std::fprintf(stderr, "podsd_client: cannot write '%s'\n",
+                 o.statsJson.c_str());
+    return 1;
+  }
+  if (!o.quiet) {
+    std::printf("done: %lld jobs, %lld cache hits, %lld busy retries\n", jobs,
+                cacheHits, busyRetries);
+  }
+  return 0;
+}

@@ -21,6 +21,25 @@ add_test(NAME podsc_ablation
          COMMAND podsc --pes 6 --block-range --page 8 --no-cache --verify
                  ${CMAKE_SOURCE_DIR}/programs/heat.idl)
 
+# The serving daemon and its client (docs/ARCHITECTURE.md, "Serving
+# daemon"). End-to-end coverage lives in tests/test_serve.cpp (in-process
+# daemon + client over a Unix socket) and scripts/daemon_soak.py (real
+# processes, N concurrent clients); the smoke below drives the real
+# binaries once.
+add_executable(podsd ${CMAKE_SOURCE_DIR}/tools/podsd.cpp)
+target_link_libraries(podsd PRIVATE pods)
+add_executable(podsd_client ${CMAKE_SOURCE_DIR}/tools/podsd_client.cpp)
+target_link_libraries(podsd_client PRIVATE pods)
+
+find_package(Python3 COMPONENTS Interpreter)
+if(Python3_Interpreter_FOUND)
+  add_test(NAME podsd_smoke
+           COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/scripts/daemon_soak.py
+                   --build-dir ${CMAKE_BINARY_DIR} --duration 3 --clients 2
+                   --repeat 2)
+  set_tests_properties(podsd_smoke PROPERTIES TIMEOUT 120)
+endif()
+
 # Fault injection end-to-end: lossy network, ack/retransmit recovery, still
 # bit-identical to the sequential engine — on both engines, under a watchdog
 # so a delivery bug fails fast instead of wedging ctest.
