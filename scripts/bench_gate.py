@@ -37,6 +37,7 @@ BENCHES = {
     "micro_engine": "bench/micro_engine",
     "micro_serve": "bench/micro_serve",
     "micro_eventq": "bench/micro_eventq",
+    "micro_arrays": "bench/micro_arrays",
 }
 
 # Counter-registry snapshots (podsc --stats-json) archived alongside the
@@ -48,6 +49,8 @@ STATS_RUNS = {
     "heat_native_4pe": ("native", "programs/heat.idl", 4, ()),
     "heat_native_udp_4pe": ("native", "programs/heat.idl", 4,
                             ("--transport=udp",)),
+    "heat_native_udp_wire_4pe": ("native", "programs/heat.idl", 4,
+                                 ("--transport=udp", "--store=wire")),
 }
 
 # Counters whose baseline-vs-candidate drift compare() prints (never gates):
@@ -60,6 +63,9 @@ STATS_DELTA_COUNTERS = (
     "net.udp.batch.flushDeadline",
     "net.retx.resent",
     "native.inboxOverflow",
+    "net.am.readReqSent",
+    "net.am.parks",
+    "native.shmArrayOps",
 )
 
 

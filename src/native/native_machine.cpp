@@ -75,6 +75,24 @@ struct WorkerStats {
   std::int64_t instructions = 0;
   std::int64_t dupSuppressed = 0;  // duplicate faulty messages deduplicated
   PeakGauge liveFrames;
+  // Wire array store ("net.am.*"): typed array messages sent/serviced by
+  // this PE, plus the local fast-path accesses that never hit the wire.
+  std::int64_t amReadReqSent = 0;    // remote split-phase reads issued
+  std::int64_t amReadReqServed = 0;  // read requests serviced as owner
+  std::int64_t amWriteSent = 0;      // remote element writes issued
+  std::int64_t amWriteApplied = 0;   // remote writes applied as owner
+  std::int64_t amDimReqSent = 0;     // shape queries issued to allocators
+  std::int64_t amDimReqServed = 0;   // shape queries answered as allocator
+  std::int64_t amRepliesSent = 0;    // value replies sent (immediate + fills)
+  std::int64_t amParks = 0;          // deferred reads parked at this owner
+  std::int64_t amParkFills = 0;      // parked reads filled by a write
+  std::int64_t amLocalReads = 0;     // owner-local reads (no message)
+  std::int64_t amLocalWrites = 0;    // owner-local writes (no message)
+  std::int64_t amShapeWaits = 0;     // frames blocked awaiting a DimReply
+  // Array accesses served through the shm segment (LocalStore, worker
+  // mode). Must be zero under --store=wire: the acceptance proof that no
+  // array traffic bypasses the transport.
+  std::int64_t shmArrayOps = 0;
 };
 
 /// Capacity of each inbox SPSC ring. Deep enough that fault-free runs
@@ -133,6 +151,46 @@ struct Worker {
   std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>> myParks;
   WorkerStats st;
   std::thread thread;
+
+  // ---- Wire array store (owner-thread-only; cfg.store == Wire) ----------
+  //
+  // Under the wire store this PE privately owns the elements `ArrayLayout`
+  // assigns to it; every non-local access arrives as a typed array message
+  // (native/store.hpp) on the ordinary token transport. Like the NArray
+  // heap and the shm segment, the element/park/shape maps are *store*
+  // state, not PE state: an in-process kill wipes the frames but leaves
+  // them intact (multi-process respawns rebuild them from the receive
+  // log's Am records instead).
+  /// Owned elements: array id -> offset -> value (sparse; single-assignment).
+  std::unordered_map<ArrayId, std::unordered_map<std::int64_t, Value>> wsElems;
+  /// Deferred reads parked at this owner: array id -> offset -> packed
+  /// requester continuations (deduplicated; drained by the eventual write).
+  std::unordered_map<ArrayId,
+                     std::unordered_map<std::int64_t,
+                                        std::vector<std::uint64_t>>>
+      wsParks;
+  /// Shape + ownership-layout cache. The allocator registers its arrays at
+  /// ALLOC; other PEs fill entries from DimReply answers. Layout is a pure
+  /// function of (shape, machine config), so a cached copy is as
+  /// authoritative as the allocator's.
+  struct WsMeta {
+    ArrayShape shape{};
+    ArrayLayout layout;
+    WsMeta(ArrayShape s, int pes, int page,
+           const std::vector<std::int64_t>& peWeights)
+        : shape(s), layout(s, pes, page, peWeights) {}
+  };
+  std::unordered_map<ArrayId, WsMeta> wsMeta;
+  /// Frames blocked on an unknown shape, requeued by the DimReply.
+  std::unordered_map<ArrayId, std::vector<std::uint32_t>> wsShapeWait;
+  /// Arrays with a DimReq in flight (one query per array per PE).
+  std::unordered_set<ArrayId> wsDimReqSent;
+  /// Per-PE allocation stream: id = seq * numWorkers + pe, so the allocator
+  /// of any id is id % numWorkers with no cross-PE coordination.
+  std::uint64_t wsArraySeq = 0;
+  /// Respawn replay: replies regenerated from logged Am records, held until
+  /// the worker loop starts (the transport is not up during the rebuild).
+  std::vector<std::pair<int, NToken>> wsDeferred;
 };
 
 /// Wake-token identity of one array element (top bit distinguishes the wake
@@ -264,6 +322,15 @@ struct NativeMachine::Impl : TransportSink {
   // acked only once its Recv record is stable) and frame retirement (End is
   // logged only after every send of the frame is acked).
   std::unique_ptr<ShmStore> shm;
+  /// Supervisor + wire store: arrays merged from the workers' Result frames
+  /// (each worker ships its owned elements + allocator metas at the end of
+  /// the run), read by post-run gather(). The wire-store replacement for
+  /// the shm segment.
+  std::unordered_map<ArrayId, NativeArray> wireGathered;
+  /// Respawn replay (wire store): true while performKill re-services logged
+  /// Am records — replies regenerated during the rebuild are deferred to
+  /// Worker::wsDeferred instead of sent (no transport is running yet).
+  bool amDeferSends = false;
   /// Worker-mode array cache: shm cells + shape + ownership layout, filled
   /// lazily (arrays allocated by other PEs resolve on first touch).
   /// Owner-thread-only — worker mode has a single worker thread.
@@ -300,6 +367,12 @@ struct NativeMachine::Impl : TransportSink {
   /// a multiproc worker can be `kill -9`ed at an arbitrary moment, so it
   /// must log unconditionally.
   bool recMode() const { return killMode() || workerMode(); }
+
+  /// Whether the wire array store is active: array elements live in per-PE
+  /// owned maps and every non-local access is a transported array message.
+  /// The supervisor never executes frames, so this is only consulted on
+  /// worker/execution paths.
+  bool wireStore() const { return cfg.store == StoreKind::Wire; }
 
   /// Whether the retired-context straggler ledger is maintained. Needed
   /// whenever delivery can reorder a token past its instance's END: fault
@@ -602,10 +675,18 @@ struct NativeMachine::Impl : TransportSink {
                 plan.config().nativeStallUs));
       }
     }
+    if (tok.amKind != static_cast<std::uint8_t>(AmKind::None)) {
+      // Typed array message (wire store): serviced by this PE as owner /
+      // allocator, never by a frame. Handled after the transport-level
+      // msgId dedup above but before any ctx-addressed logic — an array id
+      // must never be confused with a context.
+      handleAm(pe, tok, /*fromLog=*/false);
+      return;
+    }
     std::uint32_t frameIdx;
     std::uint16_t slot;
     if (tok.toCont) {
-      if (recMode() && tok.wakeKey != 0) {
+      if ((recMode() || wireStore()) && tok.wakeKey != 0) {
         // Array-element wake-up: only valid for a park this worker still
         // remembers. A kill wipes the park registry; wakes for pre-kill
         // parks are redundant (the re-executed read found the element
@@ -785,6 +866,258 @@ struct NativeMachine::Impl : TransportSink {
     return false;
   }
 
+  // --- wire array store (cfg.store == Wire; native/store.hpp) ----------------
+  //
+  // Owner-serviced array messages on the ordinary token transport. Every
+  // handler below runs on the servicing PE's owner thread, so the ws* maps
+  // need no locks; non-local accesses become typed NTokens that ride the
+  // same batching/ack/retransmit/dedup machinery as every other token.
+
+  Worker::WsMeta* wireMeta(Worker& w, ArrayId id) {
+    auto it = w.wsMeta.find(id);
+    return it == w.wsMeta.end() ? nullptr : &it->second;
+  }
+
+  Worker::WsMeta& wireRegisterMeta(Worker& w, ArrayId id,
+                                   const ArrayShape& s) {
+    // try_emplace: a duplicate DimReply (or an ALLOC racing one) is a no-op;
+    // layout is a pure function of (shape, config), so copies agree.
+    auto [it, inserted] =
+        w.wsMeta.try_emplace(id, s, cfg.numWorkers, cfg.pageElems, cfg.peWeights);
+    (void)inserted;
+    return it->second;
+  }
+
+  /// Present element lookup (Tag::Empty means absent — the sparse map may
+  /// hold an empty cell only transiently, never as a value).
+  const Value* wireFind(Worker& w, ArrayId arr, std::int64_t off) {
+    auto ait = w.wsElems.find(arr);
+    if (ait == w.wsElems.end()) return nullptr;
+    auto it = ait->second.find(off);
+    if (it == ait->second.end() || it->second.empty()) return nullptr;
+    return &it->second;
+  }
+
+  /// In-process allocation: per-PE strided ids (seq * numPEs + pe) make the
+  /// allocator of ANY id computable as id % numPEs with no coordination.
+  ArrayId newWireId(Worker& w, int pe) {
+    return static_cast<ArrayId>(
+        (++w.wsArraySeq) * static_cast<std::uint64_t>(cfg.numWorkers) +
+        static_cast<unsigned>(pe));
+  }
+
+  /// Receive-log record for a serviced array message (worker mode only; the
+  /// in-process store survives a kill, so it needs no log). Field mapping is
+  /// documented at RecEntry::Kind::Am.
+  void logAm(int pe, const NToken& tok) {
+    RecEntry e;
+    e.kind = RecEntry::Kind::Am;
+    e.spCode = tok.amKind;
+    e.ctx = tok.ctx;
+    e.slot = tok.slot;
+    e.senderCtx = tok.senderCtx;
+    e.v = tok.v;
+    e.sendKey = tok.cont.pack();
+    e.msgId = tok.msgId;
+    logAppend(pe, e);
+  }
+
+  /// The allocator's durable shape record, logged once per minted array so a
+  /// respawn can rebuild wsMeta and answer replayed DimReqs. Always precedes
+  /// any DimReq for the id in the log: the id escapes this PE only through
+  /// sends made after ALLOC executed.
+  void logAllocMeta(int pe, ArrayId id, const ArrayShape& s) {
+    RecEntry e;
+    e.kind = RecEntry::Kind::Am;
+    e.spCode = static_cast<std::uint16_t>(AmKind::AllocMeta);
+    e.ctx = id;
+    e.slot = static_cast<std::uint16_t>(s.rank);
+    e.senderCtx = static_cast<std::uint64_t>(s.dim0);
+    e.v = Value::intv(s.dim1);
+    logAppend(pe, e);
+  }
+
+  /// Value reply for a serviced read: an ordinary wake token (the requester's
+  /// myParks registry dedups regenerated copies after a kill). During log
+  /// replay the transport is not up yet, so replies park in wsDeferred and
+  /// ship when the worker loop starts.
+  void sendAmReply(int pe, Cont c, const Value& v, std::uint64_t wakeKey) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    w.st.amRepliesSent++;
+    NToken tok;
+    tok.toCont = true;
+    tok.cont = c;
+    tok.v = v;
+    tok.wakeKey = wakeKey;
+    if (amDeferSends) {
+      w.wsDeferred.emplace_back(static_cast<int>(c.pe), std::move(tok));
+      return;
+    }
+    send(pe, static_cast<int>(c.pe), std::move(tok));
+  }
+
+  void sendDimReply(int pe, int requester, ArrayId arr, const ArrayShape& s) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    NToken tok;
+    tok.amKind = static_cast<std::uint8_t>(AmKind::DimReply);
+    tok.ctx = arr;
+    tok.slot = static_cast<std::uint16_t>(s.rank);
+    tok.senderCtx = static_cast<std::uint64_t>(s.dim0);
+    tok.v = Value::intv(s.dim1);
+    if (amDeferSends) {
+      w.wsDeferred.emplace_back(requester, std::move(tok));
+      return;
+    }
+    send(pe, requester, std::move(tok));
+  }
+
+  /// Parks a deferred read at the owner (I-structure semantics). Packed-cont
+  /// dedup absorbs a re-executed requester's re-sent ReadReq: frames rebuild
+  /// at their original index/generation, so the duplicate is bit-equal.
+  void wireParkReader(Worker& w, ArrayId arr, std::int64_t off,
+                      std::uint64_t packed) {
+    auto& parked = w.wsParks[arr][off];
+    if (std::find(parked.begin(), parked.end(), packed) != parked.end())
+      return;
+    parked.push_back(packed);
+    w.st.amParks++;
+  }
+
+  /// Applies one element write as owner and drains parked readers. Returns
+  /// false after reporting a single-assignment violation. Parks are drained
+  /// even on an idempotent identical rewrite (recovery replay): the original
+  /// writer may have died between publishing the element and its replies
+  /// getting out, or the parks themselves may be log-rebuilt.
+  bool wireApplyWrite(int pe, ArrayId arr, std::int64_t off, const Value& v) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    Value& elem = w.wsElems[arr][off];
+    if (!elem.empty()) {
+      if (!(recMode() && elem.identical(v))) {
+        fail("single-assignment violation at element " + std::to_string(off));
+        return false;
+      }
+    } else {
+      elem = v;
+    }
+    auto ait = w.wsParks.find(arr);
+    if (ait != w.wsParks.end()) {
+      auto pit = ait->second.find(off);
+      if (pit != ait->second.end()) {
+        std::vector<std::uint64_t> parked = std::move(pit->second);
+        ait->second.erase(pit);
+        if (ait->second.empty()) w.wsParks.erase(ait);
+        const std::uint64_t key = elemWakeKey(arr, off);
+        for (std::uint64_t packed : parked) {
+          w.st.amParkFills++;
+          sendAmReply(pe, Cont::unpack(packed), v, key);
+        }
+      }
+    }
+    return true;
+  }
+
+  /// A DimReply landed: frames blocked on the shape re-execute their array
+  /// instruction (pc never advanced past it).
+  void wireRequeueShapeWaiters(Worker& w, ArrayId arr) {
+    auto it = w.wsShapeWait.find(arr);
+    if (it == w.wsShapeWait.end()) return;
+    for (std::uint32_t idx : it->second) {
+      if (idx >= w.frames.size()) continue;
+      NFrame& f = *w.frames[idx];
+      if (f.dead || !f.blocked || f.blockedSlot != kNoSlot) continue;
+      f.blocked = false;
+      w.ready.push_back(idx);
+    }
+    w.wsShapeWait.erase(it);
+  }
+
+  /// Blocks a frame on an unknown array shape and queries the allocator
+  /// (id % numPEs) — once per (PE, array). blockedSlot stays kNoSlot so no
+  /// slot write can unblock it; only the DimReply requeue does.
+  Step wireAwaitShape(int pe, Worker& w, std::uint32_t frameIdx, NFrame& f,
+                      ArrayId arr) {
+    w.st.amShapeWaits++;
+    w.wsShapeWait[arr].push_back(frameIdx);
+    f.blocked = true;
+    f.blockedSlot = kNoSlot;
+    if (w.wsDimReqSent.insert(arr).second) {
+      w.st.amDimReqSent++;
+      NToken tok;
+      tok.amKind = static_cast<std::uint8_t>(AmKind::DimReq);
+      tok.ctx = arr;
+      tok.slot = static_cast<std::uint16_t>(pe);
+      send(pe,
+           static_cast<int>(arr % static_cast<ArrayId>(cfg.numWorkers)),
+           std::move(tok));
+    }
+    return Step::Blocked;
+  }
+
+  /// Services one typed array message as owner / allocator. Runs on the
+  /// receiving PE's owner thread (from deliver) or during log replay
+  /// (fromLog: re-applied against the rebuilt store; regenerated replies are
+  /// deferred and deduplicated at their requester).
+  void handleAm(int pe, const NToken& tok, bool fromLog) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    const ArrayId arr = static_cast<ArrayId>(tok.ctx);
+    switch (static_cast<AmKind>(tok.amKind)) {
+      case AmKind::ReadReq: {
+        if (workerMode() && !fromLog) logAm(pe, tok);
+        w.st.amReadReqServed++;
+        const std::int64_t off = static_cast<std::int64_t>(tok.senderCtx);
+        if (const Value* elem = wireFind(w, arr, off)) {
+          sendAmReply(pe, tok.cont, *elem, elemWakeKey(arr, off));
+        } else {
+          wireParkReader(w, arr, off, tok.cont.pack());
+        }
+        break;
+      }
+      case AmKind::Write: {
+        if (workerMode() && !fromLog) logAm(pe, tok);
+        w.st.amWriteApplied++;
+        (void)wireApplyWrite(pe, arr, static_cast<std::int64_t>(tok.senderCtx),
+                             tok.v);
+        break;
+      }
+      case AmKind::DimReq: {
+        if (workerMode() && !fromLog) logAm(pe, tok);
+        w.st.amDimReqServed++;
+        Worker::WsMeta* m = wireMeta(w, arr);
+        if (m == nullptr) {
+          // The allocator registers at ALLOC, before the id can escape (and
+          // an AllocMeta log record precedes any replayed DimReq), so an
+          // unknown id here is a stale or corrupted handle.
+          fail("dimension query for unknown array id " + std::to_string(arr));
+          return;
+        }
+        sendDimReply(pe, static_cast<int>(tok.slot), arr, m->shape);
+        break;
+      }
+      case AmKind::DimReply: {
+        ArrayShape s;
+        s.rank = static_cast<int>(tok.slot);
+        s.dim0 = static_cast<std::int64_t>(tok.senderCtx);
+        s.dim1 = tok.v.asInt();
+        wireRegisterMeta(w, arr, s);
+        wireRequeueShapeWaiters(w, arr);
+        break;
+      }
+      default:
+        w.st.tokensDropped++;  // decode rejects unknown kinds; belt-and-braces
+        break;
+    }
+  }
+
+  /// Ships replies regenerated by log replay once the transport is running.
+  void flushDeferredAm(int pe) {
+    Worker& w = *workers[static_cast<std::size_t>(pe)];
+    if (w.wsDeferred.empty()) return;
+    std::vector<std::pair<int, NToken>> defs;
+    defs.swap(w.wsDeferred);
+    for (auto& [dest, tok] : defs) send(pe, dest, std::move(tok));
+    transport->flush(pe);
+  }
+
   Step step(int pe, std::uint32_t frameIdx, NFrame& f) {
     const SpCode& sp = prog.sp(f.spCode);
     PODS_CHECK(f.pc < sp.code.size());
@@ -900,15 +1233,51 @@ struct NativeMachine::Impl : TransportSink {
                 static_cast<unsigned>(pe)));
             logMintRec(pe, f.ctx, mseq, v);
           }
+          if (wireStore()) {
+            // The allocator's shape record is the array's durable identity:
+            // registered locally (it answers DimReqs) and logged so a
+            // respawn can rebuild it. Appended whenever replay did NOT
+            // rebuild it — a kill can land with the mint stable but the
+            // AllocMeta append lost, and the log must self-heal or a later
+            // incarnation's replay could see a DimReq with no shape.
+            // Duplicate records replay idempotently (try_emplace).
+            if (wireMeta(w, v.asArray()) == nullptr)
+              logAllocMeta(pe, v.asArray(), shape);
+            wireRegisterMeta(w, v.asArray(), shape);
+            f.slots[in.dst] = v;
+            break;
+          }
           // Create-or-lookup even on a mint-log hit: the mint may have
           // reached stable storage while the kill landed before the shm
           // table slot was claimed. createArray is idempotent, so the
           // replayed call either claims the slot now or finds the original
           // (with its elements intact — the segment restore of recovery).
+          w.st.shmArrayOps++;
           if (wArray(v.asArray(), &shape) == nullptr) {
             fail("shm array store exhausted in " + sp.name);
             return Step::Stopped;
           }
+          f.slots[in.dst] = v;
+          break;
+        }
+        if (wireStore()) {
+          // In-process wire store: strided per-PE ids, no coordination. In
+          // kill mode the mint log keeps a replayed frame's n-th allocation
+          // on its original identity (the element map survives the kill).
+          Value v;
+          if (killMode()) {
+            RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
+            const std::uint32_t mseq = f.mintSeq++;
+            if (const Value* m = L.findMint(f.ctx, mseq)) {
+              v = *m;
+            } else {
+              v = Value::arrayv(newWireId(w, pe));
+              L.recordMint(f.ctx, mseq, v);
+            }
+          } else {
+            v = Value::arrayv(newWireId(w, pe));
+          }
+          wireRegisterMeta(w, v.asArray(), shape);
           f.slots[in.dst] = v;
           break;
         }
@@ -930,7 +1299,54 @@ struct NativeMachine::Impl : TransportSink {
         break;
       }
       case Op::ARD: {
+        if (wireStore()) {
+          const Value& av = f.slots[in.a];
+          if (!av.isArray()) {
+            fail("array read on non-array operand " + av.str() + " in " +
+                 sp.name);
+            return Step::Stopped;
+          }
+          const ArrayId arrId = av.asArray();
+          Worker::WsMeta* m = wireMeta(w, arrId);
+          if (m == nullptr) return wireAwaitShape(pe, w, frameIdx, f, arrId);
+          const std::int64_t i0 = f.slots[in.b].asInt();
+          const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
+          std::int64_t offset;
+          if (!resolveOffset(m->shape, i0, i1, in.c != kNoSlot ? 2 : 1,
+                             offset)) {
+            fail("array read out of bounds in " + sp.name);
+            return Step::Stopped;
+          }
+          // Split phase, same as every other backend: clear the target slot
+          // and continue — downstream consumers block on it via ensure().
+          const int owner = m->layout.ownerOfOffset(offset);
+          f.slots[in.dst] = Value{};
+          Cont c{static_cast<std::uint16_t>(pe), frameIdx, in.dst, f.gen};
+          if (owner == pe) {
+            w.st.amLocalReads++;
+            if (const Value* elem = wireFind(w, arrId, offset)) {
+              f.slots[in.dst] = *elem;
+            } else {
+              // Deferred read at ourselves: park, and register the wake key
+              // so the filling write's self-reply is recognized as live.
+              wireParkReader(w, arrId, offset, c.pack());
+              w.myParks[elemWakeKey(arrId, offset)].insert(c.pack());
+            }
+            break;
+          }
+          w.st.amReadReqSent++;
+          w.myParks[elemWakeKey(arrId, offset)].insert(c.pack());
+          NToken tok;
+          tok.amKind = static_cast<std::uint8_t>(AmKind::ReadReq);
+          tok.ctx = arrId;
+          tok.senderCtx = static_cast<std::uint64_t>(offset);
+          tok.slot = static_cast<std::uint16_t>(pe);
+          tok.cont = c;
+          send(pe, owner, std::move(tok));
+          break;
+        }
         if (workerMode()) {
+          w.st.shmArrayOps++;
           WArr* wa = wArrayOperand(f, in.a, sp, "array read");
           if (wa == nullptr) return Step::Stopped;
           const ArrayId arrId = f.slots[in.a].asArray();
@@ -1000,7 +1416,47 @@ struct NativeMachine::Impl : TransportSink {
         break;
       }
       case Op::AWR: {
+        if (wireStore()) {
+          const Value& av = f.slots[in.a];
+          if (!av.isArray()) {
+            fail("array write on non-array operand " + av.str() + " in " +
+                 sp.name);
+            return Step::Stopped;
+          }
+          const ArrayId arrId = av.asArray();
+          Worker::WsMeta* m = wireMeta(w, arrId);
+          if (m == nullptr) return wireAwaitShape(pe, w, frameIdx, f, arrId);
+          const std::int64_t i0 = f.slots[in.b].asInt();
+          const std::int64_t i1 = in.c != kNoSlot ? f.slots[in.c].asInt() : 0;
+          std::int64_t offset;
+          if (!resolveOffset(m->shape, i0, i1, in.c != kNoSlot ? 2 : 1,
+                             offset)) {
+            fail("array write out of bounds in " + sp.name);
+            return Step::Stopped;
+          }
+          const int owner = m->layout.ownerOfOffset(offset);
+          if (owner == pe) {
+            w.st.amLocalWrites++;
+            if (!wireApplyWrite(pe, arrId, offset, f.slots[in.dst]))
+              return Step::Stopped;
+            break;
+          }
+          // Fire-and-forget: the owner applies, detects violations, and
+          // drains parked readers. Delivery is exactly-once (per-link seq
+          // windows + msgId dedup), and a kill-replay re-send is an
+          // idempotent identical overwrite at the owner.
+          w.st.amWriteSent++;
+          NToken tok;
+          tok.amKind = static_cast<std::uint8_t>(AmKind::Write);
+          tok.ctx = arrId;
+          tok.senderCtx = static_cast<std::uint64_t>(offset);
+          tok.slot = static_cast<std::uint16_t>(pe);
+          tok.v = f.slots[in.dst];
+          send(pe, owner, std::move(tok));
+          break;
+        }
         if (workerMode()) {
+          w.st.shmArrayOps++;
           WArr* wa = wArrayOperand(f, in.a, sp, "array write");
           if (wa == nullptr) return Step::Stopped;
           const ArrayId arrId = f.slots[in.a].asArray();
@@ -1081,7 +1537,23 @@ struct NativeMachine::Impl : TransportSink {
       case Op::RFLO:
       case Op::RFHI: {
         IdxRange r;
-        if (workerMode()) {
+        if (wireStore()) {
+          // Answered locally from the cached (or awaited) shape: layout is a
+          // pure function of (shape, config), so no owner round-trip needed.
+          const Value& av = f.slots[in.a];
+          if (!av.isArray()) {
+            fail("range filter on non-array operand " + av.str() + " in " +
+                 sp.name);
+            return Step::Stopped;
+          }
+          Worker::WsMeta* m = wireMeta(w, av.asArray());
+          if (m == nullptr)
+            return wireAwaitShape(pe, w, frameIdx, f, av.asArray());
+          r = in.dim == 0
+                  ? m->layout.ownedRows(pe)
+                  : m->layout.ownedColsOfRow(pe, f.slots[in.b].asInt());
+        } else if (workerMode()) {
+          w.st.shmArrayOps++;
           WArr* wa = wArrayOperand(f, in.a, sp, "range filter");
           if (wa == nullptr) return Step::Stopped;
           r = in.dim == 0
@@ -1106,7 +1578,22 @@ struct NativeMachine::Impl : TransportSink {
         break;
       }
       case Op::DIMQ: {
+        if (wireStore()) {
+          const Value& av = f.slots[in.a];
+          if (!av.isArray()) {
+            fail("dimension query on non-array operand " + av.str() + " in " +
+                 sp.name);
+            return Step::Stopped;
+          }
+          Worker::WsMeta* m = wireMeta(w, av.asArray());
+          if (m == nullptr)
+            return wireAwaitShape(pe, w, frameIdx, f, av.asArray());
+          f.slots[in.dst] =
+              Value::intv(in.dim == 1 ? m->shape.dim1 : m->shape.dim0);
+          break;
+        }
         if (workerMode()) {
+          w.st.shmArrayOps++;
           WArr* wa = wArrayOperand(f, in.a, sp, "dimension query");
           if (wa == nullptr) return Step::Stopped;
           f.slots[in.dst] =
@@ -1230,6 +1717,21 @@ struct NativeMachine::Impl : TransportSink {
     w.dedup.clear();
     w.pendingReplay.clear();
     w.myParks.clear();
+    // Wire store: the shape-wait and in-flight-DimReq registries reference
+    // the wiped frames — re-executed frames re-block and re-query. The
+    // element/park/meta maps and the allocation counter are *store* state,
+    // not PE state (like the NArray heap / shm segment): an in-process kill
+    // leaves them intact; a respawned process starts empty and rebuilds them
+    // from the Am records below.
+    w.wsShapeWait.clear();
+    w.wsDimReqSent.clear();
+    w.wsDeferred.clear();
+    // Replies regenerated by Am replay cannot be sent yet (worker mode runs
+    // this before any transport thread exists); they park in wsDeferred and
+    // ship when the worker loop starts. Only set in worker mode — a single
+    // worker thread — so no other thread can race the flag.
+    const bool deferAm = workerMode() && wireStore();
+    if (deferAm) amDeferSends = true;
     RecoveryLog& L = recLogs[static_cast<std::size_t>(pe)];
     for (std::size_t i = 0; i < L.entries.size(); ++i) {
       const RecEntry& e = L.entries[i];
@@ -1303,8 +1805,34 @@ struct NativeMachine::Impl : TransportSink {
           // exist (a no-op on in-process transports).
           transport->primeRecv(e.msgId, static_cast<std::uint8_t>(e.gen));
           break;
+        case RecEntry::Kind::Am: {
+          if (static_cast<AmKind>(e.spCode) == AmKind::AllocMeta) {
+            ArrayShape s;
+            s.rank = static_cast<int>(e.slot);
+            s.dim0 = static_cast<std::int64_t>(e.senderCtx);
+            s.dim1 = e.v.asInt();
+            wireRegisterMeta(w, static_cast<ArrayId>(e.ctx), s);
+            break;
+          }
+          // Re-service the logged array message against the rebuilding
+          // store, in its original receive order: writes are idempotent
+          // identical overwrites, re-parked reads dedup by packed cont, and
+          // regenerated replies are deferred here and deduplicated at the
+          // requester (its myParks registry drops wakes for parks it no
+          // longer holds).
+          NToken t;
+          t.amKind = static_cast<std::uint8_t>(e.spCode);
+          t.ctx = e.ctx;
+          t.slot = e.slot;
+          t.senderCtx = e.senderCtx;
+          t.v = e.v;
+          t.cont = Cont::unpack(e.sendKey);
+          handleAm(pe, t, /*fromLog=*/true);
+          break;
+        }
       }
     }
+    if (deferAm) amDeferSends = false;
     for (std::uint32_t idx = 0;
          idx < static_cast<std::uint32_t>(w.frames.size()); ++idx) {
       if (w.frames[idx]->dead) {
@@ -1498,6 +2026,9 @@ struct NativeMachine::Impl : TransportSink {
     Worker& w = *workers[static_cast<std::size_t>(pe)];
     const bool killTarget = killMode() && pe == cfg.faults.killPe;
     const bool wmode = workerMode();
+    // Respawn replay may have regenerated array-message replies before the
+    // transport was up; the loop owns the transport now, so ship them.
+    if (wireStore()) flushDeferredAm(pe);
     int slicesSinceFlush = 0;
     while (!stop.load()) {
       if (killTarget && !killFired &&
@@ -1531,7 +2062,11 @@ struct NativeMachine::Impl : TransportSink {
       if (wmode) {
         transport->pumpAcks();
         pumpRetiring(pe);
-        sweepParks(pe);
+        // The park sweeper reads elements straight from shm — LocalStore
+        // only. Under the wire store the equivalent failure shape (writer
+        // died after applying, before its replies got out) is covered by Am
+        // log replay regenerating the replies at the owner.
+        if (!wireStore()) sweepParks(pe);
       }
       drainInbox(pe);
       if (!w.ready.empty()) continue;
@@ -1589,7 +2124,7 @@ struct NativeMachine::Impl : TransportSink {
       // in forked worker processes. runSupervisor creates the shm segment
       // (handed back here so gather() can read result arrays) and drives
       // the fleet — fork, boot, heartbeats, kill recovery, termination.
-      return procmgr::runSupervisor(prog, cfg, shm);
+      return procmgr::runSupervisor(prog, cfg, shm, wireGathered);
     }
     if (killMode() && cfg.faults.killPe >= cfg.numWorkers) {
       NativeResult bad;
@@ -1604,13 +2139,17 @@ struct NativeMachine::Impl : TransportSink {
       // Segment attach — on respawn this is the segment-restore step of
       // recovery: the I-structure elements written before the kill are in
       // the supervisor-owned mapping, untouched by this process's death.
-      std::string serr;
-      shm = ShmStore::open(cfg.shmName, &serr);
-      if (shm == nullptr) {
-        NativeResult bad;
-        bad.ok = false;
-        bad.error = "shm open failed: " + serr;
-        return bad;
+      // The wire store has no segment at all: elements live in per-PE owned
+      // maps and are restored from the Am records of the receive log.
+      if (cfg.store == StoreKind::Local) {
+        std::string serr;
+        shm = ShmStore::open(cfg.shmName, &serr);
+        if (shm == nullptr) {
+          NativeResult bad;
+          bad.ok = false;
+          bad.error = "shm open failed: " + serr;
+          return bad;
+        }
       }
       const int pe = cfg.localPe;
       // Re-apply logged RESULT stores before replay: with the slot already
@@ -1813,6 +2352,34 @@ struct NativeMachine::Impl : TransportSink {
       frames += w->st.framesCreated;
       tokens += w->st.tokensOut;
     }
+    if (wireStore()) {
+      // Array-message ledger ("net.am.*"). Fault-free invariants the tests
+      // assert: readReqSent == readReqServed, writeSent == writeApplied,
+      // dimReqSent == dimReqServed, parks == parkFills (summed over PEs —
+      // in multi-process mode after the supervisor merges every worker).
+      Counters am;
+      for (const auto& w : workers) {
+        am.add("readReqSent", w->st.amReadReqSent);
+        am.add("readReqServed", w->st.amReadReqServed);
+        am.add("writeSent", w->st.amWriteSent);
+        am.add("writeApplied", w->st.amWriteApplied);
+        am.add("dimReqSent", w->st.amDimReqSent);
+        am.add("dimReqServed", w->st.amDimReqServed);
+        am.add("repliesSent", w->st.amRepliesSent);
+        am.add("parks", w->st.amParks);
+        am.add("parkFills", w->st.amParkFills);
+        am.add("localReads", w->st.amLocalReads);
+        am.add("localWrites", w->st.amLocalWrites);
+        am.add("shapeWaits", w->st.amShapeWaits);
+      }
+      out.counters.mergePrefixed(am, "net.am.");
+    }
+    // Accesses served through the shm segment — the acceptance proof that
+    // --store=wire routes ALL array traffic over the transport is this
+    // counter staying 0 (it only moves in worker mode under LocalStore).
+    std::int64_t shmOps = 0;
+    for (const auto& w : workers) shmOps += w->st.shmArrayOps;
+    out.counters.add("native.shmArrayOps", shmOps);
     // Legacy aliases kept stable for existing consumers; "native.instructions"
     // already exists via the prefixed merge above.
     out.counters.add("native.frames", frames);
@@ -1869,6 +2436,37 @@ NativeMachine::~NativeMachine() = default;
 NativeResult NativeMachine::run() { return impl_->run(); }
 
 std::optional<NativeArray> NativeMachine::gather(ArrayId id) const {
+  if (impl_->cfg.store == StoreKind::Wire) {
+    if (impl_->supervisorMode()) {
+      // Merged from the workers' Result frames (each ships its owned slice).
+      auto it = impl_->wireGathered.find(id);
+      if (it == impl_->wireGathered.end()) return std::nullopt;
+      return it->second;
+    }
+    // In-process (threads joined — unguarded reads are safe) or a worker's
+    // own view: shape from any meta holder, elements from every owner.
+    const ArrayShape* shape = nullptr;
+    for (const auto& w : impl_->workers) {
+      auto mit = w->wsMeta.find(id);
+      if (mit != w->wsMeta.end()) {
+        shape = &mit->second.shape;
+        break;
+      }
+    }
+    if (shape == nullptr) return std::nullopt;
+    NativeArray view;
+    view.shape = *shape;
+    view.elems.assign(static_cast<std::size_t>(shape->numElems()), Value{});
+    for (const auto& w : impl_->workers) {
+      auto eit = w->wsElems.find(id);
+      if (eit == w->wsElems.end()) continue;
+      for (const auto& [off, v] : eit->second) {
+        if (off >= 0 && off < static_cast<std::int64_t>(view.elems.size()))
+          view.elems[static_cast<std::size_t>(off)] = v;
+      }
+    }
+    return view;
+  }
   if (impl_->shm != nullptr) {
     // Multi-process mode: arrays live in the shm I-structure segment.
     ShmStore::ArrayRef ref = impl_->shm->lookup(id);
@@ -1887,6 +2485,39 @@ std::optional<NativeArray> NativeMachine::gather(ArrayId id) const {
   view.shape = a.shape;
   view.elems = a.elems;
   return view;
+}
+
+std::vector<WireArrayPart> NativeMachine::wireArrayParts() const {
+  std::vector<WireArrayPart> parts;
+  if (impl_->cfg.store != StoreKind::Wire) return parts;
+  std::unordered_map<ArrayId, std::size_t> idx;
+  auto partFor = [&](ArrayId id) -> WireArrayPart& {
+    auto [it, inserted] = idx.try_emplace(id, parts.size());
+    if (inserted) {
+      parts.emplace_back();
+      parts.back().id = id;
+    }
+    return parts[it->second];
+  };
+  for (const auto& w : impl_->workers) {
+    for (const auto& [id, meta] : w->wsMeta) {
+      // Only the allocator's meta ships — cached DimReply copies are
+      // redundant, and exactly one PE (id % numPEs) is the allocator.
+      if (static_cast<int>(id % static_cast<ArrayId>(
+                                    impl_->cfg.numWorkers)) != w->id)
+        continue;
+      WireArrayPart& p = partFor(id);
+      p.hasMeta = true;
+      p.shape = meta.shape;
+    }
+    for (const auto& [id, elems] : w->wsElems) {
+      WireArrayPart& p = partFor(id);
+      p.elems.reserve(p.elems.size() + elems.size());
+      for (const auto& [off, v] : elems)
+        if (!v.empty()) p.elems.emplace_back(off, v);
+    }
+  }
+  return parts;
 }
 
 WorkerStatus NativeMachine::workerStatus() const {

@@ -33,6 +33,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "native/transport.hpp"
@@ -91,6 +92,11 @@ struct NativeConfig {
   /// always-on ack/retransmit reliable-delivery protocol. Fault injection
   /// and kill recovery compose with either.
   TransportKind transport = TransportKind::Inbox;
+  /// Array-store backend (native/store.hpp): the shared-heap/shm fast path
+  /// (default) or owner-serviced array messages on the token wire. Outputs
+  /// are bit-identical across backends; `wire` is the layering remote-host
+  /// workers need (no shm, every cross-PE access a transported message).
+  StoreKind store = StoreKind::Local;
   /// Optional external abort flag (e.g. a wall-clock watchdog): observed by
   /// a monitor thread; when it becomes true the run fails fast with an
   /// "aborted" error instead of hanging. Pointee must outlive run().
@@ -152,6 +158,17 @@ struct NativeArray {
   std::vector<Value> elems;
 };
 
+/// Wire store (`--store=wire`): one PE's slice of the array plane, shipped
+/// to the supervisor inside its Result frame so post-run gather() works
+/// without a shm segment. `hasMeta` marks the allocator's authoritative
+/// shape record; `elems` are the (offset, value) pairs this PE owns.
+struct WireArrayPart {
+  ArrayId id = 0;
+  bool hasMeta = false;
+  ArrayShape shape{};
+  std::vector<std::pair<std::int64_t, Value>> elems;
+};
+
 /// Worker snapshot for the supervisor's termination protocol (ctl Status).
 struct WorkerStatus {
   bool idle = false;
@@ -175,6 +192,11 @@ class NativeMachine {
 
   /// Post-run array snapshot (for result extraction); nullopt if unknown.
   std::optional<NativeArray> gather(ArrayId id) const;
+
+  /// Wire store, post-run: this process's slice of every array it touched
+  /// (owned elements + allocator shapes). Worker processes ship this to the
+  /// supervisor in their Result frame; empty under LocalStore.
+  std::vector<WireArrayPart> wireArrayParts() const;
 
   // ---- Worker-mode control (called from the procmgr ctl thread) --------
   /// Quiescence snapshot for a termination Poll.

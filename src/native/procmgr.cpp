@@ -259,6 +259,7 @@ bool workerReadFrame(int fd, ctl::FrameReader& reader, ctl::Frame& f) {
   cfg.faults = FaultConfig{};
   cfg.faults.retry = boot.faults.retry;
   cfg.transport = TransportKind::UdpMultiproc;
+  cfg.store = boot.store == 1 ? StoreKind::Wire : StoreKind::Local;
   cfg.localPe = boot.localPe;
   cfg.epoch = boot.epoch;
   cfg.resume = boot.resume != 0;
@@ -441,6 +442,19 @@ bool workerReadFrame(int fd, ctl::FrameReader& reader, ctl::Frame& f) {
   result.error = res.error;
   result.results = res.results;
   result.resultSet = res.resultsSet;
+  // Wire store: this PE's slice of the array plane rides the Result frame —
+  // owned elements plus the allocator's shape records — so the supervisor
+  // can rebuild the global arrays without any shm segment.
+  for (const WireArrayPart& p : machine.wireArrayParts()) {
+    ctl::ResultMsg::OwnedArray a;
+    a.id = p.id;
+    a.hasMeta = p.hasMeta ? 1 : 0;
+    a.rank = static_cast<std::uint8_t>(p.shape.rank);
+    a.dim0 = p.shape.dim0;
+    a.dim1 = p.shape.dim1;
+    a.elems = p.elems;
+    result.arrays.push_back(std::move(a));
+  }
   for (const auto& [k, v] : res.counters.all()) result.counters.emplace_back(k, v);
   if (static_cast<std::size_t>(cfg.localPe) < res.perWorker.size()) {
     for (const auto& [k, v] :
@@ -460,8 +474,9 @@ bool workerReadFrame(int fd, ctl::FrameReader& reader, ctl::Frame& f) {
 class Supervisor {
  public:
   Supervisor(const SpProgram& prog, const NativeConfig& cfg,
-             std::unique_ptr<ShmStore>& shmOut)
-      : prog_(prog), cfg_(cfg), shmOut_(shmOut) {}
+             std::unique_ptr<ShmStore>& shmOut,
+             std::unordered_map<ArrayId, NativeArray>& wireOut)
+      : prog_(prog), cfg_(cfg), shmOut_(shmOut), wireOut_(wireOut) {}
 
   NativeResult run();
 
@@ -508,6 +523,7 @@ class Supervisor {
   const SpProgram& prog_;
   const NativeConfig& cfg_;
   std::unique_ptr<ShmStore>& shmOut_;
+  std::unordered_map<ArrayId, NativeArray>& wireOut_;
 
   std::string exePath_;
   std::string shmName_;
@@ -549,7 +565,8 @@ ctl::BootMsg Supervisor::makeBoot(int pe, std::uint8_t epoch) const {
   m.heartbeatPeriodMs = cfg_.heartbeatPeriodMs;
   m.heartbeatTimeoutMs = cfg_.heartbeatTimeoutMs;
   m.shmBytes = 0;  // workers open, never size
-  m.shmName = shmName_;
+  m.shmName = shmName_;  // empty under the wire store (no segment exists)
+  m.store = cfg_.store == StoreKind::Wire ? 1 : 0;
   m.peerPorts = ports_;
   m.peWeights = cfg_.peWeights;
   m.faults = cfg_.faults;
@@ -915,13 +932,15 @@ NativeResult Supervisor::run() {
 
   // The shm I-structure segment (paper: structure memory separate from the
   // PEs). Unique per supervisor instance so concurrent test processes never
-  // collide; the store unlinks it on destruction.
-  static std::atomic<int> shmSeq{0};
-  shmName_ = !cfg_.shmName.empty()
-                 ? cfg_.shmName
-                 : "/pods." + std::to_string(::getpid()) + "." +
-                       std::to_string(shmSeq.fetch_add(1));
-  {
+  // collide; the store unlinks it on destruction. Wire store: no segment at
+  // all — workers never map shm, arrays ride the token wire and come back
+  // in Result frames (shmName_ stays empty, which the Boot ships).
+  if (cfg_.store == StoreKind::Local) {
+    static std::atomic<int> shmSeq{0};
+    shmName_ = !cfg_.shmName.empty()
+                   ? cfg_.shmName
+                   : "/pods." + std::to_string(::getpid()) + "." +
+                         std::to_string(shmSeq.fetch_add(1));
     std::string serr;
     shmOut_ = ShmStore::create(
         shmName_, cfg_.shmBytes != 0 ? cfg_.shmBytes : kDefaultShmBytes,
@@ -1107,6 +1126,33 @@ NativeResult Supervisor::run() {
     for (const auto& [k, v] : c.result.workerCounters)
       out.perWorker[static_cast<std::size_t>(c.pe)].add(k, v);
   }
+  // Wire store: rebuild the global array plane from the per-PE slices the
+  // workers shipped. Pass 1 sizes each array from its allocator's shape
+  // record; pass 2 places every owned element (a part can arrive from a PE
+  // other than the allocator, so the order of children is irrelevant).
+  for (const Child& c : children_) {
+    for (const auto& a : c.result.arrays) {
+      if (a.hasMeta == 0) continue;
+      NativeArray& arr = wireOut_[a.id];
+      arr.shape.rank = a.rank;
+      arr.shape.dim0 = a.dim0;
+      arr.shape.dim1 = a.dim1;
+      const std::int64_t total = a.rank == 1 ? a.dim0 : a.dim0 * a.dim1;
+      if (total >= 0) arr.elems.assign(static_cast<std::size_t>(total), Value{});
+    }
+  }
+  for (const Child& c : children_) {
+    for (const auto& a : c.result.arrays) {
+      auto it = wireOut_.find(a.id);
+      if (it == wireOut_.end()) continue;
+      for (const auto& [off, v] : a.elems) {
+        if (off >= 0 &&
+            static_cast<std::size_t>(off) < it->second.elems.size()) {
+          it->second.elems[static_cast<std::size_t>(off)] = v;
+        }
+      }
+    }
+  }
   for (std::size_t r = 0; r < out.resultsSet.size(); ++r) {
     if (out.resultsSet[r] == 0) {
       out.ok = false;
@@ -1128,8 +1174,9 @@ NativeResult Supervisor::run() {
 }  // namespace
 
 NativeResult runSupervisor(const SpProgram& prog, const NativeConfig& cfg,
-                           std::unique_ptr<ShmStore>& shmOut) {
-  Supervisor sup(prog, cfg, shmOut);
+                           std::unique_ptr<ShmStore>& shmOut,
+                           std::unordered_map<ArrayId, NativeArray>& wireOut) {
+  Supervisor sup(prog, cfg, shmOut, wireOut);
   return sup.run();
 }
 

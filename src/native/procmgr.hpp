@@ -26,6 +26,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 
 #include "native/native_machine.hpp"
 #include "native/shm_store.hpp"
@@ -38,8 +39,14 @@ namespace pods::native::procmgr {
 /// NativeMachine::gather can read result arrays post-run), binds the UDP
 /// sockets, forks/execs one worker per PE, supervises, and merges the
 /// workers' results and counters into one NativeResult.
+///
+/// Wire store (`cfg.store == StoreKind::Wire`): no shm segment is created
+/// (`shmOut` stays null) — each worker ships its owned array slice in its
+/// Result frame and the merged global arrays land in `wireOut`, keyed by
+/// array id, for post-run gather().
 NativeResult runSupervisor(const SpProgram& prog, const NativeConfig& cfg,
-                           std::unique_ptr<ShmStore>& shmOut);
+                           std::unique_ptr<ShmStore>& shmOut,
+                           std::unordered_map<ArrayId, NativeArray>& wireOut);
 
 /// Worker-process entry point. Scans argv for `--pods-worker=CTLFD,SOCKFD`;
 /// when present this process is a forked worker: it speaks the control

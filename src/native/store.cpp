@@ -1,0 +1,25 @@
+#include "native/store.hpp"
+
+namespace pods::native {
+
+bool parseStoreKind(const std::string& name, StoreKind& out) {
+  if (name == "local") {
+    out = StoreKind::Local;
+    return true;
+  }
+  if (name == "wire") {
+    out = StoreKind::Wire;
+    return true;
+  }
+  return false;
+}
+
+const char* storeKindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::Wire: return "wire";
+    case StoreKind::Local: break;
+  }
+  return "local";
+}
+
+}  // namespace pods::native

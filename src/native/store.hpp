@@ -1,0 +1,77 @@
+// The native array-store seam: which backend holds I-structure elements.
+//
+// The paper's Data-Distributed Execution model treats every structure access
+// as a message to the owning PE; the simulator models this (`net.arrayMsgs`,
+// deferred reads at the Array Manager). The native engine historically took
+// a shortcut: cross-PE ARD/AWR went straight at shared memory (the in-process
+// NArray heap, or the shm segment in multi-process mode), bypassing the
+// Transport seam, fault injection, and the batched-UDP/ack machinery. This
+// header names the seam that removes the shortcut:
+//
+//  - LocalStore (default): the historical shared-heap fast path. In-process
+//    transports read/write the mutex-guarded NArray heap directly; the
+//    multi-process transport uses the supervisor-created shm segment.
+//  - WireStore (`podsc --store=wire`): elements live in per-PE private maps
+//    owned by `ArrayLayout`'s page math, and every non-local access becomes
+//    a typed *array message* (AmKind) riding the existing token wire — the
+//    same NToken records, batch datagrams, per-link sequence windows,
+//    cumulative acks, retransmit, fault dice, and receive-log replay as
+//    ordinary tokens. No shm, no shared heap: the layering a remote-host
+//    worker needs.
+//
+// Protocol (owner-serviced, I-structure semantics):
+//   ReadReq   requester -> owner   split-phase read. If the element is
+//                                  present the owner answers immediately;
+//                                  if absent the requester's continuation is
+//                                  parked at the owner (deferred read) and
+//                                  filled by the eventual write.
+//   Write     writer    -> owner   fire-and-forget single-assignment write;
+//                                  the owner detects violations and drains
+//                                  parked readers into value replies.
+//   DimReq    any PE    -> allocator  shape query (allocator = id % numPEs);
+//   DimReply  allocator -> requester  rank/dims — fills the requester's meta
+//                                  cache and requeues shape-blocked frames.
+//   value replies ride the existing array wake-up token (toCont + wakeKey),
+//   so requester-side dedup (`myParks`) and kill recovery are unchanged.
+//
+// AllocMeta never travels the wire: it is the receive-log record a
+// multi-process allocator writes so a respawn can rebuild its shape table
+// (and keep answering DimReq) even after the allocating frame retired.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pods::native {
+
+/// Which array-store backend the native machine uses.
+enum class StoreKind : std::uint8_t {
+  Local,  // shared heap (in-process) / shm segment (multi-process); default
+  Wire,   // owner-serviced array messages on the token transport; no shm
+};
+
+/// Parses a `podsc --store=` value ("local", "wire").
+bool parseStoreKind(const std::string& name, StoreKind& out);
+const char* storeKindName(StoreKind kind);
+
+/// Typed array-message kinds carried in the token record's flag byte
+/// (bits 2..4; 0 marks an ordinary token, keeping the wire bit-identical
+/// for non-array traffic). Field reuse on NToken:
+///   ctx       = array id                  (all kinds)
+///   senderCtx = element offset            (ReadReq / Write); dim0 (DimReply)
+///   slot      = requester PE              (ReadReq / DimReq); rank (DimReply)
+///   cont      = requester continuation    (ReadReq)
+///   v         = element value             (Write); dim1 as Int (DimReply)
+enum class AmKind : std::uint8_t {
+  None = 0,      // not an array message
+  ReadReq = 1,   // split-phase read request (park at owner when absent)
+  Write = 2,     // single-assignment element write
+  DimReq = 3,    // shape query to the allocator
+  DimReply = 4,  // shape answer (rank, dim0, dim1)
+  AllocMeta = 5, // log-only: allocator's durable (id -> shape) record
+};
+
+/// Highest AmKind value that may appear on the wire (AllocMeta is log-only).
+inline constexpr std::uint8_t kMaxWireAmKind = 4;
+
+}  // namespace pods::native

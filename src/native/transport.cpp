@@ -2035,8 +2035,11 @@ const char* transportKindName(TransportKind kind) {
 void wireEncodeToken(const NToken& tok, std::uint16_t srcPe,
                      std::uint8_t out[kTokenWireBytes]) {
   out[0] = kTypeToken;
-  out[1] = static_cast<std::uint8_t>((tok.toCont ? 1 : 0) |
-                                     (tok.add ? 2 : 0));
+  // Flag byte: bit 0 = toCont, bit 1 = add, bits 2..4 = AmKind (0 for
+  // ordinary tokens, so the non-array wire stays bit-identical), bits 5..7
+  // reserved (decoder rejects them nonzero).
+  out[1] = static_cast<std::uint8_t>((tok.toCont ? 1 : 0) | (tok.add ? 2 : 0) |
+                                     ((tok.amKind & 0x7u) << 2));
   put16(out + 2, srcPe);
   put16(out + 4, tok.spCode);
   put16(out + 6, tok.slot);
@@ -2053,10 +2056,13 @@ void wireEncodeToken(const NToken& tok, std::uint16_t srcPe,
 bool wireDecodeToken(const std::uint8_t* data, std::size_t len, NToken& tok,
                      std::uint16_t* srcPe) {
   if (len != kTokenWireBytes || data[0] != kTypeToken) return false;
-  if (data[1] & ~0x3u) return false;
+  if (data[1] & ~0x1Fu) return false;  // bits 5..7 reserved
+  const std::uint8_t amKind = (data[1] >> 2) & 0x7u;
+  if (amKind > kMaxWireAmKind) return false;  // AllocMeta is log-only
   if (data[24] > static_cast<std::uint8_t>(Tag::Cont)) return false;
   tok.toCont = (data[1] & 1) != 0;
   tok.add = (data[1] & 2) != 0;
+  tok.amKind = amKind;
   if (srcPe) *srcPe = get16(data + 2);
   tok.spCode = get16(data + 4);
   tok.slot = get16(data + 6);

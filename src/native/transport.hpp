@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "native/store.hpp"
 #include "runtime/value.hpp"
 #include "support/fault.hpp"
 #include "support/recovery.hpp"
@@ -82,6 +83,11 @@ struct NToken {
   /// Kill mode: nonzero marks an array-element wake-up; encodes the element
   /// so the receiver can drop wakes for parks wiped by its own kill.
   std::uint64_t wakeKey = 0;
+  /// Wire array store: nonzero marks this token as a typed array message
+  /// (AmKind in native/store.hpp) with the field reuse documented there.
+  /// Array messages ride the same wire records, batch datagrams, sequence
+  /// windows, acks, and fault dice as ordinary tokens.
+  std::uint8_t amKind = 0;
   /// Multi-process: the sending process's incarnation, stamped from the
   /// batch-datagram header at receive time (not part of the 65-byte token
   /// record). Rides to the drain so the ack for this token is attributed to

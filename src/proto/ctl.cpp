@@ -196,7 +196,10 @@ void encodeLogRec(const LogRec& r, Writer& w) {
 
 bool decodeLogRec(Reader& r, LogRec& out) {
   if (!r.u8(out.kind)) return false;
-  if (out.kind > LogRec::kResult) return false;
+  if (out.kind > LogRec::kMaxRecKind && out.kind != LogRec::kMint &&
+      out.kind != LogRec::kResult) {
+    return false;
+  }
   if (out.kind == LogRec::kResult) {
     return r.u32(out.mintSeq) && r.value(out.mintV);
   }
@@ -336,6 +339,7 @@ void encodeBoot(const BootMsg& m, std::vector<std::uint8_t>& out) {
   w.u16(m.localPe);
   w.u8(m.epoch);
   w.u8(m.resume);
+  w.u8(m.store);
   w.u32(m.pageElems);
   w.u32(m.sliceInstructions);
   w.u32(m.heartbeatPeriodMs);
@@ -368,7 +372,8 @@ bool decodeBoot(const std::uint8_t* p, std::size_t n, BootMsg& m,
   if (computed != hash) return false;
   std::uint16_t numPorts = 0, numWeights = 0;
   if (!(r.u16(m.numPes) && r.u16(m.localPe) && r.u8(m.epoch) &&
-        r.u8(m.resume) && r.u32(m.pageElems) && r.u32(m.sliceInstructions) &&
+        r.u8(m.resume) && r.u8(m.store) && m.store <= 1 &&
+        r.u32(m.pageElems) && r.u32(m.sliceInstructions) &&
         r.u32(m.heartbeatPeriodMs) && r.u32(m.heartbeatTimeoutMs) &&
         r.u64(m.shmBytes) && r.str(m.shmName) && r.u16(numPorts))) {
     return false;
@@ -484,6 +489,19 @@ void encodeResult(const ResultMsg& m, std::vector<std::uint8_t>& out) {
     w.u8(i < m.resultSet.size() ? m.resultSet[i] : 0);
     w.value(m.results[i]);
   }
+  w.u32(static_cast<std::uint32_t>(m.arrays.size()));
+  for (const ResultMsg::OwnedArray& a : m.arrays) {
+    w.u32(a.id);
+    w.u8(a.hasMeta);
+    w.u8(a.rank);
+    w.i64(a.dim0);
+    w.i64(a.dim1);
+    w.u32(static_cast<std::uint32_t>(a.elems.size()));
+    for (const auto& [off, v] : a.elems) {
+      w.i64(off);
+      w.value(v);
+    }
+  }
   w.u32(static_cast<std::uint32_t>(m.counters.size()));
   for (const auto& [k, v] : m.counters) {
     w.str(k);
@@ -512,6 +530,27 @@ bool decodeResult(const std::uint8_t* p, std::size_t n, ResultMsg& m) {
     if (!r.u8(set) || set > 1 || !r.value(v)) return false;
     m.resultSet.push_back(set);
     m.results.push_back(v);
+  }
+  std::uint32_t numArrays = 0;
+  if (!r.u32(numArrays)) return false;
+  m.arrays.clear();
+  for (std::uint32_t i = 0; i < numArrays; ++i) {
+    ResultMsg::OwnedArray a;
+    std::uint32_t numElems = 0;
+    if (!(r.u32(a.id) && r.u8(a.hasMeta) && r.u8(a.rank) && r.i64(a.dim0) &&
+          r.i64(a.dim1) && r.u32(numElems)) ||
+        a.hasMeta > 1 || a.rank < 1 || a.rank > 2 || a.dim0 < 0 ||
+        a.dim1 < 0) {
+      return false;
+    }
+    a.elems.reserve(numElems);
+    for (std::uint32_t e = 0; e < numElems; ++e) {
+      std::int64_t off = 0;
+      Value v;
+      if (!r.i64(off) || off < 0 || !r.value(v)) return false;
+      a.elems.emplace_back(off, v);
+    }
+    m.arrays.push_back(std::move(a));
   }
   auto readMap = [&](std::vector<std::pair<std::string, std::int64_t>>& out2) {
     std::uint32_t count = 0;
@@ -664,6 +703,22 @@ bool decodeJobResult(const std::uint8_t* p, std::size_t n, JobResultMsg& m) {
       if (!(r.u8(a.rank) && r.i64(a.dim0) && r.i64(a.dim1) &&
             r.u32(numElems)) ||
           a.rank < 1 || a.rank > 2) {
+        return false;
+      }
+      // The daemon always ships the full materialized array, so the element
+      // count is not free-form: it must equal the shape's product. A frame
+      // whose count disagrees (truncated mid-stream, corrupted length) is a
+      // decode failure, not a silently clamped result. The product bound
+      // mirrors the machine's allocation cap so a hostile header can't make
+      // us reserve gigabytes before the element loop fails.
+      if (a.dim0 < 0 || a.dim1 < 0) return false;
+      const std::int64_t expect = a.rank == 1 ? a.dim0 : a.dim0 * a.dim1;
+      if (a.rank == 2 && a.dim1 != 0 &&
+          a.dim0 > (std::int64_t{1} << 26) / a.dim1) {
+        return false;
+      }
+      if (expect > (std::int64_t{1} << 26) ||
+          static_cast<std::int64_t>(numElems) != expect) {
         return false;
       }
       for (std::uint32_t e = 0; e < numElems; ++e) {

@@ -158,13 +158,18 @@ bool decodeHello(const std::uint8_t* p, std::size_t n, HelloMsg& m);
 /// append and every mint to the supervisor (pessimistic logging — the
 /// supervisor is the "stable storage" a respawned worker replays from).
 struct LogRec {
-  static constexpr std::uint8_t kMint = 5;    // kinds 0..4 are RecEntry kinds
-  static constexpr std::uint8_t kResult = 6;  // program RESULT store
+  // Kinds 0..kMaxRecKind are RecEntry kinds verbatim (5 = Am: wire-store
+  // array message). Mint/Result live far above so new RecEntry kinds never
+  // collide with them.
+  static constexpr std::uint8_t kMaxRecKind =
+      static_cast<std::uint8_t>(RecEntry::Kind::Am);
+  static constexpr std::uint8_t kMint = 250;    // NEWCTX / ALLOC identity
+  static constexpr std::uint8_t kResult = 251;  // program RESULT store
   std::uint8_t kind = 0;
-  RecEntry entry{};            // kind 0..4 (4 = Recv: msgId only)
-  std::uint64_t mintCtx = 0;   // kind 5
-  std::uint32_t mintSeq = 0;   // kind 5: mint seq; kind 6: result slot
-  Value mintV{};               // kind 5: minted identity; kind 6: the value
+  RecEntry entry{};            // kind 0..kMaxRecKind (4 = Recv: msgId only)
+  std::uint64_t mintCtx = 0;   // kMint
+  std::uint32_t mintSeq = 0;   // kMint: mint seq; kResult: result slot
+  Value mintV{};               // kMint: minted identity; kResult: the value
   std::uint64_t ctxCounter = 0;  // minting PE's counter high-water
 };
 void encodeLogRec(const LogRec& r, Writer& w);
@@ -175,6 +180,10 @@ struct BootMsg {
   std::uint16_t localPe = 0;
   std::uint8_t epoch = 0;
   std::uint8_t resume = 0;
+  /// Array-store backend (native::StoreKind numeric value): 0 = shm
+  /// LocalStore, 1 = wire store. Covered by the Boot config hash, so a
+  /// supervisor/worker store mismatch fails fast at the handshake.
+  std::uint8_t store = 0;
   std::uint32_t pageElems = 32;
   std::uint32_t sliceInstructions = 1024;
   std::uint32_t heartbeatPeriodMs = 25;
@@ -230,10 +239,23 @@ void encodeStatus(const StatusMsg& m, std::vector<std::uint8_t>& out);
 bool decodeStatus(const std::uint8_t* p, std::size_t n, StatusMsg& m);
 
 struct ResultMsg {
+  /// Wire store: one array's slice owned by the reporting worker — its
+  /// (offset, value) pairs plus, from the allocator PE only, the shape.
+  /// With no shm segment, the Result frame is how materialized arrays reach
+  /// the supervisor for post-run gather().
+  struct OwnedArray {
+    std::uint32_t id = 0;
+    std::uint8_t hasMeta = 0;
+    std::uint8_t rank = 1;
+    std::int64_t dim0 = 0;
+    std::int64_t dim1 = 1;
+    std::vector<std::pair<std::int64_t, Value>> elems;
+  };
   bool ok = true;
   std::string error;
   std::vector<std::uint8_t> resultSet;  // parallel to results: value present?
   std::vector<Value> results;
+  std::vector<OwnedArray> arrays;  // wire store only; empty under LocalStore
   std::vector<std::pair<std::string, std::int64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> workerCounters;
 };

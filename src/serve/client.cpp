@@ -210,7 +210,10 @@ ProgramOutputs Client::toOutputs(const ctl::JobResultMsg& m) {
   ProgramOutputs out;
   out.results = m.results;
   out.arrays.resize(m.results.size());
-  for (std::size_t i = 0; i < m.results.size() && i < m.arrays.size(); ++i) {
+  // decodeJobResult materializes exactly one arrays entry per result and
+  // rejects shape/count mismatches, so no defensive clamp is needed here —
+  // a malformed frame never reaches this function.
+  for (std::size_t i = 0; i < m.results.size(); ++i) {
     if (m.arrays[i].present == 0) continue;
     ProgramOutputs::OutArray a;
     a.shape.rank = m.arrays[i].rank;

@@ -79,7 +79,10 @@ enum class FaultAction : std::uint8_t {
 /// retransmission rolls fresh dice), in [0, 0.5]. Defaults are all-zero:
 /// injection disabled and both engines on their exact pre-fault fast paths.
 struct FaultConfig {
-  double dropProb = 0.0;   // token / array-page message loss
+  double dropProb = 0.0;   // message loss: tokens, array-page messages, and
+                           // (native --store=wire) every owner-serviced
+                           // array message — reads, writes, shape queries
+                           // and their replies ride the same dice
   double dupProb = 0.0;    // message duplication
   double delayProb = 0.0;  // message delay (extra latency, no loss)
   double stallProb = 0.0;  // transient PE stall on message receipt

@@ -51,6 +51,14 @@ struct RecEntry {
     Recv,      // multi-process: wire-accepted inbound token (msgId only) —
                // replayed to rebuild the UDP receive/ack windows so a
                // survivor's old-numbered retransmits still dedup and ack
+    Am,        // wire array store (multi-process): a serviced array message
+               // (AmKind in spCode; ctx = array id, senderCtx = offset,
+               // v = value, sendKey = packed requester continuation, slot =
+               // requester PE / rank) or the allocator's AllocMeta shape
+               // record. Replayed to rebuild the PE's owned-element map,
+               // parked deferred reads, and shape table — re-applied writes
+               // are idempotent identical overwrites, re-answered reads and
+               // shape queries are deduplicated at the requester.
   };
   Kind kind = Kind::CtxToken;
   std::uint16_t spCode = 0;    // Boot / frame-creating CtxToken

@@ -95,6 +95,31 @@ def main() -> real {
 )";
 }
 
+std::string reversalSource(int n) {
+  return R"(
+// Adversarial array ownership: iteration i writes b[i] but reads the
+// block-layout mirror element a[n-1-i], owned by a different PE for nearly
+// every i. Under the wire store almost every read is a remote ReadReq, and
+// because b's loop races a's fill, many of them park as deferred reads at
+// the owner until the write arrives.
+def main() {
+  let n = )" + std::to_string(n) + R"(;
+  let a = array(n);
+  let b = array(n);
+  for i = 0 to n - 1 {
+    a[i] = real(i) * 0.5 + 1.0;
+  }
+  for i = 0 to n - 1 {
+    b[i] = a[n - 1 - i] * 2.0 + real(i) * 0.125;
+  }
+  let s = for i = 0 to n - 1 carry (acc = 0.0) {
+    next acc = acc + b[i];
+  } yield acc;
+  return b, s;
+}
+)";
+}
+
 std::string triangularSource(int n) {
   return R"(
 def main() -> array {

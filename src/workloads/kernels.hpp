@@ -22,6 +22,12 @@ std::string stencilSource(int n, int steps);
 /// distributed array). main returns the sum.
 std::string reduceSource(int n);
 
+/// Adversarial array ownership for the wire store: iteration i writes b[i]
+/// but reads the block-layout mirror a[n-1-i], remotely owned for nearly
+/// every i (and racing a's fill, so reads park as deferred reads at the
+/// owner). main returns b and a checksum.
+std::string reversalSource(int n);
+
 /// Triangular workload: row i does i+1 writes — deliberate load imbalance
 /// across the row-partitioned iteration space. main returns the row sums.
 std::string triangularSource(int n);

@@ -64,7 +64,7 @@ SpProgram sampleProgram() {
   return prog;
 }
 
-// One record of every log kind: the RecEntry kinds 0..4 plus kMint and
+// One record of every log kind: the RecEntry kinds 0..5 plus kMint and
 // kResult, with distinctive payloads so a transposed field shows.
 std::vector<LogRec> sampleLog() {
   LogRec boot;
@@ -100,6 +100,15 @@ std::vector<LogRec> sampleLog() {
   recv.entry.kind = RecEntry::Kind::Recv;
   recv.entry.msgId = (std::uint64_t(1) << 56) | 19;
   recv.entry.gen = 1;
+  LogRec am;  // wire-store array message (spCode carries the AmKind)
+  am.kind = static_cast<std::uint8_t>(RecEntry::Kind::Am);
+  am.entry.kind = RecEntry::Kind::Am;
+  am.entry.spCode = 1;       // AmKind::ReadReq
+  am.entry.ctx = 12;         // array id
+  am.entry.slot = 2;         // requester PE
+  am.entry.senderCtx = 7;    // element offset
+  am.entry.sendKey = 0xABCDEF;  // packed requester continuation
+  am.entry.msgId = 4242;
   LogRec mint;
   mint.kind = LogRec::kMint;
   mint.mintCtx = 77;
@@ -110,7 +119,7 @@ std::vector<LogRec> sampleLog() {
   res.kind = LogRec::kResult;
   res.mintSeq = 1;
   res.mintV = Value::realv(6.25);
-  return {boot, ctx, con, end, recv, mint, res};
+  return {boot, ctx, con, end, recv, am, mint, res};
 }
 
 BootMsg sampleBoot(bool withLog) {
@@ -125,6 +134,7 @@ BootMsg sampleBoot(bool withLog) {
   m.heartbeatTimeoutMs = 500;
   m.shmBytes = 1u << 20;
   m.shmName = "/pods.test.1";
+  m.store = 1;  // wire store
   m.peerPorts = {40001, 40002, 40003, 40004};
   m.peWeights = {1, 2, 1, 1};
   m.faults.killPe = 1;
@@ -216,6 +226,7 @@ TEST(CtlProto, BootRoundTripFreshAndResume) {
     EXPECT_EQ(got.heartbeatTimeoutMs, m.heartbeatTimeoutMs);
     EXPECT_EQ(got.shmBytes, m.shmBytes);
     EXPECT_EQ(got.shmName, m.shmName);
+    EXPECT_EQ(got.store, m.store);
     EXPECT_EQ(got.peerPorts, m.peerPorts);
     EXPECT_EQ(got.peWeights, m.peWeights);
     EXPECT_EQ(got.faults.killPe, m.faults.killPe);
@@ -249,6 +260,178 @@ TEST(CtlProto, LogRoundTripEveryRecordKind) {
   EXPECT_EQ(res.kind, LogRec::kResult);
   EXPECT_EQ(res.mintSeq, 1u);
   EXPECT_TRUE(res.mintV.identical(Value::realv(6.25)));
+}
+
+// RecEntry::Kind::Am took the raw value 5 the old kMint used to hold, so
+// kMint/kResult were renumbered to the reserved top of the byte (250/251).
+// The kind byte must disambiguate: 5 is an Am ENTRY record now, never a
+// mint — a codec that kept the old constants would replay array messages
+// as context mints.
+TEST(CtlProto, AmRecordKindIsNotAMint) {
+  ASSERT_EQ(static_cast<std::uint8_t>(RecEntry::Kind::Am), 5);
+  ASSERT_EQ(LogRec::kMint, 250);
+  ASSERT_EQ(LogRec::kResult, 251);
+  LogMsg lm;
+  LogRec am;
+  am.kind = static_cast<std::uint8_t>(RecEntry::Kind::Am);
+  am.entry.kind = RecEntry::Kind::Am;
+  am.entry.spCode = 2;  // AmKind::Write
+  am.entry.ctx = 9;
+  am.entry.senderCtx = 3;
+  am.entry.v = Value::realv(1.5);
+  lm.recs = {am};
+  std::vector<std::uint8_t> out;
+  encodeLog(lm, out);
+  LogMsg got;
+  ASSERT_TRUE(decodeLog(out.data(), out.size(), got));
+  ASSERT_EQ(got.recs.size(), 1u);
+  EXPECT_EQ(got.recs[0].kind, 5);
+  EXPECT_EQ(got.recs[0].entry.kind, RecEntry::Kind::Am);
+  EXPECT_EQ(got.recs[0].entry.spCode, 2);
+  EXPECT_EQ(got.recs[0].mintCtx, 0u);  // no mint fields were populated
+  // The gap between the entry kinds and the reserved constants rejects.
+  const std::size_t kindOff = 8 + 4;
+  for (const std::uint8_t bad : {std::uint8_t{6}, std::uint8_t{128},
+                                 std::uint8_t{249}, std::uint8_t{252}}) {
+    std::vector<std::uint8_t> tampered = out;
+    tampered[kindOff] = bad;
+    LogMsg rejected;
+    EXPECT_FALSE(decodeLog(tampered.data(), tampered.size(), rejected))
+        << "kind=" << static_cast<int>(bad);
+  }
+}
+
+// Wire store: each worker's Result frame carries its owned array slice.
+TEST(CtlProto, ResultOwnedArraysRoundTrip) {
+  ResultMsg rm;
+  rm.ok = true;
+  rm.results = {Value::intv(1)};
+  rm.resultSet = {1};
+  ResultMsg::OwnedArray meta;  // the allocator's part: shape + its elements
+  meta.id = 42;
+  meta.hasMeta = 1;
+  meta.rank = 2;
+  meta.dim0 = 3;
+  meta.dim1 = 4;
+  meta.elems = {{0, Value::realv(0.5)}, {7, Value::intv(-9)}};
+  ResultMsg::OwnedArray slice;  // a non-allocating owner: elements only
+  slice.id = 42;
+  slice.hasMeta = 0;
+  slice.elems = {{3, Value::realv(2.25)}};
+  rm.arrays = {meta, slice};
+  std::vector<std::uint8_t> out;
+  encodeResult(rm, out);
+  ResultMsg got;
+  ASSERT_TRUE(decodeResult(out.data(), out.size(), got));
+  ASSERT_EQ(got.arrays.size(), 2u);
+  EXPECT_EQ(got.arrays[0].id, 42u);
+  EXPECT_EQ(got.arrays[0].hasMeta, 1);
+  EXPECT_EQ(got.arrays[0].rank, 2);
+  EXPECT_EQ(got.arrays[0].dim0, 3);
+  EXPECT_EQ(got.arrays[0].dim1, 4);
+  ASSERT_EQ(got.arrays[0].elems.size(), 2u);
+  EXPECT_EQ(got.arrays[0].elems[1].first, 7);
+  EXPECT_TRUE(got.arrays[0].elems[1].second.identical(Value::intv(-9)));
+  EXPECT_EQ(got.arrays[1].hasMeta, 0);
+  ASSERT_EQ(got.arrays[1].elems.size(), 1u);
+  EXPECT_TRUE(got.arrays[1].elems[0].second.identical(Value::realv(2.25)));
+  // Truncation at every boundary rejects (all-or-nothing, like every frame).
+  for (std::size_t cut = 0; cut < out.size(); ++cut) {
+    ResultMsg r;
+    EXPECT_FALSE(decodeResult(out.data(), cut, r)) << "cut=" << cut;
+  }
+}
+
+// --- JobResult strict decode (serve protocol) --------------------------------
+
+JobResultMsg sampleJobResult() {
+  JobResultMsg m;
+  m.clientTag = 3;
+  m.jobId = 17;
+  m.ok = 1;
+  m.wallMs = 1.5;
+  m.results = {Value::arrayv(1), Value::intv(5)};
+  m.resultSet = {1, 1};
+  JobResultMsg::OutArray a;
+  a.present = 1;
+  a.rank = 2;
+  a.dim0 = 2;
+  a.dim1 = 3;
+  a.elems = {Value::realv(0.0), Value::realv(1.0), Value::realv(2.0),
+             Value::realv(3.0), Value::realv(4.0), Value::realv(5.0)};
+  m.arrays = {a, {}};
+  m.counters = {{"native.frames", 4}};
+  return m;
+}
+
+TEST(CtlProto, JobResultRoundTripsArrays) {
+  const JobResultMsg m = sampleJobResult();
+  std::vector<std::uint8_t> out;
+  encodeJobResult(m, out);
+  JobResultMsg got;
+  ASSERT_TRUE(decodeJobResult(out.data(), out.size(), got));
+  ASSERT_EQ(got.results.size(), 2u);
+  ASSERT_EQ(got.arrays.size(), 2u);
+  EXPECT_EQ(got.arrays[0].present, 1);
+  EXPECT_EQ(got.arrays[0].rank, 2);
+  ASSERT_EQ(got.arrays[0].elems.size(), 6u);
+  EXPECT_TRUE(got.arrays[0].elems[5].identical(Value::realv(5.0)));
+  EXPECT_EQ(got.arrays[1].present, 0);
+}
+
+// A JobResult whose element count disagrees with its shape used to be
+// silently clamped client-side; it must now be a structured decode failure
+// (the client reports "malformed JobResult", the daemon's counter is
+// net.ctl.badFrames) — never a truncated array presented as complete.
+TEST(CtlProtoFuzz, JobResultShapeElementMismatchRejected) {
+  {
+    JobResultMsg m = sampleJobResult();
+    m.arrays[0].dim0 = 4;  // claims 4x3 = 12 elements, ships 6
+    std::vector<std::uint8_t> out;
+    encodeJobResult(m, out);
+    JobResultMsg got;
+    EXPECT_FALSE(decodeJobResult(out.data(), out.size(), got));
+  }
+  {
+    JobResultMsg m = sampleJobResult();
+    m.arrays[0].dim1 = -3;  // negative dimension
+    std::vector<std::uint8_t> out;
+    encodeJobResult(m, out);
+    JobResultMsg got;
+    EXPECT_FALSE(decodeJobResult(out.data(), out.size(), got));
+  }
+  {
+    JobResultMsg m = sampleJobResult();
+    m.arrays[0].rank = 1;  // rank-1 of dim0=2 but 6 elements shipped
+    std::vector<std::uint8_t> out;
+    encodeJobResult(m, out);
+    JobResultMsg got;
+    EXPECT_FALSE(decodeJobResult(out.data(), out.size(), got));
+  }
+  {
+    JobResultMsg m = sampleJobResult();
+    // A hostile header claiming a gigantic product must reject on the shape
+    // check, before the element loop ever tries to materialize it.
+    m.arrays[0].dim0 = std::int64_t{1} << 30;
+    m.arrays[0].dim1 = std::int64_t{1} << 30;
+    std::vector<std::uint8_t> out;
+    encodeJobResult(m, out);
+    JobResultMsg got;
+    EXPECT_FALSE(decodeJobResult(out.data(), out.size(), got));
+  }
+}
+
+TEST(CtlProtoFuzz, JobResultTruncationAtEveryBoundaryRejected) {
+  const JobResultMsg m = sampleJobResult();
+  std::vector<std::uint8_t> out;
+  encodeJobResult(m, out);
+  for (std::size_t cut = 0; cut < out.size(); ++cut) {
+    JobResultMsg got;
+    EXPECT_FALSE(decodeJobResult(out.data(), cut, got)) << "cut=" << cut;
+  }
+  out.push_back(0);  // trailing junk
+  JobResultMsg got;
+  EXPECT_FALSE(decodeJobResult(out.data(), out.size(), got));
 }
 
 TEST(CtlProto, PortTableStatusResultErrorScalarRoundTrip) {

@@ -12,6 +12,7 @@
 // workload.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <map>
@@ -20,6 +21,7 @@
 
 #include "core/pods.hpp"
 #include "support/fault.hpp"
+#include "workloads/kernels.hpp"
 #include "workloads/simple.hpp"
 
 namespace pods {
@@ -292,6 +294,82 @@ TEST(FaultFuzz, NativeRecursiveWorkload) {
     EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
               run.stats.counters.get("native.framesRetired"));
   }
+}
+
+// --- wire-store sweeps ------------------------------------------------------
+//
+// With --store=wire the array plane rides the token transport, so the same
+// fault dice that land on tokens now land on array reads, writes, shape
+// queries, and value replies — by construction, not by a second shim. The
+// sweeps fuzz an array-heavy adversarial-ownership workload (every read
+// remotely owned) and must stay bit-identical to a fault-free run.
+
+TEST(FaultFuzz, NativeWireStoreArrayHeavyBitIdenticalToFaultFree) {
+  auto c = compileOk(workloads::reversalSource(64));
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+  const int seeds = faultSeeds();
+  std::int64_t injected = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    native::NativeConfig nc;
+    nc.numWorkers = 4;
+    nc.pageElems = 8;
+    nc.store = native::StoreKind::Wire;
+    nc.faults = faultRates(static_cast<std::uint64_t>(seed));
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+    EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
+              run.stats.counters.get("native.framesRetired"))
+        << "seed=" << seed;
+    EXPECT_EQ(run.stats.counters.get("native.shmArrayOps"), 0)
+        << "seed=" << seed;
+    injected += run.stats.counters.get("fault.drops") +
+                run.stats.counters.get("fault.dups") +
+                run.stats.counters.get("fault.delays");
+    // The workload is array-message dominated: remote reads must have
+    // happened for the dice to have had anything array-shaped to hit.
+    EXPECT_GT(run.stats.counters.get("net.am.readReqSent"), 0)
+        << "seed=" << seed;
+  }
+  EXPECT_GT(injected, 0);
+}
+
+TEST(FaultFuzz, NativeWireStoreKillPlusLossyArrayHeavy) {
+  // Kill × drop/dup/delay on the array-heavy workload: the respawned PE
+  // rebuilds its owned elements, parked readers, and shape table from its
+  // Am log while the lossy dice keep rolling.
+  auto c = compileOk(workloads::reversalSource(64));
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+  const int seeds = std::max(4, faultSeeds() / 2);
+  std::int64_t kills = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    native::NativeConfig nc;
+    nc.numWorkers = 4;
+    nc.pageElems = 8;
+    nc.store = native::StoreKind::Wire;
+    nc.faults = faultRates(static_cast<std::uint64_t>(seed));
+    nc.faults.killPe = seed % 4;
+    nc.faults.killTimeUs = 100.0 + (seed * 211) % 2500;
+    nc.faults.killRestartUs = 100.0;
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+    EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
+              run.stats.counters.get("native.framesRetired"))
+        << "seed=" << seed;
+    kills += run.stats.counters.get("fault.kills");
+  }
+  EXPECT_GT(kills, 0);
 }
 
 // --- forensics & watchdog ---------------------------------------------------

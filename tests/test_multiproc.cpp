@@ -24,6 +24,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,6 +34,7 @@
 #include "core/pods.hpp"
 #include "native/procmgr.hpp"
 #include "support/fault.hpp"
+#include "workloads/kernels.hpp"
 #include "workloads/simple.hpp"
 
 namespace pods {
@@ -122,6 +124,96 @@ TEST(Multiproc, CanonicalCounterNamespaces) {
     }
     EXPECT_TRUE(found) << "missing canonical counter: " << name;
   }
+}
+
+// --- wire array store (no shm segment at all) --------------------------------
+//
+// --store=wire is the layering remote-host workers need: the supervisor
+// creates NO shm segment, each PE holds only the array pages it owns, every
+// cross-PE access is an owner-serviced message on the UDP data plane, and
+// the workers ship their owned slices back inside their Result frames.
+
+TEST(MultiprocWire, SimpleBitIdenticalWithZeroShmOps) {
+  auto c = compileOk(workloads::simpleSource(16, 2));
+  native::NativeConfig inproc;
+  inproc.numWorkers = 4;
+  NativeRun ref = runNative(*c, inproc);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+  native::NativeConfig nc = multiprocConfig(4);
+  nc.store = native::StoreKind::Wire;
+  NativeRun run = runNative(*c, nc);
+  ASSERT_TRUE(run.stats.ok) << run.stats.error;
+  std::string why;
+  ASSERT_TRUE(sameOutputs(run.out, ref.out, &why)) << why;
+  // The whole point: not one array element moved through shared memory.
+  EXPECT_EQ(run.stats.counters.get("native.shmArrayOps"), 0);
+  EXPECT_EQ(run.stats.counters.get("net.am.readReqSent"),
+            run.stats.counters.get("net.am.readReqServed"));
+  EXPECT_EQ(run.stats.counters.get("net.am.writeSent"),
+            run.stats.counters.get("net.am.writeApplied"));
+  EXPECT_EQ(run.stats.counters.get("net.am.dimReqSent"),
+            run.stats.counters.get("net.am.dimReqServed"));
+  EXPECT_EQ(run.stats.counters.get("net.am.parks"),
+            run.stats.counters.get("net.am.parkFills"));
+  EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
+            run.stats.counters.get("native.framesRetired"));
+  EXPECT_EQ(run.stats.counters.get("net.ctl.badFrames"), 0);
+}
+
+TEST(MultiprocWire, AdversarialOwnershipAcrossWeights) {
+  auto c = compileOk(workloads::reversalSource(96));
+  BaselineRun seq = runSequentialBaseline(*c);
+  ASSERT_TRUE(seq.stats.ok) << seq.stats.error;
+  for (const std::vector<std::int64_t>& weights :
+       {std::vector<std::int64_t>{}, std::vector<std::int64_t>{1, 7, 1, 7}}) {
+    native::NativeConfig nc = multiprocConfig(4);
+    nc.pageElems = 8;
+    nc.peWeights = weights;
+    nc.store = native::StoreKind::Wire;
+    NativeRun run = runNative(*c, nc);
+    const std::string what = weights.empty() ? "uniform" : "skewed";
+    ASSERT_TRUE(run.stats.ok) << what << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, seq.out, &why)) << what << ": " << why;
+    EXPECT_EQ(run.stats.counters.get("native.shmArrayOps"), 0) << what;
+    EXPECT_GT(run.stats.counters.get("net.am.readReqSent"), 0) << what;
+    EXPECT_EQ(run.stats.counters.get("net.am.parks"),
+              run.stats.counters.get("net.am.parkFills"))
+        << what;
+  }
+}
+
+TEST(MultiprocWireKill, KillRecoveryBitIdentical) {
+  // kill -9 a worker mid-run under the wire store: its owned elements,
+  // parked readers, and shape table are rebuilt from the supervisor's copy
+  // of its Am log; deferred replies regenerate on replay.
+  auto c = compileOk(workloads::reversalSource(96));
+  BaselineRun seq = runSequentialBaseline(*c);
+  ASSERT_TRUE(seq.stats.ok) << seq.stats.error;
+
+  const int seeds = std::max(3, multiprocSeeds() / 2);
+  std::int64_t kills = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    native::NativeConfig nc = multiprocConfig(4);
+    nc.pageElems = 8;
+    nc.store = native::StoreKind::Wire;
+    nc.faults.killPe = seed % 4;
+    nc.faults.killTimeUs = 200.0 + (seed * 1733) % 12000;
+    nc.faults.killRestartUs = 200.0;
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, seq.out, &why))
+        << "seed=" << seed << ": " << why;
+    EXPECT_EQ(run.stats.counters.get("native.shmArrayOps"), 0)
+        << "seed=" << seed;
+    EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
+              run.stats.counters.get("native.framesRetired"))
+        << "seed=" << seed;
+    kills += run.stats.counters.get("fault.kills");
+  }
+  EXPECT_GT(kills, 0);
 }
 
 // --- supervised kill -9 recovery --------------------------------------------

@@ -188,6 +188,148 @@ TEST(Native, MatchesSimulatorOutputs) {
   EXPECT_TRUE(sameOutputs(natRun.out, simRun.out, &why)) << why;
 }
 
+// --- wire array store (--store=wire) ----------------------------------------
+
+/// The net.am.* request/serve ledgers must balance in any fault-free run:
+/// every remote read answered, every write applied, every shape query
+/// served, every deferred read eventually filled.
+void expectBalancedAmLedger(const NativeRun& run, const std::string& what) {
+  EXPECT_EQ(run.stats.counters.get("net.am.readReqSent"),
+            run.stats.counters.get("net.am.readReqServed"))
+      << what;
+  EXPECT_EQ(run.stats.counters.get("net.am.writeSent"),
+            run.stats.counters.get("net.am.writeApplied"))
+      << what;
+  EXPECT_EQ(run.stats.counters.get("net.am.dimReqSent"),
+            run.stats.counters.get("net.am.dimReqServed"))
+      << what;
+  EXPECT_EQ(run.stats.counters.get("net.am.parks"),
+            run.stats.counters.get("net.am.parkFills"))
+      << what;
+  // The wire store must never touch the shared heap / shm segment.
+  EXPECT_EQ(run.stats.counters.get("native.shmArrayOps"), 0) << what;
+}
+
+TEST(WireStore, KernelsBitIdenticalToLocalStore) {
+  constexpr const char* kFib = R"(
+def fib(n: int) -> int {
+  let r = if n < 2 then n else fib(n - 1) + fib(n - 2);
+  return r;
+}
+def main() -> int { return fib(13); }
+)";
+  const std::string sources[] = {
+      workloads::simpleSource(16, 2),  std::string(kFib),
+      workloads::fill2dSource(12, 7),  workloads::matmulSource(10),
+      workloads::stencilSource(12, 2), workloads::reduceSource(150),
+      workloads::triangularSource(20)};
+  std::int64_t remoteWrites = 0;
+  for (const std::string& src : sources) {
+    auto c = compileOk(src);
+    native::NativeConfig local;
+    local.numWorkers = 4;
+    NativeRun ref = runNative(*c, local);
+    ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+    native::NativeConfig wire = local;
+    wire.store = native::StoreKind::Wire;
+    NativeRun run = runNative(*c, wire);
+    ASSERT_TRUE(run.stats.ok) << run.stats.error;
+    std::string why;
+    EXPECT_TRUE(sameOutputs(run.out, ref.out, &why)) << why;
+    expectBalancedAmLedger(run, "kernel");
+    EXPECT_EQ(run.stats.counters.get("native.framesCreated"),
+              run.stats.counters.get("native.framesRetired"));
+    remoteWrites += run.stats.counters.get("net.am.writeSent");
+  }
+  // Iteration placement keeps most writes owner-local, but the suite as a
+  // whole must exercise the remote-write path (stencil boundary rows land
+  // on foreign pages).
+  EXPECT_GT(remoteWrites, 0);
+}
+
+TEST(WireStore, AdversarialOwnershipMatchesSequential) {
+  // Every read in b's loop targets the block-layout mirror element — the
+  // worst case for owner-serviced reads. Swept across uniform and skewed
+  // page ownership; always compared against the sequential evaluator.
+  auto c = compileOk(workloads::reversalSource(96));
+  BaselineRun seq = runSequentialBaseline(*c);
+  ASSERT_TRUE(seq.stats.ok) << seq.stats.error;
+  for (const std::vector<std::int64_t>& weights :
+       {std::vector<std::int64_t>{}, std::vector<std::int64_t>{1, 7, 1, 7}}) {
+    native::NativeConfig nc;
+    nc.numWorkers = 4;
+    nc.pageElems = 8;  // small pages spread ownership across all PEs
+    nc.peWeights = weights;
+    nc.store = native::StoreKind::Wire;
+    NativeRun run = runNative(*c, nc);
+    const std::string what = weights.empty() ? "uniform" : "skewed";
+    ASSERT_TRUE(run.stats.ok) << what << ": " << run.stats.error;
+    std::string why;
+    EXPECT_TRUE(sameOutputs(run.out, seq.out, &why)) << what << ": " << why;
+    expectBalancedAmLedger(run, what);
+    // The reversal pattern must actually generate remote reads. Writes
+    // stay owner-local here by design: iteration placement follows the
+    // written element's ownership (Data-Distributed Execution), and the
+    // mirror read is what crosses PEs.
+    EXPECT_GT(run.stats.counters.get("net.am.readReqSent"), 0) << what;
+    EXPECT_EQ(run.stats.counters.get("net.am.writeSent"), 0) << what;
+  }
+}
+
+TEST(WireStore, RepeatRunsBitIdentical) {
+  auto c = compileOk(workloads::reversalSource(64));
+  native::NativeConfig nc;
+  nc.numWorkers = 4;
+  nc.store = native::StoreKind::Wire;
+  NativeRun first = runNative(*c, nc);
+  ASSERT_TRUE(first.stats.ok) << first.stats.error;
+  for (int rep = 0; rep < 3; ++rep) {
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "rep=" << rep << ": " << run.stats.error;
+    std::string why;
+    EXPECT_TRUE(sameOutputs(run.out, first.out, &why))
+        << "rep=" << rep << ": " << why;
+  }
+}
+
+TEST(WireStore, SingleAssignmentViolationStillDetected) {
+  // The owner-side write path must keep LocalStore's strictness: a remote
+  // double write is a detected violation, not a silent overwrite.
+  auto c = compileOk(R"(
+def main() -> real {
+  let a = array(4);
+  a[1] = 1.0;
+  a[1] = 2.0;
+  return a[1];
+}
+)", {.distribute = false});
+  native::NativeConfig nc;
+  nc.numWorkers = 2;
+  nc.store = native::StoreKind::Wire;
+  NativeRun run = runNative(*c, nc);
+  EXPECT_FALSE(run.stats.ok);
+  EXPECT_NE(run.stats.error.find("single-assignment"), std::string::npos);
+}
+
+TEST(WireStore, DeadlockStillDetected) {
+  // A read of a never-written element parks at the owner forever; counting
+  // quiescence must still converge and call it a deadlock.
+  auto c = compileOk(R"(
+def main() -> real {
+  let a = array(4);
+  a[0] = 1.0;
+  return a[3];
+}
+)", {.distribute = false});
+  native::NativeConfig nc;
+  nc.numWorkers = 3;
+  nc.store = native::StoreKind::Wire;
+  NativeRun run = runNative(*c, nc);
+  EXPECT_FALSE(run.stats.ok);
+  EXPECT_NE(run.stats.error.find("deadlock"), std::string::npos);
+}
+
 TEST(Native, UdpTransportMatchesInboxOnKernels) {
   // Smoke coverage of the real-socket transport inside the main suite; the
   // full sweeps (fault fuzz, kill+restart, per-link counters) live in

@@ -19,6 +19,7 @@
 #include "native/transport.hpp"
 #include "proto/delivery.hpp"
 #include "support/fault.hpp"
+#include "workloads/kernels.hpp"
 #include "workloads/simple.hpp"
 
 namespace pods {
@@ -79,6 +80,7 @@ TEST(TransportWire, RoundTripsEveryField) {
   tok.senderCtx = 0x1111222233334444ULL;
   tok.sendKey = 0x5555666677778888ULL;
   tok.wakeKey = (1ULL << 63) | 42;
+  tok.amKind = static_cast<std::uint8_t>(native::AmKind::DimReply);
 
   std::uint8_t wire[native::kTokenWireBytes];
   native::wireEncodeToken(tok, 777, wire);
@@ -100,6 +102,7 @@ TEST(TransportWire, RoundTripsEveryField) {
   EXPECT_EQ(back.senderCtx, tok.senderCtx);
   EXPECT_EQ(back.sendKey, tok.sendKey);
   EXPECT_EQ(back.wakeKey, tok.wakeKey);
+  EXPECT_EQ(back.amKind, tok.amKind);
 }
 
 TEST(TransportWire, RoundTripsDefaultToken) {
@@ -141,6 +144,18 @@ TEST(TransportWire, RejectsMalformedDatagrams) {
   bad[1] = 0xF0;
   EXPECT_FALSE(
       native::wireDecodeToken(bad, native::kTokenWireBytes, out, nullptr));
+  // Array-message kind above the wire maximum (AllocMeta and beyond are
+  // log-only and must never decode off a datagram).
+  std::copy(wire, wire + native::kTokenWireBytes, bad);
+  bad[1] = static_cast<std::uint8_t>((native::kMaxWireAmKind + 1) << 2);
+  EXPECT_FALSE(
+      native::wireDecodeToken(bad, native::kTokenWireBytes, out, nullptr));
+  // ...while the highest legal kind decodes.
+  std::copy(wire, wire + native::kTokenWireBytes, bad);
+  bad[1] = static_cast<std::uint8_t>(native::kMaxWireAmKind << 2);
+  EXPECT_TRUE(
+      native::wireDecodeToken(bad, native::kTokenWireBytes, out, nullptr));
+  EXPECT_EQ(out.amKind, native::kMaxWireAmKind);
   // Out-of-range value tag.
   std::copy(wire, wire + native::kTokenWireBytes, bad);
   bad[24] = 0xEE;
@@ -517,6 +532,141 @@ TEST(UdpTransport, KillRestartBitIdenticalToFaultFree) {
   }
   // Some kills must have landed mid-run for the sweep to mean anything.
   EXPECT_GT(kills, 0);
+}
+
+// --- wire array store over real sockets -------------------------------------
+//
+// Under --store=wire every non-local ARD/AWR/shape query is a typed array
+// message on the same datagrams, sequence windows, and retransmit machinery
+// as ordinary tokens — so the transport-transparency property extends to
+// the array plane: outputs bit-identical to the local store on every
+// workload, weight split, fault seed, and kill schedule.
+
+void expectBalancedAmLedger(const NativeRun& run, const std::string& what) {
+  EXPECT_EQ(run.stats.counters.get("net.am.readReqSent"),
+            run.stats.counters.get("net.am.readReqServed"))
+      << what;
+  EXPECT_EQ(run.stats.counters.get("net.am.writeSent"),
+            run.stats.counters.get("net.am.writeApplied"))
+      << what;
+  EXPECT_EQ(run.stats.counters.get("net.am.dimReqSent"),
+            run.stats.counters.get("net.am.dimReqServed"))
+      << what;
+  EXPECT_EQ(run.stats.counters.get("net.am.parks"),
+            run.stats.counters.get("net.am.parkFills"))
+      << what;
+  EXPECT_EQ(run.stats.counters.get("native.shmArrayOps"), 0) << what;
+}
+
+TEST(UdpWireStore, SimpleAndFibBitIdenticalToLocalStore) {
+  for (const std::string& src :
+       {workloads::simpleSource(16, 2), std::string(kFibSource)}) {
+    auto c = compileOk(src);
+    native::NativeConfig local;
+    local.numWorkers = 4;
+    NativeRun ref = runNative(*c, local);
+    ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+    native::NativeConfig wire = local;
+    wire.transport = native::TransportKind::Udp;
+    wire.store = native::StoreKind::Wire;
+    NativeRun run = runNative(*c, wire);
+    ASSERT_TRUE(run.stats.ok) << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why)) << why;
+    expectBalancedLedger(run, "wire");
+    expectBalancedAmLedger(run, "wire");
+  }
+}
+
+TEST(UdpWireStore, AdversarialOwnershipAcrossWeights) {
+  auto c = compileOk(workloads::reversalSource(96));
+  native::NativeConfig local;
+  local.numWorkers = 4;
+  NativeRun ref = runNative(*c, local);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+  for (const std::vector<std::int64_t>& weights :
+       {std::vector<std::int64_t>{}, std::vector<std::int64_t>{1, 7, 1, 7}}) {
+    native::NativeConfig nc;
+    nc.numWorkers = 4;
+    nc.pageElems = 8;
+    nc.peWeights = weights;
+    nc.transport = native::TransportKind::Udp;
+    nc.store = native::StoreKind::Wire;
+    NativeRun run = runNative(*c, nc);
+    const std::string what = weights.empty() ? "uniform" : "skewed";
+    ASSERT_TRUE(run.stats.ok) << what << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why)) << what << ": " << why;
+    expectBalancedLedger(run, what);
+    expectBalancedAmLedger(run, what);
+    // Array messages really crossed sockets, batched with ordinary tokens.
+    EXPECT_GT(run.stats.counters.get("net.am.readReqSent"), 0) << what;
+    EXPECT_GT(run.stats.counters.get("net.udp.batch.datagrams"), 0) << what;
+    // Fault-free: the reliable-delivery layer never had to retransmit.
+    EXPECT_EQ(run.stats.counters.get("net.retx.resent"), 0) << what;
+  }
+}
+
+TEST(UdpWireStore, LossyFuzzBitIdenticalToFaultFree) {
+  auto c = compileOk(workloads::reversalSource(64));
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+  const int seeds = transportSeeds();
+  std::int64_t injected = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    native::NativeConfig nc;
+    nc.numWorkers = 4;
+    nc.pageElems = 8;
+    nc.transport = native::TransportKind::Udp;
+    nc.store = native::StoreKind::Wire;
+    nc.faults = lossyRates(static_cast<std::uint64_t>(seed));
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+    expectBalancedLedger(run, "seed=" + std::to_string(seed));
+    EXPECT_EQ(run.stats.counters.get("native.shmArrayOps"), 0)
+        << "seed=" << seed;
+    injected += run.stats.counters.get("fault.drops") +
+                run.stats.counters.get("fault.dups") +
+                run.stats.counters.get("fault.delays");
+  }
+  // Dropped/duplicated/delayed ARRAY messages must actually have happened —
+  // the workload is read/write dominated, so the dice land on them.
+  EXPECT_GT(injected, 0);
+}
+
+TEST(UdpWireStore, KillPlusLossyComposition) {
+  auto c = compileOk(workloads::reversalSource(64));
+  native::NativeConfig clean;
+  clean.numWorkers = 4;
+  NativeRun ref = runNative(*c, clean);
+  ASSERT_TRUE(ref.stats.ok) << ref.stats.error;
+
+  const int seeds = std::max(2, transportSeeds() / 2);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    native::NativeConfig nc;
+    nc.numWorkers = 4;
+    nc.pageElems = 8;
+    nc.transport = native::TransportKind::Udp;
+    nc.store = native::StoreKind::Wire;
+    nc.faults = lossyRates(static_cast<std::uint64_t>(seed));
+    nc.faults.killPe = seed % 4;
+    nc.faults.killTimeUs = 200.0 + (seed * 367) % 2000;
+    nc.faults.killRestartUs = 100.0;
+    NativeRun run = runNative(*c, nc);
+    ASSERT_TRUE(run.stats.ok) << "seed=" << seed << ": " << run.stats.error;
+    std::string why;
+    ASSERT_TRUE(sameOutputs(run.out, ref.out, &why))
+        << "seed=" << seed << ": " << why;
+    expectBalancedLedger(run, "seed=" + std::to_string(seed));
+  }
 }
 
 TEST(UdpTransport, KillPlusLossyComposition) {

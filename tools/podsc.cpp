@@ -27,6 +27,11 @@
 //                      the same UDP wire (kill -9 a worker: the supervisor
 //                      respawns it and replays its log; output is
 //                      bit-identical to a fault-free run)
+//   --store=local|wire native engine: array-store backend — the shared
+//                      heap/shm fast path (default) or owner-serviced array
+//                      messages on the token wire (every non-local array
+//                      access is a transported, fault-injectable, logged
+//                      message; outputs are bit-identical to local)
 //   --faults=SPEC      inject message faults (pods/native engines):
 //                      comma-separated key:prob with keys drop, dup, delay,
 //                      stall — e.g. --faults=drop:0.01,dup:0.005,delay:0.02
@@ -73,6 +78,8 @@ struct Options {
   pods::sim::EventEngine eventq = pods::sim::EventEngine::Calendar;
   pods::native::TransportKind transport = pods::native::TransportKind::Inbox;
   bool transportSet = false;
+  pods::native::StoreKind store = pods::native::StoreKind::Local;
+  bool storeSet = false;
   bool verify = false;
   bool stats = false;
   bool dumpGraph = false;
@@ -92,7 +99,7 @@ int usage(const char* argv0) {
                "[--pe-weights=W0,W1,...] "
                "[--no-distribute] [--block-range] [--page N] [--no-cache] "
                "[--eventq=calendar|heap] "
-               "[--transport=inbox|udp|udp-multiproc] "
+               "[--transport=inbox|udp|udp-multiproc] [--store=local|wire] "
                "[--trace=FILE] [--faults=SPEC] [--fault-seed N] "
                "[--timeout SEC] "
                "[--verify] [--stats] [--stats-json=FILE] [--dump-graph] "
@@ -233,6 +240,14 @@ bool parseArgs(int argc, char** argv, Options& o) {
         return false;
       }
       o.transportSet = true;
+    } else if (a.rfind("--store=", 0) == 0) {
+      if (!pods::native::parseStoreKind(a.substr(8), o.store)) {
+        std::fprintf(stderr,
+                     "podsc: --store must be 'local' or 'wire' (got '%s')\n",
+                     a.substr(8).c_str());
+        return false;
+      }
+      o.storeSet = true;
     } else if (a.rfind("--trace=", 0) == 0) {
       o.trace = a.substr(8);
     } else if (a.rfind("--stats-json=", 0) == 0) {
@@ -419,6 +434,7 @@ int runTool(const Options& o, Watchdog& dog) {
     nc.pageElems = o.page;
     nc.faults = o.faults;
     nc.transport = o.transport;
+    nc.store = o.store;
     nc.abort = &dog.abortFlag;
     pods::NativeRun run = pods::runNative(c, nc);
     if (!run.stats.ok) {
@@ -441,9 +457,10 @@ int runTool(const Options& o, Watchdog& dog) {
       }
       return 1;
     }
-    std::printf("engine=native workers=%d transport=%s wall time: %.3f ms\n",
-                o.pes, pods::native::transportKindName(o.transport),
-                run.stats.wallSeconds * 1e3);
+    std::printf(
+        "engine=native workers=%d transport=%s store=%s wall time: %.3f ms\n",
+        o.pes, pods::native::transportKindName(o.transport),
+        pods::native::storeKindName(o.store), run.stats.wallSeconds * 1e3);
     if (!o.statsJson.empty() &&
         !writeStatsOrWarn(o.statsJson, "native", o.pes,
                         run.stats.wallSeconds * 1e3, run.stats.counters,
@@ -506,6 +523,12 @@ int main(int argc, char** argv) {
   if (o.transportSet && o.engine != "native") {
     std::fprintf(stderr,
                  "podsc: --transport applies to the native engine only "
+                 "(--engine=native)\n");
+    return 2;
+  }
+  if (o.storeSet && o.engine != "native") {
+    std::fprintf(stderr,
+                 "podsc: --store applies to the native engine only "
                  "(--engine=native)\n");
     return 2;
   }
